@@ -1,0 +1,93 @@
+// Ablation of the Equation 3 design choice: excluding the best replica m0
+// from the feasibility product so the selected set survives a single
+// member crash. crash_tolerance k=0 disables the trick (plain greedy),
+// k=1 is the paper's Algorithm 1, k=2 the multi-crash extension (SS5.3.2:
+// "it should be simple to extend the above algorithm to handle multiple
+// failures").
+//
+// Scenario: the favourite replica(s) crash mid-run. With k=0 the greedy
+// set is often just the favourite, so its crash costs the in-flight
+// requests AND every request until the view change. With k>=1 a backup is
+// always on board.
+#include <cstdio>
+#include <vector>
+
+#include "gateway/system.h"
+
+namespace {
+
+using namespace aqua;
+using namespace aqua::gateway;
+
+struct Outcome {
+  double failure_prob = 0.0;
+  double cost = 0.0;
+  double abandoned = 0.0;
+};
+
+Outcome run(std::size_t crash_tolerance, std::size_t crashes, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  AquaSystem system{cfg};
+  // Two clear favourites, then four adequate replicas.
+  std::vector<replica::ReplicaServer*> favourites;
+  favourites.push_back(&system.add_replica(
+      replica::make_sampled_service(stats::make_truncated_normal(msec(30), msec(5)))));
+  favourites.push_back(&system.add_replica(
+      replica::make_sampled_service(stats::make_truncated_normal(msec(35), msec(5)))));
+  for (int i = 0; i < 4; ++i) {
+    system.add_replica(
+        replica::make_sampled_service(stats::make_truncated_normal(msec(80), msec(15))));
+  }
+
+  HandlerConfig handler_cfg;
+  handler_cfg.selection.crash_tolerance = crash_tolerance;
+
+  ClientWorkload workload;
+  workload.total_requests = 60;
+  workload.think_time = stats::make_constant(msec(250));
+  ClientApp& app = system.add_client(core::QosSpec{msec(250), 0.9}, workload, handler_cfg);
+
+  system.simulator().schedule_after(sec(4), [favourites, crashes] {
+    for (std::size_t i = 0; i < crashes && i < favourites.size(); ++i) {
+      favourites[i]->crash_host();
+    }
+  });
+  system.run_until_clients_done(sec(120));
+  const auto report = app.report();
+  return {report.failure_probability(), report.mean_redundancy(),
+          static_cast<double>(app.abandoned())};
+}
+
+Outcome average(std::size_t crash_tolerance, std::size_t crashes) {
+  Outcome total;
+  constexpr std::size_t kSeeds = 10;
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    const Outcome o = run(crash_tolerance, crashes, 300 + s);
+    total.failure_prob += o.failure_prob / kSeeds;
+    total.cost += o.cost / kSeeds;
+    total.abandoned += o.abandoned / kSeeds;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: crash tolerance k (Equation 3 protection) ===\n");
+  std::printf("6 replicas, deadline 250ms, Pc=0.9, 60 requests; favourites crash at t=4s\n\n");
+  std::printf("%-6s %-14s %18s %10s %12s\n", "k", "crashes", "failure prob", "cost",
+              "abandoned");
+  for (std::size_t crashes : {std::size_t{1}, std::size_t{2}}) {
+    for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+      const Outcome o = average(k, crashes);
+      std::printf("%-6zu %-14zu %18.3f %10.2f %12.2f\n", k, crashes, o.failure_prob, o.cost,
+                  o.abandoned);
+    }
+    std::printf("\n");
+  }
+  std::printf("expected shape: k=0 suffers most from the crash of its (usually sole)\n");
+  std::printf("selected favourite; k=1 masks a single crash (the paper's guarantee);\n");
+  std::printf("k=2 also masks the double crash, at a slightly higher replica cost.\n");
+  return 0;
+}

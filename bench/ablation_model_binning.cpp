@@ -1,0 +1,116 @@
+// Ablation of pmf binning. The paper's model convolves the raw
+// relative-frequency atoms (exact, O(l^2) support); binning the pmfs
+// first bounds the support at a configurable resolution. This bench
+// measures both sides of the trade: decision wall-time and prediction
+// quality (failure probability on the Figure 4/5 workload).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "core/selection.h"
+#include "gateway/system.h"
+#include "paper_experiment.h"
+
+namespace {
+
+using namespace aqua;
+
+std::vector<core::ReplicaObservation> synthetic_repository(std::size_t replicas,
+                                                           std::size_t window) {
+  Rng rng{11};
+  std::vector<core::ReplicaObservation> obs;
+  for (std::size_t i = 0; i < replicas; ++i) {
+    core::ReplicaObservation o;
+    o.id = ReplicaId{i + 1};
+    for (std::size_t j = 0; j < window; ++j) {
+      o.service_samples.push_back(usec(rng.uniform_int(60'000, 160'000)));
+      o.queuing_samples.push_back(usec(rng.uniform_int(0, 40'000)));
+    }
+    o.gateway_delay = usec(rng.uniform_int(1000, 5000));
+    obs.push_back(std::move(o));
+  }
+  return obs;
+}
+
+double decision_cost_us(Duration bin_width, std::size_t window) {
+  const auto repository = synthetic_repository(8, window);
+  core::ModelConfig model_cfg;
+  model_cfg.bin_width = bin_width;
+  core::ReplicaSelector selector{core::SelectionConfig{}, core::ResponseTimeModel{model_cfg}};
+  const core::QosSpec qos{msec(150), 0.9};
+  constexpr int kIterations = 300;
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t sink = 0;
+  for (int i = 0; i < kIterations; ++i) sink += selector.select(repository, qos).selected.size();
+  const auto end = std::chrono::steady_clock::now();
+  if (sink == 0) std::abort();  // keep the loop alive
+  return std::chrono::duration<double, std::micro>(end - start).count() / kIterations;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aqua::bench;
+
+  std::printf("=== Ablation: exact vs binned convolution ===\n\n");
+  std::printf("decision cost (n=8 replicas):\n");
+  std::printf("%-14s %18s %18s\n", "bin width", "l=20 (us)", "l=40 (us)");
+  struct BinRow {
+    const char* label;
+    Duration width;
+  };
+  const BinRow bins[] = {{"exact", Duration::zero()},
+                         {"1ms", msec(1)},
+                         {"5ms", msec(5)},
+                         {"20ms", msec(20)}};
+  for (const BinRow& bin : bins) {
+    std::printf("%-14s %18.1f %18.1f\n", bin.label, decision_cost_us(bin.width, 20),
+                decision_cost_us(bin.width, 40));
+  }
+
+  std::printf("\nprediction quality on the Figure 4/5 workload (deadline 140ms, Pc=0.9):\n");
+  std::printf("%-14s %18s %16s\n", "bin width", "failure prob", "mean |K|");
+  for (const BinRow& bin : bins) {
+    PaperSetup setup;
+    setup.seeds = 6;
+    setup.window_size = 20;  // large window: binning actually bites
+    // run_point uses the default handler model; emulate by a local sweep.
+    // We pass the bin width through a custom policy factory closure is not
+    // possible with the function-pointer API, so run the sim directly.
+    double failures = 0.0;
+    double selected = 0.0;
+    std::size_t requests = 0;
+    for (std::uint64_t s = 0; s < setup.seeds; ++s) {
+      aqua::gateway::SystemConfig sys_cfg;
+      sys_cfg.seed = 900 + s;
+      aqua::gateway::AquaSystem sys{sys_cfg};
+      for (std::size_t r = 0; r < setup.replicas; ++r) {
+        sys.add_replica(aqua::replica::make_sampled_service(
+            stats::make_truncated_normal(setup.service_mean, setup.service_spread)));
+      }
+      aqua::gateway::HandlerConfig handler_cfg;
+      handler_cfg.repository.window_size = setup.window_size;
+      handler_cfg.model.bin_width = bin.width;
+      aqua::gateway::ClientWorkload workload;
+      workload.total_requests = setup.requests_per_client;
+      workload.think_time = stats::make_constant(setup.think_time);
+      sys.add_client(core::QosSpec{setup.background_deadline, 0.0}, workload, handler_cfg);
+      aqua::gateway::ClientWorkload measured = workload;
+      measured.start_delay = msec(137);
+      auto& app = sys.add_client(core::QosSpec{msec(140), 0.9}, measured, handler_cfg);
+      sys.run_until_clients_done(sec(300));
+      const auto report = app.report();
+      requests += report.requests;
+      failures += static_cast<double>(report.timing_failures);
+      selected += report.mean_redundancy() * static_cast<double>(report.requests);
+    }
+    std::printf("%-14s %18.3f %16.2f\n", bin.label,
+                requests ? failures / static_cast<double>(requests) : 0.0,
+                requests ? selected / static_cast<double>(requests) : 0.0);
+  }
+  std::printf("\nexpected shape: binning up to a few ms cuts decision cost with nearly\n");
+  std::printf("identical predictions; very coarse bins (20ms) distort F near the\n");
+  std::printf("deadline and change the selected redundancy.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation of SS5.3.3: selecting with F(t - delta) instead of F(t), where
+// delta is the measured cost of the selection algorithm itself.
+//
+// The compensation matters exactly when the response-time distribution
+// has probability mass inside the delta-wide band below the deadline —
+// then the naive model overestimates every replica's chances by
+// F(t) - F(t - delta) and under-provisions. This bench spreads service
+// times uniformly so that band always carries ~delta/spread of mass, and
+// inflates the modelled decision cost to the paper's 2001-era levels
+// (Figure 3: up to ~900us; here ~1.5ms at n=6, l=20).
+#include <cstdio>
+
+#include "gateway/system.h"
+
+namespace {
+
+using namespace aqua;
+using namespace aqua::gateway;
+
+struct Outcome {
+  double failure_prob = 0.0;
+  double cost = 0.0;
+};
+
+Outcome run(bool compensation, Duration deadline, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  AquaSystem system{cfg};
+  for (int i = 0; i < 6; ++i) {
+    system.add_replica(
+        replica::make_sampled_service(stats::make_uniform(msec(1), msec(12))));
+  }
+
+  HandlerConfig handler_cfg;
+  handler_cfg.selection.overhead_compensation = compensation;
+  handler_cfg.repository.window_size = 20;
+  // Inflate the modelled decision cost to 2001-hardware levels.
+  handler_cfg.overhead.base = usec(300);
+  handler_cfg.overhead.per_replica = usec(40);
+  handler_cfg.overhead.per_atom_ns = 350.0;
+
+  ClientWorkload workload;
+  workload.total_requests = 150;
+  workload.think_time = stats::make_constant(msec(40));
+  ClientApp& app = system.add_client(core::QosSpec{deadline, 0.9}, workload, handler_cfg);
+  system.run_until_clients_done(sec(60));
+  const auto report = app.report();
+  return {report.failure_probability(), report.mean_redundancy()};
+}
+
+Outcome average(bool compensation, Duration deadline) {
+  Outcome total;
+  constexpr std::size_t kSeeds = 10;
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    const Outcome o = run(compensation, deadline, 400 + s);
+    total.failure_prob += o.failure_prob / kSeeds;
+    total.cost += o.cost / kSeeds;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: overhead compensation F(t - delta) (SS5.3.3) ===\n");
+  std::printf("service ~ U(1ms, 12ms), inflated decision cost (~1.5ms), Pc=0.9\n\n");
+  std::printf("%-16s %14s %10s %14s %10s\n", "deadline (ms)", "fail (comp)", "|K|",
+              "fail (naive)", "|K|");
+  for (std::int64_t t : {13, 15, 17, 19, 22, 26}) {
+    const Outcome with = average(true, msec(t));
+    const Outcome without = average(false, msec(t));
+    std::printf("%-16lld %14.3f %10.2f %14.3f %10.2f\n", static_cast<long long>(t),
+                with.failure_prob, with.cost, without.failure_prob, without.cost);
+  }
+  std::printf("\nexpected shape: near-deadline mass makes the naive variant overestimate\n");
+  std::printf("F by about delta/spread per replica, so it selects fewer replicas and\n");
+  std::printf("fails more; compensation provisions for the effective deadline t-delta.\n");
+  std::printf("At loose deadlines the two coincide.\n");
+  return 0;
+}

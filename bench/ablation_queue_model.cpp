@@ -1,0 +1,84 @@
+// Ablation of the queue-backlog extension. The paper's repository stores
+// the replica's current queue length (SS5.2) but the published model only
+// uses the windowed queuing-delay pmf. Our ModelConfig::queue_backlog_shift
+// extension additionally shifts F by queue_length x mean(S), reacting to
+// backlog the window has not seen yet.
+//
+// Scenario: many aggressive clients drive the queues, so the live queue
+// length is fresher information than the delayed W window.
+#include <cstdio>
+
+#include "gateway/system.h"
+
+namespace {
+
+using namespace aqua;
+using namespace aqua::gateway;
+
+struct Outcome {
+  double failure_prob = 0.0;
+  double cost = 0.0;
+};
+
+Outcome run(bool backlog_shift, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  AquaSystem system{cfg};
+  for (int i = 0; i < 5; ++i) {
+    system.add_replica(
+        replica::make_sampled_service(stats::make_truncated_normal(msec(40), msec(10))));
+  }
+
+  HandlerConfig handler_cfg;
+  handler_cfg.model.queue_backlog_shift = backlog_shift;
+
+  // Six clients, short think times: server queues build and drain.
+  ClientWorkload workload;
+  workload.total_requests = 40;
+  workload.think_time = stats::make_exponential(msec(60));
+  std::vector<ClientApp*> apps;
+  for (int c = 0; c < 6; ++c) {
+    ClientWorkload w = workload;
+    w.start_delay = msec(17 * c);
+    apps.push_back(&system.add_client(core::QosSpec{msec(220), 0.9}, w, handler_cfg));
+  }
+  system.run_until_clients_done(sec(240));
+
+  Outcome outcome;
+  for (ClientApp* app : apps) {
+    const auto report = app->report();
+    outcome.failure_prob += report.failure_probability() / static_cast<double>(apps.size());
+    outcome.cost += report.mean_redundancy() / static_cast<double>(apps.size());
+  }
+  return outcome;
+}
+
+Outcome average(bool backlog_shift) {
+  Outcome total;
+  constexpr std::size_t kSeeds = 6;
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    const Outcome o = run(backlog_shift, 500 + s);
+    total.failure_prob += o.failure_prob / kSeeds;
+    total.cost += o.cost / kSeeds;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: queue-backlog shift (extension beyond the paper's model) ===\n");
+  std::printf("5 replicas (~40ms service), 6 bursty clients, deadline 220ms, Pc=0.9\n\n");
+  const Outcome paper = average(false);
+  const Outcome extended = average(true);
+  std::printf("%-28s %18s %10s\n", "model", "failure prob", "cost");
+  std::printf("%-28s %18.3f %10.2f\n", "paper (windowed W only)", paper.failure_prob, paper.cost);
+  std::printf("%-28s %18.3f %10.2f\n", "extended (+ queue shift)", extended.failure_prob,
+              extended.cost);
+  std::printf("\nfinding: the shift reacts to queue lengths that are already stale by\n");
+  std::printf("selection time (the backlog drains while the request travels), so it\n");
+  std::printf("mostly inflates redundancy without buying fewer failures — evidence FOR\n");
+  std::printf("the paper's choice of using only the windowed W pmf in the model, even\n");
+  std::printf("though the repository stores the live queue length (SS5.2).\n");
+  return 0;
+}

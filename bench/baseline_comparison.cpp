@@ -1,0 +1,103 @@
+// Baseline comparison (motivated by SS1/SS7): the paper argues that
+// single-replica selection schemes — nearest / best-historical-mean /
+// probing — cannot tolerate a replica failing mid-request, and that
+// static redundancy wastes capacity. This harness runs Algorithm 1
+// against those baselines on the identical workload, fault-free and with
+// a mid-run crash of the most attractive replica, reporting the observed
+// timing-failure probability and the replica cost (mean |K|).
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gateway/system.h"
+
+namespace {
+
+using namespace aqua;
+using namespace aqua::gateway;
+
+struct Row {
+  std::string name;
+  double failure_prob_ok = 0.0;    // fault-free
+  double cost_ok = 0.0;            // mean replicas per request
+  double failure_prob_crash = 0.0; // best replica crashes mid-run
+  double cost_crash = 0.0;
+};
+
+struct Scenario {
+  bool crash_best = false;
+};
+
+std::pair<double, double> run_policy(const std::function<core::PolicyPtr()>& factory,
+                                     const Scenario& scenario, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  AquaSystem system{cfg};
+  // Replica 1 is the clear favourite (fast); the rest are usable but
+  // slower — so every policy concentrates on replica 1, and its crash is
+  // the worst case.
+  auto& best = system.add_replica(
+      replica::make_sampled_service(stats::make_truncated_normal(msec(40), msec(10))));
+  for (int i = 0; i < 5; ++i) {
+    system.add_replica(
+        replica::make_sampled_service(stats::make_truncated_normal(msec(90), msec(25))));
+  }
+
+  ClientWorkload workload;
+  workload.total_requests = 50;
+  workload.think_time = stats::make_constant(msec(300));
+  ClientApp& app = system.add_client(core::QosSpec{msec(130), 0.9}, workload, HandlerConfig{},
+                                     factory ? factory() : nullptr);
+
+  if (scenario.crash_best) {
+    system.simulator().schedule_after(sec(5), [&best] { best.crash_host(); });
+  }
+  system.run_until_clients_done(sec(120));
+  const auto report = app.report();
+  return {report.failure_probability(), report.mean_redundancy()};
+}
+
+Row evaluate(const std::string& name, const std::function<core::PolicyPtr()>& factory) {
+  Row row;
+  row.name = name;
+  constexpr std::size_t kSeeds = 8;
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    const auto ok = run_policy(factory, Scenario{false}, 100 + s);
+    const auto crash = run_policy(factory, Scenario{true}, 200 + s);
+    row.failure_prob_ok += ok.first / kSeeds;
+    row.cost_ok += ok.second / kSeeds;
+    row.failure_prob_crash += crash.first / kSeeds;
+    row.cost_crash += crash.second / kSeeds;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Baseline comparison: Algorithm 1 vs single-replica & static schemes ===\n");
+  std::printf("6 replicas (one clearly fastest), deadline 130ms, Pc=0.9, 50 requests;\n");
+  std::printf("crash scenario: the fastest replica's host dies mid-run\n\n");
+
+  std::vector<Row> rows;
+  rows.push_back(evaluate("dynamic (Algorithm 1)", [] { return core::make_dynamic_policy(); }));
+  rows.push_back(evaluate("best-probability x1", [] { return core::make_best_probability_policy(); }));
+  rows.push_back(evaluate("fastest-mean x1 [19]", [] { return core::make_fastest_mean_policy(); }));
+  rows.push_back(evaluate("random-2", [] { return core::make_random_policy(2); }));
+  rows.push_back(evaluate("round-robin-2", [] { return core::make_round_robin_policy(2); }));
+  rows.push_back(evaluate("static-top-2", [] { return core::make_static_k_policy(2); }));
+  rows.push_back(evaluate("all-replicas", [] { return core::make_all_replicas_policy(); }));
+
+  std::printf("%-24s %14s %10s %16s %12s\n", "policy", "fail(no-fault)", "cost", "fail(crash)",
+              "cost(crash)");
+  for (const Row& row : rows) {
+    std::printf("%-24s %14.3f %10.2f %16.3f %12.2f\n", row.name.c_str(), row.failure_prob_ok,
+                row.cost_ok, row.failure_prob_crash, row.cost_crash);
+  }
+  std::printf("\nexpected shape: single-replica baselines spike under the crash (requests\n");
+  std::printf("in flight to the dead replica are lost until the view change), while\n");
+  std::printf("Algorithm 1 masks the crash at ~2x replica cost; all-replicas masks it\n");
+  std::printf("too but at ~3x the cost of the dynamic scheme.\n");
+  return 0;
+}

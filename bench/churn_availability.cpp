@@ -1,0 +1,124 @@
+// Long-horizon churn: replicas keep crashing; does the service keep its
+// QoS? Compares three configurations over the same crash schedule:
+//   (a) Algorithm 1 alone (the pool only shrinks),
+//   (b) Algorithm 1 + dependability manager (§2: Proteus restores the
+//       replication level),
+//   (c) single-replica fastest-mean + manager (the related-work scheme
+//       even with replacement capacity).
+// Metric: timing-failure probability and abandoned requests over a
+// 2-minute run with a crash every ~15 seconds.
+#include <cstdio>
+
+#include "gateway/system.h"
+
+namespace {
+
+using namespace aqua;
+using namespace aqua::gateway;
+
+struct Outcome {
+  double failure_prob = 0.0;
+  double abandoned = 0.0;
+  double end_replication = 0.0;
+};
+
+Outcome run(bool with_manager, bool dynamic_policy, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  AquaSystem system{cfg};
+  const auto model = [] {
+    return replica::make_sampled_service(stats::make_truncated_normal(msec(80), msec(15)));
+  };
+  for (int i = 0; i < 5; ++i) system.add_replica(model());
+  if (with_manager) {
+    manager::ManagerConfig mcfg;
+    mcfg.min_replicas = 5;
+    mcfg.startup_delay = sec(3);
+    system.enable_dependability_manager(mcfg, model());
+  }
+
+  // Four concurrent clients: enough offered load that a pool shrunk to
+  // one or two replicas saturates (the scalability half of SS1's
+  // argument), while five replicas carry it comfortably.
+  std::vector<ClientApp*> apps;
+  for (int c = 0; c < 4; ++c) {
+    ClientWorkload workload;
+    workload.total_requests = 0;  // run for the whole horizon
+    workload.think_time = stats::make_constant(msec(100));
+    workload.start_delay = msec(29 * c);
+    core::PolicyPtr policy = dynamic_policy ? nullptr : core::make_fastest_mean_policy();
+    apps.push_back(&system.add_client(core::QosSpec{msec(250), 0.9}, workload, HandlerConfig{},
+                                      std::move(policy)));
+  }
+
+  // Crash an alive replica every ~15s (deterministic schedule).
+  Rng crash_rng = Rng{seed}.fork("crash-schedule");
+  for (int t = 15; t <= 110; t += 15) {
+    system.simulator().schedule_after(sec(t), [&system, &crash_rng] {
+      auto replicas = system.replicas();
+      std::vector<replica::ReplicaServer*> alive;
+      for (auto* r : replicas) {
+        if (r->alive()) alive.push_back(r);
+      }
+      if (alive.size() <= 1) return;  // never kill the last one
+      const auto victim = static_cast<std::size_t>(
+          crash_rng.uniform_int(0, static_cast<std::int64_t>(alive.size()) - 1));
+      alive[victim]->crash_host();
+    });
+  }
+  system.run_for(sec(120));
+
+  std::size_t live = 0;
+  for (auto* r : system.replicas()) {
+    if (r->alive()) ++live;
+  }
+  Outcome outcome;
+  outcome.end_replication = static_cast<double>(live);
+  for (ClientApp* app : apps) {
+    const auto report = app->report();
+    outcome.failure_prob += report.failure_probability() / static_cast<double>(apps.size());
+    outcome.abandoned += static_cast<double>(app->abandoned()) / static_cast<double>(apps.size());
+  }
+  return outcome;
+}
+
+Outcome average(bool with_manager, bool dynamic_policy) {
+  Outcome total;
+  constexpr std::size_t kSeeds = 6;
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    const Outcome o = run(with_manager, dynamic_policy, 800 + s);
+    total.failure_prob += o.failure_prob / kSeeds;
+    total.abandoned += o.abandoned / kSeeds;
+    total.end_replication += o.end_replication / kSeeds;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Churn availability: crashes every ~15s over a 2 minute run ===\n");
+  std::printf("5 replicas initially, 4 clients, deadline 250ms, Pc=0.9, restart delay 3s\n\n");
+  std::printf("%-42s %14s %12s %16s\n", "configuration", "failure prob", "abandoned",
+              "final replicas");
+  struct RowSpec {
+    const char* name;
+    bool manager;
+    bool dynamic;
+  };
+  const RowSpec rows[] = {
+      {"Algorithm 1, no manager", false, true},
+      {"Algorithm 1 + dependability manager", true, true},
+      {"fastest-mean x1 + dependability manager", true, false},
+  };
+  for (const RowSpec& row : rows) {
+    const Outcome o = average(row.manager, row.dynamic);
+    std::printf("%-42s %14.3f %12.1f %16.1f\n", row.name, o.failure_prob, o.abandoned,
+                o.end_replication);
+  }
+  std::printf("\nexpected shape: without the manager the pool shrinks toward one replica\n");
+  std::printf("and late-run crashes hurt; with the manager Algorithm 1 rides through the\n");
+  std::printf("churn; the single-replica baseline still pays for every crash it is\n");
+  std::printf("pointing at, replacements or not.\n");
+  return 0;
+}

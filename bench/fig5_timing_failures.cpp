@@ -1,0 +1,53 @@
+// Figure 5: "Validation of the probabilistic model" — the observed
+// probability of timing failures for the measured client over the same
+// sweep as Figure 4.
+//
+// Paper shape: the observed failure probability stays BELOW the failure
+// budget 1 - Pc in every case; maxima reported were 0.08 (Pc=0.9), 0.32
+// (Pc=0.5) and 0.36 (Pc=0).
+#include <cstdio>
+#include <cstdlib>
+
+#include "paper_experiment.h"
+#include "stats/confidence.h"
+
+int main() {
+  using namespace aqua::bench;
+
+  PaperSetup setup;
+  if (const char* s = std::getenv("AQUA_BENCH_SEEDS")) setup.seeds = std::strtoul(s, nullptr, 10);
+
+  std::printf("=== Figure 5: observed probability of timing failures ===\n");
+  std::printf("same setup as Figure 4; failure budget is 1 - Pc per column\n\n");
+
+  const std::vector<double> probabilities{0.9, 0.5, 0.0};
+  const auto sweep = run_sweep(setup, probabilities);
+  print_sweep_table(sweep, probabilities, /*select_failures=*/true);
+
+  // The headline validation: max observed failure probability per column
+  // vs the client's failure budget.
+  std::printf("\nvalidation (max observed vs budget 1-Pc, 95%% Wilson CI):\n");
+  for (double pc : probabilities) {
+    double max_fail = 0.0;
+    std::size_t max_requests = 0;
+    for (const SweepPoint& p : sweep) {
+      if (p.requested_probability == pc && p.failure_probability > max_fail) {
+        max_fail = p.failure_probability;
+        max_requests = p.requests;
+      }
+      if (p.requested_probability == pc && max_requests == 0) max_requests = p.requests;
+    }
+    const double budget = 1.0 - pc;
+    const auto failures = static_cast<std::size_t>(
+        max_fail * static_cast<double>(max_requests) + 0.5);
+    const auto ci = max_requests > 0
+                        ? aqua::stats::wilson_interval(failures, max_requests)
+                        : aqua::stats::ProportionInterval{};
+    std::printf("  Pc=%.2f: max failure prob %.3f %s budget %.2f   (95%% CI [%.3f, %.3f]%s)\n",
+                pc, max_fail, max_fail <= budget ? "<=" : "EXCEEDS", budget, ci.lower, ci.upper,
+                ci.upper <= budget ? "" : "; upper bound crosses the budget");
+  }
+  std::printf("paper maxima: 0.08 / 0.32 / 0.36 for Pc = 0.9 / 0.5 / 0\n");
+  maybe_write_csv(sweep, "fig5_timing_failures");
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "paper_experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "gateway/system.h"
+#include "trace/csv.h"
+
+namespace aqua::bench {
+
+SweepPoint run_point(const PaperSetup& setup, Duration deadline, double requested_probability,
+                     PolicyFactory policy_factory) {
+  SweepPoint point;
+  point.deadline = deadline;
+  point.requested_probability = requested_probability;
+
+  double selected_sum = 0.0;
+  double response_sum_ms = 0.0;
+  std::size_t answered = 0;
+  std::size_t failures = 0;
+  std::size_t requests = 0;
+
+  for (std::size_t s = 0; s < setup.seeds; ++s) {
+    gateway::SystemConfig sys_cfg;
+    sys_cfg.seed = setup.base_seed + s;
+    gateway::AquaSystem system{sys_cfg};
+    for (std::size_t r = 0; r < setup.replicas; ++r) {
+      system.add_replica(replica::make_sampled_service(
+          stats::make_truncated_normal(setup.service_mean, setup.service_spread)));
+    }
+
+    gateway::HandlerConfig handler_cfg;
+    handler_cfg.repository.window_size = setup.window_size;
+
+    gateway::ClientWorkload workload;
+    workload.total_requests = setup.requests_per_client;
+    workload.think_time = stats::make_constant(setup.think_time);
+
+    // Client 1: the fixed background client (deadline 200ms, Pc = 0).
+    system.add_client(core::QosSpec{setup.background_deadline, 0.0}, workload, handler_cfg);
+    // Client 2: the measured client.
+    gateway::ClientWorkload measured = workload;
+    measured.start_delay = msec(137);  // decorrelate the two request trains
+    gateway::ClientApp& app = system.add_client(
+        core::QosSpec{deadline, requested_probability}, measured, handler_cfg,
+        policy_factory != nullptr ? policy_factory() : nullptr);
+
+    // 50 requests with 1s think time: bound the run generously.
+    system.run_until_clients_done(sec(300));
+
+    const trace::ClientRunReport report = app.report();
+    requests += report.requests;
+    failures += report.timing_failures;
+    answered += report.answered;
+    if (!report.redundancy.empty()) {
+      selected_sum += report.redundancy.summary().mean() *
+                      static_cast<double>(report.redundancy.count());
+    }
+    if (!report.response_times_ms.empty()) {
+      response_sum_ms += report.response_times_ms.summary().mean() *
+                         static_cast<double>(report.response_times_ms.count());
+    }
+  }
+
+  point.requests = requests;
+  if (requests > 0) {
+    point.mean_selected = selected_sum / static_cast<double>(requests);
+    point.failure_probability = static_cast<double>(failures) / static_cast<double>(requests);
+  }
+  if (answered > 0) point.mean_response_ms = response_sum_ms / static_cast<double>(answered);
+  return point;
+}
+
+std::vector<SweepPoint> run_sweep(const PaperSetup& setup,
+                                  const std::vector<double>& probabilities,
+                                  std::int64_t step_ms) {
+  std::vector<SweepPoint> sweep;
+  for (double pc : probabilities) {
+    for (std::int64_t t = 100; t <= 200; t += step_ms) {
+      sweep.push_back(run_point(setup, msec(t), pc));
+    }
+  }
+  return sweep;
+}
+
+void print_sweep_table(const std::vector<SweepPoint>& sweep,
+                       const std::vector<double>& probabilities, bool select_failures) {
+  std::printf("%-18s", "deadline (ms)");
+  for (double pc : probabilities) std::printf("  Pc=%-10.2f", pc);
+  std::printf("\n");
+  // Collect distinct deadlines (sweep is grouped by probability).
+  std::vector<Duration> deadlines;
+  for (const SweepPoint& p : sweep) {
+    if (deadlines.empty() || p.deadline > deadlines.back()) {
+      deadlines.push_back(p.deadline);
+    } else if (p.deadline <= deadlines.front()) {
+      break;  // next probability group started
+    }
+  }
+  for (Duration t : deadlines) {
+    std::printf("%-18.0f", to_ms(t));
+    for (double pc : probabilities) {
+      for (const SweepPoint& p : sweep) {
+        if (p.deadline == t && p.requested_probability == pc) {
+          std::printf("  %-13.3f", select_failures ? p.failure_probability : p.mean_selected);
+          break;
+        }
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+bool maybe_write_csv(const std::vector<SweepPoint>& sweep, const char* name) {
+  const char* dir = std::getenv("AQUA_BENCH_CSV");
+  if (dir == nullptr || *dir == '\0') return false;
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = std::filesystem::path(dir) / (std::string(name) + ".csv");
+  std::ofstream out(path);
+  trace::CsvWriter csv{out};
+  csv.header({"deadline_ms", "requested_probability", "mean_selected", "failure_probability",
+              "mean_response_ms", "requests"});
+  for (const SweepPoint& p : sweep) {
+    csv.row({trace::CsvWriter::cell(to_ms(p.deadline), 1),
+             trace::CsvWriter::cell(p.requested_probability, 2),
+             trace::CsvWriter::cell(p.mean_selected, 4),
+             trace::CsvWriter::cell(p.failure_probability, 4),
+             trace::CsvWriter::cell(p.mean_response_ms, 2),
+             trace::CsvWriter::cell(static_cast<std::uint64_t>(p.requests))});
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace aqua::bench

@@ -1,0 +1,117 @@
+// Scalability (§1's motivating trade-off): "We can achieve good fault
+// tolerance by allocating all the available replicas to service a single
+// client. However, such an approach is not scalable as it increases the
+// load on all the replicas and results in higher response times for the
+// remaining clients. On the other hand, assigning a single replica to
+// service each client allows multiple clients to be serviced in
+// parallel [but cannot survive a crash]."
+//
+// This harness sweeps the number of concurrent clients and compares the
+// all-replicas policy, a single-replica policy, and Algorithm 1 on
+// failure probability and mean response time.
+#include <cstdio>
+#include <functional>
+
+#include "gateway/system.h"
+
+namespace {
+
+using namespace aqua;
+using namespace aqua::gateway;
+
+struct Outcome {
+  double failure_prob = 0.0;
+  double mean_response_ms = 0.0;
+  double cost = 0.0;
+};
+
+Outcome run(const std::function<core::PolicyPtr()>& factory, int clients, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  AquaSystem system{cfg};
+  for (int i = 0; i < 6; ++i) {
+    system.add_replica(
+        replica::make_sampled_service(stats::make_truncated_normal(msec(60), msec(15))));
+  }
+  std::vector<ClientApp*> apps;
+  for (int c = 0; c < clients; ++c) {
+    ClientWorkload workload;
+    workload.total_requests = 30;
+    workload.think_time = stats::make_constant(msec(120));
+    workload.start_delay = msec(13 * c);
+    apps.push_back(&system.add_client(core::QosSpec{msec(250), 0.9}, workload, HandlerConfig{},
+                                      factory ? factory() : nullptr));
+  }
+  system.run_until_clients_done(sec(600));
+
+  Outcome outcome;
+  double responses = 0.0;
+  std::size_t requests = 0, failures = 0, answered = 0;
+  for (ClientApp* app : apps) {
+    const auto report = app->report();
+    requests += report.requests;
+    failures += report.timing_failures;
+    if (!report.response_times_ms.empty()) {
+      responses += report.response_times_ms.summary().mean() *
+                   static_cast<double>(report.response_times_ms.count());
+      answered += report.response_times_ms.count();
+    }
+    outcome.cost += report.mean_redundancy() / static_cast<double>(apps.size());
+  }
+  if (requests > 0) {
+    outcome.failure_prob = static_cast<double>(failures) / static_cast<double>(requests);
+  }
+  if (answered > 0) outcome.mean_response_ms = responses / static_cast<double>(answered);
+  return outcome;
+}
+
+Outcome average(const std::function<core::PolicyPtr()>& factory, int clients) {
+  Outcome total;
+  constexpr std::size_t kSeeds = 5;
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    const Outcome o = run(factory, clients, 600 + s);
+    total.failure_prob += o.failure_prob / kSeeds;
+    total.mean_response_ms += o.mean_response_ms / kSeeds;
+    total.cost += o.cost / kSeeds;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Scalability: concurrent clients vs policy (SS1 trade-off) ===\n");
+  std::printf("6 replicas (~60ms service), deadline 250ms, Pc=0.9, think 120ms\n\n");
+  std::printf("%-8s | %-26s | %-26s | %-26s | %-26s\n", "", "dynamic (Algorithm 1)",
+              "dynamic + minimal fallbk", "all-replicas", "best-probability x1");
+  std::printf("%-8s | %8s %8s %6s | %8s %8s %6s | %8s %8s %6s | %8s %8s %6s\n", "clients",
+              "fail", "resp ms", "cost", "fail", "resp ms", "cost", "fail", "resp ms", "cost",
+              "fail", "resp ms", "cost");
+  const auto minimal_factory = [] {
+    core::SelectionConfig cfg;
+    cfg.infeasible_fallback = core::InfeasibleFallback::kMinimalSet;
+    return core::make_dynamic_policy(cfg);
+  };
+  for (int clients : {1, 2, 4, 8, 16}) {
+    const Outcome dynamic_o = average([] { return core::make_dynamic_policy(); }, clients);
+    const Outcome minimal_o = average(minimal_factory, clients);
+    const Outcome all_o = average([] { return core::make_all_replicas_policy(); }, clients);
+    const Outcome one_o = average([] { return core::make_best_probability_policy(); }, clients);
+    std::printf(
+        "%-8d | %8.3f %8.1f %6.2f | %8.3f %8.1f %6.2f | %8.3f %8.1f %6.2f | %8.3f %8.1f %6.2f\n",
+        clients, dynamic_o.failure_prob, dynamic_o.mean_response_ms, dynamic_o.cost,
+        minimal_o.failure_prob, minimal_o.mean_response_ms, minimal_o.cost, all_o.failure_prob,
+        all_o.mean_response_ms, all_o.cost, one_o.failure_prob, one_o.mean_response_ms,
+        one_o.cost);
+  }
+  std::printf("\nexpected shape: with few clients every policy meets the deadline; as\n");
+  std::printf("clients multiply, all-replicas saturates first. Under overload, plain\n");
+  std::printf("Algorithm 1 amplifies the load (a regime the paper never tested): once\n");
+  std::printf("queueing makes the spec infeasible, the line-15 fallback selects ALL\n");
+  std::printf("replicas, tripling its cost. The kMinimalSet fallback extension keeps the\n");
+  std::printf("cost flat; at moderate overload the extra effort of the paper's fallback\n");
+  std::printf("still wins individual requests, but at deep overload the lighter\n");
+  std::printf("footprint fails less. The single-replica scheme scales too but has no\n");
+  std::printf("crash tolerance (see baseline_comparison).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Precondition and invariant checking.
+//
+// AQUA_REQUIRE: public-API precondition; throws std::invalid_argument so
+//   callers can test misuse without aborting the process.
+// AQUA_ASSERT: internal invariant; prints and aborts (a broken invariant
+//   means the library itself is wrong, not the caller).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace aqua::detail {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file, int line,
+                                        const std::string& what) {
+  throw std::invalid_argument(std::string{"precondition failed: "} + cond + " at " + file + ":" +
+                              std::to_string(line) + (what.empty() ? "" : ": " + what));
+}
+
+[[noreturn]] inline void assert_failed(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "aqua invariant violated: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace aqua::detail
+
+#define AQUA_REQUIRE(cond, what)                                          \
+  do {                                                                    \
+    if (!(cond)) ::aqua::detail::require_failed(#cond, __FILE__, __LINE__, (what)); \
+  } while (false)
+
+#define AQUA_ASSERT(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) ::aqua::detail::assert_failed(#cond, __FILE__, __LINE__); \
+  } while (false)

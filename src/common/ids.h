@@ -1,0 +1,68 @@
+// Strongly typed identifiers.
+//
+// Each entity kind (host, replica, client, request, ...) gets its own id
+// type so that a ReplicaId can never be passed where a ClientId is
+// expected. Ids are trivially copyable 64-bit values ordered and hashable
+// for use as container keys.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace aqua {
+
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << Tag::prefix << id.value_;
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+struct HostTag { static constexpr const char* prefix = "host-"; };
+struct ReplicaTag { static constexpr const char* prefix = "replica-"; };
+struct ClientTag { static constexpr const char* prefix = "client-"; };
+struct RequestTag { static constexpr const char* prefix = "req-"; };
+struct EndpointTag { static constexpr const char* prefix = "ep-"; };
+struct GroupTag { static constexpr const char* prefix = "group-"; };
+
+using HostId = Id<HostTag>;
+using ReplicaId = Id<ReplicaTag>;
+using ClientId = Id<ClientTag>;
+using RequestId = Id<RequestTag>;
+using EndpointId = Id<EndpointTag>;
+using GroupId = Id<GroupTag>;
+
+/// Monotonically increasing id factory, one instance per id space.
+template <typename IdType>
+class IdGenerator {
+ public:
+  /// First id handed out is `IdType{first}`.
+  constexpr explicit IdGenerator(std::uint64_t first = 1) : next_(first) {}
+
+  IdType next() { return IdType{next_++}; }
+
+ private:
+  std::uint64_t next_;
+};
+
+}  // namespace aqua
+
+template <typename Tag>
+struct std::hash<aqua::Id<Tag>> {
+  std::size_t operator()(aqua::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};

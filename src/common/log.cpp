@@ -1,0 +1,61 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+#include "common/time.h"
+
+namespace aqua {
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Log::Sink& Log::sink_ref() {
+  static Sink sink;  // empty => stderr
+  return sink;
+}
+
+LogLevel& Log::level_ref() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void Log::set_level(LogLevel level) { level_ref() = level; }
+
+LogLevel Log::level() { return level_ref(); }
+
+void Log::set_sink(Sink sink) { sink_ref() = std::move(sink); }
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  if (const Sink& sink = sink_ref()) {
+    sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[aqua %s] %s\n", level_name(level), message.c_str());
+}
+
+std::string to_string(Duration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3fms", to_ms(d));
+  return buf;
+}
+
+std::string to_string(TimePoint t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t=%.3fms", static_cast<double>(count_us(t)) / 1000.0);
+  return buf;
+}
+
+}  // namespace aqua

@@ -1,0 +1,66 @@
+// Minimal leveled logger.
+//
+// The simulation is deterministic, so logging is a debugging aid rather
+// than an observability system: a global level filter and a single sink
+// (stderr by default, redirectable for tests). Hot paths guard with
+// `Log::enabled(...)` so disabled levels cost one branch.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace aqua {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Global minimum level; messages below it are dropped.
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+
+  /// Replace the sink (tests install a capturing sink); empty resets to stderr.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static Sink& sink_ref();
+  static LogLevel& level_ref();
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace aqua
+
+#define AQUA_LOG(level)                         \
+  if (!::aqua::Log::enabled(level)) {           \
+  } else                                        \
+    ::aqua::detail::LogLine(level)
+
+#define AQUA_LOG_DEBUG AQUA_LOG(::aqua::LogLevel::kDebug)
+#define AQUA_LOG_INFO AQUA_LOG(::aqua::LogLevel::kInfo)
+#define AQUA_LOG_WARN AQUA_LOG(::aqua::LogLevel::kWarn)
+#define AQUA_LOG_ERROR AQUA_LOG(::aqua::LogLevel::kError)

@@ -1,0 +1,63 @@
+#include "common/rng.h"
+
+#include "common/assert.h"
+
+namespace aqua {
+namespace {
+
+// splitmix64 finalizer: decorrelates nearby seeds.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_label(std::string_view label) {
+  // FNV-1a, then mixed; good enough for decorrelating named substreams.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(mix64(seed)), engine_(seed_) {}
+
+Rng Rng::fork(std::string_view label) const { return Rng{seed_ ^ hash_label(label)}; }
+
+Rng Rng::fork(std::uint64_t index) const { return Rng{seed_ ^ mix64(index + 0x51ed270b7a4fca11ULL)}; }
+
+double Rng::uniform01() {
+  return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  AQUA_REQUIRE(lo < hi, "uniform(lo, hi) needs lo < hi");
+  return std::uniform_real_distribution<double>{lo, hi}(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  AQUA_REQUIRE(lo <= hi, "uniform_int(lo, hi) needs lo <= hi");
+  return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+}
+
+double Rng::normal01() {
+  return std::normal_distribution<double>{0.0, 1.0}(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  AQUA_REQUIRE(mean > 0.0, "exponential mean must be positive");
+  return std::exponential_distribution<double>{1.0 / mean}(engine_);
+}
+
+}  // namespace aqua

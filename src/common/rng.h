@@ -1,0 +1,60 @@
+// Deterministic random-number source.
+//
+// Every stochastic component (LAN jitter, service-time models, client
+// think times) draws from an Rng forked from a single experiment seed, so
+// a run is exactly reproducible from (seed, configuration). Forked streams
+// are independent: forking mixes a label into the parent seed with
+// splitmix64 instead of sharing engine state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace aqua {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive an independent stream for a named subsystem. Forking with the
+  /// same label twice yields the same stream; distinct labels decorrelate.
+  [[nodiscard]] Rng fork(std::string_view label) const;
+
+  /// Derive an independent stream for an indexed entity (replica #3, ...).
+  [[nodiscard]] Rng fork(std::uint64_t index) const;
+
+  /// Uniform in [0, 1).
+  double uniform01();
+
+  /// Uniform in [lo, hi); requires lo < hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal draw.
+  double normal01();
+
+  /// true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// The seed this stream was constructed from (after mixing).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// UniformRandomBitGenerator interface so <random> distributions and
+  /// std::shuffle can consume an Rng directly.
+  using result_type = std::mt19937_64::result_type;
+  static constexpr result_type min() { return std::mt19937_64::min(); }
+  static constexpr result_type max() { return std::mt19937_64::max(); }
+  result_type operator()() { return engine_(); }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace aqua

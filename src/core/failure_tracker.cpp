@@ -1,0 +1,46 @@
+#include "core/failure_tracker.h"
+
+#include "common/assert.h"
+
+namespace aqua::core {
+
+TimingFailureTracker::TimingFailureTracker(FailureTrackerConfig config) : config_(config) {}
+
+void TimingFailureTracker::record(bool timely) {
+  ++total_;
+  if (!timely) ++failures_;
+  if (config_.window > 0) {
+    recent_.push_back(timely);
+    if (!timely) ++recent_failures_;
+    if (recent_.size() > config_.window) {
+      if (!recent_.front()) --recent_failures_;
+      recent_.pop_front();
+    }
+  }
+}
+
+double TimingFailureTracker::timely_fraction() const {
+  if (config_.window > 0) {
+    if (recent_.empty()) return 1.0;
+    return 1.0 - static_cast<double>(recent_failures_) / static_cast<double>(recent_.size());
+  }
+  if (total_ == 0) return 1.0;
+  return 1.0 - static_cast<double>(failures_) / static_cast<double>(total_);
+}
+
+bool TimingFailureTracker::violates(double min_probability) const {
+  AQUA_REQUIRE(min_probability >= 0.0 && min_probability <= 1.0,
+               "probability must be in [0, 1]");
+  const std::size_t horizon = config_.window > 0 ? recent_.size() : total_;
+  if (horizon < config_.min_samples) return false;
+  return timely_fraction() < min_probability;
+}
+
+void TimingFailureTracker::reset() {
+  total_ = 0;
+  failures_ = 0;
+  recent_.clear();
+  recent_failures_ = 0;
+}
+
+}  // namespace aqua::core

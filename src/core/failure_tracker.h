@@ -1,0 +1,57 @@
+// Timing-failure accounting (§5.4.2).
+//
+// "The handler maintains a counter that keeps track of the number of
+// times its client has failed to receive a timely response ... If the
+// frequency of timely responses from the service does not meet the
+// minimum probability the client has requested in its QoS specification,
+// the handler notifies the client by issuing a callback."
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/time.h"
+
+namespace aqua::core {
+
+struct FailureTrackerConfig {
+  /// Outcomes required before a QoS violation can be reported; avoids
+  /// spurious callbacks off one early miss.
+  std::size_t min_samples = 10;
+
+  /// 0: cumulative frequency over the whole session (the paper's
+  /// counter). >0: frequency over the most recent `window` outcomes,
+  /// which recovers after transients.
+  std::size_t window = 0;
+};
+
+class TimingFailureTracker {
+ public:
+  explicit TimingFailureTracker(FailureTrackerConfig config = {});
+
+  /// Record the outcome of one request (true = response met the deadline).
+  void record(bool timely);
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t failures() const { return failures_; }
+
+  /// Fraction of timely responses over the configured horizon; 1.0 before
+  /// any outcome is recorded.
+  [[nodiscard]] double timely_fraction() const;
+
+  /// True when enough outcomes exist and the timely fraction has dropped
+  /// below `min_probability` — i.e. the handler should issue the QoS
+  /// callback.
+  [[nodiscard]] bool violates(double min_probability) const;
+
+  void reset();
+
+ private:
+  FailureTrackerConfig config_;
+  std::size_t total_ = 0;
+  std::size_t failures_ = 0;
+  std::deque<bool> recent_;       // only used when config_.window > 0
+  std::size_t recent_failures_ = 0;
+};
+
+}  // namespace aqua::core

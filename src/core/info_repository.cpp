@@ -1,0 +1,89 @@
+#include "core/info_repository.h"
+
+#include "common/assert.h"
+
+namespace aqua::core {
+
+InfoRepository::InfoRepository(RepositoryConfig config) : config_(config) {
+  AQUA_REQUIRE(config_.window_size >= 1, "repository window size must be >= 1");
+  if (config_.gateway_window_size == 0) config_.gateway_window_size = config_.window_size;
+}
+
+InfoRepository::Record& InfoRepository::record_for(ReplicaId replica) {
+  auto it = records_.find(replica);
+  if (it == records_.end()) {
+    it = records_.emplace(replica, Record{config_.gateway_window_size}).first;
+  }
+  return it->second;
+}
+
+void InfoRepository::add_replica(ReplicaId replica) { record_for(replica); }
+
+void InfoRepository::remove_replica(ReplicaId replica) { records_.erase(replica); }
+
+bool InfoRepository::contains(ReplicaId replica) const { return records_.contains(replica); }
+
+std::size_t InfoRepository::replica_count() const { return records_.size(); }
+
+std::vector<ReplicaId> InfoRepository::replicas() const {
+  std::vector<ReplicaId> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) out.push_back(id);
+  return out;
+}
+
+void InfoRepository::record_perf(ReplicaId replica, const PerfSample& sample, TimePoint now,
+                                 const std::string& method) {
+  AQUA_REQUIRE(sample.service_time >= Duration::zero(), "service time must be non-negative");
+  AQUA_REQUIRE(sample.queuing_delay >= Duration::zero(), "queuing delay must be non-negative");
+  AQUA_REQUIRE(sample.queue_length >= 0, "queue length must be non-negative");
+  Record& record = record_for(replica);
+  auto [it, inserted] = record.methods.try_emplace(method, config_.window_size);
+  it->second.service.push(sample.service_time);
+  it->second.queuing.push(sample.queuing_delay);
+  record.queue_length = sample.queue_length;
+  record.last_update = now;
+}
+
+void InfoRepository::record_gateway_delay(ReplicaId replica, Duration delay, TimePoint now) {
+  AQUA_REQUIRE(delay >= Duration::zero(), "gateway delay must be non-negative");
+  Record& record = record_for(replica);
+  record.gateway_delay = delay;
+  record.gateway_delay_known = true;
+  record.gateway_window.push(delay);
+  record.last_update = now;
+}
+
+ReplicaObservation InfoRepository::observe(ReplicaId replica, const std::string& method) const {
+  auto it = records_.find(replica);
+  AQUA_REQUIRE(it != records_.end(), "observe() of an untracked replica");
+  const Record& record = it->second;
+  ReplicaObservation obs;
+  obs.id = replica;
+  if (auto mit = record.methods.find(method); mit != record.methods.end()) {
+    obs.service_samples = mit->second.service.samples();
+    obs.queuing_samples = mit->second.queuing.samples();
+  }
+  obs.gateway_delay = record.gateway_delay;
+  obs.gateway_samples = record.gateway_window.samples();
+  obs.queue_length = record.queue_length;
+  obs.last_update = record.last_update;
+  return obs;
+}
+
+std::vector<ReplicaObservation> InfoRepository::observe_all(const std::string& method) const {
+  std::vector<ReplicaObservation> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) out.push_back(observe(id, method));
+  return out;
+}
+
+bool InfoRepository::cold(const std::string& method) const {
+  for (const auto& [id, record] : records_) {
+    auto mit = record.methods.find(method);
+    if (mit != record.methods.end() && !mit->second.service.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace aqua::core

@@ -1,0 +1,110 @@
+// Gateway information repository (§5.2).
+//
+// One repository lives inside each timing fault handler, caching only the
+// information relevant to that handler's service: the replica list and,
+// per replica, the service-time and queuing-delay sliding windows (size
+// l), the most recent two-way gateway-to-gateway delay, and the current
+// queue length. The repository is deliberately local to the handler — the
+// paper rejects a global information service to avoid a single point of
+// failure, remote-call overhead and concurrency control.
+//
+// The multi-interface extension (§8) is supported by keying windows by
+// method name; single-interface deployments just use kDefaultMethod.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "core/qos.h"
+#include "core/replica_stats.h"
+#include "stats/sliding_window.h"
+
+namespace aqua::core {
+
+struct RepositoryConfig {
+  /// l: sliding-window length. "its value is chosen so that it includes a
+  /// reasonable number of recent requests but eliminates obsolete
+  /// measurements" (§5.2). The paper's experiments use 5.
+  std::size_t window_size = 5;
+
+  /// Window length for gateway-to-gateway delays (§5.3.1's suggested
+  /// extension for LANs whose traffic does fluctuate); 0 defaults to
+  /// window_size. The most recent value is always tracked regardless.
+  std::size_t gateway_window_size = 0;
+};
+
+/// One performance measurement, as extracted from a reply or a pushed
+/// PerfUpdate.
+struct PerfSample {
+  Duration service_time{};
+  Duration queuing_delay{};
+  std::int64_t queue_length = 0;
+};
+
+class InfoRepository {
+ public:
+  explicit InfoRepository(RepositoryConfig config = {});
+
+  /// Track a replica (idempotent). New replicas start with empty windows.
+  void add_replica(ReplicaId replica);
+
+  /// Drop a replica and its history (membership change: "those clients
+  /// ... remove the entry for the failed replicas from their local
+  /// information repositories", §5.4).
+  void remove_replica(ReplicaId replica);
+
+  [[nodiscard]] bool contains(ReplicaId replica) const;
+  [[nodiscard]] std::size_t replica_count() const;
+  [[nodiscard]] std::vector<ReplicaId> replicas() const;
+
+  /// Record t_s, t_q and the queue length from a reply or PerfUpdate.
+  /// Unknown replicas are added implicitly (a push may beat the view).
+  void record_perf(ReplicaId replica, const PerfSample& sample, TimePoint now,
+                   const std::string& method = kDefaultMethod);
+
+  /// Record a freshly measured two-way gateway-to-gateway delay
+  /// (t_d = t4 - t1 - t_q - t_s).
+  void record_gateway_delay(ReplicaId replica, Duration delay, TimePoint now);
+
+  /// Snapshot one replica for the model. Throws if untracked.
+  [[nodiscard]] ReplicaObservation observe(ReplicaId replica,
+                                           const std::string& method = kDefaultMethod) const;
+
+  /// Snapshot every tracked replica, in replica-id order.
+  [[nodiscard]] std::vector<ReplicaObservation> observe_all(
+      const std::string& method = kDefaultMethod) const;
+
+  /// True until the first perf sample for any replica arrives; the
+  /// handler selects ALL replicas on a cold repository (§5.4.1).
+  [[nodiscard]] bool cold(const std::string& method = kDefaultMethod) const;
+
+  [[nodiscard]] std::size_t window_size() const { return config_.window_size; }
+
+ private:
+  struct MethodHistory {
+    stats::SlidingWindow<Duration> service;
+    stats::SlidingWindow<Duration> queuing;
+    explicit MethodHistory(std::size_t l) : service(l), queuing(l) {}
+  };
+
+  struct Record {
+    std::map<std::string, MethodHistory> methods;
+    Duration gateway_delay{};
+    bool gateway_delay_known = false;
+    stats::SlidingWindow<Duration> gateway_window;
+    std::int64_t queue_length = 0;
+    TimePoint last_update{};
+    explicit Record(std::size_t gateway_l) : gateway_window(gateway_l) {}
+  };
+
+  Record& record_for(ReplicaId replica);
+
+  RepositoryConfig config_;
+  std::map<ReplicaId, Record> records_;
+};
+
+}  // namespace aqua::core

@@ -1,0 +1,238 @@
+#include "core/policies.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.h"
+#include "stats/empirical_pmf.h"
+
+namespace aqua::core {
+namespace {
+
+/// Shared helper: cold-repository bootstrap — pick everything.
+bool cold_start_all(std::span<const ReplicaObservation> observations, SelectionResult& result) {
+  const bool cold = std::none_of(observations.begin(), observations.end(),
+                                 [](const ReplicaObservation& o) { return o.has_data(); });
+  if (!cold) return false;
+  result.cold_start = true;
+  for (const ReplicaObservation& obs : observations) result.selected.push_back(obs.id);
+  return true;
+}
+
+class DynamicPolicy final : public SelectionPolicy {
+ public:
+  DynamicPolicy(SelectionConfig config, ModelConfig model)
+      : selector_(config, ResponseTimeModel{model}) {}
+
+  SelectionResult select(std::span<const ReplicaObservation> observations, const QosSpec& qos,
+                         Duration overhead_delta, Rng&) override {
+    return selector_.select(observations, qos, overhead_delta);
+  }
+
+  std::string name() const override { return "dynamic"; }
+
+ private:
+  ReplicaSelector selector_;
+};
+
+class FastestMeanPolicy final : public SelectionPolicy {
+ public:
+  SelectionResult select(std::span<const ReplicaObservation> observations, const QosSpec& qos,
+                         Duration, Rng&) override {
+    AQUA_REQUIRE(!observations.empty(), "selection requires at least one replica");
+    qos.validate();
+    SelectionResult result;
+    if (cold_start_all(observations, result)) return result;
+    double best = std::numeric_limits<double>::infinity();
+    ReplicaId best_id;
+    for (const ReplicaObservation& obs : observations) {
+      if (!obs.has_data()) continue;
+      const double mean_us =
+          stats::EmpiricalPmf::from_samples(obs.service_samples).mean_us() +
+          stats::EmpiricalPmf::from_samples(obs.queuing_samples).mean_us() +
+          static_cast<double>(count_us(obs.gateway_delay));
+      if (mean_us < best) {
+        best = mean_us;
+        best_id = obs.id;
+      }
+    }
+    result.selected.push_back(best_id);
+    result.feasible = true;
+    return result;
+  }
+
+  std::string name() const override { return "fastest-mean"; }
+};
+
+class BestProbabilityPolicy final : public SelectionPolicy {
+ public:
+  explicit BestProbabilityPolicy(ModelConfig model) : model_(model) {}
+
+  SelectionResult select(std::span<const ReplicaObservation> observations, const QosSpec& qos,
+                         Duration overhead_delta, Rng&) override {
+    AQUA_REQUIRE(!observations.empty(), "selection requires at least one replica");
+    qos.validate();
+    SelectionResult result;
+    if (cold_start_all(observations, result)) return result;
+    Duration deadline = qos.deadline - overhead_delta;
+    double best = -1.0;
+    ReplicaId best_id;
+    for (const ReplicaObservation& obs : observations) {
+      if (!obs.has_data()) continue;
+      const double p = model_.probability_by(obs, deadline);
+      result.ranked.push_back({obs.id, p, true});
+      if (p > best) {
+        best = p;
+        best_id = obs.id;
+      }
+    }
+    result.selected.push_back(best_id);
+    result.predicted_probability = best;
+    result.feasible = best >= qos.min_probability;
+    return result;
+  }
+
+  std::string name() const override { return "best-probability"; }
+
+ private:
+  ResponseTimeModel model_;
+};
+
+class RandomPolicy final : public SelectionPolicy {
+ public:
+  explicit RandomPolicy(std::size_t k) : k_(k) {}
+
+  SelectionResult select(std::span<const ReplicaObservation> observations, const QosSpec& qos,
+                         Duration, Rng& rng) override {
+    AQUA_REQUIRE(!observations.empty(), "selection requires at least one replica");
+    qos.validate();
+    SelectionResult result;
+    if (cold_start_all(observations, result)) return result;
+    std::vector<std::size_t> indices(observations.size());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    std::shuffle(indices.begin(), indices.end(), rng);
+    const std::size_t take = std::min(k_, indices.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      result.selected.push_back(observations[indices[i]].id);
+    }
+    result.feasible = true;
+    return result;
+  }
+
+  std::string name() const override { return "random-" + std::to_string(k_); }
+
+ private:
+  std::size_t k_;
+};
+
+class RoundRobinPolicy final : public SelectionPolicy {
+ public:
+  explicit RoundRobinPolicy(std::size_t k) : k_(k) {}
+
+  SelectionResult select(std::span<const ReplicaObservation> observations, const QosSpec& qos,
+                         Duration, Rng&) override {
+    AQUA_REQUIRE(!observations.empty(), "selection requires at least one replica");
+    qos.validate();
+    SelectionResult result;
+    if (cold_start_all(observations, result)) return result;
+    const std::size_t n = observations.size();
+    const std::size_t take = std::min(k_, n);
+    for (std::size_t i = 0; i < take; ++i) {
+      result.selected.push_back(observations[(cursor_ + i) % n].id);
+    }
+    cursor_ = (cursor_ + take) % n;
+    result.feasible = true;
+    return result;
+  }
+
+  std::string name() const override { return "round-robin-" + std::to_string(k_); }
+
+ private:
+  std::size_t k_;
+  std::size_t cursor_ = 0;
+};
+
+class AllReplicasPolicy final : public SelectionPolicy {
+ public:
+  SelectionResult select(std::span<const ReplicaObservation> observations, const QosSpec& qos,
+                         Duration, Rng&) override {
+    AQUA_REQUIRE(!observations.empty(), "selection requires at least one replica");
+    qos.validate();
+    SelectionResult result;
+    for (const ReplicaObservation& obs : observations) result.selected.push_back(obs.id);
+    result.feasible = true;
+    return result;
+  }
+
+  std::string name() const override { return "all-replicas"; }
+};
+
+class StaticKPolicy final : public SelectionPolicy {
+ public:
+  StaticKPolicy(std::size_t k, ModelConfig model) : k_(k), model_(model) {}
+
+  SelectionResult select(std::span<const ReplicaObservation> observations, const QosSpec& qos,
+                         Duration overhead_delta, Rng&) override {
+    AQUA_REQUIRE(!observations.empty(), "selection requires at least one replica");
+    qos.validate();
+    SelectionResult result;
+    if (cold_start_all(observations, result)) return result;
+    const Duration deadline = qos.deadline - overhead_delta;
+    for (const ReplicaObservation& obs : observations) {
+      result.ranked.push_back(
+          {obs.id, obs.has_data() ? model_.probability_by(obs, deadline) : 0.0, obs.has_data()});
+    }
+    std::sort(result.ranked.begin(), result.ranked.end(),
+              [](const RankedReplica& a, const RankedReplica& b) {
+                if (a.probability != b.probability) return a.probability > b.probability;
+                return a.id < b.id;
+              });
+    const std::size_t take = std::min(k_, result.ranked.size());
+    double prod = 1.0;
+    for (std::size_t i = 0; i < take; ++i) {
+      result.selected.push_back(result.ranked[i].id);
+      prod *= 1.0 - result.ranked[i].probability;
+    }
+    result.predicted_probability = 1.0 - prod;
+    result.feasible = result.predicted_probability >= qos.min_probability;
+    return result;
+  }
+
+  std::string name() const override { return "static-" + std::to_string(k_); }
+
+ private:
+  std::size_t k_;
+  ResponseTimeModel model_;
+};
+
+}  // namespace
+
+PolicyPtr make_dynamic_policy(SelectionConfig config, ModelConfig model) {
+  return std::make_unique<DynamicPolicy>(config, model);
+}
+
+PolicyPtr make_fastest_mean_policy() { return std::make_unique<FastestMeanPolicy>(); }
+
+PolicyPtr make_best_probability_policy(ModelConfig model) {
+  return std::make_unique<BestProbabilityPolicy>(model);
+}
+
+PolicyPtr make_random_policy(std::size_t k) {
+  AQUA_REQUIRE(k >= 1, "random policy needs k >= 1");
+  return std::make_unique<RandomPolicy>(k);
+}
+
+PolicyPtr make_round_robin_policy(std::size_t k) {
+  AQUA_REQUIRE(k >= 1, "round-robin policy needs k >= 1");
+  return std::make_unique<RoundRobinPolicy>(k);
+}
+
+PolicyPtr make_all_replicas_policy() { return std::make_unique<AllReplicasPolicy>(); }
+
+PolicyPtr make_static_k_policy(std::size_t k, ModelConfig model) {
+  AQUA_REQUIRE(k >= 1, "static policy needs k >= 1");
+  return std::make_unique<StaticKPolicy>(k, model);
+}
+
+}  // namespace aqua::core

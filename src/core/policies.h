@@ -1,0 +1,59 @@
+// Selection policies: the paper's dynamic algorithm plus the baseline
+// schemes it is motivated against (§1, §7).
+//
+// The related single-replica schemes (nearest replica, best historical
+// mean, probing) "assign a single replica to each client and do not
+// consider the case in which a replica may fail while servicing a
+// request". These baselines let the benches quantify the gap: failure
+// probability and replica cost under identical workloads.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/rng.h"
+#include "core/selection.h"
+
+namespace aqua::core {
+
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  /// Choose the replicas for one request. Stateless policies ignore
+  /// `rng`; randomised ones (random-k) consume it.
+  [[nodiscard]] virtual SelectionResult select(std::span<const ReplicaObservation> observations,
+                                               const QosSpec& qos, Duration overhead_delta,
+                                               Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using PolicyPtr = std::unique_ptr<SelectionPolicy>;
+
+/// The paper's Algorithm 1 (with configuration).
+PolicyPtr make_dynamic_policy(SelectionConfig config = {}, ModelConfig model = {});
+
+/// Single replica with the lowest estimated mean response time
+/// (mean(S) + mean(W) + T) — the "best historical average" baseline [19].
+PolicyPtr make_fastest_mean_policy();
+
+/// Single replica with the highest F_Ri(t) but no redundancy — an
+/// oracle-ish probabilistic baseline that still cannot survive a crash.
+PolicyPtr make_best_probability_policy(ModelConfig model = {});
+
+/// k replicas drawn uniformly at random without replacement.
+PolicyPtr make_random_policy(std::size_t k);
+
+/// k replicas in a fixed rotation (load-balancing baseline).
+PolicyPtr make_round_robin_policy(std::size_t k);
+
+/// Every available replica (maximum fault tolerance, zero scalability).
+PolicyPtr make_all_replicas_policy();
+
+/// The k replicas with the highest F_Ri(t) regardless of the client's
+/// probability request (static redundancy baseline).
+PolicyPtr make_static_k_policy(std::size_t k, ModelConfig model = {});
+
+}  // namespace aqua::core

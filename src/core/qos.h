@@ -1,0 +1,37 @@
+// Client quality-of-service specification.
+//
+// §4: "This specification includes the name of a service, the time by
+// which the client wants to receive a response after it transmits its
+// request to this service, and the minimum probability with which it
+// wants this time constraint to be met."
+#pragma once
+
+#include <string>
+
+#include "common/assert.h"
+#include "common/time.h"
+
+namespace aqua::core {
+
+struct QosSpec {
+  /// t: the client's response deadline, measured from request
+  /// interception (t0) to first-reply delivery (t4).
+  Duration deadline = msec(200);
+
+  /// P_c(t): minimum probability with which the deadline must be met.
+  /// 0 means the client tolerates any number of timing failures.
+  double min_probability = 0.0;
+
+  void validate() const {
+    AQUA_REQUIRE(deadline > Duration::zero(), "QoS deadline must be positive");
+    AQUA_REQUIRE(min_probability >= 0.0 && min_probability <= 1.0,
+                 "QoS probability must be in [0, 1]");
+  }
+
+  friend bool operator==(const QosSpec&, const QosSpec&) = default;
+};
+
+/// The method interface name used by single-interface deployments.
+inline const std::string kDefaultMethod = "invoke";
+
+}  // namespace aqua::core

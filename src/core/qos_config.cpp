@@ -1,0 +1,114 @@
+#include "core/qos_config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.h"
+
+namespace aqua::core {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("qos config line " + std::to_string(line) + ": " + what);
+}
+
+double parse_number(const std::string& value, std::size_t line) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) fail(line, "trailing characters after number '" + value + "'");
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    fail(line, "expected a number, got '" + value + "'");
+  } catch (const std::out_of_range&) {
+    fail(line, "number out of range: '" + value + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<QosFileEntry> parse_qos_config(std::istream& in) {
+  std::vector<QosFileEntry> entries;
+  bool have_deadline = false;
+  bool have_probability = false;
+  std::string raw;
+  std::size_t line_no = 0;
+
+  const auto finish_entry = [&](std::size_t line) {
+    if (entries.empty()) return;
+    if (!have_deadline) fail(line, "service '" + entries.back().service + "' has no deadline_ms");
+    if (!have_probability) {
+      fail(line, "service '" + entries.back().service + "' has no min_probability");
+    }
+    entries.back().qos.validate();
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string text = raw;
+    if (const auto hash = text.find('#'); hash != std::string::npos) text.resize(hash);
+    text = trim(text);
+    if (text.empty()) continue;
+
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected 'key = value', got '" + text + "'");
+    const std::string key = trim(text.substr(0, eq));
+    const std::string value = trim(text.substr(eq + 1));
+    if (key.empty()) fail(line_no, "empty key");
+    if (value.empty()) fail(line_no, "empty value for '" + key + "'");
+
+    if (key == "service") {
+      finish_entry(line_no);
+      entries.push_back(QosFileEntry{value, kDefaultMethod, QosSpec{}});
+      have_deadline = false;
+      have_probability = false;
+      continue;
+    }
+    if (entries.empty()) fail(line_no, "'" + key + "' before any 'service = ...' line");
+    QosFileEntry& entry = entries.back();
+    if (key == "deadline_ms") {
+      const double ms = parse_number(value, line_no);
+      if (ms <= 0) fail(line_no, "deadline_ms must be positive");
+      entry.qos.deadline = Duration{static_cast<std::int64_t>(ms * 1000.0)};
+      have_deadline = true;
+    } else if (key == "min_probability") {
+      const double p = parse_number(value, line_no);
+      if (p < 0.0 || p > 1.0) fail(line_no, "min_probability must be in [0, 1]");
+      entry.qos.min_probability = p;
+      have_probability = true;
+    } else if (key == "method") {
+      entry.method = value;
+    } else {
+      fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+  finish_entry(line_no);
+  if (entries.empty()) {
+    throw std::invalid_argument("qos config: no 'service = ...' entries found");
+  }
+  return entries;
+}
+
+std::vector<QosFileEntry> parse_qos_config(const std::string& text) {
+  std::istringstream in(text);
+  return parse_qos_config(in);
+}
+
+const QosFileEntry& find_service(const std::vector<QosFileEntry>& entries,
+                                 const std::string& service) {
+  const auto it = std::find_if(entries.begin(), entries.end(),
+                               [&](const QosFileEntry& e) { return e.service == service; });
+  AQUA_REQUIRE(it != entries.end(), "no QoS entry for service '" + service + "'");
+  return *it;
+}
+
+}  // namespace aqua::core

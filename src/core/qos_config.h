@@ -1,0 +1,47 @@
+// QoS specification files (§5.4).
+//
+// "A client may either negotiate its QoS requirements at runtime or
+// specify them in a configuration file, which is read by the timing
+// fault handler when it is loaded in the client gateway."
+//
+// Format: one `key = value` pair per line; '#' starts a comment; blank
+// lines ignored. Keys:
+//
+//   service           = <name>            (required)
+//   deadline_ms       = <positive number> (required)
+//   min_probability   = <0..1>            (required)
+//   method            = <interface name>  (optional, default "invoke")
+//
+// A file may hold several specifications, separated by `service = ...`
+// lines (each service line starts a new spec).
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "core/qos.h"
+
+namespace aqua::core {
+
+struct QosFileEntry {
+  std::string service;
+  std::string method = kDefaultMethod;
+  QosSpec qos;
+
+  friend bool operator==(const QosFileEntry&, const QosFileEntry&) = default;
+};
+
+/// Parse a QoS configuration stream. Throws std::invalid_argument with a
+/// line-numbered message on malformed input; the returned entries are
+/// validated (positive deadline, probability in [0, 1]).
+std::vector<QosFileEntry> parse_qos_config(std::istream& in);
+
+/// Convenience: parse from a string.
+std::vector<QosFileEntry> parse_qos_config(const std::string& text);
+
+/// Find the entry for `service` (first match); throws if absent.
+const QosFileEntry& find_service(const std::vector<QosFileEntry>& entries,
+                                 const std::string& service);
+
+}  // namespace aqua::core

@@ -1,0 +1,48 @@
+// Snapshot of one replica's recorded performance history.
+//
+// This is the read-model the scheduler consumes: the contents of the
+// gateway information repository for one replica at selection time
+// (§5.2): the two sliding windows, the most recent two-way
+// gateway-to-gateway delay, and the current queue length.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace aqua::core {
+
+struct ReplicaObservation {
+  ReplicaId id;
+
+  /// Service times (t_s) of the most recent l requests, oldest first.
+  std::vector<Duration> service_samples;
+
+  /// Queuing delays (t_q) of the most recent l requests, oldest first.
+  std::vector<Duration> queuing_samples;
+
+  /// Most recently measured two-way gateway-to-gateway delay (T_i).
+  Duration gateway_delay{};
+
+  /// Recent T_i measurements, oldest first (§5.3.1's suggested extension:
+  /// "it would be simple to extend our approach to record the value of
+  /// the gateway-to-gateway delay over a sliding window"). Used only when
+  /// ModelConfig::windowed_gateway_delay is set.
+  std::vector<Duration> gateway_samples;
+
+  /// Replica queue length from the latest performance update.
+  std::int64_t queue_length = 0;
+
+  /// When the repository last recorded anything for this replica.
+  TimePoint last_update{};
+
+  /// A replica is usable by the model once both windows have content and
+  /// a gateway delay has been measured.
+  [[nodiscard]] bool has_data() const {
+    return !service_samples.empty() && !queuing_samples.empty();
+  }
+};
+
+}  // namespace aqua::core

@@ -1,0 +1,42 @@
+#include "core/response_time_model.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace aqua::core {
+
+ResponseTimeModel::ResponseTimeModel(ModelConfig config) : config_(config) {
+  AQUA_REQUIRE(config_.bin_width >= Duration::zero(), "bin width must be non-negative");
+}
+
+stats::EmpiricalPmf ResponseTimeModel::response_pmf(const ReplicaObservation& obs) const {
+  if (!obs.has_data()) return {};
+  stats::EmpiricalPmf service = stats::EmpiricalPmf::from_samples(obs.service_samples);
+  stats::EmpiricalPmf queuing = stats::EmpiricalPmf::from_samples(obs.queuing_samples);
+  if (config_.bin_width > Duration::zero()) {
+    service = service.binned(config_.bin_width);
+    queuing = queuing.binned(config_.bin_width);
+  }
+  stats::EmpiricalPmf response = convolve(service, queuing);
+
+  Duration extra_shift = Duration::zero();
+  if (config_.queue_backlog_shift && obs.queue_length > 0) {
+    extra_shift += Duration{static_cast<std::int64_t>(
+        std::llround(service.mean_us() * static_cast<double>(obs.queue_length)))};
+  }
+
+  if (config_.windowed_gateway_delay && !obs.gateway_samples.empty()) {
+    stats::EmpiricalPmf gateway = stats::EmpiricalPmf::from_samples(obs.gateway_samples);
+    if (config_.bin_width > Duration::zero()) gateway = gateway.binned(config_.bin_width);
+    return convolve(response, gateway).shifted(extra_shift);
+  }
+  return response.shifted(obs.gateway_delay + extra_shift);
+}
+
+double ResponseTimeModel::probability_by(const ReplicaObservation& obs, Duration deadline) const {
+  if (deadline <= Duration::zero()) return 0.0;
+  return response_pmf(obs).cdf_at(deadline);
+}
+
+}  // namespace aqua::core

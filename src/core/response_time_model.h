@@ -1,0 +1,56 @@
+// Online response-time model (§5.3.1).
+//
+// R_i = S_i + W_i + T_i: the pmf of a replica's response time is the
+// discrete convolution of the empirical pmfs of its service time and
+// queuing delay, shifted by the most recently measured two-way
+// gateway-to-gateway delay (modelled as deterministic, as the paper does
+// for a LAN whose traffic "does not frequently fluctuate").
+//
+// F_Ri(t) — the probability the replica responds within t — is the value
+// Algorithm 1 consumes.
+#pragma once
+
+#include "common/time.h"
+#include "core/replica_stats.h"
+#include "stats/empirical_pmf.h"
+
+namespace aqua::core {
+
+struct ModelConfig {
+  /// Bin width for pmf compaction before convolution; zero keeps the
+  /// exact relative-frequency atoms (the paper's formulation). Binning
+  /// bounds convolution cost for large windows at a small accuracy cost
+  /// (ablation: bench/ablation_model_binning).
+  Duration bin_width = Duration::zero();
+
+  /// Extension (not in the paper's model, which stores the live queue
+  /// length but only uses the windowed W pmf): when true, shift the
+  /// response pmf by queue_length x mean(S) to account for backlog that
+  /// built up after the recorded window.
+  bool queue_backlog_shift = false;
+
+  /// §5.3.1's suggested extension for LANs with fluctuating traffic:
+  /// treat T_i as a random variable with the empirical pmf of the
+  /// gateway-delay window instead of a constant at its latest value.
+  bool windowed_gateway_delay = false;
+};
+
+class ResponseTimeModel {
+ public:
+  explicit ResponseTimeModel(ModelConfig config = {});
+
+  /// Pmf of R_i for the observation; the empty pmf when the replica has
+  /// no recorded history.
+  [[nodiscard]] stats::EmpiricalPmf response_pmf(const ReplicaObservation& obs) const;
+
+  /// F_Ri(t) = P(R_i <= t). Zero when the replica has no history or the
+  /// deadline is non-positive.
+  [[nodiscard]] double probability_by(const ReplicaObservation& obs, Duration deadline) const;
+
+  [[nodiscard]] const ModelConfig& config() const { return config_; }
+
+ private:
+  ModelConfig config_;
+};
+
+}  // namespace aqua::core

@@ -1,0 +1,123 @@
+#include "core/selection.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.h"
+
+namespace aqua::core {
+
+ReplicaSelector::ReplicaSelector(SelectionConfig config, ResponseTimeModel model)
+    : config_(config), model_(std::move(model)) {}
+
+SelectionResult ReplicaSelector::select(std::span<const ReplicaObservation> observations,
+                                        const QosSpec& qos, Duration overhead_delta) const {
+  AQUA_REQUIRE(!observations.empty(), "selection requires at least one replica");
+  qos.validate();
+  {
+    std::unordered_set<ReplicaId> seen;
+    for (const ReplicaObservation& obs : observations) {
+      AQUA_REQUIRE(seen.insert(obs.id).second, "duplicate replica in observations");
+    }
+  }
+
+  SelectionResult result;
+
+  // §5.3.3: compensate the algorithm's own overhead by selecting replicas
+  // able to respond within t - delta.
+  Duration effective_deadline = qos.deadline;
+  if (config_.overhead_compensation && overhead_delta > Duration::zero()) {
+    effective_deadline -= overhead_delta;
+  }
+
+  // Compute F_Ri(t - delta) for every replica with history.
+  result.ranked.reserve(observations.size());
+  std::vector<ReplicaId> dataless;
+  for (const ReplicaObservation& obs : observations) {
+    if (obs.has_data()) {
+      result.ranked.push_back(
+          RankedReplica{obs.id, model_.probability_by(obs, effective_deadline), true});
+    } else {
+      dataless.push_back(obs.id);
+    }
+  }
+
+  // Cold start (§5.4.1): with no history at all, select every replica so
+  // the performance updates can initialise the repository.
+  if (result.ranked.empty()) {
+    result.cold_start = true;
+    for (const ReplicaObservation& obs : observations) result.selected.push_back(obs.id);
+    return result;
+  }
+
+  // Line 3: sort in decreasing order of F_Ri; ties broken by id so that
+  // selection is deterministic.
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const RankedReplica& a, const RankedReplica& b) {
+              if (a.probability != b.probability) return a.probability > b.probability;
+              return a.id < b.id;
+            });
+
+  // Line 4 (generalised): protect the top-k replicas unconditionally.
+  const std::size_t protected_count = std::min(config_.crash_tolerance, result.ranked.size());
+
+  // Lines 6-14: grow the candidate set X from the remaining replicas
+  // until P_X(t) >= P_c(t).
+  // Tolerance for the feasibility comparison: empirical F values are sums
+  // of 1/l atoms, so an exact >= at a round P_c (e.g. 0.8 vs 8 x 0.1)
+  // would fail on floating-point dust.
+  constexpr double kFeasibilityTolerance = 1e-9;
+  double prod = 1.0;
+  std::size_t candidate_end = protected_count;  // X = ranked[protected_count, candidate_end)
+  bool feasible = false;
+  for (std::size_t i = protected_count; i < result.ranked.size(); ++i) {
+    prod *= 1.0 - result.ranked[i].probability;
+    candidate_end = i + 1;
+    if (1.0 - prod >= qos.min_probability - kFeasibilityTolerance) {
+      feasible = true;
+      break;
+    }
+  }
+
+  result.feasible = feasible;
+  result.test_probability = result.ranked.empty() ? 0.0 : 1.0 - prod;
+
+  if (feasible) {
+    // Line 11: K = X u protected set.
+    for (std::size_t i = 0; i < candidate_end; ++i) {
+      result.selected.push_back(result.ranked[i].id);
+    }
+    if (config_.include_dataless) {
+      for (ReplicaId id : dataless) result.selected.push_back(id);
+    }
+  } else if (config_.infeasible_fallback == InfeasibleFallback::kAllReplicas) {
+    // Line 15: return the complete replica set M.
+    for (const RankedReplica& r : result.ranked) result.selected.push_back(r.id);
+    for (ReplicaId id : dataless) result.selected.push_back(id);
+  } else {
+    // kMinimalSet: the spec is unreachable; take what a P_c = 0 request
+    // would get (protected members + one candidate) instead of loading
+    // every replica.
+    const std::size_t take = std::min(protected_count + 1, result.ranked.size());
+    for (std::size_t i = 0; i < take; ++i) result.selected.push_back(result.ranked[i].id);
+    if (config_.include_dataless) {
+      for (ReplicaId id : dataless) result.selected.push_back(id);
+    }
+  }
+
+  // P_K(t) over every selected replica with data.
+  double all_prod = 1.0;
+  std::size_t counted = candidate_end;
+  if (!feasible) {
+    counted = config_.infeasible_fallback == InfeasibleFallback::kAllReplicas
+                  ? result.ranked.size()
+                  : std::min(config_.crash_tolerance + 1, result.ranked.size());
+  }
+  for (std::size_t i = 0; i < counted; ++i) {
+    all_prod *= 1.0 - result.ranked[i].probability;
+  }
+  result.predicted_probability = 1.0 - all_prod;
+  return result;
+}
+
+}  // namespace aqua::core

@@ -1,0 +1,132 @@
+// Model-based dynamic replica selection (§5.3.2, Algorithm 1).
+//
+// Sort replicas by decreasing F_Ri(t); always protect the top replica m0;
+// greedily grow a candidate set X from the remainder until
+// P_X(t) = 1 - prod(1 - F_Ri(t)) >= P_c(t); the final set is K = X u {m0}.
+// Because the feasibility test excludes m0 — the member with the HIGHEST
+// success probability — Equation 3 shows K still meets the client's
+// probability if any single member crashes. If no X satisfies the bound,
+// the complete replica set M is returned (Algorithm 1, line 15).
+//
+// Generalisation beyond the paper: crash_tolerance k protects the top k
+// replicas and runs the feasibility test over the rest, tolerating k
+// simultaneous member crashes (the paper's algorithm is k = 1; §5.3.2
+// sketches exactly this extension).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "core/qos.h"
+#include "core/replica_stats.h"
+#include "core/response_time_model.h"
+
+namespace aqua::core {
+
+/// What to select when no candidate set satisfies P_X(t) >= P_c(t).
+enum class InfeasibleFallback {
+  /// Algorithm 1 line 15: "return the set comprising all the replicas".
+  /// Maximises the chance for this request, but under overload selecting
+  /// everything amplifies the very queueing that made the bound
+  /// unreachable (see bench/scalability_clients).
+  kAllReplicas,
+  /// Extension: select only the protected members plus the best
+  /// candidate (the sets Algorithm 1 would pick for P_c = 0), keeping
+  /// the load bounded when the spec is unreachable anyway.
+  kMinimalSet,
+};
+
+struct SelectionConfig {
+  /// k: number of simultaneous member crashes the selected set must
+  /// survive while still meeting the QoS. 1 reproduces Algorithm 1;
+  /// 0 disables the protection trick (plain greedy; ablation baseline).
+  std::size_t crash_tolerance = 1;
+
+  /// Behaviour when the requested probability is unreachable.
+  InfeasibleFallback infeasible_fallback = InfeasibleFallback::kAllReplicas;
+
+  /// §5.3.3: select with F_Ri(t - delta) instead of F_Ri(t), where delta
+  /// is the measured overhead of the algorithm itself.
+  bool overhead_compensation = true;
+
+  /// Append replicas that have no recorded history yet (e.g. fresh group
+  /// members) to the selected set so their windows can bootstrap. They do
+  /// not participate in the probability test.
+  bool include_dataless = true;
+};
+
+/// Per-replica diagnostic emitted with each selection.
+struct RankedReplica {
+  ReplicaId id;
+  /// F_Ri(t - delta); 0 for dataless replicas.
+  double probability = 0.0;
+  bool has_data = false;
+};
+
+struct SelectionResult {
+  /// K: replicas the request is multicast to. Protected members first,
+  /// then the candidate set in rank order, then bootstrapped dataless
+  /// members.
+  std::vector<ReplicaId> selected;
+
+  /// P_K(t): predicted probability over every selected replica with data.
+  double predicted_probability = 0.0;
+
+  /// P_X(t): the probability used in the feasibility test (excludes the
+  /// protected members).
+  double test_probability = 0.0;
+
+  /// True if the greedy loop satisfied P_X(t) >= P_c(t); false means the
+  /// whole replica set M was returned.
+  bool feasible = false;
+
+  /// True when the repository had no history at all, so every replica was
+  /// selected to bootstrap measurements (§5.4.1).
+  bool cold_start = false;
+
+  /// Replicas sorted by decreasing F_Ri(t - delta) (diagnostics).
+  std::vector<RankedReplica> ranked;
+
+  [[nodiscard]] std::size_t redundancy() const { return selected.size(); }
+};
+
+class ReplicaSelector {
+ public:
+  explicit ReplicaSelector(SelectionConfig config = {}, ResponseTimeModel model = ResponseTimeModel{});
+
+  /// Run Algorithm 1. `overhead_delta` is the most recent measurement of
+  /// the algorithm's own cost (ignored unless overhead_compensation).
+  /// Observations must be non-empty and have distinct replica ids.
+  [[nodiscard]] SelectionResult select(std::span<const ReplicaObservation> observations,
+                                       const QosSpec& qos,
+                                       Duration overhead_delta = Duration::zero()) const;
+
+  [[nodiscard]] const SelectionConfig& config() const { return config_; }
+  [[nodiscard]] const ResponseTimeModel& model() const { return model_; }
+
+ private:
+  SelectionConfig config_;
+  ResponseTimeModel model_;
+};
+
+/// Most recent measured value of the selection overhead delta (§5.3.3:
+/// "we measure this overhead, delta, each time the selection algorithm is
+/// executed, and use the most recently measured value").
+class OverheadEstimator {
+ public:
+  explicit OverheadEstimator(Duration initial = Duration::zero()) : current_(initial) {}
+
+  void record(Duration measured) {
+    if (measured >= Duration::zero()) current_ = measured;
+  }
+
+  [[nodiscard]] Duration current() const { return current_; }
+
+ private:
+  Duration current_;
+};
+
+}  // namespace aqua::core

@@ -1,0 +1,113 @@
+// Active replication handler with majority voting.
+//
+// §2: previous AQuA work "addressed the issue of tolerating crash
+// failures using the active [18] and passive [17] handlers. [16] also
+// discusses how AQuA simultaneously tolerates value faults and crash
+// failures using an active handler." This is that sibling handler,
+// rebuilt on the same substrates: every request is multicast to ALL
+// replicas, and a result is delivered once a majority of the dispatched
+// replicas agree on it — masking both crashes and value faults, at the
+// cost of waiting for the median replica instead of the fastest.
+//
+// The contrast with the TimingFaultHandler is the point of the paper's
+// design space: first-reply delivery optimises latency but trusts every
+// reply; majority voting pays latency for value-fault tolerance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "net/group.h"
+#include "net/lan.h"
+#include "proto/messages.h"
+#include "sim/simulator.h"
+
+namespace aqua::gateway {
+
+struct VotingConfig {
+  /// Interception + marshalling cost before transmission.
+  Duration interception = usec(120);
+  /// If no majority forms within this time, deliver a failure outcome.
+  Duration vote_timeout = sec(2);
+  /// Wait for the Announce burst before the first dispatch.
+  Duration discovery_settle = msec(1);
+};
+
+/// Outcome of one voted invocation.
+struct VotedReply {
+  RequestId request;
+  bool decided = false;           // a majority formed
+  std::int64_t result = 0;        // majority value (when decided)
+  std::size_t votes = 0;          // replies agreeing with the majority
+  std::size_t dissenting = 0;     // replies with a different value
+  std::size_t dispatched = 0;     // replicas the request was sent to
+  Duration response_time{};       // t_decided - t0 (or timeout)
+};
+
+class ActiveVotingHandler {
+ public:
+  using ReplyCallback = std::function<void(const VotedReply&)>;
+
+  ActiveVotingHandler(sim::Simulator& simulator, net::Lan& lan, net::MulticastGroup& group,
+                      ClientId client, HostId host, Rng rng, VotingConfig config = {});
+
+  ActiveVotingHandler(const ActiveVotingHandler&) = delete;
+  ActiveVotingHandler& operator=(const ActiveVotingHandler&) = delete;
+
+  /// Invoke on all replicas; `on_reply` fires once — when a majority of
+  /// dispatched replicas agree, or at the vote timeout.
+  RequestId invoke(std::int64_t argument, ReplyCallback on_reply,
+                   const std::string& method = "invoke");
+
+  [[nodiscard]] ClientId client() const { return client_; }
+  [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
+  [[nodiscard]] std::size_t known_replicas() const { return replica_endpoints_.size(); }
+
+  /// Decided invocations whose majority value was outvoted by dissent
+  /// (diagnostics for value-fault experiments).
+  [[nodiscard]] std::uint64_t decided() const { return decided_; }
+  [[nodiscard]] std::uint64_t undecided() const { return undecided_; }
+
+ private:
+  struct PendingVote {
+    TimePoint t0{};
+    std::size_t dispatched = 0;
+    std::map<std::int64_t, std::size_t> tally;  // result value -> votes
+    std::size_t replies = 0;
+    ReplyCallback on_reply;
+    bool delivered = false;
+    bool dispatched_flag = false;
+    std::int64_t argument = 0;
+    std::string method;
+    sim::EventHandle timeout;
+  };
+
+  void on_receive(EndpointId from, const net::Payload& message);
+  void handle_reply(const proto::Reply& reply);
+  void handle_announce(const proto::Announce& announce);
+  void dispatch(RequestId id, PendingVote& pending);
+  void deliver(RequestId id, PendingVote& pending, bool decided);
+
+  sim::Simulator& simulator_;
+  net::Lan& lan_;
+  net::MulticastGroup& group_;
+  ClientId client_;
+  Rng rng_;
+  VotingConfig config_;
+  EndpointId endpoint_;
+  IdGenerator<RequestId> request_ids_;
+  std::unordered_map<ReplicaId, EndpointId> replica_endpoints_;
+  std::unordered_map<EndpointId, ReplicaId> endpoint_replicas_;
+  std::unordered_map<RequestId, PendingVote> pending_;
+  sim::EventHandle parked_dispatch_;
+  std::uint64_t decided_ = 0;
+  std::uint64_t undecided_ = 0;
+};
+
+}  // namespace aqua::gateway

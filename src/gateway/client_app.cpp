@@ -1,0 +1,78 @@
+#include "gateway/client_app.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace aqua::gateway {
+
+ClientApp::ClientApp(sim::Simulator& simulator, TimingFaultHandler& handler,
+                     ClientWorkload workload, Rng rng)
+    : simulator_(simulator), handler_(handler), workload_(std::move(workload)), rng_(std::move(rng)) {
+  if (!workload_.think_time) workload_.think_time = stats::make_constant(sec(1));
+  AQUA_REQUIRE(workload_.give_up_after > Duration::zero(), "give-up timeout must be positive");
+  handler_.on_qos_violation([this](double fraction) {
+    ++violations_;
+    if (violation_observer_) violation_observer_(fraction);
+  });
+}
+
+void ClientApp::start() {
+  simulator_.schedule_after(workload_.start_delay, [this] { issue_next(); });
+}
+
+bool ClientApp::done() const {
+  return workload_.total_requests != 0 && issued_ >= workload_.total_requests && !waiting_;
+}
+
+void ClientApp::issue_next() {
+  if (workload_.total_requests != 0 && issued_ >= workload_.total_requests) return;
+  ++issued_;
+  waiting_ = true;
+  const RequestId id = handler_.invoke(
+      static_cast<std::int64_t>(issued_),
+      [this](const ReplyInfo& info) { on_reply(info.request, info); }, workload_.method);
+  current_ = id;
+  give_up_timer_ = simulator_.schedule_after(workload_.give_up_after, [this, id] {
+    if (!waiting_ || current_ != id) return;
+    waiting_ = false;
+    ++abandoned_;
+    AQUA_LOG_DEBUG << "client " << handler_.client().value() << ": abandoning request "
+                   << id.value();
+    issue_next();
+  });
+}
+
+void ClientApp::on_reply(RequestId id, const ReplyInfo&) {
+  if (!waiting_ || current_ != id) return;  // reply for an abandoned request
+  waiting_ = false;
+  ++answered_;
+  give_up_timer_.cancel();
+  const Duration think = workload_.think_time->sample(rng_);
+  simulator_.schedule_after(think, [this] { issue_next(); });
+}
+
+trace::ClientRunReport ClientApp::report() const {
+  trace::ClientRunReport report;
+  report.label = "client-" + std::to_string(handler_.client().value());
+  report.qos_violation_callbacks = violations_;
+  const TimePoint now = simulator_.now();
+  for (const RequestRecord& record : handler_.history()) {
+    if (record.probe) continue;  // handler-initiated staleness probes
+    const bool decided =
+        record.response_time.has_value() || now >= record.intercepted_at + record.qos.deadline;
+    if (!decided) continue;
+    ++report.requests;
+    if (record.response_time.has_value()) {
+      ++report.answered;
+      report.response_times_ms.add(to_ms(*record.response_time));
+    }
+    if (!record.timely) ++report.timing_failures;
+    if (record.cold_start) ++report.cold_starts;
+    if (!record.feasible && !record.cold_start) ++report.infeasible_selections;
+    if (record.redispatched) ++report.redispatches;
+    report.redundancy.add(static_cast<double>(record.redundancy));
+  }
+  return report;
+}
+
+}  // namespace aqua::gateway

@@ -1,0 +1,88 @@
+// Client application driving a timing fault handler.
+//
+// Reproduces the paper's workload shape (§6): issue a request, wait for
+// the response, think (the paper uses a constant one-second delay), issue
+// the next — for a fixed number of requests per run. A give-up timer
+// keeps the client live if every selected replica crashed and no reply
+// will ever arrive.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "gateway/timing_fault_handler.h"
+#include "stats/variates.h"
+#include "trace/report.h"
+
+namespace aqua::gateway {
+
+struct ClientWorkload {
+  /// Requests to issue; 0 = keep issuing until the simulation ends.
+  std::size_t total_requests = 50;
+
+  /// Delay between receiving a response and issuing the next request.
+  /// Defaults to the paper's constant 1 second.
+  stats::SamplerPtr think_time;
+
+  /// If no reply arrives within this time, abandon the request and move
+  /// on (the outcome was already recorded as a timing failure).
+  Duration give_up_after = sec(5);
+
+  /// Issue the first request after this offset (staggers clients).
+  Duration start_delay = Duration::zero();
+
+  /// Method interface invoked (multi-interface extension); statistics in
+  /// the repository are kept per method.
+  std::string method = core::kDefaultMethod;
+};
+
+class ClientApp {
+ public:
+  ClientApp(sim::Simulator& simulator, TimingFaultHandler& handler, ClientWorkload workload,
+            Rng rng);
+
+  ClientApp(const ClientApp&) = delete;
+  ClientApp& operator=(const ClientApp&) = delete;
+
+  /// Begin issuing requests (schedules the first at start_delay).
+  void start();
+
+  [[nodiscard]] bool done() const;
+  [[nodiscard]] std::size_t issued() const { return issued_; }
+  [[nodiscard]] std::size_t answered() const { return answered_; }
+  [[nodiscard]] std::size_t abandoned() const { return abandoned_; }
+  [[nodiscard]] std::size_t qos_violations() const { return violations_; }
+
+  [[nodiscard]] TimingFaultHandler& handler() { return handler_; }
+  [[nodiscard]] const TimingFaultHandler& handler() const { return handler_; }
+
+  /// Additional QoS-violation observer (the app itself always counts).
+  void on_qos_violation(std::function<void(double)> fn) { violation_observer_ = std::move(fn); }
+
+  /// Aggregate this client's run; decided outcomes only (requests whose
+  /// deadline has not yet passed at `now` are excluded from the failure
+  /// count).
+  [[nodiscard]] trace::ClientRunReport report() const;
+
+ private:
+  void issue_next();
+  void on_reply(RequestId id, const ReplyInfo& info);
+
+  sim::Simulator& simulator_;
+  TimingFaultHandler& handler_;
+  ClientWorkload workload_;
+  Rng rng_;
+
+  std::size_t issued_ = 0;
+  std::size_t answered_ = 0;
+  std::size_t abandoned_ = 0;
+  std::size_t violations_ = 0;
+  bool waiting_ = false;
+  RequestId current_{};
+  sim::EventHandle give_up_timer_;
+  std::function<void(double)> violation_observer_;
+};
+
+}  // namespace aqua::gateway

@@ -1,0 +1,70 @@
+// Client gateway facade: one gateway process, one timing fault handler
+// per service (§2/§5.2: "An AQuA client uses different gateway handlers
+// to communicate with different server groups ... a client that is
+// communicating with multiple servers would have multiple handlers
+// loaded in its gateway").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "gateway/timing_fault_handler.h"
+#include "net/group.h"
+#include "net/lan.h"
+#include "sim/simulator.h"
+
+namespace aqua::gateway {
+
+class ClientGateway {
+ public:
+  /// A gateway for the client process on `host`. Handlers are loaded on
+  /// demand per service.
+  ClientGateway(sim::Simulator& simulator, net::Lan& lan, ClientId client, HostId host,
+                Rng rng)
+      : simulator_(simulator), lan_(lan), client_(client), host_(host), rng_(std::move(rng)) {}
+
+  ClientGateway(const ClientGateway&) = delete;
+  ClientGateway& operator=(const ClientGateway&) = delete;
+
+  /// Load (or fetch) the handler for `service_group`, keyed by `name`.
+  /// The QoS/config of an already-loaded handler are not altered; use
+  /// handler(name).set_qos() to renegotiate.
+  TimingFaultHandler& load_handler(const std::string& name, net::MulticastGroup& service_group,
+                                   core::QosSpec qos, HandlerConfig config = {},
+                                   core::PolicyPtr policy = nullptr) {
+    auto it = handlers_.find(name);
+    if (it == handlers_.end()) {
+      it = handlers_
+               .emplace(name, std::make_unique<TimingFaultHandler>(
+                                  simulator_, lan_, service_group, client_, host_, qos,
+                                  rng_.fork(name), std::move(config), std::move(policy)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// Handler previously loaded for `name`; throws if absent.
+  [[nodiscard]] TimingFaultHandler& handler(const std::string& name) {
+    auto it = handlers_.find(name);
+    AQUA_REQUIRE(it != handlers_.end(), "no handler loaded for service '" + name + "'");
+    return *it->second;
+  }
+
+  [[nodiscard]] bool has_handler(const std::string& name) const {
+    return handlers_.contains(name);
+  }
+  [[nodiscard]] std::size_t handler_count() const { return handlers_.size(); }
+  [[nodiscard]] ClientId client() const { return client_; }
+  [[nodiscard]] HostId host() const { return host_; }
+
+ private:
+  sim::Simulator& simulator_;
+  net::Lan& lan_;
+  ClientId client_;
+  HostId host_;
+  Rng rng_;
+  std::map<std::string, std::unique_ptr<TimingFaultHandler>> handlers_;
+};
+
+}  // namespace aqua::gateway

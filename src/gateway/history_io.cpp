@@ -1,0 +1,28 @@
+#include "gateway/history_io.h"
+
+#include "trace/csv.h"
+
+namespace aqua::gateway {
+
+std::size_t write_history_csv(std::ostream& out, std::span<const RequestRecord> history) {
+  trace::CsvWriter csv{out};
+  csv.header({"request", "t0_ms", "t1_ms", "deadline_ms", "min_probability", "redundancy",
+              "cold_start", "feasible", "predicted_probability", "redispatched", "probe",
+              "response_ms", "timely"});
+  for (const RequestRecord& r : history) {
+    csv.row({trace::CsvWriter::cell(r.request.value()),
+             trace::CsvWriter::cell(static_cast<double>(count_us(r.intercepted_at)) / 1000.0, 3),
+             trace::CsvWriter::cell(static_cast<double>(count_us(r.transmitted_at)) / 1000.0, 3),
+             trace::CsvWriter::cell(to_ms(r.qos.deadline), 3),
+             trace::CsvWriter::cell(r.qos.min_probability, 3),
+             trace::CsvWriter::cell(static_cast<std::uint64_t>(r.redundancy)),
+             r.cold_start ? "1" : "0", r.feasible ? "1" : "0",
+             trace::CsvWriter::cell(r.predicted_probability, 4), r.redispatched ? "1" : "0",
+             r.probe ? "1" : "0",
+             r.response_time ? trace::CsvWriter::cell(to_ms(*r.response_time), 3) : "",
+             r.timely ? "1" : "0"});
+  }
+  return csv.rows_written();
+}
+
+}  // namespace aqua::gateway

@@ -1,0 +1,15 @@
+// Export a handler's per-request log as CSV (raw experiment data).
+#pragma once
+
+#include <ostream>
+#include <span>
+
+#include "gateway/timing_fault_handler.h"
+
+namespace aqua::gateway {
+
+/// One row per request: timestamps, QoS, selection diagnostics, outcome.
+/// Returns the number of rows written.
+std::size_t write_history_csv(std::ostream& out, std::span<const RequestRecord> history);
+
+}  // namespace aqua::gateway

@@ -1,0 +1,98 @@
+// Passive replication handler (§2, [17]).
+//
+// AQuA's passive handler sends each request to a single PRIMARY replica;
+// backups exist only to take over after a crash. For the stateless
+// services this paper targets, failover is pure re-direction: when the
+// membership view excludes the primary, the handler promotes the next
+// known replica and re-sends whatever was in flight. Compared with the
+// timing fault handler, the passive scheme has minimal load (one replica
+// per request) but every primary crash costs at least one
+// failure-detection interval of outage — the gap Algorithm 1's
+// redundancy closes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "net/group.h"
+#include "net/lan.h"
+#include "proto/messages.h"
+#include "sim/simulator.h"
+
+namespace aqua::gateway {
+
+struct PassiveConfig {
+  /// Interception + marshalling cost before transmission.
+  Duration interception = usec(120);
+  /// Wait for the Announce burst before the first dispatch.
+  Duration discovery_settle = msec(1);
+};
+
+/// Outcome of one passive invocation.
+struct PassiveReply {
+  RequestId request;
+  ReplicaId primary;              // the replica that answered
+  std::int64_t result = 0;
+  Duration response_time{};
+  std::size_t failovers = 0;      // primary promotions while in flight
+};
+
+class PassiveReplicationHandler {
+ public:
+  using ReplyCallback = std::function<void(const PassiveReply&)>;
+
+  PassiveReplicationHandler(sim::Simulator& simulator, net::Lan& lan, net::MulticastGroup& group,
+                            ClientId client, HostId host, PassiveConfig config = {});
+
+  PassiveReplicationHandler(const PassiveReplicationHandler&) = delete;
+  PassiveReplicationHandler& operator=(const PassiveReplicationHandler&) = delete;
+
+  /// Send to the current primary; `on_reply` fires when it (or a promoted
+  /// successor) answers. No give-up: with every replica dead the request
+  /// stays pending until a replica appears.
+  RequestId invoke(std::int64_t argument, ReplyCallback on_reply,
+                   const std::string& method = "invoke");
+
+  /// Current primary (lowest-id known replica), if any.
+  [[nodiscard]] std::optional<ReplicaId> primary() const;
+  [[nodiscard]] std::size_t known_replicas() const { return replica_endpoints_.size(); }
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  [[nodiscard]] ClientId client() const { return client_; }
+
+ private:
+  struct PendingRequest {
+    TimePoint t0{};
+    std::int64_t argument = 0;
+    std::string method;
+    ReplyCallback on_reply;
+    bool sent = false;
+    std::optional<ReplicaId> sent_to;
+    std::size_t failovers = 0;
+  };
+
+  void on_receive(EndpointId from, const net::Payload& message);
+  void handle_reply(const proto::Reply& reply);
+  void handle_announce(const proto::Announce& announce);
+  void on_view_change(std::span<const EndpointId> departed);
+  void send_to_primary(RequestId id, PendingRequest& pending);
+
+  sim::Simulator& simulator_;
+  net::Lan& lan_;
+  net::MulticastGroup& group_;
+  ClientId client_;
+  PassiveConfig config_;
+  EndpointId endpoint_;
+  IdGenerator<RequestId> request_ids_;
+  std::map<ReplicaId, EndpointId> replica_endpoints_;  // ordered: primary = begin()
+  std::unordered_map<EndpointId, ReplicaId> endpoint_replicas_;
+  std::unordered_map<RequestId, PendingRequest> pending_;
+  sim::EventHandle parked_dispatch_;
+  std::uint64_t failovers_ = 0;
+};
+
+}  // namespace aqua::gateway

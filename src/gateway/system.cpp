@@ -1,0 +1,127 @@
+#include "gateway/system.h"
+
+#include "common/assert.h"
+
+namespace aqua::gateway {
+
+AquaSystem::AquaSystem(SystemConfig config)
+    : config_(config), root_rng_(config.seed) {
+  lan_ = std::make_unique<net::Lan>(simulator_, root_rng_.fork("lan"), config_.lan);
+}
+
+net::MulticastGroup& AquaSystem::service(const std::string& name) {
+  auto it = services_.find(name);
+  if (it == services_.end()) {
+    it = services_
+             .emplace(name, std::make_unique<net::MulticastGroup>(
+                                simulator_, *lan_, group_ids_.next(), config_.group))
+             .first;
+  }
+  return *it->second;
+}
+
+replica::ReplicaServer& AquaSystem::add_replica(replica::ServiceModelPtr service_model,
+                                                replica::ReplicaConfig config) {
+  return add_replica_on(host_ids_.next(), std::move(service_model), std::move(config));
+}
+
+replica::ReplicaServer& AquaSystem::add_replica_on(HostId host,
+                                                   replica::ServiceModelPtr service_model,
+                                                   replica::ReplicaConfig config) {
+  const ReplicaId id = replica_ids_.next();
+  replicas_.push_back(std::make_unique<replica::ReplicaServer>(
+      simulator_, *lan_, service(kDefaultService), id, host, std::move(service_model),
+      root_rng_.fork("replica").fork(id.value()), std::move(config)));
+  return *replicas_.back();
+}
+
+replica::ReplicaServer& AquaSystem::add_service_replica(const std::string& service_name,
+                                                        replica::ServiceModelPtr service_model,
+                                                        replica::ReplicaConfig config) {
+  const ReplicaId id = replica_ids_.next();
+  replicas_.push_back(std::make_unique<replica::ReplicaServer>(
+      simulator_, *lan_, service(service_name), id, host_ids_.next(), std::move(service_model),
+      root_rng_.fork("replica").fork(id.value()), std::move(config)));
+  return *replicas_.back();
+}
+
+ClientApp& AquaSystem::add_client(core::QosSpec qos, ClientWorkload workload,
+                                  HandlerConfig config, core::PolicyPtr policy) {
+  return add_service_client(kDefaultService, qos, std::move(workload), std::move(config),
+                            std::move(policy));
+}
+
+ClientApp& AquaSystem::add_service_client(const std::string& service_name, core::QosSpec qos,
+                                          ClientWorkload workload, HandlerConfig config,
+                                          core::PolicyPtr policy) {
+  const ClientId id = client_ids_.next();
+  const HostId host = host_ids_.next();
+  Client client;
+  client.service = service_name;
+  client.handler = std::make_unique<TimingFaultHandler>(
+      simulator_, *lan_, service(service_name), id, host, qos,
+      root_rng_.fork("handler").fork(id.value()), std::move(config), std::move(policy));
+  client.app = std::make_unique<ClientApp>(simulator_, *client.handler, std::move(workload),
+                                           root_rng_.fork("client").fork(id.value()));
+  client.app->start();
+  clients_.push_back(std::move(client));
+  return *clients_.back().app;
+}
+
+manager::DependabilityManager& AquaSystem::enable_dependability_manager(
+    manager::ManagerConfig config, replica::ServiceModelPtr replacement_model,
+    replica::ReplicaConfig replica_config) {
+  AQUA_REQUIRE(manager_ == nullptr, "dependability manager already enabled");
+  manager_ = std::make_unique<manager::DependabilityManager>(
+      simulator_, *lan_,
+      [this, replacement_model = std::move(replacement_model),
+       replica_config = std::move(replica_config)] {
+        manager_->register_replica(add_replica(replacement_model, replica_config));
+        return true;
+      },
+      config);
+  for (const auto& replica : replicas_) manager_->register_replica(*replica);
+  return *manager_;
+}
+
+std::vector<replica::ReplicaServer*> AquaSystem::replicas() {
+  std::vector<replica::ReplicaServer*> out;
+  out.reserve(replicas_.size());
+  for (auto& r : replicas_) out.push_back(r.get());
+  return out;
+}
+
+std::vector<ClientApp*> AquaSystem::clients() {
+  std::vector<ClientApp*> out;
+  out.reserve(clients_.size());
+  for (auto& c : clients_) out.push_back(c.app.get());
+  return out;
+}
+
+bool AquaSystem::run_until_clients_done(Duration max_time, Duration poll) {
+  const TimePoint limit = simulator_.now() + max_time;
+  while (simulator_.now() < limit) {
+    bool all_done = true;
+    for (const Client& client : clients_) {
+      if (!client.app->done()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) return true;
+    simulator_.run_for(std::min(poll, limit - simulator_.now()));
+  }
+  for (const Client& client : clients_) {
+    if (!client.app->done()) return false;
+  }
+  return true;
+}
+
+std::vector<trace::ClientRunReport> AquaSystem::reports() const {
+  std::vector<trace::ClientRunReport> out;
+  out.reserve(clients_.size());
+  for (const Client& client : clients_) out.push_back(client.app->report());
+  return out;
+}
+
+}  // namespace aqua::gateway

@@ -1,0 +1,370 @@
+#include "gateway/timing_fault_handler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace aqua::gateway {
+
+Duration OverheadModel::selection_cost(std::size_t replicas, std::size_t window) const {
+  const double atoms = static_cast<double>(replicas) * static_cast<double>(window) *
+                       static_cast<double>(window);
+  const auto convolution_us = static_cast<std::int64_t>(std::llround(atoms * per_atom_ns / 1000.0));
+  return base + per_replica * static_cast<std::int64_t>(replicas) + Duration{convolution_us};
+}
+
+TimingFaultHandler::TimingFaultHandler(sim::Simulator& simulator, net::Lan& lan,
+                                       net::MulticastGroup& group, ClientId client, HostId host,
+                                       core::QosSpec qos, Rng rng, HandlerConfig config,
+                                       core::PolicyPtr policy)
+    : simulator_(simulator),
+      lan_(lan),
+      group_(group),
+      client_(client),
+      qos_(qos),
+      rng_(std::move(rng)),
+      config_(std::move(config)),
+      policy_(policy ? std::move(policy)
+                     : core::make_dynamic_policy(config_.selection, config_.model)),
+      repository_(config_.repository),
+      tracker_(config_.failure_tracker) {
+  qos_.validate();
+  endpoint_ = lan_.create_endpoint(
+      host, [this](EndpointId from, const net::Payload& m) { on_receive(from, m); });
+  group_.join(endpoint_);
+  group_.on_view_change(endpoint_, [this](const net::View& view,
+                                          std::span<const EndpointId> departed) {
+    on_view_change(view, departed);
+  });
+  // Ask the replicas already in the group for performance updates; each
+  // responds with an Announce that populates the directory.
+  group_.broadcast(endpoint_,
+                   net::Payload::make(proto::Subscribe{client_, endpoint_}, proto::kSubscribeBytes));
+  if (config_.probe_staleness > Duration::zero()) {
+    const Duration period = std::max(msec(1), config_.probe_staleness / 2);
+    probe_task_.start(simulator_, period, period, [this] { probe_stale_replicas(); });
+  }
+}
+
+void TimingFaultHandler::probe_stale_replicas() {
+  const TimePoint now = simulator_.now();
+  for (const auto& [replica, endpoint] : replica_endpoints_) {
+    if (!repository_.contains(replica)) continue;
+    const core::ReplicaObservation obs = repository_.observe(replica);
+    if (now - obs.last_update <= config_.probe_staleness) continue;
+    // Skip replicas that already have an outstanding probe or request.
+    bool outstanding = false;
+    for (const auto& [id, pending] : pending_) {
+      if (std::find(pending.awaiting.begin(), pending.awaiting.end(), replica) !=
+          pending.awaiting.end()) {
+        outstanding = true;
+        break;
+      }
+    }
+    if (!outstanding) send_probe(replica);
+  }
+}
+
+void TimingFaultHandler::send_probe(ReplicaId replica) {
+  auto eit = replica_endpoints_.find(replica);
+  if (eit == replica_endpoints_.end()) return;
+  const RequestId id = request_ids_.next();
+  const TimePoint now = simulator_.now();
+
+  history_.push_back(RequestRecord{});
+  RequestRecord& record = history_.back();
+  record.request = id;
+  record.intercepted_at = now;
+  record.transmitted_at = now;
+  record.qos = qos_;
+  record.probe = true;
+  record.redundancy = 1;
+
+  PendingRequest pending;
+  pending.record_index = history_.size() - 1;
+  pending.t0 = now;
+  pending.t1 = now;
+  pending.qos = qos_;
+  pending.is_probe = true;
+  pending.dispatched = true;
+  pending.awaiting = {replica};
+  pending_.emplace(id, std::move(pending));
+  simulator_.schedule_at(now + qos_.deadline * 10, [this, id] { pending_.erase(id); });
+
+  ++probes_sent_;
+  AQUA_LOG_DEBUG << "handler " << client_.value() << ": probing stale replica "
+                 << replica.value();
+  proto::Request request{id, client_, core::kDefaultMethod, 0};
+  const std::vector<EndpointId> target{eit->second};
+  group_.send(endpoint_, target, net::Payload::make(request, proto::kRequestBytes));
+}
+
+RequestId TimingFaultHandler::invoke(std::int64_t argument, ReplyCallback on_reply,
+                                     const std::string& method) {
+  AQUA_REQUIRE(on_reply != nullptr, "reply callback must be callable");
+  const RequestId id = request_ids_.next();
+  const TimePoint t0 = simulator_.now();
+
+  history_.push_back(RequestRecord{});
+  RequestRecord& record = history_.back();
+  record.request = id;
+  record.intercepted_at = t0;
+  record.qos = qos_;
+
+  PendingRequest pending;
+  pending.record_index = history_.size() - 1;
+  pending.t0 = t0;
+  pending.qos = qos_;
+  pending.method = method;
+  pending.argument = argument;
+  pending.on_reply = std::move(on_reply);
+
+  // §5.4.2: a timing failure occurs if no timely response arrives; the
+  // timer also covers the case where no response arrives at all (all
+  // selected replicas crashed).
+  pending.deadline_timer = simulator_.schedule_at(t0 + qos_.deadline, [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    if (!it->second.outcome_recorded) record_outcome(it->second, /*timely=*/false);
+    finish_if_complete(id);
+  });
+
+  auto [it, inserted] = pending_.emplace(id, std::move(pending));
+  AQUA_ASSERT(inserted);
+
+  // Final GC: with message loss or undetected crashes a request may never
+  // collect all its replies; reclaim its state well after the deadline.
+  simulator_.schedule_at(t0 + qos_.deadline * 10, [this, id] { pending_.erase(id); });
+
+  // The interception + marshalling stage elapses before the scheduler
+  // runs the selection.
+  simulator_.schedule_after(config_.overhead.interception, [this, id] {
+    auto pit = pending_.find(id);
+    if (pit == pending_.end()) return;
+    dispatch(id, pit->second, /*redispatch=*/false);
+  });
+  return id;
+}
+
+void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool redispatch) {
+  const auto observations = repository_.observe_all(pending.method);
+  RequestRecord& record = history_[pending.record_index];
+  if (observations.empty()) {
+    // No replicas discovered yet (the Announce handshake is still in
+    // flight). handle_announce() re-dispatches as soon as one appears; if
+    // none ever does, the deadline timer records the failure.
+    AQUA_LOG_DEBUG << "handler " << client_.value() << ": no replicas known for request "
+                   << id.value() << "; waiting for membership";
+    return;
+  }
+  pending.dispatched = true;
+
+  // §5.3.3: select with the most recently measured delta, then measure the
+  // cost of this execution for the next one.
+  const Duration delta_used = overhead_.current();
+  const core::SelectionResult selection =
+      policy_->select(observations, pending.qos, delta_used, rng_);
+  AQUA_ASSERT(!selection.selected.empty());
+
+  std::size_t with_data = 0;
+  for (const auto& obs : observations) {
+    if (obs.has_data()) ++with_data;
+  }
+  const Duration selection_cost =
+      config_.overhead.selection_cost(with_data, repository_.window_size());
+  overhead_.record(config_.overhead.interception + selection_cost);
+
+  // Repository bootstrap: replicas with no recorded history yet ride
+  // along on every request (whatever the policy chose) so their windows
+  // fill — the handler-level analogue of the paper's proposed active
+  // probes for replicas with missing/obsolete data (§8).
+  std::vector<ReplicaId> selected = selection.selected;
+  if (config_.selection.include_dataless && !selection.cold_start) {
+    for (const auto& obs : observations) {
+      if (!obs.has_data() &&
+          std::find(selected.begin(), selected.end(), obs.id) == selected.end()) {
+        selected.push_back(obs.id);
+      }
+    }
+  }
+
+  pending.awaiting = selected;
+  record.redundancy = selected.size();
+  record.cold_start = selection.cold_start;
+  record.feasible = selection.feasible;
+  record.predicted_probability = selection.predicted_probability;
+  record.redispatched = redispatch;
+
+  // The selection computation itself elapses before transmission (t1).
+  simulator_.schedule_after(selection_cost, [this, id, selected = std::move(selected)] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    PendingRequest& p = it->second;
+    std::vector<EndpointId> targets;
+    targets.reserve(selected.size());
+    for (ReplicaId replica : selected) {
+      if (auto eit = replica_endpoints_.find(replica); eit != replica_endpoints_.end()) {
+        targets.push_back(eit->second);
+      }
+    }
+    p.t1 = simulator_.now();
+    history_[p.record_index].transmitted_at = p.t1;
+    proto::Request request{id, client_, p.method, p.argument};
+    group_.send(endpoint_, targets, net::Payload::make(request, proto::kRequestBytes));
+  });
+}
+
+void TimingFaultHandler::on_receive(EndpointId, const net::Payload& message) {
+  if (const auto* reply = message.get_if<proto::Reply>()) {
+    handle_reply(*reply);
+    return;
+  }
+  if (const auto* update = message.get_if<proto::PerfUpdate>()) {
+    handle_perf_update(*update);
+    return;
+  }
+  if (const auto* announce = message.get_if<proto::Announce>()) {
+    handle_announce(*announce);
+    return;
+  }
+  // Subscribe broadcasts from sibling clients land here too; ignore them.
+}
+
+void TimingFaultHandler::handle_reply(const proto::Reply& reply) {
+  const TimePoint t4 = simulator_.now();
+  const core::PerfSample sample{reply.perf.service_time, reply.perf.queuing_delay,
+                                reply.perf.queue_length};
+  // Every reply, first or redundant, refreshes the repository (§5.4.1).
+  if (replica_endpoints_.contains(reply.replica)) {
+    repository_.record_perf(reply.replica, sample, t4, reply.method);
+  }
+
+  auto it = pending_.find(reply.request);
+  if (it == pending_.end()) return;  // very late reply; history window moved on
+  PendingRequest& pending = it->second;
+
+  // t_d = t4 - t1 - t_q - t_s: the two-way gateway-to-gateway delay.
+  if (replica_endpoints_.contains(reply.replica)) {
+    const Duration td =
+        t4 - pending.t1 - reply.perf.queuing_delay - reply.perf.service_time;
+    repository_.record_gateway_delay(reply.replica, std::max(Duration::zero(), td), t4);
+  }
+
+  std::erase(pending.awaiting, reply.replica);
+
+  if (!pending.delivered) {
+    pending.delivered = true;
+    const Duration tr = t4 - pending.t0;  // t_r = t4 - t0
+    const bool timely = tr <= pending.qos.deadline;
+    RequestRecord& record = history_[pending.record_index];
+    record.response_time = tr;
+    if (!pending.outcome_recorded && !pending.is_probe) {
+      pending.deadline_timer.cancel();
+      record_outcome(pending, timely);
+    }
+    ReplyInfo info{reply.request, reply.replica, reply.result, tr, timely};
+    if (pending.on_reply) pending.on_reply(info);
+  }
+  finish_if_complete(reply.request);
+}
+
+void TimingFaultHandler::handle_perf_update(const proto::PerfUpdate& update) {
+  if (!replica_endpoints_.contains(update.replica)) return;  // not in the current view
+  const core::PerfSample sample{update.perf.service_time, update.perf.queuing_delay,
+                                update.perf.queue_length};
+  repository_.record_perf(update.replica, sample, simulator_.now(), update.method);
+}
+
+void TimingFaultHandler::handle_announce(const proto::Announce& announce) {
+  auto [it, inserted] = replica_endpoints_.try_emplace(announce.replica, announce.endpoint);
+  if (!inserted && it->second == announce.endpoint) return;
+  if (!inserted) {
+    // The replica restarted with a new endpoint.
+    endpoint_replicas_.erase(it->second);
+    it->second = announce.endpoint;
+  }
+  endpoint_replicas_[announce.endpoint] = announce.replica;
+  repository_.add_replica(announce.replica);
+  // Make sure the replica pushes its performance updates to us.
+  lan_.unicast(endpoint_, announce.endpoint,
+               net::Payload::make(proto::Subscribe{client_, endpoint_}, proto::kSubscribeBytes));
+  // Requests intercepted before any replica was known are still parked;
+  // dispatch them once the Announce burst settles (each new announce
+  // pushes the settle point, so the cold-start selection sees the whole
+  // burst rather than whichever announce happened to arrive first).
+  parked_dispatch_.cancel();
+  parked_dispatch_ = simulator_.schedule_after(config_.discovery_settle, [this] {
+    std::vector<RequestId> parked;
+    for (const auto& [id, pending] : pending_) {
+      if (!pending.dispatched && !pending.delivered) parked.push_back(id);
+    }
+    for (RequestId id : parked) {
+      auto it = pending_.find(id);
+      if (it != pending_.end() && !it->second.dispatched) {
+        dispatch(id, it->second, /*redispatch=*/false);
+      }
+    }
+  });
+}
+
+void TimingFaultHandler::on_view_change(const net::View&, std::span<const EndpointId> departed) {
+  std::vector<ReplicaId> dead;
+  for (EndpointId endpoint : departed) {
+    auto it = endpoint_replicas_.find(endpoint);
+    if (it == endpoint_replicas_.end()) continue;  // a client left, not a replica
+    dead.push_back(it->second);
+    repository_.remove_replica(it->second);
+    replica_endpoints_.erase(it->second);
+    endpoint_replicas_.erase(it);
+  }
+  if (dead.empty()) return;
+
+  std::vector<RequestId> to_redispatch;
+  for (auto& [id, pending] : pending_) {
+    for (ReplicaId replica : dead) std::erase(pending.awaiting, replica);
+    if (pending.awaiting.empty() && !pending.delivered && config_.redispatch_on_view_change) {
+      to_redispatch.push_back(id);
+    }
+  }
+  for (RequestId id : to_redispatch) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    AQUA_LOG_DEBUG << "handler " << client_.value() << ": redispatching request " << id.value()
+                   << " after replica crash";
+    dispatch(id, it->second, /*redispatch=*/true);
+  }
+}
+
+void TimingFaultHandler::record_outcome(PendingRequest& pending, bool timely) {
+  AQUA_ASSERT(!pending.outcome_recorded);
+  pending.outcome_recorded = true;
+  history_[pending.record_index].timely = timely;
+  tracker_.record(timely);
+  const bool violating = tracker_.violates(pending.qos.min_probability);
+  if (violating && !violation_reported_) {
+    violation_reported_ = true;
+    if (on_violation_) on_violation_(tracker_.timely_fraction());
+  } else if (!violating) {
+    violation_reported_ = false;  // re-arm after recovery
+  }
+}
+
+void TimingFaultHandler::finish_if_complete(RequestId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  const PendingRequest& pending = it->second;
+  if (pending.awaiting.empty() && (pending.outcome_recorded || pending.is_probe)) {
+    pending_.erase(it);
+  }
+}
+
+void TimingFaultHandler::set_qos(core::QosSpec qos) {
+  qos.validate();
+  qos_ = qos;
+  tracker_.reset();
+  violation_reported_ = false;
+}
+
+}  // namespace aqua::gateway

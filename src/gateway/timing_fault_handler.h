@@ -1,0 +1,214 @@
+// The timing fault handler (§5.4) — the client-side gateway protocol
+// handler that this paper contributes.
+//
+// Request path (§5.4.1): intercept the client call at t0, run the
+// model-based selection against the local information repository, record
+// the transmission time t1, multicast the request to the selected
+// replicas through the group, deliver only the FIRST reply (recording
+// t4), harvest the performance data piggybacked on every reply — t_s,
+// t_q, queue length, and the derived two-way gateway delay
+// t_d = t4 - t1 - t_q - t_s — and detect timing failures
+// (t_r = t4 - t0 > t), issuing a QoS-violation callback when the timely
+// fraction drops below the client's requested probability (§5.4.2).
+//
+// Membership: replicas advertise themselves with Announce messages; view
+// changes from the group evict crashed replicas from the repository so
+// "these failed replicas will therefore not be considered in the
+// selection process for future requests" (§5.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "core/failure_tracker.h"
+#include "core/info_repository.h"
+#include "core/policies.h"
+#include "core/qos.h"
+#include "core/selection.h"
+#include "net/group.h"
+#include "net/lan.h"
+#include "proto/messages.h"
+#include "sim/periodic.h"
+#include "sim/simulator.h"
+
+namespace aqua::gateway {
+
+/// Cost model for the handler's own processing, charged in simulated time
+/// so that the overhead-compensation path (§5.3.3) is exercised
+/// deterministically. Calibrated against the fig3 micro-benchmarks: the
+/// distribution computation (~90% of delta) scales with n * l^2 atoms,
+/// the subset selection (~10%) with n log n.
+struct OverheadModel {
+  /// Fixed interception + marshalling cost (t0 -> selection start).
+  Duration interception = usec(120);
+  /// Fixed selection cost.
+  Duration base = usec(40);
+  /// Added per replica with history.
+  Duration per_replica = usec(12);
+  /// Added per replica per (window length)^2 convolution atom, in
+  /// nanoseconds (the dominant term of the distribution computation).
+  double per_atom_ns = 80.0;
+
+  [[nodiscard]] Duration selection_cost(std::size_t replicas, std::size_t window) const;
+};
+
+struct HandlerConfig {
+  core::RepositoryConfig repository;
+  core::SelectionConfig selection;
+  core::ModelConfig model;
+  core::FailureTrackerConfig failure_tracker;
+  OverheadModel overhead;
+
+  /// Extension: when a view change leaves a pending request with no live
+  /// selected replica, re-run selection and re-send instead of letting
+  /// the client wait forever.
+  bool redispatch_on_view_change = true;
+
+  /// Requests intercepted before any replica is known wait until the
+  /// Announce burst has been quiet for this long, so the cold-start
+  /// "select all replicas" really sees all of them (announces from the
+  /// initial Subscribe spread over the LAN jitter).
+  Duration discovery_settle = msec(1);
+
+  /// §8 extension ("our work can also be extended to use active probes
+  /// [5] when a replica's performance information is obsolete"): when
+  /// positive, any replica whose repository entry is older than this is
+  /// sent a lightweight probe request. Probe outcomes refresh the windows
+  /// but never count toward the client's timing statistics. Zero
+  /// disables probing.
+  Duration probe_staleness = Duration::zero();
+};
+
+/// Delivered to the client application for the first reply of a request.
+struct ReplyInfo {
+  RequestId request;
+  ReplicaId replica;
+  std::int64_t result = 0;
+  /// t_r = t4 - t0.
+  Duration response_time{};
+  bool timely = false;
+};
+
+/// One row of the handler's request log (experiment raw data).
+struct RequestRecord {
+  RequestId request;
+  TimePoint intercepted_at{};  // t0
+  TimePoint transmitted_at{};  // t1
+  core::QosSpec qos;
+  std::size_t redundancy = 0;  // |K|
+  bool cold_start = false;
+  bool feasible = false;
+  double predicted_probability = 0.0;
+  bool redispatched = false;
+  /// True for handler-initiated staleness probes; excluded from client
+  /// statistics.
+  bool probe = false;
+  std::optional<Duration> response_time;  // empty until the first reply
+  bool timely = false;
+};
+
+class TimingFaultHandler {
+ public:
+  using ReplyCallback = std::function<void(const ReplyInfo&)>;
+  /// Invoked when the observed timely fraction drops below the client's
+  /// requested minimum probability (§5.4.2).
+  using QosViolationCallback = std::function<void(double observed_timely_fraction)>;
+
+  /// Creates the handler's gateway endpoint on `host`, joins the service
+  /// group and subscribes to replica performance updates.
+  TimingFaultHandler(sim::Simulator& simulator, net::Lan& lan, net::MulticastGroup& group,
+                     ClientId client, HostId host, core::QosSpec qos, Rng rng,
+                     HandlerConfig config = {}, core::PolicyPtr policy = nullptr);
+
+  TimingFaultHandler(const TimingFaultHandler&) = delete;
+  TimingFaultHandler& operator=(const TimingFaultHandler&) = delete;
+
+  /// Intercept one client request (t0 = now). `on_reply` fires once, for
+  /// the first reply; redundant replies only update the repository.
+  RequestId invoke(std::int64_t argument, ReplyCallback on_reply,
+                   const std::string& method = core::kDefaultMethod);
+
+  /// Runtime QoS renegotiation (§4); resets the failure tracker.
+  void set_qos(core::QosSpec qos);
+  [[nodiscard]] const core::QosSpec& qos() const { return qos_; }
+
+  void on_qos_violation(QosViolationCallback fn) { on_violation_ = std::move(fn); }
+
+  [[nodiscard]] ClientId client() const { return client_; }
+  [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
+  [[nodiscard]] const core::InfoRepository& repository() const { return repository_; }
+  [[nodiscard]] const core::TimingFailureTracker& failure_tracker() const { return tracker_; }
+
+  /// Raw per-request log, in invocation order.
+  [[nodiscard]] const std::vector<RequestRecord>& history() const { return history_; }
+
+  /// Replicas currently known (directory built from Announce messages).
+  [[nodiscard]] std::size_t known_replicas() const { return replica_endpoints_.size(); }
+
+  /// delta currently used for overhead compensation.
+  [[nodiscard]] Duration overhead_delta() const { return overhead_.current(); }
+
+  /// Staleness probes sent so far (probe_staleness extension).
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  struct PendingRequest {
+    std::size_t record_index = 0;
+    TimePoint t0{};
+    TimePoint t1{};
+    core::QosSpec qos;
+    std::string method;
+    std::int64_t argument = 0;
+    std::vector<ReplicaId> awaiting;  // selected replicas yet to reply
+    ReplyCallback on_reply;
+    bool dispatched = false;  // selection ran with a non-empty directory
+    bool delivered = false;
+    bool outcome_recorded = false;
+    bool is_probe = false;
+    sim::EventHandle deadline_timer;
+  };
+
+  void on_receive(EndpointId from, const net::Payload& message);
+  void handle_reply(const proto::Reply& reply);
+  void handle_perf_update(const proto::PerfUpdate& update);
+  void handle_announce(const proto::Announce& announce);
+  void on_view_change(const net::View& view, std::span<const EndpointId> departed);
+  void dispatch(RequestId id, PendingRequest& pending, bool redispatch);
+  void record_outcome(PendingRequest& pending, bool timely);
+  void finish_if_complete(RequestId id);
+  void probe_stale_replicas();
+  void send_probe(ReplicaId replica);
+
+  sim::Simulator& simulator_;
+  net::Lan& lan_;
+  net::MulticastGroup& group_;
+  ClientId client_;
+  core::QosSpec qos_;
+  Rng rng_;
+  HandlerConfig config_;
+  core::PolicyPtr policy_;
+  core::InfoRepository repository_;
+  core::TimingFailureTracker tracker_;
+  core::OverheadEstimator overhead_;
+
+  EndpointId endpoint_;
+  IdGenerator<RequestId> request_ids_;
+  std::unordered_map<ReplicaId, EndpointId> replica_endpoints_;
+  std::unordered_map<EndpointId, ReplicaId> endpoint_replicas_;
+  std::unordered_map<RequestId, PendingRequest> pending_;
+  std::vector<RequestRecord> history_;
+  QosViolationCallback on_violation_;
+  sim::EventHandle parked_dispatch_;
+  sim::PeriodicTask probe_task_;
+  bool violation_reported_ = false;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace aqua::gateway

@@ -1,0 +1,61 @@
+#include "manager/dependability_manager.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace aqua::manager {
+
+DependabilityManager::DependabilityManager(sim::Simulator& simulator, net::Lan& lan,
+                                           ReplicaFactory factory, ManagerConfig config)
+    : simulator_(simulator), factory_(std::move(factory)), config_(config) {
+  AQUA_REQUIRE(factory_ != nullptr, "dependability manager needs a replica factory");
+  AQUA_REQUIRE(config_.min_replicas >= 1, "minimum replication must be >= 1");
+  AQUA_REQUIRE(config_.audit_interval > Duration::zero(), "audit interval must be positive");
+  // React quickly to crashes: the group's failure detector installs the
+  // shrunk view one detection delay after the host dies; audit just after.
+  lan.subscribe_host_state([this](HostId, bool alive) {
+    if (!alive) simulator_.schedule_after(usec(1), [this] { audit(); });
+  });
+  audit_task_.start(simulator_, config_.audit_interval, config_.audit_interval,
+                    [this] { audit(); });
+}
+
+void DependabilityManager::register_replica(const replica::ReplicaServer& replica) {
+  managed_.push_back(&replica);
+}
+
+std::size_t DependabilityManager::current_replication() const {
+  std::size_t live = 0;
+  for (const replica::ReplicaServer* replica : managed_) {
+    if (replica->alive()) ++live;
+  }
+  return live;
+}
+
+void DependabilityManager::audit() {
+  const std::size_t live = current_replication();
+  const std::size_t effective = live + pending_;
+  if (effective >= config_.min_replicas) return;
+  std::size_t deficit = config_.min_replicas - effective;
+  while (deficit > 0) {
+    if (config_.max_replacements != 0 && started_ + pending_ >= config_.max_replacements) {
+      AQUA_LOG_WARN << "dependability manager: replacement budget exhausted ("
+                    << config_.max_replacements << ")";
+      return;
+    }
+    ++pending_;
+    --deficit;
+    AQUA_LOG_DEBUG << "dependability manager: provisioning replacement replica at "
+                   << to_string(simulator_.now());
+    simulator_.schedule_after(config_.startup_delay, [this] {
+      --pending_;
+      if (factory_()) {
+        ++started_;
+      } else {
+        AQUA_LOG_WARN << "dependability manager: replica factory declined to start";
+      }
+    });
+  }
+}
+
+}  // namespace aqua::manager

@@ -1,0 +1,81 @@
+// Proteus dependability manager (§2).
+//
+// "The Proteus dependability manager manages the replication level for
+// different applications based on their dependability requirements."
+// This component keeps a service's replica group at a configured minimum
+// size: it watches host failures and the replicas registered with it,
+// and when live replication drops below the minimum it starts replacement replicas
+// (through a caller-supplied factory) after a configurable startup
+// delay. The selection algorithm then discovers the newcomers through
+// the normal Announce/Subscribe handshake and bootstraps their windows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include <vector>
+
+#include "common/time.h"
+#include "net/lan.h"
+#include "replica/replica_server.h"
+#include "sim/periodic.h"
+#include "sim/simulator.h"
+
+namespace aqua::manager {
+
+struct ManagerConfig {
+  /// Desired minimum number of live replicas in the group.
+  std::size_t min_replicas = 3;
+
+  /// Time to provision and start a replacement replica.
+  Duration startup_delay = sec(2);
+
+  /// How often the manager audits the replication level (it also reacts
+  /// immediately to host failures).
+  Duration audit_interval = sec(1);
+
+  /// Upper bound on replacements over the manager's lifetime (0 = no
+  /// bound); guards against crash loops consuming the host pool.
+  std::size_t max_replacements = 0;
+};
+
+class DependabilityManager {
+ public:
+  /// Called to start one replacement replica; returns true if a replica
+  /// was actually started (false lets the factory veto, e.g. when the
+  /// host pool is exhausted).
+  using ReplicaFactory = std::function<bool()>;
+
+  DependabilityManager(sim::Simulator& simulator, net::Lan& lan, ReplicaFactory factory,
+                       ManagerConfig config = {});
+
+  DependabilityManager(const DependabilityManager&) = delete;
+  DependabilityManager& operator=(const DependabilityManager&) = delete;
+
+  /// Place a replica under management (existing replicas at enable time
+  /// and every replacement the factory creates). The replica must outlive
+  /// the manager.
+  void register_replica(const replica::ReplicaServer& replica);
+
+  /// Live replicas among those under management. The group view is not
+  /// used here because it mixes clients and replicas.
+  [[nodiscard]] std::size_t current_replication() const;
+
+  [[nodiscard]] std::size_t replacements_started() const { return started_; }
+  [[nodiscard]] std::size_t replacements_pending() const { return pending_; }
+
+  [[nodiscard]] const ManagerConfig& config() const { return config_; }
+
+ private:
+  void audit();
+
+  sim::Simulator& simulator_;
+  ReplicaFactory factory_;
+  ManagerConfig config_;
+  std::vector<const replica::ReplicaServer*> managed_;
+  std::size_t started_ = 0;
+  std::size_t pending_ = 0;  // replacements scheduled but not yet running
+  sim::PeriodicTask audit_task_;
+};
+
+}  // namespace aqua::manager

@@ -1,0 +1,100 @@
+#include "net/group.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace aqua::net {
+
+bool View::contains(EndpointId member) const {
+  return std::find(members.begin(), members.end(), member) != members.end();
+}
+
+MulticastGroup::MulticastGroup(sim::Simulator& simulator, Lan& lan, GroupId id, GroupConfig config)
+    : simulator_(simulator), lan_(lan), id_(id), config_(config) {
+  AQUA_REQUIRE(config_.failure_detection_delay >= Duration::zero(),
+               "failure detection delay must be non-negative");
+  lan_.subscribe_host_state([this](HostId host, bool alive) { on_host_state(host, alive); });
+}
+
+void MulticastGroup::join(EndpointId member) {
+  AQUA_REQUIRE(lan_.endpoint_exists(member), "joining endpoint must exist on the LAN");
+  if (view_.contains(member)) return;
+  view_.members.push_back(member);
+  install_view({});
+}
+
+void MulticastGroup::leave(EndpointId member) {
+  auto it = std::find(view_.members.begin(), view_.members.end(), member);
+  if (it == view_.members.end()) return;
+  view_.members.erase(it);
+  listeners_.erase(member);
+  install_view({member});
+}
+
+void MulticastGroup::on_view_change(EndpointId member, ViewChangeFn fn) {
+  AQUA_REQUIRE(fn != nullptr, "view-change callback must be callable");
+  AQUA_REQUIRE(view_.contains(member), "only members can observe view changes");
+  listeners_[member] = std::move(fn);
+}
+
+void MulticastGroup::send(EndpointId from, std::span<const EndpointId> subset, Payload message) {
+  std::vector<EndpointId> targets;
+  targets.reserve(subset.size());
+  for (EndpointId dst : subset) {
+    if (view_.contains(dst)) targets.push_back(dst);
+  }
+  lan_.multicast(from, targets, std::move(message));
+}
+
+void MulticastGroup::broadcast(EndpointId from, Payload message) {
+  std::vector<EndpointId> targets;
+  targets.reserve(view_.members.size());
+  for (EndpointId dst : view_.members) {
+    if (dst != from) targets.push_back(dst);
+  }
+  lan_.multicast(from, targets, std::move(message));
+}
+
+void MulticastGroup::report_member_failure(EndpointId member) {
+  simulator_.schedule_after(config_.failure_detection_delay, [this, member] {
+    auto it = std::find(view_.members.begin(), view_.members.end(), member);
+    if (it == view_.members.end()) return;
+    view_.members.erase(it);
+    listeners_.erase(member);
+    install_view({member});
+  });
+}
+
+void MulticastGroup::on_host_state(HostId host, bool alive) {
+  if (alive) return;  // restarts rejoin explicitly
+  // Model heartbeat timeout + view agreement: after the detection delay,
+  // exclude every member that lived on the crashed host.
+  simulator_.schedule_after(config_.failure_detection_delay, [this, host] {
+    std::vector<EndpointId> departed;
+    std::erase_if(view_.members, [&](EndpointId member) {
+      if (!lan_.endpoint_exists(member) || lan_.endpoint_host(member) == host) {
+        departed.push_back(member);
+        return true;
+      }
+      return false;
+    });
+    if (departed.empty()) return;
+    for (EndpointId member : departed) listeners_.erase(member);
+    AQUA_LOG_DEBUG << "group " << id_.value() << ": excluding " << departed.size()
+                   << " member(s) after crash of host " << host.value();
+    install_view(std::move(departed));
+  });
+}
+
+void MulticastGroup::install_view(std::vector<EndpointId> departed) {
+  ++view_.view_id;
+  // Notify a snapshot of listeners; a callback may join/leave re-entrantly.
+  std::vector<std::pair<EndpointId, ViewChangeFn>> snapshot(listeners_.begin(), listeners_.end());
+  for (const auto& [member, fn] : snapshot) {
+    if (view_.contains(member)) fn(view_, departed);
+  }
+}
+
+}  // namespace aqua::net

@@ -1,0 +1,83 @@
+// Ensemble-style multicast group with membership views.
+//
+// The timing fault handler relies on exactly two group-communication
+// services (§5.4): sending a message "to a specified list of members in a
+// group rather than ... all group members", and crash notification —
+// "When a member of a multicast group crashes, Maestro-Ensemble detects
+// the failure and notifies all the group members about the change in the
+// membership." MulticastGroup provides both: send-to-subset over the Lan,
+// and view installation after a configurable failure-detection delay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "net/lan.h"
+#include "sim/simulator.h"
+
+namespace aqua::net {
+
+struct View {
+  std::uint64_t view_id = 0;
+  std::vector<EndpointId> members;  // in join order
+
+  [[nodiscard]] bool contains(EndpointId member) const;
+};
+
+/// Installed view plus the members that departed since the previous view.
+using ViewChangeFn = std::function<void(const View& view, std::span<const EndpointId> departed)>;
+
+struct GroupConfig {
+  /// Time between a member's host crashing and the surviving members
+  /// receiving the new view (heartbeat timeout + view agreement).
+  Duration failure_detection_delay = msec(500);
+};
+
+class MulticastGroup {
+ public:
+  MulticastGroup(sim::Simulator& simulator, Lan& lan, GroupId id, GroupConfig config = {});
+
+  [[nodiscard]] GroupId id() const { return id_; }
+  [[nodiscard]] const View& view() const { return view_; }
+
+  /// Add a member; installs a new view immediately and notifies all
+  /// members. The endpoint must exist on the Lan.
+  void join(EndpointId member);
+
+  /// Voluntary departure; installs a new view immediately.
+  void leave(EndpointId member);
+
+  /// Register for view changes delivered to `member`. Notifications stop
+  /// once the member leaves or is excluded by the failure detector.
+  void on_view_change(EndpointId member, ViewChangeFn fn);
+
+  /// Send to an explicit subset of the current view (Maestro
+  /// send-to-list). Destinations not in the view are skipped.
+  void send(EndpointId from, std::span<const EndpointId> subset, Payload message);
+
+  /// Send to every member of the current view except the sender.
+  void broadcast(EndpointId from, Payload message);
+
+  /// Report that a single member process crashed (without its host going
+  /// down). The member is excluded after the failure-detection delay,
+  /// exactly as for a host crash.
+  void report_member_failure(EndpointId member);
+
+ private:
+  void on_host_state(HostId host, bool alive);
+  void install_view(std::vector<EndpointId> departed);
+
+  sim::Simulator& simulator_;
+  Lan& lan_;
+  GroupId id_;
+  GroupConfig config_;
+  View view_;
+  std::unordered_map<EndpointId, ViewChangeFn> listeners_;
+};
+
+}  // namespace aqua::net

@@ -1,0 +1,144 @@
+#include "net/lan.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace aqua::net {
+
+Lan::Lan(sim::Simulator& simulator, Rng rng, LanConfig config)
+    : simulator_(simulator), rng_(std::move(rng)), config_(config) {
+  AQUA_REQUIRE(config_.loss_rate >= 0.0 && config_.loss_rate < 1.0, "loss rate must be in [0, 1)");
+  AQUA_REQUIRE(config_.per_byte_us >= 0.0, "per-byte cost must be non-negative");
+  if (config_.spike.enabled) {
+    AQUA_REQUIRE(config_.spike.delay_factor >= 1.0, "spike factor must be >= 1");
+    schedule_next_spike();
+  }
+}
+
+EndpointId Lan::create_endpoint(HostId host, ReceiveFn on_receive) {
+  AQUA_REQUIRE(on_receive != nullptr, "endpoint receive callback must be callable");
+  const EndpointId id = endpoint_ids_.next();
+  endpoints_.emplace(id, Endpoint{host, std::move(on_receive)});
+  host_alive_.try_emplace(host, true);
+  return id;
+}
+
+void Lan::destroy_endpoint(EndpointId endpoint) {
+  endpoints_.erase(endpoint);
+  std::erase_if(last_delivery_, [endpoint](const auto& entry) {
+    return entry.first.first == endpoint || entry.first.second == endpoint;
+  });
+}
+
+void Lan::set_host_alive(HostId host, bool alive) {
+  auto [it, inserted] = host_alive_.try_emplace(host, true);
+  if (!inserted && it->second == alive) return;
+  it->second = alive;
+  for (const HostStateFn& fn : host_state_subscribers_) fn(host, alive);
+}
+
+bool Lan::host_alive(HostId host) const {
+  auto it = host_alive_.find(host);
+  return it == host_alive_.end() ? true : it->second;
+}
+
+void Lan::subscribe_host_state(HostStateFn fn) {
+  AQUA_REQUIRE(fn != nullptr, "host-state callback must be callable");
+  host_state_subscribers_.push_back(std::move(fn));
+}
+
+HostId Lan::endpoint_host(EndpointId endpoint) const {
+  auto it = endpoints_.find(endpoint);
+  AQUA_REQUIRE(it != endpoints_.end(), "unknown endpoint");
+  return it->second.host;
+}
+
+bool Lan::endpoint_exists(EndpointId endpoint) const { return endpoints_.contains(endpoint); }
+
+void Lan::unicast(EndpointId from, EndpointId to, Payload message) {
+  deliver(from, to, std::move(message), 1);
+}
+
+void Lan::multicast(EndpointId from, std::span<const EndpointId> to, Payload message) {
+  for (EndpointId dst : to) deliver(from, dst, message, to.size());
+}
+
+void Lan::deliver(EndpointId from, EndpointId to, Payload message, std::size_t fanout) {
+  auto src_it = endpoints_.find(from);
+  AQUA_REQUIRE(src_it != endpoints_.end(), "unicast from unknown endpoint");
+  ++sent_;
+  if (!host_alive(src_it->second.host)) {
+    ++dropped_;  // the sending process is gone
+    return;
+  }
+  auto dst_it = endpoints_.find(to);
+  if (dst_it == endpoints_.end()) {
+    ++dropped_;
+    return;
+  }
+  if (config_.loss_rate > 0.0 && src_it->second.host != dst_it->second.host &&
+      rng_.bernoulli(config_.loss_rate)) {
+    ++dropped_;
+    return;
+  }
+  const Duration delay = sample_delay(src_it->second, dst_it->second, message.wire_bytes(), fanout);
+  TimePoint deliver_at = simulator_.now() + delay;
+  if (config_.fifo_per_pair) {
+    // Ensemble is FIFO per sender: never schedule a delivery before an
+    // earlier message on the same pair.
+    TimePoint& last = last_delivery_[{from, to}];
+    if (deliver_at < last) deliver_at = last;
+    last = deliver_at;
+  }
+  simulator_.schedule_at(deliver_at, [this, from, to, message = std::move(message)] {
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end() || !host_alive(it->second.host)) {
+      ++dropped_;
+      return;
+    }
+    ++delivered_;
+    it->second.on_receive(from, message);
+  });
+}
+
+Duration Lan::sample_delay(const Endpoint& src, const Endpoint& dst, std::int64_t bytes,
+                           std::size_t fanout) {
+  double us = 0.0;
+  if (src.host == dst.host) {
+    us = static_cast<double>(count_us(config_.local_delay));
+  } else {
+    us = static_cast<double>(count_us(config_.stack_delay)) +
+         static_cast<double>(count_us(config_.wire_base)) +
+         config_.per_byte_us * static_cast<double>(bytes);
+    if (config_.jitter_sigma > 0.0) {
+      const double mu = std::log(static_cast<double>(count_us(config_.jitter_median)));
+      us += std::exp(mu + config_.jitter_sigma * rng_.normal01());
+    }
+  }
+  if (fanout > 1) {
+    us += static_cast<double>(count_us(config_.multicast_member_cost)) *
+          static_cast<double>(fanout - 1);
+  }
+  if (spike_active_) us *= config_.spike.delay_factor;
+  return Duration{static_cast<std::int64_t>(std::llround(us))};
+}
+
+void Lan::schedule_next_spike() {
+  const Duration gap{static_cast<std::int64_t>(
+      std::llround(rng_.exponential(static_cast<double>(count_us(config_.spike.mean_interval)))))};
+  simulator_.schedule_after(gap, [this] {
+    spike_active_ = true;
+    AQUA_LOG_DEBUG << "lan: traffic spike begins at " << to_string(simulator_.now());
+    const Duration len{static_cast<std::int64_t>(std::llround(
+        rng_.exponential(static_cast<double>(count_us(config_.spike.mean_duration)))))};
+    simulator_.schedule_after(len, [this] {
+      spike_active_ = false;
+      AQUA_LOG_DEBUG << "lan: traffic spike ends at " << to_string(simulator_.now());
+      schedule_next_spike();
+    });
+  });
+}
+
+}  // namespace aqua::net

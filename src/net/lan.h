@@ -1,0 +1,141 @@
+// Simulated local-area network.
+//
+// Substitutes the paper's physical LAN + Maestro/Ensemble wire path. A
+// message from one gateway endpoint to another experiences
+//
+//   delay = stack_delay            (protocol-stack traversal, both ends)
+//         + wire_base + per_byte   (transmission)
+//         + lognormal jitter       (scheduling noise)
+//         + spike multiplier       (occasional periods of high traffic,
+//                                   §3: "they may experience occasional
+//                                   periods of high traffic")
+//
+// Same-host delivery skips the wire terms. Host crashes silently drop all
+// traffic to/from the host's endpoints, exactly like a crashed process;
+// crash notifications reach interested parties (the group failure
+// detector) through subscribe_host_state, modelling heartbeat timeout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/payload.h"
+#include "sim/simulator.h"
+
+namespace aqua::net {
+
+struct SpikeConfig {
+  bool enabled = false;
+  /// Mean interval between spike onsets (exponential).
+  Duration mean_interval = sec(10);
+  /// Mean spike length (exponential).
+  Duration mean_duration = msec(200);
+  /// Delay multiplier applied while a spike is active.
+  double delay_factor = 8.0;
+};
+
+struct LanConfig {
+  /// One-way protocol-stack traversal (marshalling + Maestro/Ensemble).
+  Duration stack_delay = usec(1200);
+  /// Fixed wire cost for any off-host message.
+  Duration wire_base = usec(150);
+  /// Transmission cost per byte on the wire.
+  double per_byte_us = 0.01;
+  /// Median of the lognormal jitter term.
+  Duration jitter_median = usec(100);
+  /// Sigma of the lognormal jitter term (0 disables jitter).
+  double jitter_sigma = 0.4;
+  /// Extra per-destination cost when multicasting (group fan-out work).
+  Duration multicast_member_cost = usec(40);
+  /// Same-host delivery cost (loopback, no wire).
+  Duration local_delay = usec(120);
+  /// Probability that an off-host message is silently lost. Ensemble
+  /// provides reliable delivery, so this is 0 by default; benches raise it
+  /// to study robustness.
+  double loss_rate = 0.0;
+  /// Ensemble delivers FIFO per sender; when true (default), two messages
+  /// on the same (source, destination) pair never reorder even if the
+  /// jitter draw for the second is smaller.
+  bool fifo_per_pair = true;
+  SpikeConfig spike;
+};
+
+/// Invoked on delivery: sender endpoint and the message.
+using ReceiveFn = std::function<void(EndpointId from, const Payload& message)>;
+
+/// Invoked when a host changes liveness (false = crashed).
+using HostStateFn = std::function<void(HostId host, bool alive)>;
+
+class Lan {
+ public:
+  Lan(sim::Simulator& simulator, Rng rng, LanConfig config);
+
+  /// Register a receiving endpoint on `host`. The callback runs inside
+  /// simulator events at delivery time.
+  EndpointId create_endpoint(HostId host, ReceiveFn on_receive);
+
+  /// Remove an endpoint; in-flight messages to it are dropped on arrival.
+  void destroy_endpoint(EndpointId endpoint);
+
+  /// Crash or restore a host. Crash drops all in-flight and future
+  /// traffic involving the host's endpoints and notifies subscribers.
+  void set_host_alive(HostId host, bool alive);
+  [[nodiscard]] bool host_alive(HostId host) const;
+
+  /// Observe host liveness transitions (failure-detector input).
+  void subscribe_host_state(HostStateFn fn);
+
+  /// Point-to-point send. Sender must exist and be on a live host; sends
+  /// from dead hosts are dropped silently (the process is gone).
+  void unicast(EndpointId from, EndpointId to, Payload message);
+
+  /// Send to each destination independently (Maestro send-to-subset).
+  void multicast(EndpointId from, std::span<const EndpointId> to, Payload message);
+
+  [[nodiscard]] const LanConfig& config() const { return config_; }
+  [[nodiscard]] HostId endpoint_host(EndpointId endpoint) const;
+  [[nodiscard]] bool endpoint_exists(EndpointId endpoint) const;
+
+  /// True while a traffic spike is in progress (visible for tests).
+  [[nodiscard]] bool spike_active() const { return spike_active_; }
+
+  /// Counters for tests and reports.
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  struct Endpoint {
+    HostId host;
+    ReceiveFn on_receive;
+  };
+
+  void deliver(EndpointId from, EndpointId to, Payload message, std::size_t fanout);
+  Duration sample_delay(const Endpoint& src, const Endpoint& dst, std::int64_t bytes,
+                        std::size_t fanout);
+  void schedule_next_spike();
+
+  sim::Simulator& simulator_;
+  Rng rng_;
+  LanConfig config_;
+  IdGenerator<EndpointId> endpoint_ids_;
+  std::unordered_map<EndpointId, Endpoint> endpoints_;
+  /// Latest scheduled delivery per (src, dst) pair, for FIFO enforcement.
+  std::map<std::pair<EndpointId, EndpointId>, TimePoint> last_delivery_;
+  std::unordered_map<HostId, bool> host_alive_;
+  std::vector<HostStateFn> host_state_subscribers_;
+  bool spike_active_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace aqua::net

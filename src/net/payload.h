@@ -1,0 +1,48 @@
+// Type-erased message payload.
+//
+// The real AQuA stack ships marshalled CORBA messages over Maestro; here
+// the transport is payload-agnostic and the "marshalling" is a declared
+// wire size that feeds the LAN's per-byte delay model. Multicast fan-out
+// shares one immutable body, so cloning a payload per destination is a
+// shared_ptr copy.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace aqua::net {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Wrap `body` with a declared wire size in bytes (>= 0).
+  template <typename T>
+  static Payload make(T body, std::int64_t wire_bytes) {
+    AQUA_REQUIRE(wire_bytes >= 0, "wire size must be non-negative");
+    Payload p;
+    p.body_ = std::make_shared<const std::any>(std::move(body));
+    p.wire_bytes_ = wire_bytes;
+    return p;
+  }
+
+  /// Pointer to the body if it holds a T, nullptr otherwise.
+  template <typename T>
+  [[nodiscard]] const T* get_if() const noexcept {
+    if (!body_) return nullptr;
+    return std::any_cast<T>(body_.get());
+  }
+
+  [[nodiscard]] std::int64_t wire_bytes() const { return wire_bytes_; }
+  [[nodiscard]] bool empty() const { return body_ == nullptr; }
+
+ private:
+  std::shared_ptr<const std::any> body_;
+  std::int64_t wire_bytes_ = 0;
+};
+
+}  // namespace aqua::net

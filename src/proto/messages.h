@@ -1,0 +1,83 @@
+// Wire messages exchanged between client and server gateways.
+//
+// These mirror the Maestro messages of §5.4.1: the multicast request, the
+// reply carrying piggybacked performance data (service duration t_s,
+// queuing delay t_q, current queue length), the performance update pushed
+// to subscribers on every processed request, and the subscription request
+// a client multicasts when it joins the service's group.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace aqua::proto {
+
+/// Performance measurements taken at the server gateway for one request.
+struct PerfData {
+  /// t_s: service duration (dequeue to response).
+  Duration service_time{};
+  /// t_q = t3 - t2: time the request spent in the FIFO queue.
+  Duration queuing_delay{};
+  /// Number of requests still waiting in the replica's queue when the
+  /// measurement was published.
+  std::int64_t queue_length = 0;
+};
+
+/// A client request as forwarded by the timing fault handler.
+struct Request {
+  RequestId id;
+  ClientId client;
+  /// Method interface invoked; the method-aware repository extension keys
+  /// statistics by this name. Single-interface deployments use "invoke".
+  std::string method = "invoke";
+  /// Application argument (e.g. a search key); servers echo a function of
+  /// it so tests can check end-to-end integrity.
+  std::int64_t argument = 0;
+};
+
+/// A replica's response, carrying its performance measurements.
+struct Reply {
+  RequestId request;
+  ReplicaId replica;
+  std::string method = "invoke";
+  std::int64_t result = 0;
+  PerfData perf;
+};
+
+/// Pushed by a replica to all subscribers each time it services a request
+/// ("the server publishes its performance update to its subscribers, each
+/// time it processes a request", §5.4.1).
+struct PerfUpdate {
+  ReplicaId replica;
+  std::string method = "invoke";
+  PerfData perf;
+};
+
+/// Multicast by a client handler to the server replicas when it wants to
+/// receive performance updates.
+struct Subscribe {
+  ClientId client;
+  EndpointId reply_to;
+};
+
+/// Sent by a replica to advertise its identity/endpoint binding: broadcast
+/// to the group when it joins, and unicast back to a subscriber. Client
+/// handlers build their replica directory from these.
+struct Announce {
+  ReplicaId replica;
+  EndpointId endpoint;
+};
+
+/// Default wire sizes used by the delay model (bytes). A minimum-sized
+/// CORBA request marshalled through the AQuA gateway is on the order of a
+/// few hundred bytes; updates are small.
+inline constexpr std::int64_t kRequestBytes = 480;
+inline constexpr std::int64_t kReplyBytes = 512;
+inline constexpr std::int64_t kPerfUpdateBytes = 96;
+inline constexpr std::int64_t kSubscribeBytes = 64;
+inline constexpr std::int64_t kAnnounceBytes = 64;
+
+}  // namespace aqua::proto

@@ -1,0 +1,160 @@
+#include "replica/replica_server.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace aqua::replica {
+
+ReplicaServer::ReplicaServer(sim::Simulator& simulator, net::Lan& lan, net::MulticastGroup& group,
+                             ReplicaId id, HostId host, ServiceModelPtr service_model, Rng rng,
+                             ReplicaConfig config)
+    : simulator_(simulator),
+      lan_(lan),
+      group_(group),
+      id_(id),
+      host_(host),
+      service_model_(std::move(service_model)),
+      rng_(std::move(rng)),
+      config_(std::move(config)) {
+  AQUA_REQUIRE(service_model_ != nullptr, "replica needs a service model");
+  AQUA_REQUIRE(config_.gateway_overhead >= Duration::zero(),
+               "gateway overhead must be non-negative");
+  endpoint_ = lan_.create_endpoint(
+      host_, [this](EndpointId from, const net::Payload& m) { on_receive(from, m); });
+  group_.join(endpoint_);
+  announce();
+}
+
+void ReplicaServer::announce() {
+  group_.broadcast(endpoint_,
+                   net::Payload::make(proto::Announce{id_, endpoint_}, proto::kAnnounceBytes));
+}
+
+void ReplicaServer::on_receive(EndpointId from, const net::Payload& message) {
+  if (!alive_) return;
+  if (const auto* request = message.get_if<proto::Request>()) {
+    handle_request(from, *request);
+    return;
+  }
+  if (const auto* subscribe = message.get_if<proto::Subscribe>()) {
+    if (std::find(subscribers_.begin(), subscribers_.end(), subscribe->reply_to) ==
+        subscribers_.end()) {
+      subscribers_.push_back(subscribe->reply_to);
+    }
+    // Confirm identity to the subscriber so its directory stays complete
+    // regardless of join order.
+    lan_.unicast(endpoint_, subscribe->reply_to,
+                 net::Payload::make(proto::Announce{id_, endpoint_}, proto::kAnnounceBytes));
+    return;
+  }
+  if (message.get_if<proto::Announce>() != nullptr) return;  // peer replicas ignore announces
+  AQUA_LOG_WARN << "replica " << id_.value() << ": dropping unknown message type";
+}
+
+void ReplicaServer::handle_request(EndpointId from, const proto::Request& request) {
+  // Stage 3: the server gateway enqueues the request, recording t2.
+  queue_.push_back(QueuedRequest{request, from, simulator_.now()});
+  if (!busy_) start_next();
+}
+
+void ReplicaServer::start_next() {
+  AQUA_ASSERT(!busy_);
+  if (queue_.empty()) return;
+  busy_ = true;
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  // The gateway overhead covers demarshalling + the DII upcall; it is part
+  // of the observable queuing-to-service transition, so t3 is taken after
+  // it elapses.
+  completion_ = simulator_.schedule_after(config_.gateway_overhead, [this] {
+    dequeued_at_ = simulator_.now();  // t3
+    const ServiceModel* model = service_model_.get();
+    if (auto it = config_.method_models.find(current_.request.method);
+        it != config_.method_models.end()) {
+      model = it->second.get();
+    }
+    const Duration service = model->sample(rng_, queue_.size());
+    completion_ = simulator_.schedule_after(service, [this] { finish_current(); });
+  });
+}
+
+void ReplicaServer::finish_current() {
+  AQUA_ASSERT(busy_);
+  const TimePoint now = simulator_.now();
+  proto::PerfData perf;
+  perf.service_time = now - dequeued_at_;                  // t_s
+  perf.queuing_delay = dequeued_at_ - current_.enqueued_at;  // t_q = t3 - t2
+  perf.queue_length = static_cast<std::int64_t>(queue_.size());
+  ++serviced_;
+
+  proto::Reply reply;
+  reply.request = current_.request.id;
+  reply.replica = id_;
+  reply.method = current_.request.method;
+  reply.result = config_.compute(current_.request.argument);
+  if (config_.value_fault_rate > 0.0 && rng_.bernoulli(config_.value_fault_rate)) {
+    reply.result = config_.corrupt(reply.result);
+  }
+  reply.perf = perf;
+  lan_.unicast(endpoint_, current_.reply_to, net::Payload::make(reply, proto::kReplyBytes));
+
+  publish_perf(current_.reply_to, perf, current_.request.method);
+
+  busy_ = false;
+  start_next();
+}
+
+void ReplicaServer::publish_perf(EndpointId requester, const proto::PerfData& perf,
+                                 const std::string& method) {
+  if (subscribers_.empty()) return;
+  proto::PerfUpdate update{id_, method, perf};
+  std::vector<EndpointId> targets;
+  targets.reserve(subscribers_.size());
+  for (EndpointId sub : subscribers_) {
+    // The requester already receives the same data inside the reply.
+    if (sub != requester && lan_.endpoint_exists(sub)) targets.push_back(sub);
+  }
+  lan_.multicast(endpoint_, targets, net::Payload::make(update, proto::kPerfUpdateBytes));
+}
+
+void ReplicaServer::crash_process() {
+  if (!alive_) return;
+  alive_ = false;
+  completion_.cancel();
+  queue_.clear();
+  busy_ = false;
+  lan_.destroy_endpoint(endpoint_);
+  group_.report_member_failure(endpoint_);
+  AQUA_LOG_DEBUG << "replica " << id_.value() << " crashed (process) at "
+                 << to_string(simulator_.now());
+}
+
+void ReplicaServer::crash_host() {
+  if (!alive_) return;
+  alive_ = false;
+  completion_.cancel();
+  queue_.clear();
+  busy_ = false;
+  lan_.destroy_endpoint(endpoint_);
+  lan_.set_host_alive(host_, false);
+  AQUA_LOG_DEBUG << "replica " << id_.value() << " crashed (host " << host_.value() << ") at "
+                 << to_string(simulator_.now());
+}
+
+void ReplicaServer::restart() {
+  if (alive_) return;
+  if (!lan_.host_alive(host_)) lan_.set_host_alive(host_, true);
+  alive_ = true;
+  busy_ = false;
+  queue_.clear();
+  subscribers_.clear();
+  endpoint_ = lan_.create_endpoint(
+      host_, [this](EndpointId from, const net::Payload& m) { on_receive(from, m); });
+  group_.join(endpoint_);
+  announce();
+  AQUA_LOG_DEBUG << "replica " << id_.value() << " restarted at " << to_string(simulator_.now());
+}
+
+}  // namespace aqua::replica

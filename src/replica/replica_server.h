@@ -1,0 +1,118 @@
+// Server replica: server-side gateway handler + application object.
+//
+// Implements Stages 3-4 of the request path (Figure 2): the gateway
+// receives the Maestro message, enqueues it in the replica's FIFO request
+// queue recording t2, dequeues recording t3, invokes the application
+// (service-time model), and returns the reply with piggybacked
+// performance data (t_s, t_q, queue length). On every processed request
+// the replica also pushes a PerfUpdate to its subscribers (§5.4.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/group.h"
+#include "net/lan.h"
+#include "proto/messages.h"
+#include "replica/service_model.h"
+#include "sim/simulator.h"
+
+namespace aqua::replica {
+
+struct ReplicaConfig {
+  /// Server-gateway processing per message direction (demarshalling and
+  /// the CORBA dynamic-invocation upcall).
+  Duration gateway_overhead = usec(150);
+  /// Application function applied to the request argument; the default
+  /// echoes it (the paper's servers "responded with an integer data").
+  std::function<std::int64_t(std::int64_t)> compute = [](std::int64_t x) { return x; };
+  /// §8 extension: per-method service models for servers that "export
+  /// multiple service interfaces". Methods not listed fall back to the
+  /// replica's default model.
+  std::map<std::string, ServiceModelPtr> method_models;
+
+  /// Value-fault injection: probability that a reply carries a corrupted
+  /// result ([16]'s fault class; the active voting handler masks these,
+  /// the timing fault handler deliberately does not).
+  double value_fault_rate = 0.0;
+  /// How a corrupted result is derived from the correct one.
+  std::function<std::int64_t(std::int64_t)> corrupt = [](std::int64_t x) { return ~x; };
+};
+
+class ReplicaServer {
+ public:
+  /// Creates the replica's endpoint on `host` and joins `group`.
+  ReplicaServer(sim::Simulator& simulator, net::Lan& lan, net::MulticastGroup& group,
+                ReplicaId id, HostId host, ServiceModelPtr service_model, Rng rng,
+                ReplicaConfig config = {});
+
+  ReplicaServer(const ReplicaServer&) = delete;
+  ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+  [[nodiscard]] ReplicaId id() const { return id_; }
+  [[nodiscard]] HostId host() const { return host_; }
+  [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+
+  /// Requests waiting in the FIFO queue (excludes the one in service).
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] bool busy() const { return busy_; }
+
+  /// Total requests fully serviced.
+  [[nodiscard]] std::uint64_t serviced_requests() const { return serviced_; }
+
+  /// Crash this replica process only: the queue is lost, the in-service
+  /// request never replies, and the group excludes the member after the
+  /// failure-detection delay. The host stays up.
+  void crash_process();
+
+  /// Crash the whole host (drops every endpoint on it and triggers
+  /// host-level failure detection).
+  void crash_host();
+
+  /// Restart after a crash: fresh endpoint, empty queue, rejoins the
+  /// group. The host is revived if it was down.
+  void restart();
+
+ private:
+  void on_receive(EndpointId from, const net::Payload& message);
+  void announce();
+  void handle_request(EndpointId from, const proto::Request& request);
+  void start_next();
+  void finish_current();
+  void publish_perf(EndpointId requester, const proto::PerfData& perf, const std::string& method);
+
+  struct QueuedRequest {
+    proto::Request request;
+    EndpointId reply_to;
+    TimePoint enqueued_at;  // t2
+  };
+
+  sim::Simulator& simulator_;
+  net::Lan& lan_;
+  net::MulticastGroup& group_;
+  ReplicaId id_;
+  HostId host_;
+  ServiceModelPtr service_model_;
+  Rng rng_;
+  ReplicaConfig config_;
+
+  EndpointId endpoint_;
+  bool alive_ = true;
+  std::deque<QueuedRequest> queue_;
+  bool busy_ = false;
+  QueuedRequest current_{};
+  TimePoint dequeued_at_{};  // t3 for the in-service request
+  sim::EventHandle completion_;
+  std::vector<EndpointId> subscribers_;
+  std::uint64_t serviced_ = 0;
+};
+
+}  // namespace aqua::replica

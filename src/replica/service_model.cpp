@@ -1,0 +1,55 @@
+#include "replica/service_model.h"
+
+#include "common/assert.h"
+
+namespace aqua::replica {
+namespace {
+
+class SampledService final : public ServiceModel {
+ public:
+  explicit SampledService(stats::SamplerPtr sampler) : sampler_(std::move(sampler)) {}
+
+  Duration sample(Rng& rng, std::size_t) const override { return sampler_->sample(rng); }
+
+  std::string describe() const override { return sampler_->describe(); }
+
+ private:
+  stats::SamplerPtr sampler_;
+};
+
+class LoadSensitiveService final : public ServiceModel {
+ public:
+  LoadSensitiveService(stats::SamplerPtr base, Duration per_queued)
+      : base_(std::move(base)), per_queued_(per_queued) {}
+
+  Duration sample(Rng& rng, std::size_t queue_length) const override {
+    return base_->sample(rng) + per_queued_ * static_cast<std::int64_t>(queue_length);
+  }
+
+  std::string describe() const override {
+    return base_->describe() + " + " + to_string(per_queued_) + "/queued";
+  }
+
+ private:
+  stats::SamplerPtr base_;
+  Duration per_queued_;
+};
+
+}  // namespace
+
+ServiceModelPtr make_sampled_service(stats::SamplerPtr sampler) {
+  AQUA_REQUIRE(sampler != nullptr, "service sampler must be non-null");
+  return std::make_shared<SampledService>(std::move(sampler));
+}
+
+ServiceModelPtr make_load_sensitive_service(stats::SamplerPtr base, Duration per_queued) {
+  AQUA_REQUIRE(base != nullptr, "service sampler must be non-null");
+  AQUA_REQUIRE(per_queued >= Duration::zero(), "load penalty must be non-negative");
+  return std::make_shared<LoadSensitiveService>(std::move(base), per_queued);
+}
+
+ServiceModelPtr make_paper_service_model(Duration mean, Duration stddev) {
+  return make_sampled_service(stats::make_truncated_normal(mean, stddev));
+}
+
+}  // namespace aqua::replica

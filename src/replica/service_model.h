@@ -1,0 +1,45 @@
+// Service-time models for replica servers.
+//
+// §5.1: "Service Time: the time spent by the server to process the
+// request after dequeuing it ... For requests that are of the same kind,
+// this time mainly varies with the load on the host." The paper's
+// evaluation draws service delays from a truncated normal; additional
+// models let the benches study load sensitivity and host heterogeneity.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "stats/variates.h"
+
+namespace aqua::replica {
+
+class ServiceModel {
+ public:
+  virtual ~ServiceModel() = default;
+
+  /// Service duration for one request given the number of requests still
+  /// waiting behind it (a proxy for instantaneous host load).
+  [[nodiscard]] virtual Duration sample(Rng& rng, std::size_t queue_length) const = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using ServiceModelPtr = std::shared_ptr<const ServiceModel>;
+
+/// Load-independent model drawing from any DurationSampler; covers the
+/// paper's Normal(100ms, 50ms) evaluation workload.
+ServiceModelPtr make_sampled_service(stats::SamplerPtr sampler);
+
+/// Base draw plus `per_queued` for each request waiting in the queue —
+/// a host that slows down under load.
+ServiceModelPtr make_load_sensitive_service(stats::SamplerPtr base, Duration per_queued);
+
+/// The paper's evaluation model: Normal(mean 100ms, spread 50ms)
+/// truncated at zero.
+ServiceModelPtr make_paper_service_model(Duration mean = msec(100), Duration stddev = msec(50));
+
+}  // namespace aqua::replica

@@ -1,0 +1,68 @@
+// Bounded-free MPSC blocking queue for the threaded runtime.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace aqua::runtime {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Enqueue; returns false if the queue is closed.
+  bool push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until an item arrives or the queue closes; nullopt on close
+  /// with an empty queue.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Items currently waiting.
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  /// Close the queue: pending items are still popped, new pushes fail.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Close and discard everything queued (crash semantics).
+  void close_and_drain() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+      items_.clear();
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace aqua::runtime

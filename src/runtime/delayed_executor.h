@@ -1,0 +1,60 @@
+// Single-threaded delayed-task executor (wall clock).
+//
+// Plays the role the event queue plays in the simulation: "network"
+// delays in the threaded runtime are tasks posted with a deadline. One
+// worker thread pops tasks in deadline order and runs them.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aqua::runtime {
+
+class DelayedExecutor {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using Task = std::function<void()>;
+
+  DelayedExecutor();
+  ~DelayedExecutor();
+
+  DelayedExecutor(const DelayedExecutor&) = delete;
+  DelayedExecutor& operator=(const DelayedExecutor&) = delete;
+
+  /// Run `task` after `delay` (>= 0) on the executor thread. Returns
+  /// false if the executor is shutting down.
+  bool post_after(std::chrono::microseconds delay, Task task);
+
+  /// Stop accepting tasks, discard pending ones, join the thread.
+  void shutdown();
+
+ private:
+  struct Entry {
+    Clock::time_point at;
+    std::uint64_t seq;
+    Task task;
+  };
+  struct Order {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void worker();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, Order> tasks_;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace aqua::runtime

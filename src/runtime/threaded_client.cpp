@@ -1,0 +1,167 @@
+#include "runtime/threaded_client.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace aqua::runtime {
+
+Duration NetDelayModel::sample(Rng& rng) const {
+  if (jitter_max <= Duration::zero()) return base;
+  return base + Duration{rng.uniform_int(0, count_us(jitter_max))};
+}
+
+struct ThreadedClient::RequestState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool delivered = false;
+  proto::Reply first_reply;
+};
+
+ThreadedClient::ThreadedClient(std::vector<ThreadedReplica*> replicas, core::QosSpec qos, Rng rng,
+                               ThreadedClientConfig config)
+    : replicas_(std::move(replicas)),
+      qos_(qos),
+      rng_(std::move(rng)),
+      config_(config),
+      selector_(config.selection, core::ResponseTimeModel{config.model}),
+      repository_(config.repository),
+      tracker_(config.failure_tracker) {
+  qos_.validate();
+  AQUA_REQUIRE(!replicas_.empty(), "threaded client needs at least one replica");
+  AQUA_REQUIRE(config_.give_up_deadline_factor >= 1, "give-up factor must be >= 1");
+  std::lock_guard lock(mutex_);
+  for (const ThreadedReplica* replica : replicas_) repository_.add_replica(replica->id());
+}
+
+ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
+  using SteadyClock = std::chrono::steady_clock;
+  const auto t0 = SteadyClock::now();
+
+  Outcome outcome;
+  proto::Request request;
+  core::SelectionResult selection;
+  std::vector<ThreadedReplica*> targets;
+  core::QosSpec qos_snapshot;
+  {
+    std::lock_guard lock(mutex_);
+    qos_snapshot = qos_;
+    request.id = RequestId{next_request_++};
+    request.argument = argument;
+
+    // delta measured from the real wall clock (§5.3.3), previous value
+    // used for this selection.
+    const auto select_start = SteadyClock::now();
+    selection = selector_.select(repository_.observe_all(), qos_snapshot, overhead_.current());
+    const auto select_end = SteadyClock::now();
+    outcome.selection_overhead =
+        std::chrono::duration_cast<Duration>(select_end - select_start);
+    overhead_.record(outcome.selection_overhead);
+
+    outcome.redundancy = selection.selected.size();
+    outcome.cold_start = selection.cold_start;
+    for (ReplicaId id : selection.selected) {
+      auto it = std::find_if(replicas_.begin(), replicas_.end(),
+                             [id](const ThreadedReplica* r) { return r->id() == id; });
+      if (it != replicas_.end()) targets.push_back(*it);
+    }
+  }
+
+  auto state = std::make_shared<RequestState>();
+  for (ThreadedReplica* replica : targets) {
+    Duration out_delay;
+    {
+      std::lock_guard lock(mutex_);
+      out_delay = config_.net.sample(rng_);
+    }
+    executor_.post_after(out_delay, [this, replica, request, state] {
+      replica->submit(request, [this, state](const proto::Reply& reply) {
+        Duration back_delay;
+        {
+          std::lock_guard lock(mutex_);
+          back_delay = config_.net.sample(rng_);
+        }
+        executor_.post_after(back_delay, [this, state, reply] {
+          {
+            std::lock_guard lock(mutex_);
+            if (repository_.contains(reply.replica)) {
+              repository_.record_perf(
+                  reply.replica,
+                  core::PerfSample{reply.perf.service_time, reply.perf.queuing_delay,
+                                   reply.perf.queue_length},
+                  TimePoint{}, reply.method);
+            }
+          }
+          std::lock_guard slock(state->mutex);
+          if (!state->delivered) {
+            state->delivered = true;
+            state->first_reply = reply;
+            state->cv.notify_all();
+          }
+        });
+      });
+    });
+  }
+
+  // Wait for the first reply or give up.
+  const auto give_up = t0 + qos_snapshot.deadline * config_.give_up_deadline_factor;
+  proto::Reply first_reply;
+  {
+    std::unique_lock slock(state->mutex);
+    state->cv.wait_until(slock, give_up, [&state] { return state->delivered; });
+    outcome.answered = state->delivered;
+    if (outcome.answered) {
+      first_reply = state->first_reply;
+      outcome.first_replica = first_reply.replica;
+      outcome.result = first_reply.result;
+    }
+  }
+
+  const auto t4 = SteadyClock::now();
+  outcome.response_time = std::chrono::duration_cast<Duration>(t4 - t0);
+  outcome.timely = outcome.answered && outcome.response_time <= qos_snapshot.deadline;
+  {
+    std::lock_guard lock(mutex_);
+    tracker_.record(outcome.timely);
+    if (outcome.answered) {
+      // Two-way "gateway" delay: total minus queuing minus service.
+      const Duration td = outcome.response_time - first_reply.perf.queuing_delay -
+                          first_reply.perf.service_time;
+      if (repository_.contains(first_reply.replica)) {
+        repository_.record_gateway_delay(first_reply.replica, std::max(Duration::zero(), td),
+                                         TimePoint{});
+      }
+    }
+  }
+  return outcome;
+}
+
+void ThreadedClient::remove_replica(ReplicaId id) {
+  std::lock_guard lock(mutex_);
+  repository_.remove_replica(id);
+  std::erase_if(replicas_, [id](const ThreadedReplica* r) { return r->id() == id; });
+}
+
+void ThreadedClient::set_qos(core::QosSpec qos) {
+  qos.validate();
+  std::lock_guard lock(mutex_);
+  qos_ = qos;
+  tracker_.reset();
+}
+
+double ThreadedClient::timely_fraction() const {
+  std::lock_guard lock(mutex_);
+  return tracker_.timely_fraction();
+}
+
+bool ThreadedClient::qos_violated() const {
+  std::lock_guard lock(mutex_);
+  return tracker_.violates(qos_.min_probability);
+}
+
+std::size_t ThreadedClient::known_replicas() const {
+  std::lock_guard lock(mutex_);
+  return repository_.replica_count();
+}
+
+}  // namespace aqua::runtime

@@ -1,0 +1,97 @@
+// Wall-clock client handler: the paper's selection loop over real threads.
+//
+// invoke() runs the same pipeline as the simulated timing fault handler —
+// observe repository, select with Algorithm 1 (delta measured from the
+// REAL wall clock, as the paper's implementation does), fan the request
+// out through delay-injecting channels, deliver the first reply, harvest
+// performance data from every reply — and blocks until the first reply or
+// a give-up timeout.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/failure_tracker.h"
+#include "core/info_repository.h"
+#include "core/qos.h"
+#include "core/selection.h"
+#include "runtime/delayed_executor.h"
+#include "runtime/threaded_replica.h"
+
+namespace aqua::runtime {
+
+/// Symmetric one-way "network" delay injected on each hop.
+struct NetDelayModel {
+  Duration base = usec(200);
+  Duration jitter_max = usec(100);
+
+  [[nodiscard]] Duration sample(Rng& rng) const;
+};
+
+struct ThreadedClientConfig {
+  core::RepositoryConfig repository;
+  core::SelectionConfig selection;
+  core::ModelConfig model;
+  core::FailureTrackerConfig failure_tracker;
+  NetDelayModel net;
+  /// invoke() returns unanswered after deadline * this factor.
+  int give_up_deadline_factor = 4;
+};
+
+class ThreadedClient {
+ public:
+  struct Outcome {
+    bool answered = false;
+    bool timely = false;
+    Duration response_time{};
+    std::size_t redundancy = 0;
+    bool cold_start = false;
+    ReplicaId first_replica{};
+    std::int64_t result = 0;
+    /// Wall-clock cost of model + selection for this invocation.
+    Duration selection_overhead{};
+  };
+
+  /// The replica pointers must outlive the client.
+  ThreadedClient(std::vector<ThreadedReplica*> replicas, core::QosSpec qos, Rng rng,
+                 ThreadedClientConfig config = {});
+
+  /// Issue one request and block for the first reply (or give up).
+  Outcome invoke(std::int64_t argument);
+
+  /// Remove a crashed replica from consideration (the runtime analogue of
+  /// the membership view change).
+  void remove_replica(ReplicaId id);
+
+  void set_qos(core::QosSpec qos);
+  [[nodiscard]] const core::QosSpec& qos() const { return qos_; }
+
+  /// Snapshot accessors (thread-safe).
+  [[nodiscard]] double timely_fraction() const;
+  [[nodiscard]] bool qos_violated() const;
+  [[nodiscard]] std::size_t known_replicas() const;
+
+ private:
+  struct RequestState;
+
+  std::vector<ThreadedReplica*> replicas_;
+  core::QosSpec qos_;
+  Rng rng_;
+  ThreadedClientConfig config_;
+  core::ReplicaSelector selector_;
+  DelayedExecutor executor_;
+
+  mutable std::mutex mutex_;  // guards repository_, tracker_, overhead_, replicas_, rng_
+  core::InfoRepository repository_;
+  core::TimingFailureTracker tracker_;
+  core::OverheadEstimator overhead_;
+  std::uint64_t next_request_ = 1;
+};
+
+}  // namespace aqua::runtime

@@ -1,0 +1,53 @@
+#include "runtime/threaded_replica.h"
+
+#include "common/assert.h"
+
+namespace aqua::runtime {
+
+ThreadedReplica::ThreadedReplica(ReplicaId id, stats::SamplerPtr service_time, Rng rng)
+    : id_(id), service_time_(std::move(service_time)), rng_(std::move(rng)),
+      thread_([this] { worker(); }) {
+  AQUA_REQUIRE(service_time_ != nullptr, "replica needs a service-time sampler");
+}
+
+ThreadedReplica::~ThreadedReplica() {
+  crash();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool ThreadedReplica::submit(const proto::Request& request, ReplyFn on_reply) {
+  AQUA_REQUIRE(on_reply != nullptr, "reply callback must be callable");
+  if (!alive_.load()) return false;
+  return queue_.push(Job{request, std::move(on_reply), std::chrono::steady_clock::now()});
+}
+
+std::size_t ThreadedReplica::queue_length() const { return queue_.size(); }
+
+void ThreadedReplica::crash() {
+  alive_.store(false);
+  queue_.close_and_drain();
+}
+
+void ThreadedReplica::worker() {
+  while (auto job = queue_.pop()) {
+    const auto dequeued_at = std::chrono::steady_clock::now();
+    const Duration service = service_time_->sample(rng_);
+    std::this_thread::sleep_for(service);
+    if (!alive_.load()) return;  // crashed mid-service: never reply
+
+    proto::Reply reply;
+    reply.request = job->request.id;
+    reply.replica = id_;
+    reply.method = job->request.method;
+    reply.result = job->request.argument;
+    reply.perf.service_time = std::chrono::duration_cast<Duration>(
+        std::chrono::steady_clock::now() - dequeued_at);
+    reply.perf.queuing_delay =
+        std::chrono::duration_cast<Duration>(dequeued_at - job->enqueued_at);
+    reply.perf.queue_length = static_cast<std::int64_t>(queue_.size());
+    serviced_.fetch_add(1);
+    job->on_reply(reply);
+  }
+}
+
+}  // namespace aqua::runtime

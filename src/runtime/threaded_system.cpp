@@ -1,0 +1,79 @@
+#include "runtime/threaded_system.h"
+
+#include <thread>
+
+#include "common/assert.h"
+
+namespace aqua::runtime {
+
+ThreadedSystem::ThreadedSystem(ThreadedSystemConfig config)
+    : config_(config), rng_(config.seed) {}
+
+ThreadedSystem::~ThreadedSystem() {
+  // Clients reference replicas; drop them first.
+  clients_.clear();
+  replicas_.clear();
+}
+
+ThreadedReplica& ThreadedSystem::add_replica(stats::SamplerPtr service_time) {
+  const ReplicaId id = replica_ids_.next();
+  replicas_.push_back(std::make_unique<ThreadedReplica>(id, std::move(service_time),
+                                                        rng_.fork("replica").fork(id.value())));
+  return *replicas_.back();
+}
+
+ThreadedClient& ThreadedSystem::add_client(core::QosSpec qos) {
+  AQUA_REQUIRE(!replicas_.empty(), "add replicas before clients");
+  std::vector<ThreadedReplica*> replica_ptrs;
+  replica_ptrs.reserve(replicas_.size());
+  for (auto& replica : replicas_) replica_ptrs.push_back(replica.get());
+  clients_.push_back(std::make_unique<ThreadedClient>(
+      std::move(replica_ptrs), qos, rng_.fork("client").fork(clients_.size() + 1),
+      config_.client));
+  return *clients_.back();
+}
+
+std::vector<ThreadedReplica*> ThreadedSystem::replicas() {
+  std::vector<ThreadedReplica*> out;
+  out.reserve(replicas_.size());
+  for (auto& r : replicas_) out.push_back(r.get());
+  return out;
+}
+
+std::vector<ThreadedClient*> ThreadedSystem::clients() {
+  std::vector<ThreadedClient*> out;
+  out.reserve(clients_.size());
+  for (auto& c : clients_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<WorkloadStats> ThreadedSystem::run_workload(std::size_t requests, Duration think) {
+  AQUA_REQUIRE(requests >= 1, "workload needs at least one request");
+  std::vector<WorkloadStats> stats(clients_.size());
+  std::vector<std::thread> drivers;
+  drivers.reserve(clients_.size());
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    drivers.emplace_back([this, c, requests, think, &stats] {
+      ThreadedClient& client = *clients_[c];
+      WorkloadStats& s = stats[c];
+      for (std::size_t i = 0; i < requests; ++i) {
+        const auto outcome = client.invoke(static_cast<std::int64_t>(i));
+        ++s.requests;
+        if (outcome.answered) ++s.answered;
+        if (outcome.timely) ++s.timely;
+        s.mean_response_ms += to_ms(outcome.response_time);
+        s.mean_redundancy += static_cast<double>(outcome.redundancy);
+        s.mean_selection_overhead_us += static_cast<double>(count_us(outcome.selection_overhead));
+        std::this_thread::sleep_for(think);
+      }
+      const auto n = static_cast<double>(s.requests);
+      s.mean_response_ms /= n;
+      s.mean_redundancy /= n;
+      s.mean_selection_overhead_us /= n;
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  return stats;
+}
+
+}  // namespace aqua::runtime

@@ -1,0 +1,66 @@
+// Assembly for wall-clock deployments: replica threads + clients, with a
+// closed-loop workload driver that mirrors the paper's experiment shape
+// (issue, wait for the reply, think, repeat) on real threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/threaded_client.h"
+#include "runtime/threaded_replica.h"
+
+namespace aqua::runtime {
+
+struct ThreadedSystemConfig {
+  std::uint64_t seed = 1;
+  ThreadedClientConfig client;
+};
+
+/// Aggregate outcome of one client's closed-loop workload.
+struct WorkloadStats {
+  std::size_t requests = 0;
+  std::size_t answered = 0;
+  std::size_t timely = 0;
+  double mean_response_ms = 0.0;
+  double mean_redundancy = 0.0;
+  double mean_selection_overhead_us = 0.0;
+
+  [[nodiscard]] double failure_probability() const {
+    return requests == 0 ? 0.0
+                         : 1.0 - static_cast<double>(timely) / static_cast<double>(requests);
+  }
+};
+
+class ThreadedSystem {
+ public:
+  explicit ThreadedSystem(ThreadedSystemConfig config = {});
+  ~ThreadedSystem();
+
+  ThreadedSystem(const ThreadedSystem&) = delete;
+  ThreadedSystem& operator=(const ThreadedSystem&) = delete;
+
+  /// Add a replica worker thread with the given service-time sampler.
+  ThreadedReplica& add_replica(stats::SamplerPtr service_time);
+
+  /// Add a client over all replicas added SO FAR.
+  ThreadedClient& add_client(core::QosSpec qos);
+
+  [[nodiscard]] std::vector<ThreadedReplica*> replicas();
+  [[nodiscard]] std::vector<ThreadedClient*> clients();
+
+  /// Run every client's closed-loop workload concurrently (one driver
+  /// thread per client): `requests` requests each, sleeping `think`
+  /// between a reply and the next request. Blocks until all finish.
+  std::vector<WorkloadStats> run_workload(std::size_t requests, Duration think);
+
+ private:
+  ThreadedSystemConfig config_;
+  Rng rng_;
+  IdGenerator<ReplicaId> replica_ids_;
+  std::vector<std::unique_ptr<ThreadedReplica>> replicas_;
+  std::vector<std::unique_ptr<ThreadedClient>> clients_;
+};
+
+}  // namespace aqua::runtime

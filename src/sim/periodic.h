@@ -1,0 +1,83 @@
+// Self-rescheduling periodic task.
+//
+// Several components (dependability-manager audits, staleness-probe
+// ticks, background load processes) need "run f every T until stopped";
+// PeriodicTask packages the reschedule-from-inside-the-event pattern with
+// safe cancellation.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/assert.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace aqua::sim {
+
+class PeriodicTask {
+ public:
+  /// Inert task; call start().
+  PeriodicTask() = default;
+
+  /// Runs `fn` every `period`, first firing after `period` (or
+  /// `first_delay` if given). The task stops when stop() is called or the
+  /// object is destroyed.
+  PeriodicTask(Simulator& simulator, Duration period, std::function<void()> fn)
+      : PeriodicTask(simulator, period, period, std::move(fn)) {}
+
+  PeriodicTask(Simulator& simulator, Duration first_delay, Duration period,
+               std::function<void()> fn) {
+    start(simulator, first_delay, period, std::move(fn));
+  }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+  PeriodicTask(PeriodicTask&&) = default;
+  PeriodicTask& operator=(PeriodicTask&&) = default;
+
+  ~PeriodicTask() { stop(); }
+
+  /// (Re)start the task; an already-running schedule is stopped first.
+  void start(Simulator& simulator, Duration first_delay, Duration period,
+             std::function<void()> fn) {
+    AQUA_REQUIRE(period > Duration::zero(), "periodic task period must be positive");
+    AQUA_REQUIRE(first_delay >= Duration::zero(), "first delay must be non-negative");
+    AQUA_REQUIRE(fn != nullptr, "periodic task function must be callable");
+    stop();
+    state_ = std::make_shared<State>();
+    state_->simulator = &simulator;
+    state_->period = period;
+    state_->fn = std::move(fn);
+    schedule(state_, first_delay);
+  }
+
+  /// Prevent any further firings. Safe to call repeatedly or on an inert
+  /// task; safe to call from inside the task function.
+  void stop() {
+    if (state_) state_->stopped = true;
+    state_.reset();
+  }
+
+  [[nodiscard]] bool running() const { return state_ != nullptr; }
+
+ private:
+  struct State {
+    Simulator* simulator = nullptr;
+    Duration period{};
+    std::function<void()> fn;
+    bool stopped = false;
+  };
+
+  static void schedule(const std::shared_ptr<State>& state, Duration delay) {
+    state->simulator->schedule_after(delay, [state] {
+      if (state->stopped) return;
+      state->fn();
+      if (!state->stopped) schedule(state, state->period);
+    });
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace aqua::sim

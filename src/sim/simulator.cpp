@@ -1,0 +1,81 @@
+#include "sim/simulator.h"
+
+#include "common/assert.h"
+
+namespace aqua::sim {
+
+bool EventHandle::cancel() {
+  if (!state_ || state_->cancelled || state_->fired) return false;
+  state_->cancelled = true;
+  state_->fn = nullptr;  // release captured resources promptly
+  return true;
+}
+
+bool EventHandle::pending() const { return state_ && !state_->cancelled && !state_->fired; }
+
+EventHandle Simulator::schedule_at(TimePoint at, EventFn fn) {
+  AQUA_REQUIRE(at >= now_, "cannot schedule an event in the past");
+  AQUA_REQUIRE(fn != nullptr, "event function must be callable");
+  auto state = std::make_shared<detail::EventState>();
+  state->fn = std::move(fn);
+  queue_.push(Entry{at, next_seq_++, state});
+  ++live_count_;
+  return EventHandle{std::move(state)};
+}
+
+EventHandle Simulator::schedule_after(Duration delay, EventFn fn) {
+  AQUA_REQUIRE(delay >= Duration::zero(), "event delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::drop_cancelled_front() {
+  while (!queue_.empty() && queue_.top().state->cancelled) {
+    queue_.pop();
+    --live_count_;
+  }
+}
+
+bool Simulator::execute_next() {
+  drop_cancelled_front();
+  if (queue_.empty()) return false;
+  Entry entry = queue_.top();
+  queue_.pop();
+  --live_count_;
+  AQUA_ASSERT(entry.at >= now_);
+  now_ = entry.at;
+  entry.state->fired = true;
+  EventFn fn = std::move(entry.state->fn);
+  entry.state->fn = nullptr;
+  ++executed_;
+  fn();
+  return true;
+}
+
+bool Simulator::step() {
+  stopped_ = false;
+  return execute_next();
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && execute_next()) {
+  }
+}
+
+void Simulator::run_until(TimePoint until) {
+  AQUA_REQUIRE(until >= now_, "cannot run the clock backwards");
+  stopped_ = false;
+  while (!stopped_) {
+    drop_cancelled_front();
+    if (queue_.empty() || queue_.top().at > until) break;
+    execute_next();
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+}
+
+void Simulator::run_for(Duration duration) {
+  AQUA_REQUIRE(duration >= Duration::zero(), "run_for duration must be non-negative");
+  run_until(now_ + duration);
+}
+
+}  // namespace aqua::sim

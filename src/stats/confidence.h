@@ -1,0 +1,42 @@
+// Confidence intervals for observed proportions.
+//
+// Figure 5's y axis is an empirical failure probability out of a few
+// hundred Bernoulli trials; the Wilson score interval quantifies how
+// tight that estimate is (robust near 0 and 1, unlike the normal
+// approximation).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/assert.h"
+
+namespace aqua::stats {
+
+struct ProportionInterval {
+  double point = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Wilson score interval for `successes` out of `trials` at confidence
+/// z (1.96 ~ 95%). trials must be >= 1.
+inline ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                          double z = 1.96) {
+  AQUA_REQUIRE(trials >= 1, "wilson interval needs at least one trial");
+  AQUA_REQUIRE(successes <= trials, "successes cannot exceed trials");
+  AQUA_REQUIRE(z > 0.0, "z must be positive");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double margin = (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  ProportionInterval out;
+  out.point = p;
+  out.lower = std::max(0.0, centre - margin);
+  out.upper = std::min(1.0, centre + margin);
+  return out;
+}
+
+}  // namespace aqua::stats

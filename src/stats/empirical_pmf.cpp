@@ -1,0 +1,162 @@
+#include "stats/empirical_pmf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/assert.h"
+
+namespace aqua::stats {
+namespace {
+
+constexpr double kProbabilityTolerance = 1e-9;
+
+}  // namespace
+
+EmpiricalPmf EmpiricalPmf::from_samples(std::span<const Duration> samples) {
+  if (samples.empty()) return {};
+  std::map<Duration, double> freq;
+  const double weight = 1.0 / static_cast<double>(samples.size());
+  for (Duration s : samples) freq[s] += weight;
+  EmpiricalPmf pmf;
+  pmf.atoms_.reserve(freq.size());
+  for (const auto& [value, probability] : freq) pmf.atoms_.push_back({value, probability});
+  pmf.rebuild_cumulative();
+  return pmf;
+}
+
+EmpiricalPmf EmpiricalPmf::delta(Duration value) {
+  EmpiricalPmf pmf;
+  pmf.atoms_.push_back({value, 1.0});
+  pmf.rebuild_cumulative();
+  return pmf;
+}
+
+EmpiricalPmf EmpiricalPmf::from_atoms(std::vector<Atom> atoms) {
+  AQUA_REQUIRE(!atoms.empty(), "from_atoms requires at least one atom");
+  std::map<Duration, double> merged;
+  double total = 0.0;
+  for (const Atom& a : atoms) {
+    AQUA_REQUIRE(a.probability > 0.0, "atom probabilities must be positive");
+    merged[a.value] += a.probability;
+    total += a.probability;
+  }
+  AQUA_REQUIRE(std::abs(total - 1.0) <= kProbabilityTolerance,
+               "atom probabilities must sum to 1");
+  EmpiricalPmf pmf;
+  pmf.atoms_.reserve(merged.size());
+  for (const auto& [value, probability] : merged) pmf.atoms_.push_back({value, probability});
+  pmf.rebuild_cumulative();
+  return pmf;
+}
+
+void EmpiricalPmf::rebuild_cumulative() {
+  cumulative_.resize(atoms_.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    running += atoms_[i].probability;
+    cumulative_[i] = running;
+  }
+}
+
+double EmpiricalPmf::cdf_at(Duration t) const {
+  if (atoms_.empty()) return 0.0;
+  // Last atom with value <= t.
+  auto it = std::upper_bound(atoms_.begin(), atoms_.end(), t,
+                             [](Duration lhs, const Atom& a) { return lhs < a.value; });
+  if (it == atoms_.begin()) return 0.0;
+  const auto index = static_cast<std::size_t>(std::distance(atoms_.begin(), it)) - 1;
+  return std::min(cumulative_[index], 1.0);
+}
+
+Duration EmpiricalPmf::min() const {
+  AQUA_REQUIRE(!atoms_.empty(), "min() of an empty pmf");
+  return atoms_.front().value;
+}
+
+Duration EmpiricalPmf::max() const {
+  AQUA_REQUIRE(!atoms_.empty(), "max() of an empty pmf");
+  return atoms_.back().value;
+}
+
+double EmpiricalPmf::mean_us() const {
+  AQUA_REQUIRE(!atoms_.empty(), "mean of an empty pmf");
+  double mean = 0.0;
+  for (const Atom& a : atoms_) mean += static_cast<double>(count_us(a.value)) * a.probability;
+  return mean;
+}
+
+double EmpiricalPmf::variance_us2() const {
+  AQUA_REQUIRE(!atoms_.empty(), "variance of an empty pmf");
+  const double mu = mean_us();
+  double var = 0.0;
+  for (const Atom& a : atoms_) {
+    const double d = static_cast<double>(count_us(a.value)) - mu;
+    var += d * d * a.probability;
+  }
+  return var;
+}
+
+Duration EmpiricalPmf::quantile(double p) const {
+  AQUA_REQUIRE(!atoms_.empty(), "quantile of an empty pmf");
+  AQUA_REQUIRE(p > 0.0 && p <= 1.0, "quantile level must be in (0, 1]");
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), p - kProbabilityTolerance);
+  if (it == cumulative_.end()) return atoms_.back().value;
+  return atoms_[static_cast<std::size_t>(std::distance(cumulative_.begin(), it))].value;
+}
+
+EmpiricalPmf EmpiricalPmf::shifted(Duration offset) const {
+  EmpiricalPmf out;
+  out.atoms_.reserve(atoms_.size());
+  for (const Atom& a : atoms_) out.atoms_.push_back({a.value + offset, a.probability});
+  out.rebuild_cumulative();
+  return out;
+}
+
+EmpiricalPmf EmpiricalPmf::binned(Duration bin_width) const {
+  AQUA_REQUIRE(bin_width > Duration::zero(), "bin width must be positive");
+  if (atoms_.empty()) return {};
+  std::map<Duration, double> merged;
+  const auto width = count_us(bin_width);
+  for (const Atom& a : atoms_) {
+    // Floor toward -inf so that negative supports bin consistently.
+    auto ticks = count_us(a.value);
+    auto bin = (ticks >= 0 ? ticks / width : ((ticks - width + 1) / width)) * width;
+    merged[Duration{bin}] += a.probability;
+  }
+  EmpiricalPmf out;
+  out.atoms_.reserve(merged.size());
+  for (const auto& [value, probability] : merged) out.atoms_.push_back({value, probability});
+  out.rebuild_cumulative();
+  return out;
+}
+
+EmpiricalPmf convolve(const EmpiricalPmf& x, const EmpiricalPmf& y) {
+  if (x.empty() || y.empty()) return {};
+  std::map<Duration, double> merged;
+  for (const EmpiricalPmf::Atom& ax : x.atoms_) {
+    for (const EmpiricalPmf::Atom& ay : y.atoms_) {
+      merged[ax.value + ay.value] += ax.probability * ay.probability;
+    }
+  }
+  EmpiricalPmf out;
+  out.atoms_.reserve(merged.size());
+  for (const auto& [value, probability] : merged) out.atoms_.push_back({value, probability});
+  out.rebuild_cumulative();
+  return out;
+}
+
+double kolmogorov_distance(const EmpiricalPmf& x, const EmpiricalPmf& y) {
+  AQUA_REQUIRE(!x.empty() && !y.empty(), "kolmogorov distance of an empty pmf");
+  // The supremum of |F_x - F_y| is attained at a support point of either.
+  double max_gap = 0.0;
+  for (const EmpiricalPmf::Atom& a : x.atoms_) {
+    max_gap = std::max(max_gap, std::abs(x.cdf_at(a.value) - y.cdf_at(a.value)));
+  }
+  for (const EmpiricalPmf::Atom& a : y.atoms_) {
+    max_gap = std::max(max_gap, std::abs(x.cdf_at(a.value) - y.cdf_at(a.value)));
+  }
+  return max_gap;
+}
+
+}  // namespace aqua::stats

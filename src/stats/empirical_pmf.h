@@ -1,0 +1,96 @@
+// Empirical probability mass function over durations.
+//
+// §5.3.1 of the paper: "we first compute the probability mass function
+// (pmf) of S_i and W_i based on the relative frequency of their values
+// recorded in the sliding window L. We then use the pmf of S_i, the pmf of
+// W_i, and the recently recorded value of T_i to compute the pmf of the
+// response time R_i as a discrete convolution of W_i, S_i, and T_i."
+//
+// EmpiricalPmf is that object: a sparse, sorted list of (value,
+// probability) atoms with exact convolution, constant shifting (a
+// deterministic T is a delta pmf), CDF evaluation, and an optional binned
+// compaction used to bound convolution cost for large windows.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/time.h"
+
+namespace aqua::stats {
+
+class EmpiricalPmf {
+ public:
+  struct Atom {
+    Duration value;
+    double probability;
+
+    friend bool operator==(const Atom&, const Atom&) = default;
+  };
+
+  /// The pmf with no atoms. Convolving with it yields an empty pmf;
+  /// cdf_at() is 0 everywhere. Represents "no data recorded yet".
+  EmpiricalPmf() = default;
+
+  /// Relative-frequency pmf of the given samples (each sample weighted
+  /// 1/n, equal values merged). Empty input yields the empty pmf.
+  static EmpiricalPmf from_samples(std::span<const Duration> samples);
+
+  /// Point mass at `value` (probability 1).
+  static EmpiricalPmf delta(Duration value);
+
+  /// Pmf from explicit atoms. Atoms are sorted and merged; probabilities
+  /// must be positive and sum to 1 within 1e-9 (throws otherwise).
+  static EmpiricalPmf from_atoms(std::vector<Atom> atoms);
+
+  [[nodiscard]] bool empty() const { return atoms_.empty(); }
+  [[nodiscard]] std::size_t support_size() const { return atoms_.size(); }
+  [[nodiscard]] std::span<const Atom> atoms() const { return atoms_; }
+
+  /// P(X <= t). Zero for the empty pmf.
+  [[nodiscard]] double cdf_at(Duration t) const;
+
+  /// Smallest/largest support value; requires a non-empty pmf.
+  [[nodiscard]] Duration min() const;
+  [[nodiscard]] Duration max() const;
+
+  /// Expected value; requires a non-empty pmf.
+  [[nodiscard]] double mean_us() const;
+
+  /// Variance in us^2; requires a non-empty pmf.
+  [[nodiscard]] double variance_us2() const;
+
+  /// Smallest support value v with P(X <= v) >= p, for p in (0, 1].
+  [[nodiscard]] Duration quantile(double p) const;
+
+  /// Pmf of X + c.
+  [[nodiscard]] EmpiricalPmf shifted(Duration offset) const;
+
+  /// Pmf with support values floored to multiples of `bin_width` and
+  /// probabilities merged; bounds convolution cost at the price of up to
+  /// one bin of resolution. bin_width must be positive.
+  [[nodiscard]] EmpiricalPmf binned(Duration bin_width) const;
+
+  /// Exact pmf of X + Y for independent X, Y. Cost is
+  /// O(|X| * |Y| * log(|X| * |Y|)). Empty if either side is empty.
+  friend EmpiricalPmf convolve(const EmpiricalPmf& x, const EmpiricalPmf& y);
+
+  /// Kolmogorov distance sup_t |F_X(t) - F_Y(t)| between two pmfs
+  /// (quantifies, e.g., the accuracy loss of binning). Both must be
+  /// non-empty.
+  friend double kolmogorov_distance(const EmpiricalPmf& x, const EmpiricalPmf& y);
+
+ private:
+  // Sorted by value, values unique, probabilities > 0 and summing to ~1.
+  // cumulative_[i] = sum of probabilities of atoms_[0..i].
+  std::vector<Atom> atoms_;
+  std::vector<double> cumulative_;
+
+  void rebuild_cumulative();
+};
+
+EmpiricalPmf convolve(const EmpiricalPmf& x, const EmpiricalPmf& y);
+double kolmogorov_distance(const EmpiricalPmf& x, const EmpiricalPmf& y);
+
+}  // namespace aqua::stats

@@ -1,0 +1,81 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace aqua::stats {
+
+void SummaryStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double SummaryStats::mean() const {
+  AQUA_REQUIRE(count_ > 0, "mean of an empty accumulator");
+  return mean_;
+}
+
+double SummaryStats::min() const {
+  AQUA_REQUIRE(count_ > 0, "min of an empty accumulator");
+  return min_;
+}
+
+double SummaryStats::max() const {
+  AQUA_REQUIRE(count_ > 0, "max of an empty accumulator");
+  return max_;
+}
+
+double SummaryStats::variance() const {
+  AQUA_REQUIRE(count_ > 1, "variance needs at least two samples");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+void SummaryStats::merge(const SummaryStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+  summary_.add(value);
+}
+
+double SampleSet::quantile(double p) const {
+  AQUA_REQUIRE(!samples_.empty(), "quantile of an empty sample set");
+  AQUA_REQUIRE(p > 0.0 && p <= 1.0, "quantile level must be in (0, 1]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto n = samples_.size();
+  const auto rank = static_cast<std::size_t>(std::ceil(p * static_cast<double>(n)));
+  return samples_[std::min(rank == 0 ? 0 : rank - 1, n - 1)];
+}
+
+}  // namespace aqua::stats

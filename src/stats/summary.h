@@ -1,0 +1,61 @@
+// Aggregate statistics for experiment reporting.
+//
+// SummaryStats is an online (Welford) accumulator for mean/variance plus
+// extrema; SampleSet additionally retains every sample so exact quantiles
+// can be reported (experiment scales here are tens of thousands of
+// samples, so retention is cheap and exactness beats sketching).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.h"
+
+namespace aqua::stats {
+
+class SummaryStats {
+ public:
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Requires at least one sample.
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Unbiased sample variance; requires at least two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Merge another accumulator into this one (parallel Welford).
+  void merge(const SummaryStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class SampleSet {
+ public:
+  void add(double value);
+  void add(Duration value) { add(static_cast<double>(count_us(value))); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const SummaryStats& summary() const { return summary_; }
+
+  /// Exact empirical quantile (nearest-rank); p in (0, 1], non-empty set.
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  SummaryStats summary_;
+};
+
+}  // namespace aqua::stats

@@ -1,0 +1,208 @@
+#include "stats/variates.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace aqua::stats {
+namespace {
+
+Duration from_us_double(double us) {
+  return Duration{static_cast<std::int64_t>(std::llround(us))};
+}
+
+class ConstantSampler final : public DurationSampler {
+ public:
+  explicit ConstantSampler(Duration value) : value_(value) {}
+  Duration sample(Rng&) const override { return value_; }
+  std::string describe() const override { return "constant(" + to_string(value_) + ")"; }
+
+ private:
+  Duration value_;
+};
+
+class TruncatedNormalSampler final : public DurationSampler {
+ public:
+  TruncatedNormalSampler(Duration mean, Duration stddev, Duration floor)
+      : mean_(mean), stddev_(stddev), floor_(floor) {}
+
+  Duration sample(Rng& rng) const override {
+    const double draw = static_cast<double>(count_us(mean_)) +
+                        rng.normal01() * static_cast<double>(count_us(stddev_));
+    return std::max(floor_, from_us_double(draw));
+  }
+
+  std::string describe() const override {
+    return "normal(" + to_string(mean_) + ", sd " + to_string(stddev_) + ")";
+  }
+
+ private:
+  Duration mean_;
+  Duration stddev_;
+  Duration floor_;
+};
+
+class ExponentialSampler final : public DurationSampler {
+ public:
+  explicit ExponentialSampler(Duration mean) : mean_(mean) {}
+
+  Duration sample(Rng& rng) const override {
+    return from_us_double(rng.exponential(static_cast<double>(count_us(mean_))));
+  }
+
+  std::string describe() const override { return "exponential(" + to_string(mean_) + ")"; }
+
+ private:
+  Duration mean_;
+};
+
+class UniformSampler final : public DurationSampler {
+ public:
+  UniformSampler(Duration lo, Duration hi) : lo_(lo), hi_(hi) {}
+
+  Duration sample(Rng& rng) const override {
+    return Duration{rng.uniform_int(count_us(lo_), count_us(hi_))};
+  }
+
+  std::string describe() const override {
+    return "uniform(" + to_string(lo_) + ", " + to_string(hi_) + ")";
+  }
+
+ private:
+  Duration lo_;
+  Duration hi_;
+};
+
+class LognormalSampler final : public DurationSampler {
+ public:
+  LognormalSampler(Duration median, double sigma)
+      : mu_(std::log(static_cast<double>(count_us(median)))), sigma_(sigma), median_(median) {}
+
+  Duration sample(Rng& rng) const override {
+    return from_us_double(std::exp(mu_ + sigma_ * rng.normal01()));
+  }
+
+  std::string describe() const override {
+    return "lognormal(median " + to_string(median_) + ", sigma " + std::to_string(sigma_) + ")";
+  }
+
+ private:
+  double mu_;
+  double sigma_;
+  Duration median_;
+};
+
+class BoundedParetoSampler final : public DurationSampler {
+ public:
+  BoundedParetoSampler(double alpha, Duration lo, Duration hi)
+      : alpha_(alpha), lo_(lo), hi_(hi) {}
+
+  Duration sample(Rng& rng) const override {
+    // Inverse-CDF sampling of the bounded Pareto distribution.
+    const double l = static_cast<double>(count_us(lo_));
+    const double h = static_cast<double>(count_us(hi_));
+    const double u = rng.uniform01();
+    const double la = std::pow(l, alpha_);
+    const double ha = std::pow(h, alpha_);
+    const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+    return from_us_double(std::clamp(x, l, h));
+  }
+
+  std::string describe() const override {
+    return "pareto(alpha " + std::to_string(alpha_) + ", " + to_string(lo_) + ".." +
+           to_string(hi_) + ")";
+  }
+
+ private:
+  double alpha_;
+  Duration lo_;
+  Duration hi_;
+};
+
+class BimodalSampler final : public DurationSampler {
+ public:
+  BimodalSampler(double p_second, SamplerPtr first, SamplerPtr second)
+      : p_second_(p_second), first_(std::move(first)), second_(std::move(second)) {}
+
+  Duration sample(Rng& rng) const override {
+    return rng.bernoulli(p_second_) ? second_->sample(rng) : first_->sample(rng);
+  }
+
+  std::string describe() const override {
+    return "bimodal(p=" + std::to_string(p_second_) + ", " + first_->describe() + " | " +
+           second_->describe() + ")";
+  }
+
+ private:
+  double p_second_;
+  SamplerPtr first_;
+  SamplerPtr second_;
+};
+
+class ShiftedSampler final : public DurationSampler {
+ public:
+  ShiftedSampler(SamplerPtr base, Duration offset) : base_(std::move(base)), offset_(offset) {}
+
+  Duration sample(Rng& rng) const override {
+    return std::max(Duration::zero(), base_->sample(rng) + offset_);
+  }
+
+  std::string describe() const override {
+    return base_->describe() + " + " + to_string(offset_);
+  }
+
+ private:
+  SamplerPtr base_;
+  Duration offset_;
+};
+
+}  // namespace
+
+SamplerPtr make_constant(Duration value) {
+  AQUA_REQUIRE(value >= Duration::zero(), "constant duration must be non-negative");
+  return std::make_shared<ConstantSampler>(value);
+}
+
+SamplerPtr make_truncated_normal(Duration mean, Duration stddev, Duration floor) {
+  AQUA_REQUIRE(stddev >= Duration::zero(), "stddev must be non-negative");
+  AQUA_REQUIRE(floor <= mean, "floor must not exceed the mean");
+  return std::make_shared<TruncatedNormalSampler>(mean, stddev, floor);
+}
+
+SamplerPtr make_exponential(Duration mean) {
+  AQUA_REQUIRE(mean > Duration::zero(), "exponential mean must be positive");
+  return std::make_shared<ExponentialSampler>(mean);
+}
+
+SamplerPtr make_uniform(Duration lo, Duration hi) {
+  AQUA_REQUIRE(lo <= hi, "uniform bounds must satisfy lo <= hi");
+  AQUA_REQUIRE(lo >= Duration::zero(), "uniform lower bound must be non-negative");
+  return std::make_shared<UniformSampler>(lo, hi);
+}
+
+SamplerPtr make_lognormal(Duration median, double sigma) {
+  AQUA_REQUIRE(median > Duration::zero(), "lognormal median must be positive");
+  AQUA_REQUIRE(sigma > 0.0, "lognormal sigma must be positive");
+  return std::make_shared<LognormalSampler>(median, sigma);
+}
+
+SamplerPtr make_bounded_pareto(double alpha, Duration lo, Duration hi) {
+  AQUA_REQUIRE(alpha > 0.0, "pareto alpha must be positive");
+  AQUA_REQUIRE(lo > Duration::zero() && lo < hi, "pareto bounds must satisfy 0 < lo < hi");
+  return std::make_shared<BoundedParetoSampler>(alpha, lo, hi);
+}
+
+SamplerPtr make_bimodal(double p_second, SamplerPtr first, SamplerPtr second) {
+  AQUA_REQUIRE(p_second >= 0.0 && p_second <= 1.0, "bimodal probability must be in [0, 1]");
+  AQUA_REQUIRE(first != nullptr && second != nullptr, "bimodal components must be non-null");
+  return std::make_shared<BimodalSampler>(p_second, std::move(first), std::move(second));
+}
+
+SamplerPtr make_shifted(SamplerPtr base, Duration offset) {
+  AQUA_REQUIRE(base != nullptr, "shifted base sampler must be non-null");
+  return std::make_shared<ShiftedSampler>(std::move(base), offset);
+}
+
+}  // namespace aqua::stats

@@ -1,0 +1,60 @@
+// Random-duration generators for workload and delay models.
+//
+// The paper's evaluation simulates server load with a response delay
+// "normally distributed with a mean of 100 milliseconds and a variance of
+// 50 milliseconds" (§6) — TruncatedNormalSampler reproduces that model;
+// the other samplers support the wider workload sweeps in the benches
+// (heavy-tailed service, bursty LAN spikes, bimodal caches).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace aqua::stats {
+
+class DurationSampler {
+ public:
+  virtual ~DurationSampler() = default;
+
+  /// Draw one duration. Samplers are stateless; all randomness comes from
+  /// the caller-supplied stream, keeping experiments reproducible.
+  [[nodiscard]] virtual Duration sample(Rng& rng) const = 0;
+
+  /// Human-readable parameterisation, e.g. "normal(100ms, sd 50ms)".
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using SamplerPtr = std::shared_ptr<const DurationSampler>;
+
+/// Always `value` (value may be zero: the paper's "negligible service time").
+SamplerPtr make_constant(Duration value);
+
+/// Normal(mean, stddev) truncated below at `floor` by resampling-free
+/// clamping; requires stddev >= 0 and floor <= mean.
+SamplerPtr make_truncated_normal(Duration mean, Duration stddev, Duration floor = Duration::zero());
+
+/// Exponential with the given mean (> 0).
+SamplerPtr make_exponential(Duration mean);
+
+/// Uniform over [lo, hi]; requires lo <= hi.
+SamplerPtr make_uniform(Duration lo, Duration hi);
+
+/// Lognormal such that the median is `median` and the underlying normal
+/// has standard deviation `sigma` (> 0); right-skewed delays.
+SamplerPtr make_lognormal(Duration median, double sigma);
+
+/// Bounded Pareto over [lo, hi] with shape alpha > 0; heavy-tailed service.
+SamplerPtr make_bounded_pareto(double alpha, Duration lo, Duration hi);
+
+/// With probability p_second draw from `second`, otherwise from `first`;
+/// models bimodal behaviour (cache hit/miss, GC pause).
+SamplerPtr make_bimodal(double p_second, SamplerPtr first, SamplerPtr second);
+
+/// base sample plus a constant offset (offset may be negative; results are
+/// clamped at zero).
+SamplerPtr make_shifted(SamplerPtr base, Duration offset);
+
+}  // namespace aqua::stats

@@ -1,0 +1,55 @@
+#include "trace/csv.h"
+
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace aqua::trace {
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  AQUA_REQUIRE(!header_written_, "header may only be written once");
+  AQUA_REQUIRE(!columns.empty(), "header must have at least one column");
+  columns_ = columns.size();
+  header_written_ = true;
+  write_row(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (header_written_) {
+    AQUA_REQUIRE(cells.size() == columns_, "row width must match the header");
+  }
+  write_row(cells);
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string CsvWriter::cell(std::int64_t value) { return std::to_string(value); }
+std::string CsvWriter::cell(std::uint64_t value) { return std::to_string(value); }
+
+}  // namespace aqua::trace

@@ -1,0 +1,44 @@
+// Minimal CSV writer for experiment outputs.
+//
+// Fields containing separators, quotes or newlines are quoted per RFC
+// 4180. The writer enforces a fixed column count once the header row is
+// written, so malformed experiment tables fail fast instead of producing
+// silently ragged files.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aqua::trace {
+
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write the header row and lock the column count.
+  void header(const std::vector<std::string>& columns);
+
+  /// Write one data row; must match the header width if one was written.
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  /// Format helpers producing locale-independent cells.
+  static std::string cell(double value, int precision = 6);
+  static std::string cell(std::int64_t value);
+  static std::string cell(std::uint64_t value);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& field);
+
+  std::ostream& out_;
+  std::size_t columns_ = 0;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace aqua::trace

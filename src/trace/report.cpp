@@ -1,0 +1,26 @@
+#include "trace/report.h"
+
+#include <cstdio>
+
+namespace aqua::trace {
+
+double ClientRunReport::failure_probability() const {
+  if (requests == 0) return 0.0;
+  return static_cast<double>(timing_failures) / static_cast<double>(requests);
+}
+
+double ClientRunReport::mean_redundancy() const {
+  if (redundancy.empty()) return 0.0;
+  return redundancy.summary().mean();
+}
+
+std::string ClientRunReport::summary_line() const {
+  char buf[256];
+  const double mean_rt = response_times_ms.empty() ? 0.0 : response_times_ms.summary().mean();
+  std::snprintf(buf, sizeof buf,
+                "%s: %zu requests, failure prob %.3f, mean redundancy %.2f, mean response %.1fms",
+                label.c_str(), requests, failure_probability(), mean_redundancy(), mean_rt);
+  return buf;
+}
+
+}  // namespace aqua::trace

@@ -1,0 +1,39 @@
+// Per-client run reports aggregated from handler request logs.
+//
+// These are the quantities the paper's figures plot: the observed
+// probability of timing failures (Figure 5) and the average number of
+// replicas selected per request (Figure 4), plus response-time summaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/time.h"
+#include "stats/summary.h"
+
+namespace aqua::trace {
+
+struct ClientRunReport {
+  std::string label;
+  std::size_t requests = 0;
+  std::size_t answered = 0;   // requests that received at least one reply
+  std::size_t timing_failures = 0;
+  std::size_t cold_starts = 0;
+  std::size_t infeasible_selections = 0;  // Algorithm 1 fell back to M
+  std::size_t redispatches = 0;
+  std::size_t qos_violation_callbacks = 0;
+
+  stats::SampleSet response_times_ms;  // only answered requests
+  stats::SampleSet redundancy;         // |K| per request
+
+  /// Observed probability of timing failures (Figure 5's y axis).
+  [[nodiscard]] double failure_probability() const;
+
+  /// Average number of replicas selected (Figure 4's y axis).
+  [[nodiscard]] double mean_redundancy() const;
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string summary_line() const;
+};
+
+}  // namespace aqua::trace

@@ -1,0 +1,60 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace aqua {
+namespace {
+
+TEST(IdsTest, DefaultConstructedIdIsZero) {
+  EXPECT_EQ(ReplicaId{}.value(), 0u);
+}
+
+TEST(IdsTest, ValueRoundTrips) {
+  EXPECT_EQ(ReplicaId{42}.value(), 42u);
+}
+
+TEST(IdsTest, EqualityAndOrdering) {
+  EXPECT_EQ(ClientId{7}, ClientId{7});
+  EXPECT_NE(ClientId{7}, ClientId{8});
+  EXPECT_LT(ClientId{7}, ClientId{8});
+  EXPECT_GT(ClientId{9}, ClientId{8});
+}
+
+TEST(IdsTest, DistinctTagTypesAreDistinctTypes) {
+  static_assert(!std::is_same_v<ReplicaId, ClientId>);
+  static_assert(!std::is_same_v<HostId, EndpointId>);
+}
+
+TEST(IdsTest, StreamInsertionUsesTagPrefix) {
+  std::ostringstream os;
+  os << ReplicaId{3} << " " << ClientId{4};
+  EXPECT_EQ(os.str(), "replica-3 client-4");
+}
+
+TEST(IdsTest, HashableInUnorderedContainers) {
+  std::unordered_set<RequestId> set;
+  set.insert(RequestId{1});
+  set.insert(RequestId{2});
+  set.insert(RequestId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(RequestId{2}));
+}
+
+TEST(IdsTest, GeneratorIsMonotonic) {
+  IdGenerator<ReplicaId> gen;
+  EXPECT_EQ(gen.next(), ReplicaId{1});
+  EXPECT_EQ(gen.next(), ReplicaId{2});
+  EXPECT_EQ(gen.next(), ReplicaId{3});
+}
+
+TEST(IdsTest, GeneratorHonoursCustomStart) {
+  IdGenerator<HostId> gen{100};
+  EXPECT_EQ(gen.next(), HostId{100});
+  EXPECT_EQ(gen.next(), HostId{101});
+}
+
+}  // namespace
+}  // namespace aqua

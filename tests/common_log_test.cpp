@@ -1,0 +1,75 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aqua {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Log::set_sink([this](LogLevel level, const std::string& message) {
+      captured_.emplace_back(level, message);
+    });
+    Log::set_level(LogLevel::kDebug);
+  }
+
+  void TearDown() override {
+    Log::set_sink({});
+    Log::set_level(LogLevel::kWarn);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogTest, MessagesBelowLevelAreDropped) {
+  Log::set_level(LogLevel::kWarn);
+  AQUA_LOG_DEBUG << "debug";
+  AQUA_LOG_INFO << "info";
+  AQUA_LOG_WARN << "warn";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "warn");
+}
+
+TEST_F(LogTest, StreamingComposesMessage) {
+  AQUA_LOG_INFO << "value=" << 42 << ", pi=" << 3.5;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "value=42, pi=3.5");
+}
+
+TEST_F(LogTest, LevelIsAttached) {
+  AQUA_LOG_ERROR << "boom";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kError);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Log::set_level(LogLevel::kOff);
+  AQUA_LOG_ERROR << "boom";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, EnabledReflectsLevel) {
+  Log::set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, DisabledLevelsDoNotEvaluateStreamArguments) {
+  Log::set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  AQUA_LOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+  AQUA_LOG_ERROR << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace aqua

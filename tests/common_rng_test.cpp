@@ -1,0 +1,182 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace aqua {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NearbySeedsAreDecorrelated) {
+  // splitmix mixing should make seed 1 and seed 2 unrelated.
+  Rng a{1};
+  Rng b{2};
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    sum_a += a.uniform01();
+    sum_b += b.uniform01();
+  }
+  EXPECT_NEAR(sum_a / 1000.0, 0.5, 0.05);
+  EXPECT_NEAR(sum_b / 1000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, ForkByLabelIsDeterministic) {
+  Rng root{7};
+  Rng a = root.fork("lan");
+  Rng b = root.fork("lan");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(RngTest, DistinctLabelsGiveDistinctStreams) {
+  Rng root{7};
+  Rng a = root.fork("lan");
+  Rng b = root.fork("replica");
+  EXPECT_NE(a.seed(), b.seed());
+}
+
+TEST(RngTest, ForkByIndexIsDeterministicAndDistinct) {
+  Rng root{7};
+  EXPECT_EQ(root.fork(std::uint64_t{1}).seed(), root.fork(std::uint64_t{1}).seed());
+  EXPECT_NE(root.fork(std::uint64_t{1}).seed(), root.fork(std::uint64_t{2}).seed());
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  Rng a{9};
+  Rng b{9};
+  (void)a.fork("x");
+  (void)a.fork(std::uint64_t{5});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(RngTest, Uniform01StaysInRange) {
+  Rng rng{11};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng{12};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 10.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 10.0);
+  }
+}
+
+TEST(RngTest, UniformRejectsEmptyInterval) {
+  Rng rng{13};
+  EXPECT_THROW(rng.uniform(3.0, 3.0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform(4.0, 3.0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng{14};
+  std::vector<bool> seen(6, false);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng{15};
+  EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedBounds) {
+  Rng rng{16};
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(RngTest, NormalHasApproximatelyStandardMoments) {
+  Rng rng{17};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal01();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng{18};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng{19};
+  int hits = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng{20};
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / kN, 50.0, 2.0);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  Rng rng{21};
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng rng{22};
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // must compile and not crash
+  EXPECT_EQ(v.size(), 5u);
+}
+
+}  // namespace
+}  // namespace aqua

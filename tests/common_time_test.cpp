@@ -1,0 +1,54 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(TimeTest, FactoriesProduceExpectedTickCounts) {
+  EXPECT_EQ(count_us(usec(17)), 17);
+  EXPECT_EQ(count_us(msec(3)), 3000);
+  EXPECT_EQ(count_us(sec(2)), 2'000'000);
+}
+
+TEST(TimeTest, DurationArithmeticComposes) {
+  EXPECT_EQ(msec(1) + usec(500), usec(1500));
+  EXPECT_EQ(sec(1) - msec(250), msec(750));
+  EXPECT_EQ(msec(2) * 3, msec(6));
+}
+
+TEST(TimeTest, TimePointAndDurationInteroperate) {
+  const TimePoint epoch{};
+  const TimePoint later = epoch + msec(100);
+  EXPECT_EQ(count_us(later), 100'000);
+  EXPECT_EQ(later - epoch, msec(100));
+  EXPECT_LT(epoch, later);
+}
+
+TEST(TimeTest, CountUsOfEpochIsZero) {
+  EXPECT_EQ(count_us(TimePoint{}), 0);
+}
+
+TEST(TimeTest, ToMsConvertsFractionally) {
+  EXPECT_DOUBLE_EQ(to_ms(usec(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(Duration::zero()), 0.0);
+  EXPECT_DOUBLE_EQ(to_ms(usec(-500)), -0.5);
+}
+
+TEST(TimeTest, DurationToStringFormatsMilliseconds) {
+  EXPECT_EQ(to_string(msec(12)), "12.000ms");
+  EXPECT_EQ(to_string(usec(12345)), "12.345ms");
+}
+
+TEST(TimeTest, TimePointToStringUsesEpochOffset) {
+  EXPECT_EQ(to_string(TimePoint{} + msec(1500)), "t=1500.000ms");
+}
+
+TEST(TimeTest, NegativeDurationsAreRepresentable) {
+  const Duration d = usec(100) - usec(250);
+  EXPECT_EQ(count_us(d), -150);
+  EXPECT_LT(d, Duration::zero());
+}
+
+}  // namespace
+}  // namespace aqua

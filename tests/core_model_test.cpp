@@ -1,0 +1,143 @@
+// Tests of the §5.3.1 response-time model: R_i = S_i + W_i + T_i.
+#include "core/response_time_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aqua::core {
+namespace {
+
+ReplicaObservation observation(std::vector<std::int64_t> service_ms,
+                               std::vector<std::int64_t> queue_ms, std::int64_t gateway_ms,
+                               std::int64_t queue_length = 0) {
+  ReplicaObservation obs;
+  obs.id = ReplicaId{1};
+  for (auto v : service_ms) obs.service_samples.push_back(msec(v));
+  for (auto v : queue_ms) obs.queuing_samples.push_back(msec(v));
+  obs.gateway_delay = msec(gateway_ms);
+  obs.queue_length = queue_length;
+  return obs;
+}
+
+TEST(ResponseTimeModelTest, NoDataYieldsEmptyPmfAndZeroProbability) {
+  ResponseTimeModel model;
+  ReplicaObservation obs;
+  obs.id = ReplicaId{1};
+  EXPECT_TRUE(model.response_pmf(obs).empty());
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(100)), 0.0);
+}
+
+TEST(ResponseTimeModelTest, DeterministicHistoryGivesStepCdf) {
+  ResponseTimeModel model;
+  const auto obs = observation({100}, {0}, 4);
+  // R = 100 + 0 + 4 = 104ms with probability 1.
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(103)), 0.0);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(104)), 1.0);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(200)), 1.0);
+}
+
+TEST(ResponseTimeModelTest, ConvolutionCombinesServiceAndQueue) {
+  ResponseTimeModel model;
+  // S in {100, 200} each 1/2; W in {0, 50} each 1/2; T = 10.
+  const auto obs = observation({100, 200}, {0, 50}, 10);
+  // R support: 110, 160, 210, 260 each 1/4.
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(109)), 0.0);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(110)), 0.25);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(160)), 0.5);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(210)), 0.75);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(260)), 1.0);
+}
+
+TEST(ResponseTimeModelTest, RepeatedSamplesWeightTheCdf) {
+  ResponseTimeModel model;
+  // S: 100 (x3), 200 (x1) -> P(S=100)=0.75.
+  const auto obs = observation({100, 100, 100, 200}, {0, 0, 0, 0}, 0);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(100)), 0.75);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(200)), 1.0);
+}
+
+TEST(ResponseTimeModelTest, GatewayDelayShiftsTheWholeDistribution) {
+  ResponseTimeModel model;
+  const auto near = observation({100, 150}, {0}, 0);
+  const auto far = observation({100, 150}, {0}, 60);
+  // T=0: both samples meet a 150ms deadline.
+  EXPECT_DOUBLE_EQ(model.probability_by(near, msec(150)), 1.0);
+  // T=60 shifts R to {160, 210}: nothing fits 150ms, half fits 160ms.
+  EXPECT_DOUBLE_EQ(model.probability_by(far, msec(150)), 0.0);
+  EXPECT_DOUBLE_EQ(model.probability_by(far, msec(160)), 0.5);
+  EXPECT_DOUBLE_EQ(model.probability_by(far, msec(210)), 1.0);
+}
+
+TEST(ResponseTimeModelTest, NonPositiveDeadlineGivesZero) {
+  ResponseTimeModel model;
+  const auto obs = observation({100}, {0}, 0);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, Duration::zero()), 0.0);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, -msec(5)), 0.0);
+}
+
+TEST(ResponseTimeModelTest, ProbabilityIsMonotoneInDeadline) {
+  ResponseTimeModel model;
+  const auto obs = observation({80, 100, 120, 140}, {0, 10, 20, 30}, 5);
+  double last = -1.0;
+  for (std::int64_t t = 50; t <= 250; t += 10) {
+    const double p = model.probability_by(obs, msec(t));
+    EXPECT_GE(p, last);
+    last = p;
+  }
+  EXPECT_DOUBLE_EQ(last, 1.0);
+}
+
+TEST(ResponseTimeModelTest, PmfSupportSizeIsAtMostProductOfWindows) {
+  ResponseTimeModel model;
+  const auto obs = observation({1, 2, 3, 4, 5}, {10, 20, 30, 40, 50}, 0);
+  EXPECT_LE(model.response_pmf(obs).support_size(), 25u);
+  EXPECT_GE(model.response_pmf(obs).support_size(), 9u);  // distinct sums merge
+}
+
+TEST(ResponseTimeModelTest, BinnedModelApproximatesExact) {
+  ModelConfig binned_cfg;
+  binned_cfg.bin_width = msec(5);
+  ResponseTimeModel exact;
+  ResponseTimeModel binned{binned_cfg};
+  const auto obs = observation({101, 118, 134, 156, 178}, {3, 9, 14, 22, 31}, 4);
+  for (std::int64_t t = 100; t <= 250; t += 25) {
+    EXPECT_NEAR(binned.probability_by(obs, msec(t)), exact.probability_by(obs, msec(t)), 0.45)
+        << "t=" << t;
+  }
+  // Binned support is strictly coarser.
+  EXPECT_LE(binned.response_pmf(obs).support_size(), exact.response_pmf(obs).support_size());
+}
+
+TEST(ResponseTimeModelTest, QueueBacklogShiftPenalisesBusyReplicas) {
+  ModelConfig cfg;
+  cfg.queue_backlog_shift = true;
+  ResponseTimeModel with_shift{cfg};
+  ResponseTimeModel without_shift;
+  const auto idle = observation({100}, {0}, 0, /*queue_length=*/0);
+  const auto busy = observation({100}, {0}, 0, /*queue_length=*/3);
+  // Without the extension, queue length is ignored.
+  EXPECT_DOUBLE_EQ(without_shift.probability_by(busy, msec(100)), 1.0);
+  // With it, 3 queued requests shift the distribution by 3 x 100ms.
+  EXPECT_DOUBLE_EQ(with_shift.probability_by(busy, msec(100)), 0.0);
+  EXPECT_DOUBLE_EQ(with_shift.probability_by(busy, msec(400)), 1.0);
+  EXPECT_DOUBLE_EQ(with_shift.probability_by(idle, msec(100)), 1.0);
+}
+
+TEST(ResponseTimeModelTest, ModelConfigValidation) {
+  ModelConfig cfg;
+  cfg.bin_width = -msec(1);
+  EXPECT_THROW(ResponseTimeModel{cfg}, std::invalid_argument);
+}
+
+TEST(ResponseTimeModelTest, PartialDataCountsAsNoData) {
+  ResponseTimeModel model;
+  ReplicaObservation obs;
+  obs.id = ReplicaId{1};
+  obs.service_samples.push_back(msec(100));  // queuing window still empty
+  EXPECT_FALSE(obs.has_data());
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, sec(10)), 0.0);
+}
+
+}  // namespace
+}  // namespace aqua::core

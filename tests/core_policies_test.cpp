@@ -1,0 +1,166 @@
+#include "core/policies.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace aqua::core {
+namespace {
+
+ReplicaObservation make_obs(std::uint64_t id, std::int64_t service_ms, std::int64_t queue_ms = 0,
+                            std::int64_t gateway_ms = 0) {
+  ReplicaObservation obs;
+  obs.id = ReplicaId{id};
+  obs.service_samples = {msec(service_ms)};
+  obs.queuing_samples = {msec(queue_ms)};
+  obs.gateway_delay = msec(gateway_ms);
+  return obs;
+}
+
+std::vector<ReplicaObservation> five_replicas() {
+  // Mean responses: r1=50, r2=80, r3=110, r4=140, r5=170 ms.
+  std::vector<ReplicaObservation> obs;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    obs.push_back(make_obs(i, 20 + static_cast<std::int64_t>(i) * 30));
+  }
+  return obs;
+}
+
+const QosSpec kQos{msec(100), 0.5};
+
+TEST(PoliciesTest, FastestMeanPicksLowestMeanResponse) {
+  auto policy = make_fastest_mean_policy();
+  Rng rng{1};
+  const auto result = policy->select(five_replicas(), kQos, Duration::zero(), rng);
+  ASSERT_EQ(result.selected.size(), 1u);
+  EXPECT_EQ(result.selected[0], ReplicaId{1});
+  EXPECT_EQ(policy->name(), "fastest-mean");
+}
+
+TEST(PoliciesTest, FastestMeanAccountsForQueueAndGateway) {
+  // r1 has small service but huge queuing; r2 wins on the sum.
+  std::vector<ReplicaObservation> obs{make_obs(1, 10, 200, 0), make_obs(2, 50, 10, 5)};
+  auto policy = make_fastest_mean_policy();
+  Rng rng{1};
+  const auto result = policy->select(obs, kQos, Duration::zero(), rng);
+  EXPECT_EQ(result.selected[0], ReplicaId{2});
+}
+
+TEST(PoliciesTest, BestProbabilityPicksHighestF) {
+  // At 100ms: r1 (50ms) F=1, r5 (170ms) F=0.
+  auto policy = make_best_probability_policy();
+  Rng rng{1};
+  const auto result = policy->select(five_replicas(), kQos, Duration::zero(), rng);
+  ASSERT_EQ(result.selected.size(), 1u);
+  EXPECT_EQ(result.selected[0], ReplicaId{1});
+  EXPECT_DOUBLE_EQ(result.predicted_probability, 1.0);
+}
+
+TEST(PoliciesTest, RandomPolicySelectsKDistinct) {
+  auto policy = make_random_policy(3);
+  Rng rng{42};
+  const auto result = policy->select(five_replicas(), kQos, Duration::zero(), rng);
+  EXPECT_EQ(result.selected.size(), 3u);
+  std::set<ReplicaId> unique(result.selected.begin(), result.selected.end());
+  EXPECT_EQ(unique.size(), 3u);
+  EXPECT_EQ(policy->name(), "random-3");
+}
+
+TEST(PoliciesTest, RandomPolicyClampsToAvailable) {
+  auto policy = make_random_policy(10);
+  Rng rng{42};
+  const auto result = policy->select(five_replicas(), kQos, Duration::zero(), rng);
+  EXPECT_EQ(result.selected.size(), 5u);
+}
+
+TEST(PoliciesTest, RandomPolicyVariesAcrossCalls) {
+  auto policy = make_random_policy(1);
+  Rng rng{42};
+  std::set<ReplicaId> seen;
+  for (int i = 0; i < 50; ++i) {
+    const auto result = policy->select(five_replicas(), kQos, Duration::zero(), rng);
+    seen.insert(result.selected[0]);
+  }
+  EXPECT_GT(seen.size(), 2u);
+}
+
+TEST(PoliciesTest, RoundRobinCyclesThroughReplicas) {
+  auto policy = make_round_robin_policy(2);
+  Rng rng{1};
+  const auto r1 = policy->select(five_replicas(), kQos, Duration::zero(), rng);
+  const auto r2 = policy->select(five_replicas(), kQos, Duration::zero(), rng);
+  const auto r3 = policy->select(five_replicas(), kQos, Duration::zero(), rng);
+  EXPECT_EQ(r1.selected, (std::vector<ReplicaId>{ReplicaId{1}, ReplicaId{2}}));
+  EXPECT_EQ(r2.selected, (std::vector<ReplicaId>{ReplicaId{3}, ReplicaId{4}}));
+  EXPECT_EQ(r3.selected, (std::vector<ReplicaId>{ReplicaId{5}, ReplicaId{1}}));
+}
+
+TEST(PoliciesTest, AllReplicasSelectsEverything) {
+  auto policy = make_all_replicas_policy();
+  Rng rng{1};
+  const auto result = policy->select(five_replicas(), kQos, Duration::zero(), rng);
+  EXPECT_EQ(result.selected.size(), 5u);
+}
+
+TEST(PoliciesTest, StaticKPicksTopKByProbability) {
+  auto policy = make_static_k_policy(2);
+  Rng rng{1};
+  const auto result = policy->select(five_replicas(), kQos, Duration::zero(), rng);
+  ASSERT_EQ(result.selected.size(), 2u);
+  EXPECT_EQ(result.selected[0], ReplicaId{1});
+  EXPECT_EQ(result.selected[1], ReplicaId{2});
+}
+
+TEST(PoliciesTest, DynamicPolicyWrapsAlgorithm1) {
+  auto policy = make_dynamic_policy();
+  Rng rng{1};
+  const auto result = policy->select(five_replicas(), QosSpec{msec(100), 0.0},
+                                     Duration::zero(), rng);
+  EXPECT_EQ(result.selected.size(), 2u);  // minimum redundancy of Algorithm 1
+  EXPECT_EQ(policy->name(), "dynamic");
+}
+
+TEST(PoliciesTest, EveryPolicyHandlesColdStart) {
+  std::vector<ReplicaObservation> cold;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    ReplicaObservation obs;
+    obs.id = ReplicaId{i};
+    cold.push_back(obs);
+  }
+  Rng rng{1};
+  std::vector<PolicyPtr> policies;
+  policies.push_back(make_dynamic_policy());
+  policies.push_back(make_fastest_mean_policy());
+  policies.push_back(make_best_probability_policy());
+  policies.push_back(make_random_policy(2));
+  policies.push_back(make_round_robin_policy(2));
+  policies.push_back(make_all_replicas_policy());
+  policies.push_back(make_static_k_policy(2));
+  for (auto& policy : policies) {
+    const auto result = policy->select(cold, kQos, Duration::zero(), rng);
+    EXPECT_EQ(result.selected.size(), 4u) << policy->name() << " must bootstrap on cold start";
+  }
+}
+
+TEST(PoliciesTest, EveryPolicyRejectsEmptyObservations) {
+  Rng rng{1};
+  std::vector<PolicyPtr> policies;
+  policies.push_back(make_dynamic_policy());
+  policies.push_back(make_fastest_mean_policy());
+  policies.push_back(make_random_policy(1));
+  policies.push_back(make_all_replicas_policy());
+  for (auto& policy : policies) {
+    EXPECT_THROW(policy->select({}, kQos, Duration::zero(), rng), std::invalid_argument)
+        << policy->name();
+  }
+}
+
+TEST(PoliciesTest, FactoryValidation) {
+  EXPECT_THROW(make_random_policy(0), std::invalid_argument);
+  EXPECT_THROW(make_round_robin_policy(0), std::invalid_argument);
+  EXPECT_THROW(make_static_k_policy(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::core

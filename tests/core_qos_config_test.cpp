@@ -1,0 +1,102 @@
+#include "core/qos_config.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aqua::core {
+namespace {
+
+TEST(QosConfigTest, ParsesSingleService) {
+  const auto entries = parse_qos_config(
+      "service = search\n"
+      "deadline_ms = 150\n"
+      "min_probability = 0.9\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].service, "search");
+  EXPECT_EQ(entries[0].method, kDefaultMethod);
+  EXPECT_EQ(entries[0].qos.deadline, msec(150));
+  EXPECT_DOUBLE_EQ(entries[0].qos.min_probability, 0.9);
+}
+
+TEST(QosConfigTest, ParsesMultipleServicesAndMethods) {
+  const auto entries = parse_qos_config(
+      "# tracking QoS\n"
+      "service = radar\n"
+      "deadline_ms = 80\n"
+      "min_probability = 0.95\n"
+      "method = correlate\n"
+      "\n"
+      "service = archive\n"
+      "deadline_ms = 2000\n"
+      "min_probability = 0\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].method, "correlate");
+  EXPECT_EQ(entries[1].service, "archive");
+  EXPECT_DOUBLE_EQ(entries[1].qos.min_probability, 0.0);
+}
+
+TEST(QosConfigTest, CommentsWhitespaceAndFractionalDeadlines) {
+  const auto entries = parse_qos_config(
+      "  service =  svc   # inline comment\n"
+      "\t deadline_ms=12.5\n"
+      "min_probability = 1.0\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].qos.deadline, usec(12'500));
+  EXPECT_DOUBLE_EQ(entries[0].qos.min_probability, 1.0);
+}
+
+TEST(QosConfigTest, RejectsMissingRequiredKeys) {
+  EXPECT_THROW(parse_qos_config("service = a\nmin_probability = 0.5\n"), std::invalid_argument);
+  EXPECT_THROW(parse_qos_config("service = a\ndeadline_ms = 100\n"), std::invalid_argument);
+}
+
+TEST(QosConfigTest, RejectsKeysBeforeService) {
+  EXPECT_THROW(parse_qos_config("deadline_ms = 100\n"), std::invalid_argument);
+}
+
+TEST(QosConfigTest, RejectsMalformedLines) {
+  EXPECT_THROW(parse_qos_config("service = a\nnot a pair\n"), std::invalid_argument);
+  EXPECT_THROW(parse_qos_config("service = a\n= 5\n"), std::invalid_argument);
+  EXPECT_THROW(parse_qos_config("service = a\ndeadline_ms =\n"), std::invalid_argument);
+}
+
+TEST(QosConfigTest, RejectsBadValues) {
+  EXPECT_THROW(parse_qos_config("service = a\ndeadline_ms = fast\nmin_probability = 0.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_qos_config("service = a\ndeadline_ms = -5\nmin_probability = 0.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_qos_config("service = a\ndeadline_ms = 100\nmin_probability = 1.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_qos_config("service = a\ndeadline_ms = 100x\nmin_probability = 0.5\n"),
+               std::invalid_argument);
+}
+
+TEST(QosConfigTest, RejectsUnknownKeys) {
+  EXPECT_THROW(parse_qos_config("service = a\ntimeout = 7\n"), std::invalid_argument);
+}
+
+TEST(QosConfigTest, RejectsEmptyConfig) {
+  EXPECT_THROW(parse_qos_config("# nothing here\n"), std::invalid_argument);
+  EXPECT_THROW(parse_qos_config(""), std::invalid_argument);
+}
+
+TEST(QosConfigTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_qos_config("service = a\ndeadline_ms = 100\nmin_probability = nope\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(QosConfigTest, FindServiceLocatesEntry) {
+  const auto entries = parse_qos_config(
+      "service = a\ndeadline_ms = 100\nmin_probability = 0.5\n"
+      "service = b\ndeadline_ms = 200\nmin_probability = 0.9\n");
+  EXPECT_EQ(find_service(entries, "b").qos.deadline, msec(200));
+  EXPECT_THROW(find_service(entries, "c"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aqua::core

@@ -1,0 +1,160 @@
+#include "core/info_repository.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aqua::core {
+namespace {
+
+PerfSample sample(std::int64_t service_ms, std::int64_t queue_ms, std::int64_t qlen = 0) {
+  return PerfSample{msec(service_ms), msec(queue_ms), qlen};
+}
+
+TEST(InfoRepositoryTest, StartsEmptyAndCold) {
+  InfoRepository repo;
+  EXPECT_EQ(repo.replica_count(), 0u);
+  EXPECT_TRUE(repo.cold());
+  EXPECT_TRUE(repo.observe_all().empty());
+}
+
+TEST(InfoRepositoryTest, WindowSizeValidation) {
+  EXPECT_THROW(InfoRepository{RepositoryConfig{0}}, std::invalid_argument);
+  InfoRepository repo{RepositoryConfig{5}};
+  EXPECT_EQ(repo.window_size(), 5u);
+}
+
+TEST(InfoRepositoryTest, AddRemoveReplicas) {
+  InfoRepository repo;
+  repo.add_replica(ReplicaId{1});
+  repo.add_replica(ReplicaId{2});
+  repo.add_replica(ReplicaId{1});  // idempotent
+  EXPECT_EQ(repo.replica_count(), 2u);
+  EXPECT_TRUE(repo.contains(ReplicaId{1}));
+  repo.remove_replica(ReplicaId{1});
+  EXPECT_FALSE(repo.contains(ReplicaId{1}));
+  EXPECT_EQ(repo.replica_count(), 1u);
+}
+
+TEST(InfoRepositoryTest, TrackedButUnmeasuredReplicaHasNoData) {
+  InfoRepository repo;
+  repo.add_replica(ReplicaId{1});
+  EXPECT_TRUE(repo.cold());
+  const auto obs = repo.observe(ReplicaId{1});
+  EXPECT_FALSE(obs.has_data());
+  EXPECT_TRUE(obs.service_samples.empty());
+}
+
+TEST(InfoRepositoryTest, RecordPerfFillsWindows) {
+  InfoRepository repo{RepositoryConfig{3}};
+  repo.add_replica(ReplicaId{1});
+  repo.record_perf(ReplicaId{1}, sample(100, 10, 2), TimePoint{} + msec(1));
+  EXPECT_FALSE(repo.cold());
+  const auto obs = repo.observe(ReplicaId{1});
+  ASSERT_TRUE(obs.has_data());
+  EXPECT_EQ(obs.service_samples, (std::vector<Duration>{msec(100)}));
+  EXPECT_EQ(obs.queuing_samples, (std::vector<Duration>{msec(10)}));
+  EXPECT_EQ(obs.queue_length, 2);
+  EXPECT_EQ(obs.last_update, TimePoint{} + msec(1));
+}
+
+TEST(InfoRepositoryTest, WindowsSlideAtCapacity) {
+  InfoRepository repo{RepositoryConfig{2}};
+  repo.record_perf(ReplicaId{1}, sample(100, 1), TimePoint{});
+  repo.record_perf(ReplicaId{1}, sample(200, 2), TimePoint{});
+  repo.record_perf(ReplicaId{1}, sample(300, 3), TimePoint{});
+  const auto obs = repo.observe(ReplicaId{1});
+  EXPECT_EQ(obs.service_samples, (std::vector<Duration>{msec(200), msec(300)}));
+  EXPECT_EQ(obs.queuing_samples, (std::vector<Duration>{msec(2), msec(3)}));
+}
+
+TEST(InfoRepositoryTest, ImplicitReplicaCreationOnPerfRecord) {
+  InfoRepository repo;
+  repo.record_perf(ReplicaId{9}, sample(50, 0), TimePoint{});
+  EXPECT_TRUE(repo.contains(ReplicaId{9}));
+}
+
+TEST(InfoRepositoryTest, GatewayDelayIsLastValueOnly) {
+  InfoRepository repo;
+  repo.add_replica(ReplicaId{1});
+  repo.record_gateway_delay(ReplicaId{1}, msec(3), TimePoint{});
+  repo.record_gateway_delay(ReplicaId{1}, msec(5), TimePoint{});
+  EXPECT_EQ(repo.observe(ReplicaId{1}).gateway_delay, msec(5));
+}
+
+TEST(InfoRepositoryTest, QueueLengthIsLatest) {
+  InfoRepository repo;
+  repo.record_perf(ReplicaId{1}, sample(100, 0, 4), TimePoint{});
+  repo.record_perf(ReplicaId{1}, sample(100, 0, 1), TimePoint{});
+  EXPECT_EQ(repo.observe(ReplicaId{1}).queue_length, 1);
+}
+
+TEST(InfoRepositoryTest, ObserveUnknownThrows) {
+  InfoRepository repo;
+  EXPECT_THROW(repo.observe(ReplicaId{404}), std::invalid_argument);
+}
+
+TEST(InfoRepositoryTest, ObserveAllInIdOrder) {
+  InfoRepository repo;
+  repo.add_replica(ReplicaId{3});
+  repo.add_replica(ReplicaId{1});
+  repo.add_replica(ReplicaId{2});
+  const auto all = repo.observe_all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].id, ReplicaId{1});
+  EXPECT_EQ(all[1].id, ReplicaId{2});
+  EXPECT_EQ(all[2].id, ReplicaId{3});
+}
+
+TEST(InfoRepositoryTest, RemoveDropsHistory) {
+  InfoRepository repo;
+  repo.record_perf(ReplicaId{1}, sample(100, 0), TimePoint{});
+  repo.remove_replica(ReplicaId{1});
+  repo.add_replica(ReplicaId{1});
+  EXPECT_FALSE(repo.observe(ReplicaId{1}).has_data());
+}
+
+TEST(InfoRepositoryTest, ValidationOfSamples) {
+  InfoRepository repo;
+  EXPECT_THROW(repo.record_perf(ReplicaId{1}, PerfSample{msec(-1), msec(0), 0}, TimePoint{}),
+               std::invalid_argument);
+  EXPECT_THROW(repo.record_perf(ReplicaId{1}, PerfSample{msec(1), msec(-1), 0}, TimePoint{}),
+               std::invalid_argument);
+  EXPECT_THROW(repo.record_perf(ReplicaId{1}, PerfSample{msec(1), msec(0), -2}, TimePoint{}),
+               std::invalid_argument);
+  EXPECT_THROW(repo.record_gateway_delay(ReplicaId{1}, msec(-1), TimePoint{}),
+               std::invalid_argument);
+}
+
+TEST(InfoRepositoryTest, MethodAwareExtensionKeepsSeparateWindows) {
+  InfoRepository repo{RepositoryConfig{5}};
+  repo.record_perf(ReplicaId{1}, sample(100, 0), TimePoint{}, "search");
+  repo.record_perf(ReplicaId{1}, sample(500, 0), TimePoint{}, "index");
+  const auto search_obs = repo.observe(ReplicaId{1}, "search");
+  const auto index_obs = repo.observe(ReplicaId{1}, "index");
+  ASSERT_TRUE(search_obs.has_data());
+  ASSERT_TRUE(index_obs.has_data());
+  EXPECT_EQ(search_obs.service_samples[0], msec(100));
+  EXPECT_EQ(index_obs.service_samples[0], msec(500));
+  // Unrecorded method has no data for this replica.
+  EXPECT_FALSE(repo.observe(ReplicaId{1}, "delete").has_data());
+}
+
+TEST(InfoRepositoryTest, ColdIsPerMethod) {
+  InfoRepository repo;
+  repo.record_perf(ReplicaId{1}, sample(100, 0), TimePoint{}, "search");
+  EXPECT_FALSE(repo.cold("search"));
+  EXPECT_TRUE(repo.cold("index"));
+}
+
+TEST(InfoRepositoryTest, GatewayDelayIsSharedAcrossMethods) {
+  // T_i is a property of the path, not of the method.
+  InfoRepository repo;
+  repo.record_perf(ReplicaId{1}, sample(100, 0), TimePoint{}, "search");
+  repo.record_gateway_delay(ReplicaId{1}, msec(4), TimePoint{});
+  EXPECT_EQ(repo.observe(ReplicaId{1}, "search").gateway_delay, msec(4));
+  EXPECT_EQ(repo.observe(ReplicaId{1}, "index").gateway_delay, msec(4));
+}
+
+}  // namespace
+}  // namespace aqua::core

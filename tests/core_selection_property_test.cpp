@@ -1,0 +1,192 @@
+// Property-based tests of Algorithm 1 over randomly generated
+// repositories, including the paper's Equation 3 single-crash guarantee.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/selection.h"
+
+namespace aqua::core {
+namespace {
+
+struct Scenario {
+  std::vector<ReplicaObservation> observations;
+  QosSpec qos;
+  std::uint64_t seed;
+};
+
+Scenario random_scenario(std::uint64_t seed) {
+  Rng rng{seed};
+  Scenario s;
+  s.seed = seed;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 10));
+  const auto window = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  for (std::size_t i = 0; i < n; ++i) {
+    ReplicaObservation obs;
+    obs.id = ReplicaId{i + 1};
+    for (std::size_t j = 0; j < window; ++j) {
+      obs.service_samples.push_back(msec(rng.uniform_int(20, 250)));
+      obs.queuing_samples.push_back(msec(rng.uniform_int(0, 80)));
+    }
+    obs.gateway_delay = usec(rng.uniform_int(500, 8000));
+    obs.queue_length = rng.uniform_int(0, 4);
+    s.observations.push_back(std::move(obs));
+  }
+  s.qos.deadline = msec(rng.uniform_int(50, 400));
+  s.qos.min_probability = rng.uniform(0.0, 1.0);
+  return s;
+}
+
+class SelectionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectionPropertyTest, SelectedSetIsNonEmptySubsetWithoutDuplicates) {
+  const Scenario s = random_scenario(GetParam());
+  ReplicaSelector selector;
+  const auto result = selector.select(s.observations, s.qos);
+  ASSERT_FALSE(result.selected.empty());
+  std::vector<ReplicaId> sorted = result.selected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end()) << "duplicates";
+  for (ReplicaId id : result.selected) {
+    EXPECT_TRUE(std::any_of(s.observations.begin(), s.observations.end(),
+                            [id](const ReplicaObservation& o) { return o.id == id; }));
+  }
+}
+
+TEST_P(SelectionPropertyTest, AlwaysContainsArgmaxReplica) {
+  const Scenario s = random_scenario(GetParam());
+  ReplicaSelector selector;
+  const auto result = selector.select(s.observations, s.qos);
+  if (result.cold_start || result.ranked.empty()) return;
+  EXPECT_NE(std::find(result.selected.begin(), result.selected.end(), result.ranked[0].id),
+            result.selected.end());
+}
+
+TEST_P(SelectionPropertyTest, FeasibleImpliesTestProbabilityMeetsRequest) {
+  const Scenario s = random_scenario(GetParam());
+  ReplicaSelector selector;
+  const auto result = selector.select(s.observations, s.qos);
+  if (result.feasible) {
+    EXPECT_GE(result.test_probability + 1e-12, s.qos.min_probability);
+    EXPECT_GE(result.predicted_probability + 1e-12, result.test_probability - 1e-12);
+  }
+}
+
+TEST_P(SelectionPropertyTest, Equation3SingleCrashGuarantee) {
+  // Drop ANY single selected member: the remaining set must still meet
+  // Pc according to the model (Equation 3).
+  const Scenario s = random_scenario(GetParam());
+  SelectionConfig cfg;
+  cfg.crash_tolerance = 1;
+  cfg.include_dataless = false;
+  ReplicaSelector selector{cfg};
+  const auto result = selector.select(s.observations, s.qos);
+  if (!result.feasible || result.cold_start) return;
+
+  ResponseTimeModel model;
+  // F value per selected id (no overhead delta passed, so deadline is t).
+  const auto f_of = [&](ReplicaId id) {
+    for (const auto& r : result.ranked) {
+      if (r.id == id) return r.probability;
+    }
+    ADD_FAILURE() << "selected id missing from ranking";
+    return 0.0;
+  };
+  for (ReplicaId crashed : result.selected) {
+    double prod = 1.0;
+    for (ReplicaId id : result.selected) {
+      if (id == crashed) continue;
+      prod *= 1.0 - f_of(id);
+    }
+    EXPECT_GE(1.0 - prod + 1e-9, s.qos.min_probability)
+        << "seed " << s.seed << ": crash of replica " << crashed.value()
+        << " breaks the guarantee";
+  }
+}
+
+TEST_P(SelectionPropertyTest, CrashTolerance2SurvivesAnyPairCrash) {
+  const Scenario s = random_scenario(GetParam());
+  SelectionConfig cfg;
+  cfg.crash_tolerance = 2;
+  cfg.include_dataless = false;
+  ReplicaSelector selector{cfg};
+  const auto result = selector.select(s.observations, s.qos);
+  if (!result.feasible || result.cold_start) return;
+
+  const auto f_of = [&](ReplicaId id) {
+    for (const auto& r : result.ranked) {
+      if (r.id == id) return r.probability;
+    }
+    return 0.0;
+  };
+  const auto& k = result.selected;
+  for (std::size_t a = 0; a < k.size(); ++a) {
+    for (std::size_t b = a + 1; b < k.size(); ++b) {
+      double prod = 1.0;
+      for (std::size_t i = 0; i < k.size(); ++i) {
+        if (i == a || i == b) continue;
+        prod *= 1.0 - f_of(k[i]);
+      }
+      EXPECT_GE(1.0 - prod + 1e-9, s.qos.min_probability)
+          << "seed " << s.seed << ": pair crash (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST_P(SelectionPropertyTest, MonotoneInRequestedProbability) {
+  const Scenario s = random_scenario(GetParam());
+  ReplicaSelector selector;
+  std::size_t last = 0;
+  for (double pc : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    QosSpec qos{s.qos.deadline, pc};
+    const auto result = selector.select(s.observations, qos);
+    EXPECT_GE(result.selected.size(), last) << "seed " << s.seed << " pc " << pc;
+    last = result.selected.size();
+  }
+}
+
+TEST_P(SelectionPropertyTest, MonotoneInDeadline) {
+  const Scenario s = random_scenario(GetParam());
+  ReplicaSelector selector;
+  std::size_t last = SIZE_MAX;
+  for (std::int64_t t_ms : {60, 100, 150, 250, 400, 800}) {
+    QosSpec qos{msec(t_ms), s.qos.min_probability};
+    const auto result = selector.select(s.observations, qos);
+    EXPECT_LE(result.selected.size(), last) << "seed " << s.seed << " t " << t_ms;
+    last = result.selected.size();
+  }
+}
+
+TEST_P(SelectionPropertyTest, SelectionIsDeterministic) {
+  const Scenario s = random_scenario(GetParam());
+  ReplicaSelector selector;
+  const auto a = selector.select(s.observations, s.qos);
+  const auto b = selector.select(s.observations, s.qos);
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_DOUBLE_EQ(a.predicted_probability, b.predicted_probability);
+}
+
+TEST_P(SelectionPropertyTest, InfeasibleReturnsEveryReplica) {
+  const Scenario s = random_scenario(GetParam());
+  ReplicaSelector selector;
+  const auto result = selector.select(s.observations, s.qos);
+  if (!result.feasible && !result.cold_start) {
+    EXPECT_EQ(result.selected.size(), s.observations.size());
+  }
+}
+
+TEST_P(SelectionPropertyTest, SelectedNeverExceedsAvailable) {
+  const Scenario s = random_scenario(GetParam());
+  ReplicaSelector selector;
+  const auto result = selector.select(s.observations, s.qos);
+  EXPECT_LE(result.selected.size(), s.observations.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, SelectionPropertyTest,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{60}));
+
+}  // namespace
+}  // namespace aqua::core

@@ -1,0 +1,355 @@
+// Unit tests of Algorithm 1 (§5.3.2) on hand-constructed repositories.
+#include "core/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace aqua::core {
+namespace {
+
+/// Observation whose response time is deterministic `response_ms` — so
+/// F_R(t) is a unit step at response_ms, giving exact control over the
+/// ranking.
+ReplicaObservation deterministic(std::uint64_t id, std::int64_t response_ms) {
+  ReplicaObservation obs;
+  obs.id = ReplicaId{id};
+  obs.service_samples = {msec(response_ms)};
+  obs.queuing_samples = {Duration::zero()};
+  obs.gateway_delay = Duration::zero();
+  return obs;
+}
+
+/// Observation meeting deadline `t` with probability k/n: k samples at
+/// fast_ms, n-k at slow_ms (fast <= t < slow).
+ReplicaObservation probabilistic(std::uint64_t id, int k, int n, std::int64_t fast_ms = 50,
+                                 std::int64_t slow_ms = 500) {
+  ReplicaObservation obs;
+  obs.id = ReplicaId{id};
+  for (int i = 0; i < k; ++i) obs.service_samples.push_back(msec(fast_ms));
+  for (int i = k; i < n; ++i) obs.service_samples.push_back(msec(slow_ms));
+  obs.queuing_samples = {Duration::zero()};
+  obs.gateway_delay = Duration::zero();
+  return obs;
+}
+
+ReplicaObservation dataless(std::uint64_t id) {
+  ReplicaObservation obs;
+  obs.id = ReplicaId{id};
+  return obs;
+}
+
+bool selected(const SelectionResult& result, std::uint64_t id) {
+  return std::find(result.selected.begin(), result.selected.end(), ReplicaId{id}) !=
+         result.selected.end();
+}
+
+TEST(SelectionTest, RequiresNonEmptyObservations) {
+  ReplicaSelector selector;
+  EXPECT_THROW(selector.select({}, QosSpec{msec(100), 0.5}), std::invalid_argument);
+}
+
+TEST(SelectionTest, RejectsDuplicateReplicas) {
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs{deterministic(1, 10), deterministic(1, 20)};
+  EXPECT_THROW(selector.select(obs, QosSpec{msec(100), 0.5}), std::invalid_argument);
+}
+
+TEST(SelectionTest, ValidatesQos) {
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs{deterministic(1, 10)};
+  EXPECT_THROW(selector.select(obs, QosSpec{Duration::zero(), 0.5}), std::invalid_argument);
+  EXPECT_THROW(selector.select(obs, QosSpec{msec(100), 1.5}), std::invalid_argument);
+}
+
+TEST(SelectionTest, ColdStartSelectsEveryReplica) {
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs{dataless(1), dataless(2), dataless(3)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.9});
+  EXPECT_TRUE(result.cold_start);
+  EXPECT_EQ(result.selected.size(), 3u);
+}
+
+TEST(SelectionTest, SingleReplicaReturnsThatReplica) {
+  // n = 1: the greedy loop has nothing to iterate over, so Algorithm 1
+  // returns M = {m0}.
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs{deterministic(1, 10)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.0});
+  EXPECT_EQ(result.selected.size(), 1u);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(selected(result, 1));
+}
+
+TEST(SelectionTest, MinimumRedundancyIsTwoWhenFeasible) {
+  // §6: "a redundancy level of 2, which is the minimum number of replicas
+  // selected by Algorithm 1" — the protected m0 plus one candidate.
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs;
+  for (std::uint64_t i = 1; i <= 7; ++i) obs.push_back(deterministic(i, 10));
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.0});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.selected.size(), 2u);
+}
+
+TEST(SelectionTest, AlwaysIncludesHighestProbabilityReplica) {
+  ReplicaSelector selector;
+  // Replica 3 responds in 10ms (F=1 at any t >= 10ms); others in 500ms.
+  std::vector<ReplicaObservation> obs{deterministic(1, 500), deterministic(2, 500),
+                                      deterministic(3, 10), deterministic(4, 500)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.0});
+  EXPECT_TRUE(selected(result, 3));
+  ASSERT_FALSE(result.ranked.empty());
+  EXPECT_EQ(result.ranked[0].id, ReplicaId{3});
+}
+
+TEST(SelectionTest, FeasibilityTestExcludesProtectedReplica) {
+  // Deadline 100ms, Pc = 0.9. Replica 1 is perfect (F=1); replicas 2..4
+  // have F=0.5. The test must reach 0.9 WITHOUT replica 1:
+  // X = {2,3}: 1-(0.5)^2 = 0.75 < 0.9; X = {2,3,4}: 0.875 < 0.9 -> all
+  // candidates exhausted, infeasible -> returns M (all 4).
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs{probabilistic(1, 1, 1), probabilistic(2, 1, 2),
+                                      probabilistic(3, 1, 2), probabilistic(4, 1, 2)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.9});
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.selected.size(), 4u);
+
+  // With Pc = 0.85, X = {2,3,4} reaches 0.875 >= 0.85: K = X + m0 = 4.
+  const auto feasible = selector.select(obs, QosSpec{msec(100), 0.85});
+  EXPECT_TRUE(feasible.feasible);
+  EXPECT_EQ(feasible.selected.size(), 4u);
+  EXPECT_NEAR(feasible.test_probability, 0.875, 1e-12);
+
+  // With Pc = 0.7, X = {2,3} reaches 0.75: K = 3.
+  const auto small = selector.select(obs, QosSpec{msec(100), 0.7});
+  EXPECT_TRUE(small.feasible);
+  EXPECT_EQ(small.selected.size(), 3u);
+  EXPECT_TRUE(selected(small, 1));
+}
+
+TEST(SelectionTest, GreedyStopsAtFirstSatisfyingPrefix) {
+  // F values (at t=100ms): 0.9, 0.8, 0.6, 0.4. Pc=0.8.
+  // X={0.8}: 0.8 >= 0.8 -> stop. K = {m0, m1}.
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs{probabilistic(1, 9, 10), probabilistic(2, 8, 10),
+                                      probabilistic(3, 6, 10), probabilistic(4, 4, 10)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.8});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.selected.size(), 2u);
+  EXPECT_TRUE(selected(result, 1));
+  EXPECT_TRUE(selected(result, 2));
+}
+
+TEST(SelectionTest, HigherRequestedProbabilitySelectsMoreReplicas) {
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs;
+  for (std::uint64_t i = 1; i <= 7; ++i) obs.push_back(probabilistic(i, 1, 2));
+  std::size_t last = 0;
+  for (double pc : {0.0, 0.5, 0.9, 0.99}) {
+    const auto result = selector.select(obs, QosSpec{msec(100), pc});
+    EXPECT_GE(result.selected.size(), last) << "pc=" << pc;
+    last = result.selected.size();
+  }
+}
+
+TEST(SelectionTest, LongerDeadlineSelectsFewerReplicas) {
+  // Samples spread 60..180ms: longer deadlines raise every F_i.
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs;
+  for (std::uint64_t i = 1; i <= 7; ++i) {
+    ReplicaObservation o;
+    o.id = ReplicaId{i};
+    for (std::int64_t s = 60; s <= 180; s += 40) o.service_samples.push_back(msec(s));
+    o.queuing_samples = {Duration::zero()};
+    o.gateway_delay = msec(2);
+    obs.push_back(o);
+  }
+  const auto tight = selector.select(obs, QosSpec{msec(100), 0.9});
+  const auto loose = selector.select(obs, QosSpec{msec(200), 0.9});
+  EXPECT_GE(tight.selected.size(), loose.selected.size());
+  EXPECT_EQ(loose.selected.size(), 2u);  // every replica is certain at 200ms
+}
+
+TEST(SelectionTest, InfeasibleReturnsWholeSetM) {
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs{probabilistic(1, 1, 10), probabilistic(2, 1, 10),
+                                      probabilistic(3, 1, 10)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.999});
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.selected.size(), 3u);
+}
+
+TEST(SelectionTest, AllZeroProbabilityStillReturnsM) {
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs{deterministic(1, 900), deterministic(2, 900)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.5});
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.selected.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.ranked[0].probability, 0.0);
+}
+
+TEST(SelectionTest, PredictedProbabilityIncludesProtectedMember) {
+  ReplicaSelector selector;
+  // m0 has F=1; candidate has F=0.5; Pc=0.5 satisfied by candidate alone.
+  std::vector<ReplicaObservation> obs{probabilistic(1, 1, 1), probabilistic(2, 1, 2)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.5});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_NEAR(result.test_probability, 0.5, 1e-12);
+  EXPECT_NEAR(result.predicted_probability, 1.0, 1e-12);  // includes m0
+}
+
+TEST(SelectionTest, OverheadCompensationShrinksEffectiveDeadline) {
+  SelectionConfig cfg;
+  cfg.overhead_compensation = true;
+  ReplicaSelector selector{cfg};
+  // Response exactly 100ms; deadline 100ms. Without delta: F=1.
+  std::vector<ReplicaObservation> obs{deterministic(1, 100), deterministic(2, 100)};
+  const auto without = selector.select(obs, QosSpec{msec(100), 0.5}, Duration::zero());
+  EXPECT_TRUE(without.feasible);
+  // delta = 1ms: effective deadline 99ms -> F=0 -> infeasible -> M.
+  const auto with = selector.select(obs, QosSpec{msec(100), 0.5}, msec(1));
+  EXPECT_FALSE(with.feasible);
+  EXPECT_DOUBLE_EQ(with.ranked[0].probability, 0.0);
+}
+
+TEST(SelectionTest, OverheadCompensationCanBeDisabled) {
+  SelectionConfig cfg;
+  cfg.overhead_compensation = false;
+  ReplicaSelector selector{cfg};
+  std::vector<ReplicaObservation> obs{deterministic(1, 100), deterministic(2, 100)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.5}, msec(50));
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(SelectionTest, DeltaLargerThanDeadlineYieldsM) {
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs{deterministic(1, 10), deterministic(2, 10)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.5}, msec(200));
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.selected.size(), 2u);
+}
+
+TEST(SelectionTest, DatalessReplicasAreBootstrappedWhenFeasible) {
+  SelectionConfig cfg;
+  cfg.include_dataless = true;
+  ReplicaSelector selector{cfg};
+  std::vector<ReplicaObservation> obs{deterministic(1, 10), deterministic(2, 10), dataless(9)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.5});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(selected(result, 9));
+  EXPECT_EQ(result.selected.size(), 3u);
+}
+
+TEST(SelectionTest, DatalessBootstrapCanBeDisabled) {
+  SelectionConfig cfg;
+  cfg.include_dataless = false;
+  ReplicaSelector selector{cfg};
+  std::vector<ReplicaObservation> obs{deterministic(1, 10), deterministic(2, 10), dataless(9)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.5});
+  EXPECT_FALSE(selected(result, 9));
+  EXPECT_EQ(result.selected.size(), 2u);
+}
+
+TEST(SelectionTest, CrashToleranceZeroIsPlainGreedy) {
+  SelectionConfig cfg;
+  cfg.crash_tolerance = 0;
+  ReplicaSelector selector{cfg};
+  std::vector<ReplicaObservation> obs{probabilistic(1, 1, 1), probabilistic(2, 1, 2),
+                                      probabilistic(3, 1, 2)};
+  // k=0: the perfect replica participates in the test -> one suffices.
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.9});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.selected.size(), 1u);
+  EXPECT_TRUE(selected(result, 1));
+}
+
+TEST(SelectionTest, CrashToleranceTwoProtectsTopTwo) {
+  SelectionConfig cfg;
+  cfg.crash_tolerance = 2;
+  ReplicaSelector selector{cfg};
+  // F: r1=1.0, r2=1.0, r3=0.8, r4=0.8. Pc=0.8: X={r3} satisfies -> K size 3.
+  std::vector<ReplicaObservation> obs{probabilistic(1, 1, 1), probabilistic(2, 1, 1),
+                                      probabilistic(3, 8, 10), probabilistic(4, 8, 10)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.8});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.selected.size(), 3u);
+  EXPECT_TRUE(selected(result, 1));
+  EXPECT_TRUE(selected(result, 2));
+  EXPECT_TRUE(selected(result, 3));
+}
+
+TEST(SelectionTest, MinimalFallbackSelectsProtectedPlusOne) {
+  SelectionConfig cfg;
+  cfg.infeasible_fallback = InfeasibleFallback::kMinimalSet;
+  ReplicaSelector selector{cfg};
+  std::vector<ReplicaObservation> obs;
+  for (std::uint64_t i = 1; i <= 6; ++i) obs.push_back(probabilistic(i, 1, 10));
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.999});
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.selected.size(), 2u);  // protected m0 + best candidate
+  // The two highest-F replicas are the ones taken.
+  EXPECT_EQ(result.selected[0], result.ranked[0].id);
+  EXPECT_EQ(result.selected[1], result.ranked[1].id);
+}
+
+TEST(SelectionTest, MinimalFallbackWithCrashTolerance2TakesThree) {
+  SelectionConfig cfg;
+  cfg.infeasible_fallback = InfeasibleFallback::kMinimalSet;
+  cfg.crash_tolerance = 2;
+  ReplicaSelector selector{cfg};
+  std::vector<ReplicaObservation> obs;
+  for (std::uint64_t i = 1; i <= 6; ++i) obs.push_back(probabilistic(i, 1, 10));
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.999});
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.selected.size(), 3u);
+}
+
+TEST(SelectionTest, MinimalFallbackDoesNotChangeFeasibleSelections) {
+  SelectionConfig paper_cfg;
+  SelectionConfig minimal_cfg;
+  minimal_cfg.infeasible_fallback = InfeasibleFallback::kMinimalSet;
+  std::vector<ReplicaObservation> obs;
+  for (std::uint64_t i = 1; i <= 5; ++i) obs.push_back(probabilistic(i, 9, 10));
+  const auto a = ReplicaSelector{paper_cfg}.select(obs, QosSpec{msec(100), 0.8});
+  const auto b = ReplicaSelector{minimal_cfg}.select(obs, QosSpec{msec(100), 0.8});
+  ASSERT_TRUE(a.feasible);
+  EXPECT_EQ(a.selected, b.selected);
+}
+
+TEST(SelectionTest, RankedDiagnosticsAreSortedDescending) {
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs{probabilistic(1, 3, 10), probabilistic(2, 9, 10),
+                                      probabilistic(3, 6, 10)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.0});
+  ASSERT_EQ(result.ranked.size(), 3u);
+  EXPECT_EQ(result.ranked[0].id, ReplicaId{2});
+  EXPECT_EQ(result.ranked[1].id, ReplicaId{3});
+  EXPECT_EQ(result.ranked[2].id, ReplicaId{1});
+  EXPECT_GE(result.ranked[0].probability, result.ranked[1].probability);
+  EXPECT_GE(result.ranked[1].probability, result.ranked[2].probability);
+}
+
+TEST(SelectionTest, TiesBreakDeterministicallyById) {
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs{deterministic(3, 10), deterministic(1, 10),
+                                      deterministic(2, 10)};
+  const auto a = selector.select(obs, QosSpec{msec(100), 0.0});
+  const auto b = selector.select(obs, QosSpec{msec(100), 0.0});
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.selected[0], ReplicaId{1});
+  EXPECT_EQ(a.selected[1], ReplicaId{2});
+}
+
+TEST(SelectionTest, ProtectedMembersComeFirstInSelectedList) {
+  ReplicaSelector selector;
+  std::vector<ReplicaObservation> obs{probabilistic(5, 1, 1), probabilistic(2, 9, 10),
+                                      probabilistic(7, 8, 10)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.5});
+  ASSERT_GE(result.selected.size(), 2u);
+  EXPECT_EQ(result.selected[0], ReplicaId{5});  // highest F first (protected)
+}
+
+}  // namespace
+}  // namespace aqua::core

@@ -1,0 +1,92 @@
+// Tests of the §5.3.1 suggested extension: T_i as a windowed random
+// variable instead of a last-value constant.
+#include <gtest/gtest.h>
+
+#include "core/info_repository.h"
+#include "core/response_time_model.h"
+
+namespace aqua::core {
+namespace {
+
+ReplicaObservation obs_with_gateway(std::vector<std::int64_t> gateway_ms,
+                                    std::int64_t last_ms) {
+  ReplicaObservation obs;
+  obs.id = ReplicaId{1};
+  obs.service_samples = {msec(100)};
+  obs.queuing_samples = {Duration::zero()};
+  obs.gateway_delay = msec(last_ms);
+  for (auto v : gateway_ms) obs.gateway_samples.push_back(msec(v));
+  return obs;
+}
+
+TEST(WindowedGatewayModelTest, DisabledUsesLastValueOnly) {
+  ResponseTimeModel model;  // windowed_gateway_delay defaults to false
+  const auto obs = obs_with_gateway({1, 50}, 50);
+  // R = 100 + 0 + 50 deterministic.
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(149)), 0.0);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(150)), 1.0);
+}
+
+TEST(WindowedGatewayModelTest, EnabledConvolvesGatewayWindow) {
+  ModelConfig cfg;
+  cfg.windowed_gateway_delay = true;
+  ResponseTimeModel model{cfg};
+  const auto obs = obs_with_gateway({1, 50}, 50);
+  // T in {1, 50} each 0.5 -> R in {101, 150}.
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(100)), 0.0);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(101)), 0.5);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(149)), 0.5);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(150)), 1.0);
+}
+
+TEST(WindowedGatewayModelTest, EnabledButNoSamplesFallsBackToLastValue) {
+  ModelConfig cfg;
+  cfg.windowed_gateway_delay = true;
+  ResponseTimeModel model{cfg};
+  const auto obs = obs_with_gateway({}, 20);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(119)), 0.0);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(120)), 1.0);
+}
+
+TEST(WindowedGatewayModelTest, SpikeSampleDilutesOverWindow) {
+  // A single spike measurement among many normal ones only shifts 1/l of
+  // the mass — unlike the last-value model which is fully poisoned when
+  // the spike was the most recent measurement.
+  ModelConfig cfg;
+  cfg.windowed_gateway_delay = true;
+  ResponseTimeModel windowed{cfg};
+  ResponseTimeModel last_value;
+  const auto obs = obs_with_gateway({2, 2, 2, 2, 400}, /*last=*/400);
+  // Windowed: 4/5 of the mass is at 102ms.
+  EXPECT_DOUBLE_EQ(windowed.probability_by(obs, msec(150)), 0.8);
+  // Last-value: the spike poisons everything.
+  EXPECT_DOUBLE_EQ(last_value.probability_by(obs, msec(150)), 0.0);
+}
+
+TEST(RepositoryGatewayWindowTest, WindowRecordsDelaysOldestFirst) {
+  InfoRepository repo{RepositoryConfig{5, 3}};
+  repo.record_gateway_delay(ReplicaId{1}, msec(1), TimePoint{});
+  repo.record_gateway_delay(ReplicaId{1}, msec(2), TimePoint{});
+  repo.record_gateway_delay(ReplicaId{1}, msec(3), TimePoint{});
+  repo.record_gateway_delay(ReplicaId{1}, msec(4), TimePoint{});
+  const auto obs = repo.observe(ReplicaId{1});
+  EXPECT_EQ(obs.gateway_samples, (std::vector<Duration>{msec(2), msec(3), msec(4)}));
+  EXPECT_EQ(obs.gateway_delay, msec(4));  // last value still tracked
+}
+
+TEST(RepositoryGatewayWindowTest, DefaultsToMainWindowSize) {
+  InfoRepository repo{RepositoryConfig{4}};
+  for (int i = 1; i <= 10; ++i) {
+    repo.record_gateway_delay(ReplicaId{1}, msec(i), TimePoint{});
+  }
+  EXPECT_EQ(repo.observe(ReplicaId{1}).gateway_samples.size(), 4u);
+}
+
+TEST(RepositoryGatewayWindowTest, EmptyUntilFirstMeasurement) {
+  InfoRepository repo;
+  repo.add_replica(ReplicaId{1});
+  EXPECT_TRUE(repo.observe(ReplicaId{1}).gateway_samples.empty());
+}
+
+}  // namespace
+}  // namespace aqua::core

@@ -1,0 +1,119 @@
+// ClientApp unit behaviour: workload pacing, give-up semantics, report
+// accounting.
+#include "gateway/client_app.h"
+
+#include <gtest/gtest.h>
+
+#include "gateway/system.h"
+
+namespace aqua::gateway {
+namespace {
+
+SystemConfig quiet_system(std::uint64_t seed = 1) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  cfg.lan.jitter_sigma = 0.0;
+  return cfg;
+}
+
+TEST(ClientAppTest, ValidatesGiveUp) {
+  AquaSystem system{quiet_system()};
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(5))));
+  ClientWorkload wl;
+  wl.give_up_after = Duration::zero();
+  EXPECT_THROW(system.add_client(core::QosSpec{msec(100), 0.0}, wl), std::invalid_argument);
+}
+
+TEST(ClientAppTest, ThinkTimePacesRequests) {
+  AquaSystem system{quiet_system()};
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(5))));
+  ClientWorkload wl;
+  wl.total_requests = 0;
+  wl.think_time = stats::make_constant(sec(1));
+  ClientApp& app = system.add_client(core::QosSpec{msec(100), 0.0}, wl);
+  system.run_for(sec(10) + msec(500));
+  // ~1 request per (1s think + ~15ms response): about 10 in 10.5s.
+  EXPECT_GE(app.issued(), 9u);
+  EXPECT_LE(app.issued(), 11u);
+}
+
+TEST(ClientAppTest, GiveUpReleasesTheLoop) {
+  AquaSystem system{quiet_system()};
+  auto& replica = system.add_replica(replica::make_sampled_service(stats::make_constant(msec(5))));
+  ClientWorkload wl;
+  wl.total_requests = 5;
+  wl.think_time = stats::make_constant(msec(100));
+  wl.give_up_after = msec(500);
+  ClientApp& app = system.add_client(core::QosSpec{msec(200), 0.0}, wl);
+  // Kill the only replica before anything is answered.
+  replica.crash_host();
+  system.run_for(sec(10));
+  EXPECT_EQ(app.issued(), 5u);
+  EXPECT_EQ(app.abandoned(), 5u);
+  EXPECT_EQ(app.answered(), 0u);
+  EXPECT_TRUE(app.done());
+}
+
+TEST(ClientAppTest, LateReplyAfterGiveUpDoesNotDoubleAdvance) {
+  // A reply that arrives after the give-up must not trigger an extra
+  // request (the workload total stays exact).
+  AquaSystem system{quiet_system()};
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(800))));
+  ClientWorkload wl;
+  wl.total_requests = 3;
+  wl.think_time = stats::make_constant(msec(100));
+  wl.give_up_after = msec(500);  // shorter than the 800ms service time
+  ClientApp& app = system.add_client(core::QosSpec{msec(200), 0.0}, wl);
+  system.run_for(sec(20));
+  EXPECT_EQ(app.issued(), 3u);
+  EXPECT_EQ(app.abandoned(), 3u);
+  EXPECT_TRUE(app.done());
+  // Handler history also has exactly 3 requests.
+  EXPECT_EQ(app.handler().history().size(), 3u);
+}
+
+TEST(ClientAppTest, ReportExcludesUndecidedRequests) {
+  AquaSystem system{quiet_system()};
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(500))));
+  ClientWorkload wl;
+  wl.total_requests = 1;
+  wl.think_time = stats::make_constant(msec(100));
+  ClientApp& app = system.add_client(core::QosSpec{sec(2), 0.0}, wl);
+  // Stop while the request is in flight and its deadline hasn't passed.
+  system.run_for(msec(300));
+  EXPECT_EQ(app.issued(), 1u);
+  EXPECT_EQ(app.report().requests, 0u);  // undecided, not counted
+  system.run_for(sec(5));
+  EXPECT_EQ(app.report().requests, 1u);
+  EXPECT_EQ(app.report().timing_failures, 0u);
+}
+
+TEST(ClientAppTest, ReportCountsLateAnswerOnceAsFailure) {
+  AquaSystem system{quiet_system()};
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(300))));
+  ClientWorkload wl;
+  wl.total_requests = 1;
+  wl.think_time = stats::make_constant(msec(100));
+  ClientApp& app = system.add_client(core::QosSpec{msec(100), 0.0}, wl);
+  system.run_for(sec(5));
+  const auto report = app.report();
+  EXPECT_EQ(report.requests, 1u);
+  EXPECT_EQ(report.answered, 1u);          // the reply did arrive...
+  EXPECT_EQ(report.timing_failures, 1u);   // ...but late
+}
+
+TEST(ClientAppTest, DoneRequiresLastReplyOrAbandon) {
+  AquaSystem system{quiet_system()};
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(50))));
+  ClientWorkload wl;
+  wl.total_requests = 2;
+  wl.think_time = stats::make_constant(msec(10));
+  ClientApp& app = system.add_client(core::QosSpec{msec(200), 0.0}, wl);
+  system.run_for(msec(70));  // first request answered? ~60ms round trip
+  EXPECT_FALSE(app.done());
+  system.run_for(sec(5));
+  EXPECT_TRUE(app.done());
+}
+
+}  // namespace
+}  // namespace aqua::gateway

@@ -1,0 +1,119 @@
+// Crash-tolerance behaviour of the full stack: the Equation 3 guarantee
+// exercised end-to-end with crash injection.
+#include <gtest/gtest.h>
+
+#include "gateway/system.h"
+
+namespace aqua::gateway {
+namespace {
+
+SystemConfig quiet_system(std::uint64_t seed = 1) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  cfg.lan.jitter_sigma = 0.0;
+  return cfg;
+}
+
+ClientWorkload workload(std::size_t requests, Duration think = msec(100)) {
+  ClientWorkload w;
+  w.total_requests = requests;
+  w.think_time = stats::make_constant(think);
+  return w;
+}
+
+TEST(CrashTest, ServiceSurvivesSingleReplicaCrashMidRun) {
+  AquaSystem system{quiet_system()};
+  for (int i = 0; i < 4; ++i) {
+    system.add_replica(replica::make_sampled_service(stats::make_constant(msec(20))));
+  }
+  ClientApp& app = system.add_client(core::QosSpec{msec(300), 0.5}, workload(30));
+  // Crash one replica a third of the way in.
+  system.simulator().schedule_after(sec(1), [&] { system.replicas()[0]->crash_host(); });
+  ASSERT_TRUE(system.run_until_clients_done(sec(120)));
+  EXPECT_EQ(app.answered(), 30u);
+  const auto report = app.report();
+  // The crash may cost at most the requests in flight at crash time.
+  EXPECT_LE(report.timing_failures, 2u);
+}
+
+TEST(CrashTest, CrashOfBestReplicaStillMeetsQos) {
+  AquaSystem system{quiet_system(11)};
+  // Replica 1 is clearly the best (5ms); the others are slower but
+  // comfortably within the deadline.
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(5))));
+  for (int i = 0; i < 3; ++i) {
+    system.add_replica(replica::make_sampled_service(stats::make_constant(msec(50))));
+  }
+  ClientApp& app = system.add_client(core::QosSpec{msec(200), 0.9}, workload(30));
+  system.simulator().schedule_after(sec(1), [&] { system.replicas()[0]->crash_host(); });
+  ASSERT_TRUE(system.run_until_clients_done(sec(120)));
+  const auto report = app.report();
+  // Pc = 0.9 => at most 10% failures allowed; a single in-flight request
+  // can miss around the crash.
+  EXPECT_LE(report.failure_probability(), 0.1);
+}
+
+TEST(CrashTest, AllButOneCrashServiceStillAnswers) {
+  AquaSystem system{quiet_system(5)};
+  for (int i = 0; i < 3; ++i) {
+    system.add_replica(replica::make_sampled_service(stats::make_constant(msec(10))));
+  }
+  ClientApp& app = system.add_client(core::QosSpec{sec(2), 0.0}, workload(20, msec(200)));
+  system.simulator().schedule_after(sec(1), [&] {
+    system.replicas()[0]->crash_host();
+    system.replicas()[1]->crash_host();
+  });
+  ASSERT_TRUE(system.run_until_clients_done(sec(120)));
+  EXPECT_EQ(app.issued(), 20u);
+  // Everything after the view change is answered by the survivor.
+  EXPECT_GE(app.answered(), 18u);
+}
+
+TEST(CrashTest, TotalOutageAbandonsAndRecovers) {
+  AquaSystem system{quiet_system(5)};
+  auto& r1 = system.add_replica(replica::make_sampled_service(stats::make_constant(msec(10))));
+  ClientApp& app = system.add_client(core::QosSpec{msec(500), 0.0}, workload(10, msec(100)));
+  system.simulator().schedule_after(sec(1), [&] { r1.crash_host(); });
+  system.simulator().schedule_after(sec(8), [&] { r1.restart(); });
+  system.run_for(sec(60));
+  EXPECT_EQ(app.issued(), 10u);
+  EXPECT_GT(app.abandoned(), 0u);          // outage requests gave up
+  EXPECT_GT(app.answered(), 0u);           // recovery served the rest
+  EXPECT_EQ(app.answered() + app.abandoned(), 10u);
+}
+
+TEST(CrashTest, RestartedReplicaIsRediscoveredAndUsed) {
+  AquaSystem system{quiet_system(9)};
+  auto& r1 = system.add_replica(replica::make_sampled_service(stats::make_constant(msec(5))));
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(50))));
+  ClientWorkload w;
+  w.total_requests = 0;
+  w.think_time = stats::make_constant(msec(200));
+  ClientApp& app = system.add_client(core::QosSpec{msec(400), 0.0}, w);
+  system.simulator().schedule_after(sec(1), [&] { r1.crash_host(); });
+  system.simulator().schedule_after(sec(4), [&] { r1.restart(); });
+  system.run_for(sec(12));
+  EXPECT_GT(app.answered(), 30u);
+  // Handler re-learned the restarted replica.
+  EXPECT_EQ(app.handler().known_replicas(), 2u);
+  EXPECT_TRUE(app.handler().repository().contains(r1.id()));
+  // And the restarted fast replica serviced requests again.
+  EXPECT_GT(r1.serviced_requests(), 0u);
+}
+
+TEST(CrashTest, ProcessCrashOnSharedHostLeavesSiblingAlive) {
+  AquaSystem system{quiet_system()};
+  const HostId host = system.new_host();
+  auto& r1 = system.add_replica_on(host, replica::make_sampled_service(stats::make_constant(msec(10))));
+  auto& r2 = system.add_replica_on(host, replica::make_sampled_service(stats::make_constant(msec(10))));
+  ClientApp& app = system.add_client(core::QosSpec{msec(300), 0.0}, workload(10));
+  system.simulator().schedule_after(msec(500), [&] { r1.crash_process(); });
+  ASSERT_TRUE(system.run_until_clients_done(sec(60)));
+  EXPECT_TRUE(r2.alive());
+  EXPECT_GE(app.answered(), 9u);
+  EXPECT_FALSE(app.handler().repository().contains(r1.id()));
+  EXPECT_TRUE(app.handler().repository().contains(r2.id()));
+}
+
+}  // namespace
+}  // namespace aqua::gateway

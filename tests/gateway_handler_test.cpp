@@ -1,0 +1,315 @@
+// Tests of the timing fault handler against a live simulated stack.
+#include "gateway/timing_fault_handler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/group.h"
+#include "net/lan.h"
+#include "replica/replica_server.h"
+#include "sim/simulator.h"
+
+namespace aqua::gateway {
+namespace {
+
+class HandlerTest : public ::testing::Test {
+ protected:
+  HandlerTest() : lan_(sim_, Rng{1}, quiet_config()), group_(sim_, lan_, GroupId{1}) {}
+
+  static net::LanConfig quiet_config() {
+    net::LanConfig cfg;
+    cfg.jitter_sigma = 0.0;
+    return cfg;
+  }
+
+  replica::ReplicaServer& add_replica(std::uint64_t id, Duration service_time) {
+    replicas_.push_back(std::make_unique<replica::ReplicaServer>(
+        sim_, lan_, group_, ReplicaId{id}, HostId{id + 100},
+        replica::make_sampled_service(stats::make_constant(service_time)), Rng{id}));
+    return *replicas_.back();
+  }
+
+  std::unique_ptr<TimingFaultHandler> make_handler(core::QosSpec qos, HandlerConfig cfg = {}) {
+    auto handler = std::make_unique<TimingFaultHandler>(sim_, lan_, group_, ClientId{1},
+                                                        HostId{1}, qos, Rng{99}, cfg);
+    // Let the Subscribe/Announce handshake settle.
+    sim_.run_for(msec(50));
+    return handler;
+  }
+
+  sim::Simulator sim_;
+  net::Lan lan_;
+  net::MulticastGroup group_;
+  std::vector<std::unique_ptr<replica::ReplicaServer>> replicas_;
+};
+
+TEST_F(HandlerTest, DiscoversReplicasViaHandshake) {
+  add_replica(1, msec(10));
+  add_replica(2, msec(10));
+  auto handler = make_handler(core::QosSpec{msec(200), 0.5});
+  EXPECT_EQ(handler->known_replicas(), 2u);
+  EXPECT_EQ(handler->repository().replica_count(), 2u);
+}
+
+TEST_F(HandlerTest, DiscoversReplicasThatJoinLater) {
+  auto handler = make_handler(core::QosSpec{msec(200), 0.5});
+  EXPECT_EQ(handler->known_replicas(), 0u);
+  add_replica(1, msec(10));
+  sim_.run_for(msec(50));
+  EXPECT_EQ(handler->known_replicas(), 1u);
+}
+
+TEST_F(HandlerTest, FirstRequestIsColdStartToAllReplicas) {
+  add_replica(1, msec(10));
+  add_replica(2, msec(10));
+  add_replica(3, msec(10));
+  auto handler = make_handler(core::QosSpec{msec(200), 0.5});
+  bool replied = false;
+  handler->invoke(7, [&](const ReplyInfo& info) {
+    replied = true;
+    EXPECT_EQ(info.result, 7);
+  });
+  sim_.run_for(sec(1));
+  EXPECT_TRUE(replied);
+  ASSERT_EQ(handler->history().size(), 1u);
+  EXPECT_TRUE(handler->history()[0].cold_start);
+  EXPECT_EQ(handler->history()[0].redundancy, 3u);
+}
+
+TEST_F(HandlerTest, DeliversOnlyFirstReply) {
+  add_replica(1, msec(5));
+  add_replica(2, msec(200));
+  auto handler = make_handler(core::QosSpec{msec(500), 0.5});
+  int deliveries = 0;
+  ReplicaId first{};
+  handler->invoke(1, [&](const ReplyInfo& info) {
+    ++deliveries;
+    first = info.replica;
+  });
+  sim_.run_for(sec(2));
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(first, ReplicaId{1});  // the fast one
+}
+
+TEST_F(HandlerTest, RedundantRepliesStillUpdateRepository) {
+  add_replica(1, msec(5));
+  add_replica(2, msec(100));
+  auto handler = make_handler(core::QosSpec{msec(500), 0.5});
+  handler->invoke(1, [](const ReplyInfo&) {});
+  sim_.run_for(sec(2));
+  // Both replicas serviced the cold-start request; both windows filled.
+  EXPECT_TRUE(handler->repository().observe(ReplicaId{1}).has_data());
+  EXPECT_TRUE(handler->repository().observe(ReplicaId{2}).has_data());
+  // Gateway delay measured for both (first and redundant replies).
+  EXPECT_GT(handler->repository().observe(ReplicaId{2}).gateway_delay, Duration::zero());
+}
+
+TEST_F(HandlerTest, SubsequentRequestsUseModelBasedSelection) {
+  add_replica(1, msec(10));
+  add_replica(2, msec(10));
+  add_replica(3, msec(10));
+  add_replica(4, msec(10));
+  auto handler = make_handler(core::QosSpec{msec(200), 0.0});
+  for (int i = 0; i < 3; ++i) {
+    bool replied = false;
+    handler->invoke(i, [&](const ReplyInfo&) { replied = true; });
+    sim_.run_for(sec(1));
+    ASSERT_TRUE(replied);
+  }
+  ASSERT_EQ(handler->history().size(), 3u);
+  EXPECT_TRUE(handler->history()[0].cold_start);
+  // Once warm, Algorithm 1 with Pc=0 picks exactly 2 of the 4.
+  EXPECT_FALSE(handler->history()[1].cold_start);
+  EXPECT_EQ(handler->history()[1].redundancy, 2u);
+  EXPECT_EQ(handler->history()[2].redundancy, 2u);
+}
+
+TEST_F(HandlerTest, ResponseTimeRecordedAndTimely) {
+  add_replica(1, msec(10));
+  auto handler = make_handler(core::QosSpec{msec(200), 0.0});
+  Duration tr{};
+  bool timely = false;
+  handler->invoke(1, [&](const ReplyInfo& info) {
+    tr = info.response_time;
+    timely = info.timely;
+  });
+  sim_.run_for(sec(1));
+  EXPECT_TRUE(timely);
+  // Round trip: interception + selection + 2x(stack+wire) + gateway
+  // overhead + 10ms service. Must exceed the service time alone but stay
+  // well under the deadline.
+  EXPECT_GT(tr, msec(10));
+  EXPECT_LT(tr, msec(50));
+  ASSERT_TRUE(handler->history()[0].response_time.has_value());
+  EXPECT_EQ(*handler->history()[0].response_time, tr);
+}
+
+TEST_F(HandlerTest, TimingFailureDetectedWhenDeadlineMissed) {
+  add_replica(1, msec(100));
+  auto handler = make_handler(core::QosSpec{msec(50), 0.0});
+  bool timely = true;
+  handler->invoke(1, [&](const ReplyInfo& info) { timely = info.timely; });
+  sim_.run_for(sec(1));
+  EXPECT_FALSE(timely);
+  EXPECT_EQ(handler->failure_tracker().failures(), 1u);
+  EXPECT_FALSE(handler->history()[0].timely);
+  // The late reply is still delivered with its (late) response time.
+  ASSERT_TRUE(handler->history()[0].response_time.has_value());
+  EXPECT_GT(*handler->history()[0].response_time, msec(50));
+}
+
+TEST_F(HandlerTest, NoReplyAtAllCountsAsTimingFailure) {
+  auto& replica = add_replica(1, msec(10));
+  auto handler = make_handler(core::QosSpec{msec(100), 0.0});
+  // Crash before the request is sent; detection is slower than the
+  // deadline so no redispatch can save it.
+  replica.crash_process();
+  bool delivered = false;
+  handler->invoke(1, [&](const ReplyInfo&) { delivered = true; });
+  sim_.run_for(sec(5));
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(handler->failure_tracker().failures(), 1u);
+  EXPECT_EQ(handler->failure_tracker().total(), 1u);
+}
+
+TEST_F(HandlerTest, QosViolationCallbackFires) {
+  add_replica(1, msec(300));  // always misses a 100ms deadline
+  HandlerConfig cfg;
+  cfg.failure_tracker.min_samples = 3;
+  auto handler = make_handler(core::QosSpec{msec(100), 0.9}, cfg);
+  int callbacks = 0;
+  double reported_fraction = 1.0;
+  handler->on_qos_violation([&](double fraction) {
+    ++callbacks;
+    reported_fraction = fraction;
+  });
+  for (int i = 0; i < 5; ++i) {
+    bool got = false;
+    handler->invoke(i, [&](const ReplyInfo&) { got = true; });
+    sim_.run_for(sec(1));
+    ASSERT_TRUE(got);
+  }
+  EXPECT_EQ(callbacks, 1);  // reported once, not on every failure
+  EXPECT_LT(reported_fraction, 0.9);
+}
+
+TEST_F(HandlerTest, SetQosResetsTracker) {
+  add_replica(1, msec(300));
+  auto handler = make_handler(core::QosSpec{msec(100), 0.9});
+  handler->invoke(1, [](const ReplyInfo&) {});
+  sim_.run_for(sec(1));
+  EXPECT_EQ(handler->failure_tracker().failures(), 1u);
+  handler->set_qos(core::QosSpec{msec(500), 0.5});
+  EXPECT_EQ(handler->failure_tracker().total(), 0u);
+  EXPECT_EQ(handler->qos().deadline, msec(500));
+  bool timely = false;
+  handler->invoke(2, [&](const ReplyInfo& info) { timely = info.timely; });
+  sim_.run_for(sec(1));
+  EXPECT_TRUE(timely);
+}
+
+TEST_F(HandlerTest, CrashedReplicaEvictedFromRepository) {
+  auto& r1 = add_replica(1, msec(10));
+  add_replica(2, msec(10));
+  auto handler = make_handler(core::QosSpec{msec(200), 0.0});
+  handler->invoke(1, [](const ReplyInfo&) {});
+  sim_.run_for(sec(1));
+  EXPECT_EQ(handler->repository().replica_count(), 2u);
+  r1.crash_host();
+  sim_.run_for(sec(2));  // past the failure-detection delay
+  EXPECT_EQ(handler->repository().replica_count(), 1u);
+  EXPECT_FALSE(handler->repository().contains(ReplicaId{1}));
+  EXPECT_EQ(handler->known_replicas(), 1u);
+}
+
+TEST_F(HandlerTest, SelectionSkipsCrashedReplicas) {
+  auto& r1 = add_replica(1, msec(5));   // fastest: would normally be chosen
+  add_replica(2, msec(20));
+  add_replica(3, msec(20));
+  auto handler = make_handler(core::QosSpec{msec(200), 0.0});
+  handler->invoke(1, [](const ReplyInfo&) {});
+  sim_.run_for(sec(1));
+  r1.crash_host();
+  sim_.run_for(sec(2));
+  bool delivered = false;
+  ReplicaId first{};
+  handler->invoke(2, [&](const ReplyInfo& info) {
+    delivered = true;
+    first = info.replica;
+  });
+  sim_.run_for(sec(1));
+  EXPECT_TRUE(delivered);
+  EXPECT_NE(first, ReplicaId{1});
+}
+
+TEST_F(HandlerTest, RedispatchAfterAllSelectedCrash) {
+  auto& r1 = add_replica(1, msec(10));
+  auto& r2 = add_replica(2, msec(10));
+  add_replica(3, msec(10));
+  net::GroupConfig gcfg;
+  // (group config is fixed at construction; rely on default 500ms here)
+  (void)gcfg;
+  HandlerConfig cfg;
+  cfg.redispatch_on_view_change = true;
+  // Deadline long enough to survive detection + redispatch.
+  auto handler = make_handler(core::QosSpec{msec(5000), 0.0}, cfg);
+  // Warm up so selection picks two specific replicas.
+  handler->invoke(1, [](const ReplyInfo&) {});
+  sim_.run_for(sec(2));
+
+  // Issue; crash both likely-selected replicas just after dispatch.
+  bool delivered = false;
+  handler->invoke(2, [&](const ReplyInfo&) { delivered = true; });
+  sim_.schedule_after(usec(600), [&] {
+    r1.crash_host();
+    r2.crash_host();
+  });
+  sim_.run_for(sec(10));
+  EXPECT_TRUE(delivered);
+  // At least one request in the history was redispatched OR replica 3
+  // answered directly (if it was in the original selection).
+  ASSERT_EQ(handler->history().size(), 2u);
+}
+
+TEST_F(HandlerTest, OverheadDeltaIsMeasuredAndReused) {
+  add_replica(1, msec(10));
+  add_replica(2, msec(10));
+  auto handler = make_handler(core::QosSpec{msec(200), 0.5});
+  EXPECT_EQ(handler->overhead_delta(), Duration::zero());
+  handler->invoke(1, [](const ReplyInfo&) {});
+  sim_.run_for(sec(1));
+  // After one execution, delta reflects interception + selection cost.
+  EXPECT_GT(handler->overhead_delta(), Duration::zero());
+  EXPECT_LT(handler->overhead_delta(), msec(5));
+}
+
+TEST_F(HandlerTest, TransmittedAfterInterceptionAndSelection) {
+  add_replica(1, msec(10));
+  auto handler = make_handler(core::QosSpec{msec(200), 0.0});
+  handler->invoke(1, [](const ReplyInfo&) {});
+  sim_.run_for(sec(1));
+  const RequestRecord& record = handler->history()[0];
+  EXPECT_GT(record.transmitted_at, record.intercepted_at);
+  EXPECT_LT(record.transmitted_at - record.intercepted_at, msec(2));
+}
+
+TEST_F(HandlerTest, InvokeRequiresCallback) {
+  add_replica(1, msec(10));
+  auto handler = make_handler(core::QosSpec{msec(200), 0.0});
+  EXPECT_THROW(handler->invoke(1, nullptr), std::invalid_argument);
+}
+
+TEST_F(HandlerTest, HistoryGrowsPerRequest) {
+  add_replica(1, msec(10));
+  auto handler = make_handler(core::QosSpec{msec(200), 0.0});
+  for (int i = 0; i < 5; ++i) {
+    handler->invoke(i, [](const ReplyInfo&) {});
+    sim_.run_for(msec(500));
+  }
+  EXPECT_EQ(handler->history().size(), 5u);
+}
+
+}  // namespace
+}  // namespace aqua::gateway

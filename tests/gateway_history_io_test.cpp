@@ -1,0 +1,69 @@
+#include "gateway/history_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "gateway/system.h"
+
+namespace aqua::gateway {
+namespace {
+
+TEST(HistoryIoTest, EmptyHistoryWritesHeaderOnly) {
+  std::ostringstream out;
+  EXPECT_EQ(write_history_csv(out, {}), 0u);
+  const std::string body = out.str();
+  EXPECT_NE(body.find("request,t0_ms"), std::string::npos);
+  EXPECT_EQ(std::count(body.begin(), body.end(), '\n'), 1);
+}
+
+TEST(HistoryIoTest, OneRowPerRequest) {
+  SystemConfig cfg;
+  cfg.seed = 3;
+  cfg.lan.jitter_sigma = 0.0;
+  AquaSystem system{cfg};
+  for (int i = 0; i < 2; ++i) {
+    system.add_replica(replica::make_sampled_service(stats::make_constant(msec(10))));
+  }
+  ClientWorkload wl;
+  wl.total_requests = 5;
+  wl.think_time = stats::make_constant(msec(50));
+  ClientApp& app = system.add_client(core::QosSpec{msec(200), 0.5}, wl);
+  ASSERT_TRUE(system.run_until_clients_done(sec(60)));
+
+  std::ostringstream out;
+  const std::size_t rows = write_history_csv(out, app.handler().history());
+  EXPECT_EQ(rows, 5u);
+  const std::string body = out.str();
+  // Header + 5 rows.
+  EXPECT_EQ(std::count(body.begin(), body.end(), '\n'), 6);
+  // First row is the cold start (cold_start column = 1).
+  const auto first_row = body.substr(body.find('\n') + 1);
+  EXPECT_NE(first_row.find(",1,"), std::string::npos);
+}
+
+TEST(HistoryIoTest, RecordsResponseTimesAndOutcomes) {
+  SystemConfig cfg;
+  cfg.seed = 3;
+  cfg.lan.jitter_sigma = 0.0;
+  AquaSystem system{cfg};
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(400))));
+  ClientWorkload wl;
+  wl.total_requests = 1;
+  wl.think_time = stats::make_constant(msec(50));
+  ClientApp& app = system.add_client(core::QosSpec{msec(100), 0.0}, wl);
+  system.run_for(sec(5));
+
+  std::ostringstream out;
+  write_history_csv(out, app.handler().history());
+  // The one request was late: last cell of its row is timely=0.
+  const std::string body = out.str();
+  const auto last_line_start = body.rfind('\n', body.size() - 2);
+  const std::string row = body.substr(last_line_start + 1);
+  EXPECT_EQ(row.back(), '\n');
+  EXPECT_EQ(row[row.size() - 2], '0');  // timely=0
+}
+
+}  // namespace
+}  // namespace aqua::gateway

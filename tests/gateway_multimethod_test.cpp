@@ -1,0 +1,113 @@
+// End-to-end tests of the §8 multi-interface extension: per-method
+// statistics, per-method service models, per-method selection.
+#include <gtest/gtest.h>
+
+#include "gateway/system.h"
+
+namespace aqua::gateway {
+namespace {
+
+SystemConfig quiet_system(std::uint64_t seed = 1) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  cfg.lan.jitter_sigma = 0.0;
+  return cfg;
+}
+
+replica::ReplicaConfig search_and_index_server(Duration search_time, Duration index_time) {
+  replica::ReplicaConfig cfg;
+  cfg.method_models["search"] = replica::make_sampled_service(stats::make_constant(search_time));
+  cfg.method_models["index"] = replica::make_sampled_service(stats::make_constant(index_time));
+  return cfg;
+}
+
+TEST(MultiMethodTest, ServiceTimesDifferPerMethod) {
+  // Two identical single-client systems, differing only in the method
+  // invoked (so cross-client queueing cannot blur the comparison).
+  auto mean_response = [](const std::string& method) {
+    AquaSystem system{quiet_system()};
+    for (int i = 0; i < 2; ++i) {
+      system.add_replica(replica::make_sampled_service(stats::make_constant(msec(1))),
+                         search_and_index_server(msec(10), msec(80)));
+    }
+    ClientWorkload wl;
+    wl.total_requests = 5;
+    wl.think_time = stats::make_constant(msec(200));
+    wl.method = method;
+    ClientApp& app = system.add_client(core::QosSpec{msec(300), 0.0}, wl);
+    EXPECT_TRUE(system.run_until_clients_done(sec(60)));
+    return app.report().response_times_ms.summary().mean();
+  };
+  const double search_mean = mean_response("search");
+  const double index_mean = mean_response("index");
+  EXPECT_GT(index_mean, search_mean + 50.0);
+}
+
+TEST(MultiMethodTest, RepositoryKeepsMethodsSeparate) {
+  AquaSystem system{quiet_system()};
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(1))),
+                     search_and_index_server(msec(10), msec(80)));
+  ClientWorkload wl;
+  wl.total_requests = 4;
+  wl.think_time = stats::make_constant(msec(50));
+  wl.method = "search";
+  ClientApp& app = system.add_client(core::QosSpec{msec(300), 0.0}, wl);
+  ASSERT_TRUE(system.run_until_clients_done(sec(60)));
+
+  const auto& repo = app.handler().repository();
+  const ReplicaId id = system.replicas()[0]->id();
+  ASSERT_TRUE(repo.observe(id, "search").has_data());
+  EXPECT_FALSE(repo.observe(id, "index").has_data());
+  for (Duration s : repo.observe(id, "search").service_samples) {
+    EXPECT_EQ(s, msec(10));
+  }
+}
+
+TEST(MultiMethodTest, SelectionAdaptsToMethodCost) {
+  // "search" is quick on every replica; "index" misses the deadline on
+  // the slow pair. The same handler must pick larger sets for index.
+  AquaSystem system{quiet_system(5)};
+  // Two replicas index fast, two index slowly; search is uniform.
+  for (int i = 0; i < 2; ++i) {
+    system.add_replica(replica::make_sampled_service(stats::make_constant(msec(1))),
+                       search_and_index_server(msec(20), msec(60)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    system.add_replica(replica::make_sampled_service(stats::make_constant(msec(1))),
+                       search_and_index_server(msec(20), msec(400)));
+  }
+
+  ClientWorkload search_wl;
+  search_wl.total_requests = 10;
+  search_wl.think_time = stats::make_constant(msec(100));
+  search_wl.method = "search";
+  ClientApp& search_client = system.add_client(core::QosSpec{msec(150), 0.9}, search_wl);
+
+  ClientWorkload index_wl = search_wl;
+  index_wl.method = "index";
+  ClientApp& index_client = system.add_client(core::QosSpec{msec(150), 0.9}, index_wl);
+
+  ASSERT_TRUE(system.run_until_clients_done(sec(120)));
+  // Search meets 150ms everywhere; index only on the fast pair, so the
+  // index client must never pick a slow replica as its protected member.
+  EXPECT_LE(search_client.report().failure_probability(), 0.1);
+  EXPECT_LE(index_client.report().failure_probability(), 0.1);
+}
+
+TEST(MultiMethodTest, UnlistedMethodUsesDefaultModel) {
+  AquaSystem system{quiet_system()};
+  replica::ReplicaConfig cfg = search_and_index_server(msec(10), msec(80));
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(30))), cfg);
+  ClientWorkload wl;
+  wl.total_requests = 3;
+  wl.think_time = stats::make_constant(msec(50));
+  wl.method = "status";  // not in method_models -> default 30ms
+  ClientApp& app = system.add_client(core::QosSpec{msec(300), 0.0}, wl);
+  ASSERT_TRUE(system.run_until_clients_done(sec(60)));
+  const auto obs = app.handler().repository().observe(system.replicas()[0]->id(), "status");
+  ASSERT_TRUE(obs.has_data());
+  for (Duration s : obs.service_samples) EXPECT_EQ(s, msec(30));
+}
+
+}  // namespace
+}  // namespace aqua::gateway

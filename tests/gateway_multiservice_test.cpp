@@ -1,0 +1,125 @@
+// Multi-service deployments: one group per service, one handler per
+// (client, service) pair — §5.2: "a client that is communicating with
+// multiple servers would have multiple handlers loaded in its gateway",
+// each with its own local repository.
+#include <gtest/gtest.h>
+
+#include "gateway/system.h"
+
+namespace aqua::gateway {
+namespace {
+
+SystemConfig quiet_system(std::uint64_t seed = 1) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  cfg.lan.jitter_sigma = 0.0;
+  return cfg;
+}
+
+ClientWorkload workload(std::size_t n, Duration think = msec(100)) {
+  ClientWorkload w;
+  w.total_requests = n;
+  w.think_time = stats::make_constant(think);
+  return w;
+}
+
+TEST(MultiServiceTest, ServicesHaveSeparateGroups) {
+  AquaSystem system{quiet_system()};
+  auto& search = system.service("search");
+  auto& archive = system.service("archive");
+  EXPECT_NE(search.id(), archive.id());
+  // Idempotent lookup.
+  EXPECT_EQ(&system.service("search"), &search);
+}
+
+TEST(MultiServiceTest, RepliesComeFromTheRightService) {
+  AquaSystem system{quiet_system()};
+  replica::ReplicaConfig search_cfg;
+  search_cfg.compute = [](std::int64_t x) { return x * 10; };
+  replica::ReplicaConfig archive_cfg;
+  archive_cfg.compute = [](std::int64_t x) { return x * 100; };
+  system.add_service_replica("search",
+                             replica::make_sampled_service(stats::make_constant(msec(5))),
+                             search_cfg);
+  system.add_service_replica("archive",
+                             replica::make_sampled_service(stats::make_constant(msec(5))),
+                             archive_cfg);
+
+  ClientApp& search_client =
+      system.add_service_client("search", core::QosSpec{msec(200), 0.0}, workload(1));
+  ClientApp& archive_client =
+      system.add_service_client("archive", core::QosSpec{msec(200), 0.0}, workload(1));
+  ASSERT_TRUE(system.run_until_clients_done(sec(30)));
+  EXPECT_EQ(search_client.answered(), 1u);
+  EXPECT_EQ(archive_client.answered(), 1u);
+  // Each handler only ever discovered its own service's replica.
+  EXPECT_EQ(search_client.handler().known_replicas(), 1u);
+  EXPECT_EQ(archive_client.handler().known_replicas(), 1u);
+}
+
+TEST(MultiServiceTest, HandlersKeepIndependentRepositories) {
+  AquaSystem system{quiet_system()};
+  for (int i = 0; i < 3; ++i) {
+    system.add_service_replica("fast",
+                               replica::make_sampled_service(stats::make_constant(msec(5))));
+    system.add_service_replica("slow",
+                               replica::make_sampled_service(stats::make_constant(msec(80))));
+  }
+  ClientApp& fast_client =
+      system.add_service_client("fast", core::QosSpec{msec(200), 0.5}, workload(5));
+  ClientApp& slow_client =
+      system.add_service_client("slow", core::QosSpec{msec(400), 0.5}, workload(5));
+  ASSERT_TRUE(system.run_until_clients_done(sec(60)));
+
+  for (const auto& obs : fast_client.handler().repository().observe_all()) {
+    if (!obs.has_data()) continue;
+    for (Duration s : obs.service_samples) EXPECT_EQ(s, msec(5));
+  }
+  for (const auto& obs : slow_client.handler().repository().observe_all()) {
+    if (!obs.has_data()) continue;
+    for (Duration s : obs.service_samples) EXPECT_EQ(s, msec(80));
+  }
+}
+
+TEST(MultiServiceTest, CrashInOneServiceDoesNotDisturbTheOther) {
+  AquaSystem system{quiet_system(5)};
+  auto& doomed = system.add_service_replica(
+      "a", replica::make_sampled_service(stats::make_constant(msec(10))));
+  system.add_service_replica("a", replica::make_sampled_service(stats::make_constant(msec(10))));
+  system.add_service_replica("b", replica::make_sampled_service(stats::make_constant(msec(10))));
+
+  ClientApp& a_client = system.add_service_client("a", core::QosSpec{msec(300), 0.5}, workload(20));
+  ClientApp& b_client = system.add_service_client("b", core::QosSpec{msec(300), 0.5}, workload(20));
+  system.simulator().schedule_after(msec(500), [&] { doomed.crash_host(); });
+  ASSERT_TRUE(system.run_until_clients_done(sec(120)));
+  EXPECT_EQ(b_client.report().timing_failures, 0u);
+  EXPECT_GE(a_client.answered(), 19u);  // survivor carries service a
+  // Service b's handler never saw service a's replicas.
+  EXPECT_EQ(b_client.handler().known_replicas(), 1u);
+}
+
+TEST(MultiServiceTest, SameMachineCanHostHandlersForTwoServices) {
+  // The paper's picture: one client gateway, two handlers. Here the two
+  // handlers share a host (the client machine).
+  AquaSystem system{quiet_system()};
+  system.add_service_replica("x", replica::make_sampled_service(stats::make_constant(msec(5))));
+  system.add_service_replica("y", replica::make_sampled_service(stats::make_constant(msec(5))));
+  // Build the two handlers manually on one host.
+  const HostId client_host = system.new_host();
+  TimingFaultHandler hx{system.simulator(), system.lan(), system.service("x"), ClientId{500},
+                        client_host,        core::QosSpec{msec(200), 0.5}, Rng{1}};
+  TimingFaultHandler hy{system.simulator(), system.lan(), system.service("y"), ClientId{500},
+                        client_host,        core::QosSpec{msec(100), 0.9}, Rng{2}};
+  system.run_for(msec(50));
+  bool x_ok = false, y_ok = false;
+  hx.invoke(1, [&](const ReplyInfo& r) { x_ok = r.timely; });
+  hy.invoke(2, [&](const ReplyInfo& r) { y_ok = r.timely; });
+  system.run_for(sec(2));
+  EXPECT_TRUE(x_ok);
+  EXPECT_TRUE(y_ok);
+  EXPECT_EQ(hx.known_replicas(), 1u);
+  EXPECT_EQ(hy.known_replicas(), 1u);
+}
+
+}  // namespace
+}  // namespace aqua::gateway

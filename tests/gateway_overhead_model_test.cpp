@@ -1,0 +1,58 @@
+// The simulated-cost model charged for the handler's own processing: its
+// shape must match Figure 3 (monotone in replicas and window size).
+#include <gtest/gtest.h>
+
+#include "gateway/timing_fault_handler.h"
+
+namespace aqua::gateway {
+namespace {
+
+TEST(OverheadModelTest, MonotoneInReplicaCount) {
+  OverheadModel model;
+  Duration last = Duration::zero();
+  for (std::size_t n = 1; n <= 10; ++n) {
+    const Duration cost = model.selection_cost(n, 5);
+    EXPECT_GT(cost, last);
+    last = cost;
+  }
+}
+
+TEST(OverheadModelTest, MonotoneInWindowSize) {
+  OverheadModel model;
+  Duration last = Duration::zero();
+  for (std::size_t l : {1u, 5u, 10u, 20u, 40u}) {
+    const Duration cost = model.selection_cost(7, l);
+    EXPECT_GT(cost, last);
+    last = cost;
+  }
+}
+
+TEST(OverheadModelTest, WindowTermIsQuadratic) {
+  // The convolution term scales with l^2: doubling l roughly quadruples
+  // the window-dependent part.
+  OverheadModel model;
+  model.base = Duration::zero();
+  model.per_replica = Duration::zero();
+  const auto at = [&](std::size_t l) {
+    return static_cast<double>(count_us(model.selection_cost(4, l)));
+  };
+  EXPECT_NEAR(at(40) / at(20), 4.0, 0.2);
+  EXPECT_NEAR(at(20) / at(10), 4.0, 0.2);
+}
+
+TEST(OverheadModelTest, DefaultScaleIsTensToHundredsOfMicroseconds) {
+  // In the paper's fig3 range (n=2..8, l=5..20) the default model should
+  // produce costs in the tens-to-hundreds of microseconds, far below the
+  // 100ms deadlines it accompanies.
+  OverheadModel model;
+  EXPECT_GE(model.selection_cost(2, 5), usec(40));
+  EXPECT_LE(model.selection_cost(8, 20), msec(2));
+}
+
+TEST(OverheadModelTest, ZeroReplicasCostsOnlyBase) {
+  OverheadModel model;
+  EXPECT_EQ(model.selection_cost(0, 5), model.base);
+}
+
+}  // namespace
+}  // namespace aqua::gateway

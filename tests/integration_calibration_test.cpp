@@ -1,0 +1,89 @@
+// Model calibration: the probability the scheduler PREDICTS for the
+// selected set (P_K(t)) must track the success rate actually OBSERVED —
+// the property behind the paper's Figure 5 validation ("the model we
+// used was able to accurately predict the set of replicas that would be
+// able to meet the client's deadline with at least the probability
+// requested by the client").
+#include <gtest/gtest.h>
+
+#include "gateway/system.h"
+
+namespace aqua::gateway {
+namespace {
+
+struct Calibration {
+  double mean_predicted = 0.0;
+  double observed_timely = 0.0;
+  std::size_t requests = 0;
+};
+
+Calibration run(Duration deadline, std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  AquaSystem system{cfg};
+  for (int i = 0; i < 7; ++i) {
+    system.add_replica(replica::make_sampled_service(
+        stats::make_truncated_normal(msec(100), msec(50))));
+  }
+  ClientWorkload wl;
+  wl.total_requests = 60;
+  wl.think_time = stats::make_constant(msec(400));
+  ClientApp& app = system.add_client(core::QosSpec{deadline, 0.5}, wl);
+  system.run_until_clients_done(sec(120));
+
+  Calibration cal;
+  for (const RequestRecord& record : app.handler().history()) {
+    if (record.cold_start || !record.response_time) continue;
+    ++cal.requests;
+    cal.mean_predicted += record.predicted_probability;
+    if (record.timely) cal.observed_timely += 1.0;
+  }
+  if (cal.requests > 0) {
+    cal.mean_predicted /= static_cast<double>(cal.requests);
+    cal.observed_timely /= static_cast<double>(cal.requests);
+  }
+  return cal;
+}
+
+class CalibrationTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CalibrationTest, ObservedSuccessTracksPrediction) {
+  // Aggregate several seeds at one deadline.
+  const Duration deadline = msec(GetParam());
+  double predicted = 0.0;
+  double observed = 0.0;
+  std::size_t n = 0;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    const Calibration cal = run(deadline, 4000 + s);
+    predicted += cal.mean_predicted * static_cast<double>(cal.requests);
+    observed += cal.observed_timely * static_cast<double>(cal.requests);
+    n += cal.requests;
+  }
+  ASSERT_GT(n, 200u);
+  predicted /= static_cast<double>(n);
+  observed /= static_cast<double>(n);
+  // The prediction is for the model's horizon (send -> first reply), the
+  // observation for the client's (t0 -> t4); a modest calibration gap is
+  // expected, gross miscalibration is not.
+  EXPECT_NEAR(observed, predicted, 0.12)
+      << "deadline " << count_us(deadline) / 1000 << "ms: predicted " << predicted
+      << " observed " << observed;
+  // And the model must never be wildly optimistic.
+  EXPECT_GE(observed, predicted - 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deadlines, CalibrationTest,
+                         ::testing::Values(110, 130, 150, 180, 220));
+
+TEST(CalibrationTest, PredictionIncreasesWithDeadline) {
+  double last = 0.0;
+  for (std::int64_t t : {110, 150, 200, 300}) {
+    const Calibration cal = run(msec(t), 4100);
+    EXPECT_GE(cal.mean_predicted, last - 0.02) << "deadline " << t;
+    last = cal.mean_predicted;
+  }
+  EXPECT_GT(last, 0.9);  // at 300ms nearly certain
+}
+
+}  // namespace
+}  // namespace aqua::gateway

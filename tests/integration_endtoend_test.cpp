@@ -1,0 +1,139 @@
+// End-to-end integration: statistical behaviour of the full stack under
+// the paper's workload shapes (smaller scale so the suite stays fast).
+#include <gtest/gtest.h>
+
+#include "gateway/system.h"
+
+namespace aqua::gateway {
+namespace {
+
+SystemConfig default_system(std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  return cfg;  // realistic jitter left ON here
+}
+
+ClientWorkload paper_workload(std::size_t requests, Duration think = msec(200)) {
+  ClientWorkload w;
+  w.total_requests = requests;
+  w.think_time = stats::make_constant(think);
+  return w;
+}
+
+TEST(EndToEndTest, HighProbabilityClientGetsMoreRedundancyThanBestEffort) {
+  // Two systems, identical but for the requested probability.
+  auto run = [](double pc) {
+    AquaSystem system{default_system(21)};
+    for (int i = 0; i < 7; ++i) {
+      system.add_replica(replica::make_sampled_service(
+          stats::make_truncated_normal(msec(100), msec(50))));
+    }
+    ClientApp& app = system.add_client(core::QosSpec{msec(150), pc}, paper_workload(40));
+    system.run_until_clients_done(sec(300));
+    return app.report();
+  };
+  const auto strict = run(0.9);
+  const auto loose = run(0.0);
+  EXPECT_GT(strict.mean_redundancy(), loose.mean_redundancy());
+  EXPECT_NEAR(loose.mean_redundancy(), 2.0, 0.5);  // Algorithm 1 minimum
+}
+
+TEST(EndToEndTest, ObservedFailureProbabilityRespectsRequested) {
+  AquaSystem system{default_system(33)};
+  for (int i = 0; i < 7; ++i) {
+    system.add_replica(replica::make_sampled_service(
+        stats::make_truncated_normal(msec(100), msec(50))));
+  }
+  ClientApp& app = system.add_client(core::QosSpec{msec(180), 0.9}, paper_workload(60));
+  ASSERT_TRUE(system.run_until_clients_done(sec(600)));
+  const auto report = app.report();
+  // Client tolerates 10% failures; the model should stay below that.
+  EXPECT_LE(report.failure_probability(), 0.1);
+}
+
+TEST(EndToEndTest, TightDeadlinesSelectMoreReplicasThanLooseOnes) {
+  auto mean_redundancy = [](Duration deadline) {
+    AquaSystem system{default_system(44)};
+    for (int i = 0; i < 7; ++i) {
+      system.add_replica(replica::make_sampled_service(
+          stats::make_truncated_normal(msec(100), msec(50))));
+    }
+    ClientApp& app = system.add_client(core::QosSpec{deadline, 0.9}, paper_workload(40));
+    system.run_until_clients_done(sec(300));
+    return app.report().mean_redundancy();
+  };
+  EXPECT_GT(mean_redundancy(msec(110)), mean_redundancy(msec(250)));
+}
+
+TEST(EndToEndTest, ContendingClientsAllMeetModestQos) {
+  AquaSystem system{default_system(55)};
+  for (int i = 0; i < 6; ++i) {
+    system.add_replica(replica::make_sampled_service(
+        stats::make_truncated_normal(msec(60), msec(20))));
+  }
+  std::vector<ClientApp*> apps;
+  for (int c = 0; c < 4; ++c) {
+    ClientWorkload w = paper_workload(25, msec(150));
+    w.start_delay = msec(40 * c);
+    apps.push_back(&system.add_client(core::QosSpec{msec(300), 0.5}, w));
+  }
+  ASSERT_TRUE(system.run_until_clients_done(sec(600)));
+  for (ClientApp* app : apps) {
+    const auto report = app->report();
+    EXPECT_LE(report.failure_probability(), 0.5)
+        << report.summary_line();
+    EXPECT_EQ(report.answered, 25u);
+  }
+}
+
+TEST(EndToEndTest, HeterogeneousReplicasFavourTheFastOnes) {
+  AquaSystem system{default_system(66)};
+  // Two fast replicas, four slow ones.
+  auto& f1 = system.add_replica(replica::make_sampled_service(
+      stats::make_truncated_normal(msec(30), msec(5))));
+  auto& f2 = system.add_replica(replica::make_sampled_service(
+      stats::make_truncated_normal(msec(30), msec(5))));
+  std::vector<replica::ReplicaServer*> slow;
+  for (int i = 0; i < 4; ++i) {
+    slow.push_back(&system.add_replica(replica::make_sampled_service(
+        stats::make_truncated_normal(msec(300), msec(20)))));
+  }
+  ClientApp& app = system.add_client(core::QosSpec{msec(120), 0.5}, paper_workload(40, msec(100)));
+  ASSERT_TRUE(system.run_until_clients_done(sec(300)));
+  const std::uint64_t fast_work = f1.serviced_requests() + f2.serviced_requests();
+  std::uint64_t slow_work = 0;
+  for (auto* r : slow) slow_work += r->serviced_requests();
+  EXPECT_GT(fast_work, slow_work);
+  EXPECT_LE(app.report().failure_probability(), 0.5);
+}
+
+TEST(EndToEndTest, WarmRepositoryTracksActualServiceDistribution) {
+  AquaSystem system{default_system(77)};
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(40))));
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(40))));
+  ClientApp& app = system.add_client(core::QosSpec{msec(300), 0.5}, paper_workload(15, msec(100)));
+  ASSERT_TRUE(system.run_until_clients_done(sec(120)));
+  const auto obs = app.handler().repository().observe_all();
+  for (const auto& o : obs) {
+    ASSERT_TRUE(o.has_data());
+    for (Duration s : o.service_samples) EXPECT_EQ(s, msec(40));
+    EXPECT_GT(o.gateway_delay, Duration::zero());
+    EXPECT_LT(o.gateway_delay, msec(20));
+  }
+}
+
+TEST(EndToEndTest, MinimumResponseTimeIsAFewMilliseconds) {
+  // §6: "For a minimum-sized request having negligible service time, the
+  // minimum value we achieved for the response time was about 3.5ms."
+  AquaSystem system{default_system(88)};
+  system.add_replica(replica::make_sampled_service(stats::make_constant(Duration::zero())));
+  ClientApp& app = system.add_client(core::QosSpec{msec(100), 0.0}, paper_workload(30, msec(20)));
+  ASSERT_TRUE(system.run_until_clients_done(sec(60)));
+  const auto report = app.report();
+  const double min_ms = report.response_times_ms.quantile(0.01);
+  EXPECT_GT(min_ms, 2.0);
+  EXPECT_LT(min_ms, 6.0);
+}
+
+}  // namespace
+}  // namespace aqua::gateway

@@ -1,0 +1,117 @@
+// Failure injection beyond crashes: message loss and LAN traffic spikes
+// (§3: links "may experience occasional periods of high traffic").
+#include <gtest/gtest.h>
+
+#include "gateway/system.h"
+
+namespace aqua::gateway {
+namespace {
+
+ClientWorkload workload(std::size_t requests, Duration think = msec(100)) {
+  ClientWorkload w;
+  w.total_requests = requests;
+  w.think_time = stats::make_constant(think);
+  return w;
+}
+
+TEST(FaultInjectionTest, ModerateMessageLossIsMaskedByRedundancy) {
+  SystemConfig cfg;
+  cfg.seed = 17;
+  cfg.lan.loss_rate = 0.05;  // Ensemble normally hides this; stress the handler
+  AquaSystem system{cfg};
+  for (int i = 0; i < 5; ++i) {
+    system.add_replica(replica::make_sampled_service(
+        stats::make_truncated_normal(msec(30), msec(8))));
+  }
+  ClientApp& app = system.add_client(core::QosSpec{msec(300), 0.5}, workload(40));
+  system.run_for(sec(120));
+  // With |K| >= 2 and 5% loss per leg, the odds that EVERY request+reply
+  // path of a request drops are small; most requests still answer.
+  EXPECT_GE(app.answered(), 36u);
+}
+
+TEST(FaultInjectionTest, HeavyLossDegradesButDoesNotWedge) {
+  SystemConfig cfg;
+  cfg.seed = 18;
+  cfg.lan.loss_rate = 0.30;
+  AquaSystem system{cfg};
+  for (int i = 0; i < 4; ++i) {
+    system.add_replica(replica::make_sampled_service(stats::make_constant(msec(20))));
+  }
+  ClientWorkload w = workload(20);
+  w.give_up_after = msec(800);
+  ClientApp& app = system.add_client(core::QosSpec{msec(200), 0.0}, w);
+  system.run_for(sec(120));
+  // Every request either answers or is abandoned; the client never hangs.
+  EXPECT_EQ(app.issued(), 20u);
+  EXPECT_EQ(app.answered() + app.abandoned(), 20u);
+  EXPECT_GT(app.answered(), 5u);
+}
+
+TEST(FaultInjectionTest, TrafficSpikesCauseTransientFailuresOnly) {
+  SystemConfig cfg;
+  cfg.seed = 19;
+  cfg.lan.spike.enabled = true;
+  cfg.lan.spike.mean_interval = sec(4);
+  cfg.lan.spike.mean_duration = msec(300);
+  cfg.lan.spike.delay_factor = 80.0;  // a spike blows any 150ms deadline
+  AquaSystem system{cfg};
+  for (int i = 0; i < 5; ++i) {
+    system.add_replica(replica::make_sampled_service(
+        stats::make_truncated_normal(msec(40), msec(10))));
+  }
+  ClientApp& app = system.add_client(core::QosSpec{msec(150), 0.5}, workload(60, msec(200)));
+  system.run_for(sec(120));
+  const auto report = app.report();
+  // Spikes cover roughly 300ms/4.3s ~ 7% of time; failures should be of
+  // that order, not catastrophic.
+  EXPECT_GT(report.timing_failures, 0u);
+  EXPECT_LT(report.failure_probability(), 0.35);
+  EXPECT_EQ(app.answered() + app.abandoned(), 60u);
+}
+
+TEST(FaultInjectionTest, WindowedGatewayDelayModelRecoversAfterSpike) {
+  // After a spike, the last-value model believes T is still huge and
+  // returns M (over-provisioning) until the next measurement; the
+  // windowed model dilutes the spike sample. Both must keep answering.
+  for (bool windowed : {false, true}) {
+    SystemConfig cfg;
+    cfg.seed = 20;
+    cfg.lan.spike.enabled = true;
+    cfg.lan.spike.mean_interval = sec(5);
+    cfg.lan.spike.mean_duration = msec(200);
+    cfg.lan.spike.delay_factor = 25.0;
+    AquaSystem system{cfg};
+    for (int i = 0; i < 5; ++i) {
+      system.add_replica(replica::make_sampled_service(
+          stats::make_truncated_normal(msec(40), msec(10))));
+    }
+    HandlerConfig handler_cfg;
+    handler_cfg.model.windowed_gateway_delay = windowed;
+    ClientApp& app =
+        system.add_client(core::QosSpec{msec(200), 0.5}, workload(40, msec(150)), handler_cfg);
+    system.run_for(sec(120));
+    EXPECT_GE(app.answered(), 35u) << "windowed=" << windowed;
+  }
+}
+
+TEST(FaultInjectionTest, CrashDuringSpikeStillRecovers) {
+  SystemConfig cfg;
+  cfg.seed = 21;
+  cfg.lan.spike.enabled = true;
+  cfg.lan.spike.mean_interval = sec(3);
+  cfg.lan.spike.mean_duration = msec(400);
+  cfg.lan.spike.delay_factor = 10.0;
+  AquaSystem system{cfg};
+  for (int i = 0; i < 4; ++i) {
+    system.add_replica(replica::make_sampled_service(stats::make_constant(msec(30))));
+  }
+  ClientApp& app = system.add_client(core::QosSpec{msec(250), 0.5}, workload(40, msec(150)));
+  system.simulator().schedule_after(sec(3), [&] { system.replicas()[0]->crash_host(); });
+  system.run_for(sec(120));
+  EXPECT_GE(app.answered() + app.abandoned(), 40u);
+  EXPECT_GE(app.answered(), 35u);
+}
+
+}  // namespace
+}  // namespace aqua::gateway

@@ -1,0 +1,160 @@
+// Tests of the Proteus-style dependability manager (§2): replication
+// level maintenance under replica crashes.
+#include "manager/dependability_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "gateway/system.h"
+
+namespace aqua::manager {
+namespace {
+
+using gateway::AquaSystem;
+using gateway::ClientApp;
+using gateway::ClientWorkload;
+using gateway::SystemConfig;
+
+SystemConfig quiet_system(std::uint64_t seed = 1) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  cfg.lan.jitter_sigma = 0.0;
+  return cfg;
+}
+
+replica::ServiceModelPtr service(Duration d = msec(10)) {
+  return replica::make_sampled_service(stats::make_constant(d));
+}
+
+TEST(DependabilityManagerTest, ValidatesConfiguration) {
+  AquaSystem system{quiet_system()};
+  EXPECT_THROW(system.enable_dependability_manager(ManagerConfig{0}, service()),
+               std::invalid_argument);
+}
+
+TEST(DependabilityManagerTest, IdleWhenReplicationSufficient) {
+  AquaSystem system{quiet_system()};
+  for (int i = 0; i < 3; ++i) system.add_replica(service());
+  auto& manager = system.enable_dependability_manager(ManagerConfig{3, sec(1)}, service());
+  system.run_for(sec(20));
+  EXPECT_EQ(manager.replacements_started(), 0u);
+  EXPECT_EQ(manager.current_replication(), 3u);
+}
+
+TEST(DependabilityManagerTest, RestoresReplicationAfterCrash) {
+  AquaSystem system{quiet_system()};
+  for (int i = 0; i < 3; ++i) system.add_replica(service());
+  ManagerConfig cfg;
+  cfg.min_replicas = 3;
+  cfg.startup_delay = sec(2);
+  auto& manager = system.enable_dependability_manager(cfg, service());
+  system.simulator().schedule_after(sec(5), [&] { system.replicas()[0]->crash_host(); });
+  system.run_for(sec(20));
+  EXPECT_EQ(manager.replacements_started(), 1u);
+  EXPECT_EQ(manager.current_replication(), 3u);
+  EXPECT_EQ(system.replicas().size(), 4u);  // 2 survivors + 1 replacement + 1 corpse
+}
+
+TEST(DependabilityManagerTest, HandlesSimultaneousCrashes) {
+  AquaSystem system{quiet_system(3)};
+  for (int i = 0; i < 4; ++i) system.add_replica(service());
+  ManagerConfig cfg;
+  cfg.min_replicas = 4;
+  cfg.startup_delay = sec(1);
+  auto& manager = system.enable_dependability_manager(cfg, service());
+  system.simulator().schedule_after(sec(5), [&] {
+    system.replicas()[0]->crash_host();
+    system.replicas()[1]->crash_host();
+    system.replicas()[2]->crash_host();
+  });
+  system.run_for(sec(30));
+  EXPECT_EQ(manager.replacements_started(), 3u);
+  EXPECT_EQ(manager.current_replication(), 4u);
+}
+
+TEST(DependabilityManagerTest, DoesNotOverProvision) {
+  // A crash followed by audits must not spawn duplicate replacements
+  // while one is still starting up.
+  AquaSystem system{quiet_system()};
+  for (int i = 0; i < 2; ++i) system.add_replica(service());
+  ManagerConfig cfg;
+  cfg.min_replicas = 2;
+  cfg.startup_delay = sec(5);    // long provisioning window
+  cfg.audit_interval = msec(200);  // many audits during it
+  auto& manager = system.enable_dependability_manager(cfg, service());
+  system.simulator().schedule_after(sec(2), [&] { system.replicas()[0]->crash_host(); });
+  system.run_for(sec(30));
+  EXPECT_EQ(manager.replacements_started(), 1u);
+  EXPECT_EQ(manager.current_replication(), 2u);
+}
+
+TEST(DependabilityManagerTest, ReplacementBudgetIsHonoured) {
+  AquaSystem system{quiet_system(7)};
+  for (int i = 0; i < 2; ++i) system.add_replica(service());
+  ManagerConfig cfg;
+  cfg.min_replicas = 2;
+  cfg.startup_delay = msec(500);
+  cfg.max_replacements = 2;
+  auto& manager = system.enable_dependability_manager(cfg, service());
+  // Crash loop: kill the newest replica every 3 seconds.
+  for (int round = 0; round < 5; ++round) {
+    system.simulator().schedule_after(sec(3 * (round + 1)), [&] {
+      auto replicas = system.replicas();
+      for (auto it = replicas.rbegin(); it != replicas.rend(); ++it) {
+        if ((*it)->alive()) {
+          (*it)->crash_host();
+          break;
+        }
+      }
+    });
+  }
+  system.run_for(sec(30));
+  EXPECT_EQ(manager.replacements_started(), 2u);  // capped
+}
+
+TEST(DependabilityManagerTest, ClientsDiscoverReplacementsAndContinue) {
+  AquaSystem system{quiet_system(9)};
+  for (int i = 0; i < 3; ++i) system.add_replica(service(msec(15)));
+  ManagerConfig cfg;
+  cfg.min_replicas = 3;
+  cfg.startup_delay = sec(1);
+  system.enable_dependability_manager(cfg, service(msec(15)));
+
+  ClientWorkload wl;
+  wl.total_requests = 0;  // unbounded
+  wl.think_time = stats::make_constant(msec(200));
+  ClientApp& app = system.add_client(core::QosSpec{msec(300), 0.5}, wl);
+
+  // Rolling crashes: one replica dies every 6 seconds.
+  for (int round = 0; round < 3; ++round) {
+    system.simulator().schedule_after(sec(6 * (round + 1)), [&, round] {
+      system.replicas()[static_cast<std::size_t>(round)]->crash_host();
+    });
+  }
+  system.run_for(sec(30));
+  // Service stayed up: client keeps getting answers and knows about the
+  // replacements.
+  EXPECT_GT(app.answered(), 100u);
+  EXPECT_EQ(app.handler().known_replicas(), 3u);
+  const auto report = app.report();
+  EXPECT_LE(report.failure_probability(), 0.1);
+}
+
+TEST(DependabilityManagerTest, FactoryVetoIsTolerated) {
+  AquaSystem system{quiet_system()};
+  system.add_replica(service());
+  int calls = 0;
+  DependabilityManager manager{
+      system.simulator(), system.lan(),
+      [&calls] {
+        ++calls;
+        return false;  // host pool exhausted
+      },
+      ManagerConfig{2, msec(500), msec(500), 0}};
+  manager.register_replica(*system.replicas()[0]);
+  system.run_for(sec(5));
+  EXPECT_GT(calls, 0);
+  EXPECT_EQ(manager.replacements_started(), 0u);
+}
+
+}  // namespace
+}  // namespace aqua::manager

@@ -1,0 +1,119 @@
+// Edge semantics of the network substrate: empty fan-outs, non-member
+// sends, self-sends, endpoint churn under load.
+#include <gtest/gtest.h>
+
+#include "net/group.h"
+#include "net/lan.h"
+#include "sim/simulator.h"
+
+namespace aqua::net {
+namespace {
+
+LanConfig quiet_config() {
+  LanConfig cfg;
+  cfg.jitter_sigma = 0.0;
+  return cfg;
+}
+
+TEST(NetEdgeTest, MulticastToEmptyListIsNoOp) {
+  sim::Simulator sim;
+  Lan lan{sim, Rng{1}, quiet_config()};
+  const EndpointId a = lan.create_endpoint(HostId{1}, [](EndpointId, const Payload&) {});
+  lan.multicast(a, {}, Payload::make(1, 8));
+  sim.run();
+  EXPECT_EQ(lan.messages_sent(), 0u);
+}
+
+TEST(NetEdgeTest, SelfSendDeliversLocally) {
+  sim::Simulator sim;
+  Lan lan{sim, Rng{1}, quiet_config()};
+  int received = 0;
+  EndpointId a{};
+  a = lan.create_endpoint(HostId{1}, [&](EndpointId from, const Payload&) {
+    EXPECT_EQ(from, a);
+    ++received;
+  });
+  lan.unicast(a, a, Payload::make(1, 8));
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(NetEdgeTest, GroupSendToEmptySubsetIsNoOp) {
+  sim::Simulator sim;
+  Lan lan{sim, Rng{1}, quiet_config()};
+  MulticastGroup group{sim, lan, GroupId{1}};
+  const EndpointId a = lan.create_endpoint(HostId{1}, [](EndpointId, const Payload&) {});
+  group.join(a);
+  group.send(a, {}, Payload::make(1, 8));
+  sim.run();
+  EXPECT_EQ(lan.messages_sent(), 0u);
+}
+
+TEST(NetEdgeTest, BroadcastFromSingletonGroupIsNoOp) {
+  sim::Simulator sim;
+  Lan lan{sim, Rng{1}, quiet_config()};
+  MulticastGroup group{sim, lan, GroupId{1}};
+  int received = 0;
+  const EndpointId a =
+      lan.create_endpoint(HostId{1}, [&](EndpointId, const Payload&) { ++received; });
+  group.join(a);
+  group.broadcast(a, Payload::make(1, 8));
+  sim.run();
+  EXPECT_EQ(received, 0);  // broadcast excludes the sender
+}
+
+TEST(NetEdgeTest, LeaveOfNonMemberIsIgnored) {
+  sim::Simulator sim;
+  Lan lan{sim, Rng{1}, quiet_config()};
+  MulticastGroup group{sim, lan, GroupId{1}};
+  const EndpointId a = lan.create_endpoint(HostId{1}, [](EndpointId, const Payload&) {});
+  group.join(a);
+  group.leave(EndpointId{999});
+  EXPECT_EQ(group.view().members.size(), 1u);
+  EXPECT_EQ(group.view().view_id, 1u);  // no view change for a no-op
+}
+
+TEST(NetEdgeTest, EndpointChurnDuringTraffic) {
+  sim::Simulator sim;
+  Lan lan{sim, Rng{3}, quiet_config()};
+  const EndpointId src = lan.create_endpoint(HostId{1}, [](EndpointId, const Payload&) {});
+  int delivered = 0;
+  // Create and destroy receivers while messages are in flight.
+  for (int round = 0; round < 50; ++round) {
+    const EndpointId dst = lan.create_endpoint(
+        HostId{2}, [&](EndpointId, const Payload&) { ++delivered; });
+    lan.unicast(src, dst, Payload::make(round, 16));
+    if (round % 2 == 0) {
+      lan.destroy_endpoint(dst);  // before delivery: must be dropped
+    } else {
+      sim.run();  // let it deliver
+      lan.destroy_endpoint(dst);
+    }
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 25);
+  EXPECT_EQ(lan.messages_dropped(), 25u);
+}
+
+TEST(NetEdgeTest, CrashDetectionForTwoGroupsOnOneLan) {
+  // Two services share the LAN; a host crash must trigger detection in
+  // both groups that have members on it.
+  sim::Simulator sim;
+  Lan lan{sim, Rng{1}, quiet_config()};
+  MulticastGroup g1{sim, lan, GroupId{1}};
+  MulticastGroup g2{sim, lan, GroupId{2}};
+  const EndpointId a1 = lan.create_endpoint(HostId{7}, [](EndpointId, const Payload&) {});
+  const EndpointId a2 = lan.create_endpoint(HostId{7}, [](EndpointId, const Payload&) {});
+  const EndpointId b1 = lan.create_endpoint(HostId{8}, [](EndpointId, const Payload&) {});
+  g1.join(a1);
+  g1.join(b1);
+  g2.join(a2);
+  lan.set_host_alive(HostId{7}, false);
+  sim.run_for(sec(2));
+  EXPECT_FALSE(g1.view().contains(a1));
+  EXPECT_TRUE(g1.view().contains(b1));
+  EXPECT_FALSE(g2.view().contains(a2));
+}
+
+}  // namespace
+}  // namespace aqua::net

@@ -1,0 +1,223 @@
+#include "net/group.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace aqua::net {
+namespace {
+
+class GroupTest : public ::testing::Test {
+ protected:
+  GroupTest() : lan_(sim_, Rng{1}, quiet_config()) {}
+
+  static LanConfig quiet_config() {
+    LanConfig cfg;
+    cfg.jitter_sigma = 0.0;
+    return cfg;
+  }
+
+  EndpointId make_endpoint(std::uint64_t host, std::vector<std::string>* inbox = nullptr) {
+    return lan_.create_endpoint(HostId{host}, [inbox](EndpointId, const Payload& p) {
+      if (inbox != nullptr) {
+        if (const auto* s = p.get_if<std::string>()) inbox->push_back(*s);
+      }
+    });
+  }
+
+  sim::Simulator sim_;
+  Lan lan_;
+};
+
+TEST_F(GroupTest, JoinGrowsViewAndBumpsViewId) {
+  MulticastGroup group{sim_, lan_, GroupId{1}};
+  EXPECT_EQ(group.view().view_id, 0u);
+  const EndpointId a = make_endpoint(1);
+  group.join(a);
+  EXPECT_EQ(group.view().view_id, 1u);
+  EXPECT_TRUE(group.view().contains(a));
+  const EndpointId b = make_endpoint(2);
+  group.join(b);
+  EXPECT_EQ(group.view().view_id, 2u);
+  EXPECT_EQ(group.view().members.size(), 2u);
+}
+
+TEST_F(GroupTest, DuplicateJoinIsIdempotent) {
+  MulticastGroup group{sim_, lan_, GroupId{1}};
+  const EndpointId a = make_endpoint(1);
+  group.join(a);
+  group.join(a);
+  EXPECT_EQ(group.view().members.size(), 1u);
+  EXPECT_EQ(group.view().view_id, 1u);
+}
+
+TEST_F(GroupTest, JoinOfUnknownEndpointThrows) {
+  MulticastGroup group{sim_, lan_, GroupId{1}};
+  EXPECT_THROW(group.join(EndpointId{77}), std::invalid_argument);
+}
+
+TEST_F(GroupTest, LeaveShrinksViewAndNotifies) {
+  MulticastGroup group{sim_, lan_, GroupId{1}};
+  const EndpointId a = make_endpoint(1);
+  const EndpointId b = make_endpoint(2);
+  group.join(a);
+  group.join(b);
+  std::vector<EndpointId> seen_departed;
+  group.on_view_change(a, [&](const View&, std::span<const EndpointId> departed) {
+    seen_departed.assign(departed.begin(), departed.end());
+  });
+  group.leave(b);
+  EXPECT_FALSE(group.view().contains(b));
+  ASSERT_EQ(seen_departed.size(), 1u);
+  EXPECT_EQ(seen_departed[0], b);
+}
+
+TEST_F(GroupTest, ViewChangeRequiresMembership) {
+  MulticastGroup group{sim_, lan_, GroupId{1}};
+  const EndpointId a = make_endpoint(1);
+  EXPECT_THROW(group.on_view_change(a, [](const View&, std::span<const EndpointId>) {}),
+               std::invalid_argument);
+}
+
+TEST_F(GroupTest, BroadcastReachesAllMembersExceptSender) {
+  MulticastGroup group{sim_, lan_, GroupId{1}};
+  std::vector<std::string> inbox_a, inbox_b, inbox_c;
+  const EndpointId a = make_endpoint(1, &inbox_a);
+  const EndpointId b = make_endpoint(2, &inbox_b);
+  const EndpointId c = make_endpoint(3, &inbox_c);
+  group.join(a);
+  group.join(b);
+  group.join(c);
+  group.broadcast(a, Payload::make(std::string{"hi"}, 10));
+  sim_.run();
+  EXPECT_TRUE(inbox_a.empty());
+  EXPECT_EQ(inbox_b, (std::vector<std::string>{"hi"}));
+  EXPECT_EQ(inbox_c, (std::vector<std::string>{"hi"}));
+}
+
+TEST_F(GroupTest, SendToSubsetSkipsNonMembers) {
+  MulticastGroup group{sim_, lan_, GroupId{1}};
+  std::vector<std::string> inbox_b, inbox_x;
+  const EndpointId a = make_endpoint(1);
+  const EndpointId b = make_endpoint(2, &inbox_b);
+  const EndpointId x = make_endpoint(3, &inbox_x);  // never joins
+  group.join(a);
+  group.join(b);
+  const std::vector<EndpointId> subset{b, x};
+  group.send(a, subset, Payload::make(std::string{"sub"}, 10));
+  sim_.run();
+  EXPECT_EQ(inbox_b.size(), 1u);
+  EXPECT_TRUE(inbox_x.empty());
+}
+
+TEST_F(GroupTest, HostCrashExcludesMembersAfterDetectionDelay) {
+  GroupConfig cfg;
+  cfg.failure_detection_delay = msec(500);
+  MulticastGroup group{sim_, lan_, GroupId{1}, cfg};
+  const EndpointId a = make_endpoint(1);
+  const EndpointId b = make_endpoint(2);
+  group.join(a);
+  group.join(b);
+
+  std::vector<EndpointId> departed_seen;
+  TimePoint notified_at{};
+  group.on_view_change(a, [&](const View&, std::span<const EndpointId> departed) {
+    departed_seen.assign(departed.begin(), departed.end());
+    notified_at = sim_.now();
+  });
+
+  sim_.run_for(sec(1));
+  lan_.set_host_alive(HostId{2}, false);
+  EXPECT_TRUE(group.view().contains(b));  // not yet detected
+  sim_.run_for(sec(1));
+  EXPECT_FALSE(group.view().contains(b));
+  ASSERT_EQ(departed_seen.size(), 1u);
+  EXPECT_EQ(departed_seen[0], b);
+  EXPECT_EQ(notified_at, TimePoint{} + sec(1) + msec(500));
+}
+
+TEST_F(GroupTest, CrashOfMultiMemberHostExcludesAll) {
+  MulticastGroup group{sim_, lan_, GroupId{1}};
+  const EndpointId a = make_endpoint(1);
+  const EndpointId b1 = make_endpoint(2);
+  const EndpointId b2 = make_endpoint(2);  // same host
+  group.join(a);
+  group.join(b1);
+  group.join(b2);
+  lan_.set_host_alive(HostId{2}, false);
+  sim_.run_for(sec(2));
+  EXPECT_EQ(group.view().members.size(), 1u);
+  EXPECT_TRUE(group.view().contains(a));
+}
+
+TEST_F(GroupTest, ReportMemberFailureExcludesProcessOnly) {
+  MulticastGroup group{sim_, lan_, GroupId{1}};
+  const EndpointId a = make_endpoint(1);
+  const EndpointId b1 = make_endpoint(2);
+  const EndpointId b2 = make_endpoint(2);
+  group.join(a);
+  group.join(b1);
+  group.join(b2);
+  group.report_member_failure(b1);
+  sim_.run_for(sec(2));
+  EXPECT_FALSE(group.view().contains(b1));
+  EXPECT_TRUE(group.view().contains(b2));  // same host, still alive
+}
+
+TEST_F(GroupTest, CrashedMemberGetsNoNotifications) {
+  MulticastGroup group{sim_, lan_, GroupId{1}};
+  const EndpointId a = make_endpoint(1);
+  const EndpointId b = make_endpoint(2);
+  const EndpointId c = make_endpoint(3);
+  group.join(a);
+  group.join(b);
+  group.join(c);
+  int b_notifications = 0;
+  group.on_view_change(b, [&](const View&, std::span<const EndpointId>) { ++b_notifications; });
+  lan_.set_host_alive(HostId{2}, false);
+  sim_.run_for(sec(2));
+  const int before = b_notifications;
+  group.leave(c);
+  EXPECT_EQ(b_notifications, before);  // b was excluded, no further callbacks
+}
+
+TEST_F(GroupTest, ViewIdsAreMonotonic) {
+  MulticastGroup group{sim_, lan_, GroupId{1}};
+  std::uint64_t last = 0;
+  const EndpointId a = make_endpoint(1);
+  group.join(a);
+  std::vector<std::uint64_t> seen;
+  group.on_view_change(a, [&](const View& v, std::span<const EndpointId>) {
+    seen.push_back(v.view_id);
+  });
+  for (std::uint64_t h = 2; h <= 6; ++h) {
+    group.join(make_endpoint(h));
+  }
+  for (std::uint64_t id : seen) {
+    EXPECT_GT(id, last);
+    last = id;
+  }
+}
+
+TEST_F(GroupTest, RejoinAfterCrashWithNewEndpoint) {
+  MulticastGroup group{sim_, lan_, GroupId{1}};
+  const EndpointId a = make_endpoint(1);
+  group.join(a);
+  const EndpointId b_old = make_endpoint(2);
+  group.join(b_old);
+  lan_.set_host_alive(HostId{2}, false);
+  lan_.destroy_endpoint(b_old);
+  sim_.run_for(sec(2));
+  EXPECT_EQ(group.view().members.size(), 1u);
+  lan_.set_host_alive(HostId{2}, true);
+  const EndpointId b_new = make_endpoint(2);
+  group.join(b_new);
+  EXPECT_EQ(group.view().members.size(), 2u);
+  EXPECT_TRUE(group.view().contains(b_new));
+}
+
+}  // namespace
+}  // namespace aqua::net

@@ -1,0 +1,60 @@
+#include "net/payload.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace aqua::net {
+namespace {
+
+TEST(PayloadTest, DefaultIsEmpty) {
+  Payload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.wire_bytes(), 0);
+  EXPECT_EQ(p.get_if<int>(), nullptr);
+}
+
+TEST(PayloadTest, RoundTripsBody) {
+  const Payload p = Payload::make(std::string{"hello"}, 64);
+  ASSERT_NE(p.get_if<std::string>(), nullptr);
+  EXPECT_EQ(*p.get_if<std::string>(), "hello");
+  EXPECT_EQ(p.wire_bytes(), 64);
+  EXPECT_FALSE(p.empty());
+}
+
+TEST(PayloadTest, WrongTypeYieldsNull) {
+  const Payload p = Payload::make(42, 8);
+  EXPECT_EQ(p.get_if<std::string>(), nullptr);
+  EXPECT_EQ(p.get_if<double>(), nullptr);
+  ASSERT_NE(p.get_if<int>(), nullptr);
+  EXPECT_EQ(*p.get_if<int>(), 42);
+}
+
+TEST(PayloadTest, CopiesShareTheBody) {
+  const Payload p = Payload::make(std::string{"shared"}, 16);
+  const Payload q = p;  // multicast fan-out copies
+  EXPECT_EQ(p.get_if<std::string>(), q.get_if<std::string>());  // same object
+}
+
+TEST(PayloadTest, ZeroWireBytesAllowed) {
+  const Payload p = Payload::make(1, 0);
+  EXPECT_EQ(p.wire_bytes(), 0);
+}
+
+TEST(PayloadTest, NegativeWireBytesRejected) {
+  EXPECT_THROW(Payload::make(1, -5), std::invalid_argument);
+}
+
+TEST(PayloadTest, StructBodiesWork) {
+  struct Body {
+    int a;
+    double b;
+  };
+  const Payload p = Payload::make(Body{3, 2.5}, 24);
+  ASSERT_NE(p.get_if<Body>(), nullptr);
+  EXPECT_EQ(p.get_if<Body>()->a, 3);
+  EXPECT_DOUBLE_EQ(p.get_if<Body>()->b, 2.5);
+}
+
+}  // namespace
+}  // namespace aqua::net

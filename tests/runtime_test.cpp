@@ -1,0 +1,251 @@
+// Threaded-runtime tests. Durations here are milliseconds-scale so the
+// suite stays fast while still exercising real threads and sleeps.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/blocking_queue.h"
+#include "runtime/delayed_executor.h"
+#include "runtime/threaded_client.h"
+#include "runtime/threaded_replica.h"
+
+namespace aqua::runtime {
+namespace {
+
+TEST(BlockingQueueTest, PushPopSingleThread) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BlockingQueueTest, CloseUnblocksPop) {
+  BlockingQueue<int> q;
+  std::atomic<bool> returned{false};
+  std::thread t([&] {
+    EXPECT_EQ(q.pop(), std::nullopt);
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  t.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BlockingQueueTest, CloseRejectsNewPushesButDrainsExisting) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BlockingQueueTest, CloseAndDrainDiscards) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close_and_drain();
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BlockingQueueTest, ManyProducersOneConsumer) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(i);
+    });
+  }
+  int consumed = 0;
+  std::thread consumer([&] {
+    while (consumed < 4 * kPerProducer) {
+      if (q.pop()) ++consumed;
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(consumed, 4 * kPerProducer);
+}
+
+TEST(DelayedExecutorTest, RunsTaskAfterDelay) {
+  DelayedExecutor executor;
+  std::atomic<bool> ran{false};
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<std::int64_t> elapsed_ms{0};
+  executor.post_after(std::chrono::milliseconds(30), [&] {
+    elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    ran = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_TRUE(ran.load());
+  EXPECT_GE(elapsed_ms.load(), 28);
+}
+
+TEST(DelayedExecutorTest, TasksRunInDeadlineOrder) {
+  DelayedExecutor executor;
+  std::mutex m;
+  std::vector<int> order;
+  executor.post_after(std::chrono::milliseconds(60), [&] {
+    std::lock_guard lock(m);
+    order.push_back(3);
+  });
+  executor.post_after(std::chrono::milliseconds(20), [&] {
+    std::lock_guard lock(m);
+    order.push_back(1);
+  });
+  executor.post_after(std::chrono::milliseconds(40), [&] {
+    std::lock_guard lock(m);
+    order.push_back(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  std::lock_guard lock(m);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DelayedExecutorTest, ShutdownDiscardsPendingAndRejectsNew) {
+  auto executor = std::make_unique<DelayedExecutor>();
+  std::atomic<bool> ran{false};
+  executor->post_after(std::chrono::seconds(10), [&] { ran = true; });
+  executor->shutdown();
+  EXPECT_FALSE(executor->post_after(std::chrono::milliseconds(1), [] {}));
+  executor.reset();
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadedReplicaTest, ServicesAndReportsPerf) {
+  ThreadedReplica replica{ReplicaId{1}, stats::make_constant(msec(5)), Rng{1}};
+  std::atomic<bool> got{false};
+  proto::Reply captured;
+  std::mutex m;
+  proto::Request request{RequestId{1}, ClientId{1}, "invoke", 42};
+  ASSERT_TRUE(replica.submit(request, [&](const proto::Reply& reply) {
+    std::lock_guard lock(m);
+    captured = reply;
+    got = true;
+  }));
+  for (int i = 0; i < 100 && !got; ++i) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(got.load());
+  std::lock_guard lock(m);
+  EXPECT_EQ(captured.request, RequestId{1});
+  EXPECT_EQ(captured.result, 42);
+  EXPECT_GE(captured.perf.service_time, msec(5));
+  EXPECT_EQ(replica.serviced(), 1u);
+}
+
+TEST(ThreadedReplicaTest, CrashStopsService) {
+  ThreadedReplica replica{ReplicaId{1}, stats::make_constant(msec(50)), Rng{1}};
+  std::atomic<int> replies{0};
+  proto::Request request{RequestId{1}, ClientId{1}, "invoke", 0};
+  replica.submit(request, [&](const proto::Reply&) { ++replies; });
+  replica.crash();
+  EXPECT_FALSE(replica.alive());
+  EXPECT_FALSE(replica.submit(request, [&](const proto::Reply&) { ++replies; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(replies.load(), 0);
+}
+
+class ThreadedClientTest : public ::testing::Test {
+ protected:
+  ThreadedClientConfig fast_config() {
+    ThreadedClientConfig cfg;
+    cfg.net.base = usec(200);
+    cfg.net.jitter_max = usec(100);
+    return cfg;
+  }
+};
+
+TEST_F(ThreadedClientTest, InvokeDeliversFirstReply) {
+  ThreadedReplica fast{ReplicaId{1}, stats::make_constant(msec(2)), Rng{1}};
+  ThreadedReplica slow{ReplicaId{2}, stats::make_constant(msec(40)), Rng{2}};
+  ThreadedClient client{{&fast, &slow}, core::QosSpec{msec(100), 0.0}, Rng{3}, fast_config()};
+  // First call is a cold start (fans out to both).
+  const auto first = client.invoke(7);
+  EXPECT_TRUE(first.answered);
+  EXPECT_TRUE(first.cold_start);
+  EXPECT_EQ(first.result, 7);
+  EXPECT_EQ(first.redundancy, 2u);
+  // Warm call: dynamic selection, first reply from the fast replica.
+  const auto second = client.invoke(8);
+  EXPECT_TRUE(second.answered);
+  EXPECT_FALSE(second.cold_start);
+  EXPECT_TRUE(second.timely);
+  EXPECT_EQ(second.first_replica, ReplicaId{1});
+}
+
+TEST_F(ThreadedClientTest, MeasuresRealSelectionOverhead) {
+  ThreadedReplica r1{ReplicaId{1}, stats::make_constant(msec(2)), Rng{1}};
+  ThreadedReplica r2{ReplicaId{2}, stats::make_constant(msec(2)), Rng{2}};
+  ThreadedClient client{{&r1, &r2}, core::QosSpec{msec(100), 0.5}, Rng{3}, fast_config()};
+  client.invoke(1);
+  const auto outcome = client.invoke(2);
+  // Real wall-clock measurement: positive but far below a millisecond on
+  // a warm two-replica repository.
+  EXPECT_GE(outcome.selection_overhead, Duration::zero());
+  EXPECT_LT(outcome.selection_overhead, msec(20));
+}
+
+TEST_F(ThreadedClientTest, TracksTimingFailures) {
+  ThreadedReplica slow{ReplicaId{1}, stats::make_constant(msec(50)), Rng{1}};
+  ThreadedReplica slow2{ReplicaId{2}, stats::make_constant(msec(50)), Rng{2}};
+  ThreadedClientConfig cfg = fast_config();
+  cfg.failure_tracker.min_samples = 2;
+  ThreadedClient client{{&slow, &slow2}, core::QosSpec{msec(10), 0.9}, Rng{3}, cfg};
+  for (int i = 0; i < 3; ++i) {
+    const auto outcome = client.invoke(i);
+    EXPECT_FALSE(outcome.timely);
+  }
+  EXPECT_LT(client.timely_fraction(), 0.5);
+  EXPECT_TRUE(client.qos_violated());
+}
+
+TEST_F(ThreadedClientTest, SurvivesCrashOfSelectedReplica) {
+  ThreadedReplica fast{ReplicaId{1}, stats::make_constant(msec(2)), Rng{1}};
+  ThreadedReplica backup{ReplicaId{2}, stats::make_constant(msec(5)), Rng{2}};
+  ThreadedClient client{{&fast, &backup}, core::QosSpec{msec(200), 0.5}, Rng{3}, fast_config()};
+  client.invoke(1);  // warm up
+  fast.crash();
+  client.remove_replica(ReplicaId{1});
+  EXPECT_EQ(client.known_replicas(), 1u);
+  const auto outcome = client.invoke(2);
+  EXPECT_TRUE(outcome.answered);
+  EXPECT_EQ(outcome.first_replica, ReplicaId{2});
+}
+
+TEST_F(ThreadedClientTest, RedundantDispatchMasksCrashWithoutRemoval) {
+  // The crashed replica never replies, but Algorithm 1's redundancy means
+  // the other selected member answers anyway.
+  ThreadedReplica doomed{ReplicaId{1}, stats::make_constant(msec(2)), Rng{1}};
+  ThreadedReplica healthy{ReplicaId{2}, stats::make_constant(msec(5)), Rng{2}};
+  ThreadedClient client{{&doomed, &healthy}, core::QosSpec{msec(300), 0.0}, Rng{3}, fast_config()};
+  client.invoke(1);  // warm up both windows
+  doomed.crash();    // client does NOT know
+  const auto outcome = client.invoke(2);
+  EXPECT_TRUE(outcome.answered);
+  EXPECT_EQ(outcome.first_replica, ReplicaId{2});
+}
+
+TEST_F(ThreadedClientTest, QosRenegotiationResetsTracker) {
+  ThreadedReplica r{ReplicaId{1}, stats::make_constant(msec(30)), Rng{1}};
+  ThreadedClientConfig cfg = fast_config();
+  cfg.failure_tracker.min_samples = 1;
+  ThreadedClient client{{&r}, core::QosSpec{msec(5), 0.9}, Rng{3}, cfg};
+  client.invoke(1);
+  EXPECT_TRUE(client.qos_violated());
+  client.set_qos(core::QosSpec{msec(500), 0.5});
+  EXPECT_FALSE(client.qos_violated());
+  const auto outcome = client.invoke(2);
+  EXPECT_TRUE(outcome.timely);
+}
+
+}  // namespace
+}  // namespace aqua::runtime

@@ -1,0 +1,224 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/time.h"
+
+namespace aqua::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtEpoch) {
+  Simulator sim;
+  EXPECT_EQ(count_us(sim.now()), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(msec(30), [&] { order.push_back(3); });
+  sim.schedule_after(msec(10), [&] { order.push_back(1); });
+  sim.schedule_after(msec(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(msec(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  TimePoint seen{};
+  sim.schedule_after(msec(42), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, TimePoint{} + msec(42));
+  EXPECT_EQ(sim.now(), TimePoint{} + msec(42));
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(msec(1), [&] {
+    ++fired;
+    sim.schedule_after(msec(1), [&] {
+      ++fired;
+      sim.schedule_after(msec(1), [&] { ++fired; });
+    });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), TimePoint{} + msec(3));
+}
+
+TEST(SimulatorTest, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_after(Duration::zero(), [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(count_us(sim.now()), 0);
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_after(msec(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint{} + msec(1), [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-msec(1), [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, NullEventRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_after(msec(1), nullptr), std::invalid_argument);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(msec(1), [&] { ++fired; });
+  sim.schedule_after(msec(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<std::int64_t> fired_at;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule_after(msec(i * 10), [&fired_at, &sim] { fired_at.push_back(count_us(sim.now())); });
+  }
+  sim.run_until(TimePoint{} + msec(30));
+  EXPECT_EQ(fired_at.size(), 3u);          // 10, 20, 30 fired
+  EXPECT_EQ(sim.now(), TimePoint{} + msec(30));
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run();
+  EXPECT_EQ(fired_at.size(), 5u);
+}
+
+TEST(SimulatorTest, RunUntilIdleAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(TimePoint{} + sec(5));
+  EXPECT_EQ(sim.now(), TimePoint{} + sec(5));
+}
+
+TEST(SimulatorTest, RunUntilBackwardsThrows) {
+  Simulator sim;
+  sim.run_until(TimePoint{} + msec(10));
+  EXPECT_THROW(sim.run_until(TimePoint{} + msec(5)), std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.run_for(msec(10));
+  sim.run_for(msec(10));
+  EXPECT_EQ(sim.now(), TimePoint{} + msec(20));
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(msec(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_after(msec(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_after(msec(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  EventHandle h = sim.schedule_after(msec(1), [] {});
+  sim.run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(SimulatorTest, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(SimulatorTest, CancelledEventsDoNotBlockQueue) {
+  Simulator sim;
+  std::vector<int> order;
+  EventHandle h = sim.schedule_after(msec(1), [&] { order.push_back(1); });
+  sim.schedule_after(msec(2), [&] { order.push_back(2); });
+  h.cancel();
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(SimulatorTest, PendingEventCountTracksLifecycle) {
+  Simulator sim;
+  EventHandle a = sim.schedule_after(msec(1), [] {});
+  sim.schedule_after(msec(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  a.cancel();
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(SimulatorTest, ManyEventsExecuteCorrectly) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    sim.schedule_after(usec(i % 977), [&] { ++fired; });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 10000);
+  EXPECT_EQ(sim.executed_events(), 10000u);
+}
+
+TEST(SimulatorTest, EventCancellingLaterEvent) {
+  Simulator sim;
+  bool late_fired = false;
+  EventHandle late = sim.schedule_after(msec(10), [&] { late_fired = true; });
+  sim.schedule_after(msec(5), [&] { late.cancel(); });
+  sim.run();
+  EXPECT_FALSE(late_fired);
+}
+
+TEST(SimulatorTest, EventCancellingSameTimestampLaterEvent) {
+  Simulator sim;
+  bool second_fired = false;
+  EventHandle second;
+  sim.schedule_after(msec(5), [&] { second.cancel(); });
+  second = sim.schedule_after(msec(5), [&] { second_fired = true; });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+}
+
+}  // namespace
+}  // namespace aqua::sim

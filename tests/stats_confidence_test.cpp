@@ -1,0 +1,70 @@
+#include "stats/confidence.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua::stats {
+namespace {
+
+TEST(WilsonIntervalTest, PointEstimateIsTheProportion) {
+  const auto ci = wilson_interval(25, 100);
+  EXPECT_DOUBLE_EQ(ci.point, 0.25);
+  EXPECT_LT(ci.lower, 0.25);
+  EXPECT_GT(ci.upper, 0.25);
+}
+
+TEST(WilsonIntervalTest, KnownValue) {
+  // Classic check: 10/100 at 95% -> approx [0.055, 0.174].
+  const auto ci = wilson_interval(10, 100);
+  EXPECT_NEAR(ci.lower, 0.0552, 0.002);
+  EXPECT_NEAR(ci.upper, 0.1744, 0.002);
+}
+
+TEST(WilsonIntervalTest, ZeroSuccessesHasPositiveUpperBound) {
+  const auto ci = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(ci.point, 0.0);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_GT(ci.upper, 0.0);
+  EXPECT_LT(ci.upper, 0.15);
+}
+
+TEST(WilsonIntervalTest, AllSuccessesHasUpperBoundOne) {
+  const auto ci = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+  EXPECT_LT(ci.lower, 1.0);
+  EXPECT_GT(ci.lower, 0.85);
+}
+
+TEST(WilsonIntervalTest, IntervalShrinksWithSampleSize) {
+  const auto small = wilson_interval(5, 20);
+  const auto large = wilson_interval(125, 500);
+  EXPECT_DOUBLE_EQ(small.point, large.point);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+TEST(WilsonIntervalTest, HigherConfidenceIsWider) {
+  const auto z95 = wilson_interval(30, 100, 1.96);
+  const auto z99 = wilson_interval(30, 100, 2.576);
+  EXPECT_LT(z95.upper - z95.lower, z99.upper - z99.lower);
+}
+
+TEST(WilsonIntervalTest, Validation) {
+  EXPECT_THROW(wilson_interval(1, 0), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(5, 3), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(1, 10, 0.0), std::invalid_argument);
+}
+
+TEST(WilsonIntervalTest, BoundsAlwaysContainThePoint) {
+  for (std::size_t n : {1u, 7u, 50u, 500u}) {
+    for (std::size_t k = 0; k <= n; k += std::max<std::size_t>(1, n / 7)) {
+      const auto ci = wilson_interval(k, n);
+      EXPECT_LE(ci.lower, ci.point + 1e-12);
+      EXPECT_GE(ci.upper, ci.point - 1e-12);
+      EXPECT_GE(ci.lower, 0.0);
+      EXPECT_LE(ci.upper, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aqua::stats

@@ -1,0 +1,159 @@
+// Tests for the discrete convolution at the heart of the paper's model:
+// pmf(R) = pmf(S) (*) pmf(W) shifted by T (§5.3.1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "stats/empirical_pmf.h"
+
+namespace aqua::stats {
+namespace {
+
+std::vector<Duration> durations(std::initializer_list<std::int64_t> us) {
+  std::vector<Duration> out;
+  for (auto v : us) out.push_back(Duration{v});
+  return out;
+}
+
+TEST(ConvolutionTest, DeltaIsIdentityElement) {
+  const auto pmf = EmpiricalPmf::from_samples(durations({100, 200, 300}));
+  const auto conv = convolve(pmf, EmpiricalPmf::delta(Duration::zero()));
+  ASSERT_EQ(conv.support_size(), pmf.support_size());
+  for (std::size_t i = 0; i < pmf.support_size(); ++i) {
+    EXPECT_EQ(conv.atoms()[i].value, pmf.atoms()[i].value);
+    EXPECT_DOUBLE_EQ(conv.atoms()[i].probability, pmf.atoms()[i].probability);
+  }
+}
+
+TEST(ConvolutionTest, DeltaShiftsSupport) {
+  const auto pmf = EmpiricalPmf::from_samples(durations({100, 200}));
+  const auto conv = convolve(pmf, EmpiricalPmf::delta(msec(1)));
+  EXPECT_EQ(conv.min(), usec(1100));
+  EXPECT_EQ(conv.max(), usec(1200));
+}
+
+TEST(ConvolutionTest, TwoCoinFlipsGiveBinomial) {
+  // X, Y uniform on {0, 100}: X+Y is {0: 1/4, 100: 1/2, 200: 1/4}.
+  const auto coin = EmpiricalPmf::from_samples(durations({0, 100}));
+  const auto sum = convolve(coin, coin);
+  ASSERT_EQ(sum.support_size(), 3u);
+  EXPECT_DOUBLE_EQ(sum.atoms()[0].probability, 0.25);
+  EXPECT_DOUBLE_EQ(sum.atoms()[1].probability, 0.5);
+  EXPECT_DOUBLE_EQ(sum.atoms()[2].probability, 0.25);
+}
+
+TEST(ConvolutionTest, EmptyOperandYieldsEmpty) {
+  const auto pmf = EmpiricalPmf::delta(msec(1));
+  EXPECT_TRUE(convolve(pmf, EmpiricalPmf{}).empty());
+  EXPECT_TRUE(convolve(EmpiricalPmf{}, pmf).empty());
+  EXPECT_TRUE(convolve(EmpiricalPmf{}, EmpiricalPmf{}).empty());
+}
+
+TEST(ConvolutionTest, IsCommutative) {
+  const auto a = EmpiricalPmf::from_samples(durations({10, 20, 20, 40}));
+  const auto b = EmpiricalPmf::from_samples(durations({5, 5, 15}));
+  const auto ab = convolve(a, b);
+  const auto ba = convolve(b, a);
+  ASSERT_EQ(ab.support_size(), ba.support_size());
+  for (std::size_t i = 0; i < ab.support_size(); ++i) {
+    EXPECT_EQ(ab.atoms()[i].value, ba.atoms()[i].value);
+    EXPECT_NEAR(ab.atoms()[i].probability, ba.atoms()[i].probability, 1e-12);
+  }
+}
+
+TEST(ConvolutionTest, IsAssociative) {
+  const auto a = EmpiricalPmf::from_samples(durations({1, 2}));
+  const auto b = EmpiricalPmf::from_samples(durations({10, 20, 30}));
+  const auto c = EmpiricalPmf::from_samples(durations({100, 100, 300}));
+  const auto left = convolve(convolve(a, b), c);
+  const auto right = convolve(a, convolve(b, c));
+  ASSERT_EQ(left.support_size(), right.support_size());
+  for (std::size_t i = 0; i < left.support_size(); ++i) {
+    EXPECT_EQ(left.atoms()[i].value, right.atoms()[i].value);
+    EXPECT_NEAR(left.atoms()[i].probability, right.atoms()[i].probability, 1e-12);
+  }
+}
+
+TEST(ConvolutionTest, MeanIsAdditive) {
+  const auto a = EmpiricalPmf::from_samples(durations({100, 300}));
+  const auto b = EmpiricalPmf::from_samples(durations({50, 150, 250}));
+  const auto sum = convolve(a, b);
+  EXPECT_NEAR(sum.mean_us(), a.mean_us() + b.mean_us(), 1e-9);
+}
+
+TEST(ConvolutionTest, VarianceIsAdditiveForIndependentParts) {
+  const auto a = EmpiricalPmf::from_samples(durations({0, 200}));
+  const auto b = EmpiricalPmf::from_samples(durations({0, 100}));
+  const auto sum = convolve(a, b);
+  EXPECT_NEAR(sum.variance_us2(), a.variance_us2() + b.variance_us2(), 1e-9);
+}
+
+TEST(ConvolutionTest, TotalProbabilityIsPreserved) {
+  Rng rng{99};
+  std::vector<Duration> sa, sb;
+  for (int i = 0; i < 20; ++i) {
+    sa.push_back(usec(rng.uniform_int(0, 1000)));
+    sb.push_back(usec(rng.uniform_int(0, 1000)));
+  }
+  const auto conv = convolve(EmpiricalPmf::from_samples(sa), EmpiricalPmf::from_samples(sb));
+  double total = 0.0;
+  for (const auto& atom : conv.atoms()) total += atom.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ConvolutionTest, SupportBoundsAreSumsOfBounds) {
+  const auto a = EmpiricalPmf::from_samples(durations({100, 900}));
+  const auto b = EmpiricalPmf::from_samples(durations({10, 50}));
+  const auto conv = convolve(a, b);
+  EXPECT_EQ(conv.min(), usec(110));
+  EXPECT_EQ(conv.max(), usec(950));
+}
+
+TEST(ConvolutionTest, MergesCollidingSums) {
+  // 10+20 == 20+10: atom at 30 must be merged, not duplicated.
+  const auto a = EmpiricalPmf::from_samples(durations({10, 20}));
+  const auto conv = convolve(a, a);
+  ASSERT_EQ(conv.support_size(), 3u);
+  EXPECT_EQ(conv.atoms()[1].value, usec(30));
+  EXPECT_DOUBLE_EQ(conv.atoms()[1].probability, 0.5);
+}
+
+TEST(ConvolutionTest, CdfOfSumMatchesBruteForce) {
+  const auto sa = durations({120, 250, 250, 400, 730});
+  const auto sb = durations({40, 90, 90, 200});
+  const auto conv = convolve(EmpiricalPmf::from_samples(sa), EmpiricalPmf::from_samples(sb));
+  // Brute force: P(Sa + Sb <= t) over all sample pairs.
+  const auto brute = [&](Duration t) {
+    int hits = 0;
+    for (auto a : sa) {
+      for (auto b : sb) {
+        if (a + b <= t) ++hits;
+      }
+    }
+    return static_cast<double>(hits) / static_cast<double>(sa.size() * sb.size());
+  };
+  for (auto t : {usec(100), usec(200), usec(340), usec(500), usec(930), usec(5000)}) {
+    EXPECT_NEAR(conv.cdf_at(t), brute(t), 1e-9) << "t=" << count_us(t);
+  }
+}
+
+TEST(ConvolutionTest, PaperPipelineSWPlusT) {
+  // The full §5.3.1 pipeline: pmf(S) (*) pmf(W), then shift by T.
+  const auto service = EmpiricalPmf::from_samples(durations({100'000, 100'000, 150'000}));
+  const auto queuing = EmpiricalPmf::from_samples(durations({0, 0, 30'000}));
+  const Duration gateway = usec(3'500);
+  const auto response = convolve(service, queuing).shifted(gateway);
+  // Minimum possible response: 100ms + 0 + 3.5ms.
+  EXPECT_EQ(response.min(), usec(103'500));
+  // Maximum: 150ms + 30ms + 3.5ms.
+  EXPECT_EQ(response.max(), usec(183'500));
+  // P(R <= 103.5ms) = P(S=100ms) * P(W=0) = (2/3) * (2/3).
+  EXPECT_NEAR(response.cdf_at(usec(103'500)), 4.0 / 9.0, 1e-9);
+  // Everything fits within 200ms.
+  EXPECT_NEAR(response.cdf_at(msec(200)), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace aqua::stats

@@ -1,0 +1,134 @@
+// Property tests of the pmf algebra over randomly generated samples.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/empirical_pmf.h"
+
+namespace aqua::stats {
+namespace {
+
+std::vector<Duration> random_samples(Rng& rng, std::size_t count, std::int64_t max_us) {
+  std::vector<Duration> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(usec(rng.uniform_int(0, max_us)));
+  return out;
+}
+
+class PmfPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PmfPropertyTest, CdfMatchesDirectSampleCount) {
+  Rng rng{GetParam()};
+  const auto samples = random_samples(rng, static_cast<std::size_t>(rng.uniform_int(1, 40)), 5000);
+  const auto pmf = EmpiricalPmf::from_samples(samples);
+  for (int probe = 0; probe < 20; ++probe) {
+    const Duration t = usec(rng.uniform_int(0, 6000));
+    std::size_t below = 0;
+    for (Duration s : samples) {
+      if (s <= t) ++below;
+    }
+    EXPECT_NEAR(pmf.cdf_at(t), static_cast<double>(below) / static_cast<double>(samples.size()),
+                1e-9);
+  }
+}
+
+TEST_P(PmfPropertyTest, ConvolutionMatchesBruteForcePairCounts) {
+  Rng rng{GetParam()};
+  const auto a = random_samples(rng, static_cast<std::size_t>(rng.uniform_int(1, 15)), 3000);
+  const auto b = random_samples(rng, static_cast<std::size_t>(rng.uniform_int(1, 15)), 3000);
+  const auto conv = convolve(EmpiricalPmf::from_samples(a), EmpiricalPmf::from_samples(b));
+  for (int probe = 0; probe < 10; ++probe) {
+    const Duration t = usec(rng.uniform_int(0, 7000));
+    std::size_t below = 0;
+    for (Duration x : a) {
+      for (Duration y : b) {
+        if (x + y <= t) ++below;
+      }
+    }
+    EXPECT_NEAR(conv.cdf_at(t),
+                static_cast<double>(below) / static_cast<double>(a.size() * b.size()), 1e-9);
+  }
+}
+
+TEST_P(PmfPropertyTest, TotalMassIsOneThroughEveryOperation) {
+  Rng rng{GetParam()};
+  const auto a = random_samples(rng, static_cast<std::size_t>(rng.uniform_int(1, 25)), 4000);
+  const auto b = random_samples(rng, static_cast<std::size_t>(rng.uniform_int(1, 25)), 4000);
+  const auto mass = [](const EmpiricalPmf& p) {
+    double total = 0.0;
+    for (const auto& atom : p.atoms()) total += atom.probability;
+    return total;
+  };
+  const auto pa = EmpiricalPmf::from_samples(a);
+  EXPECT_NEAR(mass(pa), 1.0, 1e-9);
+  EXPECT_NEAR(mass(pa.shifted(msec(3))), 1.0, 1e-9);
+  EXPECT_NEAR(mass(pa.binned(usec(250))), 1.0, 1e-9);
+  EXPECT_NEAR(mass(convolve(pa, EmpiricalPmf::from_samples(b))), 1.0, 1e-9);
+}
+
+TEST_P(PmfPropertyTest, ShiftCommutesWithConvolution) {
+  // (A + c) (*) B == (A (*) B) + c
+  Rng rng{GetParam()};
+  const auto a = EmpiricalPmf::from_samples(
+      random_samples(rng, static_cast<std::size_t>(rng.uniform_int(1, 12)), 2000));
+  const auto b = EmpiricalPmf::from_samples(
+      random_samples(rng, static_cast<std::size_t>(rng.uniform_int(1, 12)), 2000));
+  const Duration c = usec(rng.uniform_int(-500, 1500));
+  const auto left = convolve(a.shifted(c), b);
+  const auto right = convolve(a, b).shifted(c);
+  ASSERT_EQ(left.support_size(), right.support_size());
+  for (std::size_t i = 0; i < left.support_size(); ++i) {
+    EXPECT_EQ(left.atoms()[i].value, right.atoms()[i].value);
+    EXPECT_NEAR(left.atoms()[i].probability, right.atoms()[i].probability, 1e-12);
+  }
+}
+
+TEST_P(PmfPropertyTest, QuantileAndCdfAreConsistent) {
+  Rng rng{GetParam()};
+  const auto pmf = EmpiricalPmf::from_samples(
+      random_samples(rng, static_cast<std::size_t>(rng.uniform_int(1, 30)), 4000));
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const Duration q = pmf.quantile(p);
+    EXPECT_GE(pmf.cdf_at(q) + 1e-9, p);
+    // The previous support value (if any) must be strictly below p.
+    if (q > pmf.min()) {
+      EXPECT_LT(pmf.cdf_at(q - usec(1)), p + 1e-9);
+    }
+  }
+}
+
+TEST_P(PmfPropertyTest, BinningNeverMovesMassUpward) {
+  // Bins floor values, so the binned cdf dominates the exact cdf.
+  Rng rng{GetParam()};
+  const auto pmf = EmpiricalPmf::from_samples(
+      random_samples(rng, static_cast<std::size_t>(rng.uniform_int(1, 30)), 4000));
+  const auto binned = pmf.binned(usec(300));
+  for (int probe = 0; probe < 15; ++probe) {
+    const Duration t = usec(rng.uniform_int(0, 5000));
+    EXPECT_GE(binned.cdf_at(t) + 1e-12, pmf.cdf_at(t));
+  }
+}
+
+TEST_P(PmfPropertyTest, MeanAndVarianceMatchSampleMoments) {
+  Rng rng{GetParam()};
+  const auto samples = random_samples(rng, static_cast<std::size_t>(rng.uniform_int(2, 40)), 3000);
+  const auto pmf = EmpiricalPmf::from_samples(samples);
+  double mean = 0.0;
+  for (Duration s : samples) mean += static_cast<double>(count_us(s));
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (Duration s : samples) {
+    const double d = static_cast<double>(count_us(s)) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(samples.size());  // population variance
+  EXPECT_NEAR(pmf.mean_us(), mean, 1e-6);
+  EXPECT_NEAR(pmf.variance_us2(), var, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPmfs, PmfPropertyTest,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{40}));
+
+}  // namespace
+}  // namespace aqua::stats

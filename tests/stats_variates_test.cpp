@@ -1,0 +1,182 @@
+#include "stats/variates.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace aqua::stats {
+namespace {
+
+constexpr int kDraws = 20000;
+
+SummaryStats draw_summary(const DurationSampler& sampler, std::uint64_t seed = 42) {
+  Rng rng{seed};
+  SummaryStats s;
+  for (int i = 0; i < kDraws; ++i) s.add(static_cast<double>(count_us(sampler.sample(rng))));
+  return s;
+}
+
+TEST(VariatesTest, ConstantAlwaysReturnsValue) {
+  Rng rng{1};
+  const auto sampler = make_constant(msec(7));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler->sample(rng), msec(7));
+}
+
+TEST(VariatesTest, ConstantZeroAllowed) {
+  Rng rng{1};
+  EXPECT_EQ(make_constant(Duration::zero())->sample(rng), Duration::zero());
+}
+
+TEST(VariatesTest, ConstantRejectsNegative) {
+  EXPECT_THROW(make_constant(usec(-1)), std::invalid_argument);
+}
+
+TEST(VariatesTest, TruncatedNormalMatchesMoments) {
+  // Narrow relative spread: truncation is negligible.
+  const auto s = draw_summary(*make_truncated_normal(msec(100), msec(10)));
+  EXPECT_NEAR(s.mean(), 100'000.0, 500.0);
+  EXPECT_NEAR(s.stddev(), 10'000.0, 500.0);
+}
+
+TEST(VariatesTest, TruncatedNormalRespectsFloor) {
+  Rng rng{3};
+  const auto sampler = make_truncated_normal(msec(10), msec(50));  // heavy truncation
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(sampler->sample(rng), Duration::zero());
+  }
+}
+
+TEST(VariatesTest, TruncatedNormalPaperParameters) {
+  // The paper's workload: mean 100ms, spread 50ms, truncated at zero.
+  const auto s = draw_summary(*make_truncated_normal(msec(100), msec(50)));
+  EXPECT_NEAR(s.mean(), 100'000.0, 3000.0);  // truncation shifts up slightly
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(VariatesTest, TruncatedNormalValidation) {
+  EXPECT_THROW(make_truncated_normal(msec(10), usec(-1)), std::invalid_argument);
+  EXPECT_THROW(make_truncated_normal(msec(10), msec(1), msec(20)), std::invalid_argument);
+}
+
+TEST(VariatesTest, ExponentialMeanConverges) {
+  const auto s = draw_summary(*make_exponential(msec(20)));
+  EXPECT_NEAR(s.mean(), 20'000.0, 800.0);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(VariatesTest, ExponentialRejectsNonPositive) {
+  EXPECT_THROW(make_exponential(Duration::zero()), std::invalid_argument);
+}
+
+TEST(VariatesTest, UniformStaysInBoundsInclusive) {
+  Rng rng{4};
+  const auto sampler = make_uniform(usec(100), usec(200));
+  bool saw_low = false, saw_high = false;
+  for (int i = 0; i < 20000; ++i) {
+    const Duration d = sampler->sample(rng);
+    ASSERT_GE(d, usec(100));
+    ASSERT_LE(d, usec(200));
+    if (d == usec(100)) saw_low = true;
+    if (d == usec(200)) saw_high = true;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(VariatesTest, UniformValidation) {
+  EXPECT_THROW(make_uniform(usec(10), usec(5)), std::invalid_argument);
+  EXPECT_THROW(make_uniform(usec(-5), usec(5)), std::invalid_argument);
+  // Degenerate single point is allowed.
+  Rng rng{5};
+  EXPECT_EQ(make_uniform(usec(7), usec(7))->sample(rng), usec(7));
+}
+
+TEST(VariatesTest, LognormalMedianApproximatelyCorrect) {
+  Rng rng{6};
+  const auto sampler = make_lognormal(msec(10), 0.5);
+  int below = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (sampler->sample(rng) < msec(10)) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / kDraws, 0.5, 0.02);
+}
+
+TEST(VariatesTest, LognormalIsRightSkewed) {
+  const auto s = draw_summary(*make_lognormal(msec(10), 0.8));
+  EXPECT_GT(s.mean(), 10'000.0);  // mean > median for right-skew
+}
+
+TEST(VariatesTest, LognormalValidation) {
+  EXPECT_THROW(make_lognormal(Duration::zero(), 0.5), std::invalid_argument);
+  EXPECT_THROW(make_lognormal(msec(1), 0.0), std::invalid_argument);
+}
+
+TEST(VariatesTest, BoundedParetoStaysInBounds) {
+  Rng rng{7};
+  const auto sampler = make_bounded_pareto(1.2, msec(1), msec(100));
+  for (int i = 0; i < 20000; ++i) {
+    const Duration d = sampler->sample(rng);
+    ASSERT_GE(d, msec(1));
+    ASSERT_LE(d, msec(100));
+  }
+}
+
+TEST(VariatesTest, BoundedParetoIsHeavyTailed) {
+  // Most mass near the lower bound, occasional large values.
+  const auto s = draw_summary(*make_bounded_pareto(1.5, msec(1), msec(100)));
+  EXPECT_LT(s.mean(), 20'000.0);
+  EXPECT_GT(s.max(), 50'000.0);
+}
+
+TEST(VariatesTest, BoundedParetoValidation) {
+  EXPECT_THROW(make_bounded_pareto(0.0, msec(1), msec(2)), std::invalid_argument);
+  EXPECT_THROW(make_bounded_pareto(1.0, msec(2), msec(1)), std::invalid_argument);
+  EXPECT_THROW(make_bounded_pareto(1.0, Duration::zero(), msec(1)), std::invalid_argument);
+}
+
+TEST(VariatesTest, BimodalMixesComponents) {
+  Rng rng{8};
+  const auto sampler =
+      make_bimodal(0.2, make_constant(msec(1)), make_constant(msec(100)));
+  int slow = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const Duration d = sampler->sample(rng);
+    ASSERT_TRUE(d == msec(1) || d == msec(100));
+    if (d == msec(100)) ++slow;
+  }
+  EXPECT_NEAR(static_cast<double>(slow) / kDraws, 0.2, 0.02);
+}
+
+TEST(VariatesTest, BimodalValidation) {
+  EXPECT_THROW(make_bimodal(-0.1, make_constant(msec(1)), make_constant(msec(2))),
+               std::invalid_argument);
+  EXPECT_THROW(make_bimodal(0.5, nullptr, make_constant(msec(2))), std::invalid_argument);
+}
+
+TEST(VariatesTest, ShiftedAddsOffsetAndClampsAtZero) {
+  Rng rng{9};
+  const auto plus = make_shifted(make_constant(msec(5)), msec(2));
+  EXPECT_EQ(plus->sample(rng), msec(7));
+  const auto minus = make_shifted(make_constant(msec(5)), -msec(10));
+  EXPECT_EQ(minus->sample(rng), Duration::zero());
+}
+
+TEST(VariatesTest, DescribeIsHumanReadable) {
+  EXPECT_NE(make_constant(msec(1))->describe().find("constant"), std::string::npos);
+  EXPECT_NE(make_truncated_normal(msec(100), msec(50))->describe().find("normal"),
+            std::string::npos);
+  EXPECT_NE(make_bounded_pareto(1.0, msec(1), msec(2))->describe().find("pareto"),
+            std::string::npos);
+}
+
+TEST(VariatesTest, SamplersAreDeterministicGivenSeed) {
+  const auto sampler = make_truncated_normal(msec(100), msec(50));
+  Rng a{77};
+  Rng b{77};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sampler->sample(a), sampler->sample(b));
+}
+
+}  // namespace
+}  // namespace aqua::stats

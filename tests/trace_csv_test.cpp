@@ -1,0 +1,77 @@
+#include "trace/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aqua::trace {
+namespace {
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.header({"a", "b"});
+  csv.row({"1", "2"});
+  csv.row({"3", "4"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvWriterTest, HeaderOnlyOnce) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.header({"a"});
+  EXPECT_THROW(csv.header({"b"}), std::invalid_argument);
+}
+
+TEST(CsvWriterTest, EmptyHeaderRejected) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  EXPECT_THROW(csv.header({}), std::invalid_argument);
+}
+
+TEST(CsvWriterTest, RaggedRowsRejected) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.header({"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(csv.row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(CsvWriterTest, RowsWithoutHeaderAreAllowed) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.row({"x", "y", "z"});
+  EXPECT_EQ(out.str(), "x,y,z\n");
+}
+
+TEST(CsvWriterTest, QuotesFieldsWithSeparators) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.row({"a,b", "plain"});
+  EXPECT_EQ(out.str(), "\"a,b\",plain\n");
+}
+
+TEST(CsvWriterTest, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.row({"say \"hi\""});
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, QuotesNewlines) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.row({"line1\nline2"});
+  EXPECT_EQ(out.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriterTest, NumericCells) {
+  EXPECT_EQ(CsvWriter::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(CsvWriter::cell(std::int64_t{-7}), "-7");
+  EXPECT_EQ(CsvWriter::cell(std::uint64_t{42}), "42");
+  EXPECT_EQ(CsvWriter::cell(0.5), "0.500000");
+}
+
+}  // namespace
+}  // namespace aqua::trace

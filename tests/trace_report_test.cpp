@@ -1,0 +1,44 @@
+#include "trace/report.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua::trace {
+namespace {
+
+TEST(ClientRunReportTest, EmptyReportIsSafe) {
+  ClientRunReport report;
+  EXPECT_DOUBLE_EQ(report.failure_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_redundancy(), 0.0);
+  EXPECT_FALSE(report.summary_line().empty());
+}
+
+TEST(ClientRunReportTest, FailureProbabilityIsFractionOfRequests) {
+  ClientRunReport report;
+  report.requests = 50;
+  report.timing_failures = 4;
+  EXPECT_DOUBLE_EQ(report.failure_probability(), 0.08);
+}
+
+TEST(ClientRunReportTest, MeanRedundancyAveragesSamples) {
+  ClientRunReport report;
+  report.redundancy.add(2.0);
+  report.redundancy.add(3.0);
+  report.redundancy.add(7.0);
+  EXPECT_DOUBLE_EQ(report.mean_redundancy(), 4.0);
+}
+
+TEST(ClientRunReportTest, SummaryLineContainsKeyFigures) {
+  ClientRunReport report;
+  report.label = "client-1";
+  report.requests = 50;
+  report.timing_failures = 5;
+  report.redundancy.add(2.0);
+  report.response_times_ms.add(123.0);
+  const std::string line = report.summary_line();
+  EXPECT_NE(line.find("client-1"), std::string::npos);
+  EXPECT_NE(line.find("50 requests"), std::string::npos);
+  EXPECT_NE(line.find("0.100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua::trace

@@ -1,0 +1,313 @@
+// aqua_experiment — run a configurable AQuA-RS deployment from the
+// command line and print per-client reports.
+//
+//   aqua_experiment --replicas 7 --deadline 150 --pc 0.9 --requests 50
+//   aqua_experiment --policy fastest-mean --crash-at 5
+//   aqua_experiment --service-dist pareto --clients 4 --csv run.csv
+//
+// Every run is deterministic in (--seed, flags). See --help.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gateway/history_io.h"
+#include "gateway/system.h"
+
+namespace {
+
+using namespace aqua;
+using namespace aqua::gateway;
+
+struct Options {
+  std::uint64_t seed = 1;
+  int replicas = 7;
+  std::int64_t service_mean_ms = 100;
+  std::int64_t service_sd_ms = 50;
+  std::string service_dist = "normal";
+  int clients = 1;
+  std::int64_t deadline_ms = 200;
+  double pc = 0.9;
+  std::size_t requests = 50;
+  std::int64_t think_ms = 1000;
+  std::size_t window = 5;
+  std::size_t crash_tolerance = 1;
+  std::string policy = "dynamic";
+  double crash_at_s = 0.0;  // 0 = no crash
+  int crash_count = 1;
+  std::size_t manager_min = 0;  // 0 = manager off
+  std::int64_t manager_delay_ms = 2000;
+  bool spikes = false;
+  double loss = 0.0;
+  std::int64_t probe_staleness_ms = 0;
+  bool windowed_gateway = false;
+  bool queue_shift = false;
+  bool no_compensation = false;
+  std::string csv_path;
+  bool per_request = false;
+  double run_seconds = 0.0;  // 0 = until clients done
+};
+
+void print_usage() {
+  std::puts(
+      "aqua_experiment — configurable AQuA-RS timing-fault experiment\n"
+      "\n"
+      "deployment:\n"
+      "  --replicas N           server replicas (default 7)\n"
+      "  --service-mean MS      mean service time (default 100)\n"
+      "  --service-sd MS        service spread (default 50)\n"
+      "  --service-dist D       normal|exponential|uniform|pareto|bimodal (default normal)\n"
+      "  --manager-min N        keep >= N replicas alive via dependability manager (0=off)\n"
+      "  --manager-delay MS     replacement startup delay (default 2000)\n"
+      "workload:\n"
+      "  --clients N            concurrent clients (default 1)\n"
+      "  --deadline MS          client deadline t (default 200)\n"
+      "  --pc P                 requested probability P_c (default 0.9)\n"
+      "  --requests N           requests per client, 0 = unbounded (default 50)\n"
+      "  --think MS             think time between requests (default 1000)\n"
+      "  --run-seconds S        run for S simulated seconds instead of until done\n"
+      "algorithm:\n"
+      "  --policy P             dynamic|fastest-mean|best-probability|random-K|\n"
+      "                         round-robin-K|static-K|all (default dynamic)\n"
+      "  --window L             sliding-window size l (default 5)\n"
+      "  --crash-tolerance K    protected members, 0..n (default 1 = Algorithm 1)\n"
+      "  --no-compensation      disable the F(t - delta) overhead compensation\n"
+      "  --windowed-gateway     model T from a window instead of its last value\n"
+      "  --queue-shift          shift F by queue_length x mean(S) (extension)\n"
+      "  --probe-staleness MS   probe replicas with data older than MS (0=off)\n"
+      "faults:\n"
+      "  --crash-at S           crash replica host(s) at S seconds (0=off)\n"
+      "  --crash-count N        how many replicas crash (default 1)\n"
+      "  --spikes               enable LAN traffic spikes\n"
+      "  --loss R               message loss rate in [0,1)\n"
+      "output:\n"
+      "  --seed S               experiment seed (default 1)\n"
+      "  --per-request          dump each request of client 0\n"
+      "  --csv FILE             write client 0's request history as CSV\n"
+      "  --help                 this text");
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      print_usage();
+      return std::nullopt;
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(need_value(i), nullptr, 10);
+    } else if (flag == "--replicas") {
+      opt.replicas = std::atoi(need_value(i));
+    } else if (flag == "--service-mean") {
+      opt.service_mean_ms = std::atoll(need_value(i));
+    } else if (flag == "--service-sd") {
+      opt.service_sd_ms = std::atoll(need_value(i));
+    } else if (flag == "--service-dist") {
+      opt.service_dist = need_value(i);
+    } else if (flag == "--clients") {
+      opt.clients = std::atoi(need_value(i));
+    } else if (flag == "--deadline") {
+      opt.deadline_ms = std::atoll(need_value(i));
+    } else if (flag == "--pc") {
+      opt.pc = std::atof(need_value(i));
+    } else if (flag == "--requests") {
+      opt.requests = static_cast<std::size_t>(std::atoll(need_value(i)));
+    } else if (flag == "--think") {
+      opt.think_ms = std::atoll(need_value(i));
+    } else if (flag == "--window") {
+      opt.window = static_cast<std::size_t>(std::atoll(need_value(i)));
+    } else if (flag == "--crash-tolerance") {
+      opt.crash_tolerance = static_cast<std::size_t>(std::atoll(need_value(i)));
+    } else if (flag == "--policy") {
+      opt.policy = need_value(i);
+    } else if (flag == "--crash-at") {
+      opt.crash_at_s = std::atof(need_value(i));
+    } else if (flag == "--crash-count") {
+      opt.crash_count = std::atoi(need_value(i));
+    } else if (flag == "--manager-min") {
+      opt.manager_min = static_cast<std::size_t>(std::atoll(need_value(i)));
+    } else if (flag == "--manager-delay") {
+      opt.manager_delay_ms = std::atoll(need_value(i));
+    } else if (flag == "--spikes") {
+      opt.spikes = true;
+    } else if (flag == "--loss") {
+      opt.loss = std::atof(need_value(i));
+    } else if (flag == "--probe-staleness") {
+      opt.probe_staleness_ms = std::atoll(need_value(i));
+    } else if (flag == "--windowed-gateway") {
+      opt.windowed_gateway = true;
+    } else if (flag == "--queue-shift") {
+      opt.queue_shift = true;
+    } else if (flag == "--no-compensation") {
+      opt.no_compensation = true;
+    } else if (flag == "--csv") {
+      opt.csv_path = need_value(i);
+    } else if (flag == "--per-request") {
+      opt.per_request = true;
+    } else if (flag == "--run-seconds") {
+      opt.run_seconds = std::atof(need_value(i));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", flag.c_str());
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+stats::SamplerPtr make_service_sampler(const Options& opt) {
+  const Duration mean = msec(opt.service_mean_ms);
+  const Duration sd = msec(opt.service_sd_ms);
+  if (opt.service_dist == "normal") return stats::make_truncated_normal(mean, sd);
+  if (opt.service_dist == "exponential") return stats::make_exponential(mean);
+  if (opt.service_dist == "uniform") {
+    const Duration lo = std::max(Duration::zero(), mean - sd);
+    return stats::make_uniform(lo, mean + sd);
+  }
+  if (opt.service_dist == "pareto") {
+    return stats::make_bounded_pareto(1.3, std::max(msec(1), mean / 4), mean * 20);
+  }
+  if (opt.service_dist == "bimodal") {
+    return stats::make_bimodal(0.15, stats::make_truncated_normal(mean, sd / 2),
+                               stats::make_truncated_normal(mean * 4, sd));
+  }
+  std::fprintf(stderr, "unknown --service-dist %s\n", opt.service_dist.c_str());
+  std::exit(2);
+}
+
+core::PolicyPtr make_policy(const Options& opt, const core::SelectionConfig& selection,
+                            const core::ModelConfig& model) {
+  const std::string& p = opt.policy;
+  if (p == "dynamic") return core::make_dynamic_policy(selection, model);
+  if (p == "fastest-mean") return core::make_fastest_mean_policy();
+  if (p == "best-probability") return core::make_best_probability_policy(model);
+  if (p == "all") return core::make_all_replicas_policy();
+  const auto dash = p.rfind('-');
+  if (dash != std::string::npos) {
+    const std::string base = p.substr(0, dash);
+    const auto k = static_cast<std::size_t>(std::atoll(p.c_str() + dash + 1));
+    if (k >= 1) {
+      if (base == "random") return core::make_random_policy(k);
+      if (base == "round-robin") return core::make_round_robin_policy(k);
+      if (base == "static") return core::make_static_k_policy(k, model);
+    }
+  }
+  std::fprintf(stderr, "unknown --policy %s\n", p.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) return 0;
+  const Options& opt = *parsed;
+  if (opt.replicas < 1 || opt.clients < 1) {
+    std::fprintf(stderr, "need at least one replica and one client\n");
+    return 2;
+  }
+
+  SystemConfig sys_cfg;
+  sys_cfg.seed = opt.seed;
+  sys_cfg.lan.loss_rate = opt.loss;
+  if (opt.spikes) {
+    sys_cfg.lan.spike.enabled = true;
+    sys_cfg.lan.spike.mean_interval = sec(5);
+    sys_cfg.lan.spike.mean_duration = msec(250);
+    sys_cfg.lan.spike.delay_factor = 25.0;
+  }
+  AquaSystem system{sys_cfg};
+
+  const stats::SamplerPtr service = make_service_sampler(opt);
+  for (int i = 0; i < opt.replicas; ++i) {
+    system.add_replica(replica::make_sampled_service(service));
+  }
+  if (opt.manager_min > 0) {
+    manager::ManagerConfig mcfg;
+    mcfg.min_replicas = opt.manager_min;
+    mcfg.startup_delay = msec(opt.manager_delay_ms);
+    system.enable_dependability_manager(mcfg, replica::make_sampled_service(service));
+  }
+
+  HandlerConfig handler_cfg;
+  handler_cfg.repository.window_size = opt.window;
+  handler_cfg.selection.crash_tolerance = opt.crash_tolerance;
+  handler_cfg.selection.overhead_compensation = !opt.no_compensation;
+  handler_cfg.model.windowed_gateway_delay = opt.windowed_gateway;
+  handler_cfg.model.queue_backlog_shift = opt.queue_shift;
+  handler_cfg.probe_staleness = msec(opt.probe_staleness_ms);
+
+  std::vector<ClientApp*> apps;
+  for (int c = 0; c < opt.clients; ++c) {
+    ClientWorkload workload;
+    workload.total_requests = opt.requests;
+    workload.think_time = stats::make_constant(msec(opt.think_ms));
+    workload.start_delay = msec(31 * c);
+    apps.push_back(&system.add_client(
+        core::QosSpec{msec(opt.deadline_ms), opt.pc}, workload, handler_cfg,
+        make_policy(opt, handler_cfg.selection, handler_cfg.model)));
+  }
+
+  if (opt.crash_at_s > 0.0) {
+    system.simulator().schedule_after(
+        Duration{static_cast<std::int64_t>(opt.crash_at_s * 1e6)}, [&system, &opt] {
+          int remaining = opt.crash_count;
+          for (auto* replica : system.replicas()) {
+            if (remaining == 0) break;
+            if (replica->alive()) {
+              replica->crash_host();
+              --remaining;
+            }
+          }
+        });
+  }
+
+  if (opt.run_seconds > 0.0) {
+    system.run_for(Duration{static_cast<std::int64_t>(opt.run_seconds * 1e6)});
+  } else if (opt.requests == 0) {
+    system.run_for(sec(60));
+  } else {
+    system.run_until_clients_done(sec(3600));
+  }
+
+  std::printf("aqua_experiment seed=%llu replicas=%d service=%s policy=%s deadline=%lldms "
+              "pc=%.2f window=%zu\n\n",
+              static_cast<unsigned long long>(opt.seed), opt.replicas,
+              service->describe().c_str(), opt.policy.c_str(),
+              static_cast<long long>(opt.deadline_ms), opt.pc, opt.window);
+  for (ClientApp* app : apps) {
+    const auto report = app->report();
+    std::printf("%s; abandoned %zu, QoS callbacks %zu\n", report.summary_line().c_str(),
+                app->abandoned(), app->qos_violations());
+  }
+
+  if (opt.per_request && !apps.empty()) {
+    std::printf("\n%-6s %-12s %-14s %-8s\n", "req", "redundancy", "response(ms)", "timely");
+    int i = 0;
+    for (const RequestRecord& r : apps[0]->handler().history()) {
+      if (r.probe) continue;
+      std::printf("%-6d %-12zu %-14.1f %-8s\n", ++i, r.redundancy,
+                  r.response_time ? to_ms(*r.response_time) : -1.0, r.timely ? "yes" : "NO");
+    }
+  }
+
+  if (!opt.csv_path.empty() && !apps.empty()) {
+    std::ofstream out(opt.csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.csv_path.c_str());
+      return 1;
+    }
+    const std::size_t rows = write_history_csv(out, apps[0]->handler().history());
+    std::printf("\nwrote %zu rows to %s\n", rows, opt.csv_path.c_str());
+  }
+  return 0;
+}
