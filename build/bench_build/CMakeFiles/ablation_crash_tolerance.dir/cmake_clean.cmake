@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_crash_tolerance"
+  "../bench/ablation_crash_tolerance.pdb"
+  "CMakeFiles/ablation_crash_tolerance.dir/ablation_crash_tolerance.cpp.o"
+  "CMakeFiles/ablation_crash_tolerance.dir/ablation_crash_tolerance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crash_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gateway_window"
+  "../bench/ablation_gateway_window.pdb"
+  "CMakeFiles/ablation_gateway_window.dir/ablation_gateway_window.cpp.o"
+  "CMakeFiles/ablation_gateway_window.dir/ablation_gateway_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gateway_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

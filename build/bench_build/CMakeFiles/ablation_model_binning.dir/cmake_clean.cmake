@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_model_binning"
+  "../bench/ablation_model_binning.pdb"
+  "CMakeFiles/ablation_model_binning.dir/ablation_model_binning.cpp.o"
+  "CMakeFiles/ablation_model_binning.dir/ablation_model_binning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

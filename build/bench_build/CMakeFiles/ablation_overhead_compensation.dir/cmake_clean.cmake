@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_overhead_compensation"
+  "../bench/ablation_overhead_compensation.pdb"
+  "CMakeFiles/ablation_overhead_compensation.dir/ablation_overhead_compensation.cpp.o"
+  "CMakeFiles/ablation_overhead_compensation.dir/ablation_overhead_compensation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overhead_compensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_queue_model"
+  "../bench/ablation_queue_model.pdb"
+  "CMakeFiles/ablation_queue_model.dir/ablation_queue_model.cpp.o"
+  "CMakeFiles/ablation_queue_model.dir/ablation_queue_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

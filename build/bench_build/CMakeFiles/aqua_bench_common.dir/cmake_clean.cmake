@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_bench_common.dir/paper_experiment.cpp.o"
+  "CMakeFiles/aqua_bench_common.dir/paper_experiment.cpp.o.d"
+  "libaqua_bench_common.a"
+  "libaqua_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/churn_availability"
+  "../bench/churn_availability.pdb"
+  "CMakeFiles/churn_availability.dir/churn_availability.cpp.o"
+  "CMakeFiles/churn_availability.dir/churn_availability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

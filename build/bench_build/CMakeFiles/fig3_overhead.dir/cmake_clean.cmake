@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_overhead"
+  "../bench/fig3_overhead.pdb"
+  "CMakeFiles/fig3_overhead.dir/fig3_overhead.cpp.o"
+  "CMakeFiles/fig3_overhead.dir/fig3_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_selected_replicas"
+  "../bench/fig4_selected_replicas.pdb"
+  "CMakeFiles/fig4_selected_replicas.dir/fig4_selected_replicas.cpp.o"
+  "CMakeFiles/fig4_selected_replicas.dir/fig4_selected_replicas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_selected_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

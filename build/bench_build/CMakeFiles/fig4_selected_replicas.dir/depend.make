@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_selected_replicas.
+# This may be replaced when dependencies are built.

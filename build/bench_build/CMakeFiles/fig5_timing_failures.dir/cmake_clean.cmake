@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_timing_failures"
+  "../bench/fig5_timing_failures.pdb"
+  "CMakeFiles/fig5_timing_failures.dir/fig5_timing_failures.cpp.o"
+  "CMakeFiles/fig5_timing_failures.dir/fig5_timing_failures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_timing_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

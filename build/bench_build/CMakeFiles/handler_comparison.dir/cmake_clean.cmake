@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/handler_comparison"
+  "../bench/handler_comparison.pdb"
+  "CMakeFiles/handler_comparison.dir/handler_comparison.cpp.o"
+  "CMakeFiles/handler_comparison.dir/handler_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/min_response_time"
+  "../bench/min_response_time.pdb"
+  "CMakeFiles/min_response_time.dir/min_response_time.cpp.o"
+  "CMakeFiles/min_response_time.dir/min_response_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/runtime_validation"
+  "../bench/runtime_validation.pdb"
+  "CMakeFiles/runtime_validation.dir/runtime_validation.cpp.o"
+  "CMakeFiles/runtime_validation.dir/runtime_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scalability_clients"
+  "../bench/scalability_clients.pdb"
+  "CMakeFiles/scalability_clients.dir/scalability_clients.cpp.o"
+  "CMakeFiles/scalability_clients.dir/scalability_clients.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

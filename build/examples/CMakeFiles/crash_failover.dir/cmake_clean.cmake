@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_failover.dir/crash_failover.cpp.o"
+  "CMakeFiles/crash_failover.dir/crash_failover.cpp.o.d"
+  "crash_failover"
+  "crash_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_renegotiation.dir/qos_renegotiation.cpp.o"
+  "CMakeFiles/qos_renegotiation.dir/qos_renegotiation.cpp.o.d"
+  "qos_renegotiation"
+  "qos_renegotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_renegotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

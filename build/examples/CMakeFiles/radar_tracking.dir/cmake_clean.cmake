@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_tracking.dir/radar_tracking.cpp.o"
+  "CMakeFiles/radar_tracking.dir/radar_tracking.cpp.o.d"
+  "radar_tracking"
+  "radar_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_engine.dir/search_engine.cpp.o"
+  "CMakeFiles/search_engine.dir/search_engine.cpp.o.d"
+  "search_engine"
+  "search_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_runtime_demo.dir/threaded_runtime_demo.cpp.o"
+  "CMakeFiles/threaded_runtime_demo.dir/threaded_runtime_demo.cpp.o.d"
+  "threaded_runtime_demo"
+  "threaded_runtime_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_runtime_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("sim")
+subdirs("net")
+subdirs("proto")
+subdirs("replica")
+subdirs("manager")
+subdirs("core")
+subdirs("gateway")
+subdirs("trace")
+subdirs("runtime")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_common.dir/log.cpp.o"
+  "CMakeFiles/aqua_common.dir/log.cpp.o.d"
+  "CMakeFiles/aqua_common.dir/rng.cpp.o"
+  "CMakeFiles/aqua_common.dir/rng.cpp.o.d"
+  "libaqua_common.a"
+  "libaqua_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/failure_tracker.cpp" "src/core/CMakeFiles/aqua_core.dir/failure_tracker.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/failure_tracker.cpp.o.d"
+  "/root/repo/src/core/info_repository.cpp" "src/core/CMakeFiles/aqua_core.dir/info_repository.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/info_repository.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/aqua_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/qos_config.cpp" "src/core/CMakeFiles/aqua_core.dir/qos_config.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/qos_config.cpp.o.d"
+  "/root/repo/src/core/response_time_model.cpp" "src/core/CMakeFiles/aqua_core.dir/response_time_model.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/response_time_model.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/aqua_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/aqua_core.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aqua_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

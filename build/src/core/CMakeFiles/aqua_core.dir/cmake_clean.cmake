@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_core.dir/failure_tracker.cpp.o"
+  "CMakeFiles/aqua_core.dir/failure_tracker.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/info_repository.cpp.o"
+  "CMakeFiles/aqua_core.dir/info_repository.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/policies.cpp.o"
+  "CMakeFiles/aqua_core.dir/policies.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/qos_config.cpp.o"
+  "CMakeFiles/aqua_core.dir/qos_config.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/response_time_model.cpp.o"
+  "CMakeFiles/aqua_core.dir/response_time_model.cpp.o.d"
+  "CMakeFiles/aqua_core.dir/selection.cpp.o"
+  "CMakeFiles/aqua_core.dir/selection.cpp.o.d"
+  "libaqua_core.a"
+  "libaqua_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

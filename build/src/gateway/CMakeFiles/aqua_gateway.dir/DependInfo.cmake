@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gateway/active_voting_handler.cpp" "src/gateway/CMakeFiles/aqua_gateway.dir/active_voting_handler.cpp.o" "gcc" "src/gateway/CMakeFiles/aqua_gateway.dir/active_voting_handler.cpp.o.d"
+  "/root/repo/src/gateway/client_app.cpp" "src/gateway/CMakeFiles/aqua_gateway.dir/client_app.cpp.o" "gcc" "src/gateway/CMakeFiles/aqua_gateway.dir/client_app.cpp.o.d"
+  "/root/repo/src/gateway/history_io.cpp" "src/gateway/CMakeFiles/aqua_gateway.dir/history_io.cpp.o" "gcc" "src/gateway/CMakeFiles/aqua_gateway.dir/history_io.cpp.o.d"
+  "/root/repo/src/gateway/passive_handler.cpp" "src/gateway/CMakeFiles/aqua_gateway.dir/passive_handler.cpp.o" "gcc" "src/gateway/CMakeFiles/aqua_gateway.dir/passive_handler.cpp.o.d"
+  "/root/repo/src/gateway/system.cpp" "src/gateway/CMakeFiles/aqua_gateway.dir/system.cpp.o" "gcc" "src/gateway/CMakeFiles/aqua_gateway.dir/system.cpp.o.d"
+  "/root/repo/src/gateway/timing_fault_handler.cpp" "src/gateway/CMakeFiles/aqua_gateway.dir/timing_fault_handler.cpp.o" "gcc" "src/gateway/CMakeFiles/aqua_gateway.dir/timing_fault_handler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aqua_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aqua_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/aqua_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/aqua_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/aqua_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

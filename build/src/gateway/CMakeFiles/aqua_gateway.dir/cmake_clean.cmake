@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_gateway.dir/active_voting_handler.cpp.o"
+  "CMakeFiles/aqua_gateway.dir/active_voting_handler.cpp.o.d"
+  "CMakeFiles/aqua_gateway.dir/client_app.cpp.o"
+  "CMakeFiles/aqua_gateway.dir/client_app.cpp.o.d"
+  "CMakeFiles/aqua_gateway.dir/history_io.cpp.o"
+  "CMakeFiles/aqua_gateway.dir/history_io.cpp.o.d"
+  "CMakeFiles/aqua_gateway.dir/passive_handler.cpp.o"
+  "CMakeFiles/aqua_gateway.dir/passive_handler.cpp.o.d"
+  "CMakeFiles/aqua_gateway.dir/system.cpp.o"
+  "CMakeFiles/aqua_gateway.dir/system.cpp.o.d"
+  "CMakeFiles/aqua_gateway.dir/timing_fault_handler.cpp.o"
+  "CMakeFiles/aqua_gateway.dir/timing_fault_handler.cpp.o.d"
+  "libaqua_gateway.a"
+  "libaqua_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aqua_gateway.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_manager.dir/dependability_manager.cpp.o"
+  "CMakeFiles/aqua_manager.dir/dependability_manager.cpp.o.d"
+  "libaqua_manager.a"
+  "libaqua_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_net.dir/group.cpp.o"
+  "CMakeFiles/aqua_net.dir/group.cpp.o.d"
+  "CMakeFiles/aqua_net.dir/lan.cpp.o"
+  "CMakeFiles/aqua_net.dir/lan.cpp.o.d"
+  "libaqua_net.a"
+  "libaqua_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

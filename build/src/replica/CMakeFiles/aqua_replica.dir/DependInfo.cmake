@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replica/replica_server.cpp" "src/replica/CMakeFiles/aqua_replica.dir/replica_server.cpp.o" "gcc" "src/replica/CMakeFiles/aqua_replica.dir/replica_server.cpp.o.d"
+  "/root/repo/src/replica/service_model.cpp" "src/replica/CMakeFiles/aqua_replica.dir/service_model.cpp.o" "gcc" "src/replica/CMakeFiles/aqua_replica.dir/service_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aqua_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aqua_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_replica.dir/replica_server.cpp.o"
+  "CMakeFiles/aqua_replica.dir/replica_server.cpp.o.d"
+  "CMakeFiles/aqua_replica.dir/service_model.cpp.o"
+  "CMakeFiles/aqua_replica.dir/service_model.cpp.o.d"
+  "libaqua_replica.a"
+  "libaqua_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

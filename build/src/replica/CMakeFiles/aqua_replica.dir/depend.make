@@ -1,0 +1,2 @@
+# Empty dependencies file for aqua_replica.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/delayed_executor.cpp" "src/runtime/CMakeFiles/aqua_runtime.dir/delayed_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/aqua_runtime.dir/delayed_executor.cpp.o.d"
+  "/root/repo/src/runtime/threaded_client.cpp" "src/runtime/CMakeFiles/aqua_runtime.dir/threaded_client.cpp.o" "gcc" "src/runtime/CMakeFiles/aqua_runtime.dir/threaded_client.cpp.o.d"
+  "/root/repo/src/runtime/threaded_replica.cpp" "src/runtime/CMakeFiles/aqua_runtime.dir/threaded_replica.cpp.o" "gcc" "src/runtime/CMakeFiles/aqua_runtime.dir/threaded_replica.cpp.o.d"
+  "/root/repo/src/runtime/threaded_system.cpp" "src/runtime/CMakeFiles/aqua_runtime.dir/threaded_system.cpp.o" "gcc" "src/runtime/CMakeFiles/aqua_runtime.dir/threaded_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aqua_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

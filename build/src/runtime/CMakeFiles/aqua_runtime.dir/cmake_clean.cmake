@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_runtime.dir/delayed_executor.cpp.o"
+  "CMakeFiles/aqua_runtime.dir/delayed_executor.cpp.o.d"
+  "CMakeFiles/aqua_runtime.dir/threaded_client.cpp.o"
+  "CMakeFiles/aqua_runtime.dir/threaded_client.cpp.o.d"
+  "CMakeFiles/aqua_runtime.dir/threaded_replica.cpp.o"
+  "CMakeFiles/aqua_runtime.dir/threaded_replica.cpp.o.d"
+  "CMakeFiles/aqua_runtime.dir/threaded_system.cpp.o"
+  "CMakeFiles/aqua_runtime.dir/threaded_system.cpp.o.d"
+  "libaqua_runtime.a"
+  "libaqua_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aqua_runtime.
+# This may be replaced when dependencies are built.

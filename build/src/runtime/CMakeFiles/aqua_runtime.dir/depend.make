@@ -1,0 +1,2 @@
+# Empty dependencies file for aqua_runtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_sim.dir/simulator.cpp.o"
+  "CMakeFiles/aqua_sim.dir/simulator.cpp.o.d"
+  "libaqua_sim.a"
+  "libaqua_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

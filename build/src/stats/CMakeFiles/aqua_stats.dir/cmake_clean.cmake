@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_stats.dir/empirical_pmf.cpp.o"
+  "CMakeFiles/aqua_stats.dir/empirical_pmf.cpp.o.d"
+  "CMakeFiles/aqua_stats.dir/summary.cpp.o"
+  "CMakeFiles/aqua_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/aqua_stats.dir/variates.cpp.o"
+  "CMakeFiles/aqua_stats.dir/variates.cpp.o.d"
+  "libaqua_stats.a"
+  "libaqua_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

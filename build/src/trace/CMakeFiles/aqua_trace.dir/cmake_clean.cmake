@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_trace.dir/csv.cpp.o"
+  "CMakeFiles/aqua_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/aqua_trace.dir/report.cpp.o"
+  "CMakeFiles/aqua_trace.dir/report.cpp.o.d"
+  "libaqua_trace.a"
+  "libaqua_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_failure_tracker_test.dir/core_failure_tracker_test.cpp.o"
+  "CMakeFiles/core_failure_tracker_test.dir/core_failure_tracker_test.cpp.o.d"
+  "core_failure_tracker_test"
+  "core_failure_tracker_test.pdb"
+  "core_failure_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_failure_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_policies_test.dir/core_policies_test.cpp.o"
+  "CMakeFiles/core_policies_test.dir/core_policies_test.cpp.o.d"
+  "core_policies_test"
+  "core_policies_test.pdb"
+  "core_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

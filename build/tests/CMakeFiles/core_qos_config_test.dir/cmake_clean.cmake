@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_qos_config_test.dir/core_qos_config_test.cpp.o"
+  "CMakeFiles/core_qos_config_test.dir/core_qos_config_test.cpp.o.d"
+  "core_qos_config_test"
+  "core_qos_config_test.pdb"
+  "core_qos_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_qos_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_repository_test.dir/core_repository_test.cpp.o"
+  "CMakeFiles/core_repository_test.dir/core_repository_test.cpp.o.d"
+  "core_repository_test"
+  "core_repository_test.pdb"
+  "core_repository_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_repository_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

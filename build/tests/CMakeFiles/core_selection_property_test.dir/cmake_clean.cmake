@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_selection_property_test.dir/core_selection_property_test.cpp.o"
+  "CMakeFiles/core_selection_property_test.dir/core_selection_property_test.cpp.o.d"
+  "core_selection_property_test"
+  "core_selection_property_test.pdb"
+  "core_selection_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_selection_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_windowed_gateway_test.dir/core_windowed_gateway_test.cpp.o"
+  "CMakeFiles/core_windowed_gateway_test.dir/core_windowed_gateway_test.cpp.o.d"
+  "core_windowed_gateway_test"
+  "core_windowed_gateway_test.pdb"
+  "core_windowed_gateway_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_windowed_gateway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_client_gateway_test.dir/gateway_client_gateway_test.cpp.o"
+  "CMakeFiles/gateway_client_gateway_test.dir/gateway_client_gateway_test.cpp.o.d"
+  "gateway_client_gateway_test"
+  "gateway_client_gateway_test.pdb"
+  "gateway_client_gateway_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_client_gateway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

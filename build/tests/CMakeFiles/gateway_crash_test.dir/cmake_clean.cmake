@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_crash_test.dir/gateway_crash_test.cpp.o"
+  "CMakeFiles/gateway_crash_test.dir/gateway_crash_test.cpp.o.d"
+  "gateway_crash_test"
+  "gateway_crash_test.pdb"
+  "gateway_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

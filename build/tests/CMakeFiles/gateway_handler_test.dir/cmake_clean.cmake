@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_handler_test.dir/gateway_handler_test.cpp.o"
+  "CMakeFiles/gateway_handler_test.dir/gateway_handler_test.cpp.o.d"
+  "gateway_handler_test"
+  "gateway_handler_test.pdb"
+  "gateway_handler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_handler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_history_io_test.dir/gateway_history_io_test.cpp.o"
+  "CMakeFiles/gateway_history_io_test.dir/gateway_history_io_test.cpp.o.d"
+  "gateway_history_io_test"
+  "gateway_history_io_test.pdb"
+  "gateway_history_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_history_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_multimethod_test.dir/gateway_multimethod_test.cpp.o"
+  "CMakeFiles/gateway_multimethod_test.dir/gateway_multimethod_test.cpp.o.d"
+  "gateway_multimethod_test"
+  "gateway_multimethod_test.pdb"
+  "gateway_multimethod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_multimethod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

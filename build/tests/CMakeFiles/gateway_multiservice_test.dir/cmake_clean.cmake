@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_multiservice_test.dir/gateway_multiservice_test.cpp.o"
+  "CMakeFiles/gateway_multiservice_test.dir/gateway_multiservice_test.cpp.o.d"
+  "gateway_multiservice_test"
+  "gateway_multiservice_test.pdb"
+  "gateway_multiservice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_multiservice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_overhead_model_test.dir/gateway_overhead_model_test.cpp.o"
+  "CMakeFiles/gateway_overhead_model_test.dir/gateway_overhead_model_test.cpp.o.d"
+  "gateway_overhead_model_test"
+  "gateway_overhead_model_test.pdb"
+  "gateway_overhead_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_overhead_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

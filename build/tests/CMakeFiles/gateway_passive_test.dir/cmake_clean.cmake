@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_passive_test.dir/gateway_passive_test.cpp.o"
+  "CMakeFiles/gateway_passive_test.dir/gateway_passive_test.cpp.o.d"
+  "gateway_passive_test"
+  "gateway_passive_test.pdb"
+  "gateway_passive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_passive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_probe_test.dir/gateway_probe_test.cpp.o"
+  "CMakeFiles/gateway_probe_test.dir/gateway_probe_test.cpp.o.d"
+  "gateway_probe_test"
+  "gateway_probe_test.pdb"
+  "gateway_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

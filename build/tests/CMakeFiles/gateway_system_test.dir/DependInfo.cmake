@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gateway_system_test.cpp" "tests/CMakeFiles/gateway_system_test.dir/gateway_system_test.cpp.o" "gcc" "tests/CMakeFiles/gateway_system_test.dir/gateway_system_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gateway/CMakeFiles/aqua_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/aqua_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/aqua_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aqua_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/aqua_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aqua_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_system_test.dir/gateway_system_test.cpp.o"
+  "CMakeFiles/gateway_system_test.dir/gateway_system_test.cpp.o.d"
+  "gateway_system_test"
+  "gateway_system_test.pdb"
+  "gateway_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_calibration_test.dir/integration_calibration_test.cpp.o"
+  "CMakeFiles/integration_calibration_test.dir/integration_calibration_test.cpp.o.d"
+  "integration_calibration_test"
+  "integration_calibration_test.pdb"
+  "integration_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_faults_test.dir/integration_faults_test.cpp.o"
+  "CMakeFiles/integration_faults_test.dir/integration_faults_test.cpp.o.d"
+  "integration_faults_test"
+  "integration_faults_test.pdb"
+  "integration_faults_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_storm_test.dir/integration_storm_test.cpp.o"
+  "CMakeFiles/integration_storm_test.dir/integration_storm_test.cpp.o.d"
+  "integration_storm_test"
+  "integration_storm_test.pdb"
+  "integration_storm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_storm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_edge_test.dir/net_edge_test.cpp.o"
+  "CMakeFiles/net_edge_test.dir/net_edge_test.cpp.o.d"
+  "net_edge_test"
+  "net_edge_test.pdb"
+  "net_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_group_test.dir/net_group_test.cpp.o"
+  "CMakeFiles/net_group_test.dir/net_group_test.cpp.o.d"
+  "net_group_test"
+  "net_group_test.pdb"
+  "net_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_lan_test.dir/net_lan_test.cpp.o"
+  "CMakeFiles/net_lan_test.dir/net_lan_test.cpp.o.d"
+  "net_lan_test"
+  "net_lan_test.pdb"
+  "net_lan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_lan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_payload_test.dir/net_payload_test.cpp.o"
+  "CMakeFiles/net_payload_test.dir/net_payload_test.cpp.o.d"
+  "net_payload_test"
+  "net_payload_test.pdb"
+  "net_payload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_payload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

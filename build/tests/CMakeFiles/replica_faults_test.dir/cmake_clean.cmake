@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_faults_test.dir/replica_faults_test.cpp.o"
+  "CMakeFiles/replica_faults_test.dir/replica_faults_test.cpp.o.d"
+  "replica_faults_test"
+  "replica_faults_test.pdb"
+  "replica_faults_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

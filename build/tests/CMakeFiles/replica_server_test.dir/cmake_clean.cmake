@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_server_test.dir/replica_server_test.cpp.o"
+  "CMakeFiles/replica_server_test.dir/replica_server_test.cpp.o.d"
+  "replica_server_test"
+  "replica_server_test.pdb"
+  "replica_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

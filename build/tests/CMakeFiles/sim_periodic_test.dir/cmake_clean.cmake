@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_periodic_test.dir/sim_periodic_test.cpp.o"
+  "CMakeFiles/sim_periodic_test.dir/sim_periodic_test.cpp.o.d"
+  "sim_periodic_test"
+  "sim_periodic_test.pdb"
+  "sim_periodic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_periodic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

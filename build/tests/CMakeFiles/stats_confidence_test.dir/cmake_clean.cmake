@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_confidence_test.dir/stats_confidence_test.cpp.o"
+  "CMakeFiles/stats_confidence_test.dir/stats_confidence_test.cpp.o.d"
+  "stats_confidence_test"
+  "stats_confidence_test.pdb"
+  "stats_confidence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_confidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_convolution_test.dir/stats_convolution_test.cpp.o"
+  "CMakeFiles/stats_convolution_test.dir/stats_convolution_test.cpp.o.d"
+  "stats_convolution_test"
+  "stats_convolution_test.pdb"
+  "stats_convolution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_convolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_pmf_property_test.dir/stats_pmf_property_test.cpp.o"
+  "CMakeFiles/stats_pmf_property_test.dir/stats_pmf_property_test.cpp.o.d"
+  "stats_pmf_property_test"
+  "stats_pmf_property_test.pdb"
+  "stats_pmf_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_pmf_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

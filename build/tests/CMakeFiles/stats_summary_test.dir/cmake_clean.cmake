@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_summary_test.dir/stats_summary_test.cpp.o"
+  "CMakeFiles/stats_summary_test.dir/stats_summary_test.cpp.o.d"
+  "stats_summary_test"
+  "stats_summary_test.pdb"
+  "stats_summary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

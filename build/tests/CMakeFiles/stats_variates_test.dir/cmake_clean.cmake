@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_variates_test.dir/stats_variates_test.cpp.o"
+  "CMakeFiles/stats_variates_test.dir/stats_variates_test.cpp.o.d"
+  "stats_variates_test"
+  "stats_variates_test.pdb"
+  "stats_variates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_variates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_window_test.dir/stats_window_test.cpp.o"
+  "CMakeFiles/stats_window_test.dir/stats_window_test.cpp.o.d"
+  "stats_window_test"
+  "stats_window_test.pdb"
+  "stats_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

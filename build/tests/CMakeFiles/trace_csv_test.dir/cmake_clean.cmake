@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_csv_test.dir/trace_csv_test.cpp.o"
+  "CMakeFiles/trace_csv_test.dir/trace_csv_test.cpp.o.d"
+  "trace_csv_test"
+  "trace_csv_test.pdb"
+  "trace_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

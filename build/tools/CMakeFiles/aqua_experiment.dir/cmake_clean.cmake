@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_experiment.dir/aqua_experiment.cpp.o"
+  "CMakeFiles/aqua_experiment.dir/aqua_experiment.cpp.o.d"
+  "aqua_experiment"
+  "aqua_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
