@@ -1,0 +1,184 @@
+// Selection hot path: cost of one ReplicaSelector::select against a live
+// InfoRepository, with and without the response-pmf model cache.
+//
+// The steady-state case (repository unchanged between selections) is the
+// common one on the gateway hot path: perf updates arrive per reply, but
+// selections also run for every request, retries and probes included, so
+// most selections see at most a handful of changed replicas. The cache
+// keys each convolved response PMF by (replica, method, generation) and
+// re-convolves only replicas whose repository entry actually changed.
+//
+// Acceptance target: >= 5x steady-state speedup at 8 replicas, window 64
+// (printed explicitly after the benchmark table).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/info_repository.h"
+#include "core/model_cache.h"
+#include "core/response_time_model.h"
+#include "core/selection.h"
+
+namespace {
+
+using namespace aqua;
+
+const core::QosSpec kQos{msec(150), 0.9};
+
+/// Repository with `replicas` members and `window` perf samples each.
+core::InfoRepository build_repository(std::size_t replicas, std::size_t window,
+                                      std::uint64_t seed = 7) {
+  core::RepositoryConfig config;
+  config.window_size = window;
+  core::InfoRepository repo{config};
+  Rng rng{seed};
+  for (std::size_t i = 0; i < replicas; ++i) {
+    const ReplicaId id{i + 1};
+    repo.add_replica(id);
+    for (std::size_t j = 0; j < window; ++j) {
+      repo.record_perf(id,
+                       core::PerfSample{msec(rng.uniform_int(60, 160)),
+                                        msec(rng.uniform_int(0, 40)),
+                                        rng.uniform_int(0, 3)},
+                       TimePoint{});
+    }
+    repo.record_gateway_delay(id, usec(rng.uniform_int(1000, 5000)), TimePoint{});
+  }
+  return repo;
+}
+
+core::ReplicaSelector make_selector(std::shared_ptr<core::ModelCache> cache) {
+  return core::ReplicaSelector{core::SelectionConfig{},
+                               core::ResponseTimeModel{core::ModelConfig{}, std::move(cache)}};
+}
+
+/// Baseline: every selection re-convolves every replica.
+void BM_SelectUncached(benchmark::State& state) {
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  const auto window = static_cast<std::size_t>(state.range(1));
+  const auto repo = build_repository(replicas, window);
+  const auto selector = make_selector(nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(repo.observe_all(), kQos));
+  }
+  state.SetLabel("replicas=" + std::to_string(replicas) + " window=" + std::to_string(window));
+}
+
+/// Steady state: repository unchanged between selections, so after the
+/// first iteration every replica is a cache hit.
+void BM_SelectCachedSteady(benchmark::State& state) {
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  const auto window = static_cast<std::size_t>(state.range(1));
+  const auto repo = build_repository(replicas, window);
+  auto cache = std::make_shared<core::ModelCache>();
+  const auto selector = make_selector(cache);
+  benchmark::DoNotOptimize(selector.select(repo.observe_all(), kQos));  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(repo.observe_all(), kQos));
+  }
+  state.SetLabel("replicas=" + std::to_string(replicas) + " window=" + std::to_string(window));
+}
+
+/// Churn: one replica's window changes before every selection (one reply
+/// between selections), so each select re-convolves exactly one replica
+/// and serves the rest from the cache.
+void BM_SelectCachedChurn(benchmark::State& state) {
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  const auto window = static_cast<std::size_t>(state.range(1));
+  auto repo = build_repository(replicas, window);
+  auto cache = std::make_shared<core::ModelCache>();
+  const auto selector = make_selector(cache);
+  Rng rng{11};
+  std::size_t next = 0;
+  benchmark::DoNotOptimize(selector.select(repo.observe_all(), kQos));  // warm
+  for (auto _ : state) {
+    repo.record_perf(ReplicaId{next % replicas + 1},
+                     core::PerfSample{msec(rng.uniform_int(60, 160)),
+                                      msec(rng.uniform_int(0, 40)), 1},
+                     TimePoint{});
+    ++next;
+    benchmark::DoNotOptimize(selector.select(repo.observe_all(), kQos));
+  }
+  state.SetLabel("replicas=" + std::to_string(replicas) + " window=" + std::to_string(window));
+}
+
+void register_benchmarks() {
+  for (std::int64_t window : {5, 16, 64}) {
+    for (std::int64_t replicas : {2, 4, 8, 16}) {
+      benchmark::RegisterBenchmark("hot_path/uncached", BM_SelectUncached)
+          ->Args({replicas, window});
+      benchmark::RegisterBenchmark("hot_path/cached_steady", BM_SelectCachedSteady)
+          ->Args({replicas, window});
+      benchmark::RegisterBenchmark("hot_path/cached_churn", BM_SelectCachedChurn)
+          ->Args({replicas, window});
+    }
+  }
+}
+
+/// Direct measurement of the acceptance target: steady-state cached vs
+/// uncached selection at 8 replicas, window 64.
+void print_speedup() {
+  constexpr std::size_t kReplicas = 8;
+  constexpr std::size_t kWindow = 64;
+  constexpr int kIterations = 400;
+  const auto repo = build_repository(kReplicas, kWindow);
+
+  using Clock = std::chrono::steady_clock;
+  const auto uncached = make_selector(nullptr);
+  double sink = 0.0;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kIterations; ++i) {
+    sink += uncached.select(repo.observe_all(), kQos).predicted_probability;
+  }
+  const auto t1 = Clock::now();
+
+  auto cache = std::make_shared<core::ModelCache>();
+  const auto cached = make_selector(cache);
+  sink += cached.select(repo.observe_all(), kQos).predicted_probability;  // warm
+  const auto t2 = Clock::now();
+  for (int i = 0; i < kIterations; ++i) {
+    sink += cached.select(repo.observe_all(), kQos).predicted_probability;
+  }
+  const auto t3 = Clock::now();
+
+  const double uncached_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / kIterations;
+  const double cached_us =
+      std::chrono::duration<double, std::micro>(t3 - t2).count() / kIterations;
+  const auto& stats = cache->stats();
+  std::printf("\nSteady-state speedup, %zu replicas, window %zu:\n", kReplicas, kWindow);
+  std::printf("  uncached: %8.2f us/select\n", uncached_us);
+  std::printf("  cached:   %8.2f us/select (hits=%llu misses=%llu)\n", cached_us,
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses));
+  std::printf("  speedup:  %8.2fx (target >= 5x)\n", uncached_us / cached_us);
+  if (sink < 0.0) std::abort();  // keep the measured loops alive
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Selection hot path: model cache on/off ===\n\n");
+  register_benchmarks();
+  // Keep the default run short (the harness runs every bench binary);
+  // pass an explicit --benchmark_min_time to override.
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.05";
+  bool user_set = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) user_set = true;
+  }
+  if (!user_set) args.push_back(min_time.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_speedup();
+  return 0;
+}

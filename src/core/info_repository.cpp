@@ -1,5 +1,7 @@
 #include "core/info_repository.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace aqua::core {
@@ -41,6 +43,13 @@ void InfoRepository::record_perf(ReplicaId replica, const PerfSample& sample, Ti
   auto [it, inserted] = record.methods.try_emplace(method, config_.window_size);
   it->second.service.push(sample.service_time);
   it->second.queuing.push(sample.queuing_delay);
+  it->second.generation = ++generation_counter_;
+  if (record.queue_length != sample.queue_length) {
+    // Queue length feeds the backlog-shift model for EVERY method of this
+    // replica, so it invalidates across methods; an unchanged length does
+    // not (same model inputs, keep the cached pmfs alive).
+    record.shared_generation = ++generation_counter_;
+  }
   record.queue_length = sample.queue_length;
   record.last_update = now;
 }
@@ -51,6 +60,7 @@ void InfoRepository::record_gateway_delay(ReplicaId replica, Duration delay, Tim
   record.gateway_delay = delay;
   record.gateway_delay_known = true;
   record.gateway_window.push(delay);
+  record.shared_generation = ++generation_counter_;
   record.last_update = now;
 }
 
@@ -60,15 +70,28 @@ ReplicaObservation InfoRepository::observe(ReplicaId replica, const std::string&
   const Record& record = it->second;
   ReplicaObservation obs;
   obs.id = replica;
+  obs.method = method;
+  obs.generation = record.shared_generation;
   if (auto mit = record.methods.find(method); mit != record.methods.end()) {
     obs.service_samples = mit->second.service.samples();
     obs.queuing_samples = mit->second.queuing.samples();
+    obs.generation = std::max(obs.generation, mit->second.generation);
   }
   obs.gateway_delay = record.gateway_delay;
   obs.gateway_samples = record.gateway_window.samples();
   obs.queue_length = record.queue_length;
   obs.last_update = record.last_update;
   return obs;
+}
+
+std::uint64_t InfoRepository::generation(ReplicaId replica, const std::string& method) const {
+  auto it = records_.find(replica);
+  if (it == records_.end()) return 0;
+  std::uint64_t generation = it->second.shared_generation;
+  if (auto mit = it->second.methods.find(method); mit != it->second.methods.end()) {
+    generation = std::max(generation, mit->second.generation);
+  }
+  return generation;
 }
 
 std::vector<ReplicaObservation> InfoRepository::observe_all(const std::string& method) const {

@@ -82,12 +82,22 @@ class InfoRepository {
   /// handler selects ALL replicas on a cold repository (§5.4.1).
   [[nodiscard]] bool cold(const std::string& method = kDefaultMethod) const;
 
+  /// Current generation stamp for (replica, method): the value observe()
+  /// would place in ReplicaObservation::generation. 0 for untracked
+  /// replicas. Stamps are drawn from one repository-global monotone
+  /// counter, so a stamp is never reused — not even after remove_replica
+  /// followed by re-add — and equal stamps imply identical model inputs.
+  [[nodiscard]] std::uint64_t generation(ReplicaId replica,
+                                         const std::string& method = kDefaultMethod) const;
+
   [[nodiscard]] std::size_t window_size() const { return config_.window_size; }
 
  private:
   struct MethodHistory {
     stats::SlidingWindow<Duration> service;
     stats::SlidingWindow<Duration> queuing;
+    /// Bumped on every push (which also covers evictions).
+    std::uint64_t generation = 0;
     explicit MethodHistory(std::size_t l) : service(l), queuing(l) {}
   };
 
@@ -98,6 +108,9 @@ class InfoRepository {
     stats::SlidingWindow<Duration> gateway_window;
     std::int64_t queue_length = 0;
     TimePoint last_update{};
+    /// Bumped on changes that affect every method's model: gateway-delay
+    /// measurements and queue-length changes.
+    std::uint64_t shared_generation = 0;
     explicit Record(std::size_t gateway_l) : gateway_window(gateway_l) {}
   };
 
@@ -105,6 +118,7 @@ class InfoRepository {
 
   RepositoryConfig config_;
   std::map<ReplicaId, Record> records_;
+  std::uint64_t generation_counter_ = 0;
 };
 
 }  // namespace aqua::core

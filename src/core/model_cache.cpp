@@ -1,0 +1,41 @@
+#include "core/model_cache.h"
+
+namespace aqua::core {
+
+const stats::EmpiricalPmf* ModelCache::find(const ModelConfig& config,
+                                            const ReplicaObservation& obs) {
+  auto it = entries_.find({obs.id, obs.method});
+  if (it != entries_.end() && it->second.generation == obs.generation &&
+      it->second.config == config) {
+    ++stats_.hits;
+    return &it->second.pmf;
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+const stats::EmpiricalPmf& ModelCache::store(const ModelConfig& config,
+                                             const ReplicaObservation& obs,
+                                             stats::EmpiricalPmf pmf) {
+  auto [it, inserted] = entries_.try_emplace({obs.id, obs.method});
+  if (!inserted) ++stats_.invalidations;
+  it->second.generation = obs.generation;
+  it->second.config = config;
+  it->second.pmf = std::move(pmf);
+  return it->second.pmf;
+}
+
+void ModelCache::invalidate(ReplicaId replica) {
+  auto it = entries_.lower_bound({replica, std::string{}});
+  while (it != entries_.end() && it->first.first == replica) {
+    it = entries_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+void ModelCache::clear() {
+  stats_.evictions += entries_.size();
+  entries_.clear();
+}
+
+}  // namespace aqua::core

@@ -1,0 +1,85 @@
+// Memoization of fully-convolved response-time pmfs for the selection
+// hot path.
+//
+// Every dispatch re-derives F_Ri(t) for every replica from the raw
+// sliding-window samples: EmpiricalPmf::from_samples plus an O(l^2)
+// convolution (twice when the gateway-delay window is modelled). In the
+// steady state — repeated selections with no window changes in between —
+// that work is identical each time. The paper itself motivates keeping
+// the algorithm's own overhead delta small (§5.3.3); this cache makes the
+// common case a map lookup plus one cdf evaluation.
+//
+// Key and validity: entries are keyed by (replica, method) and stamped
+// with the InfoRepository generation the pmf was computed from plus the
+// ModelConfig that shaped it. The repository draws stamps from a single
+// monotone counter and advances them on every window push/eviction,
+// gateway-delay measurement and queue-length change, so an equal stamp
+// proves the cached pmf was computed from identical model inputs —
+// cached and uncached selection are byte-identical by construction.
+// Entries for departed replicas are dropped via invalidate() when the
+// membership view evicts them.
+//
+// Not thread-safe: like InfoRepository, one instance lives inside one
+// handler (callers that share a handler across threads already hold the
+// handler's lock around selection).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/ids.h"
+#include "core/replica_stats.h"
+#include "core/response_time_model.h"
+#include "stats/empirical_pmf.h"
+
+namespace aqua::core {
+
+/// Cumulative effectiveness counters; the overhead model reads the
+/// hit/miss split of one selection to charge delta honestly.
+struct ModelCacheStats {
+  /// Lookups served without convolving.
+  std::uint64_t hits = 0;
+  /// Lookups that had to compute (first sight or stale entry).
+  std::uint64_t misses = 0;
+  /// Subset of misses that replaced a stale entry.
+  std::uint64_t invalidations = 0;
+  /// Entries dropped by invalidate()/clear() (membership evictions).
+  std::uint64_t evictions = 0;
+};
+
+class ModelCache {
+ public:
+  /// Cached pmf for the observation, or nullptr when absent, stale, or
+  /// computed under a different ModelConfig. Counts a hit or a miss;
+  /// every miss must be followed by store() for the same observation.
+  [[nodiscard]] const stats::EmpiricalPmf* find(const ModelConfig& config,
+                                                const ReplicaObservation& obs);
+
+  /// Record the freshly computed pmf for the observation and return the
+  /// stored copy.
+  const stats::EmpiricalPmf& store(const ModelConfig& config, const ReplicaObservation& obs,
+                                   stats::EmpiricalPmf pmf);
+
+  /// Drop every entry of a replica (membership change, §5.4: crashed
+  /// replicas leave the repository — and this cache — entirely).
+  void invalidate(ReplicaId replica);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const ModelCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint64_t generation = 0;
+    ModelConfig config;
+    stats::EmpiricalPmf pmf;
+  };
+
+  std::map<std::pair<ReplicaId, std::string>, Entry> entries_;
+  ModelCacheStats stats_;
+};
+
+}  // namespace aqua::core

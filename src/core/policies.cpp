@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/assert.h"
+#include "core/model_cache.h"
 #include "stats/empirical_pmf.h"
 
 namespace aqua::core {
@@ -22,8 +23,8 @@ bool cold_start_all(std::span<const ReplicaObservation> observations, SelectionR
 
 class DynamicPolicy final : public SelectionPolicy {
  public:
-  DynamicPolicy(SelectionConfig config, ModelConfig model)
-      : selector_(config, ResponseTimeModel{model}) {}
+  DynamicPolicy(SelectionConfig config, ModelConfig model, std::shared_ptr<ModelCache> cache)
+      : selector_(config, ResponseTimeModel{model, std::move(cache)}) {}
 
   SelectionResult select(std::span<const ReplicaObservation> observations, const QosSpec& qos,
                          Duration overhead_delta, Rng&) override {
@@ -208,8 +209,9 @@ class StaticKPolicy final : public SelectionPolicy {
 
 }  // namespace
 
-PolicyPtr make_dynamic_policy(SelectionConfig config, ModelConfig model) {
-  return std::make_unique<DynamicPolicy>(config, model);
+PolicyPtr make_dynamic_policy(SelectionConfig config, ModelConfig model,
+                              std::shared_ptr<ModelCache> cache) {
+  return std::make_unique<DynamicPolicy>(config, model, std::move(cache));
 }
 
 PolicyPtr make_fastest_mean_policy() { return std::make_unique<FastestMeanPolicy>(); }

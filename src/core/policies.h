@@ -32,8 +32,12 @@ class SelectionPolicy {
 
 using PolicyPtr = std::unique_ptr<SelectionPolicy>;
 
-/// The paper's Algorithm 1 (with configuration).
-PolicyPtr make_dynamic_policy(SelectionConfig config = {}, ModelConfig model = {});
+/// The paper's Algorithm 1 (with configuration). When `cache` is set, the
+/// policy memoizes convolved response pmfs in it, re-convolving only
+/// replicas whose repository windows changed since the last selection;
+/// results are identical either way.
+PolicyPtr make_dynamic_policy(SelectionConfig config = {}, ModelConfig model = {},
+                              std::shared_ptr<ModelCache> cache = nullptr);
 
 /// Single replica with the lowest estimated mean response time
 /// (mean(S) + mean(W) + T) — the "best historical average" baseline [19].

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/ids.h"
@@ -16,6 +17,17 @@ namespace aqua::core {
 
 struct ReplicaObservation {
   ReplicaId id;
+
+  /// Interface method this snapshot was taken for (multi-interface
+  /// extension, §8). Part of the model-cache key: each (replica, method)
+  /// pair has its own windows and therefore its own response pmf.
+  std::string method;
+
+  /// Repository generation stamp: advances whenever anything feeding the
+  /// response-time model for this (replica, method) changes — a window
+  /// push/eviction, a gateway-delay measurement, or a queue-length
+  /// change. 0 marks a hand-built observation that no cache may serve.
+  std::uint64_t generation = 0;
 
   /// Service times (t_s) of the most recent l requests, oldest first.
   std::vector<Duration> service_samples;

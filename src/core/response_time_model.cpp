@@ -3,28 +3,36 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "core/model_cache.h"
 
 namespace aqua::core {
 
-ResponseTimeModel::ResponseTimeModel(ModelConfig config) : config_(config) {
+ResponseTimeModel::ResponseTimeModel(ModelConfig config)
+    : ResponseTimeModel(config, nullptr) {}
+
+ResponseTimeModel::ResponseTimeModel(ModelConfig config, std::shared_ptr<ModelCache> cache)
+    : config_(config), cache_(std::move(cache)) {
   AQUA_REQUIRE(config_.bin_width >= Duration::zero(), "bin width must be non-negative");
 }
 
-stats::EmpiricalPmf ResponseTimeModel::response_pmf(const ReplicaObservation& obs) const {
-  if (!obs.has_data()) return {};
+stats::EmpiricalPmf ResponseTimeModel::compute_pmf(const ReplicaObservation& obs) const {
   stats::EmpiricalPmf service = stats::EmpiricalPmf::from_samples(obs.service_samples);
   stats::EmpiricalPmf queuing = stats::EmpiricalPmf::from_samples(obs.queuing_samples);
+
+  Duration extra_shift = Duration::zero();
+  if (config_.queue_backlog_shift && obs.queue_length > 0) {
+    // Mean of the RAW service samples: binning floors every atom by up to
+    // bin_width, which would bias the shift by up to queue_length *
+    // bin_width/2.
+    extra_shift += Duration{static_cast<std::int64_t>(
+        std::llround(service.mean_us() * static_cast<double>(obs.queue_length)))};
+  }
+
   if (config_.bin_width > Duration::zero()) {
     service = service.binned(config_.bin_width);
     queuing = queuing.binned(config_.bin_width);
   }
   stats::EmpiricalPmf response = convolve(service, queuing);
-
-  Duration extra_shift = Duration::zero();
-  if (config_.queue_backlog_shift && obs.queue_length > 0) {
-    extra_shift += Duration{static_cast<std::int64_t>(
-        std::llround(service.mean_us() * static_cast<double>(obs.queue_length)))};
-  }
 
   if (config_.windowed_gateway_delay && !obs.gateway_samples.empty()) {
     stats::EmpiricalPmf gateway = stats::EmpiricalPmf::from_samples(obs.gateway_samples);
@@ -34,9 +42,23 @@ stats::EmpiricalPmf ResponseTimeModel::response_pmf(const ReplicaObservation& ob
   return response.shifted(obs.gateway_delay + extra_shift);
 }
 
+stats::EmpiricalPmf ResponseTimeModel::response_pmf(const ReplicaObservation& obs) const {
+  if (!obs.has_data()) return {};
+  if (cache_ && obs.generation != 0) {
+    if (const stats::EmpiricalPmf* hit = cache_->find(config_, obs)) return *hit;
+    return cache_->store(config_, obs, compute_pmf(obs));
+  }
+  return compute_pmf(obs);
+}
+
 double ResponseTimeModel::probability_by(const ReplicaObservation& obs, Duration deadline) const {
   if (deadline <= Duration::zero()) return 0.0;
-  return response_pmf(obs).cdf_at(deadline);
+  if (!obs.has_data()) return 0.0;
+  if (cache_ && obs.generation != 0) {
+    if (const stats::EmpiricalPmf* hit = cache_->find(config_, obs)) return hit->cdf_at(deadline);
+    return cache_->store(config_, obs, compute_pmf(obs)).cdf_at(deadline);
+  }
+  return compute_pmf(obs).cdf_at(deadline);
 }
 
 }  // namespace aqua::core

@@ -8,13 +8,23 @@
 //
 // F_Ri(t) — the probability the replica responds within t — is the value
 // Algorithm 1 consumes.
+//
+// A model may share a ModelCache (core/model_cache.h): observations that
+// carry a repository generation stamp are then served from the cache when
+// their windows have not changed since the last computation, turning the
+// steady-state hot path into a cdf lookup. Cached and uncached results
+// are identical — the cache only memoizes, never approximates.
 #pragma once
+
+#include <memory>
 
 #include "common/time.h"
 #include "core/replica_stats.h"
 #include "stats/empirical_pmf.h"
 
 namespace aqua::core {
+
+class ModelCache;
 
 struct ModelConfig {
   /// Bin width for pmf compaction before convolution; zero keeps the
@@ -26,31 +36,45 @@ struct ModelConfig {
   /// Extension (not in the paper's model, which stores the live queue
   /// length but only uses the windowed W pmf): when true, shift the
   /// response pmf by queue_length x mean(S) to account for backlog that
-  /// built up after the recorded window.
+  /// built up after the recorded window. The mean is taken over the raw
+  /// (unbinned) service samples.
   bool queue_backlog_shift = false;
 
   /// §5.3.1's suggested extension for LANs with fluctuating traffic:
   /// treat T_i as a random variable with the empirical pmf of the
   /// gateway-delay window instead of a constant at its latest value.
   bool windowed_gateway_delay = false;
+
+  /// Cache entries computed under one config never serve another.
+  friend bool operator==(const ModelConfig&, const ModelConfig&) = default;
 };
 
 class ResponseTimeModel {
  public:
   explicit ResponseTimeModel(ModelConfig config = {});
 
+  /// Model sharing `cache` with other models/selections; pass nullptr
+  /// for the uncached behaviour.
+  ResponseTimeModel(ModelConfig config, std::shared_ptr<ModelCache> cache);
+
   /// Pmf of R_i for the observation; the empty pmf when the replica has
   /// no recorded history.
   [[nodiscard]] stats::EmpiricalPmf response_pmf(const ReplicaObservation& obs) const;
 
   /// F_Ri(t) = P(R_i <= t). Zero when the replica has no history or the
-  /// deadline is non-positive.
+  /// deadline is non-positive. With a cache attached this is a lookup
+  /// plus one cdf evaluation in the steady state.
   [[nodiscard]] double probability_by(const ReplicaObservation& obs, Duration deadline) const;
 
   [[nodiscard]] const ModelConfig& config() const { return config_; }
+  [[nodiscard]] const std::shared_ptr<ModelCache>& cache() const { return cache_; }
 
  private:
+  /// The full pipeline: pmf construction, binning, convolution, shifts.
+  [[nodiscard]] stats::EmpiricalPmf compute_pmf(const ReplicaObservation& obs) const;
+
   ModelConfig config_;
+  std::shared_ptr<ModelCache> cache_;
 };
 
 }  // namespace aqua::core

@@ -58,8 +58,16 @@ SelectionResult ReplicaSelector::select(std::span<const ReplicaObservation> obse
               return a.id < b.id;
             });
 
-  // Line 4 (generalised): protect the top-k replicas unconditionally.
-  const std::size_t protected_count = std::min(config_.crash_tolerance, result.ranked.size());
+  // Line 4 (generalised): protect the top-k replicas, clamped to n-1 so
+  // the feasibility test below never runs over an empty candidate range.
+  // Without the clamp, k >= n short-circuits the loop, prod stays 1.0 and
+  // even a single PERFECT replica reports test_probability = 0 and falls
+  // into the infeasible fallback. With it, the surplus protected members
+  // are themselves evaluated against P_c: the test covers the worst-case
+  // survivor set after min(k, n-1) member crashes, which is Algorithm 1's
+  // intent (the excluded top members are the worst-case crash victims).
+  const std::size_t protected_count =
+      std::min(config_.crash_tolerance, result.ranked.size() - 1);
 
   // Lines 6-14: grow the candidate set X from the remaining replicas
   // until P_X(t) >= P_c(t).
@@ -111,7 +119,7 @@ SelectionResult ReplicaSelector::select(std::span<const ReplicaObservation> obse
   if (!feasible) {
     counted = config_.infeasible_fallback == InfeasibleFallback::kAllReplicas
                   ? result.ranked.size()
-                  : std::min(config_.crash_tolerance + 1, result.ranked.size());
+                  : std::min(protected_count + 1, result.ranked.size());
   }
   for (std::size_t i = 0; i < counted; ++i) {
     all_prod *= 1.0 - result.ranked[i].probability;

@@ -43,6 +43,10 @@ struct SelectionConfig {
   /// k: number of simultaneous member crashes the selected set must
   /// survive while still meeting the QoS. 1 reproduces Algorithm 1;
   /// 0 disables the protection trick (plain greedy; ablation baseline).
+  /// Effectively clamped to n-1 for an n-replica ranking so the
+  /// feasibility test always evaluates at least one replica: the test
+  /// then covers the worst-case survivor set after min(k, n-1) crashes
+  /// rather than declaring every small group infeasible outright.
   std::size_t crash_tolerance = 1;
 
   /// Behaviour when the requested probability is unreachable.
@@ -64,6 +68,8 @@ struct RankedReplica {
   /// F_Ri(t - delta); 0 for dataless replicas.
   double probability = 0.0;
   bool has_data = false;
+
+  friend bool operator==(const RankedReplica&, const RankedReplica&) = default;
 };
 
 struct SelectionResult {
@@ -91,6 +97,11 @@ struct SelectionResult {
   std::vector<RankedReplica> ranked;
 
   [[nodiscard]] std::size_t redundancy() const { return selected.size(); }
+
+  /// Exact equality, doubles included — the model-cache equivalence
+  /// property (cached and uncached selection agree bit-for-bit) asserts
+  /// with this.
+  friend bool operator==(const SelectionResult&, const SelectionResult&) = default;
 };
 
 class ReplicaSelector {

@@ -9,10 +9,16 @@
 namespace aqua::gateway {
 
 Duration OverheadModel::selection_cost(std::size_t replicas, std::size_t window) const {
-  const double atoms = static_cast<double>(replicas) * static_cast<double>(window) *
+  return selection_cost(replicas, /*cached=*/0, window);
+}
+
+Duration OverheadModel::selection_cost(std::size_t convolved, std::size_t cached,
+                                       std::size_t window) const {
+  const double atoms = static_cast<double>(convolved) * static_cast<double>(window) *
                        static_cast<double>(window);
   const auto convolution_us = static_cast<std::int64_t>(std::llround(atoms * per_atom_ns / 1000.0));
-  return base + per_replica * static_cast<std::int64_t>(replicas) + Duration{convolution_us};
+  return base + per_replica * static_cast<std::int64_t>(convolved + cached) +
+         per_cached_replica * static_cast<std::int64_t>(cached) + Duration{convolution_us};
 }
 
 TimingFaultHandler::TimingFaultHandler(sim::Simulator& simulator, net::Lan& lan,
@@ -26,8 +32,9 @@ TimingFaultHandler::TimingFaultHandler(sim::Simulator& simulator, net::Lan& lan,
       qos_(qos),
       rng_(std::move(rng)),
       config_(std::move(config)),
+      model_cache_(std::make_shared<core::ModelCache>()),
       policy_(policy ? std::move(policy)
-                     : core::make_dynamic_policy(config_.selection, config_.model)),
+                     : core::make_dynamic_policy(config_.selection, config_.model, model_cache_)),
       repository_(config_.repository),
       tracker_(config_.failure_tracker) {
   qos_.validate();
@@ -54,17 +61,36 @@ void TimingFaultHandler::probe_stale_replicas() {
     if (!repository_.contains(replica)) continue;
     const core::ReplicaObservation obs = repository_.observe(replica);
     if (now - obs.last_update <= config_.probe_staleness) continue;
-    // Skip replicas that already have an outstanding probe or request.
-    bool outstanding = false;
-    for (const auto& [id, pending] : pending_) {
-      if (std::find(pending.awaiting.begin(), pending.awaiting.end(), replica) !=
-          pending.awaiting.end()) {
-        outstanding = true;
-        break;
-      }
-    }
-    if (!outstanding) send_probe(replica);
+    // Skip replicas that already have an outstanding probe or request:
+    // O(1) via the maintained per-replica count (previously an
+    // O(pending x awaiting) scan per replica per tick).
+    if (outstanding_requests(replica) == 0) send_probe(replica);
   }
+}
+
+void TimingFaultHandler::set_awaiting(PendingRequest& pending, std::vector<ReplicaId> replicas) {
+  for (ReplicaId replica : pending.awaiting) drop_outstanding(replica, 1);
+  for (ReplicaId replica : replicas) ++outstanding_[replica];
+  pending.awaiting = std::move(replicas);
+}
+
+void TimingFaultHandler::remove_awaiting(PendingRequest& pending, ReplicaId replica) {
+  const std::size_t erased = std::erase(pending.awaiting, replica);
+  if (erased > 0) drop_outstanding(replica, erased);
+}
+
+void TimingFaultHandler::erase_pending(RequestId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  for (ReplicaId replica : it->second.awaiting) drop_outstanding(replica, 1);
+  pending_.erase(it);
+}
+
+void TimingFaultHandler::drop_outstanding(ReplicaId replica, std::size_t count) {
+  auto it = outstanding_.find(replica);
+  if (it == outstanding_.end()) return;
+  it->second -= std::min(it->second, count);
+  if (it->second == 0) outstanding_.erase(it);
 }
 
 void TimingFaultHandler::send_probe(ReplicaId replica) {
@@ -89,9 +115,9 @@ void TimingFaultHandler::send_probe(ReplicaId replica) {
   pending.qos = qos_;
   pending.is_probe = true;
   pending.dispatched = true;
-  pending.awaiting = {replica};
+  set_awaiting(pending, {replica});
   pending_.emplace(id, std::move(pending));
-  simulator_.schedule_at(now + qos_.deadline * 10, [this, id] { pending_.erase(id); });
+  simulator_.schedule_at(now + qos_.deadline * 10, [this, id] { erase_pending(id); });
 
   ++probes_sent_;
   AQUA_LOG_DEBUG << "handler " << client_.value() << ": probing stale replica "
@@ -136,7 +162,7 @@ RequestId TimingFaultHandler::invoke(std::int64_t argument, ReplyCallback on_rep
 
   // Final GC: with message loss or undetected crashes a request may never
   // collect all its replies; reclaim its state well after the deadline.
-  simulator_.schedule_at(t0 + qos_.deadline * 10, [this, id] { pending_.erase(id); });
+  simulator_.schedule_at(t0 + qos_.deadline * 10, [this, id] { erase_pending(id); });
 
   // The interception + marshalling stage elapses before the scheduler
   // runs the selection.
@@ -164,6 +190,7 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
   // §5.3.3: select with the most recently measured delta, then measure the
   // cost of this execution for the next one.
   const Duration delta_used = overhead_.current();
+  const core::ModelCacheStats cache_before = model_cache_->stats();
   const core::SelectionResult selection =
       policy_->select(observations, pending.qos, delta_used, rng_);
   AQUA_ASSERT(!selection.selected.empty());
@@ -172,8 +199,20 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
   for (const auto& obs : observations) {
     if (obs.has_data()) ++with_data;
   }
+  // Charge convolution cost only for the replicas the model actually
+  // re-convolved; cache hits pay the cheap lookup cost. A policy that
+  // bypasses the cache (custom PolicyPtr) leaves the counters untouched
+  // and is charged the full uncached estimate as before.
+  std::size_t convolved = with_data;
+  std::size_t cached = 0;
+  const core::ModelCacheStats& cache_after = model_cache_->stats();
+  if (cache_after.hits + cache_after.misses > cache_before.hits + cache_before.misses) {
+    cached = static_cast<std::size_t>(
+        std::min<std::uint64_t>(cache_after.hits - cache_before.hits, with_data));
+    convolved = with_data - cached;
+  }
   const Duration selection_cost =
-      config_.overhead.selection_cost(with_data, repository_.window_size());
+      config_.overhead.selection_cost(convolved, cached, repository_.window_size());
   overhead_.record(config_.overhead.interception + selection_cost);
 
   // Repository bootstrap: replicas with no recorded history yet ride
@@ -190,7 +229,7 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
     }
   }
 
-  pending.awaiting = selected;
+  set_awaiting(pending, selected);
   record.redundancy = selected.size();
   record.cold_start = selection.cold_start;
   record.feasible = selection.feasible;
@@ -252,7 +291,7 @@ void TimingFaultHandler::handle_reply(const proto::Reply& reply) {
     repository_.record_gateway_delay(reply.replica, std::max(Duration::zero(), td), t4);
   }
 
-  std::erase(pending.awaiting, reply.replica);
+  remove_awaiting(pending, reply.replica);
 
   if (!pending.delivered) {
     pending.delivered = true;
@@ -316,6 +355,7 @@ void TimingFaultHandler::on_view_change(const net::View&, std::span<const Endpoi
     if (it == endpoint_replicas_.end()) continue;  // a client left, not a replica
     dead.push_back(it->second);
     repository_.remove_replica(it->second);
+    model_cache_->invalidate(it->second);
     replica_endpoints_.erase(it->second);
     endpoint_replicas_.erase(it);
   }
@@ -323,7 +363,7 @@ void TimingFaultHandler::on_view_change(const net::View&, std::span<const Endpoi
 
   std::vector<RequestId> to_redispatch;
   for (auto& [id, pending] : pending_) {
-    for (ReplicaId replica : dead) std::erase(pending.awaiting, replica);
+    for (ReplicaId replica : dead) remove_awaiting(pending, replica);
     if (pending.awaiting.empty() && !pending.delivered && config_.redispatch_on_view_change) {
       to_redispatch.push_back(id);
     }

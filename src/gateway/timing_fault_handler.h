@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -29,6 +30,7 @@
 #include "common/time.h"
 #include "core/failure_tracker.h"
 #include "core/info_repository.h"
+#include "core/model_cache.h"
 #include "core/policies.h"
 #include "core/qos.h"
 #include "core/selection.h"
@@ -55,8 +57,19 @@ struct OverheadModel {
   /// Added per replica per (window length)^2 convolution atom, in
   /// nanoseconds (the dominant term of the distribution computation).
   double per_atom_ns = 80.0;
+  /// Added per replica served from the model cache: a map lookup plus
+  /// one cdf evaluation instead of the full convolution.
+  Duration per_cached_replica = usec(2);
 
+  /// Uncached estimate: every replica pays the convolution term.
   [[nodiscard]] Duration selection_cost(std::size_t replicas, std::size_t window) const;
+
+  /// Split estimate: `convolved` replicas pay the per-atom convolution
+  /// term, `cached` replicas only per_cached_replica. The handler uses
+  /// the model-cache hit/miss counters of each selection to charge this
+  /// form, tightening the delta fed back into §5.3.3's compensation.
+  [[nodiscard]] Duration selection_cost(std::size_t convolved, std::size_t cached,
+                                        std::size_t window) const;
 };
 
 struct HandlerConfig {
@@ -158,6 +171,17 @@ class TimingFaultHandler {
   /// Staleness probes sent so far (probe_staleness extension).
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
 
+  /// Response-pmf memoization shared with the default dynamic policy
+  /// (hit/miss/invalidation/eviction counters for diagnostics).
+  [[nodiscard]] const core::ModelCache& model_cache() const { return *model_cache_; }
+
+  /// Requests and probes currently in flight to `replica` (O(1); kept in
+  /// sync with every pending request's awaiting set).
+  [[nodiscard]] std::size_t outstanding_requests(ReplicaId replica) const {
+    auto it = outstanding_.find(replica);
+    return it == outstanding_.end() ? 0 : it->second;
+  }
+
  private:
   struct PendingRequest {
     std::size_t record_index = 0;
@@ -186,6 +210,13 @@ class TimingFaultHandler {
   void probe_stale_replicas();
   void send_probe(ReplicaId replica);
 
+  // The awaiting set of a pending request is only ever changed through
+  // these three, which keep the per-replica outstanding_ counts in sync.
+  void set_awaiting(PendingRequest& pending, std::vector<ReplicaId> replicas);
+  void remove_awaiting(PendingRequest& pending, ReplicaId replica);
+  void erase_pending(RequestId id);
+  void drop_outstanding(ReplicaId replica, std::size_t count);
+
   sim::Simulator& simulator_;
   net::Lan& lan_;
   net::MulticastGroup& group_;
@@ -193,6 +224,7 @@ class TimingFaultHandler {
   core::QosSpec qos_;
   Rng rng_;
   HandlerConfig config_;
+  std::shared_ptr<core::ModelCache> model_cache_;
   core::PolicyPtr policy_;
   core::InfoRepository repository_;
   core::TimingFailureTracker tracker_;
@@ -203,6 +235,8 @@ class TimingFaultHandler {
   std::unordered_map<ReplicaId, EndpointId> replica_endpoints_;
   std::unordered_map<EndpointId, ReplicaId> endpoint_replicas_;
   std::unordered_map<RequestId, PendingRequest> pending_;
+  /// replica -> number of pending awaiting entries naming it (absent = 0).
+  std::unordered_map<ReplicaId, std::size_t> outstanding_;
   std::vector<RequestRecord> history_;
   QosViolationCallback on_violation_;
   sim::EventHandle parked_dispatch_;

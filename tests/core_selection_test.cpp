@@ -72,14 +72,41 @@ TEST(SelectionTest, ColdStartSelectsEveryReplica) {
 }
 
 TEST(SelectionTest, SingleReplicaReturnsThatReplica) {
-  // n = 1: the greedy loop has nothing to iterate over, so Algorithm 1
-  // returns M = {m0}.
+  // n = 1: crash_tolerance clamps to 0, so the lone replica itself is
+  // evaluated against P_c instead of being protected out of the test.
   ReplicaSelector selector;
   std::vector<ReplicaObservation> obs{deterministic(1, 10)};
   const auto result = selector.select(obs, QosSpec{msec(100), 0.0});
   EXPECT_EQ(result.selected.size(), 1u);
-  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.feasible);
   EXPECT_TRUE(selected(result, 1));
+}
+
+TEST(SelectionTest, SinglePerfectReplicaMeetsStrictQos) {
+  // Regression: with crash_tolerance >= n the feasibility loop used to be
+  // skipped entirely, so even a single PERFECT replica reported
+  // test_probability = 0 and fell into the infeasible fallback.
+  ReplicaSelector selector;  // crash_tolerance = 1
+  std::vector<ReplicaObservation> obs{deterministic(1, 10)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.95});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.test_probability, 1.0);
+  EXPECT_DOUBLE_EQ(result.predicted_probability, 1.0);
+  EXPECT_EQ(result.selected.size(), 1u);
+}
+
+TEST(SelectionTest, CrashToleranceLargerThanGroupIsClamped) {
+  // k = 5 over 3 replicas clamps to 2: the top two are protected and the
+  // third carries the feasibility test alone.
+  SelectionConfig cfg;
+  cfg.crash_tolerance = 5;
+  ReplicaSelector selector{cfg};
+  std::vector<ReplicaObservation> obs{deterministic(1, 10), deterministic(2, 10),
+                                      deterministic(3, 10)};
+  const auto result = selector.select(obs, QosSpec{msec(100), 0.9});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.test_probability, 1.0);
+  EXPECT_EQ(result.selected.size(), 3u);
 }
 
 TEST(SelectionTest, MinimumRedundancyIsTwoWhenFeasible) {

@@ -117,6 +117,29 @@ TEST_F(ProbeTest, UnselectedReplicaGoesStaleAndRecovers) {
   EXPECT_LE(sim_.now() - obs.last_update, sec(4));
 }
 
+TEST_F(ProbeTest, OutstandingCountsTrackInFlightRequests) {
+  // The probe scheduler consults per-replica outstanding counts (O(1))
+  // instead of scanning every pending request's awaiting set; the counts
+  // must rise on dispatch and drain back to zero once replies arrive.
+  add_replica(1, msec(10));
+  add_replica(2, msec(10));
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{msec(200), 0.0}, Rng{9}};
+  sim_.run_for(msec(50));  // discovery
+  EXPECT_EQ(handler.outstanding_requests(ReplicaId{1}), 0u);
+  EXPECT_EQ(handler.outstanding_requests(ReplicaId{2}), 0u);
+
+  handler.invoke(1, [](const ReplyInfo&) {});
+  sim_.run_for(msec(2));  // interception + selection elapse; now in flight
+  // Cold start multicasts to every known replica.
+  EXPECT_EQ(handler.outstanding_requests(ReplicaId{1}), 1u);
+  EXPECT_EQ(handler.outstanding_requests(ReplicaId{2}), 1u);
+
+  sim_.run_for(sec(5));  // all replies collected
+  EXPECT_EQ(handler.outstanding_requests(ReplicaId{1}), 0u);
+  EXPECT_EQ(handler.outstanding_requests(ReplicaId{2}), 0u);
+}
+
 TEST_F(ProbeTest, ProbeHistoryRowsHaveTransmissionTimes) {
   add_replica(1, msec(10));
   HandlerConfig cfg;
