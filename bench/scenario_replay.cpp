@@ -1,0 +1,88 @@
+// Fault-scenario replay harness: runs each catalog script (the §6 fault
+// cases — network stress, host load transition, crash/restart, and the
+// composite spike+crash+ramp acceptance scenario) over a seed sweep and
+// reports the client-visible damage: timing-failure probability, mean
+// redundancy and QoS-violation callbacks, plus the fault timeline length.
+// The same scripts back the chaos test tier (tests/fault_*), so numbers
+// printed here are directly comparable to the golden expectations there.
+#include <cstdio>
+#include <vector>
+
+#include "fault/catalog.h"
+#include "fault/scenario_runner.h"
+#include "gateway/system.h"
+#include "replica/service_model.h"
+#include "stats/variates.h"
+
+namespace {
+
+using namespace aqua;
+using namespace aqua::fault;
+
+struct Outcome {
+  double failure_prob = 0.0;
+  double mean_redundancy = 0.0;
+  double violations = 0.0;
+  double timeline_events = 0.0;
+};
+
+Outcome run_script(const ScenarioScript& script, std::uint64_t seed) {
+  gateway::SystemConfig cfg;
+  cfg.seed = seed;
+  gateway::AquaSystem system{cfg};
+
+  ScenarioHooks hooks;
+  for (int i = 0; i < 4; ++i) {
+    auto modulation = std::make_shared<stats::LoadModulation>();
+    hooks.replica_load.push_back(modulation);
+    system.add_replica(replica::make_modulated_service(
+        replica::make_sampled_service(stats::make_truncated_normal(msec(60), msec(20))),
+        modulation));
+  }
+
+  gateway::ClientWorkload workload;
+  workload.total_requests = 40;
+  workload.think_time = stats::make_constant(msec(200));
+  gateway::ClientApp& app = system.add_client(core::QosSpec{msec(150), 0.8}, workload);
+
+  ScenarioRunner runner{system, script, std::move(hooks), seed};
+  runner.run(sec(600));
+
+  const auto report = app.report();
+  Outcome out;
+  out.failure_prob = report.failure_probability();
+  out.mean_redundancy = report.mean_redundancy();
+  out.violations = static_cast<double>(report.qos_violation_callbacks);
+  out.timeline_events = static_cast<double>(runner.timeline().size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<ScenarioScript> scripts = {
+      spike_crash_ramp_script(),
+      network_stress_script(),
+      host_load_script(0),
+      crash_restart_script(0),
+  };
+  constexpr std::uint64_t kSeeds = 5;
+
+  std::printf("# scenario_replay: catalog scripts x %llu seeds, 4 replicas, 1 client\n",
+              static_cast<unsigned long long>(kSeeds));
+  std::printf("%-20s %12s %12s %12s %12s\n", "scenario", "fail_prob", "redundancy",
+              "qos_cbs", "timeline_ev");
+  for (const ScenarioScript& script : scripts) {
+    Outcome total;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Outcome one = run_script(script, seed);
+      total.failure_prob += one.failure_prob / kSeeds;
+      total.mean_redundancy += one.mean_redundancy / kSeeds;
+      total.violations += one.violations / kSeeds;
+      total.timeline_events += one.timeline_events / kSeeds;
+    }
+    std::printf("%-20s %12.4f %12.2f %12.2f %12.1f\n", script.name.c_str(), total.failure_prob,
+                total.mean_redundancy, total.violations, total.timeline_events);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "fault/catalog.h"
+
+namespace aqua::fault {
+
+ScenarioScript spike_crash_ramp_script(std::size_t crash_target, std::size_t ramp_target) {
+  ScenarioScript script;
+  script.name = "spike_crash_ramp";
+  script.lan_spike(sec(2), msec(800), 6.0)
+      .crash_replica(sec(5), crash_target)
+      .load_ramp(sec(8), sec(4), ramp_target, 5.0, 4)
+      .lan_spike(sec(14), msec(500), 4.0);
+  return script;
+}
+
+ScenarioScript network_stress_script() {
+  ScenarioScript script;
+  script.name = "network_stress";
+  script.lan_spike(sec(1), msec(400), 8.0)
+      .lan_spike(sec(3), msec(400), 8.0)
+      .lan_spike(sec(5), msec(400), 8.0)
+      .delay_messages(sec(7), sec(2), msec(5));
+  return script;
+}
+
+ScenarioScript host_load_script(std::size_t loaded_replica) {
+  ScenarioScript script;
+  script.name = "host_load";
+  script.load_ramp(sec(2), sec(6), loaded_replica, 6.0, 6)
+      .queue_burst(sec(3), loaded_replica, 20);
+  return script;
+}
+
+ScenarioScript crash_restart_script(std::size_t victim) {
+  ScenarioScript script;
+  script.name = "crash_restart";
+  script.queue_burst(sec(2), victim, 15)
+      .crash_replica(sec(2) + msec(50), victim)
+      .restart_replica(sec(8), victim);
+  return script;
+}
+
+}  // namespace aqua::fault

@@ -1,0 +1,36 @@
+// Canned scenario scripts mirroring the paper's §6 fault cases.
+//
+// The experiments in §6 stress the handler with three kinds of adversity:
+// network load spikes (Figure 6's "high traffic" bursts), host load
+// transitions (Figure 7's loaded replica), and replica crashes during
+// service (§6.3). These factory functions encode each as a ScenarioScript
+// so tests, benches and EXPERIMENTS.md all reference one canonical
+// definition per case.
+#pragma once
+
+#include "fault/scenario.h"
+
+namespace aqua::fault {
+
+/// §6 composite acceptance scenario: a LAN spike window, a mid-run crash
+/// of replica `crash_target`, and a load ramp on replica `ramp_target` —
+/// the three §6 stressors in one run. This is the script the replay test
+/// executes twice per seed and compares bit-identically.
+[[nodiscard]] ScenarioScript spike_crash_ramp_script(std::size_t crash_target = 1,
+                                                     std::size_t ramp_target = 2);
+
+/// §6.1-style network stress: repeated forced spike windows plus one
+/// scripted extra-delay window.
+[[nodiscard]] ScenarioScript network_stress_script();
+
+/// §6.2-style host load transition: one replica ramps to a heavy factor
+/// and stays loaded long enough for selection to migrate away, then
+/// recovers.
+[[nodiscard]] ScenarioScript host_load_script(std::size_t loaded_replica = 0);
+
+/// §6.3-style crash during service: crash one replica while requests are
+/// in flight, restart it later, with a queue burst beforehand so the
+/// victim is likely to hold in-flight work when it dies.
+[[nodiscard]] ScenarioScript crash_restart_script(std::size_t victim = 0);
+
+}  // namespace aqua::fault

@@ -1,0 +1,106 @@
+#include "fault/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace aqua::fault {
+namespace {
+
+/// Matches the selection solver's feasibility tolerance.
+constexpr double kTolerance = 1e-9;
+
+class InvariantCheckingPolicy final : public core::SelectionPolicy {
+ public:
+  InvariantCheckingPolicy(core::PolicyPtr inner, InvariantViolationsPtr violations)
+      : inner_(std::move(inner)), violations_(std::move(violations)) {}
+
+  [[nodiscard]] core::SelectionResult select(
+      std::span<const core::ReplicaObservation> observations, const core::QosSpec& qos,
+      Duration overhead_delta, Rng& rng) override {
+    core::SelectionResult result = inner_->select(observations, qos, overhead_delta, rng);
+    check(observations, qos, result);
+    return result;
+  }
+
+  [[nodiscard]] std::string name() const override { return inner_->name() + "+invariants"; }
+
+ private:
+  void check(std::span<const core::ReplicaObservation> observations, const core::QosSpec& qos,
+             const core::SelectionResult& result) {
+    // I1: non-empty, duplicate-free.
+    if (result.selected.empty()) {
+      fail(result, "selected set is empty");
+      return;
+    }
+    std::unordered_set<std::uint64_t> seen;
+    for (ReplicaId id : result.selected) {
+      if (!seen.insert(id.value()).second) {
+        fail(result, "replica " + std::to_string(id.value()) + " selected twice");
+      }
+    }
+
+    // I2: selected replicas come from the offered observations.
+    for (ReplicaId id : result.selected) {
+      const bool offered = std::any_of(
+          observations.begin(), observations.end(),
+          [id](const core::ReplicaObservation& obs) { return obs.id == id; });
+      if (!offered) {
+        fail(result, "replica " + std::to_string(id.value()) + " selected but never offered");
+      }
+    }
+
+    // I3: m0 — the top-ranked replica with data — is always selected.
+    const auto m0 = std::find_if(result.ranked.begin(), result.ranked.end(),
+                                 [](const core::RankedReplica& r) { return r.has_data; });
+    if (m0 != result.ranked.end() && seen.find(m0->id.value()) == seen.end()) {
+      fail(result, "m0 (replica " + std::to_string(m0->id.value()) + ") missing from selection");
+    }
+
+    // I4: a feasible result really met the client's probability.
+    if (result.feasible && result.test_probability < qos.min_probability - kTolerance) {
+      std::ostringstream out;
+      out << "marked feasible but P_X=" << result.test_probability
+          << " < P_c=" << qos.min_probability;
+      fail(result, out.str());
+    }
+
+    // I5: Eq. 3 — the full set's probability dominates the test set's.
+    if (result.predicted_probability < result.test_probability - kTolerance) {
+      std::ostringstream out;
+      out << "P_K=" << result.predicted_probability
+          << " below test probability P_X=" << result.test_probability;
+      fail(result, out.str());
+    }
+  }
+
+  void fail(const core::SelectionResult& result, std::string message) {
+    std::ostringstream out;
+    out << message << " (redundancy=" << result.selected.size()
+        << " feasible=" << result.feasible << " cold_start=" << result.cold_start << ")";
+    violations_->record(out.str());
+  }
+
+  core::PolicyPtr inner_;
+  InvariantViolationsPtr violations_;
+};
+
+}  // namespace
+
+std::string InvariantViolations::summary() const {
+  std::ostringstream out;
+  for (const std::string& message : messages_) out << message << "\n";
+  return out.str();
+}
+
+core::PolicyPtr make_invariant_checking_policy(core::PolicyPtr inner,
+                                               InvariantViolationsPtr violations) {
+  AQUA_REQUIRE(inner != nullptr, "invariant decorator needs an inner policy");
+  AQUA_REQUIRE(violations != nullptr, "invariant decorator needs a violation sink");
+  return std::make_unique<InvariantCheckingPolicy>(std::move(inner), std::move(violations));
+}
+
+}  // namespace aqua::fault

@@ -1,0 +1,56 @@
+// §4 selection invariants, checked live on every selection.
+//
+// The chaos tests do not only compare golden counters; they wrap the
+// handler's selection policy in a decorator that re-validates the §4/§5.3
+// contract on every result while faults are being injected:
+//
+//   I1  the selected set is never empty and never contains duplicates;
+//   I2  every selected replica was actually offered (appears in the
+//       observation span);
+//   I3  the selected set always contains m0 — the highest-ranked replica
+//       with data (and, generally, all protected members precede the
+//       candidate set);
+//   I4  whenever the result is marked feasible, the feasibility test
+//       really held: P_X(t) >= P_c(t) (within the solver tolerance);
+//   I5  the predicted probability of the full set dominates the test
+//       probability (adding m0 can only help, Eq. 3).
+//
+// Violations are recorded, not thrown, so a failing property test can
+// report the complete shrunk scenario alongside every broken invariant.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policies.h"
+
+namespace aqua::fault {
+
+/// Accumulates invariant-violation descriptions. Shared between the
+/// decorator and the test that asserts emptiness. Not thread-safe: the
+/// decorator is meant for the (single-threaded) simulated handler stack.
+class InvariantViolations {
+ public:
+  void record(std::string message) { messages_.push_back(std::move(message)); }
+
+  [[nodiscard]] const std::vector<std::string>& messages() const { return messages_; }
+  [[nodiscard]] std::size_t count() const { return messages_.size(); }
+  [[nodiscard]] bool empty() const { return messages_.empty(); }
+
+  /// All violations joined with newlines (for test failure output).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<std::string> messages_;
+};
+
+using InvariantViolationsPtr = std::shared_ptr<InvariantViolations>;
+
+/// Wrap `inner` so every select() result is checked against I1–I5 before
+/// being returned unchanged. The decorator never alters the selection.
+core::PolicyPtr make_invariant_checking_policy(core::PolicyPtr inner,
+                                               InvariantViolationsPtr violations);
+
+}  // namespace aqua::fault

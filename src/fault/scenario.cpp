@@ -1,0 +1,194 @@
+#include "fault/scenario.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace aqua::fault {
+
+std::string to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kLanSpike: return "lan_spike";
+    case ActionKind::kLoadRamp: return "load_ramp";
+    case ActionKind::kCrashReplica: return "crash_replica";
+    case ActionKind::kRestartReplica: return "restart_replica";
+    case ActionKind::kDropMessages: return "drop_messages";
+    case ActionKind::kDelayMessages: return "delay_messages";
+    case ActionKind::kQueueBurst: return "queue_burst";
+    case ActionKind::kRenegotiateQos: return "renegotiate_qos";
+  }
+  return "unknown";
+}
+
+std::string ScenarioAction::describe() const {
+  std::ostringstream out;
+  out << "t=" << to_ms(at) << "ms " << to_string(kind);
+  switch (kind) {
+    case ActionKind::kLanSpike:
+      out << " dur=" << to_ms(duration) << "ms x" << factor;
+      break;
+    case ActionKind::kLoadRamp:
+      out << " replica=" << target << " dur=" << to_ms(duration) << "ms peak=" << factor
+          << " steps=" << count;
+      break;
+    case ActionKind::kCrashReplica:
+      out << " replica=" << target << (whole_host ? " host" : " process");
+      break;
+    case ActionKind::kRestartReplica:
+      out << " replica=" << target;
+      break;
+    case ActionKind::kDropMessages:
+      out << " dur=" << to_ms(duration) << "ms p=" << factor;
+      break;
+    case ActionKind::kDelayMessages:
+      out << " dur=" << to_ms(duration) << "ms extra=" << to_ms(extra_delay) << "ms";
+      break;
+    case ActionKind::kQueueBurst:
+      out << " replica=" << target << " requests=" << count;
+      break;
+    case ActionKind::kRenegotiateQos:
+      out << " client=" << target << " deadline=" << to_ms(qos.deadline)
+          << "ms min_p=" << qos.min_probability;
+      break;
+  }
+  return out.str();
+}
+
+ScenarioScript& ScenarioScript::lan_spike(Duration at, Duration duration, double factor) {
+  ScenarioAction action;
+  action.at = at;
+  action.kind = ActionKind::kLanSpike;
+  action.duration = duration;
+  action.factor = factor;
+  actions.push_back(action);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::load_ramp(Duration at, Duration duration, std::size_t replica,
+                                          double peak_factor, std::size_t steps) {
+  ScenarioAction action;
+  action.at = at;
+  action.kind = ActionKind::kLoadRamp;
+  action.duration = duration;
+  action.target = replica;
+  action.factor = peak_factor;
+  action.count = steps;
+  actions.push_back(action);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::crash_replica(Duration at, std::size_t replica, bool whole_host) {
+  ScenarioAction action;
+  action.at = at;
+  action.kind = ActionKind::kCrashReplica;
+  action.target = replica;
+  action.whole_host = whole_host;
+  actions.push_back(action);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::restart_replica(Duration at, std::size_t replica) {
+  ScenarioAction action;
+  action.at = at;
+  action.kind = ActionKind::kRestartReplica;
+  action.target = replica;
+  actions.push_back(action);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::drop_messages(Duration at, Duration duration, double probability) {
+  ScenarioAction action;
+  action.at = at;
+  action.kind = ActionKind::kDropMessages;
+  action.duration = duration;
+  action.factor = probability;
+  actions.push_back(action);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::delay_messages(Duration at, Duration duration, Duration extra) {
+  ScenarioAction action;
+  action.at = at;
+  action.kind = ActionKind::kDelayMessages;
+  action.duration = duration;
+  action.extra_delay = extra;
+  actions.push_back(action);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::queue_burst(Duration at, std::size_t replica,
+                                            std::size_t requests) {
+  ScenarioAction action;
+  action.at = at;
+  action.kind = ActionKind::kQueueBurst;
+  action.target = replica;
+  action.count = requests;
+  actions.push_back(action);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::renegotiate_qos(Duration at, std::size_t client,
+                                                core::QosSpec qos) {
+  ScenarioAction action;
+  action.at = at;
+  action.kind = ActionKind::kRenegotiateQos;
+  action.target = client;
+  action.qos = qos;
+  actions.push_back(action);
+  return *this;
+}
+
+void ScenarioScript::validate() const {
+  for (const ScenarioAction& action : actions) {
+    AQUA_REQUIRE(action.at >= Duration::zero(), "scenario action offset must be non-negative");
+    switch (action.kind) {
+      case ActionKind::kLanSpike:
+        AQUA_REQUIRE(action.duration > Duration::zero(), "spike window must have positive length");
+        AQUA_REQUIRE(action.factor >= 1.0, "spike factor must be >= 1");
+        break;
+      case ActionKind::kLoadRamp:
+        AQUA_REQUIRE(action.duration > Duration::zero(), "ramp must have positive length");
+        AQUA_REQUIRE(action.factor >= 1.0, "ramp peak factor must be >= 1");
+        AQUA_REQUIRE(action.count >= 1, "ramp needs at least one step");
+        break;
+      case ActionKind::kCrashReplica:
+      case ActionKind::kRestartReplica:
+        break;
+      case ActionKind::kDropMessages:
+        AQUA_REQUIRE(action.duration > Duration::zero(), "drop window must have positive length");
+        AQUA_REQUIRE(action.factor >= 0.0 && action.factor <= 1.0,
+                     "drop probability must be in [0, 1]");
+        break;
+      case ActionKind::kDelayMessages:
+        AQUA_REQUIRE(action.duration > Duration::zero(), "delay window must have positive length");
+        AQUA_REQUIRE(action.extra_delay >= Duration::zero(), "extra delay must be non-negative");
+        break;
+      case ActionKind::kQueueBurst:
+        AQUA_REQUIRE(action.count >= 1, "queue burst needs at least one request");
+        break;
+      case ActionKind::kRenegotiateQos:
+        action.qos.validate();
+        break;
+    }
+  }
+}
+
+Duration ScenarioScript::horizon() const {
+  Duration end = Duration::zero();
+  for (const ScenarioAction& action : actions) {
+    end = std::max(end, action.at + action.duration);
+  }
+  return end;
+}
+
+std::string ScenarioScript::describe() const {
+  std::ostringstream out;
+  out << "scenario \"" << name << "\" (" << actions.size() << " actions)\n";
+  for (const ScenarioAction& action : actions) {
+    out << "  " << action.describe() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace aqua::fault

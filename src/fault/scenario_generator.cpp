@@ -1,0 +1,211 @@
+#include "fault/scenario_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace aqua::fault {
+namespace {
+
+Duration random_offset(Rng& rng, const GeneratorConfig& config) {
+  return Duration{rng.uniform_int(0, std::max<std::int64_t>(1, count_us(config.span) - 1))};
+}
+
+Duration random_window(Rng& rng, const GeneratorConfig& config) {
+  const std::int64_t max_len = std::max<std::int64_t>(2, count_us(config.span) / 4);
+  return Duration{rng.uniform_int(1, max_len)};
+}
+
+}  // namespace
+
+ScenarioScript generate_scenario(Rng& rng, const GeneratorConfig& config) {
+  AQUA_REQUIRE(config.replicas >= 1, "generator needs at least one replica");
+  AQUA_REQUIRE(config.clients >= 1, "generator needs at least one client");
+  AQUA_REQUIRE(config.min_actions >= 1 && config.min_actions <= config.max_actions,
+               "generator action bounds invalid");
+
+  // Kinds the configuration permits, each equally likely.
+  std::vector<ActionKind> kinds = {ActionKind::kLanSpike,     ActionKind::kLoadRamp,
+                                   ActionKind::kDelayMessages, ActionKind::kQueueBurst,
+                                   ActionKind::kRenegotiateQos};
+  const std::size_t crashable =
+      config.replicas > config.min_survivors ? config.replicas - config.min_survivors : 0;
+  if (crashable > 0) kinds.push_back(ActionKind::kCrashReplica);
+  if (crashable > 0 && config.allow_restart) kinds.push_back(ActionKind::kRestartReplica);
+  if (config.allow_drop) kinds.push_back(ActionKind::kDropMessages);
+
+  ScenarioScript script;
+  script.name = "generated";
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(config.min_actions), static_cast<std::int64_t>(config.max_actions)));
+
+  std::vector<bool> crashed(config.replicas, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ActionKind kind =
+        kinds[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(kinds.size()) - 1))];
+    const Duration at = random_offset(rng, config);
+    switch (kind) {
+      case ActionKind::kLanSpike:
+        script.lan_spike(at, random_window(rng, config), rng.uniform(1.5, config.max_spike_factor));
+        break;
+      case ActionKind::kLoadRamp:
+        script.load_ramp(at, random_window(rng, config),
+                         static_cast<std::size_t>(
+                             rng.uniform_int(0, static_cast<std::int64_t>(config.replicas) - 1)),
+                         rng.uniform(1.5, config.max_load_factor),
+                         static_cast<std::size_t>(rng.uniform_int(1, 6)));
+        break;
+      case ActionKind::kCrashReplica: {
+        // Only the first `crashable` replicas are crash targets, so at
+        // least min_survivors always stay up.
+        const std::size_t target = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(crashable) - 1));
+        if (crashed[target]) break;  // skip double-crash; keeps scripts valid
+        crashed[target] = true;
+        script.crash_replica(at, target, rng.bernoulli(0.3));
+        break;
+      }
+      case ActionKind::kRestartReplica: {
+        const std::size_t target = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(crashable) - 1));
+        if (!crashed[target]) break;  // restart only something that crashed
+        crashed[target] = false;
+        // Strictly after the crash (crash offsets were drawn from the same
+        // span; push the restart past it).
+        script.restart_replica(config.span + at, target);
+        break;
+      }
+      case ActionKind::kDropMessages:
+        script.drop_messages(at, random_window(rng, config),
+                             rng.uniform(0.01, config.max_drop_probability));
+        break;
+      case ActionKind::kDelayMessages:
+        script.delay_messages(
+            at, random_window(rng, config),
+            Duration{rng.uniform_int(1, std::max<std::int64_t>(1, count_us(config.max_extra_delay)))});
+        break;
+      case ActionKind::kQueueBurst:
+        script.queue_burst(at,
+                           static_cast<std::size_t>(rng.uniform_int(
+                               0, static_cast<std::int64_t>(config.replicas) - 1)),
+                           static_cast<std::size_t>(rng.uniform_int(
+                               1, static_cast<std::int64_t>(config.max_burst))));
+        break;
+      case ActionKind::kRenegotiateQos: {
+        core::QosSpec qos;
+        qos.deadline = msec(rng.uniform_int(20, 500));
+        qos.min_probability = rng.uniform(0.0, 0.999);
+        script.renegotiate_qos(at,
+                               static_cast<std::size_t>(rng.uniform_int(
+                                   0, static_cast<std::int64_t>(config.clients) - 1)),
+                               qos);
+        break;
+      }
+    }
+  }
+
+  // Deterministic canonical order: by offset, FIFO among ties (matches
+  // simulator tie-breaking, and makes shrunk scripts readable).
+  std::stable_sort(script.actions.begin(), script.actions.end(),
+                   [](const ScenarioAction& a, const ScenarioAction& b) { return a.at < b.at; });
+  script.validate();
+  return script;
+}
+
+namespace {
+
+/// Magnitude-shrinking candidates for one action, mildest first.
+std::vector<ScenarioAction> weaken(const ScenarioAction& action) {
+  std::vector<ScenarioAction> out;
+  switch (action.kind) {
+    case ActionKind::kLanSpike:
+    case ActionKind::kLoadRamp: {
+      if (action.factor > 2.0) {
+        ScenarioAction halved = action;
+        halved.factor = 1.0 + (action.factor - 1.0) / 2.0;
+        out.push_back(halved);
+      }
+      if (action.duration > msec(1)) {
+        ScenarioAction shorter = action;
+        shorter.duration = action.duration / 2;
+        out.push_back(shorter);
+      }
+      break;
+    }
+    case ActionKind::kDropMessages: {
+      if (action.factor > 0.01) {
+        ScenarioAction halved = action;
+        halved.factor = action.factor / 2.0;
+        out.push_back(halved);
+      }
+      break;
+    }
+    case ActionKind::kDelayMessages: {
+      if (action.extra_delay > usec(10)) {
+        ScenarioAction halved = action;
+        halved.extra_delay = action.extra_delay / 2;
+        out.push_back(halved);
+      }
+      break;
+    }
+    case ActionKind::kQueueBurst: {
+      if (action.count > 1) {
+        ScenarioAction halved = action;
+        halved.count = action.count / 2;
+        out.push_back(halved);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioScript shrink_scenario(ScenarioScript failing, const FailurePredicate& fails,
+                               std::size_t max_evaluations) {
+  std::size_t evaluations = 0;
+  const auto still_fails = [&](const ScenarioScript& candidate) {
+    if (evaluations >= max_evaluations) return false;
+    ++evaluations;
+    return fails(candidate);
+  };
+  AQUA_REQUIRE(fails(failing), "shrink_scenario needs an initially failing script");
+
+  bool progress = true;
+  while (progress && evaluations < max_evaluations) {
+    progress = false;
+
+    // Pass 1: drop one action at a time.
+    for (std::size_t i = 0; i < failing.actions.size(); ++i) {
+      ScenarioScript candidate = failing;
+      candidate.actions.erase(candidate.actions.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!candidate.actions.empty() && still_fails(candidate)) {
+        failing = std::move(candidate);
+        progress = true;
+        break;  // restart the pass over the smaller script
+      }
+    }
+    if (progress) continue;
+
+    // Pass 2: weaken one action's magnitude.
+    for (std::size_t i = 0; i < failing.actions.size(); ++i) {
+      for (const ScenarioAction& weaker : weaken(failing.actions[i])) {
+        ScenarioScript candidate = failing;
+        candidate.actions[i] = weaker;
+        if (still_fails(candidate)) {
+          failing = std::move(candidate);
+          progress = true;
+          break;
+        }
+      }
+      if (progress) break;
+    }
+  }
+  return failing;
+}
+
+}  // namespace aqua::fault

@@ -1,0 +1,67 @@
+// Randomized scenario generation and shrinking for property tests.
+//
+// generate_scenario draws a random but always-valid ScenarioScript from a
+// seeded Rng: action count, kinds, offsets, targets and magnitudes all
+// come from the stream, so a failing property test only needs to log its
+// seed to be replayed. shrink_scenario then greedily delta-debugs a
+// failing script down to a locally minimal one: it keeps removing single
+// actions (and halving burst sizes / window lengths) while the caller's
+// predicate still fails, so the test report shows a handful of actions
+// instead of dozens.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/rng.h"
+#include "fault/scenario.h"
+
+namespace aqua::fault {
+
+struct GeneratorConfig {
+  /// Replica / client population the script may target.
+  std::size_t replicas = 4;
+  std::size_t clients = 1;
+
+  /// Number of actions drawn uniformly from [min_actions, max_actions].
+  std::size_t min_actions = 1;
+  std::size_t max_actions = 8;
+
+  /// Action offsets drawn uniformly from [0, span).
+  Duration span = sec(20);
+
+  /// Bounds on generated magnitudes.
+  double max_spike_factor = 10.0;
+  double max_load_factor = 8.0;
+  double max_drop_probability = 0.4;
+  Duration max_extra_delay = msec(50);
+  std::size_t max_burst = 40;
+
+  /// Crashes are capped so at least `min_survivors` replicas are never
+  /// crash targets (a scenario that kills everything only proves the
+  /// obvious).
+  std::size_t min_survivors = 2;
+
+  /// Whether to draw kRestartReplica / kDropMessages (the threaded
+  /// property test disables them — they are unsupported there).
+  bool allow_restart = true;
+  bool allow_drop = true;
+};
+
+/// Draw one valid script. Deterministic in (rng state, config);
+/// ScenarioScript::validate() always passes on the result.
+[[nodiscard]] ScenarioScript generate_scenario(Rng& rng, const GeneratorConfig& config = {});
+
+/// Returns true when the scenario exhibits the failure under
+/// investigation (i.e. the property is VIOLATED).
+using FailurePredicate = std::function<bool(const ScenarioScript&)>;
+
+/// Greedy delta-debugging: repeatedly drop single actions and shrink
+/// magnitudes while `fails` keeps returning true. `fails(script)` is
+/// guaranteed true for the returned script (it is called, not assumed).
+/// `max_evaluations` bounds predicate calls (each one may be a whole
+/// simulation run).
+[[nodiscard]] ScenarioScript shrink_scenario(ScenarioScript failing, const FailurePredicate& fails,
+                                             std::size_t max_evaluations = 200);
+
+}  // namespace aqua::fault

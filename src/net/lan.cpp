@@ -1,5 +1,6 @@
 #include "net/lan.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.h"
@@ -83,7 +84,18 @@ void Lan::deliver(EndpointId from, EndpointId to, Payload message, std::size_t f
     ++dropped_;
     return;
   }
-  const Duration delay = sample_delay(src_it->second, dst_it->second, message.wire_bytes(), fanout);
+  Duration fault_delay = Duration::zero();
+  if (message_filter_) {
+    const FilterVerdict verdict = message_filter_(from, to, message);
+    if (verdict.drop) {
+      ++dropped_;
+      ++fault_dropped_;
+      return;
+    }
+    fault_delay = std::max(Duration::zero(), verdict.extra_delay);
+  }
+  const Duration delay =
+      sample_delay(src_it->second, dst_it->second, message.wire_bytes(), fanout) + fault_delay;
   TimePoint deliver_at = simulator_.now() + delay;
   if (config_.fifo_per_pair) {
     // Ensemble is FIFO per sender: never schedule a delivery before an
@@ -121,8 +133,17 @@ Duration Lan::sample_delay(const Endpoint& src, const Endpoint& dst, std::int64_
     us += static_cast<double>(count_us(config_.multicast_member_cost)) *
           static_cast<double>(fanout - 1);
   }
-  if (spike_active_) us *= config_.spike.delay_factor;
+  if (spike_override_.has_value()) {
+    us *= *spike_override_;
+  } else if (spike_active_) {
+    us *= config_.spike.delay_factor;
+  }
   return Duration{static_cast<std::int64_t>(std::llround(us))};
+}
+
+void Lan::force_spike(double delay_factor) {
+  AQUA_REQUIRE(delay_factor >= 1.0, "forced spike factor must be >= 1");
+  spike_override_ = delay_factor;
 }
 
 void Lan::schedule_next_spike() {

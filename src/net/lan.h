@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -74,6 +75,21 @@ using ReceiveFn = std::function<void(EndpointId from, const Payload& message)>;
 /// Invoked when a host changes liveness (false = crashed).
 using HostStateFn = std::function<void(HostId host, bool alive)>;
 
+/// Decision of a fault-injection message filter for one message.
+struct FilterVerdict {
+  /// Silently discard the message (counted in messages_fault_dropped()).
+  bool drop = false;
+  /// Extra one-way delay added on top of the modelled delay (>= 0).
+  Duration extra_delay{};
+};
+
+/// Fault-injection hook consulted for every message before its delivery is
+/// scheduled. Installed by the scenario engine for scripted drop/delay
+/// windows; any randomness must come from the filter's own seeded stream
+/// so the Lan's draws stay unperturbed.
+using MessageFilterFn =
+    std::function<FilterVerdict(EndpointId from, EndpointId to, const Payload& message)>;
+
 class Lan {
  public:
   Lan(sim::Simulator& simulator, Rng rng, LanConfig config);
@@ -104,13 +120,28 @@ class Lan {
   [[nodiscard]] HostId endpoint_host(EndpointId endpoint) const;
   [[nodiscard]] bool endpoint_exists(EndpointId endpoint) const;
 
-  /// True while a traffic spike is in progress (visible for tests).
-  [[nodiscard]] bool spike_active() const { return spike_active_; }
+  /// True while a traffic spike is in progress (natural or forced).
+  [[nodiscard]] bool spike_active() const { return spike_override_.has_value() || spike_active_; }
+
+  /// Fault-injection: force a spike window with an explicit delay factor,
+  /// independent of the stochastic spike process (which keeps running —
+  /// and consuming its RNG draws — underneath, so forcing a window never
+  /// shifts any other stream of a seeded run).
+  void force_spike(double delay_factor);
+
+  /// End a forced spike window (back to the natural spike state).
+  void clear_forced_spike() { spike_override_.reset(); }
+
+  /// Fault-injection: install (or, with nullptr, remove) a message filter
+  /// consulted before every delivery is scheduled.
+  void set_message_filter(MessageFilterFn filter) { message_filter_ = std::move(filter); }
 
   /// Counters for tests and reports.
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  /// Subset of messages_dropped() discarded by the fault filter.
+  [[nodiscard]] std::uint64_t messages_fault_dropped() const { return fault_dropped_; }
 
  private:
   struct Endpoint {
@@ -133,9 +164,13 @@ class Lan {
   std::unordered_map<HostId, bool> host_alive_;
   std::vector<HostStateFn> host_state_subscribers_;
   bool spike_active_ = false;
+  /// Forced-spike delay factor while a scripted spike window is open.
+  std::optional<double> spike_override_;
+  MessageFilterFn message_filter_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t fault_dropped_ = 0;
 };
 
 }  // namespace aqua::net

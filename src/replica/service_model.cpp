@@ -35,6 +35,22 @@ class LoadSensitiveService final : public ServiceModel {
   Duration per_queued_;
 };
 
+class ModulatedService final : public ServiceModel {
+ public:
+  ModulatedService(ServiceModelPtr base, std::shared_ptr<const stats::LoadModulation> modulation)
+      : base_(std::move(base)), modulation_(std::move(modulation)) {}
+
+  Duration sample(Rng& rng, std::size_t queue_length) const override {
+    return modulation_->apply(base_->sample(rng, queue_length));
+  }
+
+  std::string describe() const override { return base_->describe() + " (modulated)"; }
+
+ private:
+  ServiceModelPtr base_;
+  std::shared_ptr<const stats::LoadModulation> modulation_;
+};
+
 }  // namespace
 
 ServiceModelPtr make_sampled_service(stats::SamplerPtr sampler) {
@@ -50,6 +66,13 @@ ServiceModelPtr make_load_sensitive_service(stats::SamplerPtr base, Duration per
 
 ServiceModelPtr make_paper_service_model(Duration mean, Duration stddev) {
   return make_sampled_service(stats::make_truncated_normal(mean, stddev));
+}
+
+ServiceModelPtr make_modulated_service(ServiceModelPtr base,
+                                       std::shared_ptr<const stats::LoadModulation> modulation) {
+  AQUA_REQUIRE(base != nullptr, "modulated base model must be non-null");
+  AQUA_REQUIRE(modulation != nullptr, "modulation control must be non-null");
+  return std::make_shared<ModulatedService>(std::move(base), std::move(modulation));
 }
 
 }  // namespace aqua::replica

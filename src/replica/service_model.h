@@ -42,4 +42,13 @@ ServiceModelPtr make_load_sensitive_service(stats::SamplerPtr base, Duration per
 /// truncated at zero.
 ServiceModelPtr make_paper_service_model(Duration mean = msec(100), Duration stddev = msec(50));
 
+/// Fault-injection hook: wraps any service model with an externally
+/// tunable scale/offset (stats::LoadModulation). The fault scenario
+/// engine holds the control block and ramps the factor over time to
+/// script "the host this replica runs on gets loaded"; the base model's
+/// RNG consumption is unchanged, so retuning never perturbs other
+/// streams of a seeded run.
+ServiceModelPtr make_modulated_service(ServiceModelPtr base,
+                                       std::shared_ptr<const stats::LoadModulation> modulation);
+
 }  // namespace aqua::replica

@@ -8,8 +8,9 @@
 namespace aqua::runtime {
 
 Duration NetDelayModel::sample(Rng& rng) const {
-  if (jitter_max <= Duration::zero()) return base;
-  return base + Duration{rng.uniform_int(0, count_us(jitter_max))};
+  Duration delay = base;
+  if (jitter_max > Duration::zero()) delay += Duration{rng.uniform_int(0, count_us(jitter_max))};
+  return modulation ? modulation->apply(delay) : delay;
 }
 
 struct ThreadedClient::RequestState {

@@ -23,6 +23,7 @@
 #include "core/selection.h"
 #include "runtime/delayed_executor.h"
 #include "runtime/threaded_replica.h"
+#include "stats/variates.h"
 
 namespace aqua::runtime {
 
@@ -30,6 +31,11 @@ namespace aqua::runtime {
 struct NetDelayModel {
   Duration base = usec(200);
   Duration jitter_max = usec(100);
+
+  /// Fault-injection hook: when set, every sampled delay is scaled/offset
+  /// through this shared control block — the threaded analogue of a LAN
+  /// spike window, retuned by the scenario engine mid-run.
+  std::shared_ptr<const stats::LoadModulation> modulation;
 
   [[nodiscard]] Duration sample(Rng& rng) const;
 };
@@ -72,6 +78,12 @@ class ThreadedClient {
   void set_qos(core::QosSpec qos);
   [[nodiscard]] const core::QosSpec& qos() const { return qos_; }
 
+  /// Stop the delay executor: discard pending hops, join its thread, and
+  /// refuse new posts. Part of ThreadedSystem's phased teardown — called
+  /// before replica threads are joined so no in-flight hop can touch a
+  /// replica after it dies (and vice versa). Idempotent.
+  void shutdown() { executor_.shutdown(); }
+
   /// Snapshot accessors (thread-safe).
   [[nodiscard]] double timely_fraction() const;
   [[nodiscard]] bool qos_violated() const;
@@ -88,13 +100,17 @@ class ThreadedClient {
   /// (selection only ever runs under the lock).
   std::shared_ptr<core::ModelCache> model_cache_;
   core::ReplicaSelector selector_;
-  DelayedExecutor executor_;
 
   mutable std::mutex mutex_;  // guards repository_, tracker_, overhead_, replicas_, rng_
   core::InfoRepository repository_;
   core::TimingFailureTracker tracker_;
   core::OverheadEstimator overhead_;
   std::uint64_t next_request_ = 1;
+
+  /// Declared last so it is destroyed FIRST: the executor's worker runs
+  /// reply hops that lock mutex_ and write repository_, and its shutdown
+  /// joins any in-flight task before the state above is torn down.
+  DelayedExecutor executor_;
 };
 
 }  // namespace aqua::runtime

@@ -10,9 +10,13 @@ ThreadedSystem::ThreadedSystem(ThreadedSystemConfig config)
     : config_(config), rng_(config.seed) {}
 
 ThreadedSystem::~ThreadedSystem() {
-  // Clients reference replicas; drop them first.
-  clients_.clear();
+  // Phased teardown. Client executors first: once shut down, no delayed
+  // hop can submit to a replica or record a reply. Then replica workers
+  // (their in-flight reply callbacks still find the clients alive), then
+  // the clients themselves.
+  for (auto& client : clients_) client->shutdown();
   replicas_.clear();
+  clients_.clear();
 }
 
 ThreadedReplica& ThreadedSystem::add_replica(stats::SamplerPtr service_time) {

@@ -36,8 +36,10 @@ void Simulator::drop_cancelled_front() {
 }
 
 bool Simulator::execute_next() {
+  if (budget_.has_value() && *budget_ == 0) return false;
   drop_cancelled_front();
   if (queue_.empty()) return false;
+  if (budget_.has_value()) --*budget_;
   Entry entry = queue_.top();
   queue_.pop();
   --live_count_;
@@ -68,7 +70,7 @@ void Simulator::run_until(TimePoint until) {
   while (!stopped_) {
     drop_cancelled_front();
     if (queue_.empty() || queue_.top().at > until) break;
-    execute_next();
+    if (!execute_next()) break;  // event budget exhausted
   }
   if (!stopped_ && now_ < until) now_ = until;
 }

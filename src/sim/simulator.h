@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -82,6 +83,17 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return live_count_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Guard for randomized fault scenarios: refuse to execute more than
+  /// `max_events` further events. run()/run_until() then return as if the
+  /// queue had drained; event_budget_exhausted() reports the truncation so
+  /// a property test can fail loudly instead of spinning forever on a
+  /// pathological generated script.
+  void set_event_budget(std::uint64_t max_events) { budget_ = max_events; }
+  void clear_event_budget() { budget_.reset(); }
+  [[nodiscard]] bool event_budget_exhausted() const {
+    return budget_.has_value() && *budget_ == 0;
+  }
+
  private:
   struct Entry {
     TimePoint at;
@@ -104,6 +116,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_count_ = 0;
+  std::optional<std::uint64_t> budget_;
   bool stopped_ = false;
   std::priority_queue<Entry, std::vector<Entry>, EntryOrder> queue_;
 };

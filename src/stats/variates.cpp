@@ -141,6 +141,20 @@ class BimodalSampler final : public DurationSampler {
   SamplerPtr second_;
 };
 
+class ModulatedSampler final : public DurationSampler {
+ public:
+  ModulatedSampler(SamplerPtr base, std::shared_ptr<const LoadModulation> modulation)
+      : base_(std::move(base)), modulation_(std::move(modulation)) {}
+
+  Duration sample(Rng& rng) const override { return modulation_->apply(base_->sample(rng)); }
+
+  std::string describe() const override { return base_->describe() + " (modulated)"; }
+
+ private:
+  SamplerPtr base_;
+  std::shared_ptr<const LoadModulation> modulation_;
+};
+
 class ShiftedSampler final : public DurationSampler {
  public:
   ShiftedSampler(SamplerPtr base, Duration offset) : base_(std::move(base)), offset_(offset) {}
@@ -203,6 +217,19 @@ SamplerPtr make_bimodal(double p_second, SamplerPtr first, SamplerPtr second) {
 SamplerPtr make_shifted(SamplerPtr base, Duration offset) {
   AQUA_REQUIRE(base != nullptr, "shifted base sampler must be non-null");
   return std::make_shared<ShiftedSampler>(std::move(base), offset);
+}
+
+Duration LoadModulation::apply(Duration d) const {
+  const double scaled = static_cast<double>(count_us(d)) * factor();
+  const Duration out = Duration{static_cast<std::int64_t>(std::llround(scaled))} + extra();
+  return std::max(Duration::zero(), out);
+}
+
+SamplerPtr make_modulated_sampler(SamplerPtr base,
+                                  std::shared_ptr<const LoadModulation> modulation) {
+  AQUA_REQUIRE(base != nullptr, "modulated base sampler must be non-null");
+  AQUA_REQUIRE(modulation != nullptr, "modulation control must be non-null");
+  return std::make_shared<ModulatedSampler>(std::move(base), std::move(modulation));
 }
 
 }  // namespace aqua::stats

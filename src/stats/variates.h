@@ -7,6 +7,8 @@
 // (heavy-tailed service, bursty LAN spikes, bimodal caches).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -56,5 +58,48 @@ SamplerPtr make_bimodal(double p_second, SamplerPtr first, SamplerPtr second);
 /// base sample plus a constant offset (offset may be negative; results are
 /// clamped at zero).
 SamplerPtr make_shifted(SamplerPtr base, Duration offset);
+
+/// Externally tunable scale/offset applied to a sampler's draws — the
+/// fault-injection hook for load ramps and congestion windows. A scenario
+/// engine holds the (mutable) control block and retunes it over time; the
+/// wrapped sampler reads it on every draw. Atomics make the hook safe to
+/// retune from a scenario thread while replica worker threads draw from it
+/// (threaded runtime); in the simulation both sides run on the event loop.
+/// The modulation is applied AFTER the base draw, so it never changes how
+/// many random numbers are consumed — retuning a factor cannot perturb any
+/// other stream of a seeded experiment.
+class LoadModulation {
+ public:
+  /// Multiplier applied to each draw (>= 0; 1 = neutral).
+  void set_factor(double factor) { factor_.store(factor, std::memory_order_relaxed); }
+  /// Constant extra duration added to each draw after scaling.
+  void set_extra(Duration extra) {
+    extra_us_.store(count_us(extra), std::memory_order_relaxed);
+  }
+  /// Back to neutral (factor 1, no extra).
+  void reset() {
+    set_factor(1.0);
+    set_extra(Duration::zero());
+  }
+
+  [[nodiscard]] double factor() const { return factor_.load(std::memory_order_relaxed); }
+  [[nodiscard]] Duration extra() const {
+    return Duration{extra_us_.load(std::memory_order_relaxed)};
+  }
+
+  /// duration * factor + extra, clamped at zero.
+  [[nodiscard]] Duration apply(Duration d) const;
+
+ private:
+  std::atomic<double> factor_{1.0};
+  std::atomic<std::int64_t> extra_us_{0};
+};
+
+using LoadModulationPtr = std::shared_ptr<LoadModulation>;
+
+/// Draws from `base`, then applies `modulation` (shared with the fault
+/// engine, which retunes it mid-run).
+SamplerPtr make_modulated_sampler(SamplerPtr base,
+                                  std::shared_ptr<const LoadModulation> modulation);
 
 }  // namespace aqua::stats

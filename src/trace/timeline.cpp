@@ -1,0 +1,35 @@
+#include "trace/timeline.h"
+
+#include <sstream>
+
+#include "trace/csv.h"
+
+namespace aqua::trace {
+
+void Timeline::add(TimePoint at, std::string kind, std::string detail) {
+  events_.push_back(TimelineEvent{at, std::move(kind), std::move(detail)});
+}
+
+std::size_t Timeline::count(std::string_view kind) const {
+  std::size_t n = 0;
+  for (const TimelineEvent& event : events_) {
+    if (event.kind == kind) ++n;
+  }
+  return n;
+}
+
+void Timeline::to_csv(std::ostream& out) const {
+  CsvWriter csv{out};
+  csv.header({"time_us", "kind", "detail"});
+  for (const TimelineEvent& event : events_) {
+    csv.row({CsvWriter::cell(count_us(event.at)), event.kind, event.detail});
+  }
+}
+
+std::string Timeline::to_csv_string() const {
+  std::ostringstream out;
+  to_csv(out);
+  return out.str();
+}
+
+}  // namespace aqua::trace

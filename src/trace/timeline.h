@@ -1,0 +1,51 @@
+// Structured fault/violation timeline emitted by the scenario engine.
+//
+// Each entry is a (time, kind, detail) triple: fault actions as they are
+// applied, host liveness transitions, QoS-violation callbacks, and
+// end-of-run per-client summaries. The CSV serialization is canonical —
+// locale-independent, fixed column order — so "two runs produced the same
+// behaviour" can be asserted as bit-identical strings (the determinism
+// sweep and the scripted-scenario replay tests both do).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
+
+namespace aqua::trace {
+
+struct TimelineEvent {
+  TimePoint at{};
+  std::string kind;
+  std::string detail;
+
+  friend bool operator==(const TimelineEvent&, const TimelineEvent&) = default;
+};
+
+class Timeline {
+ public:
+  void add(TimePoint at, std::string kind, std::string detail = {});
+
+  [[nodiscard]] const std::vector<TimelineEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Number of events of the given kind.
+  [[nodiscard]] std::size_t count(std::string_view kind) const;
+
+  /// Canonical CSV: header "time_us,kind,detail", one row per event in
+  /// recording order.
+  void to_csv(std::ostream& out) const;
+  [[nodiscard]] std::string to_csv_string() const;
+
+  friend bool operator==(const Timeline&, const Timeline&) = default;
+
+ private:
+  std::vector<TimelineEvent> events_;
+};
+
+}  // namespace aqua::trace

@@ -1,0 +1,50 @@
+// Determinism sweep: the end-to-end scripted scenario runs twice per seed
+// for 10 seeds and the trace output must be bit-identical each time —
+// timeline CSV, per-request counters, everything derived from the run.
+#include <gtest/gtest.h>
+
+#include "fault/catalog.h"
+#include "fault_test_util.h"
+
+namespace aqua::fault {
+namespace {
+
+using testing::ChaosOutcome;
+using testing::run_chaos;
+
+TEST(FaultDeterminismTest, TenSeedsReplayBitIdentically) {
+  const ScenarioScript script = spike_crash_ramp_script();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ChaosOutcome first = run_chaos(seed, script);
+    const ChaosOutcome second = run_chaos(seed, script);
+
+    ASSERT_EQ(first.timeline_csv, second.timeline_csv) << "seed " << seed;
+    EXPECT_EQ(first.finished, second.finished) << "seed " << seed;
+    EXPECT_EQ(first.issued, second.issued) << "seed " << seed;
+    EXPECT_EQ(first.report.answered, second.report.answered) << "seed " << seed;
+    EXPECT_EQ(first.report.timing_failures, second.report.timing_failures) << "seed " << seed;
+    EXPECT_EQ(first.report.qos_violation_callbacks, second.report.qos_violation_callbacks)
+        << "seed " << seed;
+    EXPECT_EQ(first.known_replicas, second.known_replicas) << "seed " << seed;
+    EXPECT_EQ(first.invariant_violations, second.invariant_violations) << "seed " << seed;
+    // Bit-identical replay extends to the floating-point aggregates.
+    EXPECT_EQ(first.report.response_times_ms.summary().mean(),
+              second.report.response_times_ms.summary().mean())
+        << "seed " << seed;
+  }
+}
+
+TEST(FaultDeterminismTest, DifferentSeedsDiverge) {
+  // Sanity check that the comparison above is not vacuous: the fault
+  // timeline is script-driven (fixed offsets) so it can coincide across
+  // seeds, but the response-time samples carry every jitter and service
+  // draw — distinct seeds must produce distinct distributions.
+  const ScenarioScript script = spike_crash_ramp_script();
+  const ChaosOutcome a = run_chaos(1, script);
+  const ChaosOutcome b = run_chaos(2, script);
+  EXPECT_NE(a.report.response_times_ms.summary().mean(),
+            b.report.response_times_ms.summary().mean());
+}
+
+}  // namespace
+}  // namespace aqua::fault

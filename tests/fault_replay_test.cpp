@@ -1,0 +1,112 @@
+// Scripted-scenario regression tests: the acceptance scenario (spike +
+// crash + load ramp) replays with bit-identical fault/violation timelines
+// across two simulator runs, and golden behaviour counts per seed stay
+// pinned (deterministic simulator: any drift is a real behaviour change).
+#include <gtest/gtest.h>
+
+#include "fault/catalog.h"
+#include "fault_test_util.h"
+
+namespace aqua::fault {
+namespace {
+
+using testing::ChaosConfig;
+using testing::ChaosOutcome;
+using testing::run_chaos;
+
+TEST(FaultReplayTest, SpikeCrashRampReplaysBitIdentically) {
+  const ScenarioScript script = spike_crash_ramp_script();
+  const ChaosOutcome first = run_chaos(1, script);
+  const ChaosOutcome second = run_chaos(1, script);
+
+  EXPECT_TRUE(first.finished);
+  EXPECT_EQ(first.unsupported, 0u);
+  EXPECT_EQ(first.timeline_csv, second.timeline_csv);  // bit-identical replay
+  EXPECT_EQ(first.report.timing_failures, second.report.timing_failures);
+  EXPECT_EQ(first.report.answered, second.report.answered);
+  EXPECT_EQ(first.report.qos_violation_callbacks, second.report.qos_violation_callbacks);
+}
+
+TEST(FaultReplayTest, CrashShrinksTheMembershipView) {
+  const ChaosOutcome out = run_chaos(2, spike_crash_ramp_script());
+  ASSERT_TRUE(out.finished);
+  // Replica 1 crashed at t=5s and never restarted: the view change must
+  // have evicted it from the client's repository.
+  EXPECT_EQ(out.known_replicas, 3u);
+  // Every scripted fault application appears in the timeline.
+  EXPECT_NE(out.timeline_csv.find("crash_replica"), std::string::npos);
+  EXPECT_NE(out.timeline_csv.find("lan_spike"), std::string::npos);
+  EXPECT_NE(out.timeline_csv.find("load_ramp"), std::string::npos);
+}
+
+TEST(FaultReplayTest, InvariantsHoldThroughTheAcceptanceScenario) {
+  for (std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    const ChaosOutcome out = run_chaos(seed, spike_crash_ramp_script());
+    EXPECT_EQ(out.invariant_violations, 0u)
+        << "seed " << seed << ":\n" << out.invariant_summary;
+  }
+}
+
+TEST(FaultReplayTest, GoldenCountsPerSeed) {
+  // Baked from the deterministic simulator; a change here means the
+  // system's behaviour under the acceptance scenario changed and must be
+  // reviewed, not blindly re-baked. The QoS is deliberately tight
+  // (80ms @ 0.9 against 60±20ms service) so the scripted faults actually
+  // surface as timing failures rather than being absorbed by slack.
+  struct Golden {
+    std::uint64_t seed;
+    std::size_t answered;
+    std::size_t timing_failures;
+    std::size_t qos_violations;
+  };
+  const Golden golden[] = {
+      {1, 30, 1, 0},
+      {2, 30, 0, 0},
+      {3, 30, 2, 1},
+  };
+  const ChaosConfig tight{.qos = core::QosSpec{msec(80), 0.9}};
+  for (const Golden& g : golden) {
+    const ChaosOutcome out = run_chaos(g.seed, spike_crash_ramp_script(), tight);
+    ASSERT_TRUE(out.finished) << "seed " << g.seed;
+    EXPECT_EQ(out.report.answered, g.answered) << "seed " << g.seed;
+    EXPECT_EQ(out.report.timing_failures, g.timing_failures) << "seed " << g.seed;
+    EXPECT_EQ(out.report.qos_violation_callbacks, g.qos_violations) << "seed " << g.seed;
+  }
+}
+
+TEST(FaultReplayTest, QosRenegotiationTakesEffectMidRun) {
+  ScenarioScript script;
+  script.name = "renegotiate";
+  const core::QosSpec relaxed{msec(400), 0.2};
+  script.lan_spike(sec(1), sec(1), 6.0).renegotiate_qos(sec(4), 0, relaxed);
+
+  const ChaosOutcome out = run_chaos(5, script);
+  ASSERT_TRUE(out.finished);
+  EXPECT_EQ(out.unsupported, 0u);
+  EXPECT_EQ(out.final_qos, relaxed);  // §5.4.2: set_qos replaced the spec
+  EXPECT_NE(out.timeline_csv.find("renegotiate_qos"), std::string::npos);
+}
+
+TEST(FaultReplayTest, NetworkStressAndHostLoadScriptsRunClean) {
+  for (const ScenarioScript& script : {network_stress_script(), host_load_script(0)}) {
+    const ChaosOutcome out = run_chaos(11, script);
+    EXPECT_TRUE(out.finished) << script.name;
+    EXPECT_EQ(out.unsupported, 0u) << script.name;
+    EXPECT_EQ(out.invariant_violations, 0u) << script.name << "\n" << out.invariant_summary;
+    EXPECT_EQ(out.report.answered, 30u) << script.name;
+  }
+}
+
+TEST(FaultReplayTest, CrashRestartScriptRestoresTheView) {
+  const ChaosOutcome out = run_chaos(13, crash_restart_script(0),
+                                     ChaosConfig{.requests = 40});
+  ASSERT_TRUE(out.finished);
+  EXPECT_EQ(out.unsupported, 0u);
+  // The victim restarted at t=8s and re-announced: the client sees all 4
+  // replicas again by the end of the run.
+  EXPECT_EQ(out.known_replicas, 4u);
+  EXPECT_NE(out.timeline_csv.find("restart_replica"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua::fault

@@ -1,0 +1,245 @@
+// Units for the fault-injection building blocks: scenario scripts, the
+// load-modulation hooks, the Lan's forced spikes and message filters, the
+// simulator event budget, and the timeline recorder.
+#include <gtest/gtest.h>
+
+#include "fault/catalog.h"
+#include "fault/scenario.h"
+#include "net/lan.h"
+#include "net/payload.h"
+#include "replica/service_model.h"
+#include "sim/simulator.h"
+#include "stats/variates.h"
+#include "trace/timeline.h"
+
+namespace aqua::fault {
+namespace {
+
+TEST(ScenarioScriptTest, BuildersRecordActionsInOrder) {
+  ScenarioScript script;
+  script.lan_spike(sec(1), msec(500), 6.0)
+      .crash_replica(sec(2), 1)
+      .load_ramp(sec(3), sec(2), 0, 4.0, 5)
+      .queue_burst(sec(4), 2, 10)
+      .renegotiate_qos(sec(5), 0, core::QosSpec{msec(100), 0.5});
+  ASSERT_EQ(script.actions.size(), 5u);
+  EXPECT_EQ(script.actions[0].kind, ActionKind::kLanSpike);
+  EXPECT_EQ(script.actions[1].kind, ActionKind::kCrashReplica);
+  EXPECT_EQ(script.actions[2].count, 5u);
+  EXPECT_EQ(script.actions[3].count, 10u);
+  EXPECT_EQ(script.actions[4].qos.deadline, msec(100));
+  EXPECT_NO_THROW(script.validate());
+}
+
+TEST(ScenarioScriptTest, HorizonIsLatestWindowEnd) {
+  ScenarioScript script;
+  script.lan_spike(sec(1), msec(500), 2.0).load_ramp(sec(2), sec(3), 0, 2.0);
+  EXPECT_EQ(script.horizon(), sec(5));
+}
+
+TEST(ScenarioScriptTest, ValidateRejectsMalformedActions) {
+  ScenarioScript negative;
+  negative.crash_replica(usec(-1), 0);
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+
+  ScenarioScript zero_window;
+  zero_window.lan_spike(sec(1), Duration::zero(), 2.0);
+  EXPECT_THROW(zero_window.validate(), std::invalid_argument);
+
+  ScenarioScript sub_one_factor;
+  sub_one_factor.lan_spike(sec(1), msec(100), 0.5);
+  EXPECT_THROW(sub_one_factor.validate(), std::invalid_argument);
+
+  ScenarioScript bad_probability;
+  bad_probability.drop_messages(sec(1), msec(100), 1.5);
+  EXPECT_THROW(bad_probability.validate(), std::invalid_argument);
+
+  ScenarioScript empty_burst;
+  empty_burst.queue_burst(sec(1), 0, 0);
+  EXPECT_THROW(empty_burst.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioScriptTest, DescribeRendersEveryAction) {
+  const ScenarioScript script = spike_crash_ramp_script();
+  const std::string text = script.describe();
+  EXPECT_NE(text.find("spike_crash_ramp"), std::string::npos);
+  EXPECT_NE(text.find("lan_spike"), std::string::npos);
+  EXPECT_NE(text.find("crash_replica"), std::string::npos);
+  EXPECT_NE(text.find("load_ramp"), std::string::npos);
+}
+
+TEST(ScenarioScriptTest, CatalogScriptsAreValid) {
+  EXPECT_NO_THROW(spike_crash_ramp_script().validate());
+  EXPECT_NO_THROW(network_stress_script().validate());
+  EXPECT_NO_THROW(host_load_script().validate());
+  EXPECT_NO_THROW(crash_restart_script().validate());
+}
+
+TEST(LoadModulationTest, AppliesFactorAndExtra) {
+  stats::LoadModulation mod;
+  EXPECT_EQ(mod.apply(msec(10)), msec(10));  // neutral by default
+  mod.set_factor(2.5);
+  EXPECT_EQ(mod.apply(msec(10)), msec(25));
+  mod.set_extra(msec(3));
+  EXPECT_EQ(mod.apply(msec(10)), msec(28));
+  mod.reset();
+  EXPECT_EQ(mod.apply(msec(10)), msec(10));
+}
+
+TEST(LoadModulationTest, NeverProducesNegativeDurations) {
+  stats::LoadModulation mod;
+  mod.set_extra(msec(-100));
+  EXPECT_EQ(mod.apply(msec(10)), Duration::zero());
+}
+
+TEST(LoadModulationTest, ModulatedSamplerScalesDrawsWithoutExtraRngDraws) {
+  auto mod = std::make_shared<stats::LoadModulation>();
+  const stats::SamplerPtr base = stats::make_uniform(msec(10), msec(20));
+  const stats::SamplerPtr wrapped = stats::make_modulated_sampler(base, mod);
+
+  // Identical streams: the wrapped sampler must consume exactly the same
+  // draws as the bare one (determinism discipline).
+  Rng a{7}, b{7};
+  mod->set_factor(3.0);
+  for (int i = 0; i < 50; ++i) {
+    const Duration bare = base->sample(a);
+    const Duration scaled = wrapped->sample(b);
+    EXPECT_EQ(scaled, Duration{count_us(bare) * 3});
+  }
+}
+
+TEST(LoadModulationTest, ModulatedServiceModelScalesServiceTimes) {
+  auto mod = std::make_shared<stats::LoadModulation>();
+  const replica::ServiceModelPtr base =
+      replica::make_sampled_service(stats::make_constant(msec(40)));
+  const replica::ServiceModelPtr wrapped = replica::make_modulated_service(base, mod);
+  Rng rng{1};
+  EXPECT_EQ(wrapped->sample(rng, 0), msec(40));
+  mod->set_factor(2.0);
+  EXPECT_EQ(wrapped->sample(rng, 0), msec(80));
+  mod->set_extra(msec(5));
+  EXPECT_EQ(wrapped->sample(rng, 0), msec(85));
+}
+
+class LanFaultHookTest : public ::testing::Test {
+ protected:
+  net::LanConfig quiet_config() {
+    net::LanConfig cfg;
+    cfg.jitter_sigma = 0.0;  // deterministic delays
+    return cfg;
+  }
+
+  sim::Simulator sim_;
+};
+
+TEST_F(LanFaultHookTest, ForcedSpikeMultipliesDelaysAndClears) {
+  net::Lan lan{sim_, Rng{3}, quiet_config()};
+  const HostId h1{1}, h2{2};
+  TimePoint normal_arrival{}, spiked_arrival{};
+  int deliveries = 0;
+  const EndpointId rx = lan.create_endpoint(h2, [&](EndpointId, const net::Payload&) {
+    ++deliveries;
+    if (deliveries == 1) normal_arrival = sim_.now();
+    if (deliveries == 2) spiked_arrival = sim_.now();
+  });
+  const EndpointId tx = lan.create_endpoint(h1, [](EndpointId, const net::Payload&) {});
+
+  lan.unicast(tx, rx, net::Payload::make<int>(1, 100));
+  sim_.run();
+  ASSERT_EQ(deliveries, 1);
+
+  EXPECT_FALSE(lan.spike_active());
+  lan.force_spike(5.0);
+  EXPECT_TRUE(lan.spike_active());
+  const TimePoint spike_sent = sim_.now();
+  lan.unicast(tx, rx, net::Payload::make<int>(2, 100));
+  sim_.run();
+  ASSERT_EQ(deliveries, 2);
+  lan.clear_forced_spike();
+  EXPECT_FALSE(lan.spike_active());
+
+  const Duration normal_delay = normal_arrival - TimePoint{};
+  const Duration spiked_delay = spiked_arrival - spike_sent;
+  EXPECT_EQ(count_us(spiked_delay), count_us(normal_delay) * 5);
+}
+
+TEST_F(LanFaultHookTest, MessageFilterDropsAndCounts) {
+  net::Lan lan{sim_, Rng{3}, quiet_config()};
+  int deliveries = 0;
+  const EndpointId rx =
+      lan.create_endpoint(HostId{2}, [&](EndpointId, const net::Payload&) { ++deliveries; });
+  const EndpointId tx = lan.create_endpoint(HostId{1}, [](EndpointId, const net::Payload&) {});
+
+  lan.set_message_filter([](EndpointId, EndpointId, const net::Payload&) {
+    return net::FilterVerdict{/*drop=*/true, Duration::zero()};
+  });
+  lan.unicast(tx, rx, net::Payload::make<int>(1, 100));
+  sim_.run();
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(lan.messages_fault_dropped(), 1u);
+  EXPECT_EQ(lan.messages_dropped(), 1u);
+
+  lan.set_message_filter(nullptr);
+  lan.unicast(tx, rx, net::Payload::make<int>(2, 100));
+  sim_.run();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(lan.messages_fault_dropped(), 1u);
+}
+
+TEST_F(LanFaultHookTest, MessageFilterExtraDelayPostponesDelivery) {
+  net::Lan lan{sim_, Rng{3}, quiet_config()};
+  TimePoint arrival{};
+  const EndpointId rx = lan.create_endpoint(
+      HostId{2}, [&](EndpointId, const net::Payload&) { arrival = sim_.now(); });
+  const EndpointId tx = lan.create_endpoint(HostId{1}, [](EndpointId, const net::Payload&) {});
+
+  lan.unicast(tx, rx, net::Payload::make<int>(1, 100));
+  sim_.run();
+  const Duration base_delay = arrival - TimePoint{};
+
+  lan.set_message_filter([](EndpointId, EndpointId, const net::Payload&) {
+    return net::FilterVerdict{false, msec(7)};
+  });
+  const TimePoint sent = sim_.now();
+  lan.unicast(tx, rx, net::Payload::make<int>(2, 100));
+  sim_.run();
+  EXPECT_EQ(arrival - sent, base_delay + msec(7));
+}
+
+TEST(SimulatorBudgetTest, EventBudgetStopsRunawayRuns) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  // Self-rescheduling event: would run forever without a budget.
+  std::function<void()> tick = [&] {
+    ++fired;
+    sim.schedule_after(msec(1), tick);
+  };
+  sim.schedule_after(msec(1), tick);
+  sim.set_event_budget(100);
+  sim.run_until(TimePoint{} + sec(3600));
+  EXPECT_EQ(fired, 100u);
+  EXPECT_TRUE(sim.event_budget_exhausted());
+  sim.clear_event_budget();
+  EXPECT_FALSE(sim.event_budget_exhausted());
+}
+
+TEST(TimelineTest, RecordsCountsAndSerializesCanonically) {
+  trace::Timeline timeline;
+  timeline.add(TimePoint{} + msec(1), "fault", "lan_spike");
+  timeline.add(TimePoint{} + msec(2), "fault_end");
+  timeline.add(TimePoint{} + msec(3), "fault", "crash");
+  EXPECT_EQ(timeline.size(), 3u);
+  EXPECT_EQ(timeline.count("fault"), 2u);
+  EXPECT_EQ(timeline.count("fault_end"), 1u);
+
+  trace::Timeline same;
+  same.add(TimePoint{} + msec(1), "fault", "lan_spike");
+  same.add(TimePoint{} + msec(2), "fault_end");
+  same.add(TimePoint{} + msec(3), "fault", "crash");
+  EXPECT_EQ(timeline, same);
+  EXPECT_EQ(timeline.to_csv_string(), same.to_csv_string());
+  EXPECT_NE(timeline.to_csv_string().find("time_us,kind,detail"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua::fault

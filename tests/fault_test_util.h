@@ -1,0 +1,90 @@
+// Shared harness for the chaos tier: one standard simulated deployment
+// (4 modulated replicas, 1 client with an invariant-checking policy),
+// executed under a scenario script. Every chaos test builds through this
+// so "the same scenario" means byte-for-byte the same system wiring.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/invariants.h"
+#include "fault/scenario.h"
+#include "fault/scenario_runner.h"
+#include "gateway/system.h"
+#include "replica/service_model.h"
+#include "stats/variates.h"
+#include "trace/report.h"
+
+namespace aqua::fault::testing {
+
+struct ChaosConfig {
+  std::size_t replicas = 4;
+  std::size_t requests = 30;
+  core::QosSpec qos{msec(150), 0.8};
+  Duration think = msec(200);
+  Duration max_time = sec(240);
+  /// Mean/stddev of every replica's (modulated) truncated-normal service.
+  Duration service_mean = msec(60);
+  Duration service_stddev = msec(20);
+};
+
+struct ChaosOutcome {
+  bool finished = false;
+  std::string timeline_csv;
+  std::size_t unsupported = 0;
+  trace::ClientRunReport report;
+  std::size_t issued = 0;
+  std::size_t known_replicas = 0;
+  core::QosSpec final_qos;
+  std::size_t invariant_violations = 0;
+  std::string invariant_summary;
+};
+
+/// Build the standard deployment, run `script` against it, tear down.
+/// Identical (seed, script) pairs produce identical outcomes — the replay
+/// and determinism tests assert that on timeline_csv.
+inline ChaosOutcome run_chaos(std::uint64_t seed, const ScenarioScript& script,
+                              const ChaosConfig& config = {}) {
+  gateway::SystemConfig system_config;
+  system_config.seed = seed;
+  gateway::AquaSystem system{system_config};
+
+  ScenarioHooks hooks;
+  for (std::size_t i = 0; i < config.replicas; ++i) {
+    auto modulation = std::make_shared<stats::LoadModulation>();
+    hooks.replica_load.push_back(modulation);
+    system.add_replica(replica::make_modulated_service(
+        replica::make_sampled_service(
+            stats::make_truncated_normal(config.service_mean, config.service_stddev)),
+        modulation));
+  }
+
+  auto violations = std::make_shared<InvariantViolations>();
+  gateway::HandlerConfig handler_config;
+  core::PolicyPtr policy = make_invariant_checking_policy(
+      core::make_dynamic_policy(handler_config.selection, handler_config.model), violations);
+
+  gateway::ClientWorkload workload;
+  workload.total_requests = config.requests;
+  workload.think_time = stats::make_constant(config.think);
+  gateway::ClientApp& app =
+      system.add_client(config.qos, workload, handler_config, std::move(policy));
+
+  ScenarioRunner runner{system, script, std::move(hooks), seed};
+  ChaosOutcome out;
+  out.finished = runner.run(config.max_time);
+  out.timeline_csv = runner.timeline_csv();
+  out.unsupported = runner.unsupported_actions();
+  out.report = app.report();
+  out.issued = app.issued();
+  out.known_replicas = app.handler().repository().replica_count();
+  out.final_qos = app.handler().qos();
+  out.invariant_violations = violations->count();
+  out.invariant_summary = violations->summary();
+  return out;
+}
+
+}  // namespace aqua::fault::testing

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Standard pre-PR gate: build the Release config and a TSan config, run the
+# tier-1 test suite in Release, and run the chaos tier (ctest -L fault) in
+# both. The TSan fault run is the race certification for the threaded
+# scenario runner (ISSUE 2 acceptance: same script on the threaded runtime
+# with zero reported races).
+#
+# Usage: tools/run_checks.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "Configure + build: Release (build/)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "${JOBS}"
+
+step "Tier-1 ctest (Release)"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+step "Chaos tier: ctest -L fault (Release)"
+ctest --test-dir build --output-on-failure -j "${JOBS}" -L fault
+
+step "Configure + build: ThreadSanitizer (build-tsan/)"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DENABLE_TSAN=ON >/dev/null
+cmake --build build-tsan -j "${JOBS}"
+
+step "Chaos tier: ctest -L fault (TSan)"
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L fault
+
+step "All checks passed"
