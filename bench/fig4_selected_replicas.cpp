@@ -5,6 +5,11 @@
 // Paper shape: (1) fewer replicas as the deadline grows; (2) fewer
 // replicas for smaller requested probabilities; Pc=0 sits at the
 // algorithm's floor of 2; Pc=0.9 reaches up to ~6 at tight deadlines.
+//
+// Data path: each run records into an obs::Telemetry hub; the figure is
+// aggregated from the exported request-trace CSV (write_requests_csv ->
+// read_requests_csv -> to_run_report in paper_experiment.cpp), not from
+// in-process counters.
 #include <cstdio>
 #include <cstdlib>
 

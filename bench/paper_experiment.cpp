@@ -4,8 +4,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "gateway/system.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
 #include "trace/csv.h"
 
 namespace aqua::bench {
@@ -23,8 +26,15 @@ SweepPoint run_point(const PaperSetup& setup, Duration deadline, double requeste
   std::size_t requests = 0;
 
   for (std::size_t s = 0; s < setup.seeds; ++s) {
+    // One telemetry hub per seed: the figures are computed from its
+    // exported request traces rather than from in-process state, so the
+    // bench exercises the same pipeline an operator would scrape.
+    // Telemetry never schedules events or draws randomness, so the runs
+    // are bit-identical to the uninstrumented ones.
+    obs::Telemetry telemetry;
     gateway::SystemConfig sys_cfg;
     sys_cfg.seed = setup.base_seed + s;
+    sys_cfg.telemetry = &telemetry;
     gateway::AquaSystem system{sys_cfg};
     for (std::size_t r = 0; r < setup.replicas; ++r) {
       system.add_replica(replica::make_sampled_service(
@@ -50,7 +60,16 @@ SweepPoint run_point(const PaperSetup& setup, Duration deadline, double requeste
     // 50 requests with 1s think time: bound the run generously.
     system.run_until_clients_done(sec(300));
 
-    const trace::ClientRunReport report = app.report();
+    // Figure data path: export the request traces as CSV, parse them
+    // back, and aggregate — write_requests_csv / read_requests_csv /
+    // to_run_report reproduce ClientApp::report() exactly (asserted by
+    // tests/obs_handler_test).
+    std::stringstream csv_buffer;
+    obs::write_requests_csv(csv_buffer, telemetry.request_traces());
+    const std::vector<obs::RequestTrace> parsed = obs::read_requests_csv(csv_buffer);
+    const ClientId measured_client = app.handler().client();
+    const trace::ClientRunReport report = obs::to_run_report(
+        parsed, measured_client, "client-" + std::to_string(measured_client.value()));
     requests += report.requests;
     failures += report.timing_failures;
     answered += report.answered;

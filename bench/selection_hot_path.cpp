@@ -10,10 +10,19 @@
 //
 // Acceptance target: >= 5x steady-state speedup at 8 replicas, window 64
 // (printed explicitly after the benchmark table).
+//
+// The hot_path/telemetry_* benchmarks measure the cost of the observed
+// policy decorator: disabled (null telemetry — one branch per site) must
+// track the bare policy, enabled pays the counter/histogram updates.
+// `--check-telemetry-overhead` runs a pass/fail gate on the disabled
+// path (interleaved rounds, median-of-rounds, <= 2% + 0.2us slack) used
+// by tools/run_checks.sh to catch regressions of the one-branch rule.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,8 +30,10 @@
 #include "common/rng.h"
 #include "core/info_repository.h"
 #include "core/model_cache.h"
+#include "core/policies.h"
 #include "core/response_time_model.h"
 #include "core/selection.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -107,6 +118,57 @@ void BM_SelectCachedChurn(benchmark::State& state) {
   state.SetLabel("replicas=" + std::to_string(replicas) + " window=" + std::to_string(window));
 }
 
+/// Bare dynamic policy — the handler's hot path when telemetry is off
+/// (make_observed_policy is only applied when a hub is attached).
+void BM_SelectPolicyBare(benchmark::State& state) {
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  const auto window = static_cast<std::size_t>(state.range(1));
+  const auto repo = build_repository(replicas, window);
+  auto cache = std::make_shared<core::ModelCache>();
+  const auto policy = core::make_dynamic_policy({}, {}, cache);
+  Rng rng{13};
+  benchmark::DoNotOptimize(policy->select(repo.observe_all(), kQos, Duration::zero(), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->select(repo.observe_all(), kQos, Duration::zero(), rng));
+  }
+  state.SetLabel("replicas=" + std::to_string(replicas) + " window=" + std::to_string(window));
+}
+
+/// Observed decorator with a NULL hub: the disabled-telemetry path (one
+/// extra virtual call + one branch per selection).
+void BM_SelectTelemetryDisabled(benchmark::State& state) {
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  const auto window = static_cast<std::size_t>(state.range(1));
+  const auto repo = build_repository(replicas, window);
+  auto cache = std::make_shared<core::ModelCache>();
+  const auto policy =
+      core::make_observed_policy(core::make_dynamic_policy({}, {}, cache), nullptr);
+  Rng rng{13};
+  benchmark::DoNotOptimize(policy->select(repo.observe_all(), kQos, Duration::zero(), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->select(repo.observe_all(), kQos, Duration::zero(), rng));
+  }
+  state.SetLabel("replicas=" + std::to_string(replicas) + " window=" + std::to_string(window));
+}
+
+/// Observed decorator with a LIVE hub: counters + redundancy histogram
+/// updated on every selection.
+void BM_SelectTelemetryEnabled(benchmark::State& state) {
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  const auto window = static_cast<std::size_t>(state.range(1));
+  const auto repo = build_repository(replicas, window);
+  auto cache = std::make_shared<core::ModelCache>();
+  obs::Telemetry telemetry;
+  const auto policy =
+      core::make_observed_policy(core::make_dynamic_policy({}, {}, cache), &telemetry);
+  Rng rng{13};
+  benchmark::DoNotOptimize(policy->select(repo.observe_all(), kQos, Duration::zero(), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->select(repo.observe_all(), kQos, Duration::zero(), rng));
+  }
+  state.SetLabel("replicas=" + std::to_string(replicas) + " window=" + std::to_string(window));
+}
+
 void register_benchmarks() {
   for (std::int64_t window : {5, 16, 64}) {
     for (std::int64_t replicas : {2, 4, 8, 16}) {
@@ -117,6 +179,16 @@ void register_benchmarks() {
       benchmark::RegisterBenchmark("hot_path/cached_churn", BM_SelectCachedChurn)
           ->Args({replicas, window});
     }
+  }
+  // Telemetry decorator cost at the acceptance point only (the decorator
+  // cost does not depend on the repository shape).
+  for (std::int64_t replicas : {8}) {
+    benchmark::RegisterBenchmark("hot_path/telemetry_bare", BM_SelectPolicyBare)
+        ->Args({replicas, 64});
+    benchmark::RegisterBenchmark("hot_path/telemetry_disabled", BM_SelectTelemetryDisabled)
+        ->Args({replicas, 64});
+    benchmark::RegisterBenchmark("hot_path/telemetry_enabled", BM_SelectTelemetryEnabled)
+        ->Args({replicas, 64});
   }
 }
 
@@ -160,9 +232,80 @@ void print_speedup() {
   if (sink < 0.0) std::abort();  // keep the measured loops alive
 }
 
+/// Pass/fail regression gate for the one-branch disabled-telemetry rule.
+///
+/// Compares the bare dynamic policy against the observed decorator with a
+/// null hub at the acceptance point (8 replicas, window 64, steady-state
+/// cache). Rounds are interleaved (bare, disabled, bare, disabled, ...)
+/// so frequency drift hits both variants equally, and the median round
+/// is compared: disabled must be within 2% of bare, plus a 0.2us
+/// absolute allowance for timer noise on a sub-microsecond base cost.
+int check_telemetry_overhead() {
+  constexpr std::size_t kReplicas = 8;
+  constexpr std::size_t kWindow = 64;
+  constexpr int kRounds = 21;
+  constexpr int kSelectsPerRound = 300;
+  constexpr double kRelativeSlack = 1.02;
+  constexpr double kAbsoluteSlackUs = 0.2;
+
+  const auto repo = build_repository(kReplicas, kWindow);
+  auto bare_cache = std::make_shared<core::ModelCache>();
+  auto disabled_cache = std::make_shared<core::ModelCache>();
+  const auto bare = core::make_dynamic_policy({}, {}, bare_cache);
+  const auto disabled =
+      core::make_observed_policy(core::make_dynamic_policy({}, {}, disabled_cache), nullptr);
+  Rng rng{13};
+
+  using Clock = std::chrono::steady_clock;
+  double sink = 0.0;
+  const auto time_round = [&](const core::PolicyPtr& policy) {
+    const auto start = Clock::now();
+    for (int i = 0; i < kSelectsPerRound; ++i) {
+      sink += policy->select(repo.observe_all(), kQos, Duration::zero(), rng)
+                  .predicted_probability;
+    }
+    return std::chrono::duration<double, std::micro>(Clock::now() - start).count() /
+           kSelectsPerRound;
+  };
+
+  // Warm both caches (first round would otherwise pay the convolutions).
+  time_round(bare);
+  time_round(disabled);
+
+  std::vector<double> bare_rounds;
+  std::vector<double> disabled_rounds;
+  for (int r = 0; r < kRounds; ++r) {
+    bare_rounds.push_back(time_round(bare));
+    disabled_rounds.push_back(time_round(disabled));
+  }
+  const auto median = [](std::vector<double> v) {
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2), v.end());
+    return v[v.size() / 2];
+  };
+  const double bare_us = median(bare_rounds);
+  const double disabled_us = median(disabled_rounds);
+  const double limit_us = bare_us * kRelativeSlack + kAbsoluteSlackUs;
+  const bool pass = disabled_us <= limit_us;
+
+  std::printf("=== Disabled-telemetry overhead gate ===\n");
+  std::printf("%zu replicas, window %zu, %d rounds x %d selects, median-of-rounds\n", kReplicas,
+              kWindow, kRounds, kSelectsPerRound);
+  std::printf("  bare policy:        %8.3f us/select\n", bare_us);
+  std::printf("  telemetry disabled: %8.3f us/select (limit %.3f)\n", disabled_us, limit_us);
+  std::printf("  %s\n", pass ? "PASS: disabled telemetry within budget"
+                             : "FAIL: disabled telemetry exceeds 2% + 0.2us budget");
+  if (sink < 0.0) std::abort();  // keep the measured loops alive
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-telemetry-overhead") == 0) {
+      return check_telemetry_overhead();
+    }
+  }
   std::printf("=== Selection hot path: model cache on/off ===\n\n");
   register_benchmarks();
   // Keep the default run short (the harness runs every bench binary);

@@ -1,6 +1,9 @@
 #include "common/log.h"
 
 #include <cstdio>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "common/time.h"
 
@@ -19,28 +22,48 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-}  // namespace
+// Sink storage: a shared_ptr replaced under a mutex. Writers copy the
+// pointer under the lock and call through the copy outside it, so a
+// concurrent set_sink() can never destroy a sink mid-call.
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
-Log::Sink& Log::sink_ref() {
-  static Sink sink;  // empty => stderr
+std::shared_ptr<const Log::Sink>& sink_slot() {
+  static std::shared_ptr<const Log::Sink> sink;  // null => stderr
   return sink;
 }
 
-LogLevel& Log::level_ref() {
-  static LogLevel level = LogLevel::kWarn;
+}  // namespace
+
+std::atomic<LogLevel>& Log::level_ref() {
+  static std::atomic<LogLevel> level{LogLevel::kWarn};
   return level;
 }
 
-void Log::set_level(LogLevel level) { level_ref() = level; }
+void Log::set_level(LogLevel level) {
+  level_ref().store(level, std::memory_order_relaxed);
+}
 
-LogLevel Log::level() { return level_ref(); }
+LogLevel Log::level() { return level_ref().load(std::memory_order_relaxed); }
 
-void Log::set_sink(Sink sink) { sink_ref() = std::move(sink); }
+void Log::set_sink(Sink sink) {
+  std::shared_ptr<const Sink> next;
+  if (sink) next = std::make_shared<const Sink>(std::move(sink));
+  const std::scoped_lock lock(sink_mutex());
+  sink_slot() = std::move(next);
+}
 
 void Log::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
-  if (const Sink& sink = sink_ref()) {
-    sink(level, message);
+  std::shared_ptr<const Sink> sink;
+  {
+    const std::scoped_lock lock(sink_mutex());
+    sink = sink_slot();
+  }
+  if (sink) {
+    (*sink)(level, message);
     return;
   }
   std::fprintf(stderr, "[aqua %s] %s\n", level_name(level), message.c_str());

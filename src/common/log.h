@@ -4,8 +4,16 @@
 // than an observability system: a global level filter and a single sink
 // (stderr by default, redirectable for tests). Hot paths guard with
 // `Log::enabled(...)` so disabled levels cost one branch.
+//
+// Thread safety: the threaded runtime logs from worker threads while
+// tests swap levels and sinks, so the level is a relaxed atomic (the
+// enabled() fast path stays one load + one compare) and the sink is a
+// shared_ptr swapped under a mutex — write() copies the pointer under
+// the lock, then invokes the sink outside it so a slow sink never
+// serializes unrelated loggers against set_sink().
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -29,8 +37,7 @@ class Log {
   static void write(LogLevel level, const std::string& message);
 
  private:
-  static Sink& sink_ref();
-  static LogLevel& level_ref();
+  static std::atomic<LogLevel>& level_ref();
 };
 
 namespace detail {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/telemetry.h"
 
 namespace aqua::core {
 
@@ -15,13 +16,18 @@ InfoRepository::Record& InfoRepository::record_for(ReplicaId replica) {
   auto it = records_.find(replica);
   if (it == records_.end()) {
     it = records_.emplace(replica, Record{config_.gateway_window_size}).first;
+    if (replicas_added_counter_ != nullptr) replicas_added_counter_->add();
   }
   return it->second;
 }
 
 void InfoRepository::add_replica(ReplicaId replica) { record_for(replica); }
 
-void InfoRepository::remove_replica(ReplicaId replica) { records_.erase(replica); }
+void InfoRepository::remove_replica(ReplicaId replica) {
+  if (records_.erase(replica) > 0 && replicas_removed_counter_ != nullptr) {
+    replicas_removed_counter_->add();
+  }
+}
 
 bool InfoRepository::contains(ReplicaId replica) const { return records_.contains(replica); }
 
@@ -52,6 +58,7 @@ void InfoRepository::record_perf(ReplicaId replica, const PerfSample& sample, Ti
   }
   record.queue_length = sample.queue_length;
   record.last_update = now;
+  if (perf_samples_counter_ != nullptr) perf_samples_counter_->add();
 }
 
 void InfoRepository::record_gateway_delay(ReplicaId replica, Duration delay, TimePoint now) {
@@ -62,6 +69,7 @@ void InfoRepository::record_gateway_delay(ReplicaId replica, Duration delay, Tim
   record.gateway_window.push(delay);
   record.shared_generation = ++generation_counter_;
   record.last_update = now;
+  if (gateway_delays_counter_ != nullptr) gateway_delays_counter_->add();
 }
 
 ReplicaObservation InfoRepository::observe(ReplicaId replica, const std::string& method) const {
@@ -107,6 +115,21 @@ bool InfoRepository::cold(const std::string& method) const {
     if (mit != record.methods.end() && !mit->second.service.empty()) return false;
   }
   return true;
+}
+
+void InfoRepository::set_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    perf_samples_counter_ = nullptr;
+    gateway_delays_counter_ = nullptr;
+    replicas_added_counter_ = nullptr;
+    replicas_removed_counter_ = nullptr;
+    return;
+  }
+  auto& metrics = telemetry->metrics();
+  perf_samples_counter_ = &metrics.counter("repository.perf_samples");
+  gateway_delays_counter_ = &metrics.counter("repository.gateway_delays");
+  replicas_added_counter_ = &metrics.counter("repository.replicas_added");
+  replicas_removed_counter_ = &metrics.counter("repository.replicas_removed");
 }
 
 }  // namespace aqua::core

@@ -23,6 +23,11 @@
 #include "core/replica_stats.h"
 #include "stats/sliding_window.h"
 
+namespace aqua::obs {
+class Counter;
+class Telemetry;
+}  // namespace aqua::obs
+
 namespace aqua::core {
 
 struct RepositoryConfig {
@@ -92,6 +97,12 @@ class InfoRepository {
 
   [[nodiscard]] std::size_t window_size() const { return config_.window_size; }
 
+  /// Count harvest traffic into `telemetry` (repository.perf_samples,
+  /// repository.gateway_delays, repository.replicas_added / _removed)
+  /// from now on. Null detaches. Counters are shared across handlers
+  /// attached to one Telemetry, so they aggregate gateway-wide.
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
   struct MethodHistory {
     stats::SlidingWindow<Duration> service;
@@ -119,6 +130,12 @@ class InfoRepository {
   RepositoryConfig config_;
   std::map<ReplicaId, Record> records_;
   std::uint64_t generation_counter_ = 0;
+
+  /// Null unless telemetry is attached (one-branch discipline).
+  obs::Counter* perf_samples_counter_ = nullptr;
+  obs::Counter* gateway_delays_counter_ = nullptr;
+  obs::Counter* replicas_added_counter_ = nullptr;
+  obs::Counter* replicas_removed_counter_ = nullptr;
 };
 
 }  // namespace aqua::core

@@ -1,5 +1,7 @@
 #include "core/model_cache.h"
 
+#include "obs/telemetry.h"
+
 namespace aqua::core {
 
 const stats::EmpiricalPmf* ModelCache::find(const ModelConfig& config,
@@ -8,9 +10,11 @@ const stats::EmpiricalPmf* ModelCache::find(const ModelConfig& config,
   if (it != entries_.end() && it->second.generation == obs.generation &&
       it->second.config == config) {
     ++stats_.hits;
+    if (hits_counter_ != nullptr) hits_counter_->add();
     return &it->second.pmf;
   }
   ++stats_.misses;
+  if (misses_counter_ != nullptr) misses_counter_->add();
   return nullptr;
 }
 
@@ -18,7 +22,10 @@ const stats::EmpiricalPmf& ModelCache::store(const ModelConfig& config,
                                              const ReplicaObservation& obs,
                                              stats::EmpiricalPmf pmf) {
   auto [it, inserted] = entries_.try_emplace({obs.id, obs.method});
-  if (!inserted) ++stats_.invalidations;
+  if (!inserted) {
+    ++stats_.invalidations;
+    if (invalidations_counter_ != nullptr) invalidations_counter_->add();
+  }
   it->second.generation = obs.generation;
   it->second.config = config;
   it->second.pmf = std::move(pmf);
@@ -27,15 +34,35 @@ const stats::EmpiricalPmf& ModelCache::store(const ModelConfig& config,
 
 void ModelCache::invalidate(ReplicaId replica) {
   auto it = entries_.lower_bound({replica, std::string{}});
+  std::uint64_t dropped = 0;
   while (it != entries_.end() && it->first.first == replica) {
     it = entries_.erase(it);
-    ++stats_.evictions;
+    ++dropped;
   }
+  stats_.evictions += dropped;
+  if (evictions_counter_ != nullptr && dropped > 0) evictions_counter_->add(dropped);
 }
 
 void ModelCache::clear() {
-  stats_.evictions += entries_.size();
+  const auto dropped = static_cast<std::uint64_t>(entries_.size());
+  stats_.evictions += dropped;
+  if (evictions_counter_ != nullptr && dropped > 0) evictions_counter_->add(dropped);
   entries_.clear();
+}
+
+void ModelCache::set_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    hits_counter_ = nullptr;
+    misses_counter_ = nullptr;
+    invalidations_counter_ = nullptr;
+    evictions_counter_ = nullptr;
+    return;
+  }
+  auto& metrics = telemetry->metrics();
+  hits_counter_ = &metrics.counter("model_cache.hits");
+  misses_counter_ = &metrics.counter("model_cache.misses");
+  invalidations_counter_ = &metrics.counter("model_cache.invalidations");
+  evictions_counter_ = &metrics.counter("model_cache.evictions");
 }
 
 }  // namespace aqua::core

@@ -34,6 +34,11 @@
 #include "core/response_time_model.h"
 #include "stats/empirical_pmf.h"
 
+namespace aqua::obs {
+class Counter;
+class Telemetry;
+}  // namespace aqua::obs
+
 namespace aqua::core {
 
 /// Cumulative effectiveness counters; the overhead model reads the
@@ -71,6 +76,12 @@ class ModelCache {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const ModelCacheStats& stats() const { return stats_; }
 
+  /// Mirror the stats counters into `telemetry` (metric names
+  /// model_cache.hits / .misses / .invalidations / .evictions) from now
+  /// on. Null detaches; metric pointers are resolved once here, so the
+  /// per-lookup cost is one branch plus a relaxed add.
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
   struct Entry {
     std::uint64_t generation = 0;
@@ -80,6 +91,12 @@ class ModelCache {
 
   std::map<std::pair<ReplicaId, std::string>, Entry> entries_;
   ModelCacheStats stats_;
+
+  /// Null unless telemetry is attached (one-branch discipline).
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* invalidations_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
 };
 
 }  // namespace aqua::core

@@ -6,6 +6,7 @@
 
 #include "common/assert.h"
 #include "core/model_cache.h"
+#include "obs/telemetry.h"
 #include "stats/empirical_pmf.h"
 
 namespace aqua::core {
@@ -169,6 +170,41 @@ class AllReplicasPolicy final : public SelectionPolicy {
   std::string name() const override { return "all-replicas"; }
 };
 
+class ObservedPolicy final : public SelectionPolicy {
+ public:
+  ObservedPolicy(PolicyPtr inner, obs::Telemetry* telemetry) : inner_(std::move(inner)) {
+    AQUA_REQUIRE(inner_ != nullptr, "observed policy requires an inner policy");
+    if (telemetry != nullptr) {
+      auto& metrics = telemetry->metrics();
+      calls_ = &metrics.counter("select.calls");
+      cold_starts_ = &metrics.counter("select.cold_starts");
+      infeasible_ = &metrics.counter("select.infeasible");
+      redundancy_ = &metrics.histogram("select.redundancy");
+    }
+  }
+
+  SelectionResult select(std::span<const ReplicaObservation> observations, const QosSpec& qos,
+                         Duration overhead_delta, Rng& rng) override {
+    SelectionResult result = inner_->select(observations, qos, overhead_delta, rng);
+    if (calls_ != nullptr) {
+      calls_->add();
+      if (result.cold_start) cold_starts_->add();
+      if (!result.feasible && !result.cold_start) infeasible_->add();
+      redundancy_->record_value(static_cast<std::int64_t>(result.redundancy()));
+    }
+    return result;
+  }
+
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  PolicyPtr inner_;
+  obs::Counter* calls_ = nullptr;
+  obs::Counter* cold_starts_ = nullptr;
+  obs::Counter* infeasible_ = nullptr;
+  obs::Histogram* redundancy_ = nullptr;
+};
+
 class StaticKPolicy final : public SelectionPolicy {
  public:
   StaticKPolicy(std::size_t k, ModelConfig model) : k_(k), model_(model) {}
@@ -235,6 +271,10 @@ PolicyPtr make_all_replicas_policy() { return std::make_unique<AllReplicasPolicy
 PolicyPtr make_static_k_policy(std::size_t k, ModelConfig model) {
   AQUA_REQUIRE(k >= 1, "static policy needs k >= 1");
   return std::make_unique<StaticKPolicy>(k, model);
+}
+
+PolicyPtr make_observed_policy(PolicyPtr inner, obs::Telemetry* telemetry) {
+  return std::make_unique<ObservedPolicy>(std::move(inner), telemetry);
 }
 
 }  // namespace aqua::core

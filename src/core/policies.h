@@ -15,6 +15,10 @@
 #include "common/rng.h"
 #include "core/selection.h"
 
+namespace aqua::obs {
+class Telemetry;
+}  // namespace aqua::obs
+
 namespace aqua::core {
 
 class SelectionPolicy {
@@ -59,5 +63,13 @@ PolicyPtr make_all_replicas_policy();
 /// The k replicas with the highest F_Ri(t) regardless of the client's
 /// probability request (static redundancy baseline).
 PolicyPtr make_static_k_policy(std::size_t k, ModelConfig model = {});
+
+/// Transparent telemetry decorator: forwards every select() to `inner`
+/// unchanged (same result, same rng draws, same name()) and mirrors the
+/// outcome into `telemetry` — counters select.calls / select.cold_starts
+/// / select.infeasible plus the select.redundancy histogram. With a null
+/// telemetry the per-selection cost is one branch, so benches can
+/// measure the disabled path against the bare policy.
+PolicyPtr make_observed_policy(PolicyPtr inner, obs::Telemetry* telemetry);
 
 }  // namespace aqua::core

@@ -68,6 +68,7 @@ SelectionResult ReplicaSelector::select(std::span<const ReplicaObservation> obse
   // intent (the excluded top members are the worst-case crash victims).
   const std::size_t protected_count =
       std::min(config_.crash_tolerance, result.ranked.size() - 1);
+  result.protected_count = protected_count;
 
   // Lines 6-14: grow the candidate set X from the remaining replicas
   // until P_X(t) >= P_c(t).

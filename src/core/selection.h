@@ -93,6 +93,10 @@ struct SelectionResult {
   /// selected to bootstrap measurements (§5.4.1).
   bool cold_start = false;
 
+  /// Number of top-ranked replicas held out of the feasibility test by
+  /// the crash-tolerance rule (the generalised m0; 0 on cold start).
+  std::size_t protected_count = 0;
+
   /// Replicas sorted by decreasing F_Ri(t - delta) (diagnostics).
   std::vector<RankedReplica> ranked;
 

@@ -7,6 +7,7 @@ namespace aqua::gateway {
 AquaSystem::AquaSystem(SystemConfig config)
     : config_(config), root_rng_(config.seed) {
   lan_ = std::make_unique<net::Lan>(simulator_, root_rng_.fork("lan"), config_.lan);
+  if (config_.telemetry != nullptr) lan_->set_telemetry(config_.telemetry);
 }
 
 net::MulticastGroup& AquaSystem::service(const std::string& name) {
@@ -28,6 +29,7 @@ replica::ReplicaServer& AquaSystem::add_replica(replica::ServiceModelPtr service
 replica::ReplicaServer& AquaSystem::add_replica_on(HostId host,
                                                    replica::ServiceModelPtr service_model,
                                                    replica::ReplicaConfig config) {
+  if (config.telemetry == nullptr) config.telemetry = config_.telemetry;
   const ReplicaId id = replica_ids_.next();
   replicas_.push_back(std::make_unique<replica::ReplicaServer>(
       simulator_, *lan_, service(kDefaultService), id, host, std::move(service_model),
@@ -38,6 +40,7 @@ replica::ReplicaServer& AquaSystem::add_replica_on(HostId host,
 replica::ReplicaServer& AquaSystem::add_service_replica(const std::string& service_name,
                                                         replica::ServiceModelPtr service_model,
                                                         replica::ReplicaConfig config) {
+  if (config.telemetry == nullptr) config.telemetry = config_.telemetry;
   const ReplicaId id = replica_ids_.next();
   replicas_.push_back(std::make_unique<replica::ReplicaServer>(
       simulator_, *lan_, service(service_name), id, host_ids_.next(), std::move(service_model),
@@ -54,6 +57,7 @@ ClientApp& AquaSystem::add_client(core::QosSpec qos, ClientWorkload workload,
 ClientApp& AquaSystem::add_service_client(const std::string& service_name, core::QosSpec qos,
                                           ClientWorkload workload, HandlerConfig config,
                                           core::PolicyPtr policy) {
+  if (config.telemetry == nullptr) config.telemetry = config_.telemetry;
   const ClientId id = client_ids_.next();
   const HostId host = host_ids_.next();
   Client client;

@@ -26,12 +26,22 @@
 #include "sim/simulator.h"
 #include "trace/report.h"
 
+namespace aqua::obs {
+class Telemetry;
+}  // namespace aqua::obs
+
 namespace aqua::gateway {
 
 struct SystemConfig {
   std::uint64_t seed = 1;
   net::LanConfig lan;
   net::GroupConfig group;
+
+  /// Optional telemetry hub (non-owning; must outlive the system). When
+  /// set it is attached to the LAN and becomes the default for every
+  /// replica and client added later (a config passed to add_* with its
+  /// own telemetry pointer wins). Null disables all instrumentation.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Name of the service used by the single-service convenience overloads.

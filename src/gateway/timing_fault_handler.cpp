@@ -5,6 +5,7 @@
 
 #include "common/assert.h"
 #include "common/log.h"
+#include "obs/telemetry.h"
 
 namespace aqua::gateway {
 
@@ -36,8 +37,27 @@ TimingFaultHandler::TimingFaultHandler(sim::Simulator& simulator, net::Lan& lan,
       policy_(policy ? std::move(policy)
                      : core::make_dynamic_policy(config_.selection, config_.model, model_cache_)),
       repository_(config_.repository),
-      tracker_(config_.failure_tracker) {
+      tracker_(config_.failure_tracker),
+      obs_(config_.telemetry) {
   qos_.validate();
+  if (obs_ != nullptr) {
+    auto& metrics = obs_->metrics();
+    requests_counter_ = &metrics.counter("gateway.requests");
+    probes_counter_ = &metrics.counter("gateway.probes");
+    replies_counter_ = &metrics.counter("gateway.replies");
+    timely_counter_ = &metrics.counter("gateway.timely");
+    timing_failures_counter_ = &metrics.counter("gateway.timing_failures");
+    redispatches_counter_ = &metrics.counter("gateway.redispatches");
+    qos_violations_counter_ = &metrics.counter("gateway.qos_violations");
+    replicas_evicted_counter_ = &metrics.counter("gateway.replicas_evicted");
+    response_time_histogram_ = &metrics.histogram("gateway.response_time_us");
+    selection_delta_histogram_ = &metrics.histogram("gateway.selection_delta_us");
+    // The select.* counters ride on the policy decorator; the cache and
+    // repository mirror their own counters from here on.
+    policy_ = core::make_observed_policy(std::move(policy_), obs_);
+    model_cache_->set_telemetry(obs_);
+    repository_.set_telemetry(obs_);
+  }
   endpoint_ = lan_.create_endpoint(
       host, [this](EndpointId from, const net::Payload& m) { on_receive(from, m); });
   group_.join(endpoint_);
@@ -120,6 +140,7 @@ void TimingFaultHandler::send_probe(ReplicaId replica) {
   simulator_.schedule_at(now + qos_.deadline * 10, [this, id] { erase_pending(id); });
 
   ++probes_sent_;
+  if (probes_counter_ != nullptr) probes_counter_->add();
   AQUA_LOG_DEBUG << "handler " << client_.value() << ": probing stale replica "
                  << replica.value();
   proto::Request request{id, client_, core::kDefaultMethod, 0};
@@ -132,6 +153,7 @@ RequestId TimingFaultHandler::invoke(std::int64_t argument, ReplyCallback on_rep
   AQUA_REQUIRE(on_reply != nullptr, "reply callback must be callable");
   const RequestId id = request_ids_.next();
   const TimePoint t0 = simulator_.now();
+  if (requests_counter_ != nullptr) requests_counter_->add();
 
   history_.push_back(RequestRecord{});
   RequestRecord& record = history_.back();
@@ -214,6 +236,10 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
   const Duration selection_cost =
       config_.overhead.selection_cost(convolved, cached, repository_.window_size());
   overhead_.record(config_.overhead.interception + selection_cost);
+  if (selection_delta_histogram_ != nullptr) {
+    selection_delta_histogram_->record(config_.overhead.interception + selection_cost);
+    if (redispatch) redispatches_counter_->add();
+  }
 
   // Repository bootstrap: replicas with no recorded history yet ride
   // along on every request (whatever the policy chose) so their windows
@@ -235,6 +261,57 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
   record.feasible = selection.feasible;
   record.predicted_probability = selection.predicted_probability;
   record.redispatched = redispatch;
+
+  // Selection explainability record: every replica as Algorithm 1 saw
+  // it, plus the achieved-vs-requested probability and the cache split.
+  if (obs_ != nullptr && obs_->selection_traces_enabled()) {
+    obs::SelectionTrace trace;
+    trace.client = client_;
+    trace.request = id;
+    trace.at = simulator_.now();
+    trace.redispatch = redispatch;
+    trace.deadline = pending.qos.deadline;
+    trace.requested_probability = pending.qos.min_probability;
+    trace.overhead_delta = delta_used;
+    trace.cold_start = selection.cold_start;
+    trace.feasible = selection.feasible;
+    trace.fallback_to_all =
+        !selection.feasible && !selection.cold_start &&
+        config_.selection.infeasible_fallback == core::InfeasibleFallback::kAllReplicas;
+    trace.protected_count = selection.protected_count;
+    trace.test_probability = selection.test_probability;
+    trace.predicted_probability = selection.predicted_probability;
+    trace.redundancy = selected.size();
+    trace.cache_hits = cache_after.hits - cache_before.hits;
+    trace.cache_misses = cache_after.misses - cache_before.misses;
+    trace.replicas.reserve(observations.size());
+    for (std::size_t i = 0; i < selection.ranked.size(); ++i) {
+      const core::RankedReplica& ranked = selection.ranked[i];
+      obs::SelectionReplicaTrace row;
+      row.replica = ranked.id;
+      row.rank = i;
+      row.probability = ranked.probability;
+      row.has_data = ranked.has_data;
+      row.selected =
+          std::find(selected.begin(), selected.end(), ranked.id) != selected.end();
+      row.protected_member = i < selection.protected_count;
+      trace.replicas.push_back(row);
+    }
+    // Dataless replicas never enter the ranking; list the selected ones
+    // after it so the dispatched set K is fully accounted for.
+    for (ReplicaId id_selected : selected) {
+      const bool ranked_member =
+          std::any_of(selection.ranked.begin(), selection.ranked.end(),
+                      [id_selected](const core::RankedReplica& r) { return r.id == id_selected; });
+      if (ranked_member) continue;
+      obs::SelectionReplicaTrace row;
+      row.replica = id_selected;
+      row.rank = trace.replicas.size();
+      row.selected = true;
+      trace.replicas.push_back(row);
+    }
+    obs_->record_selection(std::move(trace));
+  }
 
   // The selection computation itself elapses before transmission (t1).
   simulator_.schedule_after(selection_cost, [this, id, selected = std::move(selected)] {
@@ -273,6 +350,7 @@ void TimingFaultHandler::on_receive(EndpointId, const net::Payload& message) {
 
 void TimingFaultHandler::handle_reply(const proto::Reply& reply) {
   const TimePoint t4 = simulator_.now();
+  if (replies_counter_ != nullptr) replies_counter_->add();
   const core::PerfSample sample{reply.perf.service_time, reply.perf.queuing_delay,
                                 reply.perf.queue_length};
   // Every reply, first or redundant, refreshes the repository (§5.4.1).
@@ -285,10 +363,10 @@ void TimingFaultHandler::handle_reply(const proto::Reply& reply) {
   PendingRequest& pending = it->second;
 
   // t_d = t4 - t1 - t_q - t_s: the two-way gateway-to-gateway delay.
+  const Duration td = std::max(
+      Duration::zero(), t4 - pending.t1 - reply.perf.queuing_delay - reply.perf.service_time);
   if (replica_endpoints_.contains(reply.replica)) {
-    const Duration td =
-        t4 - pending.t1 - reply.perf.queuing_delay - reply.perf.service_time;
-    repository_.record_gateway_delay(reply.replica, std::max(Duration::zero(), td), t4);
+    repository_.record_gateway_delay(reply.replica, td, t4);
   }
 
   remove_awaiting(pending, reply.replica);
@@ -299,9 +377,30 @@ void TimingFaultHandler::handle_reply(const proto::Reply& reply) {
     const bool timely = tr <= pending.qos.deadline;
     RequestRecord& record = history_[pending.record_index];
     record.response_time = tr;
+    // Stash the first reply's perf triple for the telemetry trace before
+    // the outcome is recorded (emit_request_trace reads it).
+    pending.t4 = t4;
+    pending.first_service = reply.perf.service_time;
+    pending.first_queuing = reply.perf.queuing_delay;
+    pending.first_gateway = td;
+    pending.first_replica = reply.replica;
+    if (response_time_histogram_ != nullptr && !pending.is_probe) {
+      response_time_histogram_->record(tr);
+    }
     if (!pending.outcome_recorded && !pending.is_probe) {
       pending.deadline_timer.cancel();
       record_outcome(pending, timely);
+    } else if (obs_ != nullptr) {
+      if (pending.is_probe) {
+        // Probes never pass through record_outcome; trace them on reply.
+        emit_request_trace(pending, timely);
+      } else if (pending.trace_recorded) {
+        // Late first reply: the deadline already decided the outcome and
+        // emitted the trace — amend it in place, exactly like
+        // RequestRecord::response_time above.
+        obs_->amend_request(pending.trace_seq, t4, tr, reply.replica,
+                            reply.perf.service_time, reply.perf.queuing_delay, td);
+      }
     }
     ReplyInfo info{reply.request, reply.replica, reply.result, tr, timely};
     if (pending.on_reply) pending.on_reply(info);
@@ -340,9 +439,9 @@ void TimingFaultHandler::handle_announce(const proto::Announce& announce) {
       if (!pending.dispatched && !pending.delivered) parked.push_back(id);
     }
     for (RequestId id : parked) {
-      auto it = pending_.find(id);
-      if (it != pending_.end() && !it->second.dispatched) {
-        dispatch(id, it->second, /*redispatch=*/false);
+      auto pit = pending_.find(id);
+      if (pit != pending_.end() && !pit->second.dispatched) {
+        dispatch(id, pit->second, /*redispatch=*/false);
       }
     }
   });
@@ -360,6 +459,12 @@ void TimingFaultHandler::on_view_change(const net::View&, std::span<const Endpoi
     endpoint_replicas_.erase(it);
   }
   if (dead.empty()) return;
+  if (replicas_evicted_counter_ != nullptr) {
+    replicas_evicted_counter_->add(dead.size());
+    obs_->annotate(simulator_.now(), "view_change",
+                   "client-" + std::to_string(client_.value()) + " evicted " +
+                       std::to_string(dead.size()) + " replica(s)");
+  }
 
   std::vector<RequestId> to_redispatch;
   for (auto& [id, pending] : pending_) {
@@ -382,13 +487,54 @@ void TimingFaultHandler::record_outcome(PendingRequest& pending, bool timely) {
   pending.outcome_recorded = true;
   history_[pending.record_index].timely = timely;
   tracker_.record(timely);
+  if (timely_counter_ != nullptr) {
+    (timely ? timely_counter_ : timing_failures_counter_)->add();
+  }
+  if (obs_ != nullptr) emit_request_trace(pending, timely);
   const bool violating = tracker_.violates(pending.qos.min_probability);
   if (violating && !violation_reported_) {
     violation_reported_ = true;
+    if (qos_violations_counter_ != nullptr) {
+      qos_violations_counter_->add();
+      obs_->annotate(simulator_.now(), "qos_violation",
+                     "client-" + std::to_string(client_.value()));
+    }
     if (on_violation_) on_violation_(tracker_.timely_fraction());
   } else if (!violating) {
     violation_reported_ = false;  // re-arm after recovery
   }
+}
+
+/// Build the request lifecycle trace from the history record + pending
+/// state. Called exactly once per decided request: from record_outcome
+/// for client requests (at min(first reply, deadline)) and from
+/// handle_reply for answered probes.
+void TimingFaultHandler::emit_request_trace(PendingRequest& pending, bool timely) {
+  const RequestRecord& record = history_[pending.record_index];
+  obs::RequestTrace trace;
+  trace.client = client_;
+  trace.request = record.request;
+  trace.probe = pending.is_probe;
+  trace.t0 = record.intercepted_at;
+  trace.t1 = record.transmitted_at;
+  trace.deadline = pending.qos.deadline;
+  trace.min_probability = pending.qos.min_probability;
+  trace.redundancy = record.redundancy;
+  trace.cold_start = record.cold_start;
+  trace.feasible = record.feasible;
+  trace.redispatched = record.redispatched;
+  trace.timely = timely;
+  if (pending.delivered) {
+    trace.answered = true;
+    trace.t4 = pending.t4;
+    trace.response_time = record.response_time;
+    trace.service_time = pending.first_service;
+    trace.queuing_delay = pending.first_queuing;
+    trace.gateway_delay = pending.first_gateway;
+    trace.first_replica = pending.first_replica;
+  }
+  pending.trace_seq = obs_->record_request(std::move(trace));
+  pending.trace_recorded = true;
 }
 
 void TimingFaultHandler::finish_if_complete(RequestId id) {

@@ -40,6 +40,12 @@
 #include "sim/periodic.h"
 #include "sim/simulator.h"
 
+namespace aqua::obs {
+class Counter;
+class Histogram;
+class Telemetry;
+}  // namespace aqua::obs
+
 namespace aqua::gateway {
 
 /// Cost model for the handler's own processing, charged in simulated time
@@ -97,6 +103,16 @@ struct HandlerConfig {
   /// but never count toward the client's timing statistics. Zero
   /// disables probing.
   Duration probe_staleness = Duration::zero();
+
+  /// Optional telemetry hub (non-owning; must outlive the handler).
+  /// When set, the handler mirrors its request lifecycle into gateway.*
+  /// metrics, emits one obs::RequestTrace per decided request and one
+  /// obs::SelectionTrace per Algorithm-1 run, wraps the policy in the
+  /// observed decorator, and attaches the model cache + repository
+  /// counters. Null (the default) keeps every instrumented site at one
+  /// branch and never perturbs the simulation: telemetry schedules no
+  /// events and draws no randomness.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Delivered to the client application for the first reply of a request.
@@ -197,6 +213,18 @@ class TimingFaultHandler {
     bool outcome_recorded = false;
     bool is_probe = false;
     sim::EventHandle deadline_timer;
+
+    /// First reply's perf triple, stashed for the telemetry trace.
+    TimePoint t4{};
+    Duration first_service{};
+    Duration first_queuing{};
+    Duration first_gateway{};
+    ReplicaId first_replica{};
+
+    /// Sequence of the emitted obs::RequestTrace, for the late-reply
+    /// amendment (valid while trace_recorded).
+    std::uint64_t trace_seq = 0;
+    bool trace_recorded = false;
   };
 
   void on_receive(EndpointId from, const net::Payload& message);
@@ -206,6 +234,7 @@ class TimingFaultHandler {
   void on_view_change(const net::View& view, std::span<const EndpointId> departed);
   void dispatch(RequestId id, PendingRequest& pending, bool redispatch);
   void record_outcome(PendingRequest& pending, bool timely);
+  void emit_request_trace(PendingRequest& pending, bool timely);
   void finish_if_complete(RequestId id);
   void probe_stale_replicas();
   void send_probe(ReplicaId replica);
@@ -243,6 +272,21 @@ class TimingFaultHandler {
   sim::PeriodicTask probe_task_;
   bool violation_reported_ = false;
   std::uint64_t probes_sent_ = 0;
+
+  /// Telemetry wiring: obs_ mirrors config_.telemetry; the metric
+  /// pointers are resolved once in the constructor and stay null when
+  /// telemetry is disabled (one-branch discipline on every hot site).
+  obs::Telemetry* obs_ = nullptr;
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* probes_counter_ = nullptr;
+  obs::Counter* replies_counter_ = nullptr;
+  obs::Counter* timely_counter_ = nullptr;
+  obs::Counter* timing_failures_counter_ = nullptr;
+  obs::Counter* redispatches_counter_ = nullptr;
+  obs::Counter* qos_violations_counter_ = nullptr;
+  obs::Counter* replicas_evicted_counter_ = nullptr;
+  obs::Histogram* response_time_histogram_ = nullptr;
+  obs::Histogram* selection_delta_histogram_ = nullptr;
 };
 
 }  // namespace aqua::gateway

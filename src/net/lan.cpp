@@ -5,6 +5,7 @@
 
 #include "common/assert.h"
 #include "common/log.h"
+#include "obs/telemetry.h"
 
 namespace aqua::net {
 
@@ -70,18 +71,22 @@ void Lan::deliver(EndpointId from, EndpointId to, Payload message, std::size_t f
   auto src_it = endpoints_.find(from);
   AQUA_REQUIRE(src_it != endpoints_.end(), "unicast from unknown endpoint");
   ++sent_;
+  if (sent_counter_ != nullptr) sent_counter_->add();
   if (!host_alive(src_it->second.host)) {
     ++dropped_;  // the sending process is gone
+    if (dropped_counter_ != nullptr) dropped_counter_->add();
     return;
   }
   auto dst_it = endpoints_.find(to);
   if (dst_it == endpoints_.end()) {
     ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->add();
     return;
   }
   if (config_.loss_rate > 0.0 && src_it->second.host != dst_it->second.host &&
       rng_.bernoulli(config_.loss_rate)) {
     ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->add();
     return;
   }
   Duration fault_delay = Duration::zero();
@@ -90,12 +95,15 @@ void Lan::deliver(EndpointId from, EndpointId to, Payload message, std::size_t f
     if (verdict.drop) {
       ++dropped_;
       ++fault_dropped_;
+      if (dropped_counter_ != nullptr) dropped_counter_->add();
+      if (fault_dropped_counter_ != nullptr) fault_dropped_counter_->add();
       return;
     }
     fault_delay = std::max(Duration::zero(), verdict.extra_delay);
   }
   const Duration delay =
       sample_delay(src_it->second, dst_it->second, message.wire_bytes(), fanout) + fault_delay;
+  if (delay_histogram_ != nullptr) delay_histogram_->record(delay);
   TimePoint deliver_at = simulator_.now() + delay;
   if (config_.fifo_per_pair) {
     // Ensemble is FIFO per sender: never schedule a delivery before an
@@ -108,9 +116,11 @@ void Lan::deliver(EndpointId from, EndpointId to, Payload message, std::size_t f
     auto it = endpoints_.find(to);
     if (it == endpoints_.end() || !host_alive(it->second.host)) {
       ++dropped_;
+      if (dropped_counter_ != nullptr) dropped_counter_->add();
       return;
     }
     ++delivered_;
+    if (delivered_counter_ != nullptr) delivered_counter_->add();
     it->second.on_receive(from, message);
   });
 }
@@ -144,6 +154,26 @@ Duration Lan::sample_delay(const Endpoint& src, const Endpoint& dst, std::int64_
 void Lan::force_spike(double delay_factor) {
   AQUA_REQUIRE(delay_factor >= 1.0, "forced spike factor must be >= 1");
   spike_override_ = delay_factor;
+  if (spikes_counter_ != nullptr) spikes_counter_->add();
+}
+
+void Lan::set_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    sent_counter_ = nullptr;
+    delivered_counter_ = nullptr;
+    dropped_counter_ = nullptr;
+    fault_dropped_counter_ = nullptr;
+    spikes_counter_ = nullptr;
+    delay_histogram_ = nullptr;
+    return;
+  }
+  auto& metrics = telemetry->metrics();
+  sent_counter_ = &metrics.counter("lan.sent");
+  delivered_counter_ = &metrics.counter("lan.delivered");
+  dropped_counter_ = &metrics.counter("lan.dropped");
+  fault_dropped_counter_ = &metrics.counter("lan.fault_dropped");
+  spikes_counter_ = &metrics.counter("lan.spikes");
+  delay_histogram_ = &metrics.histogram("lan.delay_us");
 }
 
 void Lan::schedule_next_spike() {
@@ -151,6 +181,7 @@ void Lan::schedule_next_spike() {
       std::llround(rng_.exponential(static_cast<double>(count_us(config_.spike.mean_interval)))))};
   simulator_.schedule_after(gap, [this] {
     spike_active_ = true;
+    if (spikes_counter_ != nullptr) spikes_counter_->add();
     AQUA_LOG_DEBUG << "lan: traffic spike begins at " << to_string(simulator_.now());
     const Duration len{static_cast<std::int64_t>(std::llround(
         rng_.exponential(static_cast<double>(count_us(config_.spike.mean_duration)))))};

@@ -31,6 +31,12 @@
 #include "net/payload.h"
 #include "sim/simulator.h"
 
+namespace aqua::obs {
+class Counter;
+class Histogram;
+class Telemetry;
+}  // namespace aqua::obs
+
 namespace aqua::net {
 
 struct SpikeConfig {
@@ -136,6 +142,12 @@ class Lan {
   /// consulted before every delivery is scheduled.
   void set_message_filter(MessageFilterFn filter) { message_filter_ = std::move(filter); }
 
+  /// Mirror message counters into `telemetry` (lan.sent / lan.delivered /
+  /// lan.dropped / lan.fault_dropped / lan.spikes plus the lan.delay_us
+  /// histogram of sampled one-way delays). Null detaches; the disabled
+  /// path costs one branch per message.
+  void set_telemetry(obs::Telemetry* telemetry);
+
   /// Counters for tests and reports.
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
@@ -171,6 +183,14 @@ class Lan {
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t fault_dropped_ = 0;
+
+  /// Null unless telemetry is attached (one-branch discipline).
+  obs::Counter* sent_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* fault_dropped_counter_ = nullptr;
+  obs::Counter* spikes_counter_ = nullptr;
+  obs::Histogram* delay_histogram_ = nullptr;
 };
 
 }  // namespace aqua::net

@@ -1,0 +1,372 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/csv.h"
+
+namespace aqua::obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+// Minimal hand-rolled JSON writer: enough for flat snapshot documents,
+// locale-independent, no dependency.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+void write_metrics_object(std::ostream& out, const Telemetry& telemetry) {
+  const MetricsRegistry& registry = telemetry.metrics();
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.counters()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : registry.gauges()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << json_number(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : registry.histograms()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(h.name) << "\":{\"count\":" << h.count
+        << ",\"sum_us\":" << h.sum_us << ",\"mean_us\":" << json_number(h.mean_us)
+        << ",\"p50_us\":" << h.p50_us << ",\"p90_us\":" << h.p90_us
+        << ",\"p99_us\":" << h.p99_us << ",\"p999_us\":" << h.p999_us
+        << ",\"max_us\":" << h.max_us << '}';
+  }
+  out << "}}";
+}
+
+void write_request_json(std::ostream& out, const RequestTrace& t) {
+  out << "{\"client\":" << t.client.value() << ",\"request\":" << t.request.value()
+      << ",\"probe\":" << (t.probe ? "true" : "false") << ",\"t0_us\":" << count_us(t.t0)
+      << ",\"t1_us\":" << count_us(t.t1) << ",\"deadline_us\":" << count_us(t.deadline)
+      << ",\"min_probability\":" << json_number(t.min_probability)
+      << ",\"redundancy\":" << t.redundancy
+      << ",\"cold_start\":" << (t.cold_start ? "true" : "false")
+      << ",\"feasible\":" << (t.feasible ? "true" : "false")
+      << ",\"redispatched\":" << (t.redispatched ? "true" : "false")
+      << ",\"answered\":" << (t.answered ? "true" : "false")
+      << ",\"timely\":" << (t.timely ? "true" : "false");
+  if (t.t4.has_value()) out << ",\"t4_us\":" << count_us(*t.t4);
+  if (t.response_time.has_value()) out << ",\"response_us\":" << count_us(*t.response_time);
+  if (t.answered) {
+    out << ",\"service_us\":" << count_us(t.service_time)
+        << ",\"queuing_us\":" << count_us(t.queuing_delay)
+        << ",\"gateway_us\":" << count_us(t.gateway_delay)
+        << ",\"first_replica\":" << t.first_replica.value();
+  }
+  out << '}';
+}
+
+void write_selection_json(std::ostream& out, const SelectionTrace& t) {
+  out << "{\"client\":" << t.client.value() << ",\"request\":" << t.request.value()
+      << ",\"at_us\":" << count_us(t.at)
+      << ",\"redispatch\":" << (t.redispatch ? "true" : "false")
+      << ",\"deadline_us\":" << count_us(t.deadline)
+      << ",\"requested_probability\":" << json_number(t.requested_probability)
+      << ",\"delta_us\":" << count_us(t.overhead_delta)
+      << ",\"cold_start\":" << (t.cold_start ? "true" : "false")
+      << ",\"feasible\":" << (t.feasible ? "true" : "false")
+      << ",\"fallback_to_all\":" << (t.fallback_to_all ? "true" : "false")
+      << ",\"protected_count\":" << t.protected_count
+      << ",\"test_probability\":" << json_number(t.test_probability)
+      << ",\"predicted_probability\":" << json_number(t.predicted_probability)
+      << ",\"redundancy\":" << t.redundancy << ",\"cache_hits\":" << t.cache_hits
+      << ",\"cache_misses\":" << t.cache_misses << ",\"replicas\":[";
+  bool first = true;
+  for (const SelectionReplicaTrace& r : t.replicas) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"replica\":" << r.replica.value() << ",\"rank\":" << r.rank
+        << ",\"probability\":" << json_number(r.probability)
+        << ",\"has_data\":" << (r.has_data ? "true" : "false")
+        << ",\"selected\":" << (r.selected ? "true" : "false")
+        << ",\"protected\":" << (r.protected_member ? "true" : "false") << '}';
+  }
+  out << "]}";
+}
+
+// ----------------------------------------------------------------- CSV
+
+constexpr int kProbabilityPrecision = 9;
+
+const std::vector<std::string>& request_columns() {
+  static const std::vector<std::string> columns = {
+      "client",     "request",     "probe",        "t0_us",         "t1_us",
+      "deadline_us", "min_probability", "redundancy", "cold_start",  "feasible",
+      "redispatched", "answered",  "timely",       "t4_us",         "response_us",
+      "service_us", "queuing_us",  "gateway_us",   "first_replica"};
+  return columns;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  // The request CSV is purely numeric — no quoting or embedded commas —
+  // so a plain split is exact.
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      return cells;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+std::int64_t parse_i64(const std::string& cell) {
+  std::size_t used = 0;
+  const std::int64_t value = std::stoll(cell, &used);
+  if (used != cell.size()) throw std::runtime_error("bad integer cell: " + cell);
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& cell) {
+  const std::int64_t value = parse_i64(cell);
+  if (value < 0) throw std::runtime_error("negative cell: " + cell);
+  return static_cast<std::uint64_t>(value);
+}
+
+bool parse_bool(const std::string& cell) {
+  if (cell == "1") return true;
+  if (cell == "0") return false;
+  throw std::runtime_error("bad bool cell: " + cell);
+}
+
+}  // namespace
+
+void write_snapshot_json(std::ostream& out, const Telemetry& telemetry) {
+  out << "{\"metrics\":";
+  write_metrics_object(out, telemetry);
+  out << ",\"requests_recorded\":" << telemetry.requests_recorded()
+      << ",\"requests_dropped\":" << telemetry.requests_dropped()
+      << ",\"selections_recorded\":" << telemetry.selections_recorded()
+      << ",\"selections_dropped\":" << telemetry.selections_dropped()
+      << ",\"annotations_dropped\":" << telemetry.annotations_dropped()
+      << ",\"requests\":[";
+  bool first = true;
+  for (const RequestTrace& t : telemetry.request_traces()) {
+    if (!first) out << ',';
+    first = false;
+    write_request_json(out, t);
+  }
+  out << "],\"selections\":[";
+  first = true;
+  for (const SelectionTrace& t : telemetry.selection_traces()) {
+    if (!first) out << ',';
+    first = false;
+    write_selection_json(out, t);
+  }
+  out << "],\"timeline\":[";
+  first = true;
+  const trace::Timeline timeline = telemetry.timeline();
+  for (const trace::TimelineEvent& e : timeline.events()) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"at_us\":" << count_us(e.at) << ",\"kind\":\"" << json_escape(e.kind)
+        << "\",\"detail\":\"" << json_escape(e.detail) << "\"}";
+  }
+  out << "]}\n";
+}
+
+void write_metrics_json(std::ostream& out, const Telemetry& telemetry) {
+  write_metrics_object(out, telemetry);
+}
+
+void write_metrics_csv(std::ostream& out, const Telemetry& telemetry) {
+  using trace::CsvWriter;
+  CsvWriter csv{out};
+  csv.header({"name", "kind", "count", "value", "sum_us", "mean_us", "p50_us", "p90_us",
+              "p99_us", "p999_us", "max_us"});
+  const MetricsRegistry& registry = telemetry.metrics();
+  for (const auto& [name, value] : registry.counters()) {
+    csv.row({name, "counter", "", CsvWriter::cell(value), "", "", "", "", "", "", ""});
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    csv.row({name, "gauge", "", CsvWriter::cell(value, 6), "", "", "", "", "", "", ""});
+  }
+  for (const HistogramSnapshot& h : registry.histograms()) {
+    csv.row({h.name, "histogram", CsvWriter::cell(h.count), "", CsvWriter::cell(h.sum_us),
+             CsvWriter::cell(h.mean_us, 3), CsvWriter::cell(h.p50_us),
+             CsvWriter::cell(h.p90_us), CsvWriter::cell(h.p99_us),
+             CsvWriter::cell(h.p999_us), CsvWriter::cell(h.max_us)});
+  }
+}
+
+void write_requests_csv(std::ostream& out, std::span<const RequestTrace> traces) {
+  using trace::CsvWriter;
+  CsvWriter csv{out};
+  csv.header(request_columns());
+  for (const RequestTrace& t : traces) {
+    csv.row({CsvWriter::cell(t.client.value()), CsvWriter::cell(t.request.value()),
+             t.probe ? "1" : "0", CsvWriter::cell(count_us(t.t0)),
+             CsvWriter::cell(count_us(t.t1)), CsvWriter::cell(count_us(t.deadline)),
+             CsvWriter::cell(t.min_probability, kProbabilityPrecision),
+             CsvWriter::cell(static_cast<std::uint64_t>(t.redundancy)),
+             t.cold_start ? "1" : "0", t.feasible ? "1" : "0", t.redispatched ? "1" : "0",
+             t.answered ? "1" : "0", t.timely ? "1" : "0",
+             t.t4.has_value() ? CsvWriter::cell(count_us(*t.t4)) : std::string{},
+             t.response_time.has_value() ? CsvWriter::cell(count_us(*t.response_time))
+                                         : std::string{},
+             CsvWriter::cell(count_us(t.service_time)),
+             CsvWriter::cell(count_us(t.queuing_delay)),
+             CsvWriter::cell(count_us(t.gateway_delay)),
+             CsvWriter::cell(t.first_replica.value())});
+  }
+}
+
+void write_selections_csv(std::ostream& out, std::span<const SelectionTrace> traces) {
+  using trace::CsvWriter;
+  CsvWriter csv{out};
+  csv.header({"client", "request", "at_us", "redispatch", "deadline_us",
+              "requested_probability", "delta_us", "cold_start", "feasible",
+              "fallback_to_all", "protected_count", "test_probability",
+              "predicted_probability", "redundancy", "cache_hits", "cache_misses",
+              "rank", "replica", "f_probability", "has_data", "selected", "protected"});
+  for (const SelectionTrace& t : traces) {
+    const auto selection_cells = [&t]() -> std::vector<std::string> {
+      return {CsvWriter::cell(t.client.value()), CsvWriter::cell(t.request.value()),
+              CsvWriter::cell(count_us(t.at)), t.redispatch ? "1" : "0",
+              CsvWriter::cell(count_us(t.deadline)),
+              CsvWriter::cell(t.requested_probability, kProbabilityPrecision),
+              CsvWriter::cell(count_us(t.overhead_delta)), t.cold_start ? "1" : "0",
+              t.feasible ? "1" : "0", t.fallback_to_all ? "1" : "0",
+              CsvWriter::cell(static_cast<std::uint64_t>(t.protected_count)),
+              CsvWriter::cell(t.test_probability, kProbabilityPrecision),
+              CsvWriter::cell(t.predicted_probability, kProbabilityPrecision),
+              CsvWriter::cell(static_cast<std::uint64_t>(t.redundancy)),
+              CsvWriter::cell(t.cache_hits), CsvWriter::cell(t.cache_misses)};
+    };
+    if (t.replicas.empty()) {
+      auto cells = selection_cells();
+      cells.insert(cells.end(), {"", "", "", "", "", ""});
+      csv.row(cells);
+      continue;
+    }
+    for (const SelectionReplicaTrace& r : t.replicas) {
+      auto cells = selection_cells();
+      cells.push_back(CsvWriter::cell(static_cast<std::uint64_t>(r.rank)));
+      cells.push_back(CsvWriter::cell(r.replica.value()));
+      cells.push_back(CsvWriter::cell(r.probability, kProbabilityPrecision));
+      cells.push_back(r.has_data ? "1" : "0");
+      cells.push_back(r.selected ? "1" : "0");
+      cells.push_back(r.protected_member ? "1" : "0");
+      csv.row(cells);
+    }
+  }
+}
+
+std::vector<RequestTrace> read_requests_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("request csv: empty input");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  {
+    std::ostringstream expected;
+    for (std::size_t i = 0; i < request_columns().size(); ++i) {
+      if (i > 0) expected << ',';
+      expected << request_columns()[i];
+    }
+    if (line != expected.str()) {
+      throw std::runtime_error("request csv: unexpected header: " + line);
+    }
+  }
+  std::vector<RequestTrace> traces;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_csv_line(line);
+    if (cells.size() != request_columns().size()) {
+      throw std::runtime_error("request csv: bad row width: " + line);
+    }
+    RequestTrace t;
+    t.client = ClientId{parse_u64(cells[0])};
+    t.request = RequestId{parse_u64(cells[1])};
+    t.probe = parse_bool(cells[2]);
+    t.t0 = TimePoint{Duration{parse_i64(cells[3])}};
+    t.t1 = TimePoint{Duration{parse_i64(cells[4])}};
+    t.deadline = Duration{parse_i64(cells[5])};
+    t.min_probability = std::stod(cells[6]);
+    t.redundancy = static_cast<std::size_t>(parse_u64(cells[7]));
+    t.cold_start = parse_bool(cells[8]);
+    t.feasible = parse_bool(cells[9]);
+    t.redispatched = parse_bool(cells[10]);
+    t.answered = parse_bool(cells[11]);
+    t.timely = parse_bool(cells[12]);
+    if (!cells[13].empty()) t.t4 = TimePoint{Duration{parse_i64(cells[13])}};
+    if (!cells[14].empty()) t.response_time = Duration{parse_i64(cells[14])};
+    t.service_time = Duration{parse_i64(cells[15])};
+    t.queuing_delay = Duration{parse_i64(cells[16])};
+    t.gateway_delay = Duration{parse_i64(cells[17])};
+    t.first_replica = ReplicaId{parse_u64(cells[18])};
+    traces.push_back(t);
+  }
+  return traces;
+}
+
+trace::ClientRunReport to_run_report(std::span<const RequestTrace> traces, ClientId client,
+                                     std::string label) {
+  trace::ClientRunReport report;
+  report.label = std::move(label);
+  for (const RequestTrace& t : traces) {
+    if (t.client != client) continue;
+    if (t.probe) continue;  // handler-initiated staleness probes
+    // Every recorded trace is decided by construction (the handler
+    // emits at min(first reply, deadline)); aggregate exactly like
+    // gateway::ClientApp::report().
+    ++report.requests;
+    if (t.response_time.has_value()) {
+      ++report.answered;
+      report.response_times_ms.add(to_ms(*t.response_time));
+    }
+    if (!t.timely) ++report.timing_failures;
+    if (t.cold_start) ++report.cold_starts;
+    if (!t.feasible && !t.cold_start) ++report.infeasible_selections;
+    if (t.redispatched) ++report.redispatches;
+    report.redundancy.add(static_cast<double>(t.redundancy));
+  }
+  return report;
+}
+
+}  // namespace aqua::obs

@@ -1,0 +1,58 @@
+// Snapshot exporters: JSON and CSV serializations of a Telemetry
+// instance, plus the parse-back half used by the figure benches.
+//
+// The CSV request dump is a *production data path*, not just debugging
+// output: bench/fig4_selected_replicas and bench/fig5_timing_failures
+// export each run's request traces, parse them back with
+// read_requests_csv, and aggregate through to_run_report — so the
+// paper's figures are one consumer of the same pipeline an operator
+// would scrape. The round trip is covered by tests/obs_export_test.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "obs/records.h"
+#include "obs/telemetry.h"
+#include "trace/report.h"
+
+namespace aqua::obs {
+
+/// Full snapshot as one JSON document: metrics (counters, gauges,
+/// histogram quantiles), ring drop totals, request + selection traces,
+/// and the annotation timeline.
+void write_snapshot_json(std::ostream& out, const Telemetry& telemetry);
+
+/// Metrics-only JSON object (one line, no trailing newline) — the
+/// periodic flusher's per-tick payload.
+void write_metrics_json(std::ostream& out, const Telemetry& telemetry);
+
+/// Metrics as CSV: name,kind,count,value,sum_us,mean_us,p50_us,p90_us,
+/// p99_us,p999_us,max_us (counter/gauge rows leave histogram cells empty).
+void write_metrics_csv(std::ostream& out, const Telemetry& telemetry);
+
+/// One row per decided request.
+void write_requests_csv(std::ostream& out, std::span<const RequestTrace> traces);
+
+/// One row per (selection, replica) pair, selection-level columns
+/// repeated — flat enough for a spreadsheet, complete enough to replay
+/// Algorithm 1's decision.
+void write_selections_csv(std::ostream& out, std::span<const SelectionTrace> traces);
+
+/// Parse-back half of write_requests_csv. Throws std::runtime_error on
+/// a malformed header or row.
+[[nodiscard]] std::vector<RequestTrace> read_requests_csv(std::istream& in);
+
+/// Aggregate request traces into the trace-layer per-client report —
+/// identical math to gateway::ClientApp::report() (probes skipped,
+/// response times in ms, timing failures counted over decided
+/// requests). qos_violation_callbacks is not derivable from request
+/// traces; the caller owns that count.
+[[nodiscard]] trace::ClientRunReport to_run_report(std::span<const RequestTrace> traces,
+                                                   ClientId client, std::string label);
+
+}  // namespace aqua::obs

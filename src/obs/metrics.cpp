@@ -1,0 +1,86 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqua::obs {
+
+std::int64_t Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest value with cumulative count >= ceil(q * n).
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t bin = 0; bin < kBinCount; ++bin) {
+    cumulative += bin_count(bin);
+    if (cumulative >= rank) {
+      return bin == kOverflowBin ? max_value() : bin_upper_bound(bin);
+    }
+  }
+  // Concurrent writers can leave count() ahead of the bin sums for a
+  // moment; fall back to the largest value seen.
+  return max_value();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) out.emplace_back(name, counter->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) out.emplace_back(name, gauge->value());
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::histograms() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) out.push_back(snapshot(name, *histogram));
+  return out;
+}
+
+HistogramSnapshot snapshot(const std::string& name, const Histogram& h) {
+  HistogramSnapshot snap;
+  snap.name = name;
+  snap.count = h.count();
+  snap.sum_us = h.sum();
+  snap.mean_us = h.mean();
+  snap.p50_us = h.quantile(0.50);
+  snap.p90_us = h.quantile(0.90);
+  snap.p99_us = h.quantile(0.99);
+  snap.p999_us = h.quantile(0.999);
+  snap.max_us = h.max_value();
+  return snap;
+}
+
+}  // namespace aqua::obs

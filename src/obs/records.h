@@ -1,0 +1,109 @@
+// Structured per-request trace records.
+//
+// Two record kinds cover the paper's request lifecycle:
+//
+//  - RequestTrace: one per decided request, carrying the lifecycle
+//    timestamps (t0 intercept, t1 transmit, t4 first reply) and the
+//    first reply's harvested performance triple (t_s service time,
+//    t_q queuing delay, t_d two-way gateway delay), plus the outcome
+//    the report layer aggregates (timely, redundancy, cold start, ...).
+//
+//  - SelectionTrace: one per Algorithm-1 run, the explainability
+//    record: every ranked replica's F_Ri(t - delta), the sort order,
+//    who joined the candidate set X, which members were protected by
+//    the crash-tolerance (m0) exclusion, achieved P_X(t) against the
+//    requested P_c(t), model-cache hit/miss deltas, and whether the
+//    handler fell back to the full membership M because the target was
+//    infeasible.
+//
+// Records deliberately use only common-layer types (ids, Duration,
+// TimePoint) so obs never depends on core/gateway — those layers depend
+// on obs, not the other way around.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace aqua::obs {
+
+/// Lifecycle + outcome of one decided client request. A request is
+/// "decided" once its deadline passed or its first reply arrived —
+/// the same predicate trace::ClientRunReport aggregates over.
+struct RequestTrace {
+  ClientId client{};
+  RequestId request{};
+  /// Background probe (paper section 4.3): tracked for harvest volume
+  /// but excluded from failure-rate aggregates.
+  bool probe = false;
+
+  TimePoint t0{};  ///< request intercepted at the gateway
+  TimePoint t1{};  ///< request transmitted to the selected replicas
+  Duration deadline{};
+  double min_probability = 0.0;  ///< requested P_c(t)
+
+  std::size_t redundancy = 0;  ///< |K| actually dispatched
+  bool cold_start = false;
+  bool feasible = false;
+  bool redispatched = false;
+
+  bool answered = false;  ///< first reply observed (possibly late)
+  bool timely = false;    ///< first reply beat the deadline
+  std::optional<TimePoint> t4;        ///< first reply delivered
+  std::optional<Duration> response_time;  ///< t4 - t0
+
+  /// First reply's harvested perf triple (zero until answered).
+  Duration service_time{};   ///< t_s
+  Duration queuing_delay{};  ///< t_q
+  Duration gateway_delay{};  ///< t_d = t4 - t1 - t_q - t_s
+  ReplicaId first_replica{};
+
+  friend bool operator==(const RequestTrace&, const RequestTrace&) = default;
+};
+
+/// One row of the selection explainability record: a replica as
+/// Algorithm 1 saw it.
+struct SelectionReplicaTrace {
+  ReplicaId replica{};
+  std::size_t rank = 0;        ///< 0 = highest F_Ri(t - delta)
+  double probability = 0.0;    ///< F_Ri(t - delta)
+  bool has_data = false;       ///< false: appended dataless, not ranked
+  bool selected = false;       ///< member of the dispatched set K
+  bool protected_member = false;  ///< inside the m0 crash-tolerance exclusion
+
+  friend bool operator==(const SelectionReplicaTrace&, const SelectionReplicaTrace&) = default;
+};
+
+/// One Algorithm-1 run, in full.
+struct SelectionTrace {
+  ClientId client{};
+  RequestId request{};
+  TimePoint at{};
+  bool redispatch = false;  ///< re-selection after a view change
+
+  Duration deadline{};
+  double requested_probability = 0.0;  ///< P_c(t)
+  Duration overhead_delta{};           ///< delta used for F_Ri(t - delta)
+
+  bool cold_start = false;
+  bool feasible = false;
+  bool fallback_to_all = false;  ///< infeasible target -> dispatched M
+  std::size_t protected_count = 0;  ///< generalized m0
+  double test_probability = 0.0;       ///< P_X(t) over the candidate set X
+  double predicted_probability = 0.0;  ///< P_K(t) over the dispatched set
+  std::size_t redundancy = 0;          ///< |K|
+
+  /// Model-cache traffic charged to this selection.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  std::vector<SelectionReplicaTrace> replicas;
+
+  friend bool operator==(const SelectionTrace&, const SelectionTrace&) = default;
+};
+
+}  // namespace aqua::obs

@@ -1,0 +1,98 @@
+#include "obs/telemetry.h"
+
+#include <utility>
+
+namespace aqua::obs {
+
+Telemetry::Telemetry(TelemetryConfig config) : config_(config) {}
+
+std::uint64_t Telemetry::record_request(RequestTrace trace) {
+  const std::scoped_lock lock(requests_mutex_);
+  const std::uint64_t seq = next_request_seq_++;
+  requests_.push_back(std::move(trace));
+  if (requests_.size() > config_.request_capacity) {
+    requests_.pop_front();
+    ++first_request_seq_;
+    ++requests_dropped_;
+  }
+  return seq;
+}
+
+void Telemetry::amend_request(std::uint64_t seq, TimePoint t4, Duration response_time,
+                              ReplicaId first_replica, Duration service_time,
+                              Duration queuing_delay, Duration gateway_delay) {
+  const std::scoped_lock lock(requests_mutex_);
+  if (seq < first_request_seq_ || seq >= next_request_seq_) return;  // evicted
+  RequestTrace& trace = requests_[seq - first_request_seq_];
+  trace.answered = true;
+  trace.t4 = t4;
+  trace.response_time = response_time;
+  trace.first_replica = first_replica;
+  trace.service_time = service_time;
+  trace.queuing_delay = queuing_delay;
+  trace.gateway_delay = gateway_delay;
+}
+
+void Telemetry::record_selection(SelectionTrace trace) {
+  if (!config_.selection_traces) return;
+  const std::scoped_lock lock(selections_mutex_);
+  ++selections_recorded_;
+  selections_.push_back(std::move(trace));
+  if (selections_.size() > config_.selection_capacity) {
+    selections_.pop_front();
+    ++selections_dropped_;
+  }
+}
+
+void Telemetry::annotate(TimePoint at, std::string kind, std::string detail) {
+  const std::scoped_lock lock(timeline_mutex_);
+  // The timeline is append-only (trace::Timeline has no eviction), so a
+  // full timeline drops NEW annotations, visibly via the drop counter.
+  if (timeline_.size() >= config_.annotation_capacity) {
+    ++annotations_dropped_;
+    return;
+  }
+  timeline_.add(at, std::move(kind), std::move(detail));
+}
+
+std::vector<RequestTrace> Telemetry::request_traces() const {
+  const std::scoped_lock lock(requests_mutex_);
+  return {requests_.begin(), requests_.end()};
+}
+
+std::vector<SelectionTrace> Telemetry::selection_traces() const {
+  const std::scoped_lock lock(selections_mutex_);
+  return {selections_.begin(), selections_.end()};
+}
+
+trace::Timeline Telemetry::timeline() const {
+  const std::scoped_lock lock(timeline_mutex_);
+  return timeline_;
+}
+
+std::uint64_t Telemetry::requests_recorded() const {
+  const std::scoped_lock lock(requests_mutex_);
+  return next_request_seq_;
+}
+
+std::uint64_t Telemetry::requests_dropped() const {
+  const std::scoped_lock lock(requests_mutex_);
+  return requests_dropped_;
+}
+
+std::uint64_t Telemetry::selections_recorded() const {
+  const std::scoped_lock lock(selections_mutex_);
+  return selections_recorded_;
+}
+
+std::uint64_t Telemetry::selections_dropped() const {
+  const std::scoped_lock lock(selections_mutex_);
+  return selections_dropped_;
+}
+
+std::uint64_t Telemetry::annotations_dropped() const {
+  const std::scoped_lock lock(timeline_mutex_);
+  return annotations_dropped_;
+}
+
+}  // namespace aqua::obs

@@ -1,0 +1,111 @@
+// Telemetry hub: one instance per system run, shared by every
+// instrumented component.
+//
+// Owns the MetricsRegistry, bounded ring buffers of RequestTrace /
+// SelectionTrace records, and an annotation Timeline (the same
+// trace::Timeline the scenario engine writes, so exported snapshots
+// line up with fault scripts on one time axis).
+//
+// Enable/disable discipline: components take a raw `Telemetry*` that
+// defaults to nullptr. A null pointer means telemetry is off and every
+// instrumented site costs exactly one branch. The pointer is non-owning;
+// the Telemetry must outlive the system it observes.
+//
+// Thread safety: metrics are lock-free relaxed atomics (see metrics.h);
+// trace rings and the timeline are guarded by one mutex each. Trace
+// recording happens once per *request* (not per packet), so the lock is
+// far off the per-message hot path.
+//
+// Determinism: recording never schedules simulator events and never
+// draws from any Rng stream, so enabling telemetry cannot perturb a
+// seeded simulation — fig4/fig5 produce bit-identical numbers with
+// telemetry on or off.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/records.h"
+#include "trace/timeline.h"
+
+namespace aqua::obs {
+
+struct TelemetryConfig {
+  /// Ring capacities. When a ring is full the OLDEST record is dropped
+  /// and a drop counter increments — never silently.
+  std::size_t request_capacity = 65536;
+  std::size_t selection_capacity = 65536;
+  std::size_t annotation_capacity = 65536;
+  /// Selection explainability records are the heaviest (one vector per
+  /// selection); turn them off to keep only metrics + request traces.
+  bool selection_traces = true;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {});
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] const TelemetryConfig& config() const { return config_; }
+  [[nodiscard]] bool selection_traces_enabled() const { return config_.selection_traces; }
+
+  /// Record a decided request; returns a sequence number usable with
+  /// amend_request.
+  std::uint64_t record_request(RequestTrace trace);
+
+  /// Patch a previously recorded request whose first reply arrived
+  /// AFTER its outcome was decided at the deadline (late answer). The
+  /// record keeps timely=false but gains the reply's timing fields —
+  /// the same in-place amendment RequestRecord::response_time gets.
+  /// No-op if the record has already been evicted from the ring.
+  void amend_request(std::uint64_t seq, TimePoint t4, Duration response_time,
+                     ReplicaId first_replica, Duration service_time,
+                     Duration queuing_delay, Duration gateway_delay);
+
+  /// Record one Algorithm-1 run. Drops the record (cheaply) when
+  /// selection traces are disabled.
+  void record_selection(SelectionTrace trace);
+
+  /// Append a (time, kind, detail) marker to the shared timeline —
+  /// QoS-violation callbacks, snapshot flushes, view changes.
+  void annotate(TimePoint at, std::string kind, std::string detail = {});
+
+  /// Snapshot copies (thread-safe, records in recording order).
+  [[nodiscard]] std::vector<RequestTrace> request_traces() const;
+  [[nodiscard]] std::vector<SelectionTrace> selection_traces() const;
+  [[nodiscard]] trace::Timeline timeline() const;
+
+  /// Lifetime totals, including records since evicted from the rings.
+  [[nodiscard]] std::uint64_t requests_recorded() const;
+  [[nodiscard]] std::uint64_t requests_dropped() const;
+  [[nodiscard]] std::uint64_t selections_recorded() const;
+  [[nodiscard]] std::uint64_t selections_dropped() const;
+  [[nodiscard]] std::uint64_t annotations_dropped() const;
+
+ private:
+  TelemetryConfig config_;
+  MetricsRegistry metrics_;
+
+  mutable std::mutex requests_mutex_;
+  std::deque<RequestTrace> requests_;
+  std::uint64_t first_request_seq_ = 0;  ///< seq of requests_.front()
+  std::uint64_t next_request_seq_ = 0;
+  std::uint64_t requests_dropped_ = 0;
+
+  mutable std::mutex selections_mutex_;
+  std::deque<SelectionTrace> selections_;
+  std::uint64_t selections_recorded_ = 0;
+  std::uint64_t selections_dropped_ = 0;
+
+  mutable std::mutex timeline_mutex_;
+  trace::Timeline timeline_;
+  std::uint64_t annotations_dropped_ = 0;
+};
+
+}  // namespace aqua::obs

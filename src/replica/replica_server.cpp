@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "common/log.h"
+#include "obs/telemetry.h"
 
 namespace aqua::replica {
 
@@ -21,6 +22,17 @@ ReplicaServer::ReplicaServer(sim::Simulator& simulator, net::Lan& lan, net::Mult
   AQUA_REQUIRE(service_model_ != nullptr, "replica needs a service model");
   AQUA_REQUIRE(config_.gateway_overhead >= Duration::zero(),
                "gateway overhead must be non-negative");
+  if (config_.telemetry != nullptr) {
+    auto& metrics = config_.telemetry->metrics();
+    requests_counter_ = &metrics.counter("replica.requests");
+    replies_counter_ = &metrics.counter("replica.replies");
+    crashes_counter_ = &metrics.counter("replica.crashes");
+    restarts_counter_ = &metrics.counter("replica.restarts");
+    service_time_histogram_ = &metrics.histogram("replica.service_time_us");
+    queuing_delay_histogram_ = &metrics.histogram("replica.queuing_delay_us");
+    queue_length_gauge_ =
+        &metrics.gauge("replica." + std::to_string(id_.value()) + ".queue_length");
+  }
   endpoint_ = lan_.create_endpoint(
       host_, [this](EndpointId from, const net::Payload& m) { on_receive(from, m); });
   group_.join(endpoint_);
@@ -56,6 +68,10 @@ void ReplicaServer::on_receive(EndpointId from, const net::Payload& message) {
 void ReplicaServer::handle_request(EndpointId from, const proto::Request& request) {
   // Stage 3: the server gateway enqueues the request, recording t2.
   queue_.push_back(QueuedRequest{request, from, simulator_.now()});
+  if (requests_counter_ != nullptr) {
+    requests_counter_->add();
+    queue_length_gauge_->set(static_cast<double>(queue_.size()));
+  }
   if (!busy_) start_next();
 }
 
@@ -88,6 +104,12 @@ void ReplicaServer::finish_current() {
   perf.queuing_delay = dequeued_at_ - current_.enqueued_at;  // t_q = t3 - t2
   perf.queue_length = static_cast<std::int64_t>(queue_.size());
   ++serviced_;
+  if (replies_counter_ != nullptr) {
+    replies_counter_->add();
+    service_time_histogram_->record(perf.service_time);
+    queuing_delay_histogram_->record(perf.queuing_delay);
+    queue_length_gauge_->set(static_cast<double>(queue_.size()));
+  }
 
   proto::Reply reply;
   reply.request = current_.request.id;
@@ -127,6 +149,7 @@ void ReplicaServer::crash_process() {
   busy_ = false;
   lan_.destroy_endpoint(endpoint_);
   group_.report_member_failure(endpoint_);
+  if (crashes_counter_ != nullptr) crashes_counter_->add();
   AQUA_LOG_DEBUG << "replica " << id_.value() << " crashed (process) at "
                  << to_string(simulator_.now());
 }
@@ -139,6 +162,7 @@ void ReplicaServer::crash_host() {
   busy_ = false;
   lan_.destroy_endpoint(endpoint_);
   lan_.set_host_alive(host_, false);
+  if (crashes_counter_ != nullptr) crashes_counter_->add();
   AQUA_LOG_DEBUG << "replica " << id_.value() << " crashed (host " << host_.value() << ") at "
                  << to_string(simulator_.now());
 }
@@ -154,6 +178,7 @@ void ReplicaServer::restart() {
       host_, [this](EndpointId from, const net::Payload& m) { on_receive(from, m); });
   group_.join(endpoint_);
   announce();
+  if (restarts_counter_ != nullptr) restarts_counter_->add();
   AQUA_LOG_DEBUG << "replica " << id_.value() << " restarted at " << to_string(simulator_.now());
 }
 

@@ -24,6 +24,13 @@
 #include "replica/service_model.h"
 #include "sim/simulator.h"
 
+namespace aqua::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class Telemetry;
+}  // namespace aqua::obs
+
 namespace aqua::replica {
 
 struct ReplicaConfig {
@@ -44,6 +51,14 @@ struct ReplicaConfig {
   double value_fault_rate = 0.0;
   /// How a corrupted result is derived from the correct one.
   std::function<std::int64_t(std::int64_t)> corrupt = [](std::int64_t x) { return ~x; };
+
+  /// Optional telemetry hub (non-owning, must outlive the replica).
+  /// Counters replica.requests / replica.replies / replica.crashes /
+  /// replica.restarts, histograms replica.service_time_us /
+  /// replica.queuing_delay_us, and the per-replica gauge
+  /// replica.<id>.queue_length. Null keeps every instrumented site at
+  /// one branch.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class ReplicaServer {
@@ -113,6 +128,15 @@ class ReplicaServer {
   sim::EventHandle completion_;
   std::vector<EndpointId> subscribers_;
   std::uint64_t serviced_ = 0;
+
+  /// Null unless telemetry is attached (one-branch discipline).
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* replies_counter_ = nullptr;
+  obs::Counter* crashes_counter_ = nullptr;
+  obs::Counter* restarts_counter_ = nullptr;
+  obs::Histogram* service_time_histogram_ = nullptr;
+  obs::Histogram* queuing_delay_histogram_ = nullptr;
+  obs::Gauge* queue_length_gauge_ = nullptr;
 };
 
 }  // namespace aqua::replica

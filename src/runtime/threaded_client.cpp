@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "core/model_cache.h"
+#include "obs/telemetry.h"
 
 namespace aqua::runtime {
 
@@ -33,6 +34,16 @@ ThreadedClient::ThreadedClient(std::vector<ThreadedReplica*> replicas, core::Qos
   qos_.validate();
   AQUA_REQUIRE(!replicas_.empty(), "threaded client needs at least one replica");
   AQUA_REQUIRE(config_.give_up_deadline_factor >= 1, "give-up factor must be >= 1");
+  if (config_.telemetry != nullptr) {
+    auto& metrics = config_.telemetry->metrics();
+    requests_counter_ = &metrics.counter("threaded.requests");
+    answered_counter_ = &metrics.counter("threaded.answered");
+    timely_counter_ = &metrics.counter("threaded.timely");
+    timing_failures_counter_ = &metrics.counter("threaded.timing_failures");
+    cold_starts_counter_ = &metrics.counter("threaded.cold_starts");
+    response_time_histogram_ = &metrics.histogram("threaded.response_time_us");
+    selection_overhead_histogram_ = &metrics.histogram("threaded.selection_overhead_us");
+  }
   std::lock_guard lock(mutex_);
   for (const ThreadedReplica* replica : replicas_) repository_.add_replica(replica->id());
 }
@@ -123,6 +134,14 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
   const auto t4 = SteadyClock::now();
   outcome.response_time = std::chrono::duration_cast<Duration>(t4 - t0);
   outcome.timely = outcome.answered && outcome.response_time <= qos_snapshot.deadline;
+  if (requests_counter_ != nullptr) {
+    requests_counter_->add();
+    if (outcome.answered) answered_counter_->add();
+    (outcome.timely ? timely_counter_ : timing_failures_counter_)->add();
+    if (outcome.cold_start) cold_starts_counter_->add();
+    response_time_histogram_->record(outcome.response_time);
+    selection_overhead_histogram_->record(outcome.selection_overhead);
+  }
   {
     std::lock_guard lock(mutex_);
     tracker_.record(outcome.timely);

@@ -25,6 +25,12 @@
 #include "runtime/threaded_replica.h"
 #include "stats/variates.h"
 
+namespace aqua::obs {
+class Counter;
+class Histogram;
+class Telemetry;
+}  // namespace aqua::obs
+
 namespace aqua::runtime {
 
 /// Symmetric one-way "network" delay injected on each hop.
@@ -48,6 +54,13 @@ struct ThreadedClientConfig {
   NetDelayModel net;
   /// invoke() returns unanswered after deadline * this factor.
   int give_up_deadline_factor = 4;
+
+  /// Optional telemetry hub (non-owning; must outlive the client). The
+  /// threaded.* counters and histograms are updated from whichever
+  /// threads call invoke() — several clients sharing one hub exercise the
+  /// registry's concurrency guarantees. Null keeps every site at one
+  /// branch.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class ThreadedClient {
@@ -106,6 +119,16 @@ class ThreadedClient {
   core::TimingFailureTracker tracker_;
   core::OverheadEstimator overhead_;
   std::uint64_t next_request_ = 1;
+
+  /// Null unless telemetry is attached; safe to update without mutex_
+  /// (counters and histograms are internally atomic).
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* answered_counter_ = nullptr;
+  obs::Counter* timely_counter_ = nullptr;
+  obs::Counter* timing_failures_counter_ = nullptr;
+  obs::Counter* cold_starts_counter_ = nullptr;
+  obs::Histogram* response_time_histogram_ = nullptr;
+  obs::Histogram* selection_overhead_histogram_ = nullptr;
 
   /// Declared last so it is destroyed FIRST: the executor's worker runs
   /// reply hops that lock mutex_ and write repository_, and its shutdown

@@ -1,13 +1,24 @@
 #include "runtime/threaded_replica.h"
 
 #include "common/assert.h"
+#include "obs/telemetry.h"
 
 namespace aqua::runtime {
 
-ThreadedReplica::ThreadedReplica(ReplicaId id, stats::SamplerPtr service_time, Rng rng)
-    : id_(id), service_time_(std::move(service_time)), rng_(std::move(rng)),
-      thread_([this] { worker(); }) {
+ThreadedReplica::ThreadedReplica(ReplicaId id, stats::SamplerPtr service_time, Rng rng,
+                                 obs::Telemetry* telemetry)
+    : id_(id), service_time_(std::move(service_time)), rng_(std::move(rng)) {
   AQUA_REQUIRE(service_time_ != nullptr, "replica needs a service-time sampler");
+  if (telemetry != nullptr) {
+    auto& metrics = telemetry->metrics();
+    requests_counter_ = &metrics.counter("threaded_replica.requests");
+    replies_counter_ = &metrics.counter("threaded_replica.replies");
+    service_time_histogram_ = &metrics.histogram("threaded_replica.service_time_us");
+    queuing_delay_histogram_ = &metrics.histogram("threaded_replica.queuing_delay_us");
+  }
+  // The worker starts only after the metric pointers are resolved, so it
+  // never races their initialisation.
+  thread_ = std::thread([this] { worker(); });
 }
 
 ThreadedReplica::~ThreadedReplica() {
@@ -18,7 +29,10 @@ ThreadedReplica::~ThreadedReplica() {
 bool ThreadedReplica::submit(const proto::Request& request, ReplyFn on_reply) {
   AQUA_REQUIRE(on_reply != nullptr, "reply callback must be callable");
   if (!alive_.load()) return false;
-  return queue_.push(Job{request, std::move(on_reply), std::chrono::steady_clock::now()});
+  const bool pushed =
+      queue_.push(Job{request, std::move(on_reply), std::chrono::steady_clock::now()});
+  if (pushed && requests_counter_ != nullptr) requests_counter_->add();
+  return pushed;
 }
 
 std::size_t ThreadedReplica::queue_length() const { return queue_.size(); }
@@ -46,6 +60,11 @@ void ThreadedReplica::worker() {
         std::chrono::duration_cast<Duration>(dequeued_at - job->enqueued_at);
     reply.perf.queue_length = static_cast<std::int64_t>(queue_.size());
     serviced_.fetch_add(1);
+    if (replies_counter_ != nullptr) {
+      replies_counter_->add();
+      service_time_histogram_->record(reply.perf.service_time);
+      queuing_delay_histogram_->record(reply.perf.queuing_delay);
+    }
     job->on_reply(reply);
   }
 }

@@ -18,6 +18,12 @@
 #include "runtime/blocking_queue.h"
 #include "stats/variates.h"
 
+namespace aqua::obs {
+class Counter;
+class Histogram;
+class Telemetry;
+}  // namespace aqua::obs
+
 namespace aqua::runtime {
 
 class ThreadedReplica {
@@ -25,8 +31,12 @@ class ThreadedReplica {
   using ReplyFn = std::function<void(const proto::Reply&)>;
 
   /// Starts the worker thread. Service durations are drawn from
-  /// `service_time` and slept for real.
-  ThreadedReplica(ReplicaId id, stats::SamplerPtr service_time, Rng rng);
+  /// `service_time` and slept for real. `telemetry` (non-owning, may be
+  /// null, must outlive the replica) mirrors the request flow into the
+  /// shared threaded_replica.* metrics, updated concurrently from the
+  /// submitting thread and the worker.
+  ThreadedReplica(ReplicaId id, stats::SamplerPtr service_time, Rng rng,
+                  obs::Telemetry* telemetry = nullptr);
   ~ThreadedReplica();
 
   ThreadedReplica(const ThreadedReplica&) = delete;
@@ -62,6 +72,13 @@ class ThreadedReplica {
   BlockingQueue<Job> queue_;
   std::atomic<bool> alive_{true};
   std::atomic<std::uint64_t> serviced_{0};
+
+  /// Null unless telemetry is attached (one-branch discipline).
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* replies_counter_ = nullptr;
+  obs::Histogram* service_time_histogram_ = nullptr;
+  obs::Histogram* queuing_delay_histogram_ = nullptr;
+
   std::thread thread_;
 };
 

@@ -7,7 +7,9 @@
 namespace aqua::runtime {
 
 ThreadedSystem::ThreadedSystem(ThreadedSystemConfig config)
-    : config_(config), rng_(config.seed) {}
+    : config_(config), rng_(config.seed) {
+  if (config_.client.telemetry == nullptr) config_.client.telemetry = config_.telemetry;
+}
 
 ThreadedSystem::~ThreadedSystem() {
   // Phased teardown. Client executors first: once shut down, no delayed
@@ -22,7 +24,8 @@ ThreadedSystem::~ThreadedSystem() {
 ThreadedReplica& ThreadedSystem::add_replica(stats::SamplerPtr service_time) {
   const ReplicaId id = replica_ids_.next();
   replicas_.push_back(std::make_unique<ThreadedReplica>(id, std::move(service_time),
-                                                        rng_.fork("replica").fork(id.value())));
+                                                        rng_.fork("replica").fork(id.value()),
+                                                        config_.telemetry));
   return *replicas_.back();
 }
 

@@ -16,6 +16,11 @@ namespace aqua::runtime {
 struct ThreadedSystemConfig {
   std::uint64_t seed = 1;
   ThreadedClientConfig client;
+
+  /// Optional telemetry hub (non-owning; must outlive the system),
+  /// shared by every replica and — unless client.telemetry is set —
+  /// every client. All of them update it concurrently.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Aggregate outcome of one client's closed-loop workload.

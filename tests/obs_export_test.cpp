@@ -1,0 +1,186 @@
+// Exporter round-trip: write_requests_csv -> read_requests_csv must be
+// lossless, and to_run_report must aggregate exactly like the gateway's
+// own report math (probes skipped, late answers counted as failures).
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/records.h"
+#include "obs/telemetry.h"
+
+namespace aqua::obs {
+namespace {
+
+RequestTrace answered_trace(std::uint64_t request, Duration response, bool timely) {
+  RequestTrace t;
+  t.client = ClientId{3};
+  t.request = RequestId{request};
+  t.t0 = TimePoint{usec(1000 * static_cast<std::int64_t>(request))};
+  t.t1 = t.t0 + usec(40);
+  t.deadline = msec(25);
+  t.min_probability = 0.95;
+  t.redundancy = 2;
+  t.feasible = true;
+  t.answered = true;
+  t.timely = timely;
+  t.t4 = t.t0 + response;
+  t.response_time = response;
+  t.service_time = usec(700);
+  t.queuing_delay = usec(120);
+  t.gateway_delay = usec(60);
+  t.first_replica = ReplicaId{7};
+  return t;
+}
+
+TEST(RequestsCsv, RoundTripIsLossless) {
+  std::vector<RequestTrace> traces;
+  traces.push_back(answered_trace(1, msec(12), true));
+  traces.push_back(answered_trace(2, msec(40), false));  // late answer
+
+  RequestTrace unanswered;  // decided at the deadline, no reply yet
+  unanswered.client = ClientId{3};
+  unanswered.request = RequestId{9};
+  unanswered.t0 = TimePoint{msec(5)};
+  unanswered.t1 = TimePoint{msec(5) + usec(35)};
+  unanswered.deadline = msec(25);
+  unanswered.min_probability = 0.9;
+  unanswered.redundancy = 4;
+  unanswered.cold_start = true;
+  unanswered.redispatched = true;
+  traces.push_back(unanswered);
+
+  RequestTrace probe = answered_trace(3, msec(2), true);
+  probe.probe = true;
+  traces.push_back(probe);
+
+  std::stringstream csv;
+  write_requests_csv(csv, traces);
+  const std::vector<RequestTrace> parsed = read_requests_csv(csv);
+
+  ASSERT_EQ(parsed.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(parsed[i], traces[i]) << "row " << i;
+  }
+}
+
+TEST(RequestsCsv, RejectsMalformedHeader) {
+  std::stringstream csv("client,request,nonsense\n1,2,3\n");
+  EXPECT_THROW(read_requests_csv(csv), std::runtime_error);
+}
+
+TEST(RequestsCsv, RejectsMalformedRow) {
+  std::vector<RequestTrace> traces{answered_trace(1, msec(3), true)};
+  std::stringstream csv;
+  write_requests_csv(csv, traces);
+  csv << "not,a,valid,row\n";
+  std::stringstream in(csv.str());
+  EXPECT_THROW(read_requests_csv(in), std::runtime_error);
+}
+
+TEST(RunReport, MatchesHandlerAggregation) {
+  std::vector<RequestTrace> traces;
+  RequestTrace cold = answered_trace(1, msec(10), true);
+  cold.cold_start = true;
+  traces.push_back(cold);
+  traces.push_back(answered_trace(2, msec(30), false));  // timing failure
+  RequestTrace unanswered;  // infeasible, decided at the deadline
+  unanswered.client = ClientId{3};
+  unanswered.request = RequestId{4};
+  unanswered.redundancy = 3;
+  traces.push_back(unanswered);
+  RequestTrace probe = answered_trace(5, msec(1), true);
+  probe.probe = true;  // probes must not count toward the report
+  traces.push_back(probe);
+  RequestTrace other_client = answered_trace(6, msec(2), true);
+  other_client.client = ClientId{99};
+  traces.push_back(other_client);
+
+  const trace::ClientRunReport report =
+      to_run_report(traces, ClientId{3}, "client-3");
+
+  EXPECT_EQ(report.label, "client-3");
+  EXPECT_EQ(report.requests, 3u);
+  EXPECT_EQ(report.answered, 2u);
+  EXPECT_EQ(report.timing_failures, 2u);  // late answer + unanswered
+  EXPECT_EQ(report.cold_starts, 1u);
+  EXPECT_EQ(report.infeasible_selections, 1u);  // the unanswered row
+  EXPECT_EQ(report.redispatches, 0u);
+  EXPECT_EQ(report.response_times_ms.count(), 2u);
+  EXPECT_DOUBLE_EQ(report.response_times_ms.summary().mean(), 20.0);
+  EXPECT_EQ(report.redundancy.count(), 3u);
+  EXPECT_DOUBLE_EQ(report.failure_probability(), 2.0 / 3.0);
+}
+
+TEST(SelectionsCsv, EmitsOneRowPerRankedReplica) {
+  SelectionTrace trace;
+  trace.client = ClientId{1};
+  trace.request = RequestId{2};
+  trace.at = TimePoint{msec(1)};
+  trace.deadline = msec(25);
+  trace.requested_probability = 0.95;
+  trace.overhead_delta = usec(80);
+  trace.feasible = true;
+  trace.test_probability = 0.97;
+  trace.predicted_probability = 0.96;
+  trace.redundancy = 1;
+  trace.cache_hits = 3;
+  trace.replicas.push_back({ReplicaId{4}, 0, 0.97, true, true, false});
+  trace.replicas.push_back({ReplicaId{5}, 1, 0.80, true, false, true});
+
+  std::stringstream csv;
+  write_selections_csv(csv, std::vector<SelectionTrace>{trace});
+
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(csv, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);  // header + one row per replica
+  EXPECT_NE(lines[0].find("f_probability"), std::string::npos);
+  EXPECT_NE(lines[1].find("0.97"), std::string::npos);
+  EXPECT_NE(lines[2].find("0.8"), std::string::npos);
+}
+
+TEST(MetricsExports, CoverEveryRegisteredMetric) {
+  Telemetry telemetry;
+  telemetry.metrics().counter("layer.events").add(5);
+  telemetry.metrics().gauge("layer.level").set(1.5);
+  telemetry.metrics().histogram("layer.latency_us").record(usec(250));
+
+  std::stringstream csv;
+  write_metrics_csv(csv, telemetry);
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("layer.events,counter,"), std::string::npos);
+  EXPECT_NE(csv_text.find("layer.level,gauge,"), std::string::npos);
+  EXPECT_NE(csv_text.find("layer.latency_us,histogram,"), std::string::npos);
+
+  std::stringstream json;
+  write_metrics_json(json, telemetry);
+  const std::string json_text = json.str();
+  EXPECT_NE(json_text.find("\"layer.events\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"layer.latency_us\""), std::string::npos);
+  // One line, no trailing newline: the flusher's per-tick payload.
+  EXPECT_EQ(json_text.find('\n'), std::string::npos);
+}
+
+TEST(SnapshotJson, IncludesTracesAndDropTotals) {
+  Telemetry telemetry;
+  telemetry.metrics().counter("a").add(1);
+  telemetry.record_request(answered_trace(1, msec(4), true));
+  telemetry.annotate(TimePoint{msec(2)}, "marker", "detail");
+
+  std::stringstream json;
+  write_snapshot_json(json, telemetry);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"requests_recorded\""), std::string::npos);
+  EXPECT_NE(text.find("\"requests_dropped\""), std::string::npos);
+  EXPECT_NE(text.find("\"selections\""), std::string::npos);
+  EXPECT_NE(text.find("\"timeline\""), std::string::npos);
+  EXPECT_NE(text.find("marker"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua::obs

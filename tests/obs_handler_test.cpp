@@ -1,0 +1,179 @@
+// End-to-end telemetry through the gateway: the exporter pipeline must
+// reproduce the client's own report, and every selection trace must be
+// internally consistent with Algorithm 1's contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gateway/system.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
+
+namespace aqua::gateway {
+namespace {
+
+SystemConfig telemetry_system(obs::Telemetry* telemetry, std::uint64_t seed = 7) {
+  SystemConfig cfg;
+  cfg.seed = seed;
+  cfg.telemetry = telemetry;
+  return cfg;
+}
+
+ClientWorkload short_workload(std::size_t requests) {
+  ClientWorkload wl;
+  wl.total_requests = requests;
+  wl.think_time = stats::make_constant(msec(20));
+  return wl;
+}
+
+/// Three replicas with spread service times so selection has real work:
+/// a tight deadline makes some replies late, exercising both outcomes.
+ClientApp& populate(AquaSystem& system, std::size_t requests) {
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(4))));
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(9))));
+  system.add_replica(replica::make_sampled_service(stats::make_constant(msec(30))));
+  return system.add_client(core::QosSpec{msec(20), 0.9}, short_workload(requests));
+}
+
+TEST(HandlerTelemetry, ExporterReportMatchesClientReport) {
+  obs::Telemetry telemetry;
+  AquaSystem system{telemetry_system(&telemetry)};
+  ClientApp& app = populate(system, 40);
+  ASSERT_TRUE(system.run_until_clients_done(sec(120)));
+  system.run_for(sec(6));  // let the last deadline + give-up decide everything
+
+  const trace::ClientRunReport expected = app.report();
+  trace::ClientRunReport actual = obs::to_run_report(
+      telemetry.request_traces(), app.handler().client(),
+      "client-" + std::to_string(app.handler().client().value()));
+  actual.qos_violation_callbacks = app.qos_violations();  // caller-owned
+
+  EXPECT_EQ(actual.label, expected.label);
+  EXPECT_EQ(actual.requests, expected.requests);
+  EXPECT_EQ(actual.answered, expected.answered);
+  EXPECT_EQ(actual.timing_failures, expected.timing_failures);
+  EXPECT_EQ(actual.cold_starts, expected.cold_starts);
+  EXPECT_EQ(actual.infeasible_selections, expected.infeasible_selections);
+  EXPECT_EQ(actual.redispatches, expected.redispatches);
+  EXPECT_EQ(actual.qos_violation_callbacks, expected.qos_violation_callbacks);
+  ASSERT_EQ(actual.response_times_ms.count(), expected.response_times_ms.count());
+  ASSERT_GT(expected.response_times_ms.count(), 0u);
+  EXPECT_DOUBLE_EQ(actual.response_times_ms.summary().mean(),
+                   expected.response_times_ms.summary().mean());
+  ASSERT_EQ(actual.redundancy.count(), expected.redundancy.count());
+  EXPECT_DOUBLE_EQ(actual.redundancy.summary().mean(), expected.redundancy.summary().mean());
+  EXPECT_DOUBLE_EQ(actual.failure_probability(), expected.failure_probability());
+  EXPECT_EQ(expected.requests, 40u);  // the whole workload was decided
+}
+
+TEST(HandlerTelemetry, RequestCountsMatchHandlerHistory) {
+  obs::Telemetry telemetry;
+  AquaSystem system{telemetry_system(&telemetry)};
+  ClientApp& app = populate(system, 25);
+  ASSERT_TRUE(system.run_until_clients_done(sec(120)));
+  system.run_for(sec(6));
+
+  // One RequestTrace per decided history row (probes included).
+  EXPECT_EQ(telemetry.requests_recorded(), app.handler().history().size());
+  EXPECT_EQ(telemetry.requests_dropped(), 0u);
+
+  // gateway.* counters mirror the same lifecycle.
+  auto& metrics = telemetry.metrics();
+  const trace::ClientRunReport report = app.report();
+  EXPECT_EQ(metrics.counter("gateway.requests").value(), report.requests);
+  EXPECT_EQ(metrics.counter("gateway.timing_failures").value(), report.timing_failures);
+  EXPECT_EQ(metrics.counter("gateway.timely").value(),
+            report.requests - report.timing_failures);
+  EXPECT_EQ(metrics.histogram("gateway.response_time_us").count(), report.answered);
+}
+
+TEST(HandlerTelemetry, SelectionTracesAreInternallyConsistent) {
+  obs::Telemetry telemetry;
+  AquaSystem system{telemetry_system(&telemetry)};
+  ClientApp& app = populate(system, 30);
+  ASSERT_TRUE(system.run_until_clients_done(sec(120)));
+  system.run_for(sec(6));
+
+  const std::vector<obs::SelectionTrace> selections = telemetry.selection_traces();
+  ASSERT_GE(selections.size(), 30u);  // one per dispatch, redispatches extra
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  for (const obs::SelectionTrace& trace : selections) {
+    EXPECT_EQ(trace.client, app.handler().client());
+    EXPECT_GE(trace.redundancy, 1u);
+    EXPECT_GE(trace.requested_probability, 0.0);
+    EXPECT_LE(trace.test_probability, 1.0);
+    EXPECT_LE(trace.predicted_probability, 1.0);
+    std::size_t selected_rows = 0;
+    for (std::size_t i = 0; i < trace.replicas.size(); ++i) {
+      const obs::SelectionReplicaTrace& row = trace.replicas[i];
+      EXPECT_EQ(row.rank, i);  // ranking order is the row order
+      EXPECT_GE(row.probability, 0.0);
+      EXPECT_LE(row.probability, 1.0);
+      EXPECT_EQ(row.protected_member, i < trace.protected_count);
+      if (row.selected) ++selected_rows;
+    }
+    EXPECT_EQ(selected_rows, trace.redundancy);  // K fully accounted for
+    cache_hits += trace.cache_hits;
+    cache_misses += trace.cache_misses;
+  }
+  // The per-selection cache deltas add up to the cache's own totals —
+  // nothing else touches the handler's model cache.
+  const core::ModelCacheStats stats = app.handler().model_cache().stats();
+  EXPECT_EQ(cache_hits, stats.hits);
+  EXPECT_EQ(cache_misses, stats.misses);
+}
+
+TEST(HandlerTelemetry, TinyRingsEvictOldestAndCountDrops) {
+  obs::TelemetryConfig config;
+  config.request_capacity = 8;
+  config.selection_capacity = 8;
+  obs::Telemetry telemetry(config);
+  AquaSystem system{telemetry_system(&telemetry)};
+  populate(system, 30);
+  ASSERT_TRUE(system.run_until_clients_done(sec(120)));
+  system.run_for(sec(6));
+
+  EXPECT_EQ(telemetry.request_traces().size(), 8u);
+  EXPECT_GT(telemetry.requests_dropped(), 0u);
+  EXPECT_EQ(telemetry.request_traces().size() + telemetry.requests_dropped(),
+            telemetry.requests_recorded());
+  EXPECT_EQ(telemetry.selection_traces().size(), 8u);
+  EXPECT_GT(telemetry.selections_dropped(), 0u);
+}
+
+TEST(HandlerTelemetry, SelectionTracesCanBeDisabledIndependently) {
+  obs::TelemetryConfig config;
+  config.selection_traces = false;
+  obs::Telemetry telemetry(config);
+  AquaSystem system{telemetry_system(&telemetry)};
+  populate(system, 10);
+  ASSERT_TRUE(system.run_until_clients_done(sec(120)));
+  system.run_for(sec(6));
+
+  EXPECT_TRUE(telemetry.selection_traces().empty());
+  EXPECT_EQ(telemetry.selections_recorded(), 0u);
+  EXPECT_GE(telemetry.requests_recorded(), 10u);  // request traces unaffected
+}
+
+TEST(HandlerTelemetry, DisabledTelemetryRunsAreBitIdentical) {
+  // The determinism contract: attaching a hub must not perturb a seeded
+  // run. Same seed with and without telemetry -> identical reports.
+  obs::Telemetry telemetry;
+  AquaSystem with{telemetry_system(&telemetry, 11)};
+  ClientApp& app_with = populate(with, 20);
+  ASSERT_TRUE(with.run_until_clients_done(sec(120)));
+  with.run_for(sec(6));
+
+  AquaSystem without{telemetry_system(nullptr, 11)};
+  ClientApp& app_without = populate(without, 20);
+  ASSERT_TRUE(without.run_until_clients_done(sec(120)));
+  without.run_for(sec(6));
+
+  EXPECT_EQ(app_with.report().summary_line(), app_without.report().summary_line());
+}
+
+}  // namespace
+}  // namespace aqua::gateway

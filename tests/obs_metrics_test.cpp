@@ -1,0 +1,132 @@
+// Histogram bin/quantile math and registry interning semantics.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aqua::obs {
+namespace {
+
+TEST(HistogramBins, UpperBoundsAreLogSpacedDigits) {
+  EXPECT_EQ(Histogram::bin_upper_bound(0), 1);
+  EXPECT_EQ(Histogram::bin_upper_bound(8), 9);
+  EXPECT_EQ(Histogram::bin_upper_bound(9), 10);
+  EXPECT_EQ(Histogram::bin_upper_bound(10), 20);
+  EXPECT_EQ(Histogram::bin_upper_bound(17), 90);
+  EXPECT_EQ(Histogram::bin_upper_bound(18), 100);
+  // Last regular bin: 9 x 10^7 us = 90 s.
+  EXPECT_EQ(Histogram::bin_upper_bound(Histogram::kOverflowBin - 1), 90'000'000);
+}
+
+TEST(HistogramBins, IndexMatchesUpperBound) {
+  // Every regular bin's upper bound maps back into that bin, and the
+  // value one past it maps into the next.
+  for (std::size_t bin = 0; bin < Histogram::kOverflowBin; ++bin) {
+    const std::int64_t bound = Histogram::bin_upper_bound(bin);
+    EXPECT_EQ(Histogram::bin_index(bound), bin) << "bound " << bound;
+    EXPECT_EQ(Histogram::bin_index(bound + 1), bin + 1) << "bound " << bound;
+  }
+  EXPECT_EQ(Histogram::bin_index(0), 0u);
+  EXPECT_EQ(Histogram::bin_index(-5), 0u);
+  EXPECT_EQ(Histogram::bin_index(90'000'001), Histogram::kOverflowBin);
+}
+
+TEST(HistogramQuantile, EmptyHistogramReportsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max_value(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.quantile(0.999), 0);
+}
+
+TEST(HistogramQuantile, SingleSampleOwnsEveryQuantile) {
+  Histogram h;
+  h.record(usec(137));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 137);
+  EXPECT_EQ(h.max_value(), 137);
+  // 137 us lands in the 200 us bin; every quantile reports its bound.
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 200) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantile, NearestRankAgainstExactDistribution) {
+  Histogram h;
+  // 100 samples: 50 x 3us, 40 x 70us, 10 x 4000us.
+  for (int i = 0; i < 50; ++i) h.record_value(3);
+  for (int i = 0; i < 40; ++i) h.record_value(70);
+  for (int i = 0; i < 10; ++i) h.record_value(4000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.quantile(0.5), 3);     // rank 50 is the last 3us sample
+  EXPECT_EQ(h.quantile(0.51), 70);   // rank 51 crosses into the 70us bin
+  EXPECT_EQ(h.quantile(0.9), 70);
+  EXPECT_EQ(h.quantile(0.91), 4000);
+  EXPECT_EQ(h.quantile(1.0), 4000);
+}
+
+TEST(HistogramQuantile, OverflowBinReportsExactMaximum) {
+  Histogram h;
+  h.record_value(5);
+  h.record_value(123'456'789);  // past the last 90s bin
+  EXPECT_EQ(h.bin_count(Histogram::kOverflowBin), 1u);
+  // The p99 rank lands in the overflow bin; a made-up bound would be
+  // misleading, so the exact maximum is reported instead.
+  EXPECT_EQ(h.quantile(0.99), 123'456'789);
+  EXPECT_EQ(h.max_value(), 123'456'789);
+}
+
+TEST(HistogramQuantile, SumAndMeanTrackRecordedValues) {
+  Histogram h;
+  h.record(msec(2));
+  h.record(msec(4));
+  EXPECT_EQ(h.sum(), 6000);
+  EXPECT_DOUBLE_EQ(h.mean(), 3000.0);
+}
+
+TEST(MetricsRegistry, InternsByNameWithinEachKind) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  // Same name, different kind: distinct namespaces.
+  registry.gauge("x").set(2.5);
+  registry.histogram("x").record_value(7);
+  EXPECT_EQ(registry.counter("x").value(), 3u);
+  EXPECT_DOUBLE_EQ(registry.gauge("x").value(), 2.5);
+  EXPECT_EQ(registry.histogram("x").count(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotsAreSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("zeta").add(1);
+  registry.counter("alpha").add(2);
+  registry.histogram("mid").record_value(50);
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "alpha");
+  EXPECT_EQ(counters[0].second, 2u);
+  EXPECT_EQ(counters[1].first, "zeta");
+  const auto histograms = registry.histograms();
+  ASSERT_EQ(histograms.size(), 1u);
+  EXPECT_EQ(histograms[0].name, "mid");
+  EXPECT_EQ(histograms[0].count, 1u);
+  EXPECT_EQ(histograms[0].p50_us, 50);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+  g.set(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+}  // namespace
+}  // namespace aqua::obs

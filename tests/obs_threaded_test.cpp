@@ -1,0 +1,130 @@
+// Concurrency guarantees of the telemetry hub: lock-free metrics keep
+// exact totals under contention, trace rings never lose a record
+// silently. This is the surface run_checks.sh certifies under
+// ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace aqua::obs {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+constexpr std::size_t kItersPerThread = 20'000;
+
+void hammer(std::vector<std::thread>& threads, const std::function<void(std::size_t)>& body) {
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&body, t] { body(t); });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+TEST(ConcurrentMetrics, CounterTotalIsExact) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hammered");
+  std::vector<std::thread> threads;
+  hammer(threads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kItersPerThread; ++i) counter.add();
+  });
+  EXPECT_EQ(counter.value(), kThreads * kItersPerThread);
+}
+
+TEST(ConcurrentMetrics, HistogramCountSumAndMaxAreExact) {
+  Histogram histogram;
+  std::vector<std::thread> threads;
+  hammer(threads, [&](std::size_t t) {
+    for (std::size_t i = 0; i < kItersPerThread; ++i) {
+      histogram.record_value(static_cast<std::int64_t>(t) + 1);
+    }
+  });
+  EXPECT_EQ(histogram.count(), kThreads * kItersPerThread);
+  std::int64_t expected_sum = 0;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    expected_sum += static_cast<std::int64_t>((t + 1) * kItersPerThread);
+  }
+  EXPECT_EQ(histogram.sum(), expected_sum);
+  EXPECT_EQ(histogram.max_value(), static_cast<std::int64_t>(kThreads));
+}
+
+TEST(ConcurrentMetrics, RegistryInterningIsThreadSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  // Every thread interns the same handful of names while bumping them;
+  // interning must hand all threads the same instances.
+  hammer(threads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kItersPerThread; ++i) {
+      registry.counter("shared.a").add();
+      registry.counter("shared.b").add();
+      registry.histogram("shared.h").record_value(static_cast<std::int64_t>(i % 100));
+    }
+  });
+  EXPECT_EQ(registry.counter("shared.a").value(), kThreads * kItersPerThread);
+  EXPECT_EQ(registry.counter("shared.b").value(), kThreads * kItersPerThread);
+  EXPECT_EQ(registry.histogram("shared.h").count(), kThreads * kItersPerThread);
+  EXPECT_EQ(registry.counters().size(), 2u);
+}
+
+TEST(ConcurrentTelemetry, TraceRingsAccountForEveryRecord) {
+  constexpr std::size_t kRecordsPerThread = 2'000;
+  TelemetryConfig config;
+  config.request_capacity = 512;  // force eviction under contention
+  config.selection_capacity = 512;
+  config.annotation_capacity = 512;
+  Telemetry telemetry;
+  Telemetry small(config);
+  for (Telemetry* hub : {&telemetry, &small}) {
+    std::vector<std::thread> threads;
+    hammer(threads, [hub](std::size_t t) {
+      for (std::size_t i = 0; i < kRecordsPerThread; ++i) {
+        RequestTrace request;
+        request.client = ClientId{static_cast<std::uint64_t>(t)};
+        request.request = RequestId{static_cast<std::uint64_t>(i)};
+        hub->record_request(request);
+        SelectionTrace selection;
+        selection.client = request.client;
+        selection.request = request.request;
+        hub->record_selection(selection);
+        hub->annotate(TimePoint{usec(static_cast<std::int64_t>(i))}, "tick");
+      }
+    });
+    const std::size_t total = kThreads * kRecordsPerThread;
+    EXPECT_EQ(hub->requests_recorded(), total);
+    EXPECT_EQ(hub->selections_recorded(), total);
+    // Retained + dropped must account for every record — nothing silent.
+    EXPECT_EQ(hub->request_traces().size() + hub->requests_dropped(), total);
+    EXPECT_EQ(hub->selection_traces().size() + hub->selections_dropped(), total);
+  }
+  // The large default ring kept everything; the small one had to drop.
+  EXPECT_EQ(telemetry.requests_dropped(), 0u);
+  EXPECT_GT(small.requests_dropped(), 0u);
+  EXPECT_EQ(small.request_traces().size(), 512u);
+}
+
+TEST(ConcurrentTelemetry, AmendRacesWithRecordingSafely) {
+  Telemetry telemetry;
+  std::vector<std::thread> threads;
+  hammer(threads, [&](std::size_t t) {
+    for (std::size_t i = 0; i < kItersPerThread / 10; ++i) {
+      RequestTrace request;
+      request.client = ClientId{static_cast<std::uint64_t>(t)};
+      const std::uint64_t seq = telemetry.record_request(request);
+      telemetry.amend_request(seq, TimePoint{msec(1)}, usec(500), ReplicaId{1},
+                              usec(300), usec(100), usec(50));
+    }
+  });
+  for (const RequestTrace& trace : telemetry.request_traces()) {
+    ASSERT_TRUE(trace.answered);
+    EXPECT_EQ(trace.response_time, usec(500));
+  }
+}
+
+}  // namespace
+}  // namespace aqua::obs

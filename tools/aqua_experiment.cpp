@@ -4,18 +4,25 @@
 //   aqua_experiment --replicas 7 --deadline 150 --pc 0.9 --requests 50
 //   aqua_experiment --policy fastest-mean --crash-at 5
 //   aqua_experiment --service-dist pareto --clients 4 --csv run.csv
+//   aqua_experiment --obs-json snapshot.json --obs-csv run --obs-flush-ms 5000
 //
-// Every run is deterministic in (--seed, flags). See --help.
+// Every run is deterministic in (--seed, flags); every run records into
+// an obs::Telemetry hub and the per-client reports are aggregated from
+// its request traces (the same pipeline the figure benches consume).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "gateway/history_io.h"
 #include "gateway/system.h"
+#include "obs/export.h"
+#include "obs/flusher.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -49,6 +56,9 @@ struct Options {
   std::string csv_path;
   bool per_request = false;
   double run_seconds = 0.0;  // 0 = until clients done
+  std::string obs_json_path;
+  std::string obs_csv_prefix;
+  std::int64_t obs_flush_ms = 0;  // 0 = no periodic flusher
 };
 
 void print_usage() {
@@ -87,6 +97,11 @@ void print_usage() {
       "  --seed S               experiment seed (default 1)\n"
       "  --per-request          dump each request of client 0\n"
       "  --csv FILE             write client 0's request history as CSV\n"
+      "telemetry:\n"
+      "  --obs-json FILE        write the full telemetry snapshot as JSON\n"
+      "  --obs-csv PREFIX       write PREFIX.metrics.csv, PREFIX.requests.csv,\n"
+      "                         PREFIX.selections.csv\n"
+      "  --obs-flush-ms MS      print a metrics JSON line every MS simulated ms\n"
       "  --help                 this text");
 }
 
@@ -156,6 +171,12 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.per_request = true;
     } else if (flag == "--run-seconds") {
       opt.run_seconds = std::atof(need_value(i));
+    } else if (flag == "--obs-json") {
+      opt.obs_json_path = need_value(i);
+    } else if (flag == "--obs-csv") {
+      opt.obs_csv_prefix = need_value(i);
+    } else if (flag == "--obs-flush-ms") {
+      opt.obs_flush_ms = std::atoll(need_value(i));
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", flag.c_str());
       std::exit(2);
@@ -216,8 +237,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::Telemetry telemetry;
   SystemConfig sys_cfg;
   sys_cfg.seed = opt.seed;
+  sys_cfg.telemetry = &telemetry;
   sys_cfg.lan.loss_rate = opt.loss;
   if (opt.spikes) {
     sys_cfg.lan.spike.enabled = true;
@@ -257,6 +280,15 @@ int main(int argc, char** argv) {
         make_policy(opt, handler_cfg.selection, handler_cfg.model)));
   }
 
+  obs::SnapshotFlusher flusher;
+  if (opt.obs_flush_ms > 0) {
+    flusher.start_sim(system.simulator(), msec(opt.obs_flush_ms), [&telemetry](std::size_t tick) {
+      std::ostringstream line;
+      obs::write_metrics_json(line, telemetry);
+      std::printf("obs[%zu] %s\n", tick, line.str().c_str());
+    });
+  }
+
   if (opt.crash_at_s > 0.0) {
     system.simulator().schedule_after(
         Duration{static_cast<std::int64_t>(opt.crash_at_s * 1e6)}, [&system, &opt] {
@@ -284,8 +316,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(opt.seed), opt.replicas,
               service->describe().c_str(), opt.policy.c_str(),
               static_cast<long long>(opt.deadline_ms), opt.pc, opt.window);
+  // Reports come from the telemetry request traces (the same aggregation
+  // as ClientApp::report(); qos callbacks are app-side state the traces
+  // do not carry).
+  const std::vector<obs::RequestTrace> traces = telemetry.request_traces();
   for (ClientApp* app : apps) {
-    const auto report = app->report();
+    const ClientId client = app->handler().client();
+    trace::ClientRunReport report =
+        obs::to_run_report(traces, client, "client-" + std::to_string(client.value()));
+    report.qos_violation_callbacks = app->qos_violations();
     std::printf("%s; abandoned %zu, QoS callbacks %zu\n", report.summary_line().c_str(),
                 app->abandoned(), app->qos_violations());
   }
@@ -308,6 +347,33 @@ int main(int argc, char** argv) {
     }
     const std::size_t rows = write_history_csv(out, apps[0]->handler().history());
     std::printf("\nwrote %zu rows to %s\n", rows, opt.csv_path.c_str());
+  }
+
+  if (!opt.obs_json_path.empty()) {
+    std::ofstream out(opt.obs_json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.obs_json_path.c_str());
+      return 1;
+    }
+    obs::write_snapshot_json(out, telemetry);
+    std::printf("wrote telemetry snapshot to %s\n", opt.obs_json_path.c_str());
+  }
+  if (!opt.obs_csv_prefix.empty()) {
+    const auto write_one = [&](const char* suffix, auto&& writer) {
+      const std::string path = opt.obs_csv_prefix + suffix;
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+      }
+      writer(out);
+      std::printf("wrote %s\n", path.c_str());
+    };
+    write_one(".metrics.csv", [&](std::ostream& o) { obs::write_metrics_csv(o, telemetry); });
+    write_one(".requests.csv",
+              [&](std::ostream& o) { obs::write_requests_csv(o, telemetry.request_traces()); });
+    write_one(".selections.csv",
+              [&](std::ostream& o) { obs::write_selections_csv(o, telemetry.selection_traces()); });
   }
   return 0;
 }

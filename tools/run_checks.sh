@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Standard pre-PR gate: build the Release config and a TSan config, run the
-# tier-1 test suite in Release, and run the chaos tier (ctest -L fault) in
-# both. The TSan fault run is the race certification for the threaded
-# scenario runner (ISSUE 2 acceptance: same script on the threaded runtime
-# with zero reported races).
+# tier-1 test suite in Release, and run the labeled tiers in both:
+#  - ctest -L fault: the chaos tier (ISSUE 2 acceptance: same script on the
+#    threaded runtime with zero reported races);
+#  - ctest -L obs: the telemetry tier (ISSUE 3 acceptance: registry,
+#    counters, and trace rings race-free under ThreadSanitizer).
+# The telemetry-overhead gate then fails the run if a disabled hub makes
+# the selection hot path measurably slower than no hub at all.
 #
 # Usage: tools/run_checks.sh [jobs]
 set -euo pipefail
@@ -23,11 +26,20 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 step "Chaos tier: ctest -L fault (Release)"
 ctest --test-dir build --output-on-failure -j "${JOBS}" -L fault
 
+step "Telemetry tier: ctest -L obs (Release)"
+ctest --test-dir build --output-on-failure -j "${JOBS}" -L obs
+
+step "Telemetry-overhead gate: disabled hub within 2% of bare hot path"
+build/bench/selection_hot_path --check-telemetry-overhead
+
 step "Configure + build: ThreadSanitizer (build-tsan/)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DENABLE_TSAN=ON >/dev/null
 cmake --build build-tsan -j "${JOBS}"
 
 step "Chaos tier: ctest -L fault (TSan)"
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L fault
+
+step "Telemetry tier: ctest -L obs (TSan)"
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L obs
 
 step "All checks passed"
