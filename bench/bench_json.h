@@ -1,0 +1,56 @@
+// Machine-readable bench output: a flat JSON array of
+//   {"bench": ..., "metric": ..., "value": ..., "unit": ..., "commit": ...}
+// rows, one file per bench binary, so CI can diff headline numbers across
+// commits without scraping stdout tables.
+//
+// The commit stamp comes from AQUA_BENCH_COMMIT (tools/run_checks.sh sets
+// it from `git rev-parse`); AQUA_BENCH_JSON_DIR redirects the output
+// directory (default: current working directory).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace aqua::bench {
+
+struct BenchMetric {
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+};
+
+/// Resolve `file_name` against AQUA_BENCH_JSON_DIR (if set).
+inline std::string bench_json_path(const std::string& file_name) {
+  const char* dir = std::getenv("AQUA_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return file_name;
+  return std::string{dir} + "/" + file_name;
+}
+
+inline bool write_bench_json(const std::string& file_name, const std::string& bench,
+                             const std::vector<BenchMetric>& rows) {
+  const char* commit_env = std::getenv("AQUA_BENCH_COMMIT");
+  const std::string commit = (commit_env != nullptr && *commit_env != '\0') ? commit_env
+                                                                            : "unknown";
+  const std::string path = bench_json_path(file_name);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char value[40];
+    std::snprintf(value, sizeof value, "%.9g", rows[i].value);
+    out << (i == 0 ? "" : ",") << "\n  {\"bench\":\"" << bench << "\",\"metric\":\""
+        << rows[i].metric << "\",\"value\":" << value << ",\"unit\":\"" << rows[i].unit
+        << "\",\"commit\":\"" << commit << "\"}";
+  }
+  out << "\n]\n";
+  std::printf("wrote %zu bench metrics to %s\n", rows.size(), path.c_str());
+  return out.good();
+}
+
+}  // namespace aqua::bench

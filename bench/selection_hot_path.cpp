@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "core/info_repository.h"
 #include "core/model_cache.h"
@@ -229,6 +230,11 @@ void print_speedup() {
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.misses));
   std::printf("  speedup:  %8.2fx (target >= 5x)\n", uncached_us / cached_us);
+  aqua::bench::write_bench_json(
+      "BENCH_selection.json", "selection_hot_path",
+      {{"uncached_select", uncached_us, "us"},
+       {"cached_steady_select", cached_us, "us"},
+       {"cache_speedup", uncached_us / cached_us, "x"}});
   if (sink < 0.0) std::abort();  // keep the measured loops alive
 }
 
@@ -294,6 +300,11 @@ int check_telemetry_overhead() {
   std::printf("  telemetry disabled: %8.3f us/select (limit %.3f)\n", disabled_us, limit_us);
   std::printf("  %s\n", pass ? "PASS: disabled telemetry within budget"
                              : "FAIL: disabled telemetry exceeds 2% + 0.2us budget");
+  aqua::bench::write_bench_json(
+      "BENCH_selection.json", "selection_hot_path",
+      {{"bare_select", bare_us, "us"},
+       {"telemetry_disabled_select", disabled_us, "us"},
+       {"disabled_overhead", bare_us > 0.0 ? disabled_us / bare_us : 0.0, "x"}});
   if (sink < 0.0) std::abort();  // keep the measured loops alive
   return pass ? 0 : 1;
 }

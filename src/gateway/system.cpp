@@ -76,6 +76,7 @@ manager::DependabilityManager& AquaSystem::enable_dependability_manager(
     manager::ManagerConfig config, replica::ServiceModelPtr replacement_model,
     replica::ReplicaConfig replica_config) {
   AQUA_REQUIRE(manager_ == nullptr, "dependability manager already enabled");
+  if (config.telemetry == nullptr) config.telemetry = config_.telemetry;
   manager_ = std::make_unique<manager::DependabilityManager>(
       simulator_, *lan_,
       [this, replacement_model = std::move(replacement_model),

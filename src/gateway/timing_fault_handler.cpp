@@ -57,6 +57,7 @@ TimingFaultHandler::TimingFaultHandler(sim::Simulator& simulator, net::Lan& lan,
     policy_ = core::make_observed_policy(std::move(policy_), obs_);
     model_cache_->set_telemetry(obs_);
     repository_.set_telemetry(obs_);
+    if (obs_->spans_enabled()) span_sink_ = obs_;
   }
   endpoint_ = lan_.create_endpoint(
       host, [this](EndpointId from, const net::Payload& m) { on_receive(from, m); });
@@ -135,17 +136,36 @@ void TimingFaultHandler::send_probe(ReplicaId replica) {
   pending.qos = qos_;
   pending.is_probe = true;
   pending.dispatched = true;
+  pending.trace_id = obs::make_trace_id(client_, id);
   set_awaiting(pending, {replica});
-  pending_.emplace(id, std::move(pending));
+  auto pit = pending_.emplace(id, std::move(pending)).first;
   simulator_.schedule_at(now + qos_.deadline * 10, [this, id] { erase_pending(id); });
 
   ++probes_sent_;
   if (probes_counter_ != nullptr) probes_counter_->add();
+  if (obs_ != nullptr) {
+    obs_->record_alert({.kind = obs::AlertKind::kReplicaStale,
+                        .at = now,
+                        .client = client_,
+                        .replica = replica,
+                        .observed = 0.0,
+                        .threshold = static_cast<double>(count_us(config_.probe_staleness)),
+                        .detail = "probe sent"});
+  }
   AQUA_LOG_DEBUG << "handler " << client_.value() << ": probing stale replica "
                  << replica.value();
   proto::Request request{id, client_, core::kDefaultMethod, 0};
+  net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
+  if (span_sink_ != nullptr) {
+    PendingRequest& p = pit->second;
+    p.root_span = span_sink_->next_span_id();
+    payload.set_span({.trace_id = p.trace_id,
+                      .parent_span_id = p.root_span,
+                      .leg = obs::SpanKind::kRequestLeg,
+                      .replica = {}});
+  }
   const std::vector<EndpointId> target{eit->second};
-  group_.send(endpoint_, target, net::Payload::make(request, proto::kRequestBytes));
+  group_.send(endpoint_, target, std::move(payload));
 }
 
 RequestId TimingFaultHandler::invoke(std::int64_t argument, ReplyCallback on_reply,
@@ -168,6 +188,7 @@ RequestId TimingFaultHandler::invoke(std::int64_t argument, ReplyCallback on_rep
   pending.method = method;
   pending.argument = argument;
   pending.on_reply = std::move(on_reply);
+  pending.trace_id = obs::make_trace_id(client_, id);
 
   // §5.4.2: a timing failure occurs if no timely response arrives; the
   // timer also covers the case where no response arrives at all (all
@@ -262,6 +283,16 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
   record.predicted_probability = selection.predicted_probability;
   record.redispatched = redispatch;
 
+  if (obs_ != nullptr && !selection.feasible && !selection.cold_start && !pending.is_probe) {
+    obs_->record_alert({.kind = obs::AlertKind::kInfeasibleSelection,
+                        .at = simulator_.now(),
+                        .client = client_,
+                        .replica = {},
+                        .observed = selection.predicted_probability,
+                        .threshold = pending.qos.min_probability,
+                        .detail = "fallback redundancy " + std::to_string(selected.size())});
+  }
+
   // Selection explainability record: every replica as Algorithm 1 saw
   // it, plus the achieved-vs-requested probability and the cache split.
   if (obs_ != nullptr && obs_->selection_traces_enabled()) {
@@ -314,7 +345,11 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
   }
 
   // The selection computation itself elapses before transmission (t1).
-  simulator_.schedule_after(selection_cost, [this, id, selected = std::move(selected)] {
+  // The dispatch span covers interception + selection for a first
+  // dispatch (t0 -> t1) and the re-selection alone for a redispatch.
+  const TimePoint dispatch_start = redispatch ? simulator_.now() : pending.t0;
+  simulator_.schedule_after(selection_cost, [this, id, dispatch_start,
+                                             selected = std::move(selected)] {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     PendingRequest& p = it->second;
@@ -328,7 +363,25 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
     p.t1 = simulator_.now();
     history_[p.record_index].transmitted_at = p.t1;
     proto::Request request{id, client_, p.method, p.argument};
-    group_.send(endpoint_, targets, net::Payload::make(request, proto::kRequestBytes));
+    net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
+    if (span_sink_ != nullptr) {
+      if (p.root_span == 0) p.root_span = span_sink_->next_span_id();
+      const std::uint64_t dispatch_span = span_sink_->next_span_id();
+      span_sink_->record_span({.trace_id = p.trace_id,
+                               .span_id = dispatch_span,
+                               .parent_span_id = p.root_span,
+                               .kind = obs::SpanKind::kDispatch,
+                               .client = client_,
+                               .request = id,
+                               .replica = {},
+                               .start = dispatch_start,
+                               .end = p.t1});
+      payload.set_span({.trace_id = p.trace_id,
+                        .parent_span_id = dispatch_span,
+                        .leg = obs::SpanKind::kRequestLeg,
+                        .replica = {}});
+    }
+    group_.send(endpoint_, targets, std::move(payload));
   });
 }
 
@@ -387,13 +440,44 @@ void TimingFaultHandler::handle_reply(const proto::Reply& reply) {
     if (response_time_histogram_ != nullptr && !pending.is_probe) {
       response_time_histogram_->record(tr);
     }
+    if (span_sink_ != nullptr) {
+      if (pending.root_span == 0) pending.root_span = span_sink_->next_span_id();
+      // A first reply that beats the deadline closes the wait-for-first-
+      // reply merge (t1 -> t4); one that arrives after the outcome was
+      // decided closes the late-reply harvest window instead.
+      const bool late = pending.outcome_recorded && !pending.is_probe;
+      span_sink_->record_span({.trace_id = pending.trace_id,
+                               .span_id = span_sink_->next_span_id(),
+                               .parent_span_id = pending.root_span,
+                               .kind = late ? obs::SpanKind::kLateReply
+                                            : obs::SpanKind::kFirstReply,
+                               .client = client_,
+                               .request = reply.request,
+                               .replica = reply.replica,
+                               .start = late ? pending.t0 + pending.qos.deadline : pending.t1,
+                               .end = t4,
+                               .ok = late ? false : timely});
+    }
     if (!pending.outcome_recorded && !pending.is_probe) {
       pending.deadline_timer.cancel();
       record_outcome(pending, timely);
     } else if (obs_ != nullptr) {
       if (pending.is_probe) {
-        // Probes never pass through record_outcome; trace them on reply.
+        // Probes never pass through record_outcome; trace them on reply
+        // and close their root span here.
         emit_request_trace(pending, timely);
+        if (span_sink_ != nullptr) {
+          span_sink_->record_span({.trace_id = pending.trace_id,
+                                   .span_id = pending.root_span,
+                                   .parent_span_id = 0,
+                                   .kind = obs::SpanKind::kRequest,
+                                   .client = client_,
+                                   .request = reply.request,
+                                   .replica = reply.replica,
+                                   .start = pending.t0,
+                                   .end = t4,
+                                   .ok = timely});
+        }
       } else if (pending.trace_recorded) {
         // Late first reply: the deadline already decided the outcome and
         // emitted the trace — amend it in place, exactly like
@@ -465,6 +549,17 @@ void TimingFaultHandler::on_view_change(const net::View&, std::span<const Endpoi
                    "client-" + std::to_string(client_.value()) + " evicted " +
                        std::to_string(dead.size()) + " replica(s)");
   }
+  if (obs_ != nullptr) {
+    for (ReplicaId replica : dead) {
+      obs_->record_alert({.kind = obs::AlertKind::kReplicaEvicted,
+                          .at = simulator_.now(),
+                          .client = client_,
+                          .replica = replica,
+                          .observed = static_cast<double>(dead.size()),
+                          .threshold = 0.0,
+                          .detail = "view change"});
+    }
+  }
 
   std::vector<RequestId> to_redispatch;
   for (auto& [id, pending] : pending_) {
@@ -491,6 +586,22 @@ void TimingFaultHandler::record_outcome(PendingRequest& pending, bool timely) {
     (timely ? timely_counter_ : timing_failures_counter_)->add();
   }
   if (obs_ != nullptr) emit_request_trace(pending, timely);
+  if (span_sink_ != nullptr) {
+    // Close the root span at decision time — min(first reply, deadline).
+    // Requests whose replicas all crashed close here too (via the
+    // deadline timer), so the span ring never holds a dangling root.
+    if (pending.root_span == 0) pending.root_span = span_sink_->next_span_id();
+    span_sink_->record_span({.trace_id = pending.trace_id,
+                             .span_id = pending.root_span,
+                             .parent_span_id = 0,
+                             .kind = obs::SpanKind::kRequest,
+                             .client = client_,
+                             .request = history_[pending.record_index].request,
+                             .replica = pending.first_replica,
+                             .start = pending.t0,
+                             .end = simulator_.now(),
+                             .ok = timely});
+  }
   const bool violating = tracker_.violates(pending.qos.min_probability);
   if (violating && !violation_reported_) {
     violation_reported_ = true;
@@ -499,8 +610,26 @@ void TimingFaultHandler::record_outcome(PendingRequest& pending, bool timely) {
       obs_->annotate(simulator_.now(), "qos_violation",
                      "client-" + std::to_string(client_.value()));
     }
+    if (obs_ != nullptr) {
+      obs_->record_alert({.kind = obs::AlertKind::kQosViolation,
+                          .at = simulator_.now(),
+                          .client = client_,
+                          .replica = {},
+                          .observed = tracker_.timely_fraction(),
+                          .threshold = pending.qos.min_probability,
+                          .detail = "timely fraction below requested minimum"});
+    }
     if (on_violation_) on_violation_(tracker_.timely_fraction());
   } else if (!violating) {
+    if (violation_reported_ && obs_ != nullptr) {
+      obs_->record_alert({.kind = obs::AlertKind::kQosRecovered,
+                          .at = simulator_.now(),
+                          .client = client_,
+                          .replica = {},
+                          .observed = tracker_.timely_fraction(),
+                          .threshold = pending.qos.min_probability,
+                          .detail = "timely fraction recovered"});
+    }
     violation_reported_ = false;  // re-arm after recovery
   }
 }
@@ -551,6 +680,15 @@ void TimingFaultHandler::set_qos(core::QosSpec qos) {
   qos_ = qos;
   tracker_.reset();
   violation_reported_ = false;
+  if (obs_ != nullptr) {
+    obs_->record_alert({.kind = obs::AlertKind::kQosRenegotiated,
+                        .at = simulator_.now(),
+                        .client = client_,
+                        .replica = {},
+                        .observed = static_cast<double>(count_us(qos_.deadline)),
+                        .threshold = qos_.min_probability,
+                        .detail = "qos renegotiated"});
+  }
 }
 
 }  // namespace aqua::gateway

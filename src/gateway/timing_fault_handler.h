@@ -225,6 +225,13 @@ class TimingFaultHandler {
     /// amendment (valid while trace_recorded).
     std::uint64_t trace_seq = 0;
     bool trace_recorded = false;
+
+    /// Causal tracing (obs/span.h): the request's trace id and its root
+    /// kRequest span id. The root id is allocated lazily at the first
+    /// hop that needs a parent and the span itself is recorded — closed
+    /// — when the outcome is decided, so no crash can leave it open.
+    std::uint64_t trace_id = 0;
+    std::uint64_t root_span = 0;
   };
 
   void on_receive(EndpointId from, const net::Payload& message);
@@ -287,6 +294,9 @@ class TimingFaultHandler {
   obs::Counter* replicas_evicted_counter_ = nullptr;
   obs::Histogram* response_time_histogram_ = nullptr;
   obs::Histogram* selection_delta_histogram_ = nullptr;
+  /// Non-null only when telemetry is attached and spans are enabled in
+  /// its config; gates every span-recording site at one branch.
+  obs::Telemetry* span_sink_ = nullptr;
 };
 
 }  // namespace aqua::gateway

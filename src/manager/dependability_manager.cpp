@@ -2,12 +2,16 @@
 
 #include "common/assert.h"
 #include "common/log.h"
+#include "obs/telemetry.h"
 
 namespace aqua::manager {
 
 DependabilityManager::DependabilityManager(sim::Simulator& simulator, net::Lan& lan,
                                            ReplicaFactory factory, ManagerConfig config)
-    : simulator_(simulator), factory_(std::move(factory)), config_(config) {
+    : simulator_(simulator),
+      factory_(std::move(factory)),
+      config_(config),
+      obs_(config.telemetry) {
   AQUA_REQUIRE(factory_ != nullptr, "dependability manager needs a replica factory");
   AQUA_REQUIRE(config_.min_replicas >= 1, "minimum replication must be >= 1");
   AQUA_REQUIRE(config_.audit_interval > Duration::zero(), "audit interval must be positive");
@@ -36,6 +40,15 @@ void DependabilityManager::audit() {
   const std::size_t live = current_replication();
   const std::size_t effective = live + pending_;
   if (effective >= config_.min_replicas) return;
+  if (obs_ != nullptr) {
+    obs_->record_alert({.kind = obs::AlertKind::kReplicationLow,
+                        .at = simulator_.now(),
+                        .client = {},
+                        .replica = {},
+                        .observed = static_cast<double>(live),
+                        .threshold = static_cast<double>(config_.min_replicas),
+                        .detail = std::to_string(pending_) + " replacement(s) pending"});
+  }
   std::size_t deficit = config_.min_replicas - effective;
   while (deficit > 0) {
     if (config_.max_replacements != 0 && started_ + pending_ >= config_.max_replacements) {
@@ -51,6 +64,15 @@ void DependabilityManager::audit() {
       --pending_;
       if (factory_()) {
         ++started_;
+        if (obs_ != nullptr) {
+          obs_->record_alert({.kind = obs::AlertKind::kReplacementStarted,
+                              .at = simulator_.now(),
+                              .client = {},
+                              .replica = {},
+                              .observed = static_cast<double>(current_replication()),
+                              .threshold = static_cast<double>(config_.min_replicas),
+                              .detail = "replacement " + std::to_string(started_)});
+        }
       } else {
         AQUA_LOG_WARN << "dependability manager: replica factory declined to start";
       }

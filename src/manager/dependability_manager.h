@@ -21,6 +21,10 @@
 #include "sim/periodic.h"
 #include "sim/simulator.h"
 
+namespace aqua::obs {
+class Telemetry;
+}  // namespace aqua::obs
+
 namespace aqua::manager {
 
 struct ManagerConfig {
@@ -37,6 +41,11 @@ struct ManagerConfig {
   /// Upper bound on replacements over the manager's lifetime (0 = no
   /// bound); guards against crash loops consuming the host pool.
   std::size_t max_replacements = 0;
+
+  /// Optional telemetry hub (non-owning; must outlive the manager). When
+  /// set, replication-low and replacement-started events are emitted as
+  /// structured AlertEvents. Null keeps the audit path untouched.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class DependabilityManager {
@@ -72,6 +81,7 @@ class DependabilityManager {
   sim::Simulator& simulator_;
   ReplicaFactory factory_;
   ManagerConfig config_;
+  obs::Telemetry* obs_ = nullptr;  ///< mirrors config_.telemetry
   std::vector<const replica::ReplicaServer*> managed_;
   std::size_t started_ = 0;
   std::size_t pending_ = 0;  // replacements scheduled but not yet running

@@ -112,7 +112,8 @@ void Lan::deliver(EndpointId from, EndpointId to, Payload message, std::size_t f
     if (deliver_at < last) deliver_at = last;
     last = deliver_at;
   }
-  simulator_.schedule_at(deliver_at, [this, from, to, message = std::move(message)] {
+  const TimePoint sent_at = simulator_.now();
+  simulator_.schedule_at(deliver_at, [this, from, to, sent_at, message = std::move(message)] {
     auto it = endpoints_.find(to);
     if (it == endpoints_.end() || !host_alive(it->second.host)) {
       ++dropped_;
@@ -121,6 +122,18 @@ void Lan::deliver(EndpointId from, EndpointId to, Payload message, std::size_t f
     }
     ++delivered_;
     if (delivered_counter_ != nullptr) delivered_counter_->add();
+    if (span_sink_ != nullptr && message.span().valid()) {
+      const obs::SpanContext& ctx = message.span();
+      span_sink_->record_span({.trace_id = ctx.trace_id,
+                               .span_id = span_sink_->next_span_id(),
+                               .parent_span_id = ctx.parent_span_id,
+                               .kind = ctx.leg,
+                               .client = obs::trace_client(ctx.trace_id),
+                               .request = obs::trace_request(ctx.trace_id),
+                               .replica = ctx.replica,
+                               .start = sent_at,
+                               .end = simulator_.now()});
+    }
     it->second.on_receive(from, message);
   });
 }
@@ -165,8 +178,10 @@ void Lan::set_telemetry(obs::Telemetry* telemetry) {
     fault_dropped_counter_ = nullptr;
     spikes_counter_ = nullptr;
     delay_histogram_ = nullptr;
+    span_sink_ = nullptr;
     return;
   }
+  span_sink_ = telemetry->spans_enabled() ? telemetry : nullptr;
   auto& metrics = telemetry->metrics();
   sent_counter_ = &metrics.counter("lan.sent");
   delivered_counter_ = &metrics.counter("lan.delivered");

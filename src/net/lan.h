@@ -144,8 +144,9 @@ class Lan {
 
   /// Mirror message counters into `telemetry` (lan.sent / lan.delivered /
   /// lan.dropped / lan.fault_dropped / lan.spikes plus the lan.delay_us
-  /// histogram of sampled one-way delays). Null detaches; the disabled
-  /// path costs one branch per message.
+  /// histogram of sampled one-way delays), and record a wire-leg span at
+  /// delivery for every traced payload (payload.span().valid()). Null
+  /// detaches; the disabled path costs one branch per message.
   void set_telemetry(obs::Telemetry* telemetry);
 
   /// Counters for tests and reports.
@@ -191,6 +192,9 @@ class Lan {
   obs::Counter* fault_dropped_counter_ = nullptr;
   obs::Counter* spikes_counter_ = nullptr;
   obs::Histogram* delay_histogram_ = nullptr;
+  /// Span sink; non-null only when telemetry is attached AND spans are
+  /// enabled in its config, so the disabled path stays one branch.
+  obs::Telemetry* span_sink_ = nullptr;
 };
 
 }  // namespace aqua::net

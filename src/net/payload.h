@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "obs/span.h"
 
 namespace aqua::net {
 
@@ -40,9 +41,16 @@ class Payload {
   [[nodiscard]] std::int64_t wire_bytes() const { return wire_bytes_; }
   [[nodiscard]] bool empty() const { return body_ == nullptr; }
 
+  /// Trace envelope stamp (obs/span.h). Default-constructed (trace_id 0)
+  /// means "untraced"; the stamp rides by value so multicast copies
+  /// share the body but each hop can restamp its own context.
+  [[nodiscard]] const obs::SpanContext& span() const { return span_; }
+  void set_span(obs::SpanContext span) { span_ = span; }
+
  private:
   std::shared_ptr<const std::any> body_;
   std::int64_t wire_bytes_ = 0;
+  obs::SpanContext span_{};
 };
 
 }  // namespace aqua::net

@@ -1,0 +1,67 @@
+// Structured QoS alert events.
+//
+// The paper's §5.4.2 QoS-violation callback and the Proteus
+// dependability-manager notifications become first-class records here:
+// instead of a bare callback and a log line, every threshold crossing is
+// an AlertEvent in a bounded ring, exportable as JSON and scrapable live
+// (obs/scrape.h). Alerts are rare by construction — edges, not levels —
+// so the ring mutex is far off any hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace aqua::obs {
+
+enum class AlertKind : std::uint8_t {
+  /// Observed timely fraction dropped below the client's P_c (Eq. 3).
+  kQosViolation = 0,
+  /// Timely fraction recovered to >= P_c after a reported violation.
+  kQosRecovered,
+  /// Algorithm 1 could not reach the requested probability and fell
+  /// back (infeasible target; §5.3 "select all replicas" fallback).
+  kInfeasibleSelection,
+  /// A view change evicted a crashed replica from the directory.
+  kReplicaEvicted,
+  /// A replica's repository entry went stale and a probe was sent (§8).
+  kReplicaStale,
+  /// The client renegotiated its QoS spec mid-run (§4).
+  kQosRenegotiated,
+  /// Dependability manager: live replication below the minimum.
+  kReplicationLow,
+  /// Dependability manager: a replacement replica was started.
+  kReplacementStarted,
+};
+
+[[nodiscard]] inline const char* to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kQosViolation: return "qos_violation";
+    case AlertKind::kQosRecovered: return "qos_recovered";
+    case AlertKind::kInfeasibleSelection: return "infeasible_selection";
+    case AlertKind::kReplicaEvicted: return "replica_evicted";
+    case AlertKind::kReplicaStale: return "replica_stale";
+    case AlertKind::kQosRenegotiated: return "qos_renegotiated";
+    case AlertKind::kReplicationLow: return "replication_low";
+    case AlertKind::kReplacementStarted: return "replacement_started";
+  }
+  return "unknown";
+}
+
+struct AlertEvent {
+  AlertKind kind = AlertKind::kQosViolation;
+  TimePoint at{};
+  ClientId client{};    ///< 0 = not client-scoped
+  ReplicaId replica{};  ///< 0 = not replica-scoped
+  /// Measured value that crossed (timely fraction, live replication, ...).
+  double observed = 0.0;
+  /// The threshold it crossed (P_c, min_replicas, ...).
+  double threshold = 0.0;
+  std::string detail;
+
+  friend bool operator==(const AlertEvent&, const AlertEvent&) = default;
+};
+
+}  // namespace aqua::obs

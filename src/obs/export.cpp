@@ -140,22 +140,6 @@ const std::vector<std::string>& request_columns() {
   return columns;
 }
 
-std::vector<std::string> split_csv_line(const std::string& line) {
-  // The request CSV is purely numeric — no quoting or embedded commas —
-  // so a plain split is exact.
-  std::vector<std::string> cells;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t comma = line.find(',', start);
-    if (comma == std::string::npos) {
-      cells.push_back(line.substr(start));
-      return cells;
-    }
-    cells.push_back(line.substr(start, comma - start));
-    start = comma + 1;
-  }
-}
-
 std::int64_t parse_i64(const std::string& cell) {
   std::size_t used = 0;
   const std::int64_t value = std::stoll(cell, &used);
@@ -185,6 +169,10 @@ void write_snapshot_json(std::ostream& out, const Telemetry& telemetry) {
       << ",\"selections_recorded\":" << telemetry.selections_recorded()
       << ",\"selections_dropped\":" << telemetry.selections_dropped()
       << ",\"annotations_dropped\":" << telemetry.annotations_dropped()
+      << ",\"spans_recorded\":" << telemetry.spans_recorded()
+      << ",\"spans_dropped\":" << telemetry.spans_dropped()
+      << ",\"alerts_recorded\":" << telemetry.alerts_recorded()
+      << ",\"alerts_dropped\":" << telemetry.alerts_dropped()
       << ",\"requests\":[";
   bool first = true;
   for (const RequestTrace& t : telemetry.request_traces()) {
@@ -199,7 +187,9 @@ void write_snapshot_json(std::ostream& out, const Telemetry& telemetry) {
     first = false;
     write_selection_json(out, t);
   }
-  out << "],\"timeline\":[";
+  out << "],\"alerts\":";
+  write_alerts_json(out, telemetry);
+  out << ",\"timeline\":[";
   first = true;
   const trace::Timeline timeline = telemetry.timeline();
   for (const trace::TimelineEvent& e : timeline.events()) {
@@ -209,6 +199,82 @@ void write_snapshot_json(std::ostream& out, const Telemetry& telemetry) {
         << "\",\"detail\":\"" << json_escape(e.detail) << "\"}";
   }
   out << "]}\n";
+}
+
+void write_prometheus_text(std::ostream& out, const Telemetry& telemetry) {
+  // Name mangling: "aqua_" prefix, every character outside [a-zA-Z0-9_:]
+  // becomes '_' (dots in our registry names, mostly).
+  const auto mangle = [](const std::string& name) {
+    std::string out_name = "aqua_";
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      out_name += ok ? c : '_';
+    }
+    return out_name;
+  };
+  const MetricsRegistry& registry = telemetry.metrics();
+  for (const auto& [name, value] : registry.counters()) {
+    const std::string m = mangle(name);
+    out << "# TYPE " << m << " counter\n" << m << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    const std::string m = mangle(name);
+    out << "# TYPE " << m << " gauge\n" << m << ' ' << json_number(value) << '\n';
+  }
+  for (const HistogramSnapshot& h : registry.histograms()) {
+    const std::string m = mangle(h.name);
+    out << "# TYPE " << m << " summary\n";
+    out << m << "{quantile=\"0.5\"} " << h.p50_us << '\n';
+    out << m << "{quantile=\"0.9\"} " << h.p90_us << '\n';
+    out << m << "{quantile=\"0.99\"} " << h.p99_us << '\n';
+    out << m << "{quantile=\"0.999\"} " << h.p999_us << '\n';
+    out << m << "_sum " << h.sum_us << '\n';
+    out << m << "_count " << h.count << '\n';
+  }
+  // Ring lifetime totals, so a scraper can alert on trace loss.
+  const auto total = [&out](const char* name, std::uint64_t value) {
+    out << "# TYPE " << name << " counter\n" << name << ' ' << value << '\n';
+  };
+  total("aqua_telemetry_requests_recorded", telemetry.requests_recorded());
+  total("aqua_telemetry_requests_dropped", telemetry.requests_dropped());
+  total("aqua_telemetry_selections_recorded", telemetry.selections_recorded());
+  total("aqua_telemetry_selections_dropped", telemetry.selections_dropped());
+  total("aqua_telemetry_spans_recorded", telemetry.spans_recorded());
+  total("aqua_telemetry_spans_dropped", telemetry.spans_dropped());
+  total("aqua_telemetry_alerts_recorded", telemetry.alerts_recorded());
+  total("aqua_telemetry_alerts_dropped", telemetry.alerts_dropped());
+}
+
+void write_alerts_json(std::ostream& out, const Telemetry& telemetry) {
+  out << '[';
+  bool first = true;
+  for (const AlertEvent& a : telemetry.alerts()) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"kind\":\"" << to_string(a.kind) << "\",\"at_us\":" << count_us(a.at)
+        << ",\"client\":" << a.client.value() << ",\"replica\":" << a.replica.value()
+        << ",\"observed\":" << json_number(a.observed)
+        << ",\"threshold\":" << json_number(a.threshold) << ",\"detail\":\""
+        << json_escape(a.detail) << "\"}";
+  }
+  out << ']';
+}
+
+void write_spans_json(std::ostream& out, std::span<const SpanRecord> spans) {
+  out << '[';
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"trace_id\":" << s.trace_id << ",\"span_id\":" << s.span_id
+        << ",\"parent_span_id\":" << s.parent_span_id << ",\"kind\":\"" << to_string(s.kind)
+        << "\",\"client\":" << s.client.value() << ",\"request\":" << s.request.value()
+        << ",\"replica\":" << s.replica.value() << ",\"start_us\":" << count_us(s.start)
+        << ",\"end_us\":" << count_us(s.end) << ",\"ok\":" << (s.ok ? "true" : "false")
+        << '}';
+  }
+  out << ']';
 }
 
 void write_metrics_json(std::ostream& out, const Telemetry& telemetry) {
@@ -316,7 +382,10 @@ std::vector<RequestTrace> read_requests_csv(std::istream& in) {
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    const std::vector<std::string> cells = split_csv_line(line);
+    // RFC 4180-aware split: CsvWriter::escape quotes on the way out
+    // (method/scenario names can carry commas and quotes), so the
+    // reader must unquote on the way back in.
+    const std::vector<std::string> cells = trace::split_csv_row(line);
     if (cells.size() != request_columns().size()) {
       throw std::runtime_error("request csv: bad row width: " + line);
     }

@@ -24,8 +24,23 @@ namespace aqua::obs {
 
 /// Full snapshot as one JSON document: metrics (counters, gauges,
 /// histogram quantiles), ring drop totals, request + selection traces,
-/// and the annotation timeline.
+/// QoS alerts, and the annotation timeline. (Spans are exported
+/// separately — write_spans_json / perfetto_export.h — they dwarf the
+/// rest of the snapshot.)
 void write_snapshot_json(std::ostream& out, const Telemetry& telemetry);
+
+/// Prometheus text exposition (version 0.0.4), served by the /metrics
+/// scrape endpoint. Counters and gauges map directly; histograms are
+/// rendered as summaries with quantile labels (0.5/0.9/0.99/0.999) plus
+/// _sum and _count. Metric names are prefixed "aqua_" and mangled to the
+/// [a-zA-Z0-9_:] charset.
+void write_prometheus_text(std::ostream& out, const Telemetry& telemetry);
+
+/// QoS alert ring as a JSON array of structured AlertEvents.
+void write_alerts_json(std::ostream& out, const Telemetry& telemetry);
+
+/// Span records as a JSON array (one flat object per closed span).
+void write_spans_json(std::ostream& out, std::span<const SpanRecord> spans);
 
 /// Metrics-only JSON object (one line, no trailing newline) — the
 /// periodic flusher's per-tick payload.

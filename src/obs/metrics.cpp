@@ -12,12 +12,21 @@ std::int64_t Histogram::quantile(double q) const {
   // Nearest-rank: the smallest value with cumulative count >= ceil(q * n).
   const auto rank = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+  // A rank at (or past — p999 with n < 1000 rounds up to rank n) the last
+  // sample is the recorded maximum, exactly, whatever bin it lives in.
+  if (rank >= n) return max_value();
   std::uint64_t cumulative = 0;
   for (std::size_t bin = 0; bin < kBinCount; ++bin) {
     cumulative += bin_count(bin);
-    if (cumulative >= rank) {
-      return bin == kOverflowBin ? max_value() : bin_upper_bound(bin);
+    if (cumulative < rank) continue;
+    if (bin == kOverflowBin) return max_value();
+    if (cumulative == rank) {
+      // The ranked sample is the LAST one in this bin: every sample at
+      // or below the rank fits under the bin's lower edge's successor,
+      // so report the lower edge rather than overstating by a full bin.
+      return bin == 0 ? 0 : bin_upper_bound(bin - 1);
     }
+    return bin_upper_bound(bin);
   }
   // Concurrent writers can leave count() ahead of the bin sums for a
   // moment; fall back to the largest value seen.

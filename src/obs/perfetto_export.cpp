@@ -1,0 +1,185 @@
+#include "obs/perfetto_export.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace aqua::obs {
+namespace {
+
+constexpr std::int64_t kGatewayPid = 1;
+constexpr std::int64_t kReplicaPidBase = 100;
+constexpr std::int64_t kClientWireTidBase = 1000;
+constexpr std::int64_t kReplicaQueueTid = 1;
+constexpr std::int64_t kReplicaServiceTid = 2;
+constexpr std::int64_t kReplicaWireTid = 3;
+
+struct Track {
+  std::int64_t pid = 0;
+  std::int64_t tid = 0;
+};
+
+Track track_of(const SpanRecord& s) {
+  switch (s.kind) {
+    case SpanKind::kRequest:
+    case SpanKind::kDispatch:
+    case SpanKind::kFirstReply:
+    case SpanKind::kLateReply:
+      return {kGatewayPid, static_cast<std::int64_t>(s.client.value())};
+    case SpanKind::kRequestLeg:
+      return {kGatewayPid, kClientWireTidBase + static_cast<std::int64_t>(s.client.value())};
+    case SpanKind::kQueueWait:
+      return {kReplicaPidBase + static_cast<std::int64_t>(s.replica.value()), kReplicaQueueTid};
+    case SpanKind::kService:
+      return {kReplicaPidBase + static_cast<std::int64_t>(s.replica.value()),
+              kReplicaServiceTid};
+    case SpanKind::kReplyLeg:
+      return {kReplicaPidBase + static_cast<std::int64_t>(s.replica.value()), kReplicaWireTid};
+  }
+  return {kGatewayPid, 0};
+}
+
+const char* slice_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRequest: return "request";
+    case SpanKind::kDispatch: return "dispatch";
+    case SpanKind::kRequestLeg: return "request_leg";
+    case SpanKind::kQueueWait: return "queue_wait";
+    case SpanKind::kService: return "service";
+    case SpanKind::kReplyLeg: return "reply_leg";
+    case SpanKind::kFirstReply: return "first_reply";
+    case SpanKind::kLateReply: return "late_reply";
+  }
+  return "span";
+}
+
+void write_metadata(std::ostream& out, const std::int64_t pid, const std::int64_t tid,
+                    const char* what, const std::string& name, bool& first) {
+  if (!first) out << ',';
+  first = false;
+  out << "{\"ph\":\"M\",\"pid\":" << pid;
+  if (tid >= 0) out << ",\"tid\":" << tid;
+  out << ",\"name\":\"" << what << "\",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+}  // namespace
+
+void write_perfetto_json(std::ostream& out, std::span<const SpanRecord> spans) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+
+  // ------------------------------------------------ metadata events
+  // std::map keeps (pid, tid) enumeration sorted, hence deterministic
+  // regardless of ring order.
+  std::map<std::int64_t, std::string> processes;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::string> threads;
+  for (const SpanRecord& s : spans) {
+    const Track t = track_of(s);
+    if (t.pid == kGatewayPid) {
+      processes.emplace(t.pid, "gateway");
+      const std::uint64_t client = s.client.value();
+      if (t.tid >= kClientWireTidBase) {
+        threads.emplace(std::pair{t.pid, t.tid},
+                        "client-" + std::to_string(client) + " wire");
+      } else {
+        threads.emplace(std::pair{t.pid, t.tid}, "client-" + std::to_string(client));
+      }
+    } else {
+      processes.emplace(t.pid, "replica-" + std::to_string(s.replica.value()));
+      const char* name = t.tid == kReplicaQueueTid     ? "queue"
+                         : t.tid == kReplicaServiceTid ? "service"
+                                                       : "wire";
+      threads.emplace(std::pair{t.pid, t.tid}, name);
+    }
+  }
+  for (const auto& [pid, name] : processes) {
+    write_metadata(out, pid, -1, "process_name", name, first);
+  }
+  for (const auto& [key, name] : threads) {
+    write_metadata(out, key.first, key.second, "thread_name", name, first);
+  }
+
+  // ------------------------------------------------ complete ("X") events
+  for (const SpanRecord& s : spans) {
+    const Track t = track_of(s);
+    const std::int64_t ts = count_us(s.start);
+    const std::int64_t dur = std::max<std::int64_t>(0, count_us(s.end) - ts);
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"X\",\"pid\":" << t.pid << ",\"tid\":" << t.tid
+        << ",\"ts\":" << ts << ",\"dur\":" << dur << ",\"name\":\"" << slice_name(s.kind)
+        << "\",\"cat\":\"aqua\",\"args\":{\"trace\":" << s.trace_id
+        << ",\"span\":" << s.span_id << ",\"request\":" << s.request.value()
+        << ",\"ok\":" << (s.ok ? "true" : "false") << "}}";
+  }
+
+  // ------------------------------------------------ flow ("s"/"f") events
+  // Index dispatch and service spans per trace so each consumer can find
+  // its producer. Ring order within a trace is causal order, so "latest
+  // producer not after me" resolves redispatches correctly.
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> dispatches;
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> services;
+  for (const SpanRecord& s : spans) {
+    if (s.kind == SpanKind::kDispatch) dispatches[s.trace_id].push_back(&s);
+    if (s.kind == SpanKind::kService) services[s.trace_id].push_back(&s);
+  }
+  const auto emit_flow = [&out, &first](const char* name, std::uint64_t id, Track from,
+                                        std::int64_t from_ts, Track to, std::int64_t to_ts) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"s\",\"cat\":\"flow\",\"name\":\"" << name << "\",\"id\":" << id
+        << ",\"pid\":" << from.pid << ",\"tid\":" << from.tid << ",\"ts\":" << from_ts
+        << "}";
+    out << ",{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"flow\",\"name\":\"" << name
+        << "\",\"id\":" << id << ",\"pid\":" << to.pid << ",\"tid\":" << to.tid
+        << ",\"ts\":" << to_ts << "}";
+  };
+  for (const SpanRecord& s : spans) {
+    if (s.kind == SpanKind::kQueueWait) {
+      const auto it = dispatches.find(s.trace_id);
+      if (it == dispatches.end()) continue;
+      // The dispatch that fed this queue slice: latest one ending at or
+      // before the enqueue; fall back to the first when clock skew in
+      // the threaded runtime puts the enqueue marginally earlier.
+      const SpanRecord* producer = nullptr;
+      for (const SpanRecord* d : it->second) {
+        if (d->end <= s.start && (producer == nullptr || d->end >= producer->end)) {
+          producer = d;
+        }
+      }
+      if (producer == nullptr) producer = it->second.front();
+      emit_flow("dispatch", s.span_id, track_of(*producer), count_us(producer->end),
+                track_of(s), count_us(s.start));
+    } else if (s.kind == SpanKind::kFirstReply) {
+      const auto it = services.find(s.trace_id);
+      if (it == services.end()) continue;
+      // The winning replica's service slice; prefer the latest one that
+      // finished before the merge (redispatch can service twice).
+      const SpanRecord* producer = nullptr;
+      for (const SpanRecord* v : it->second) {
+        if (v->replica != s.replica) continue;
+        if (v->end <= s.end && (producer == nullptr || v->end >= producer->end)) {
+          producer = v;
+        }
+      }
+      if (producer == nullptr) continue;
+      emit_flow("reply", s.span_id, track_of(*producer), count_us(producer->end),
+                track_of(s), count_us(s.end));
+    }
+  }
+
+  out << "]}\n";
+}
+
+void write_perfetto_json(std::ostream& out, const Telemetry& telemetry) {
+  const std::vector<SpanRecord> spans = telemetry.spans();
+  write_perfetto_json(out, std::span<const SpanRecord>{spans});
+}
+
+}  // namespace aqua::obs

@@ -1,0 +1,37 @@
+// Chrome trace-event ("Perfetto legacy JSON") exporter for span rings.
+//
+// The output is one self-contained JSON document loadable in
+// ui.perfetto.dev or chrome://tracing:
+//
+//   {"displayTimeUnit":"ms","traceEvents":[...]}
+//
+// Track layout: the gateway is pid 1 with one track per client
+// ("client-N" holds the request root, dispatch, and reply-merge slices;
+// "client-N wire" holds the outbound request legs), and every replica R
+// is pid 100+R with three tracks — "queue", "service", and "wire" (the
+// reply legs). Flow arrows connect each dispatch slice to the replica
+// queue slice it fed, and each service slice to the first-reply merge it
+// won.
+//
+// Determinism: events are emitted in span-ring order with integer
+// microsecond timestamps and ids taken from the span records, so two
+// same-seed simulation runs serialize to byte-identical documents (the
+// golden check in tools/run_checks.sh pins this).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "obs/span.h"
+
+namespace aqua::obs {
+
+class Telemetry;
+
+/// Serialize closed spans as a Chrome trace-event JSON document.
+void write_perfetto_json(std::ostream& out, std::span<const SpanRecord> spans);
+
+/// Convenience overload: snapshot `telemetry`'s span ring and serialize it.
+void write_perfetto_json(std::ostream& out, const Telemetry& telemetry);
+
+}  // namespace aqua::obs

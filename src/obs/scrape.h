@@ -1,0 +1,58 @@
+// Minimal blocking HTTP/1.0 scrape endpoint for live telemetry.
+//
+// One acceptor thread serves GET requests sequentially — a scrape
+// target, not a web server. Every response is built from a fresh
+// Telemetry snapshot, so a scraper always sees a consistent point-in-time
+// view while the run keeps mutating the rings.
+//
+// Routes:
+//   /metrics        Prometheus text exposition (write_prometheus_text)
+//   /snapshot       full JSON snapshot (write_snapshot_json)
+//   /alerts         QoS alert ring as JSON
+//   /trace          whole span ring as Chrome trace-event JSON
+//   /traces/<id>    one trace's spans as a JSON array (404 when unknown)
+//
+// The server binds 127.0.0.1 only: telemetry can carry method names and
+// scenario labels, so it is deliberately not reachable off-host.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace aqua::obs {
+
+class Telemetry;
+
+class ScrapeServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  /// acceptor thread. Throws std::runtime_error when the bind fails.
+  /// `telemetry` must outlive the server.
+  ScrapeServer(const Telemetry& telemetry, std::uint16_t port);
+
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  ~ScrapeServer();
+
+  /// Actual bound port (resolves port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stop accepting and join the acceptor thread. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+ private:
+  void serve();
+  [[nodiscard]] std::string respond(const std::string& path) const;
+
+  const Telemetry& telemetry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{true};
+  std::thread thread_;
+};
+
+}  // namespace aqua::obs

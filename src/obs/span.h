@@ -1,0 +1,116 @@
+// Causal span model: the paper's request lifecycle as a trace tree.
+//
+// Each client request owns one trace, identified by a trace_id packed
+// from (client, request) — deterministic, no global counter involved, so
+// a seeded run assigns identical ids with telemetry on or off. Within a
+// trace, each hop is a span:
+//
+//   kRequest     t0 -> decision          root; closed at min(first
+//                                        reply, deadline), so a crashed
+//                                        replica set never leaves an
+//                                        open root
+//   kDispatch    t0 -> t1                interception + Algorithm-1
+//                                        selection + marshalling
+//   kRequestLeg  t1 -> delivery at R     LAN leg out (one per member of
+//                                        the multicast set K)
+//   kQueueWait   t2 -> t3                replica FIFO queue (t_q)
+//   kService     t3 -> reply send        application upcall (t_s)
+//   kReplyLeg    reply send -> gateway   LAN leg back
+//   kFirstReply  t1 -> t4                wait-for-first-reply merge on
+//                                        the client track
+//   kLateReply   deadline -> t4          late-reply harvest window (the
+//                                        amendment RequestTrace gets)
+//
+// Spans are recorded CLOSED (start and end known), never opened and
+// patched: the ring only ever holds complete intervals, which is what
+// makes the "no dangling spans after a crash" invariant checkable.
+//
+// SpanContext is the 3-word envelope stamp carried inside net::Payload:
+// enough for the LAN and the replica to attach their spans to the right
+// parent without knowing anything about the gateway. Like the records in
+// records.h, everything here uses only common-layer types so obs stays
+// below net/core/gateway in the dependency order.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace aqua::obs {
+
+enum class SpanKind : std::uint8_t {
+  kRequest = 0,
+  kDispatch,
+  kRequestLeg,
+  kQueueWait,
+  kService,
+  kReplyLeg,
+  kFirstReply,
+  kLateReply,
+};
+
+[[nodiscard]] inline const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRequest: return "request";
+    case SpanKind::kDispatch: return "dispatch";
+    case SpanKind::kRequestLeg: return "request_leg";
+    case SpanKind::kQueueWait: return "queue_wait";
+    case SpanKind::kService: return "service";
+    case SpanKind::kReplyLeg: return "reply_leg";
+    case SpanKind::kFirstReply: return "first_reply";
+    case SpanKind::kLateReply: return "late_reply";
+  }
+  return "unknown";
+}
+
+/// Deterministic trace id: client in the high 32 bits, request in the
+/// low 32. (client, request) is unique per run, so no counter — and
+/// therefore no cross-component ordering — is needed to allocate it.
+[[nodiscard]] constexpr std::uint64_t make_trace_id(ClientId client, RequestId request) {
+  return (client.value() << 32) | (request.value() & 0xffffffffULL);
+}
+
+[[nodiscard]] constexpr ClientId trace_client(std::uint64_t trace_id) {
+  return ClientId{trace_id >> 32};
+}
+
+[[nodiscard]] constexpr RequestId trace_request(std::uint64_t trace_id) {
+  return RequestId{trace_id & 0xffffffffULL};
+}
+
+/// Wire stamp carried by value inside net::Payload. `parent_span_id` is
+/// the span the next hop should attach under; `leg` is the kind the LAN
+/// records for the wire hop itself (request vs reply direction — the LAN
+/// cannot tell them apart from the type-erased body). `replica` is set
+/// by the replying replica so reply legs are attributable; request legs
+/// leave it 0 because one multicast payload fans out to the whole set K.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  SpanKind leg = SpanKind::kRequestLeg;
+  ReplicaId replica{};
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+};
+
+/// One closed span in the ring.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;  ///< 0 = root
+  SpanKind kind = SpanKind::kRequest;
+  ClientId client{};
+  RequestId request{};
+  ReplicaId replica{};  ///< 0 when the span is not replica-scoped
+  TimePoint start{};
+  TimePoint end{};
+  /// False marks an unhappy close: a timing failure (root), a late
+  /// first reply (kLateReply is always !ok), or a leg whose outcome the
+  /// deadline decided against.
+  bool ok = true;
+
+  friend bool operator==(const SpanRecord&, const SpanRecord&) = default;
+};
+
+}  // namespace aqua::obs

@@ -55,6 +55,27 @@ void Telemetry::annotate(TimePoint at, std::string kind, std::string detail) {
   timeline_.add(at, std::move(kind), std::move(detail));
 }
 
+void Telemetry::record_span(SpanRecord span) {
+  if (!config_.spans) return;
+  const std::scoped_lock lock(spans_mutex_);
+  ++spans_recorded_;
+  spans_.push_back(std::move(span));
+  if (spans_.size() > config_.span_capacity) {
+    spans_.pop_front();
+    ++spans_dropped_;
+  }
+}
+
+void Telemetry::record_alert(AlertEvent alert) {
+  const std::scoped_lock lock(alerts_mutex_);
+  ++alerts_recorded_;
+  alerts_.push_back(std::move(alert));
+  if (alerts_.size() > config_.alert_capacity) {
+    alerts_.pop_front();
+    ++alerts_dropped_;
+  }
+}
+
 std::vector<RequestTrace> Telemetry::request_traces() const {
   const std::scoped_lock lock(requests_mutex_);
   return {requests_.begin(), requests_.end()};
@@ -93,6 +114,45 @@ std::uint64_t Telemetry::selections_dropped() const {
 std::uint64_t Telemetry::annotations_dropped() const {
   const std::scoped_lock lock(timeline_mutex_);
   return annotations_dropped_;
+}
+
+std::vector<SpanRecord> Telemetry::spans() const {
+  const std::scoped_lock lock(spans_mutex_);
+  return {spans_.begin(), spans_.end()};
+}
+
+std::vector<SpanRecord> Telemetry::spans_for(std::uint64_t trace_id) const {
+  const std::scoped_lock lock(spans_mutex_);
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& span : spans_) {
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  return out;
+}
+
+std::vector<AlertEvent> Telemetry::alerts() const {
+  const std::scoped_lock lock(alerts_mutex_);
+  return {alerts_.begin(), alerts_.end()};
+}
+
+std::uint64_t Telemetry::spans_recorded() const {
+  const std::scoped_lock lock(spans_mutex_);
+  return spans_recorded_;
+}
+
+std::uint64_t Telemetry::spans_dropped() const {
+  const std::scoped_lock lock(spans_mutex_);
+  return spans_dropped_;
+}
+
+std::uint64_t Telemetry::alerts_recorded() const {
+  const std::scoped_lock lock(alerts_mutex_);
+  return alerts_recorded_;
+}
+
+std::uint64_t Telemetry::alerts_dropped() const {
+  const std::scoped_lock lock(alerts_mutex_);
+  return alerts_dropped_;
 }
 
 }  // namespace aqua::obs

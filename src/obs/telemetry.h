@@ -22,6 +22,8 @@
 // telemetry on or off.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -29,8 +31,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/alerts.h"
 #include "obs/metrics.h"
 #include "obs/records.h"
+#include "obs/span.h"
 #include "trace/timeline.h"
 
 namespace aqua::obs {
@@ -41,9 +45,16 @@ struct TelemetryConfig {
   std::size_t request_capacity = 65536;
   std::size_t selection_capacity = 65536;
   std::size_t annotation_capacity = 65536;
+  /// Spans are ~8 per request (dispatch, per-replica legs, queue,
+  /// service, merge), so the ring is sized a few multiples deeper.
+  std::size_t span_capacity = 262144;
+  std::size_t alert_capacity = 4096;
   /// Selection explainability records are the heaviest (one vector per
   /// selection); turn them off to keep only metrics + request traces.
   bool selection_traces = true;
+  /// Span recording toggle, same spirit as selection_traces: off keeps
+  /// trace-id stamping (cheap, deterministic) but records no spans.
+  bool spans = true;
 };
 
 class Telemetry {
@@ -54,6 +65,21 @@ class Telemetry {
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
   [[nodiscard]] const TelemetryConfig& config() const { return config_; }
   [[nodiscard]] bool selection_traces_enabled() const { return config_.selection_traces; }
+  [[nodiscard]] bool spans_enabled() const { return config_.spans; }
+
+  /// Allocate a span id. Ids start at 1 (0 = "no parent") and are handed
+  /// out by one relaxed atomic counter; in the discrete-event simulator
+  /// every allocation happens in deterministic event order, so a seeded
+  /// run assigns identical ids on every execution.
+  [[nodiscard]] std::uint64_t next_span_id() { return span_id_counter_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  /// Wall-clock "now" mapped onto the TimePoint axis (µs since this
+  /// Telemetry was constructed). Only the threaded runtime calls this;
+  /// the simulator stamps spans with sim time and never touches it.
+  [[nodiscard]] TimePoint wall_now() const {
+    const auto elapsed = std::chrono::steady_clock::now() - wall_epoch_;
+    return TimePoint{std::chrono::duration_cast<Duration>(elapsed)};
+  }
 
   /// Record a decided request; returns a sequence number usable with
   /// amend_request.
@@ -76,9 +102,21 @@ class Telemetry {
   /// QoS-violation callbacks, snapshot flushes, view changes.
   void annotate(TimePoint at, std::string kind, std::string detail = {});
 
+  /// Record one CLOSED span (start and end already known). Callers must
+  /// check spans_enabled() first — recording with spans off is still
+  /// correct but wastes the lock. No-op when config_.spans is false.
+  void record_span(SpanRecord span);
+
+  /// Record a structured QoS alert event.
+  void record_alert(AlertEvent alert);
+
   /// Snapshot copies (thread-safe, records in recording order).
   [[nodiscard]] std::vector<RequestTrace> request_traces() const;
   [[nodiscard]] std::vector<SelectionTrace> selection_traces() const;
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  /// Spans belonging to one trace, in recording order.
+  [[nodiscard]] std::vector<SpanRecord> spans_for(std::uint64_t trace_id) const;
+  [[nodiscard]] std::vector<AlertEvent> alerts() const;
   [[nodiscard]] trace::Timeline timeline() const;
 
   /// Lifetime totals, including records since evicted from the rings.
@@ -87,6 +125,10 @@ class Telemetry {
   [[nodiscard]] std::uint64_t selections_recorded() const;
   [[nodiscard]] std::uint64_t selections_dropped() const;
   [[nodiscard]] std::uint64_t annotations_dropped() const;
+  [[nodiscard]] std::uint64_t spans_recorded() const;
+  [[nodiscard]] std::uint64_t spans_dropped() const;
+  [[nodiscard]] std::uint64_t alerts_recorded() const;
+  [[nodiscard]] std::uint64_t alerts_dropped() const;
 
  private:
   TelemetryConfig config_;
@@ -106,6 +148,19 @@ class Telemetry {
   mutable std::mutex timeline_mutex_;
   trace::Timeline timeline_;
   std::uint64_t annotations_dropped_ = 0;
+
+  std::atomic<std::uint64_t> span_id_counter_{0};
+  mutable std::mutex spans_mutex_;
+  std::deque<SpanRecord> spans_;
+  std::uint64_t spans_recorded_ = 0;
+  std::uint64_t spans_dropped_ = 0;
+
+  mutable std::mutex alerts_mutex_;
+  std::deque<AlertEvent> alerts_;
+  std::uint64_t alerts_recorded_ = 0;
+  std::uint64_t alerts_dropped_ = 0;
+
+  std::chrono::steady_clock::time_point wall_epoch_ = std::chrono::steady_clock::now();
 };
 
 }  // namespace aqua::obs

@@ -32,6 +32,7 @@ ReplicaServer::ReplicaServer(sim::Simulator& simulator, net::Lan& lan, net::Mult
     queuing_delay_histogram_ = &metrics.histogram("replica.queuing_delay_us");
     queue_length_gauge_ =
         &metrics.gauge("replica." + std::to_string(id_.value()) + ".queue_length");
+    if (config_.telemetry->spans_enabled()) span_sink_ = config_.telemetry;
   }
   endpoint_ = lan_.create_endpoint(
       host_, [this](EndpointId from, const net::Payload& m) { on_receive(from, m); });
@@ -47,7 +48,7 @@ void ReplicaServer::announce() {
 void ReplicaServer::on_receive(EndpointId from, const net::Payload& message) {
   if (!alive_) return;
   if (const auto* request = message.get_if<proto::Request>()) {
-    handle_request(from, *request);
+    handle_request(from, *request, message.span());
     return;
   }
   if (const auto* subscribe = message.get_if<proto::Subscribe>()) {
@@ -65,9 +66,10 @@ void ReplicaServer::on_receive(EndpointId from, const net::Payload& message) {
   AQUA_LOG_WARN << "replica " << id_.value() << ": dropping unknown message type";
 }
 
-void ReplicaServer::handle_request(EndpointId from, const proto::Request& request) {
+void ReplicaServer::handle_request(EndpointId from, const proto::Request& request,
+                                   const obs::SpanContext& span) {
   // Stage 3: the server gateway enqueues the request, recording t2.
-  queue_.push_back(QueuedRequest{request, from, simulator_.now()});
+  queue_.push_back(QueuedRequest{request, from, simulator_.now(), span});
   if (requests_counter_ != nullptr) {
     requests_counter_->add();
     queue_length_gauge_->set(static_cast<double>(queue_.size()));
@@ -120,7 +122,40 @@ void ReplicaServer::finish_current() {
     reply.result = config_.corrupt(reply.result);
   }
   reply.perf = perf;
-  lan_.unicast(endpoint_, current_.reply_to, net::Payload::make(reply, proto::kReplyBytes));
+  net::Payload reply_payload = net::Payload::make(reply, proto::kReplyBytes);
+  if (span_sink_ != nullptr && current_.span.valid()) {
+    // Close the queue-wait and service spans (they are only known in
+    // full here) and hand the reply leg a fresh parent so the trace tree
+    // reads dispatch -> queue -> service -> reply leg.
+    const std::uint64_t queue_span = span_sink_->next_span_id();
+    const std::uint64_t service_span = span_sink_->next_span_id();
+    const obs::SpanContext& ctx = current_.span;
+    const ClientId client = obs::trace_client(ctx.trace_id);
+    const RequestId request_id = obs::trace_request(ctx.trace_id);
+    span_sink_->record_span({.trace_id = ctx.trace_id,
+                             .span_id = queue_span,
+                             .parent_span_id = ctx.parent_span_id,
+                             .kind = obs::SpanKind::kQueueWait,
+                             .client = client,
+                             .request = request_id,
+                             .replica = id_,
+                             .start = current_.enqueued_at,
+                             .end = dequeued_at_});
+    span_sink_->record_span({.trace_id = ctx.trace_id,
+                             .span_id = service_span,
+                             .parent_span_id = queue_span,
+                             .kind = obs::SpanKind::kService,
+                             .client = client,
+                             .request = request_id,
+                             .replica = id_,
+                             .start = dequeued_at_,
+                             .end = now});
+    reply_payload.set_span({.trace_id = ctx.trace_id,
+                            .parent_span_id = service_span,
+                            .leg = obs::SpanKind::kReplyLeg,
+                            .replica = id_});
+  }
+  lan_.unicast(endpoint_, current_.reply_to, std::move(reply_payload));
 
   publish_perf(current_.reply_to, perf, current_.request.method);
 

@@ -20,6 +20,7 @@
 #include "common/time.h"
 #include "net/group.h"
 #include "net/lan.h"
+#include "obs/span.h"
 #include "proto/messages.h"
 #include "replica/service_model.h"
 #include "sim/simulator.h"
@@ -99,7 +100,8 @@ class ReplicaServer {
  private:
   void on_receive(EndpointId from, const net::Payload& message);
   void announce();
-  void handle_request(EndpointId from, const proto::Request& request);
+  void handle_request(EndpointId from, const proto::Request& request,
+                      const obs::SpanContext& span);
   void start_next();
   void finish_current();
   void publish_perf(EndpointId requester, const proto::PerfData& perf, const std::string& method);
@@ -108,6 +110,7 @@ class ReplicaServer {
     proto::Request request;
     EndpointId reply_to;
     TimePoint enqueued_at;  // t2
+    obs::SpanContext span{};  ///< trace stamp carried in from the wire
   };
 
   sim::Simulator& simulator_;
@@ -137,6 +140,8 @@ class ReplicaServer {
   obs::Histogram* service_time_histogram_ = nullptr;
   obs::Histogram* queuing_delay_histogram_ = nullptr;
   obs::Gauge* queue_length_gauge_ = nullptr;
+  /// Non-null only when telemetry is attached and spans are enabled.
+  obs::Telemetry* span_sink_ = nullptr;
 };
 
 }  // namespace aqua::replica

@@ -35,6 +35,8 @@ ThreadedClient::ThreadedClient(std::vector<ThreadedReplica*> replicas, core::Qos
   AQUA_REQUIRE(!replicas_.empty(), "threaded client needs at least one replica");
   AQUA_REQUIRE(config_.give_up_deadline_factor >= 1, "give-up factor must be >= 1");
   if (config_.telemetry != nullptr) {
+    obs_ = config_.telemetry;
+    if (obs_->spans_enabled()) span_sink_ = obs_;
     auto& metrics = config_.telemetry->metrics();
     requests_counter_ = &metrics.counter("threaded.requests");
     answered_counter_ = &metrics.counter("threaded.answered");
@@ -51,12 +53,16 @@ ThreadedClient::ThreadedClient(std::vector<ThreadedReplica*> replicas, core::Qos
 ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
   using SteadyClock = std::chrono::steady_clock;
   const auto t0 = SteadyClock::now();
+  const TimePoint wall_t0 = span_sink_ != nullptr ? span_sink_->wall_now() : TimePoint{};
 
   Outcome outcome;
   proto::Request request;
   core::SelectionResult selection;
   std::vector<ThreadedReplica*> targets;
   core::QosSpec qos_snapshot;
+  std::uint64_t trace_id = 0;
+  std::uint64_t root_span = 0;
+  obs::SpanContext request_ctx{};
   {
     std::lock_guard lock(mutex_);
     qos_snapshot = qos_;
@@ -81,6 +87,25 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
     }
   }
 
+  if (span_sink_ != nullptr) {
+    trace_id = obs::make_trace_id(config_.id, request.id);
+    root_span = span_sink_->next_span_id();
+    const std::uint64_t dispatch_span = span_sink_->next_span_id();
+    span_sink_->record_span({.trace_id = trace_id,
+                             .span_id = dispatch_span,
+                             .parent_span_id = root_span,
+                             .kind = obs::SpanKind::kDispatch,
+                             .client = config_.id,
+                             .request = request.id,
+                             .replica = {},
+                             .start = wall_t0,
+                             .end = wall_t0 + outcome.selection_overhead});
+    request_ctx = {.trace_id = trace_id,
+                   .parent_span_id = dispatch_span,
+                   .leg = obs::SpanKind::kRequestLeg,
+                   .replica = {}};
+  }
+
   auto state = std::make_shared<RequestState>();
   for (ThreadedReplica* replica : targets) {
     Duration out_delay;
@@ -88,7 +113,7 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
       std::lock_guard lock(mutex_);
       out_delay = config_.net.sample(rng_);
     }
-    executor_.post_after(out_delay, [this, replica, request, state] {
+    executor_.post_after(out_delay, [this, replica, request, state, request_ctx] {
       replica->submit(request, [this, state](const proto::Reply& reply) {
         Duration back_delay;
         {
@@ -113,7 +138,7 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
             state->cv.notify_all();
           }
         });
-      });
+      }, request_ctx);
     });
   }
 
@@ -134,6 +159,33 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
   const auto t4 = SteadyClock::now();
   outcome.response_time = std::chrono::duration_cast<Duration>(t4 - t0);
   outcome.timely = outcome.answered && outcome.response_time <= qos_snapshot.deadline;
+  if (span_sink_ != nullptr) {
+    const TimePoint wall_t4 = wall_t0 + outcome.response_time;
+    if (outcome.answered) {
+      span_sink_->record_span({.trace_id = trace_id,
+                               .span_id = span_sink_->next_span_id(),
+                               .parent_span_id = root_span,
+                               .kind = obs::SpanKind::kFirstReply,
+                               .client = config_.id,
+                               .request = request.id,
+                               .replica = outcome.first_replica,
+                               .start = wall_t0 + outcome.selection_overhead,
+                               .end = wall_t4,
+                               .ok = outcome.timely});
+    }
+    // The root closes whether or not any replica answered — a crashed
+    // target set still yields a complete (failed) trace.
+    span_sink_->record_span({.trace_id = trace_id,
+                             .span_id = root_span,
+                             .parent_span_id = 0,
+                             .kind = obs::SpanKind::kRequest,
+                             .client = config_.id,
+                             .request = request.id,
+                             .replica = outcome.first_replica,
+                             .start = wall_t0,
+                             .end = wall_t4,
+                             .ok = outcome.timely});
+  }
   if (requests_counter_ != nullptr) {
     requests_counter_->add();
     if (outcome.answered) answered_counter_->add();
@@ -145,6 +197,28 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
   {
     std::lock_guard lock(mutex_);
     tracker_.record(outcome.timely);
+    if (obs_ != nullptr) {
+      const bool violating = tracker_.violates(qos_snapshot.min_probability);
+      if (violating && !violation_reported_) {
+        violation_reported_ = true;
+        obs_->record_alert({.kind = obs::AlertKind::kQosViolation,
+                            .at = obs_->wall_now(),
+                            .client = config_.id,
+                            .replica = {},
+                            .observed = tracker_.timely_fraction(),
+                            .threshold = qos_snapshot.min_probability,
+                            .detail = "timely fraction below requested minimum"});
+      } else if (!violating && violation_reported_) {
+        violation_reported_ = false;
+        obs_->record_alert({.kind = obs::AlertKind::kQosRecovered,
+                            .at = obs_->wall_now(),
+                            .client = config_.id,
+                            .replica = {},
+                            .observed = tracker_.timely_fraction(),
+                            .threshold = qos_snapshot.min_probability,
+                            .detail = "timely fraction recovered"});
+      }
+    }
     if (outcome.answered) {
       // Two-way "gateway" delay: total minus queuing minus service.
       const Duration td = outcome.response_time - first_reply.perf.queuing_delay -

@@ -55,6 +55,11 @@ struct ThreadedClientConfig {
   /// invoke() returns unanswered after deadline * this factor.
   int give_up_deadline_factor = 4;
 
+  /// Identity used for trace ids (obs/span.h packs client + request into
+  /// one id, so two clients sharing a hub must have distinct ids).
+  /// ThreadedSystem::add_client assigns these automatically.
+  ClientId id{};
+
   /// Optional telemetry hub (non-owning; must outlive the client). The
   /// threaded.* counters and histograms are updated from whichever
   /// threads call invoke() — several clients sharing one hub exercise the
@@ -120,8 +125,15 @@ class ThreadedClient {
   core::OverheadEstimator overhead_;
   std::uint64_t next_request_ = 1;
 
+  /// Alert edge state (guarded by mutex_): the last reported
+  /// QoS-violation level, for violation/recovery edge detection.
+  bool violation_reported_ = false;
+
   /// Null unless telemetry is attached; safe to update without mutex_
   /// (counters and histograms are internally atomic).
+  obs::Telemetry* obs_ = nullptr;
+  /// Non-null only when telemetry is attached and spans are enabled.
+  obs::Telemetry* span_sink_ = nullptr;
   obs::Counter* requests_counter_ = nullptr;
   obs::Counter* answered_counter_ = nullptr;
   obs::Counter* timely_counter_ = nullptr;

@@ -15,6 +15,7 @@ ThreadedReplica::ThreadedReplica(ReplicaId id, stats::SamplerPtr service_time, R
     replies_counter_ = &metrics.counter("threaded_replica.replies");
     service_time_histogram_ = &metrics.histogram("threaded_replica.service_time_us");
     queuing_delay_histogram_ = &metrics.histogram("threaded_replica.queuing_delay_us");
+    if (telemetry->spans_enabled()) span_sink_ = telemetry;
   }
   // The worker starts only after the metric pointers are resolved, so it
   // never races their initialisation.
@@ -26,11 +27,12 @@ ThreadedReplica::~ThreadedReplica() {
   if (thread_.joinable()) thread_.join();
 }
 
-bool ThreadedReplica::submit(const proto::Request& request, ReplyFn on_reply) {
+bool ThreadedReplica::submit(const proto::Request& request, ReplyFn on_reply,
+                             obs::SpanContext span) {
   AQUA_REQUIRE(on_reply != nullptr, "reply callback must be callable");
   if (!alive_.load()) return false;
   const bool pushed =
-      queue_.push(Job{request, std::move(on_reply), std::chrono::steady_clock::now()});
+      queue_.push(Job{request, std::move(on_reply), std::chrono::steady_clock::now(), span});
   if (pushed && requests_counter_ != nullptr) requests_counter_->add();
   return pushed;
 }
@@ -64,6 +66,36 @@ void ThreadedReplica::worker() {
       replies_counter_->add();
       service_time_histogram_->record(reply.perf.service_time);
       queuing_delay_histogram_->record(reply.perf.queuing_delay);
+    }
+    if (span_sink_ != nullptr && job->span.valid()) {
+      // Map onto the hub's wall-clock axis by anchoring at "now" and
+      // walking back through the measured durations, so queue and
+      // service spans line up exactly with the perf triple.
+      const TimePoint finish = span_sink_->wall_now();
+      const TimePoint dequeue = finish - reply.perf.service_time;
+      const TimePoint enqueue = dequeue - reply.perf.queuing_delay;
+      const ClientId client = obs::trace_client(job->span.trace_id);
+      const RequestId request_id = obs::trace_request(job->span.trace_id);
+      const std::uint64_t queue_span = span_sink_->next_span_id();
+      const std::uint64_t service_span = span_sink_->next_span_id();
+      span_sink_->record_span({.trace_id = job->span.trace_id,
+                               .span_id = queue_span,
+                               .parent_span_id = job->span.parent_span_id,
+                               .kind = obs::SpanKind::kQueueWait,
+                               .client = client,
+                               .request = request_id,
+                               .replica = id_,
+                               .start = enqueue,
+                               .end = dequeue});
+      span_sink_->record_span({.trace_id = job->span.trace_id,
+                               .span_id = service_span,
+                               .parent_span_id = queue_span,
+                               .kind = obs::SpanKind::kService,
+                               .client = client,
+                               .request = request_id,
+                               .replica = id_,
+                               .start = dequeue,
+                               .end = finish});
     }
     job->on_reply(reply);
   }

@@ -14,6 +14,7 @@
 
 #include "common/ids.h"
 #include "common/rng.h"
+#include "obs/span.h"
 #include "proto/messages.h"
 #include "runtime/blocking_queue.h"
 #include "stats/variates.h"
@@ -45,8 +46,11 @@ class ThreadedReplica {
   [[nodiscard]] ReplicaId id() const { return id_; }
 
   /// Enqueue a request; `on_reply` runs on the worker thread when the
-  /// request completes. Returns false if the replica has crashed.
-  bool submit(const proto::Request& request, ReplyFn on_reply);
+  /// request completes. Returns false if the replica has crashed. The
+  /// optional span context attributes the queue-wait and service spans
+  /// to the caller's trace (obs/span.h).
+  bool submit(const proto::Request& request, ReplyFn on_reply,
+              obs::SpanContext span = {});
 
   /// Requests waiting in the queue right now.
   [[nodiscard]] std::size_t queue_length() const;
@@ -62,6 +66,7 @@ class ThreadedReplica {
     proto::Request request;
     ReplyFn on_reply;
     std::chrono::steady_clock::time_point enqueued_at;
+    obs::SpanContext span{};
   };
 
   void worker();
@@ -78,6 +83,8 @@ class ThreadedReplica {
   obs::Counter* replies_counter_ = nullptr;
   obs::Histogram* service_time_histogram_ = nullptr;
   obs::Histogram* queuing_delay_histogram_ = nullptr;
+  /// Non-null only when telemetry is attached and spans are enabled.
+  obs::Telemetry* span_sink_ = nullptr;
 
   std::thread thread_;
 };

@@ -1,21 +1,29 @@
 #include "runtime/threaded_system.h"
 
+#include <cstdint>
 #include <thread>
 
 #include "common/assert.h"
+#include "obs/scrape.h"
 
 namespace aqua::runtime {
 
 ThreadedSystem::ThreadedSystem(ThreadedSystemConfig config)
     : config_(config), rng_(config.seed) {
   if (config_.client.telemetry == nullptr) config_.client.telemetry = config_.telemetry;
+  if (config_.scrape_port >= 0 && config_.client.telemetry != nullptr) {
+    scrape_ = std::make_unique<obs::ScrapeServer>(
+        *config_.client.telemetry, static_cast<std::uint16_t>(config_.scrape_port));
+  }
 }
 
 ThreadedSystem::~ThreadedSystem() {
-  // Phased teardown. Client executors first: once shut down, no delayed
+  // Phased teardown. The scrape server goes first so no HTTP snapshot
+  // races teardown. Then client executors: once shut down, no delayed
   // hop can submit to a replica or record a reply. Then replica workers
   // (their in-flight reply callbacks still find the clients alive), then
   // the clients themselves.
+  scrape_.reset();
   for (auto& client : clients_) client->shutdown();
   replicas_.clear();
   clients_.clear();
@@ -34,9 +42,11 @@ ThreadedClient& ThreadedSystem::add_client(core::QosSpec qos) {
   std::vector<ThreadedReplica*> replica_ptrs;
   replica_ptrs.reserve(replicas_.size());
   for (auto& replica : replicas_) replica_ptrs.push_back(replica.get());
+  ThreadedClientConfig client_config = config_.client;
+  client_config.id = client_ids_.next();  // distinct trace-id namespaces
   clients_.push_back(std::make_unique<ThreadedClient>(
       std::move(replica_ptrs), qos, rng_.fork("client").fork(clients_.size() + 1),
-      config_.client));
+      client_config));
   return *clients_.back();
 }
 

@@ -11,6 +11,10 @@
 #include "runtime/threaded_client.h"
 #include "runtime/threaded_replica.h"
 
+namespace aqua::obs {
+class ScrapeServer;
+}
+
 namespace aqua::runtime {
 
 struct ThreadedSystemConfig {
@@ -21,6 +25,11 @@ struct ThreadedSystemConfig {
   /// shared by every replica and — unless client.telemetry is set —
   /// every client. All of them update it concurrently.
   obs::Telemetry* telemetry = nullptr;
+
+  /// When >= 0 and telemetry is attached, serve live scrape endpoints
+  /// (/metrics, /snapshot, /trace, ...) on 127.0.0.1:<scrape_port>
+  /// (0 picks an ephemeral port; see ScrapeServer).
+  int scrape_port = -1;
 };
 
 /// Aggregate outcome of one client's closed-loop workload.
@@ -60,12 +69,17 @@ class ThreadedSystem {
   /// between a reply and the next request. Blocks until all finish.
   std::vector<WorkloadStats> run_workload(std::size_t requests, Duration think);
 
+  /// Live scrape server, or nullptr when scrape_port < 0 / no telemetry.
+  [[nodiscard]] obs::ScrapeServer* scrape_server() { return scrape_.get(); }
+
  private:
   ThreadedSystemConfig config_;
   Rng rng_;
   IdGenerator<ReplicaId> replica_ids_;
+  IdGenerator<ClientId> client_ids_;
   std::vector<std::unique_ptr<ThreadedReplica>> replicas_;
   std::vector<std::unique_ptr<ThreadedClient>> clients_;
+  std::unique_ptr<obs::ScrapeServer> scrape_;
 };
 
 }  // namespace aqua::runtime

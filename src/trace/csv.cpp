@@ -1,6 +1,7 @@
 #include "trace/csv.h"
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "common/assert.h"
 
@@ -51,5 +52,55 @@ std::string CsvWriter::cell(double value, int precision) {
 
 std::string CsvWriter::cell(std::int64_t value) { return std::to_string(value); }
 std::string CsvWriter::cell(std::uint64_t value) { return std::to_string(value); }
+
+std::vector<std::string> split_csv_row(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;       // inside a quoted field
+  bool was_quoted = false;   // the current field started with a quote
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';  // doubled quote = literal quote
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      cell += c;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+      was_quoted = false;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!cell.empty() || was_quoted) {
+        throw std::runtime_error("csv: quote inside unquoted field: " + line);
+      }
+      quoted = true;
+      was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (was_quoted) {
+      throw std::runtime_error("csv: characters after closing quote: " + line);
+    }
+    cell += c;
+    ++i;
+  }
+  if (quoted) throw std::runtime_error("csv: unterminated quote: " + line);
+  cells.push_back(std::move(cell));
+  return cells;
+}
 
 }  // namespace aqua::trace

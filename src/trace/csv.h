@@ -41,4 +41,12 @@ class CsvWriter {
   std::size_t rows_ = 0;
 };
 
+/// Parse-back half of CsvWriter::escape: split one CSV line into cells,
+/// honoring RFC 4180 quoting (embedded commas, doubled quotes). The line
+/// must not contain the record separator itself (callers read line by
+/// line; quoted embedded newlines are not produced by our writers).
+/// Throws std::runtime_error on an unterminated quote or on characters
+/// trailing a closing quote.
+[[nodiscard]] std::vector<std::string> split_csv_row(const std::string& line);
+
 }  // namespace aqua::trace

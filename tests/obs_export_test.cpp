@@ -68,6 +68,24 @@ TEST(RequestsCsv, RoundTripIsLossless) {
   }
 }
 
+TEST(RequestsCsv, AcceptsRfc4180QuotedCells) {
+  // A spreadsheet or another RFC 4180 writer may quote any cell, even
+  // ones that don't need it; the reader must unquote transparently.
+  std::vector<RequestTrace> traces{answered_trace(1, msec(12), true)};
+  std::stringstream csv;
+  write_requests_csv(csv, traces);
+  std::string text = csv.str();
+  const auto row_start = text.find('\n') + 1;
+  const auto first_comma = text.find(',', row_start);
+  // Quote the first cell ("3" -> "\"3\"").
+  text = text.substr(0, row_start) + '"' + text.substr(row_start, first_comma - row_start) +
+         '"' + text.substr(first_comma);
+  std::stringstream quoted(text);
+  const std::vector<RequestTrace> parsed = read_requests_csv(quoted);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], traces[0]);
+}
+
 TEST(RequestsCsv, RejectsMalformedHeader) {
   std::stringstream csv("client,request,nonsense\n1,2,3\n");
   EXPECT_THROW(read_requests_csv(csv), std::runtime_error);

@@ -48,9 +48,10 @@ TEST(HistogramQuantile, SingleSampleOwnsEveryQuantile) {
   EXPECT_EQ(h.count(), 1u);
   EXPECT_EQ(h.sum(), 137);
   EXPECT_EQ(h.max_value(), 137);
-  // 137 us lands in the 200 us bin; every quantile reports its bound.
+  // Every rank is at-or-past the single sample, so every quantile is the
+  // exact recorded value — not the owning bin's 200 us upper bound.
   for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
-    EXPECT_EQ(h.quantile(q), 200) << "q=" << q;
+    EXPECT_EQ(h.quantile(q), 137) << "q=" << q;
   }
 }
 
@@ -61,11 +62,44 @@ TEST(HistogramQuantile, NearestRankAgainstExactDistribution) {
   for (int i = 0; i < 40; ++i) h.record_value(70);
   for (int i = 0; i < 10; ++i) h.record_value(4000);
   EXPECT_EQ(h.count(), 100u);
-  EXPECT_EQ(h.quantile(0.5), 3);     // rank 50 is the last 3us sample
-  EXPECT_EQ(h.quantile(0.51), 70);   // rank 51 crosses into the 70us bin
-  EXPECT_EQ(h.quantile(0.9), 70);
+  // Rank 50 is the LAST sample of the 3us bin (cumulative == rank), so
+  // the bin's lower edge bounds it tighter than its 3us upper bound.
+  EXPECT_EQ(h.quantile(0.5), 2);
+  EXPECT_EQ(h.quantile(0.51), 70);  // rank 51 crosses into the 70us bin
+  EXPECT_EQ(h.quantile(0.9), 60);   // rank 90: last sample of the 70us bin
   EXPECT_EQ(h.quantile(0.91), 4000);
   EXPECT_EQ(h.quantile(1.0), 4000);
+}
+
+TEST(HistogramQuantile, RankPastLastSampleReportsExactMax) {
+  Histogram h;
+  // p999 with fewer than 1000 samples: ceil(0.999 * n) == n for every
+  // n < 1000, so the reported p999 must be the exact recorded maximum
+  // instead of the max's bin bound.
+  for (int i = 0; i < 499; ++i) h.record_value(10);
+  h.record_value(8521);  // 9000us bin; bound would overstate by ~6%
+  EXPECT_EQ(h.count(), 500u);
+  EXPECT_EQ(h.quantile(0.999), 8521);
+  EXPECT_EQ(h.quantile(1.0), 8521);
+  // Interior ranks still use bin arithmetic.
+  EXPECT_EQ(h.quantile(0.5), 10);
+}
+
+TEST(HistogramQuantile, RankOnBinBoundaryReportsLowerEdge) {
+  Histogram h;
+  // 10 samples at 45us (50us bin), 10 at 450us (500us bin). Rank 10 ==
+  // the 50us bin's cumulative count: the ranked sample is <= 45 < 50, so
+  // the previous bin's 40us bound is the tight answer.
+  for (int i = 0; i < 10; ++i) h.record_value(45);
+  for (int i = 0; i < 10; ++i) h.record_value(450);
+  EXPECT_EQ(h.quantile(0.5), 40);
+  // One rank past the boundary crosses into the next bin's bound.
+  EXPECT_EQ(h.quantile(0.55), 500);
+  // Boundary landing in bin 0 has no previous bin; reports 0.
+  Histogram low;
+  for (int i = 0; i < 4; ++i) low.record_value(1);
+  for (int i = 0; i < 4; ++i) low.record_value(7);
+  EXPECT_EQ(low.quantile(0.5), 0);
 }
 
 TEST(HistogramQuantile, OverflowBinReportsExactMaximum) {

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace aqua::trace {
 namespace {
@@ -71,6 +74,41 @@ TEST(CsvWriterTest, NumericCells) {
   EXPECT_EQ(CsvWriter::cell(std::int64_t{-7}), "-7");
   EXPECT_EQ(CsvWriter::cell(std::uint64_t{42}), "42");
   EXPECT_EQ(CsvWriter::cell(0.5), "0.500000");
+}
+
+TEST(SplitCsvRow, PlainFields) {
+  EXPECT_EQ(split_csv_row("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv_row("solo"), (std::vector<std::string>{"solo"}));
+}
+
+TEST(SplitCsvRow, EmptyFieldsSurvive) {
+  EXPECT_EQ(split_csv_row(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(split_csv_row(",,"), (std::vector<std::string>{"", "", ""}));
+  EXPECT_EQ(split_csv_row("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split_csv_row("trailing,"), (std::vector<std::string>{"trailing", ""}));
+}
+
+TEST(SplitCsvRow, UnquotesRfc4180Fields) {
+  EXPECT_EQ(split_csv_row("\"a,b\",plain"), (std::vector<std::string>{"a,b", "plain"}));
+  EXPECT_EQ(split_csv_row("\"say \"\"hi\"\"\""), (std::vector<std::string>{"say \"hi\""}));
+  EXPECT_EQ(split_csv_row("\"\",x"), (std::vector<std::string>{"", "x"}));
+}
+
+TEST(SplitCsvRow, RoundTripsWriterEscaping) {
+  const std::vector<std::string> cells{"plain", "with,comma", "with \"quotes\"",
+                                       "both, \"of\" them", ""};
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.row(cells);
+  std::string line = out.str();
+  line.pop_back();  // writer appends the record separator
+  EXPECT_EQ(split_csv_row(line), cells);
+}
+
+TEST(SplitCsvRow, ThrowsOnMalformedQuoting) {
+  EXPECT_THROW(split_csv_row("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(split_csv_row("ab\"cd"), std::runtime_error);     // quote mid-field
+  EXPECT_THROW(split_csv_row("\"closed\"junk"), std::runtime_error);
 }
 
 }  // namespace

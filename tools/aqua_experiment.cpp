@@ -5,10 +5,15 @@
 //   aqua_experiment --policy fastest-mean --crash-at 5
 //   aqua_experiment --service-dist pareto --clients 4 --csv run.csv
 //   aqua_experiment --obs-json snapshot.json --obs-csv run --obs-flush-ms 5000
+//   aqua_experiment --seed 4242 --perfetto trace.json
+//   aqua_experiment --threaded --scrape-port 9900 --serve-seconds 30
 //
 // Every run is deterministic in (--seed, flags); every run records into
 // an obs::Telemetry hub and the per-client reports are aggregated from
 // its request traces (the same pipeline the figure benches consume).
+// (--threaded swaps the simulator for the wall-clock runtime, so those
+// runs are deterministic in structure but not in timings.)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,13 +21,17 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gateway/history_io.h"
 #include "gateway/system.h"
 #include "obs/export.h"
 #include "obs/flusher.h"
+#include "obs/perfetto_export.h"
+#include "obs/scrape.h"
 #include "obs/telemetry.h"
+#include "runtime/threaded_system.h"
 
 namespace {
 
@@ -59,6 +68,10 @@ struct Options {
   std::string obs_json_path;
   std::string obs_csv_prefix;
   std::int64_t obs_flush_ms = 0;  // 0 = no periodic flusher
+  std::string perfetto_path;
+  int scrape_port = -1;        // -1 = no scrape server
+  double serve_seconds = 0.0;  // keep the scrape endpoint up after the run
+  bool threaded = false;
 };
 
 void print_usage() {
@@ -102,6 +115,14 @@ void print_usage() {
       "  --obs-csv PREFIX       write PREFIX.metrics.csv, PREFIX.requests.csv,\n"
       "                         PREFIX.selections.csv\n"
       "  --obs-flush-ms MS      print a metrics JSON line every MS simulated ms\n"
+      "  --perfetto FILE        write the span ring as Chrome trace-event JSON\n"
+      "                         (open in ui.perfetto.dev)\n"
+      "  --scrape-port P        serve /metrics, /snapshot, /alerts, /trace,\n"
+      "                         /traces/<id> on 127.0.0.1:P (0 = ephemeral)\n"
+      "  --serve-seconds S      keep the scrape endpoint up S seconds after the run\n"
+      "runtime:\n"
+      "  --threaded             wall-clock threaded runtime instead of the simulator\n"
+      "                         (uses replicas/clients/deadline/pc/requests/think)\n"
       "  --help                 this text");
 }
 
@@ -177,6 +198,14 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.obs_csv_prefix = need_value(i);
     } else if (flag == "--obs-flush-ms") {
       opt.obs_flush_ms = std::atoll(need_value(i));
+    } else if (flag == "--perfetto") {
+      opt.perfetto_path = need_value(i);
+    } else if (flag == "--scrape-port") {
+      opt.scrape_port = std::atoi(need_value(i));
+    } else if (flag == "--serve-seconds") {
+      opt.serve_seconds = std::atof(need_value(i));
+    } else if (flag == "--threaded") {
+      opt.threaded = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", flag.c_str());
       std::exit(2);
@@ -226,6 +255,87 @@ core::PolicyPtr make_policy(const Options& opt, const core::SelectionConfig& sel
   std::exit(2);
 }
 
+int write_perfetto_file(const Options& opt, const obs::Telemetry& telemetry) {
+  if (opt.perfetto_path.empty()) return 0;
+  std::ofstream out(opt.perfetto_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", opt.perfetto_path.c_str());
+    return 1;
+  }
+  obs::write_perfetto_json(out, telemetry);
+  std::printf("wrote %zu spans as perfetto trace to %s\n", telemetry.spans().size(),
+              opt.perfetto_path.c_str());
+  return 0;
+}
+
+void serve_remaining(const Options& opt, const obs::ScrapeServer& server) {
+  std::printf("scrape endpoint live on http://127.0.0.1:%u/metrics\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  if (opt.serve_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds{static_cast<std::int64_t>(opt.serve_seconds * 1e3)});
+  }
+}
+
+int run_threaded(const Options& opt) {
+  obs::Telemetry telemetry;
+  runtime::ThreadedSystemConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.telemetry = &telemetry;
+  cfg.scrape_port = opt.scrape_port;
+  cfg.client.repository.window_size = opt.window;
+  cfg.client.selection.crash_tolerance = opt.crash_tolerance;
+  cfg.client.selection.overhead_compensation = !opt.no_compensation;
+  cfg.client.model.windowed_gateway_delay = opt.windowed_gateway;
+  cfg.client.model.queue_backlog_shift = opt.queue_shift;
+  runtime::ThreadedSystem system{cfg};
+
+  const stats::SamplerPtr service = make_service_sampler(opt);
+  for (int i = 0; i < opt.replicas; ++i) system.add_replica(service);
+  for (int c = 0; c < opt.clients; ++c) {
+    system.add_client(core::QosSpec{msec(opt.deadline_ms), opt.pc});
+  }
+
+  std::printf("aqua_experiment (threaded) seed=%llu replicas=%d clients=%d service=%s "
+              "deadline=%lldms pc=%.2f\n",
+              static_cast<unsigned long long>(opt.seed), opt.replicas, opt.clients,
+              service->describe().c_str(), static_cast<long long>(opt.deadline_ms), opt.pc);
+  if (system.scrape_server() != nullptr) {
+    std::printf("scrape endpoint live on http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(system.scrape_server()->port()));
+    std::fflush(stdout);
+  }
+
+  const std::size_t requests = opt.requests == 0 ? 50 : opt.requests;
+  const auto stats = system.run_workload(requests, msec(opt.think_ms));
+  for (std::size_t c = 0; c < stats.size(); ++c) {
+    const auto& s = stats[c];
+    std::printf("client-%zu: %zu requests, %zu answered, %zu timely (P_f=%.3f), "
+                "mean response %.1f ms, mean redundancy %.2f, mean overhead %.1f us\n",
+                c + 1, s.requests, s.answered, s.timely, s.failure_probability(),
+                s.mean_response_ms, s.mean_redundancy, s.mean_selection_overhead_us);
+  }
+
+  // Keep the endpoint scrapeable after the workload so external
+  // collectors (or the smoke test) can fetch the final state.
+  if (system.scrape_server() != nullptr && opt.serve_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds{static_cast<std::int64_t>(opt.serve_seconds * 1e3)});
+  }
+
+  if (!opt.obs_json_path.empty()) {
+    std::ofstream out(opt.obs_json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.obs_json_path.c_str());
+      return 1;
+    }
+    obs::write_snapshot_json(out, telemetry);
+    std::printf("wrote telemetry snapshot to %s\n", opt.obs_json_path.c_str());
+  }
+  return write_perfetto_file(opt, telemetry);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -236,6 +346,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "need at least one replica and one client\n");
     return 2;
   }
+  if (opt.threaded) return run_threaded(opt);
 
   obs::Telemetry telemetry;
   SystemConfig sys_cfg;
@@ -374,6 +485,13 @@ int main(int argc, char** argv) {
               [&](std::ostream& o) { obs::write_requests_csv(o, telemetry.request_traces()); });
     write_one(".selections.csv",
               [&](std::ostream& o) { obs::write_selections_csv(o, telemetry.selection_traces()); });
+  }
+  if (const int rc = write_perfetto_file(opt, telemetry); rc != 0) return rc;
+  // Simulated runs can still expose the final state over HTTP — useful
+  // for poking at a finished run with curl instead of reading files.
+  if (opt.scrape_port >= 0) {
+    obs::ScrapeServer server{telemetry, static_cast<std::uint16_t>(opt.scrape_port)};
+    serve_remaining(opt, server);
   }
   return 0;
 }

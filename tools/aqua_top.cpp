@@ -1,0 +1,181 @@
+// aqua_top — live terminal dashboard over a running gateway's scrape
+// endpoint (see obs/scrape.h). Curses-free: it redraws with ANSI
+// clear-screen, so it works in any terminal and degrades to plain
+// append-only output with --once.
+//
+//   aqua_top --port 9900               # poll 127.0.0.1:9900 every second
+//   aqua_top --port 9900 --once        # one snapshot, then exit
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 9900;
+  int interval_ms = 1000;
+  bool once = false;
+};
+
+void print_usage() {
+  std::puts(
+      "aqua_top — terminal dashboard for a live AQuA scrape endpoint\n"
+      "\n"
+      "  --host H          scrape host (default 127.0.0.1)\n"
+      "  --port P          scrape port (default 9900)\n"
+      "  --interval-ms MS  refresh period (default 1000)\n"
+      "  --once            print one snapshot and exit\n"
+      "  --help            this text");
+}
+
+/// One blocking HTTP/1.0 GET. Returns the response body, or an empty
+/// string on any connection/protocol error (the dashboard just shows
+/// "unreachable" and keeps polling).
+std::string http_get(const std::string& host, int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t w = ::write(fd, request.data() + sent, request.size() - sent);
+    if (w <= 0) {
+      ::close(fd);
+      return {};
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  const auto body = response.find("\r\n\r\n");
+  if (body == std::string::npos || response.rfind("HTTP/1.0 200", 0) != 0) return {};
+  return response.substr(body + 4);
+}
+
+/// Parse Prometheus text exposition into name -> value (labels kept as
+/// part of the name, e.g. `aqua_x{quantile="0.9"}`).
+std::map<std::string, double> parse_metrics(const std::string& body) {
+  std::map<std::string, double> metrics;
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    metrics[line.substr(0, space)] = std::atof(line.c_str() + space + 1);
+  }
+  return metrics;
+}
+
+/// Crude but sufficient alert-line extraction: pull "kind" and "detail"
+/// string fields out of the /alerts JSON array without a JSON parser.
+std::vector<std::string> parse_alert_lines(const std::string& body) {
+  std::vector<std::string> lines;
+  const auto field = [](const std::string& obj, const std::string& key) -> std::string {
+    const std::string needle = "\"" + key + "\":\"";
+    const auto at = obj.find(needle);
+    if (at == std::string::npos) return {};
+    const auto start = at + needle.size();
+    const auto end = obj.find('"', start);
+    return end == std::string::npos ? std::string{} : obj.substr(start, end - start);
+  };
+  std::size_t pos = 0;
+  while ((pos = body.find('{', pos)) != std::string::npos) {
+    const auto end = body.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string obj = body.substr(pos, end - pos + 1);
+    const std::string kind = field(obj, "kind");
+    if (!kind.empty()) lines.push_back(kind + ": " + field(obj, "detail"));
+    pos = end + 1;
+  }
+  return lines;
+}
+
+void draw(const Options& opt, bool clear) {
+  const std::string metrics_body = http_get(opt.host, opt.port, "/metrics");
+  const std::string alerts_body = http_get(opt.host, opt.port, "/alerts");
+  std::ostringstream frame;
+  frame << "aqua_top — " << opt.host << ':' << opt.port << "\n\n";
+  if (metrics_body.empty()) {
+    frame << "  scrape endpoint unreachable\n";
+  } else {
+    const auto metrics = parse_metrics(metrics_body);
+    frame << "  metrics (" << metrics.size() << "):\n";
+    for (const auto& [name, value] : metrics) {
+      frame << "    " << name;
+      for (std::size_t pad = name.size(); pad < 52; ++pad) frame << ' ';
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%14.3f", value);
+      frame << cell << '\n';
+    }
+    const auto alerts = parse_alert_lines(alerts_body);
+    frame << "\n  alerts (" << alerts.size() << "):\n";
+    const std::size_t shown = alerts.size() > 10 ? alerts.size() - 10 : 0;
+    for (std::size_t i = shown; i < alerts.size(); ++i) frame << "    " << alerts[i] << '\n';
+  }
+  if (clear) std::fputs("\033[2J\033[H", stdout);
+  std::fputs(frame.str().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      print_usage();
+      return 0;
+    } else if (flag == "--host") {
+      opt.host = need_value();
+    } else if (flag == "--port") {
+      opt.port = std::atoi(need_value());
+    } else if (flag == "--interval-ms") {
+      opt.interval_ms = std::atoi(need_value());
+    } else if (flag == "--once") {
+      opt.once = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (opt.once) {
+    draw(opt, /*clear=*/false);
+    return 0;
+  }
+  for (;;) {
+    draw(opt, /*clear=*/true);
+    std::this_thread::sleep_for(std::chrono::milliseconds{opt.interval_ms});
+  }
+}

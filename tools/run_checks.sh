@@ -6,13 +6,22 @@
 #  - ctest -L obs: the telemetry tier (ISSUE 3 acceptance: registry,
 #    counters, and trace rings race-free under ThreadSanitizer).
 # The telemetry-overhead gate then fails the run if a disabled hub makes
-# the selection hot path measurably slower than no hub at all.
+# the selection hot path measurably slower than no hub at all. After the
+# gates, observability acceptance checks run (ISSUE 4): machine-readable
+# bench JSON artifacts, byte-identical Perfetto export across same-seed
+# runs, and a live /metrics scrape against a threaded run.
 #
 # Usage: tools/run_checks.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+
+# Stamp bench JSON artifacts with the commit they measured, and collect
+# them next to the bench binaries rather than in the source tree.
+AQUA_BENCH_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export AQUA_BENCH_COMMIT
+export AQUA_BENCH_JSON_DIR="build/bench"
 
 step() { printf '\n==== %s ====\n' "$*"; }
 
@@ -31,6 +40,40 @@ ctest --test-dir build --output-on-failure -j "${JOBS}" -L obs
 
 step "Telemetry-overhead gate: disabled hub within 2% of bare hot path"
 build/bench/selection_hot_path --check-telemetry-overhead
+test -s build/bench/BENCH_selection.json
+grep -q '"commit":' build/bench/BENCH_selection.json
+
+step "Bench JSON: fig5 sweep emits BENCH_fig5.json"
+AQUA_BENCH_SEEDS=1 build/bench/fig5_timing_failures >/dev/null
+test -s build/bench/BENCH_fig5.json
+grep -q '"metric":' build/bench/BENCH_fig5.json
+
+step "Golden Perfetto: same seed => byte-identical trace JSON"
+GOLD_DIR="$(mktemp -d)"
+trap 'rm -rf "${GOLD_DIR}"' EXIT
+build/tools/aqua_experiment --seed 4242 --requests 20 --replicas 5 \
+  --perfetto "${GOLD_DIR}/a.json" >/dev/null
+build/tools/aqua_experiment --seed 4242 --requests 20 --replicas 5 \
+  --perfetto "${GOLD_DIR}/b.json" >/dev/null
+cmp "${GOLD_DIR}/a.json" "${GOLD_DIR}/b.json"
+
+step "Scrape smoke test: live /metrics during a threaded run"
+SCRAPE_PORT=19317
+build/tools/aqua_experiment --threaded --requests 40 --think 50 --deadline 60 \
+  --replicas 3 --clients 2 --scrape-port "${SCRAPE_PORT}" --serve-seconds 2 \
+  >"${GOLD_DIR}/threaded.log" &
+EXPERIMENT_PID=$!
+SCRAPE_BODY=""
+for _ in $(seq 1 40); do
+  if SCRAPE_BODY="$(exec 3<>"/dev/tcp/127.0.0.1/${SCRAPE_PORT}" &&
+      printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && cat <&3 && exec 3<&-)"; then
+    [ -n "${SCRAPE_BODY}" ] && break
+  fi
+  sleep 0.25
+done
+wait "${EXPERIMENT_PID}"
+printf '%s\n' "${SCRAPE_BODY}" | grep -q '200 OK'
+printf '%s\n' "${SCRAPE_BODY}" | grep -q '^# TYPE aqua_'
 
 step "Configure + build: ThreadSanitizer (build-tsan/)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DENABLE_TSAN=ON >/dev/null
