@@ -1,0 +1,106 @@
+// Transport round-trip comparison: one ping-pong hop pair through each
+// net::Transport backend.
+//
+// The sim row is virtual time — the Lan's modelled two-way delay
+// (stack + wire + jitter), the number every seeded experiment runs on.
+// The udp row is wall-clock time through real kernel sockets on
+// loopback, acks and dedup included — what a request leg actually costs
+// when gateway and replica are separate processes. CI keeps both in
+// BENCH_transport.json so a regression in either substrate shows up in
+// the same diff.
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "bench_json.h"
+#include "net/lan.h"
+#include "net/udp_transport.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace aqua;
+
+constexpr int kPings = 200;
+
+/// Mean modelled RTT through the simulated Lan (virtual microseconds).
+double sim_rtt_us() {
+  sim::Simulator sim;
+  net::LanConfig cfg;  // defaults: the config every experiment uses
+  net::Lan lan{sim, Rng{1}, cfg};
+
+  EndpointId echo{};
+  echo = lan.create_endpoint(HostId{2}, [&](EndpointId from, const net::Payload&) {
+    lan.unicast(echo, from, net::Payload::make(std::string{"pong"}, 100));
+  });
+  int completed = 0;
+  TimePoint ping_sent{};
+  Duration total{};
+  EndpointId pinger{};
+  pinger = lan.create_endpoint(HostId{1}, [&](EndpointId, const net::Payload&) {
+    total += sim.now() - ping_sent;
+    if (++completed < kPings) {
+      ping_sent = sim.now();
+      lan.unicast(pinger, echo, net::Payload::make(std::string{"ping"}, 100));
+    }
+  });
+  ping_sent = sim.now();
+  lan.unicast(pinger, echo, net::Payload::make(std::string{"ping"}, 100));
+  sim.run();
+  return static_cast<double>(count_us(total)) / kPings;
+}
+
+/// Mean wall-clock RTT through kernel UDP on loopback (microseconds).
+double udp_rtt_us(std::uint64_t& retransmits) {
+  net::UdpTransport udp;
+
+  EndpointId echo{};
+  echo = udp.create_endpoint(HostId{2}, [&](EndpointId from, const net::Payload&) {
+    udp.unicast(echo, from, net::Payload::make(std::string{"pong"}, 100));
+  });
+  std::mutex mutex;
+  std::condition_variable cv;
+  int received = 0;
+  const EndpointId pinger =
+      udp.create_endpoint(HostId{1}, [&](EndpointId, const net::Payload&) {
+        std::lock_guard lock(mutex);
+        ++received;
+        cv.notify_one();
+      });
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kPings; ++i) {
+    udp.unicast(pinger, echo, net::Payload::make(std::string{"ping"}, 100));
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return received > i; });
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  retransmits = udp.messages_retransmitted();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()) /
+         kPings;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Transport round-trip: simulated Lan vs kernel UDP ===\n");
+  std::printf("%d sequential ping-pongs per backend\n\n", kPings);
+
+  const double sim_us = sim_rtt_us();
+  std::uint64_t retransmits = 0;
+  const double udp_us = udp_rtt_us(retransmits);
+
+  std::printf("%-24s %12.1f us  (virtual time, modelled delay)\n", "sim Lan RTT", sim_us);
+  std::printf("%-24s %12.1f us  (wall clock, loopback sockets)\n", "udp loopback RTT", udp_us);
+  std::printf("%-24s %12llu\n", "udp retransmits", static_cast<unsigned long long>(retransmits));
+
+  aqua::bench::write_bench_json(
+      "BENCH_transport.json", "transport_roundtrip",
+      {{"sim_rtt_us", sim_us, "us"},
+       {"udp_rtt_us", udp_us, "us"},
+       {"udp_retransmits", static_cast<double>(retransmits), "count"}});
+  return 0;
+}

@@ -13,6 +13,9 @@ Lan::Lan(sim::Simulator& simulator, Rng rng, LanConfig config)
     : simulator_(simulator), rng_(std::move(rng)), config_(config) {
   AQUA_REQUIRE(config_.loss_rate >= 0.0 && config_.loss_rate < 1.0, "loss rate must be in [0, 1)");
   AQUA_REQUIRE(config_.per_byte_us >= 0.0, "per-byte cost must be non-negative");
+  AQUA_REQUIRE(config_.jitter_sigma == 0.0 || config_.jitter_median > Duration::zero(),
+               "jitter_median must be positive when jitter_sigma > 0 (log of the median "
+               "parameterizes the lognormal)");
   if (config_.spike.enabled) {
     AQUA_REQUIRE(config_.spike.delay_factor >= 1.0, "spike factor must be >= 1");
     schedule_next_spike();
@@ -64,7 +67,11 @@ void Lan::unicast(EndpointId from, EndpointId to, Payload message) {
 }
 
 void Lan::multicast(EndpointId from, std::span<const EndpointId> to, Payload message) {
-  for (EndpointId dst : to) deliver(from, dst, message, to.size());
+  if (to.empty()) return;
+  // The payload's body is shared, but the envelope (span stamp, size) is
+  // copied per destination — move it into the final deliver.
+  for (std::size_t i = 0; i + 1 < to.size(); ++i) deliver(from, to[i], message, to.size());
+  deliver(from, to.back(), std::move(message), to.size());
 }
 
 void Lan::deliver(EndpointId from, EndpointId to, Payload message, std::size_t fanout) {

@@ -29,6 +29,7 @@
 #include "common/rng.h"
 #include "common/time.h"
 #include "net/payload.h"
+#include "net/transport.h"
 #include "sim/simulator.h"
 
 namespace aqua::obs {
@@ -75,12 +76,6 @@ struct LanConfig {
   SpikeConfig spike;
 };
 
-/// Invoked on delivery: sender endpoint and the message.
-using ReceiveFn = std::function<void(EndpointId from, const Payload& message)>;
-
-/// Invoked when a host changes liveness (false = crashed).
-using HostStateFn = std::function<void(HostId host, bool alive)>;
-
 /// Decision of a fault-injection message filter for one message.
 struct FilterVerdict {
   /// Silently discard the message (counted in messages_fault_dropped()).
@@ -96,35 +91,35 @@ struct FilterVerdict {
 using MessageFilterFn =
     std::function<FilterVerdict(EndpointId from, EndpointId to, const Payload& message)>;
 
-class Lan {
+class Lan : public Transport {
  public:
   Lan(sim::Simulator& simulator, Rng rng, LanConfig config);
 
   /// Register a receiving endpoint on `host`. The callback runs inside
   /// simulator events at delivery time.
-  EndpointId create_endpoint(HostId host, ReceiveFn on_receive);
+  EndpointId create_endpoint(HostId host, ReceiveFn on_receive) override;
 
   /// Remove an endpoint; in-flight messages to it are dropped on arrival.
-  void destroy_endpoint(EndpointId endpoint);
+  void destroy_endpoint(EndpointId endpoint) override;
 
   /// Crash or restore a host. Crash drops all in-flight and future
   /// traffic involving the host's endpoints and notifies subscribers.
   void set_host_alive(HostId host, bool alive);
-  [[nodiscard]] bool host_alive(HostId host) const;
+  [[nodiscard]] bool host_alive(HostId host) const override;
 
   /// Observe host liveness transitions (failure-detector input).
-  void subscribe_host_state(HostStateFn fn);
+  void subscribe_host_state(HostStateFn fn) override;
 
   /// Point-to-point send. Sender must exist and be on a live host; sends
   /// from dead hosts are dropped silently (the process is gone).
-  void unicast(EndpointId from, EndpointId to, Payload message);
+  void unicast(EndpointId from, EndpointId to, Payload message) override;
 
   /// Send to each destination independently (Maestro send-to-subset).
-  void multicast(EndpointId from, std::span<const EndpointId> to, Payload message);
+  void multicast(EndpointId from, std::span<const EndpointId> to, Payload message) override;
 
   [[nodiscard]] const LanConfig& config() const { return config_; }
-  [[nodiscard]] HostId endpoint_host(EndpointId endpoint) const;
-  [[nodiscard]] bool endpoint_exists(EndpointId endpoint) const;
+  [[nodiscard]] HostId endpoint_host(EndpointId endpoint) const override;
+  [[nodiscard]] bool endpoint_exists(EndpointId endpoint) const override;
 
   /// True while a traffic spike is in progress (natural or forced).
   [[nodiscard]] bool spike_active() const { return spike_override_.has_value() || spike_active_; }
@@ -147,12 +142,12 @@ class Lan {
   /// histogram of sampled one-way delays), and record a wire-leg span at
   /// delivery for every traced payload (payload.span().valid()). Null
   /// detaches; the disabled path costs one branch per message.
-  void set_telemetry(obs::Telemetry* telemetry);
+  void set_telemetry(obs::Telemetry* telemetry) override;
 
   /// Counters for tests and reports.
-  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
-  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
-  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t messages_sent() const override { return sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const override { return delivered_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const override { return dropped_; }
   /// Subset of messages_dropped() discarded by the fault filter.
   [[nodiscard]] std::uint64_t messages_fault_dropped() const { return fault_dropped_; }
 

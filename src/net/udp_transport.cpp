@@ -1,0 +1,548 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/assert.h"
+#include "common/log.h"
+#include "net/wire.h"
+#include "obs/telemetry.h"
+
+namespace aqua::net {
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x46445141;  // "AQDF" little-endian
+constexpr std::uint8_t kFrameVersion = 1;
+constexpr std::uint8_t kFrameData = 1;
+constexpr std::uint8_t kFrameAck = 2;
+constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 1 + 8;
+
+/// Keep at most this many seen-seq entries per source; prune the oldest
+/// half window below max_seen once exceeded.
+constexpr std::size_t kDedupCapacity = 8192;
+constexpr std::uint64_t kDedupWindow = 4096;
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+void write_frame_header(std::uint8_t* out, std::uint8_t type, std::uint64_t seq) {
+  put_u32(out, kFrameMagic);
+  out[4] = kFrameVersion;
+  out[5] = type;
+  put_u64(out + 6, seq);
+}
+
+}  // namespace
+
+struct UdpTransport::LocalEndpoint {
+  EndpointId id{};
+  HostId host{};
+  ReceiveFn on_receive;
+  int fd = -1;
+  std::uint16_t port = 0;
+  sockaddr_in bound{};
+  std::atomic<bool> stopping{false};
+
+  std::mutex inbox_mutex;
+  std::condition_variable inbox_cv;
+  std::deque<std::pair<EndpointId, Payload>> inbox;
+  bool inbox_closed = false;
+
+  std::thread receiver;
+  std::thread dispatcher;
+
+  // The fd closes with the LAST reference, not at destroy_endpoint():
+  // a sender thread that looked the endpoint up holds a shared_ptr
+  // across its out-of-lock sendto, so the descriptor can never be
+  // closed (or recycled by the kernel) under an in-flight send.
+  ~LocalEndpoint() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+UdpTransport::UdpTransport(UdpTransportConfig config) : config_(std::move(config)) {
+  AQUA_REQUIRE(config_.receive_queue_capacity >= 1, "receive queue capacity must be >= 1");
+  AQUA_REQUIRE(config_.max_attempts >= 1, "max attempts must be >= 1");
+  AQUA_REQUIRE(config_.retransmit_backoff >= 1.0, "retransmit backoff must be >= 1");
+  AQUA_REQUIRE(config_.retransmit_initial > Duration::zero(),
+               "retransmit timeout must be positive");
+  AQUA_REQUIRE(config_.retransmit_tick > Duration::zero(), "retransmit tick must be positive");
+  if (config_.reliable) retransmit_thread_ = std::thread([this] { retransmit_loop(); });
+}
+
+UdpTransport::~UdpTransport() {
+  stopping_.store(true);
+  if (retransmit_thread_.joinable()) retransmit_thread_.join();
+  std::vector<EndpointId> local_ids;
+  {
+    std::lock_guard lock(mutex_);
+    local_ids.reserve(locals_.size());
+    for (const auto& [id, endpoint] : locals_) local_ids.push_back(id);
+  }
+  for (EndpointId id : local_ids) destroy_endpoint(id);
+}
+
+EndpointId UdpTransport::create_endpoint(HostId host, ReceiveFn on_receive) {
+  return create_endpoint_on(host, 0, std::move(on_receive));
+}
+
+EndpointId UdpTransport::create_endpoint_on(HostId host, std::uint16_t port,
+                                            ReceiveFn on_receive) {
+  AQUA_REQUIRE(on_receive != nullptr, "endpoint receive callback must be callable");
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw std::runtime_error("udp: socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("udp: bad bind address " + config_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("udp: cannot bind " + config_.bind_address + ":" +
+                             std::to_string(port) + ": " + std::strerror(err));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+
+  // Wake the receiver periodically so it can observe the stop flag.
+  timeval timeout{};
+  timeout.tv_usec = 50'000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+  auto endpoint = std::make_shared<LocalEndpoint>();
+  endpoint->host = host;
+  endpoint->on_receive = std::move(on_receive);
+  endpoint->fd = fd;
+  endpoint->port = ntohs(addr.sin_port);
+  endpoint->bound = addr;
+
+  LocalEndpoint* raw = endpoint.get();
+  EndpointId id;
+  {
+    std::lock_guard lock(mutex_);
+    id = endpoint_ids_.next();
+    endpoint->id = id;
+    by_addr_[{addr.sin_addr.s_addr, addr.sin_port}] = id;
+    host_alive_.try_emplace(host, true);
+    locals_.emplace(id, std::move(endpoint));
+  }
+  raw->receiver = std::thread([this, raw] { receive_loop(raw); });
+  raw->dispatcher = std::thread([this, raw] { dispatch_loop(raw); });
+  return id;
+}
+
+EndpointId UdpTransport::register_peer(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  AQUA_REQUIRE(::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) == 1,
+               "peer address must be a dotted-quad IPv4 address");
+  std::lock_guard lock(mutex_);
+  const AddrKey key{addr.sin_addr.s_addr, addr.sin_port};
+  if (auto it = by_addr_.find(key); it != by_addr_.end()) return it->second;
+  const EndpointId id = endpoint_ids_.next();
+  const HostId host = peer_hosts_.next();
+  remotes_.emplace(id, RemotePeer{host, addr});
+  by_addr_[key] = id;
+  host_alive_.try_emplace(host, true);
+  return id;
+}
+
+std::shared_ptr<UdpTransport::LocalEndpoint> UdpTransport::detach_local(EndpointId endpoint) {
+  std::lock_guard lock(mutex_);
+  auto it = locals_.find(endpoint);
+  if (it == locals_.end()) return nullptr;
+  std::shared_ptr<LocalEndpoint> victim = std::move(it->second);
+  locals_.erase(it);
+  by_addr_.erase({victim->bound.sin_addr.s_addr, victim->bound.sin_port});
+  dedup_.erase(endpoint);
+  std::erase_if(pending_, [endpoint](const auto& entry) {
+    return entry.second.from == endpoint || entry.second.to == endpoint;
+  });
+  return victim;
+}
+
+void UdpTransport::destroy_endpoint(EndpointId endpoint) {
+  if (std::shared_ptr<LocalEndpoint> victim = detach_local(endpoint)) {
+    victim->stopping.store(true);
+    {
+      std::lock_guard lock(victim->inbox_mutex);
+      victim->inbox_closed = true;
+      victim->inbox.clear();
+    }
+    victim->inbox_cv.notify_all();
+    if (victim->receiver.joinable()) victim->receiver.join();
+    if (victim->dispatcher.joinable()) victim->dispatcher.join();
+    // The fd closes in ~LocalEndpoint — here unless a sender still holds
+    // a reference across its in-flight sendto.
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  auto it = remotes_.find(endpoint);
+  if (it == remotes_.end()) return;
+  by_addr_.erase({it->second.addr.sin_addr.s_addr, it->second.addr.sin_port});
+  dedup_.erase(endpoint);
+  std::erase_if(pending_,
+                [endpoint](const auto& entry) { return entry.second.to == endpoint; });
+  remotes_.erase(it);
+}
+
+void UdpTransport::unicast(EndpointId from, EndpointId to, Payload message) {
+  auto encoded = std::make_shared<std::vector<std::uint8_t>>();
+  const bool ok = encode_payload(message, *encoded);
+  send_datagram(from, to, ok ? std::shared_ptr<const std::vector<std::uint8_t>>{encoded}
+                             : nullptr);
+}
+
+void UdpTransport::multicast(EndpointId from, std::span<const EndpointId> to, Payload message) {
+  if (to.empty()) return;
+  auto encoded = std::make_shared<std::vector<std::uint8_t>>();
+  const bool ok = encode_payload(message, *encoded);
+  const std::shared_ptr<const std::vector<std::uint8_t>> shared =
+      ok ? encoded : std::shared_ptr<const std::vector<std::uint8_t>>{};
+  // One independent datagram (own seq, own retransmit state) per member.
+  for (EndpointId dst : to) send_datagram(from, dst, shared);
+}
+
+void UdpTransport::send_datagram(
+    EndpointId from, EndpointId to,
+    const std::shared_ptr<const std::vector<std::uint8_t>>& encoded) {
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  if (sent_counter_ != nullptr) sent_counter_->add();
+  std::shared_ptr<LocalEndpoint> src;  // keeps the fd open across the sendto
+  sockaddr_in dst{};
+  HostId to_host{};
+  {
+    std::lock_guard lock(mutex_);
+    auto from_it = locals_.find(from);
+    if (from_it == locals_.end()) {  // sender destroyed with a reply in flight
+      count_drop();
+      return;
+    }
+    src = from_it->second;
+    if (auto local_it = locals_.find(to); local_it != locals_.end()) {
+      dst = local_it->second->bound;
+      to_host = local_it->second->host;
+    } else if (auto remote_it = remotes_.find(to); remote_it != remotes_.end()) {
+      dst = remote_it->second.addr;
+      to_host = remote_it->second.host;
+    } else {
+      count_drop();
+      return;
+    }
+  }
+  if (encoded == nullptr) {  // unserializable body
+    count_drop();
+    return;
+  }
+
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto frame = std::make_shared<std::vector<std::uint8_t>>(kFrameHeaderBytes + encoded->size());
+  write_frame_header(frame->data(), kFrameData, seq);
+  std::memcpy(frame->data() + kFrameHeaderBytes, encoded->data(), encoded->size());
+
+  if (config_.reliable) {
+    // Register the pending entry BEFORE the first transmission: on
+    // loopback the ack can beat any bookkeeping done after sendto, and a
+    // pending entry inserted late is an orphan the retransmit loop then
+    // resends spuriously.
+    const auto now = std::chrono::steady_clock::now();
+    Pending pending;
+    pending.from = from;
+    pending.to = to;
+    pending.to_host = to_host;
+    pending.addr = dst;
+    pending.frame = frame;
+    pending.sent_at = now;
+    pending.wait = config_.retransmit_initial;
+    pending.next_resend = now + config_.retransmit_initial;
+    std::lock_guard lock(mutex_);
+    pending_.emplace(seq, std::move(pending));
+  }
+  (void)::sendto(src->fd, frame->data(), frame->size(), 0,
+                 reinterpret_cast<const sockaddr*>(&dst), sizeof dst);
+}
+
+void UdpTransport::receive_loop(LocalEndpoint* endpoint) {
+  std::vector<std::uint8_t> buf(65536);
+  while (!endpoint->stopping.load(std::memory_order_relaxed)) {
+    sockaddr_in src{};
+    socklen_t src_len = sizeof src;
+    const ssize_t n = ::recvfrom(endpoint->fd, buf.data(), buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&src), &src_len);
+    if (n < static_cast<ssize_t>(kFrameHeaderBytes)) continue;  // timeout, error, or runt
+    if (get_u32(buf.data()) != kFrameMagic || buf[4] != kFrameVersion) continue;
+    const std::uint8_t type = buf[5];
+    const std::uint64_t seq = get_u64(buf.data() + 6);
+    const AddrKey source{src.sin_addr.s_addr, src.sin_port};
+    if (type == kFrameData) {
+      // Ack before anything else, duplicates included: a lost ack is
+      // repaired by acking the retransmit.
+      std::uint8_t ack[kFrameHeaderBytes];
+      write_frame_header(ack, kFrameAck, seq);
+      (void)::sendto(endpoint->fd, ack, sizeof ack, 0, reinterpret_cast<const sockaddr*>(&src),
+                     src_len);
+      handle_data(endpoint, source, seq,
+                  std::span<const std::uint8_t>{buf.data() + kFrameHeaderBytes,
+                                                static_cast<std::size_t>(n) - kFrameHeaderBytes});
+    } else if (type == kFrameAck) {
+      handle_ack(seq, source);
+    }
+  }
+}
+
+void UdpTransport::handle_data(LocalEndpoint* endpoint, const AddrKey& source, std::uint64_t seq,
+                               std::span<const std::uint8_t> payload_bytes) {
+  EndpointId from;
+  bool duplicate = false;
+  std::vector<std::pair<HostId, bool>> notifications;
+  {
+    std::lock_guard lock(mutex_);
+    from = lookup_or_learn_locked(source);
+    set_host_alive_locked(endpoint_host_locked(from), true, notifications);
+    Dedup& dedup = dedup_[from];
+    duplicate = !dedup.seen.insert(seq).second;
+    if (!duplicate) {
+      dedup.max_seen = std::max(dedup.max_seen, seq);
+      if (dedup.seen.size() > kDedupCapacity && dedup.max_seen > kDedupWindow) {
+        const std::uint64_t floor = dedup.max_seen - kDedupWindow;
+        std::erase_if(dedup.seen, [floor](std::uint64_t s) { return s < floor; });
+      }
+    }
+  }
+  notify_host_state(notifications);
+  if (duplicate) return;
+
+  std::optional<Payload> payload = decode_payload(payload_bytes);
+  if (!payload.has_value()) {  // foreign version or corrupt datagram
+    count_drop();
+    return;
+  }
+  bool overflow = false;
+  {
+    std::lock_guard lock(endpoint->inbox_mutex);
+    if (endpoint->inbox_closed || endpoint->inbox.size() >= config_.receive_queue_capacity) {
+      overflow = true;
+    } else {
+      endpoint->inbox.emplace_back(from, std::move(*payload));
+    }
+  }
+  if (overflow) {
+    queue_dropped_.fetch_add(1, std::memory_order_relaxed);
+    count_drop();
+    return;
+  }
+  endpoint->inbox_cv.notify_one();
+}
+
+void UdpTransport::handle_ack(std::uint64_t seq, const AddrKey& source) {
+  std::vector<std::pair<HostId, bool>> notifications;
+  {
+    std::lock_guard lock(mutex_);
+    if (auto it = pending_.find(seq); it != pending_.end()) {
+      if (ack_rtt_histogram_ != nullptr) {
+        ack_rtt_histogram_->record(std::chrono::duration_cast<Duration>(
+            std::chrono::steady_clock::now() - it->second.sent_at));
+      }
+      pending_.erase(it);
+    }
+    if (auto it = by_addr_.find(source); it != by_addr_.end()) {
+      set_host_alive_locked(endpoint_host_locked(it->second), true, notifications);
+    }
+  }
+  notify_host_state(notifications);
+}
+
+void UdpTransport::dispatch_loop(LocalEndpoint* endpoint) {
+  while (true) {
+    std::pair<EndpointId, Payload> item;
+    {
+      std::unique_lock lock(endpoint->inbox_mutex);
+      endpoint->inbox_cv.wait(
+          lock, [endpoint] { return endpoint->inbox_closed || !endpoint->inbox.empty(); });
+      if (endpoint->inbox.empty()) return;  // closed and drained
+      item = std::move(endpoint->inbox.front());
+      endpoint->inbox.pop_front();
+    }
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    if (delivered_counter_ != nullptr) delivered_counter_->add();
+    endpoint->on_receive(item.first, item.second);
+  }
+}
+
+void UdpTransport::retransmit_loop() {
+  struct Resend {
+    std::shared_ptr<LocalEndpoint> src;  // keeps the fd open across the sendto
+    sockaddr_in addr;
+    std::shared_ptr<const std::vector<std::uint8_t>> frame;
+  };
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(config_.retransmit_tick);
+    std::vector<Resend> resends;
+    std::vector<std::pair<HostId, bool>> notifications;
+    {
+      std::lock_guard lock(mutex_);
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        Pending& pending = it->second;
+        if (now < pending.next_resend) {
+          ++it;
+          continue;
+        }
+        auto from_it = locals_.find(pending.from);
+        if (from_it == locals_.end()) {  // sender endpoint gone: forget the packet
+          it = pending_.erase(it);
+          continue;
+        }
+        if (pending.attempts >= config_.max_attempts) {
+          // Retransmit budget exhausted: the datagram is lost for good
+          // and the destination is presumed dead — the same liveness
+          // signal a crashed host raises on the simulated Lan.
+          count_drop();
+          set_host_alive_locked(pending.to_host, false, notifications);
+          it = pending_.erase(it);
+          continue;
+        }
+        ++pending.attempts;
+        resends.push_back({from_it->second, pending.addr, pending.frame});
+        pending.wait = Duration{static_cast<std::int64_t>(
+            std::llround(static_cast<double>(count_us(pending.wait)) *
+                         config_.retransmit_backoff))};
+        pending.next_resend = now + pending.wait;
+        ++it;
+      }
+    }
+    for (const Resend& resend : resends) {
+      retransmitted_.fetch_add(1, std::memory_order_relaxed);
+      if (retransmit_counter_ != nullptr) retransmit_counter_->add();
+      (void)::sendto(resend.src->fd, resend.frame->data(), resend.frame->size(), 0,
+                     reinterpret_cast<const sockaddr*>(&resend.addr), sizeof resend.addr);
+    }
+    notify_host_state(notifications);
+  }
+}
+
+EndpointId UdpTransport::lookup_or_learn_locked(const AddrKey& source) {
+  if (auto it = by_addr_.find(source); it != by_addr_.end()) return it->second;
+  const EndpointId id = endpoint_ids_.next();
+  const HostId host = peer_hosts_.next();
+  RemotePeer peer;
+  peer.host = host;
+  peer.addr.sin_family = AF_INET;
+  peer.addr.sin_addr.s_addr = source.first;
+  peer.addr.sin_port = source.second;
+  remotes_.emplace(id, peer);
+  by_addr_[source] = id;
+  host_alive_.try_emplace(host, true);
+  return id;
+}
+
+HostId UdpTransport::endpoint_host_locked(EndpointId endpoint) const {
+  if (auto it = locals_.find(endpoint); it != locals_.end()) return it->second->host;
+  auto it = remotes_.find(endpoint);
+  AQUA_REQUIRE(it != remotes_.end(), "unknown endpoint");
+  return it->second.host;
+}
+
+void UdpTransport::set_host_alive_locked(HostId host, bool alive,
+                                         std::vector<std::pair<HostId, bool>>& notifications) {
+  auto it = host_alive_.try_emplace(host, true).first;
+  if (it->second == alive) return;
+  it->second = alive;
+  notifications.emplace_back(host, alive);
+}
+
+void UdpTransport::notify_host_state(
+    const std::vector<std::pair<HostId, bool>>& notifications) {
+  if (notifications.empty()) return;
+  std::vector<HostStateFn> subscribers;
+  {
+    std::lock_guard lock(mutex_);
+    subscribers = host_state_subscribers_;
+  }
+  for (const auto& [host, alive] : notifications) {
+    AQUA_LOG_DEBUG << "udp: host " << host << (alive ? " alive" : " presumed dead");
+    for (const HostStateFn& fn : subscribers) fn(host, alive);
+  }
+}
+
+void UdpTransport::count_drop() {
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (dropped_counter_ != nullptr) dropped_counter_->add();
+}
+
+void UdpTransport::subscribe_host_state(HostStateFn fn) {
+  AQUA_REQUIRE(fn != nullptr, "host-state callback must be callable");
+  std::lock_guard lock(mutex_);
+  host_state_subscribers_.push_back(std::move(fn));
+}
+
+bool UdpTransport::host_alive(HostId host) const {
+  std::lock_guard lock(mutex_);
+  auto it = host_alive_.find(host);
+  return it == host_alive_.end() ? true : it->second;
+}
+
+HostId UdpTransport::endpoint_host(EndpointId endpoint) const {
+  std::lock_guard lock(mutex_);
+  return endpoint_host_locked(endpoint);
+}
+
+bool UdpTransport::endpoint_exists(EndpointId endpoint) const {
+  std::lock_guard lock(mutex_);
+  return locals_.contains(endpoint) || remotes_.contains(endpoint);
+}
+
+void UdpTransport::set_telemetry(obs::Telemetry* telemetry) {
+  std::lock_guard lock(mutex_);
+  if (telemetry == nullptr) {
+    sent_counter_ = nullptr;
+    delivered_counter_ = nullptr;
+    dropped_counter_ = nullptr;
+    retransmit_counter_ = nullptr;
+    ack_rtt_histogram_ = nullptr;
+    return;
+  }
+  auto& metrics = telemetry->metrics();
+  sent_counter_ = &metrics.counter("lan.sent");
+  delivered_counter_ = &metrics.counter("lan.delivered");
+  dropped_counter_ = &metrics.counter("lan.dropped");
+  retransmit_counter_ = &metrics.counter("lan.retransmits");
+  ack_rtt_histogram_ = &metrics.histogram("lan.ack_rtt_us");
+}
+
+std::uint16_t UdpTransport::endpoint_port(EndpointId endpoint) const {
+  std::lock_guard lock(mutex_);
+  auto it = locals_.find(endpoint);
+  AQUA_REQUIRE(it != locals_.end(), "endpoint_port needs a local endpoint");
+  return it->second->port;
+}
+
+}  // namespace aqua::net

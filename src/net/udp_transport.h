@@ -1,0 +1,212 @@
+// Real-socket transport backend: kernel UDP on loopback or a LAN
+// interface.
+//
+// Each local endpoint binds its own UDP socket and runs two threads: a
+// receiver (recvfrom loop, parses frames, acks, dedups) and a dispatcher
+// draining a bounded inbox into the endpoint's ReceiveFn — so a slow
+// consumer backs up its own queue (overflow is a counted drop), never the
+// socket of another endpoint. Remote endpoints — other processes, or
+// other endpoints of this process reached through the kernel — are
+// handles for a (address, port) pair, registered explicitly or learned
+// from the source address of an incoming datagram.
+//
+// Datagrams are framed as
+//
+//   [u32 magic "AQDF"] [u8 version] [u8 DATA|ACK] [u64 seq]  (+ payload)
+//
+// with the payload serialized by net/wire.h (body + SpanContext). UDP
+// drops, duplicates, and reorders; the transport restores at-most-once
+// delivery with per-datagram acks: every DATA is acked by the receiver,
+// retransmitted with exponential backoff until acked, and deduplicated by
+// (source, seq) on arrival. A destination that exhausts the retransmit
+// budget is reported dead through the same host-liveness signal the
+// dependability layer consumes on the simulated Lan; any later ack or
+// datagram from it reports it alive again.
+//
+// Attach telemetry BEFORE traffic flows; the counters mirror the shared
+// lan.* metric names so dashboards work unchanged across backends.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "net/transport.h"
+
+namespace aqua::obs {
+class Counter;
+class Histogram;
+}  // namespace aqua::obs
+
+namespace aqua::net {
+
+struct UdpTransportConfig {
+  /// Interface address local endpoints bind (and are reachable at).
+  std::string bind_address = "127.0.0.1";
+  /// Per-endpoint inbox capacity; overflow is a counted drop.
+  std::size_t receive_queue_capacity = 1024;
+  /// Ack + retransmit for lost datagrams. Off = fire-and-forget.
+  bool reliable = true;
+  /// First retransmit after this long without an ack.
+  Duration retransmit_initial = msec(20);
+  /// Each further retransmit multiplies the wait by this factor.
+  double retransmit_backoff = 2.0;
+  /// Total send attempts (first send included) before giving up and
+  /// reporting the destination host dead.
+  int max_attempts = 5;
+  /// Retransmit-scan granularity.
+  Duration retransmit_tick = msec(5);
+};
+
+class UdpTransport final : public Transport {
+ public:
+  explicit UdpTransport(UdpTransportConfig config = {});
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Bind a local endpoint on an ephemeral port.
+  EndpointId create_endpoint(HostId host, ReceiveFn on_receive) override;
+
+  /// Bind a local endpoint on an explicit port (0 = ephemeral). Throws
+  /// std::runtime_error when the bind fails.
+  EndpointId create_endpoint_on(HostId host, std::uint16_t port, ReceiveFn on_receive);
+
+  /// Handle for a remote endpoint at address:port (usually another
+  /// process). Idempotent per (address, port); each new peer is placed on
+  /// its own auto-allocated host so liveness is tracked per peer.
+  EndpointId register_peer(const std::string& address, std::uint16_t port);
+
+  void destroy_endpoint(EndpointId endpoint) override;
+
+  void unicast(EndpointId from, EndpointId to, Payload message) override;
+  void multicast(EndpointId from, std::span<const EndpointId> to, Payload message) override;
+
+  void subscribe_host_state(HostStateFn fn) override;
+  [[nodiscard]] bool host_alive(HostId host) const override;
+  [[nodiscard]] HostId endpoint_host(EndpointId endpoint) const override;
+  [[nodiscard]] bool endpoint_exists(EndpointId endpoint) const override;
+
+  void set_telemetry(obs::Telemetry* telemetry) override;
+
+  [[nodiscard]] std::uint64_t messages_sent() const override {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t messages_delivered() const override {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t messages_dropped() const override {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Subset of messages_dropped() lost to inbox overflow.
+  [[nodiscard]] std::uint64_t messages_queue_dropped() const {
+    return queue_dropped_.load(std::memory_order_relaxed);
+  }
+  /// DATA frames re-sent by the reliability layer.
+  [[nodiscard]] std::uint64_t messages_retransmitted() const {
+    return retransmitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Bound port of a local endpoint.
+  [[nodiscard]] std::uint16_t endpoint_port(EndpointId endpoint) const;
+
+  [[nodiscard]] const UdpTransportConfig& config() const { return config_; }
+
+ private:
+  struct LocalEndpoint;
+  /// Handle for an (address, port) the kernel can reach but this process
+  /// does not own.
+  struct RemotePeer {
+    HostId host;
+    sockaddr_in addr{};
+  };
+  /// One unacked DATA frame awaiting retransmit or give-up.
+  struct Pending {
+    EndpointId from;
+    EndpointId to;
+    HostId to_host;
+    sockaddr_in addr{};
+    std::shared_ptr<const std::vector<std::uint8_t>> frame;
+    int attempts = 1;
+    std::chrono::steady_clock::time_point sent_at{};
+    std::chrono::steady_clock::time_point next_resend{};
+    Duration wait{};
+  };
+  /// Per-source at-most-once state: seqs already delivered.
+  struct Dedup {
+    std::unordered_set<std::uint64_t> seen;
+    std::uint64_t max_seen = 0;
+  };
+  using AddrKey = std::pair<std::uint32_t, std::uint16_t>;  // network order
+
+  void receive_loop(LocalEndpoint* endpoint);
+  void dispatch_loop(LocalEndpoint* endpoint);
+  void retransmit_loop();
+  void handle_data(LocalEndpoint* endpoint, const AddrKey& source, std::uint64_t seq,
+                   std::span<const std::uint8_t> payload_bytes);
+  void handle_ack(std::uint64_t seq, const AddrKey& source);
+  void send_datagram(EndpointId from, EndpointId to,
+                     const std::shared_ptr<const std::vector<std::uint8_t>>& encoded);
+  /// Map a source address to an endpoint handle, learning a new remote
+  /// peer on first contact. Caller holds mutex_.
+  EndpointId lookup_or_learn_locked(const AddrKey& source);
+  [[nodiscard]] HostId endpoint_host_locked(EndpointId endpoint) const;
+  /// Flip a host's liveness; returns the notifications to fire once the
+  /// lock is released. Caller holds mutex_.
+  void set_host_alive_locked(HostId host, bool alive,
+                             std::vector<std::pair<HostId, bool>>& notifications);
+  void notify_host_state(const std::vector<std::pair<HostId, bool>>& notifications);
+  void count_drop();
+  std::shared_ptr<LocalEndpoint> detach_local(EndpointId endpoint);
+
+  UdpTransportConfig config_;
+
+  mutable std::mutex mutex_;
+  IdGenerator<EndpointId> endpoint_ids_;
+  IdGenerator<HostId> peer_hosts_{1'000'000};  // clear of caller-assigned hosts
+  /// Values are shared so a sender can pin an endpoint's socket across
+  /// its out-of-lock sendto; the fd closes with the last reference.
+  std::unordered_map<EndpointId, std::shared_ptr<LocalEndpoint>> locals_;
+  std::unordered_map<EndpointId, RemotePeer> remotes_;
+  std::map<AddrKey, EndpointId> by_addr_;
+  std::unordered_map<EndpointId, Dedup> dedup_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::unordered_map<HostId, bool> host_alive_;
+  std::vector<HostStateFn> host_state_subscribers_;
+
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> queue_dropped_{0};
+  std::atomic<std::uint64_t> retransmitted_{0};
+
+  /// Null unless telemetry is attached (one-branch discipline). Set
+  /// before traffic flows; the counters themselves are thread-safe.
+  obs::Counter* sent_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* retransmit_counter_ = nullptr;
+  obs::Histogram* ack_rtt_histogram_ = nullptr;
+
+  std::atomic<bool> stopping_{false};
+  std::thread retransmit_thread_;
+};
+
+}  // namespace aqua::net

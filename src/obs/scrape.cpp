@@ -84,14 +84,28 @@ void ScrapeServer::serve() {
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
 
-    // Read the request line; scrape requests are tiny, one read is
-    // almost always the whole request, and we only need "GET <path>".
+    // Read until the end of the request line. A scrape request is tiny
+    // but the kernel may still hand it over in several TCP segments
+    // (slow client, TCP_NODELAY off, deliberate trickle) — a single read
+    // that catches only "GE" must not be judged as a non-GET method.
+    // The line is capped at the buffer size: anything longer is not a
+    // scrape path we serve.
     char buf[2048];
-    const ssize_t n = ::read(client, buf, sizeof buf - 1);
-    if (n > 0) {
-      buf[n] = '\0';
-      std::string request_line{buf};
-      if (const auto eol = request_line.find('\r'); eol != std::string::npos) {
+    std::string request_text;
+    bool have_line = false;
+    while (request_text.size() < sizeof buf) {
+      const ssize_t n = ::read(client, buf, sizeof buf - 1);
+      if (n <= 0) break;  // peer closed or error before finishing the line
+      request_text.append(buf, static_cast<std::size_t>(n));
+      if (request_text.find("\r\n") != std::string::npos ||
+          request_text.find('\n') != std::string::npos) {
+        have_line = true;
+        break;
+      }
+    }
+    if (have_line) {
+      std::string request_line = request_text;
+      if (const auto eol = request_line.find_first_of("\r\n"); eol != std::string::npos) {
         request_line.resize(eol);
       }
       std::string response;
@@ -105,7 +119,10 @@ void ScrapeServer::serve() {
       }
       std::size_t sent = 0;
       while (sent < response.size()) {
-        const ssize_t w = ::write(client, response.data() + sent, response.size() - sent);
+        // MSG_NOSIGNAL: a client that disconnects mid-response must cost
+        // us an EPIPE errno, not a process-killing SIGPIPE.
+        const ssize_t w = ::send(client, response.data() + sent, response.size() - sent,
+                                 MSG_NOSIGNAL);
         if (w <= 0) break;
         sent += static_cast<std::size_t>(w);
       }

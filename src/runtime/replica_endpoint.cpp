@@ -1,0 +1,52 @@
+#include "runtime/replica_endpoint.h"
+
+#include "proto/messages.h"
+
+namespace aqua::runtime {
+
+ReplicaEndpoint::ReplicaEndpoint(net::Transport& transport, ThreadedReplica& replica,
+                                 const EndpointFactory& factory)
+    : transport_(transport), replica_(replica) {
+  endpoint_ = factory(
+      [this](EndpointId from, const net::Payload& message) { on_receive(from, message); });
+}
+
+ReplicaEndpoint::ReplicaEndpoint(net::Transport& transport, ThreadedReplica& replica, HostId host)
+    : ReplicaEndpoint(transport, replica, [&transport, host](net::ReceiveFn fn) {
+        return transport.create_endpoint(host, std::move(fn));
+      }) {}
+
+ReplicaEndpoint::~ReplicaEndpoint() { shutdown(); }
+
+void ReplicaEndpoint::shutdown() {
+  if (!shut_down_.exchange(true)) transport_.destroy_endpoint(endpoint_);
+}
+
+void ReplicaEndpoint::on_receive(EndpointId from, const net::Payload& message) {
+  if (const auto* request = message.get_if<proto::Request>()) {
+    const obs::SpanContext request_ctx = message.span();
+    // The reply callback runs on the replica's worker thread; both
+    // transports accept sends from any thread.
+    replica_.submit(
+        *request,
+        [this, from, request_ctx](const proto::Reply& reply) {
+          net::Payload payload = net::Payload::make(reply, proto::kReplyBytes);
+          if (request_ctx.valid()) {
+            payload.set_span({.trace_id = request_ctx.trace_id,
+                              .parent_span_id = request_ctx.parent_span_id,
+                              .leg = obs::SpanKind::kReplyLeg,
+                              .replica = reply.replica});
+          }
+          transport_.unicast(endpoint_, from, std::move(payload));
+        },
+        request_ctx);
+    return;
+  }
+  if (message.get_if<proto::Subscribe>() != nullptr) {
+    transport_.unicast(endpoint_, from,
+                       net::Payload::make(proto::Announce{replica_.id(), endpoint_},
+                                          proto::kAnnounceBytes));
+  }
+}
+
+}  // namespace aqua::runtime

@@ -1,0 +1,59 @@
+// Server-gateway glue: a transport endpoint in front of a ThreadedReplica.
+//
+// The endpoint receives proto::Request messages, submits them to the
+// replica's worker thread, and unicasts the proto::Reply (with
+// piggybacked performance data) back to the sender once serviced. A
+// proto::Subscribe is answered with proto::Announce{replica, endpoint},
+// the discovery handshake a remote client gateway uses to learn which
+// replica lives behind an address it was pointed at. A crashed replica
+// simply stops answering — over UDP the client's retransmit budget then
+// reports the host dead, the same liveness edge the sim Lan raises.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "net/transport.h"
+#include "runtime/threaded_replica.h"
+
+namespace aqua::runtime {
+
+class ReplicaEndpoint {
+ public:
+  /// Bind the endpoint through `factory` — the hook that lets a process
+  /// bind a fixed UDP port (UdpTransport::create_endpoint_on) instead of
+  /// the Transport-interface default. The factory receives the receive
+  /// callback and must return the endpoint it created on `transport`.
+  using EndpointFactory = std::function<EndpointId(net::ReceiveFn)>;
+
+  /// `transport` and `replica` must outlive the endpoint.
+  ReplicaEndpoint(net::Transport& transport, ThreadedReplica& replica,
+                  const EndpointFactory& factory);
+
+  /// Convenience: bind via transport.create_endpoint on `host`.
+  ReplicaEndpoint(net::Transport& transport, ThreadedReplica& replica, HostId host);
+
+  ~ReplicaEndpoint();
+
+  ReplicaEndpoint(const ReplicaEndpoint&) = delete;
+  ReplicaEndpoint& operator=(const ReplicaEndpoint&) = delete;
+
+  /// Stop intake: destroy the transport endpoint, joining its delivery
+  /// threads — no on_receive (hence no replica submit) after this. A
+  /// reply still in flight on the replica's worker degrades to a counted
+  /// transport drop. Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
+  [[nodiscard]] ThreadedReplica& replica() { return replica_; }
+
+ private:
+  void on_receive(EndpointId from, const net::Payload& message);
+
+  net::Transport& transport_;
+  ThreadedReplica& replica_;
+  EndpointId endpoint_{};
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace aqua::runtime

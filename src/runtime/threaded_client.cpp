@@ -30,9 +30,11 @@ ThreadedClient::ThreadedClient(std::vector<ThreadedReplica*> replicas, core::Qos
       model_cache_(std::make_shared<core::ModelCache>()),
       selector_(config.selection, core::ResponseTimeModel{config.model, model_cache_}),
       repository_(config.repository),
-      tracker_(config.failure_tracker) {
+      tracker_(config.failure_tracker),
+      transport_(config.transport) {
   qos_.validate();
-  AQUA_REQUIRE(!replicas_.empty(), "threaded client needs at least one replica");
+  AQUA_REQUIRE(!replicas_.empty() || transport_ != nullptr,
+               "threaded client needs at least one replica (or a transport to discover them)");
   AQUA_REQUIRE(config_.give_up_deadline_factor >= 1, "give-up factor must be >= 1");
   if (config_.telemetry != nullptr) {
     obs_ = config_.telemetry;
@@ -46,27 +48,134 @@ ThreadedClient::ThreadedClient(std::vector<ThreadedReplica*> replicas, core::Qos
     response_time_histogram_ = &metrics.histogram("threaded.response_time_us");
     selection_overhead_histogram_ = &metrics.histogram("threaded.selection_overhead_us");
   }
+  {
+    std::lock_guard lock(mutex_);
+    for (const ThreadedReplica* replica : replicas_) repository_.add_replica(replica->id());
+  }
+  if (transport_ != nullptr) {
+    endpoint_ = transport_->create_endpoint(
+        config_.host,
+        [this](EndpointId from, const net::Payload& message) { on_receive(from, message); });
+    // The transport's subscriber list cannot shrink, so the callback
+    // reaches this client through a relay the destructor severs.
+    evict_relay_ = std::make_shared<HostEvictRelay>();
+    evict_relay_->client = this;
+    transport_->subscribe_host_state(
+        [relay = evict_relay_](HostId host, bool alive) {
+          if (alive) return;
+          std::lock_guard guard(relay->mutex);
+          if (relay->client != nullptr) relay->client->evict_host(host);
+        });
+  }
+}
+
+ThreadedClient::~ThreadedClient() { shutdown(); }
+
+void ThreadedClient::shutdown() {
+  if (transport_ != nullptr) {
+    if (evict_relay_ != nullptr) {
+      std::lock_guard guard(evict_relay_->mutex);
+      evict_relay_->client = nullptr;
+    }
+    // Joins the endpoint's delivery threads: no on_receive after this.
+    // Must not hold mutex_ here — a delivery blocked on it would deadlock
+    // the join.
+    if (!endpoint_destroyed_.exchange(true)) transport_->destroy_endpoint(endpoint_);
+  }
+  executor_.shutdown();
+}
+
+void ThreadedClient::add_peer_replica(ReplicaId replica, EndpointId endpoint) {
+  AQUA_REQUIRE(transport_ != nullptr, "add_peer_replica requires transport mode");
   std::lock_guard lock(mutex_);
-  for (const ThreadedReplica* replica : replicas_) repository_.add_replica(replica->id());
+  peer_replicas_[replica] = endpoint;
+  if (!repository_.contains(replica)) repository_.add_replica(replica);
+}
+
+void ThreadedClient::subscribe_to(EndpointId peer) {
+  AQUA_REQUIRE(transport_ != nullptr, "subscribe_to requires transport mode");
+  transport_->unicast(endpoint_, peer,
+                      net::Payload::make(proto::Subscribe{config_.id, endpoint_},
+                                         proto::kSubscribeBytes));
+}
+
+void ThreadedClient::on_receive(EndpointId from, const net::Payload& message) {
+  if (const auto* reply = message.get_if<proto::Reply>()) {
+    std::shared_ptr<RequestState> state;
+    {
+      std::lock_guard lock(mutex_);
+      if (repository_.contains(reply->replica)) {
+        repository_.record_perf(reply->replica,
+                                core::PerfSample{reply->perf.service_time,
+                                                 reply->perf.queuing_delay,
+                                                 reply->perf.queue_length},
+                                TimePoint{}, reply->method);
+      }
+      auto it = outstanding_.find(reply->request);
+      if (it != outstanding_.end()) state = it->second;
+    }
+    if (state != nullptr) {
+      std::lock_guard slock(state->mutex);
+      if (!state->delivered) {
+        state->delivered = true;
+        state->first_reply = *reply;
+        state->cv.notify_all();
+      }
+    }
+    return;
+  }
+  if (const auto* announce = message.get_if<proto::Announce>()) {
+    // The announced endpoint id is meaningless outside the replica's own
+    // process; the sender handle is how WE reach it.
+    add_peer_replica(announce->replica, from);
+    return;
+  }
+  if (const auto* update = message.get_if<proto::PerfUpdate>()) {
+    std::lock_guard lock(mutex_);
+    if (repository_.contains(update->replica)) {
+      repository_.record_perf(update->replica,
+                              core::PerfSample{update->perf.service_time,
+                                               update->perf.queuing_delay,
+                                               update->perf.queue_length},
+                              TimePoint{}, update->method);
+    }
+  }
+}
+
+void ThreadedClient::evict_host(HostId host) {
+  std::lock_guard lock(mutex_);
+  for (auto it = peer_replicas_.begin(); it != peer_replicas_.end();) {
+    const EndpointId endpoint = it->second;
+    if (transport_->endpoint_exists(endpoint) && transport_->endpoint_host(endpoint) == host) {
+      repository_.remove_replica(it->first);
+      model_cache_->invalidate(it->first);
+      it = peer_replicas_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
   using SteadyClock = std::chrono::steady_clock;
   const auto t0 = SteadyClock::now();
-  const TimePoint wall_t0 = span_sink_ != nullptr ? span_sink_->wall_now() : TimePoint{};
+  const TimePoint wall_t0 = obs_ != nullptr ? obs_->wall_now() : TimePoint{};
 
   Outcome outcome;
   proto::Request request;
   core::SelectionResult selection;
   std::vector<ThreadedReplica*> targets;
+  std::vector<EndpointId> target_endpoints;
   core::QosSpec qos_snapshot;
   std::uint64_t trace_id = 0;
   std::uint64_t root_span = 0;
   obs::SpanContext request_ctx{};
+  auto state = std::make_shared<RequestState>();
   {
     std::lock_guard lock(mutex_);
     qos_snapshot = qos_;
     request.id = RequestId{next_request_++};
+    request.client = config_.id;
     request.argument = argument;
 
     // delta measured from the real wall clock (§5.3.3), previous value
@@ -80,10 +189,18 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
 
     outcome.redundancy = selection.selected.size();
     outcome.cold_start = selection.cold_start;
-    for (ReplicaId id : selection.selected) {
-      auto it = std::find_if(replicas_.begin(), replicas_.end(),
-                             [id](const ThreadedReplica* r) { return r->id() == id; });
-      if (it != replicas_.end()) targets.push_back(*it);
+    if (transport_ != nullptr) {
+      for (ReplicaId id : selection.selected) {
+        auto it = peer_replicas_.find(id);
+        if (it != peer_replicas_.end()) target_endpoints.push_back(it->second);
+      }
+      outstanding_.emplace(request.id, state);
+    } else {
+      for (ReplicaId id : selection.selected) {
+        auto it = std::find_if(replicas_.begin(), replicas_.end(),
+                               [id](const ThreadedReplica* r) { return r->id() == id; });
+        if (it != replicas_.end()) targets.push_back(*it);
+      }
     }
   }
 
@@ -106,7 +223,13 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
                    .replica = {}};
   }
 
-  auto state = std::make_shared<RequestState>();
+  if (transport_ != nullptr) {
+    // Real network: the wire replaces the injected delay hops; the reply
+    // path runs through on_receive.
+    net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
+    if (request_ctx.valid()) payload.set_span(request_ctx);
+    transport_->multicast(endpoint_, target_endpoints, std::move(payload));
+  }
   for (ThreadedReplica* replica : targets) {
     Duration out_delay;
     {
@@ -155,6 +278,10 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
       outcome.result = first_reply.result;
     }
   }
+  if (transport_ != nullptr) {
+    std::lock_guard lock(mutex_);
+    outstanding_.erase(request.id);
+  }
 
   const auto t4 = SteadyClock::now();
   outcome.response_time = std::chrono::duration_cast<Duration>(t4 - t0);
@@ -193,6 +320,33 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
     if (outcome.cold_start) cold_starts_counter_->add();
     response_time_histogram_->record(outcome.response_time);
     selection_overhead_histogram_->record(outcome.selection_overhead);
+  }
+  if (obs_ != nullptr) {
+    // Same record the simulated gateway emits, so to_run_report
+    // aggregates threaded (and multi-process UDP) runs unchanged.
+    obs::RequestTrace tr;
+    tr.client = config_.id;
+    tr.request = request.id;
+    tr.t0 = wall_t0;
+    tr.t1 = wall_t0 + outcome.selection_overhead;
+    tr.deadline = qos_snapshot.deadline;
+    tr.min_probability = qos_snapshot.min_probability;
+    tr.redundancy = outcome.redundancy;
+    tr.cold_start = outcome.cold_start;
+    tr.feasible = selection.feasible;
+    tr.answered = outcome.answered;
+    tr.timely = outcome.timely;
+    if (outcome.answered) {
+      tr.t4 = wall_t0 + outcome.response_time;
+      tr.response_time = outcome.response_time;
+      tr.service_time = first_reply.perf.service_time;
+      tr.queuing_delay = first_reply.perf.queuing_delay;
+      tr.gateway_delay =
+          std::max(Duration::zero(), outcome.response_time - first_reply.perf.queuing_delay -
+                                         first_reply.perf.service_time);
+      tr.first_replica = first_reply.replica;
+    }
+    obs_->record_request(tr);
   }
   {
     std::lock_guard lock(mutex_);

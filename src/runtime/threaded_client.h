@@ -8,12 +8,14 @@
 // a give-up timeout.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -21,6 +23,7 @@
 #include "core/info_repository.h"
 #include "core/qos.h"
 #include "core/selection.h"
+#include "net/transport.h"
 #include "runtime/delayed_executor.h"
 #include "runtime/threaded_replica.h"
 #include "stats/variates.h"
@@ -66,6 +69,16 @@ struct ThreadedClientConfig {
   /// registry's concurrency guarantees. Null keeps every site at one
   /// branch.
   obs::Telemetry* telemetry = nullptr;
+
+  /// Transport mode: when set (non-owning; must outlive the client), the
+  /// client creates its own endpoint on `host` and invoke() multicasts
+  /// requests over the transport instead of submitting to in-process
+  /// replica threads — replicas are discovered via add_peer_replica() or
+  /// the Subscribe/Announce handshake, and a host reported dead by the
+  /// transport is evicted like a membership view change. The in-process
+  /// replica list may then be empty.
+  net::Transport* transport = nullptr;
+  HostId host{};
 };
 
 class ThreadedClient {
@@ -82,9 +95,14 @@ class ThreadedClient {
     Duration selection_overhead{};
   };
 
-  /// The replica pointers must outlive the client.
+  /// The replica pointers must outlive the client. The list may be empty
+  /// only in transport mode (config.transport set).
   ThreadedClient(std::vector<ThreadedReplica*> replicas, core::QosSpec qos, Rng rng,
                  ThreadedClientConfig config = {});
+  ~ThreadedClient();
+
+  ThreadedClient(const ThreadedClient&) = delete;
+  ThreadedClient& operator=(const ThreadedClient&) = delete;
 
   /// Issue one request and block for the first reply (or give up).
   Outcome invoke(std::int64_t argument);
@@ -93,14 +111,26 @@ class ThreadedClient {
   /// the membership view change).
   void remove_replica(ReplicaId id);
 
+  /// Transport mode: the client's own endpoint on the transport.
+  [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
+
+  /// Transport mode: make `replica`, reachable at `endpoint`, a selection
+  /// candidate. Idempotent per replica (later calls update the endpoint).
+  void add_peer_replica(ReplicaId replica, EndpointId endpoint);
+
+  /// Transport mode: send a Subscribe to a peer endpoint; its Announce
+  /// reply runs add_peer_replica with the replica behind that address.
+  void subscribe_to(EndpointId peer);
+
   void set_qos(core::QosSpec qos);
   [[nodiscard]] const core::QosSpec& qos() const { return qos_; }
 
-  /// Stop the delay executor: discard pending hops, join its thread, and
-  /// refuse new posts. Part of ThreadedSystem's phased teardown — called
-  /// before replica threads are joined so no in-flight hop can touch a
-  /// replica after it dies (and vice versa). Idempotent.
-  void shutdown() { executor_.shutdown(); }
+  /// Stop message intake: destroy the transport endpoint (joining its
+  /// delivery threads) and shut the delay executor down — after this no
+  /// in-flight hop or datagram can touch a replica or this client. Part
+  /// of ThreadedSystem's phased teardown, called before replica threads
+  /// are joined. Idempotent.
+  void shutdown();
 
   /// Snapshot accessors (thread-safe).
   [[nodiscard]] double timely_fraction() const;
@@ -109,6 +139,16 @@ class ThreadedClient {
 
  private:
   struct RequestState;
+  /// Host-eviction relay shared with the transport's subscriber list:
+  /// the transport cannot unsubscribe, so the callback goes through this
+  /// block and the destructor severs `client` under its mutex.
+  struct HostEvictRelay {
+    std::mutex mutex;
+    ThreadedClient* client = nullptr;
+  };
+
+  void on_receive(EndpointId from, const net::Payload& message);
+  void evict_host(HostId host);
 
   std::vector<ThreadedReplica*> replicas_;
   core::QosSpec qos_;
@@ -124,6 +164,16 @@ class ThreadedClient {
   core::TimingFailureTracker tracker_;
   core::OverheadEstimator overhead_;
   std::uint64_t next_request_ = 1;
+
+  /// Transport mode (null otherwise). peer_replicas_ and outstanding_
+  /// are guarded by mutex_; the endpoint is created in the constructor
+  /// and destroyed by shutdown().
+  net::Transport* transport_ = nullptr;
+  EndpointId endpoint_{};
+  std::atomic<bool> endpoint_destroyed_{false};
+  std::unordered_map<ReplicaId, EndpointId> peer_replicas_;
+  std::unordered_map<RequestId, std::shared_ptr<RequestState>> outstanding_;
+  std::shared_ptr<HostEvictRelay> evict_relay_;
 
   /// Alert edge state (guarded by mutex_): the last reported
   /// QoS-violation level, for violation/recovery edge detection.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "runtime/replica_endpoint.h"
 #include "runtime/threaded_client.h"
 #include "runtime/threaded_replica.h"
 
@@ -30,6 +31,15 @@ struct ThreadedSystemConfig {
   /// (/metrics, /snapshot, /trace, ...) on 127.0.0.1:<scrape_port>
   /// (0 picks an ephemeral port; see ScrapeServer).
   int scrape_port = -1;
+
+  /// When set (non-owning; must outlive the system), every replica gets a
+  /// transport endpoint (ReplicaEndpoint) and every client multicasts
+  /// requests over the transport instead of submitting to replica
+  /// threads directly. Null keeps the direct in-process path,
+  /// bit-identical to the pre-transport runtime. The transport must be
+  /// safe for sends from arbitrary threads (UdpTransport is; the
+  /// simulated Lan is not — it belongs to the simulator's single thread).
+  net::Transport* transport = nullptr;
 };
 
 /// Aggregate outcome of one client's closed-loop workload.
@@ -64,6 +74,9 @@ class ThreadedSystem {
   [[nodiscard]] std::vector<ThreadedReplica*> replicas();
   [[nodiscard]] std::vector<ThreadedClient*> clients();
 
+  /// Transport mode: the endpoint wrappers, index-aligned with replicas().
+  [[nodiscard]] std::vector<ReplicaEndpoint*> replica_endpoints();
+
   /// Run every client's closed-loop workload concurrently (one driver
   /// thread per client): `requests` requests each, sleeping `think`
   /// between a reply and the next request. Blocks until all finish.
@@ -78,6 +91,7 @@ class ThreadedSystem {
   IdGenerator<ReplicaId> replica_ids_;
   IdGenerator<ClientId> client_ids_;
   std::vector<std::unique_ptr<ThreadedReplica>> replicas_;
+  std::vector<std::unique_ptr<ReplicaEndpoint>> replica_endpoints_;
   std::vector<std::unique_ptr<ThreadedClient>> clients_;
   std::unique_ptr<obs::ScrapeServer> scrape_;
 };

@@ -90,6 +90,27 @@ TEST_F(LanTest, JitterMakesDelaysVary) {
             *std::max_element(arrivals.begin(), arrivals.end()));
 }
 
+TEST_F(LanTest, RejectsZeroJitterMedianWithNonzeroSigma) {
+  // lognormal jitter is median * exp(sigma * z): a zero median with
+  // jitter enabled would feed log(0) into the sampler and every delay
+  // would be NaN. The constructor must refuse the config outright.
+  LanConfig cfg;
+  cfg.jitter_median = Duration::zero();
+  cfg.jitter_sigma = 0.4;
+  EXPECT_THROW((Lan{sim_, Rng{1}, cfg}), std::invalid_argument);
+
+  // Zero median is fine when jitter is disabled.
+  cfg.jitter_sigma = 0.0;
+  Lan lan{sim_, Rng{1}, cfg};
+  const EndpointId a = lan.create_endpoint(HostId{1}, [](EndpointId, const Payload&) {});
+  TimePoint arrival{};
+  const EndpointId b = lan.create_endpoint(
+      HostId{2}, [&](EndpointId, const Payload&) { arrival = sim_.now(); });
+  lan.unicast(a, b, text("x"));
+  sim_.run();
+  EXPECT_GT(count_us(arrival), 0);
+}
+
 TEST_F(LanTest, MulticastReachesAllDestinations) {
   Lan lan{sim_, Rng{1}, quiet_config()};
   const EndpointId src = lan.create_endpoint(HostId{1}, [](EndpointId, const Payload&) {});

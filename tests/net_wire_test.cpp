@@ -1,0 +1,177 @@
+// Wire serialization of net::Payload: round-trips for every supported
+// body tag (proto gateway messages + string/int64 + empty), SpanContext
+// preservation, and the rejection contract — foreign magic, unsupported
+// version, unknown tag, truncation, and trailing garbage all decode to
+// std::nullopt, and an unserializable body refuses to encode.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/payload.h"
+#include "obs/span.h"
+#include "proto/messages.h"
+
+namespace aqua::net {
+namespace {
+
+std::vector<std::uint8_t> encode_or_die(const Payload& payload) {
+  std::vector<std::uint8_t> bytes;
+  EXPECT_TRUE(encode_payload(payload, bytes));
+  return bytes;
+}
+
+TEST(WireFormat, RequestRoundTripsAllFields) {
+  proto::Request request;
+  request.id = RequestId{42};
+  request.client = ClientId{7};
+  request.method = "search";
+  request.argument = -123456789;
+  const auto bytes = encode_or_die(Payload::make(request, proto::kRequestBytes));
+
+  const std::optional<Payload> decoded = decode_payload(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = decoded->get_if<proto::Request>();
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->id, request.id);
+  EXPECT_EQ(back->client, request.client);
+  EXPECT_EQ(back->method, request.method);
+  EXPECT_EQ(back->argument, request.argument);
+  EXPECT_EQ(decoded->wire_bytes(), proto::kRequestBytes);
+}
+
+TEST(WireFormat, ReplyRoundTripsPerfTriple) {
+  proto::Reply reply;
+  reply.request = RequestId{9};
+  reply.replica = ReplicaId{3};
+  reply.method = "invoke";
+  reply.result = 81;
+  reply.perf.service_time = usec(1500);
+  reply.perf.queuing_delay = usec(250);
+  reply.perf.queue_length = 4;
+  const auto bytes = encode_or_die(Payload::make(reply, proto::kReplyBytes));
+
+  const std::optional<Payload> decoded = decode_payload(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = decoded->get_if<proto::Reply>();
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->request, reply.request);
+  EXPECT_EQ(back->replica, reply.replica);
+  EXPECT_EQ(back->result, reply.result);
+  EXPECT_EQ(back->perf.service_time, reply.perf.service_time);
+  EXPECT_EQ(back->perf.queuing_delay, reply.perf.queuing_delay);
+  EXPECT_EQ(back->perf.queue_length, reply.perf.queue_length);
+}
+
+TEST(WireFormat, ControlMessagesRoundTrip) {
+  proto::PerfUpdate update;
+  update.replica = ReplicaId{5};
+  update.perf.queue_length = 2;
+  const auto update_bytes = encode_or_die(Payload::make(update, proto::kPerfUpdateBytes));
+  const auto update_back = decode_payload(update_bytes);
+  ASSERT_TRUE(update_back.has_value());
+  ASSERT_NE(update_back->get_if<proto::PerfUpdate>(), nullptr);
+  EXPECT_EQ(update_back->get_if<proto::PerfUpdate>()->replica, update.replica);
+
+  proto::Subscribe subscribe;
+  subscribe.client = ClientId{11};
+  subscribe.reply_to = EndpointId{77};
+  const auto sub_bytes = encode_or_die(Payload::make(subscribe, proto::kSubscribeBytes));
+  const auto sub_back = decode_payload(sub_bytes);
+  ASSERT_TRUE(sub_back.has_value());
+  ASSERT_NE(sub_back->get_if<proto::Subscribe>(), nullptr);
+  EXPECT_EQ(sub_back->get_if<proto::Subscribe>()->reply_to, subscribe.reply_to);
+
+  proto::Announce announce;
+  announce.replica = ReplicaId{6};
+  announce.endpoint = EndpointId{13};
+  const auto ann_bytes = encode_or_die(Payload::make(announce, proto::kAnnounceBytes));
+  const auto ann_back = decode_payload(ann_bytes);
+  ASSERT_TRUE(ann_back.has_value());
+  ASSERT_NE(ann_back->get_if<proto::Announce>(), nullptr);
+  EXPECT_EQ(ann_back->get_if<proto::Announce>()->replica, announce.replica);
+}
+
+TEST(WireFormat, StringInt64AndEmptyBodiesRoundTrip) {
+  const auto text = decode_payload(encode_or_die(Payload::make(std::string{"hello"}, 100)));
+  ASSERT_TRUE(text.has_value());
+  ASSERT_NE(text->get_if<std::string>(), nullptr);
+  EXPECT_EQ(*text->get_if<std::string>(), "hello");
+
+  const auto number = decode_payload(encode_or_die(Payload::make(std::int64_t{-7}, 8)));
+  ASSERT_TRUE(number.has_value());
+  ASSERT_NE(number->get_if<std::int64_t>(), nullptr);
+  EXPECT_EQ(*number->get_if<std::int64_t>(), -7);
+
+  const auto empty = decode_payload(encode_or_die(Payload{}));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(WireFormat, SpanContextSurvivesTheWire) {
+  Payload payload = Payload::make(std::string{"traced"}, 64);
+  obs::SpanContext ctx;
+  ctx.trace_id = 0xDEADBEEFCAFEF00DULL;
+  ctx.parent_span_id = 0x1122334455667788ULL;
+  ctx.leg = obs::SpanKind::kReplyLeg;
+  ctx.replica = ReplicaId{3};
+  payload.set_span(ctx);
+
+  const auto decoded = decode_payload(encode_or_die(payload));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->span().valid());
+  EXPECT_EQ(decoded->span().trace_id, ctx.trace_id);
+  EXPECT_EQ(decoded->span().parent_span_id, ctx.parent_span_id);
+  EXPECT_EQ(decoded->span().leg, ctx.leg);
+  EXPECT_EQ(decoded->span().replica, ctx.replica);
+}
+
+TEST(WireFormat, RefusesToEncodeForeignBodyType) {
+  struct Opaque {
+    int x = 1;
+  };
+  std::vector<std::uint8_t> bytes{0xAA};  // must be cleared even on failure
+  EXPECT_FALSE(encode_payload(Payload::make(Opaque{}, 32), bytes));
+}
+
+TEST(WireFormat, RejectsForeignMagicAndVersion) {
+  auto bytes = encode_or_die(Payload::make(std::string{"x"}, 16));
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(decode_payload(bad_magic).has_value());
+
+  auto bad_version = bytes;
+  bad_version[4] = kWireVersion + 1;  // a future peer's frame
+  EXPECT_FALSE(decode_payload(bad_version).has_value());
+}
+
+TEST(WireFormat, RejectsUnknownBodyTag) {
+  auto bytes = encode_or_die(Payload::make(std::string{"x"}, 16));
+  bytes[5] = 0xEE;  // body tag byte
+  EXPECT_FALSE(decode_payload(bytes).has_value());
+}
+
+TEST(WireFormat, RejectsTruncationAtEveryLength) {
+  proto::Request request;
+  request.id = RequestId{1};
+  request.client = ClientId{2};
+  request.method = "invoke";
+  const auto bytes = encode_or_die(Payload::make(request, proto::kRequestBytes));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix{bytes.data(), cut};
+    EXPECT_FALSE(decode_payload(prefix).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(WireFormat, RejectsTrailingGarbage) {
+  auto bytes = encode_or_die(Payload::make(std::int64_t{5}, 8));
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode_payload(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace aqua::net

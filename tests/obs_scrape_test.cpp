@@ -116,6 +116,75 @@ TEST(ScrapeServer, UnknownRoutesAndTracesAre404) {
   EXPECT_NE(http_get(server.port(), "/traces/not-a-number").find("404"), std::string::npos);
 }
 
+/// Connect without port helpers duplicated from http_get; returns -1 on
+/// failure.
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(ScrapeServer, ParsesRequestLineSplitAcrossSegments) {
+  Telemetry telemetry;
+  populate(telemetry);
+  ScrapeServer server{telemetry, 0};
+
+  // Trickle the request in three segments, breaking inside the method
+  // token and inside the path: each read alone looks like a non-GET
+  // request, so a single-read parser answers 405.
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  for (const std::string& piece : {std::string{"GE"}, std::string{"T /met"},
+                                   std::string{"rics HTTP/1.0\r\n\r\n"}}) {
+    ASSERT_EQ(::send(fd, piece.data(), piece.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(piece.size()));
+    ::usleep(20'000);  // force distinct TCP segments
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u) << response;
+  EXPECT_NE(response.find("aqua_gateway_requests 12"), std::string::npos);
+}
+
+TEST(ScrapeServer, SurvivesClientDisconnectingBeforeResponse) {
+  Telemetry telemetry;
+  populate(telemetry);
+  ScrapeServer server{telemetry, 0};
+
+  // Abortive disconnects: the client sends a GET and resets the
+  // connection without reading. The server's send then hits a dead
+  // socket — with ::write that raises SIGPIPE and kills the process;
+  // ::send(..., MSG_NOSIGNAL) degrades it to EPIPE. Several rounds so
+  // at least one send lands after the RST is processed.
+  for (int i = 0; i < 8; ++i) {
+    const int fd = connect_to(server.port());
+    ASSERT_GE(fd, 0);
+    const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(request.size()));
+    // SO_LINGER with zero timeout turns close() into an immediate RST.
+    const linger hard_reset{.l_onoff = 1, .l_linger = 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset, sizeof hard_reset);
+    ::close(fd);
+  }
+
+  // The server (and this process) is still alive and still answers.
+  const std::string response = http_get(server.port(), "/metrics");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u);
+}
+
 TEST(ScrapeServer, StopIsIdempotentAndRefusesBusyPort) {
   const Telemetry telemetry;
   ScrapeServer server{telemetry, 0};

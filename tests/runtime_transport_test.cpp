@@ -1,0 +1,142 @@
+// ThreadedSystem over a real UdpTransport: the full gateway pipeline —
+// selection, multicast over kernel sockets, first-reply delivery, perf
+// harvest — driven through loopback UDP instead of in-process replica
+// submission. Also pins the Subscribe/Announce discovery handshake and
+// the host-eviction path (a silent replica is reported dead by the
+// retransmit budget and leaves the selection directory).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "net/udp_transport.h"
+#include "obs/telemetry.h"
+#include "runtime/threaded_system.h"
+
+namespace aqua::runtime {
+namespace {
+
+net::UdpTransportConfig fast_udp() {
+  net::UdpTransportConfig cfg;
+  cfg.retransmit_initial = msec(5);
+  cfg.retransmit_backoff = 1.5;
+  cfg.max_attempts = 3;
+  cfg.retransmit_tick = msec(2);
+  return cfg;
+}
+
+bool wait_for(const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+TEST(RuntimeTransportTest, WorkloadCompletesOverUdpLoopback) {
+  net::UdpTransport udp{fast_udp()};
+  ThreadedSystemConfig cfg;
+  cfg.transport = &udp;
+  ThreadedSystem system{cfg};
+  for (int i = 0; i < 3; ++i) system.add_replica(stats::make_constant(msec(2)));
+  system.add_client(core::QosSpec{msec(100), 0.5});
+
+  const auto stats = system.run_workload(15, msec(1));
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].requests, 15u);
+  EXPECT_EQ(stats[0].answered, 15u);
+  EXPECT_GE(stats[0].mean_redundancy, 1.0);
+  // Requests and replies actually crossed the kernel.
+  EXPECT_GT(udp.messages_sent(), 0u);
+  EXPECT_GT(udp.messages_delivered(), 0u);
+  std::uint64_t serviced = 0;
+  for (auto* replica : system.replicas()) serviced += replica->serviced();
+  EXPECT_GE(serviced, 15u);
+}
+
+TEST(RuntimeTransportTest, TelemetryCountsUdpTrafficUnderLanNames) {
+  obs::Telemetry telemetry;
+  net::UdpTransport udp{fast_udp()};
+  udp.set_telemetry(&telemetry);
+  ThreadedSystemConfig cfg;
+  cfg.transport = &udp;
+  cfg.telemetry = &telemetry;
+  ThreadedSystem system{cfg};
+  for (int i = 0; i < 2; ++i) system.add_replica(stats::make_constant(msec(1)));
+  system.add_client(core::QosSpec{msec(100), 0.5});
+  system.run_workload(5, msec(1));
+
+  EXPECT_GT(telemetry.metrics().counter("lan.sent").value(), 0u);
+  EXPECT_GT(telemetry.metrics().counter("lan.delivered").value(), 0u);
+}
+
+TEST(RuntimeTransportTest, SubscribeAnnounceDiscoversReplicas) {
+  net::UdpTransport udp{fast_udp()};
+  ThreadedSystemConfig cfg;
+  cfg.transport = &udp;
+  ThreadedSystem system{cfg};
+  for (int i = 0; i < 3; ++i) system.add_replica(stats::make_constant(msec(1)));
+
+  // A transport-mode client with NO pre-wired directory: it must learn
+  // every replica through the Subscribe -> Announce round trip, exactly
+  // like a remote gateway pointed at peer addresses.
+  ThreadedClientConfig client_cfg;
+  client_cfg.id = ClientId{50};
+  client_cfg.transport = &udp;
+  client_cfg.host = HostId{2'000};
+  ThreadedClient client{{}, core::QosSpec{msec(100), 0.5}, Rng{99}, client_cfg};
+  EXPECT_EQ(client.known_replicas(), 0u);
+  for (auto* endpoint : system.replica_endpoints()) {
+    client.subscribe_to(endpoint->endpoint());
+  }
+  ASSERT_TRUE(wait_for([&] { return client.known_replicas() == 3u; }));
+
+  const auto outcome = client.invoke(7);
+  EXPECT_TRUE(outcome.answered);
+  client.shutdown();
+}
+
+TEST(RuntimeTransportTest, SilentReplicaIsEvictedFromTheDirectory) {
+  net::UdpTransport udp{fast_udp()};
+  ThreadedSystemConfig cfg;
+  cfg.transport = &udp;
+  ThreadedSystem system{cfg};
+  system.add_replica(stats::make_constant(msec(1)));
+
+  // A second "replica" that is a silent remote peer: bind-then-destroy
+  // reserves a port with nothing listening, so requests multicast to it
+  // are never acked. The retransmit budget then reports its host dead
+  // and the client evicts it, like a membership view change.
+  const EndpointId ghost_bind =
+      udp.create_endpoint(HostId{500}, [](EndpointId, const net::Payload&) {});
+  const std::uint16_t dead_port = udp.endpoint_port(ghost_bind);
+  udp.destroy_endpoint(ghost_bind);
+  const EndpointId ghost = udp.register_peer("127.0.0.1", dead_port);
+  const HostId ghost_host = udp.endpoint_host(ghost);
+
+  ThreadedClientConfig client_cfg;
+  client_cfg.id = ClientId{60};
+  client_cfg.transport = &udp;
+  client_cfg.host = HostId{2'100};
+  ThreadedClient client{{}, core::QosSpec{msec(100), 0.0}, Rng{42}, client_cfg};
+  client.add_peer_replica(system.replicas()[0]->id(), system.replica_endpoints()[0]->endpoint());
+  client.add_peer_replica(ReplicaId{77}, ghost);
+  EXPECT_EQ(client.known_replicas(), 2u);
+
+  ASSERT_TRUE(wait_for([&] {
+    client.invoke(99);  // cold-start fan-out keeps touching the ghost
+    return client.known_replicas() == 1u;
+  }));
+  EXPECT_FALSE(udp.host_alive(ghost_host));
+
+  // The surviving replica still answers.
+  const auto outcome = client.invoke(123);
+  EXPECT_TRUE(outcome.answered);
+  client.shutdown();
+}
+
+}  // namespace
+}  // namespace aqua::runtime

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Two-process UDP smoke test: two replica processes and a gateway process
+# complete a short run over real loopback sockets, and the gateway prints
+# a run report with every request answered. Driven by ctest with
+# AQUA_EXPERIMENT pointing at the built tools/aqua_experiment binary.
+set -euo pipefail
+
+EXPERIMENT="${AQUA_EXPERIMENT:?AQUA_EXPERIMENT must point at the aqua_experiment binary}"
+# Ports in the dynamic range, offset by PID so parallel ctest runs do not
+# collide.
+PORT_A=$((40000 + ($$ % 10000)))
+PORT_B=$((PORT_A + 1))
+
+cleanup() {
+  [[ -n "${REPLICA_A_PID:-}" ]] && kill "${REPLICA_A_PID}" 2>/dev/null || true
+  [[ -n "${REPLICA_B_PID:-}" ]] && kill "${REPLICA_B_PID}" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+"${EXPERIMENT}" --transport udp --listen "127.0.0.1:${PORT_A}" --replica-id 1 \
+  --service-mean 2 --run-seconds 30 &
+REPLICA_A_PID=$!
+"${EXPERIMENT}" --transport udp --listen "127.0.0.1:${PORT_B}" --replica-id 2 \
+  --service-mean 2 --run-seconds 30 &
+REPLICA_B_PID=$!
+
+# Give the replica sockets a moment to bind before the gateway subscribes.
+sleep 1
+
+OUT="$("${EXPERIMENT}" --transport udp \
+  --peer "127.0.0.1:${PORT_A}" --peer "127.0.0.1:${PORT_B}" \
+  --requests 10 --deadline 100 --think 1)"
+echo "${OUT}"
+
+echo "${OUT}" | grep -q "announced=2" || { echo "FAIL: gateway did not discover both replicas"; exit 1; }
+echo "${OUT}" | grep -q "10 requests" || { echo "FAIL: gateway did not complete 10 requests"; exit 1; }
+echo "udp_smoke_test: OK"

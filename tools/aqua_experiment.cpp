@@ -26,11 +26,13 @@
 
 #include "gateway/history_io.h"
 #include "gateway/system.h"
+#include "net/udp_transport.h"
 #include "obs/export.h"
 #include "obs/flusher.h"
 #include "obs/perfetto_export.h"
 #include "obs/scrape.h"
 #include "obs/telemetry.h"
+#include "runtime/replica_endpoint.h"
 #include "runtime/threaded_system.h"
 
 namespace {
@@ -72,6 +74,10 @@ struct Options {
   int scrape_port = -1;        // -1 = no scrape server
   double serve_seconds = 0.0;  // keep the scrape endpoint up after the run
   bool threaded = false;
+  std::string transport = "sim";  // sim | udp
+  std::string listen;             // udp replica process: [ADDR:]PORT to bind
+  std::vector<std::string> peers;  // udp gateway process: replica ADDR:PORT list
+  std::uint64_t replica_id = 1;    // identity of a --listen replica process
 };
 
 void print_usage() {
@@ -123,6 +129,14 @@ void print_usage() {
       "runtime:\n"
       "  --threaded             wall-clock threaded runtime instead of the simulator\n"
       "                         (uses replicas/clients/deadline/pc/requests/think)\n"
+      "  --transport T          sim|udp (default sim). udp runs the threaded runtime\n"
+      "                         over real loopback UDP sockets; without --listen or\n"
+      "                         --peer, gateway and replicas share this process\n"
+      "  --listen [ADDR:]PORT   udp replica process: bind one replica here and serve\n"
+      "                         until --run-seconds elapse (0 = until killed)\n"
+      "  --replica-id N         identity of the --listen replica (default 1)\n"
+      "  --peer ADDR:PORT       udp gateway process: a replica to subscribe to\n"
+      "                         (repeatable; runs the workload, prints the report)\n"
       "  --help                 this text");
 }
 
@@ -206,6 +220,14 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.serve_seconds = std::atof(need_value(i));
     } else if (flag == "--threaded") {
       opt.threaded = true;
+    } else if (flag == "--transport") {
+      opt.transport = need_value(i);
+    } else if (flag == "--listen") {
+      opt.listen = need_value(i);
+    } else if (flag == "--replica-id") {
+      opt.replica_id = std::strtoull(need_value(i), nullptr, 10);
+    } else if (flag == "--peer") {
+      opt.peers.emplace_back(need_value(i));
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", flag.c_str());
       std::exit(2);
@@ -278,17 +300,146 @@ void serve_remaining(const Options& opt, const obs::ScrapeServer& server) {
   }
 }
 
+/// "[ADDR:]PORT" -> {ADDR or 127.0.0.1, PORT}. Exits on a bad port.
+std::pair<std::string, std::uint16_t> parse_host_port(const std::string& spec) {
+  std::string address = "127.0.0.1";
+  std::string port_text = spec;
+  if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
+    address = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+  }
+  const long port = std::strtol(port_text.c_str(), nullptr, 10);
+  if (port < 1 || port > 65535) {
+    std::fprintf(stderr, "bad address:port %s\n", spec.c_str());
+    std::exit(2);
+  }
+  return {address, static_cast<std::uint16_t>(port)};
+}
+
+void fill_client_config(const Options& opt, runtime::ThreadedClientConfig& client) {
+  client.repository.window_size = opt.window;
+  client.selection.crash_tolerance = opt.crash_tolerance;
+  client.selection.overhead_compensation = !opt.no_compensation;
+  client.model.windowed_gateway_delay = opt.windowed_gateway;
+  client.model.queue_backlog_shift = opt.queue_shift;
+}
+
+/// UDP replica process: one ThreadedReplica behind a fixed-port endpoint,
+/// serving until --run-seconds elapse (0 = until killed).
+int run_udp_replica(const Options& opt) {
+  const auto [address, port] = parse_host_port(opt.listen);
+  net::UdpTransportConfig transport_config;
+  transport_config.bind_address = address;
+  net::UdpTransport transport{transport_config};
+
+  const stats::SamplerPtr service = make_service_sampler(opt);
+  runtime::ThreadedReplica replica{ReplicaId{opt.replica_id}, service,
+                                   Rng{opt.seed}.fork("replica").fork(opt.replica_id)};
+  runtime::ReplicaEndpoint endpoint{
+      transport, replica, [&transport, &opt, port = port](net::ReceiveFn fn) {
+        return transport.create_endpoint_on(HostId{opt.replica_id}, port, std::move(fn));
+      }};
+  std::printf("replica-%llu listening on %s:%u (service=%s)\n",
+              static_cast<unsigned long long>(opt.replica_id), address.c_str(),
+              static_cast<unsigned>(transport.endpoint_port(endpoint.endpoint())),
+              service->describe().c_str());
+  std::fflush(stdout);
+
+  if (opt.run_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds{static_cast<std::int64_t>(opt.run_seconds * 1e3)});
+  } else {
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds{3600});
+  }
+  std::printf("replica-%llu serviced %llu requests\n",
+              static_cast<unsigned long long>(opt.replica_id),
+              static_cast<unsigned long long>(replica.serviced()));
+  return 0;
+}
+
+/// UDP gateway process: a transport-mode ThreadedClient over the --peer
+/// replica processes, ending in the same to_run_report aggregation the
+/// simulated runs print.
+int run_udp_gateway(const Options& opt) {
+  obs::Telemetry telemetry;
+  net::UdpTransport transport;
+  transport.set_telemetry(&telemetry);
+
+  runtime::ThreadedClientConfig client_config;
+  fill_client_config(opt, client_config);
+  client_config.telemetry = &telemetry;
+  client_config.transport = &transport;
+  client_config.id = ClientId{1};
+  client_config.host = HostId{1'000 + 1};
+  runtime::ThreadedClient client{std::vector<runtime::ThreadedReplica*>{},
+                                 core::QosSpec{msec(opt.deadline_ms), opt.pc},
+                                 Rng{opt.seed}.fork("client").fork(1), client_config};
+  for (const std::string& peer : opt.peers) {
+    const auto [address, port] = parse_host_port(peer);
+    client.subscribe_to(transport.register_peer(address, port));
+  }
+
+  // Wait for the Subscribe/Announce handshake to fill the directory; a
+  // replica that never answers is simply absent (and its host reported
+  // dead once the Subscribe retransmit budget runs out).
+  const auto discovery_deadline = std::chrono::steady_clock::now() + std::chrono::seconds{5};
+  while (client.known_replicas() < opt.peers.size() &&
+         std::chrono::steady_clock::now() < discovery_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  }
+  std::printf("aqua_experiment (udp gateway) seed=%llu peers=%zu announced=%zu "
+              "deadline=%lldms pc=%.2f\n",
+              static_cast<unsigned long long>(opt.seed), opt.peers.size(),
+              client.known_replicas(), static_cast<long long>(opt.deadline_ms), opt.pc);
+  std::fflush(stdout);
+  if (client.known_replicas() == 0) {
+    std::fprintf(stderr, "no replica answered the subscribe handshake\n");
+    return 1;
+  }
+
+  const std::size_t requests = opt.requests == 0 ? 50 : opt.requests;
+  for (std::size_t i = 0; i < requests; ++i) {
+    client.invoke(static_cast<std::int64_t>(i));
+    std::this_thread::sleep_for(msec(opt.think_ms));
+  }
+
+  const trace::ClientRunReport report =
+      obs::to_run_report(telemetry.request_traces(), ClientId{1}, "udp-gateway");
+  std::printf("%s\n", report.summary_line().c_str());
+  std::printf("transport: %llu sent, %llu delivered, %llu dropped, %llu retransmitted\n",
+              static_cast<unsigned long long>(transport.messages_sent()),
+              static_cast<unsigned long long>(transport.messages_delivered()),
+              static_cast<unsigned long long>(transport.messages_dropped()),
+              static_cast<unsigned long long>(transport.messages_retransmitted()));
+
+  if (!opt.obs_json_path.empty()) {
+    std::ofstream out(opt.obs_json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.obs_json_path.c_str());
+      return 1;
+    }
+    obs::write_snapshot_json(out, telemetry);
+    std::printf("wrote telemetry snapshot to %s\n", opt.obs_json_path.c_str());
+  }
+  return write_perfetto_file(opt, telemetry);
+}
+
 int run_threaded(const Options& opt) {
   obs::Telemetry telemetry;
+  // In-process --transport=udp: same assembly, but every request and
+  // reply crosses real loopback sockets. Declared before the system so
+  // it outlives the endpoints torn down in ~ThreadedSystem.
+  std::unique_ptr<net::UdpTransport> udp;
   runtime::ThreadedSystemConfig cfg;
   cfg.seed = opt.seed;
   cfg.telemetry = &telemetry;
   cfg.scrape_port = opt.scrape_port;
-  cfg.client.repository.window_size = opt.window;
-  cfg.client.selection.crash_tolerance = opt.crash_tolerance;
-  cfg.client.selection.overhead_compensation = !opt.no_compensation;
-  cfg.client.model.windowed_gateway_delay = opt.windowed_gateway;
-  cfg.client.model.queue_backlog_shift = opt.queue_shift;
+  fill_client_config(opt, cfg.client);
+  if (opt.transport == "udp") {
+    udp = std::make_unique<net::UdpTransport>();
+    udp->set_telemetry(&telemetry);
+    cfg.transport = udp.get();
+  }
   runtime::ThreadedSystem system{cfg};
 
   const stats::SamplerPtr service = make_service_sampler(opt);
@@ -297,8 +448,9 @@ int run_threaded(const Options& opt) {
     system.add_client(core::QosSpec{msec(opt.deadline_ms), opt.pc});
   }
 
-  std::printf("aqua_experiment (threaded) seed=%llu replicas=%d clients=%d service=%s "
+  std::printf("aqua_experiment (threaded, %s) seed=%llu replicas=%d clients=%d service=%s "
               "deadline=%lldms pc=%.2f\n",
+              opt.transport == "udp" ? "udp loopback" : "direct",
               static_cast<unsigned long long>(opt.seed), opt.replicas, opt.clients,
               service->describe().c_str(), static_cast<long long>(opt.deadline_ms), opt.pc);
   if (system.scrape_server() != nullptr) {
@@ -345,6 +497,15 @@ int main(int argc, char** argv) {
   if (opt.replicas < 1 || opt.clients < 1) {
     std::fprintf(stderr, "need at least one replica and one client\n");
     return 2;
+  }
+  if (opt.transport != "sim" && opt.transport != "udp") {
+    std::fprintf(stderr, "unknown --transport %s (sim|udp)\n", opt.transport.c_str());
+    return 2;
+  }
+  if (opt.transport == "udp") {
+    if (!opt.listen.empty()) return run_udp_replica(opt);
+    if (!opt.peers.empty()) return run_udp_gateway(opt);
+    return run_threaded(opt);
   }
   if (opt.threaded) return run_threaded(opt);
 

@@ -48,6 +48,14 @@ AQUA_BENCH_SEEDS=1 build/bench/fig5_timing_failures >/dev/null
 test -s build/bench/BENCH_fig5.json
 grep -q '"metric":' build/bench/BENCH_fig5.json
 
+step "Bench JSON: transport round-trip emits BENCH_transport.json"
+build/bench/transport_roundtrip >/dev/null
+test -s build/bench/BENCH_transport.json
+grep -q '"metric":"udp_rtt_us"' build/bench/BENCH_transport.json
+
+step "UDP smoke: two-process gateway/replica run over loopback"
+ctest --test-dir build --output-on-failure -R udp_two_process_smoke
+
 step "Golden Perfetto: same seed => byte-identical trace JSON"
 GOLD_DIR="$(mktemp -d)"
 trap 'rm -rf "${GOLD_DIR}"' EXIT
@@ -84,5 +92,9 @@ ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L fault
 
 step "Telemetry tier: ctest -L obs (TSan)"
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L obs
+
+step "Transport conformance + UDP runtime (TSan)"
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+  -R 'SimConformance|UdpConformance|RuntimeTransportTest'
 
 step "All checks passed"
