@@ -1,6 +1,7 @@
 #include "core/policies.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
@@ -11,6 +12,11 @@
 
 namespace aqua::core {
 namespace {
+
+Duration fraction_of(Duration d, double fraction) {
+  return Duration{static_cast<std::int64_t>(
+      std::llround(static_cast<double>(count_us(d)) * fraction))};
+}
 
 /// Shared helper: cold-repository bootstrap — pick everything.
 bool cold_start_all(std::span<const ReplicaObservation> observations, SelectionResult& result) {
@@ -275,6 +281,59 @@ PolicyPtr make_static_k_policy(std::size_t k, ModelConfig model) {
 
 PolicyPtr make_observed_policy(PolicyPtr inner, obs::Telemetry* telemetry) {
   return std::make_unique<ObservedPolicy>(std::move(inner), telemetry);
+}
+
+DispatchPlan plan_dispatch(const DispatchConfig& config, const SelectionResult& selection,
+                           std::span<const ReplicaObservation> observations, const QosSpec& qos,
+                           const ResponseTimeModel& model) {
+  DispatchPlan plan;
+  plan.primary = selection.selected;
+  if (plan.primary.size() <= 1 || selection.cold_start) return plan;
+
+  if (config.adaptive_redundancy) {
+    // Overload signal: mean piggybacked queue length across every
+    // replica with history. When all queues are deep, each extra copy
+    // of the request mostly adds queueing, not tail protection — trim
+    // K to the cap, keeping the best-ranked members (selected order is
+    // protected-first, then candidates by rank).
+    double total = 0.0;
+    std::size_t with_data = 0;
+    for (const ReplicaObservation& obs : observations) {
+      if (!obs.has_data()) continue;
+      total += static_cast<double>(obs.queue_length);
+      ++with_data;
+    }
+    const std::size_t cap = std::max<std::size_t>(config.overload_redundancy_cap, 1);
+    if (with_data > 0 && cap < plan.primary.size() &&
+        total / static_cast<double>(with_data) >=
+            static_cast<double>(config.overload_queue_threshold)) {
+      plan.trimmed = plan.primary.size() - cap;
+      plan.primary.resize(cap);
+    }
+  }
+
+  if (config.mode == DispatchMode::kHedged && plan.primary.size() > 1) {
+    plan.hedge.assign(plan.primary.begin() + 1, plan.primary.end());
+    plan.primary.resize(1);
+    plan.hedged = true;
+    // Hedge delay: the point on the primary's predicted response pmf
+    // past which it probably missed — only then is the backup traffic
+    // worth its cost. Clamped so a stale or degenerate pmf cannot
+    // collapse the mode into plain multicast or hold the hedge past
+    // usefulness.
+    const Duration min_delay = fraction_of(qos.deadline, config.min_hedge_fraction);
+    const Duration max_delay = fraction_of(qos.deadline, config.max_hedge_fraction);
+    Duration delay = max_delay;
+    const auto primary_obs =
+        std::find_if(observations.begin(), observations.end(),
+                     [&](const ReplicaObservation& o) { return o.id == plan.primary.front(); });
+    if (primary_obs != observations.end() && primary_obs->has_data()) {
+      const stats::EmpiricalPmf pmf = model.response_pmf(*primary_obs);
+      if (!pmf.empty()) delay = pmf.quantile(config.hedge_quantile);
+    }
+    plan.hedge_delay = std::clamp(delay, min_delay, max_delay);
+  }
+  return plan;
 }
 
 }  // namespace aqua::core

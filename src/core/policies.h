@@ -64,6 +64,75 @@ PolicyPtr make_all_replicas_policy();
 /// probability request (static redundancy baseline).
 PolicyPtr make_static_k_policy(std::size_t k, ModelConfig model = {});
 
+/// How the gateway transmits a request to the selected set K.
+///
+/// The paper's Algorithm 1 is replicate-early: the whole K goes out at
+/// t1. Poloczek & Ciucu show that flips from a latency win into overload
+/// collapse as utilization rises; Sun/Koksal/Shroff place the optimum on
+/// a load-dependent spectrum. The hedged mode is the replicate-late end:
+/// only the best-ranked member at t1, the rest held back behind a hedge
+/// timer that usually never fires.
+enum class DispatchMode {
+  kMulticast,
+  kHedged,
+};
+
+/// Speculative-redundancy knobs layered over a SelectionPolicy. The
+/// defaults reproduce the paper's behaviour exactly (full-K multicast,
+/// no cancels, no trimming) — every figure harness relies on that.
+struct DispatchConfig {
+  DispatchMode mode = DispatchMode::kMulticast;
+
+  /// Send proto::Cancel to every still-awaiting member of K when the
+  /// first reply arrives, purging queued copies (work conservation).
+  bool cancel_on_first_reply = false;
+
+  /// Hedge delay = this quantile of the primary replica's predicted
+  /// response pmf: the hedge fires only in the tail where the primary
+  /// is unlikely to still answer in time.
+  double hedge_quantile = 0.95;
+
+  /// Clamp the hedge delay into [min, max] * deadline so a degenerate
+  /// pmf can neither fire the hedge instantly (re-creating multicast)
+  /// nor push it past the point where backups can still help.
+  double min_hedge_fraction = 0.05;
+  double max_hedge_fraction = 0.5;
+
+  /// Utilization-adaptive redundancy: when the mean piggybacked queue
+  /// length across known replicas reaches the threshold, trim K to the
+  /// cap — redundancy is surplus exactly when every queue is deep.
+  bool adaptive_redundancy = false;
+  std::int64_t overload_queue_threshold = 4;
+  std::size_t overload_redundancy_cap = 2;
+
+  [[nodiscard]] bool is_default() const {
+    return mode == DispatchMode::kMulticast && !cancel_on_first_reply && !adaptive_redundancy;
+  }
+};
+
+/// Transmission schedule for one request, derived from a SelectionResult.
+struct DispatchPlan {
+  /// Sent at t1.
+  std::vector<ReplicaId> primary;
+  /// Sent at t1 + hedge_delay unless the primary answered first.
+  std::vector<ReplicaId> hedge;
+  Duration hedge_delay{};
+  /// True when the plan actually split K (hedged mode, warm repository).
+  bool hedged = false;
+  /// Members of K dropped by the adaptive-redundancy rule.
+  std::size_t trimmed = 0;
+};
+
+/// Split the selected set into the transmission schedule. With the
+/// default config this is the identity plan (primary = K, no model
+/// evaluation, no extra randomness), so the paper-policy path is
+/// bit-identical. Cold-start selections are never hedged or trimmed:
+/// bootstrap traffic must reach everyone.
+[[nodiscard]] DispatchPlan plan_dispatch(const DispatchConfig& config,
+                                         const SelectionResult& selection,
+                                         std::span<const ReplicaObservation> observations,
+                                         const QosSpec& qos, const ResponseTimeModel& model);
+
 /// Transparent telemetry decorator: forwards every select() to `inner`
 /// unchanged (same result, same rng draws, same name()) and mirrors the
 /// outcome into `telemetry` — counters select.calls / select.cold_starts

@@ -34,6 +34,7 @@ TimingFaultHandler::TimingFaultHandler(sim::Simulator& simulator, net::Lan& lan,
       rng_(std::move(rng)),
       config_(std::move(config)),
       model_cache_(std::make_shared<core::ModelCache>()),
+      dispatch_model_(config_.model, model_cache_),
       policy_(policy ? std::move(policy)
                      : core::make_dynamic_policy(config_.selection, config_.model, model_cache_)),
       repository_(config_.repository),
@@ -48,6 +49,8 @@ TimingFaultHandler::TimingFaultHandler(sim::Simulator& simulator, net::Lan& lan,
     timely_counter_ = &metrics.counter("gateway.timely");
     timing_failures_counter_ = &metrics.counter("gateway.timing_failures");
     redispatches_counter_ = &metrics.counter("gateway.redispatches");
+    hedges_counter_ = &metrics.counter("gateway.hedges_fired");
+    cancels_counter_ = &metrics.counter("gateway.cancels");
     qos_violations_counter_ = &metrics.counter("gateway.qos_violations");
     replicas_evicted_counter_ = &metrics.counter("gateway.replicas_evicted");
     response_time_histogram_ = &metrics.histogram("gateway.response_time_us");
@@ -95,6 +98,18 @@ void TimingFaultHandler::set_awaiting(PendingRequest& pending, std::vector<Repli
   pending.awaiting = std::move(replicas);
 }
 
+void TimingFaultHandler::add_awaiting(PendingRequest& pending,
+                                      std::span<const ReplicaId> replicas) {
+  for (ReplicaId replica : replicas) {
+    if (std::find(pending.awaiting.begin(), pending.awaiting.end(), replica) !=
+        pending.awaiting.end()) {
+      continue;
+    }
+    ++outstanding_[replica];
+    pending.awaiting.push_back(replica);
+  }
+}
+
 void TimingFaultHandler::remove_awaiting(PendingRequest& pending, ReplicaId replica) {
   const std::size_t erased = std::erase(pending.awaiting, replica);
   if (erased > 0) drop_outstanding(replica, erased);
@@ -134,6 +149,7 @@ void TimingFaultHandler::send_probe(ReplicaId replica) {
   pending.t0 = now;
   pending.t1 = now;
   pending.qos = qos_;
+  pending.method = core::kDefaultMethod;  // matches the wire request below
   pending.is_probe = true;
   pending.dispatched = true;
   pending.trace_id = obs::make_trace_id(client_, id);
@@ -276,8 +292,24 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
     }
   }
 
-  set_awaiting(pending, selected);
-  record.redundancy = selected.size();
+  // Split K into the transmission schedule. The default config takes the
+  // identity branch: no model evaluation, no plan object that could
+  // disturb the paper-policy path (fig4/fig5 stay bit-identical).
+  core::DispatchPlan plan;
+  if (config_.dispatch.is_default()) {
+    plan.primary = selected;
+  } else {
+    core::SelectionResult merged = selection;
+    merged.selected = selected;
+    plan = core::plan_dispatch(config_.dispatch, merged, observations, pending.qos,
+                               dispatch_model_);
+  }
+
+  pending.hedge_timer.cancel();  // a redispatch supersedes any armed hedge
+  pending.hedge_set = plan.hedge;
+  set_awaiting(pending, plan.primary);
+  record.redundancy = plan.primary.size() + plan.hedge.size();
+  record.hedged = plan.hedged;
   record.cold_start = selection.cold_start;
   record.feasible = selection.feasible;
   record.predicted_probability = selection.predicted_probability;
@@ -348,8 +380,10 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
   // The dispatch span covers interception + selection for a first
   // dispatch (t0 -> t1) and the re-selection alone for a redispatch.
   const TimePoint dispatch_start = redispatch ? simulator_.now() : pending.t0;
-  simulator_.schedule_after(selection_cost, [this, id, dispatch_start,
-                                             selected = std::move(selected)] {
+  const bool hedged = plan.hedged;
+  const Duration hedge_delay = plan.hedge_delay;
+  simulator_.schedule_after(selection_cost, [this, id, dispatch_start, hedged, hedge_delay,
+                                             selected = std::move(plan.primary)] {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     PendingRequest& p = it->second;
@@ -382,7 +416,70 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
                         .replica = {}});
     }
     group_.send(endpoint_, targets, std::move(payload));
+    if (hedged && !p.delivered && !p.hedge_set.empty()) {
+      // The hedge delay runs from t1: the pmf quantile it was derived
+      // from predicts the primary's response measured from transmission.
+      p.hedge_timer = simulator_.schedule_after(hedge_delay, [this, id] { fire_hedge(id); });
+    }
   });
+}
+
+void TimingFaultHandler::fire_hedge(RequestId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  PendingRequest& pending = it->second;
+  if (pending.delivered || pending.hedge_set.empty()) return;
+
+  std::vector<ReplicaId> hedge = std::move(pending.hedge_set);
+  pending.hedge_set.clear();
+  std::vector<EndpointId> targets;
+  targets.reserve(hedge.size());
+  for (ReplicaId replica : hedge) {
+    if (auto eit = replica_endpoints_.find(replica); eit != replica_endpoints_.end()) {
+      targets.push_back(eit->second);
+    }
+  }
+  if (targets.empty()) return;
+
+  add_awaiting(pending, hedge);
+  ++hedges_fired_;
+  history_[pending.record_index].hedge_fired = true;
+  if (hedges_counter_ != nullptr) hedges_counter_->add();
+  AQUA_LOG_DEBUG << "handler " << client_.value() << ": hedging request " << id.value() << " to "
+                 << targets.size() << " backup replica(s)";
+
+  proto::Request request{id, client_, pending.method, pending.argument};
+  net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
+  if (span_sink_ != nullptr) {
+    if (pending.root_span == 0) pending.root_span = span_sink_->next_span_id();
+    payload.set_span({.trace_id = pending.trace_id,
+                      .parent_span_id = pending.root_span,
+                      .leg = obs::SpanKind::kRequestLeg,
+                      .replica = {}});
+  }
+  group_.send(endpoint_, targets, std::move(payload));
+}
+
+void TimingFaultHandler::send_cancels(RequestId id, PendingRequest& pending) {
+  if (pending.awaiting.empty()) return;
+  std::vector<EndpointId> targets;
+  targets.reserve(pending.awaiting.size());
+  for (ReplicaId replica : pending.awaiting) {
+    if (auto eit = replica_endpoints_.find(replica); eit != replica_endpoints_.end()) {
+      targets.push_back(eit->second);
+    }
+  }
+  // Stop awaiting the cancelled members either way: a purged copy never
+  // replies, and one already in service replies into the late-reply
+  // harvest path (repository update without pending state).
+  set_awaiting(pending, {});
+  if (targets.empty()) return;
+  cancels_sent_ += targets.size();
+  history_[pending.record_index].cancels_sent += targets.size();
+  if (cancels_counter_ != nullptr) cancels_counter_->add(targets.size());
+  group_.send(endpoint_, targets,
+              net::Payload::make(proto::Cancel{id, client_, pending.method},
+                                 proto::kCancelBytes));
 }
 
 void TimingFaultHandler::on_receive(EndpointId, const net::Payload& message) {
@@ -437,6 +534,12 @@ void TimingFaultHandler::handle_reply(const proto::Reply& reply) {
     pending.first_queuing = reply.perf.queuing_delay;
     pending.first_gateway = td;
     pending.first_replica = reply.replica;
+    // First reply beat the hedge timer: the backups are never sent.
+    pending.hedge_timer.cancel();
+    pending.hedge_set.clear();
+    if (config_.dispatch.cancel_on_first_reply && !pending.is_probe) {
+      send_cancels(reply.request, pending);
+    }
     if (response_time_histogram_ != nullptr && !pending.is_probe) {
       response_time_histogram_->record(tr);
     }
@@ -562,11 +665,34 @@ void TimingFaultHandler::on_view_change(const net::View&, std::span<const Endpoi
   }
 
   std::vector<RequestId> to_redispatch;
+  std::vector<RequestId> to_hedge;
+  std::vector<RequestId> dead_probes;
   for (auto& [id, pending] : pending_) {
-    for (ReplicaId replica : dead) remove_awaiting(pending, replica);
-    if (pending.awaiting.empty() && !pending.delivered && config_.redispatch_on_view_change) {
+    for (ReplicaId replica : dead) {
+      remove_awaiting(pending, replica);
+      std::erase(pending.hedge_set, replica);
+    }
+    if (!pending.awaiting.empty() || pending.delivered) continue;
+    if (pending.is_probe) {
+      // A probe's only target crashed. Re-running selection for it would
+      // turn a repository refresh into a phantom client request (wrong
+      // method, no reply callback, |K|-wide multicast) — and it kept the
+      // probe registered in outstanding_ long past any use. Drop it; the
+      // staleness scan re-probes whoever needs it.
+      dead_probes.push_back(id);
+    } else if (!pending.hedge_set.empty()) {
+      // The primary crashed while backups were still held behind the
+      // hedge timer: release them now instead of re-running selection.
+      to_hedge.push_back(id);
+    } else if (config_.redispatch_on_view_change) {
       to_redispatch.push_back(id);
     }
+  }
+  for (RequestId id : dead_probes) erase_pending(id);
+  for (RequestId id : to_hedge) {
+    AQUA_LOG_DEBUG << "handler " << client_.value() << ": releasing hedge set of request "
+                   << id.value() << " after primary crash";
+    fire_hedge(id);
   }
   for (RequestId id : to_redispatch) {
     auto it = pending_.find(id);

@@ -85,6 +85,11 @@ struct HandlerConfig {
   core::FailureTrackerConfig failure_tracker;
   OverheadModel overhead;
 
+  /// Speculative-redundancy dispatch (hedging, cancel-on-first-reply,
+  /// adaptive redundancy). The default reproduces the paper's full-K
+  /// multicast exactly — same events, same randomness, same traces.
+  core::DispatchConfig dispatch;
+
   /// Extension: when a view change leaves a pending request with no live
   /// selected replica, re-run selection and re-send instead of letting
   /// the client wait forever.
@@ -139,6 +144,14 @@ struct RequestRecord {
   /// True for handler-initiated staleness probes; excluded from client
   /// statistics.
   bool probe = false;
+  /// Hedged dispatch: the request went to the best replica only, with
+  /// the rest of K held behind the hedge timer.
+  bool hedged = false;
+  /// The hedge timer expired (or the primary crashed) and the held-back
+  /// members were actually sent.
+  bool hedge_fired = false;
+  /// Cancels sent to still-awaiting replicas after the first reply.
+  std::size_t cancels_sent = 0;
   std::optional<Duration> response_time;  // empty until the first reply
   bool timely = false;
 };
@@ -187,6 +200,12 @@ class TimingFaultHandler {
   /// Staleness probes sent so far (probe_staleness extension).
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
 
+  /// Hedge timers that actually fired (hedged dispatch mode).
+  [[nodiscard]] std::uint64_t hedges_fired() const { return hedges_fired_; }
+
+  /// proto::Cancel messages sent after first replies.
+  [[nodiscard]] std::uint64_t cancels_sent() const { return cancels_sent_; }
+
   /// Response-pmf memoization shared with the default dynamic policy
   /// (hit/miss/invalidation/eviction counters for diagnostics).
   [[nodiscard]] const core::ModelCache& model_cache() const { return *model_cache_; }
@@ -214,6 +233,11 @@ class TimingFaultHandler {
     bool is_probe = false;
     sim::EventHandle deadline_timer;
 
+    /// Hedged dispatch: members of K not yet transmitted, waiting on the
+    /// hedge timer (they are NOT in awaiting until the hedge fires).
+    std::vector<ReplicaId> hedge_set;
+    sim::EventHandle hedge_timer;
+
     /// First reply's perf triple, stashed for the telemetry trace.
     TimePoint t4{};
     Duration first_service{};
@@ -240,6 +264,12 @@ class TimingFaultHandler {
   void handle_announce(const proto::Announce& announce);
   void on_view_change(const net::View& view, std::span<const EndpointId> departed);
   void dispatch(RequestId id, PendingRequest& pending, bool redispatch);
+  /// Transmit the held-back hedge set now (timer expiry, or the primary
+  /// crashed before replying). No-op once the request was delivered.
+  void fire_hedge(RequestId id);
+  /// Cancel-on-first-reply: withdraw the request from every replica
+  /// still awaited, then stop awaiting them.
+  void send_cancels(RequestId id, PendingRequest& pending);
   void record_outcome(PendingRequest& pending, bool timely);
   void emit_request_trace(PendingRequest& pending, bool timely);
   void finish_if_complete(RequestId id);
@@ -249,6 +279,7 @@ class TimingFaultHandler {
   // The awaiting set of a pending request is only ever changed through
   // these three, which keep the per-replica outstanding_ counts in sync.
   void set_awaiting(PendingRequest& pending, std::vector<ReplicaId> replicas);
+  void add_awaiting(PendingRequest& pending, std::span<const ReplicaId> replicas);
   void remove_awaiting(PendingRequest& pending, ReplicaId replica);
   void erase_pending(RequestId id);
   void drop_outstanding(ReplicaId replica, std::size_t count);
@@ -261,6 +292,9 @@ class TimingFaultHandler {
   Rng rng_;
   HandlerConfig config_;
   std::shared_ptr<core::ModelCache> model_cache_;
+  /// Shares the model cache with the default policy; evaluated only in
+  /// hedged mode (the hedge-delay quantile), never on the default path.
+  core::ResponseTimeModel dispatch_model_;
   core::PolicyPtr policy_;
   core::InfoRepository repository_;
   core::TimingFailureTracker tracker_;
@@ -279,6 +313,8 @@ class TimingFaultHandler {
   sim::PeriodicTask probe_task_;
   bool violation_reported_ = false;
   std::uint64_t probes_sent_ = 0;
+  std::uint64_t hedges_fired_ = 0;
+  std::uint64_t cancels_sent_ = 0;
 
   /// Telemetry wiring: obs_ mirrors config_.telemetry; the metric
   /// pointers are resolved once in the constructor and stay null when
@@ -290,6 +326,8 @@ class TimingFaultHandler {
   obs::Counter* timely_counter_ = nullptr;
   obs::Counter* timing_failures_counter_ = nullptr;
   obs::Counter* redispatches_counter_ = nullptr;
+  obs::Counter* hedges_counter_ = nullptr;
+  obs::Counter* cancels_counter_ = nullptr;
   obs::Counter* qos_violations_counter_ = nullptr;
   obs::Counter* replicas_evicted_counter_ = nullptr;
   obs::Histogram* response_time_histogram_ = nullptr;

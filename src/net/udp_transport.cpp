@@ -23,11 +23,6 @@ constexpr std::uint8_t kFrameData = 1;
 constexpr std::uint8_t kFrameAck = 2;
 constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 1 + 8;
 
-/// Keep at most this many seen-seq entries per source; prune the oldest
-/// half window below max_seen once exceeded.
-constexpr std::size_t kDedupCapacity = 8192;
-constexpr std::uint64_t kDedupWindow = 4096;
-
 void put_u32(std::uint8_t* out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
@@ -90,11 +85,19 @@ UdpTransport::UdpTransport(UdpTransportConfig config) : config_(std::move(config
   AQUA_REQUIRE(config_.retransmit_initial > Duration::zero(),
                "retransmit timeout must be positive");
   AQUA_REQUIRE(config_.retransmit_tick > Duration::zero(), "retransmit tick must be positive");
+  AQUA_REQUIRE(config_.dedup_capacity >= 1, "dedup capacity must be >= 1");
   if (config_.reliable) retransmit_thread_ = std::thread([this] { retransmit_loop(); });
 }
 
 UdpTransport::~UdpTransport() {
-  stopping_.store(true);
+  {
+    // The lock pairs with the wait_for in retransmit_loop: without it,
+    // the flag could flip between the loop's predicate check and its
+    // sleep, and the notify would be lost for a full tick.
+    std::lock_guard lock(stop_mutex_);
+    stopping_.store(true);
+  }
+  stop_cv_.notify_all();
   if (retransmit_thread_.joinable()) retransmit_thread_.join();
   std::vector<EndpointId> local_ids;
   {
@@ -328,11 +331,15 @@ void UdpTransport::handle_data(LocalEndpoint* endpoint, const AddrKey& source, s
     from = lookup_or_learn_locked(source);
     set_host_alive_locked(endpoint_host_locked(from), true, notifications);
     Dedup& dedup = dedup_[from];
-    duplicate = !dedup.seen.insert(seq).second;
+    // Anything below the prune floor was already delivered once (its
+    // entry just aged out of `seen`), so a straggler retransmit down
+    // there must be refused without consulting the set.
+    duplicate = seq < dedup.floor || !dedup.seen.insert(seq).second;
     if (!duplicate) {
       dedup.max_seen = std::max(dedup.max_seen, seq);
-      if (dedup.seen.size() > kDedupCapacity && dedup.max_seen > kDedupWindow) {
-        const std::uint64_t floor = dedup.max_seen - kDedupWindow;
+      if (dedup.seen.size() > config_.dedup_capacity && dedup.max_seen > config_.dedup_window) {
+        dedup.floor = std::max(dedup.floor, dedup.max_seen - config_.dedup_window);
+        const std::uint64_t floor = dedup.floor;
         std::erase_if(dedup.seen, [floor](std::uint64_t s) { return s < floor; });
       }
     }
@@ -403,8 +410,13 @@ void UdpTransport::retransmit_loop() {
     sockaddr_in addr;
     std::shared_ptr<const std::vector<std::uint8_t>> frame;
   };
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    std::this_thread::sleep_for(config_.retransmit_tick);
+  while (true) {
+    {
+      std::unique_lock lock(stop_mutex_);
+      stop_cv_.wait_for(lock, config_.retransmit_tick,
+                        [this] { return stopping_.load(std::memory_order_relaxed); });
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return;
     std::vector<Resend> resends;
     std::vector<std::pair<HostId, bool>> notifications;
     {

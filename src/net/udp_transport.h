@@ -71,6 +71,11 @@ struct UdpTransportConfig {
   int max_attempts = 5;
   /// Retransmit-scan granularity.
   Duration retransmit_tick = msec(5);
+  /// Per-source dedup state: keep at most `dedup_capacity` seen-seq
+  /// entries; once exceeded, prune everything below max_seen -
+  /// dedup_window and refuse those seqs outright from then on.
+  std::size_t dedup_capacity = 8192;
+  std::uint64_t dedup_window = 4096;
 };
 
 class UdpTransport final : public Transport {
@@ -148,10 +153,16 @@ class UdpTransport final : public Transport {
     std::chrono::steady_clock::time_point next_resend{};
     Duration wait{};
   };
-  /// Per-source at-most-once state: seqs already delivered.
+  /// Per-source at-most-once state: seqs already delivered, plus the
+  /// prune floor — every seq below it was once in `seen` (or predates
+  /// the window entirely) and is rejected as a duplicate even though
+  /// the set no longer remembers it. Without the floor, a straggler
+  /// retransmit arriving after its entry was pruned would be delivered
+  /// a second time.
   struct Dedup {
     std::unordered_set<std::uint64_t> seen;
     std::uint64_t max_seen = 0;
+    std::uint64_t floor = 0;
   };
   using AddrKey = std::pair<std::uint32_t, std::uint16_t>;  // network order
 
@@ -206,6 +217,12 @@ class UdpTransport final : public Transport {
   obs::Histogram* ack_rtt_histogram_ = nullptr;
 
   std::atomic<bool> stopping_{false};
+  /// Wakes the retransmit loop out of its tick wait at shutdown, so
+  /// destruction never stalls for a full tick. Separate from mutex_:
+  /// the loop scans pending_ under mutex_, and sharing it for the wait
+  /// would let a long scan block the destructor's notify.
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
   std::thread retransmit_thread_;
 };
 

@@ -17,6 +17,7 @@ enum class BodyTag : std::uint8_t {
   kAnnounce = 5,
   kText = 6,
   kInt64 = 7,
+  kCancel = 8,
 };
 
 class Writer {
@@ -122,6 +123,8 @@ bool encode_payload(const Payload& payload, std::vector<std::uint8_t>& out) {
       tag = BodyTag::kSubscribe;
     } else if (payload.get_if<proto::Announce>() != nullptr) {
       tag = BodyTag::kAnnounce;
+    } else if (payload.get_if<proto::Cancel>() != nullptr) {
+      tag = BodyTag::kCancel;
     } else if (payload.get_if<std::string>() != nullptr) {
       tag = BodyTag::kText;
     } else if (payload.get_if<std::int64_t>() != nullptr) {
@@ -177,6 +180,13 @@ bool encode_payload(const Payload& payload, std::vector<std::uint8_t>& out) {
       const auto& m = *payload.get_if<proto::Announce>();
       w.u64(m.replica.value());
       w.u64(m.endpoint.value());
+      break;
+    }
+    case BodyTag::kCancel: {
+      const auto& m = *payload.get_if<proto::Cancel>();
+      w.u64(m.request.value());
+      w.u64(m.client.value());
+      w.str(m.method);
       break;
     }
     case BodyTag::kText:
@@ -248,6 +258,14 @@ std::optional<Payload> decode_payload(std::span<const std::uint8_t> bytes) {
       proto::Announce m;
       m.replica = ReplicaId{r.u64()};
       m.endpoint = EndpointId{r.u64()};
+      payload = Payload::make(m, wire_bytes);
+      break;
+    }
+    case BodyTag::kCancel: {
+      proto::Cancel m;
+      m.request = RequestId{r.u64()};
+      m.client = ClientId{r.u64()};
+      m.method = r.str();
       payload = Payload::make(m, wire_bytes);
       break;
     }

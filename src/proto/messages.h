@@ -63,6 +63,17 @@ struct Subscribe {
   EndpointId reply_to;
 };
 
+/// Sent by a client handler to withdraw a request it no longer needs
+/// serviced (speculative-redundancy modes: once the first reply arrives,
+/// the other replicas' queued copies are wasted work). A replica that
+/// still holds the request in its FIFO queue discards it; a replica that
+/// already started servicing it ignores the cancel and replies normally.
+struct Cancel {
+  RequestId request;
+  ClientId client;
+  std::string method = "invoke";
+};
+
 /// Sent by a replica to advertise its identity/endpoint binding: broadcast
 /// to the group when it joins, and unicast back to a subscriber. Client
 /// handlers build their replica directory from these.
@@ -78,6 +89,7 @@ inline constexpr std::int64_t kRequestBytes = 480;
 inline constexpr std::int64_t kReplyBytes = 512;
 inline constexpr std::int64_t kPerfUpdateBytes = 96;
 inline constexpr std::int64_t kSubscribeBytes = 64;
+inline constexpr std::int64_t kCancelBytes = 64;
 inline constexpr std::int64_t kAnnounceBytes = 64;
 
 }  // namespace aqua::proto

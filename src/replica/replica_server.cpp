@@ -28,6 +28,7 @@ ReplicaServer::ReplicaServer(sim::Simulator& simulator, net::Lan& lan, net::Mult
     replies_counter_ = &metrics.counter("replica.replies");
     crashes_counter_ = &metrics.counter("replica.crashes");
     restarts_counter_ = &metrics.counter("replica.restarts");
+    purged_counter_ = &metrics.counter("replica.cancels_purged");
     service_time_histogram_ = &metrics.histogram("replica.service_time_us");
     queuing_delay_histogram_ = &metrics.histogram("replica.queuing_delay_us");
     queue_length_gauge_ =
@@ -62,6 +63,10 @@ void ReplicaServer::on_receive(EndpointId from, const net::Payload& message) {
                  net::Payload::make(proto::Announce{id_, endpoint_}, proto::kAnnounceBytes));
     return;
   }
+  if (const auto* cancel = message.get_if<proto::Cancel>()) {
+    handle_cancel(*cancel);
+    return;
+  }
   if (message.get_if<proto::Announce>() != nullptr) return;  // peer replicas ignore announces
   AQUA_LOG_WARN << "replica " << id_.value() << ": dropping unknown message type";
 }
@@ -77,10 +82,31 @@ void ReplicaServer::handle_request(EndpointId from, const proto::Request& reques
   if (!busy_) start_next();
 }
 
+void ReplicaServer::handle_cancel(const proto::Cancel& cancel) {
+  // Only a request still waiting in the FIFO queue may be withdrawn. Once
+  // start_next() moved it into service the application upcall is already
+  // under way, so the cancel is a no-op and the reply goes out normally —
+  // the client-side handler simply discards the duplicate.
+  const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const QueuedRequest& q) {
+    return q.request.id == cancel.request && q.request.client == cancel.client;
+  });
+  if (it == queue_.end()) {
+    ++cancels_ignored_;
+    return;
+  }
+  queue_.erase(it);
+  ++purged_;
+  if (purged_counter_ != nullptr) {
+    purged_counter_->add();
+    queue_length_gauge_->set(static_cast<double>(queue_.size()));
+  }
+}
+
 void ReplicaServer::start_next() {
   AQUA_ASSERT(!busy_);
   if (queue_.empty()) return;
   busy_ = true;
+  busy_since_ = simulator_.now();
   current_ = std::move(queue_.front());
   queue_.pop_front();
   // The gateway overhead covers demarshalling + the DII upcall; it is part
@@ -106,6 +132,7 @@ void ReplicaServer::finish_current() {
   perf.queuing_delay = dequeued_at_ - current_.enqueued_at;  // t_q = t3 - t2
   perf.queue_length = static_cast<std::int64_t>(queue_.size());
   ++serviced_;
+  busy_time_ += now - busy_since_;
   if (replies_counter_ != nullptr) {
     replies_counter_->add();
     service_time_histogram_->record(perf.service_time);

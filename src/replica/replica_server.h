@@ -84,6 +84,18 @@ class ReplicaServer {
   /// Total requests fully serviced.
   [[nodiscard]] std::uint64_t serviced_requests() const { return serviced_; }
 
+  /// Cancels that removed a still-queued request before it reached the
+  /// application (reclaimed work) vs. cancels that arrived too late (the
+  /// request was already in service, already answered, or never seen).
+  [[nodiscard]] std::uint64_t purged_requests() const { return purged_; }
+  [[nodiscard]] std::uint64_t cancels_ignored() const { return cancels_ignored_; }
+
+  /// Cumulative wall-clock this replica spent busy (gateway overhead +
+  /// application service), summed over completed requests. The bench's
+  /// "replica time consumed" metric: redundant dispatch inflates it,
+  /// cancel-on-first-reply reclaims the share that was still queued.
+  [[nodiscard]] Duration total_busy_time() const { return busy_time_; }
+
   /// Crash this replica process only: the queue is lost, the in-service
   /// request never replies, and the group excludes the member after the
   /// failure-detection delay. The host stays up.
@@ -102,6 +114,7 @@ class ReplicaServer {
   void announce();
   void handle_request(EndpointId from, const proto::Request& request,
                       const obs::SpanContext& span);
+  void handle_cancel(const proto::Cancel& cancel);
   void start_next();
   void finish_current();
   void publish_perf(EndpointId requester, const proto::PerfData& perf, const std::string& method);
@@ -129,14 +142,19 @@ class ReplicaServer {
   QueuedRequest current_{};
   TimePoint dequeued_at_{};  // t3 for the in-service request
   sim::EventHandle completion_;
+  TimePoint busy_since_{};   // when the in-service request left the queue
   std::vector<EndpointId> subscribers_;
   std::uint64_t serviced_ = 0;
+  std::uint64_t purged_ = 0;
+  std::uint64_t cancels_ignored_ = 0;
+  Duration busy_time_ = Duration::zero();
 
   /// Null unless telemetry is attached (one-branch discipline).
   obs::Counter* requests_counter_ = nullptr;
   obs::Counter* replies_counter_ = nullptr;
   obs::Counter* crashes_counter_ = nullptr;
   obs::Counter* restarts_counter_ = nullptr;
+  obs::Counter* purged_counter_ = nullptr;
   obs::Histogram* service_time_histogram_ = nullptr;
   obs::Histogram* queuing_delay_histogram_ = nullptr;
   obs::Gauge* queue_length_gauge_ = nullptr;

@@ -39,6 +39,18 @@ class BlockingQueue {
     return items_.size();
   }
 
+  /// Remove every queued item matching `pred`; returns how many were
+  /// removed. Items already popped by a consumer are out of reach —
+  /// exactly the cancel semantics the replicas need (a request in
+  /// service cannot be withdrawn).
+  template <typename Pred>
+  std::size_t remove_if(Pred pred) {
+    std::lock_guard lock(mutex_);
+    const std::size_t before = items_.size();
+    std::erase_if(items_, pred);
+    return before - items_.size();
+  }
+
   /// Close the queue: pending items are still popped, new pushes fail.
   void close() {
     {

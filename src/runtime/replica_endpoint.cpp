@@ -42,6 +42,12 @@ void ReplicaEndpoint::on_receive(EndpointId from, const net::Payload& message) {
         request_ctx);
     return;
   }
+  if (const auto* cancel = message.get_if<proto::Cancel>()) {
+    // Best-effort: purges the queued copy if service has not started;
+    // otherwise the reply is already on its way and the client drops it.
+    replica_.cancel(cancel->request, cancel->client);
+    return;
+  }
   if (message.get_if<proto::Subscribe>() != nullptr) {
     transport_.unicast(endpoint_, from,
                        net::Payload::make(proto::Announce{replica_.id(), endpoint_},

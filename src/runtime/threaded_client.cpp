@@ -164,8 +164,14 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
   Outcome outcome;
   proto::Request request;
   core::SelectionResult selection;
+  core::DispatchPlan plan;
   std::vector<ThreadedReplica*> targets;
+  std::vector<ThreadedReplica*> hedge_targets;
   std::vector<EndpointId> target_endpoints;
+  // Transport mode keeps (replica, endpoint) for every copy it sends so
+  // cancel-on-first-reply can address the still-pending members.
+  std::vector<std::pair<ReplicaId, EndpointId>> primary_peers;
+  std::vector<std::pair<ReplicaId, EndpointId>> hedge_peers;
   core::QosSpec qos_snapshot;
   std::uint64_t trace_id = 0;
   std::uint64_t root_span = 0;
@@ -180,27 +186,46 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
 
     // delta measured from the real wall clock (§5.3.3), previous value
     // used for this selection.
+    const auto observations = repository_.observe_all();
     const auto select_start = SteadyClock::now();
-    selection = selector_.select(repository_.observe_all(), qos_snapshot, overhead_.current());
+    selection = selector_.select(observations, qos_snapshot, overhead_.current());
     const auto select_end = SteadyClock::now();
     outcome.selection_overhead =
         std::chrono::duration_cast<Duration>(select_end - select_start);
     overhead_.record(outcome.selection_overhead);
 
-    outcome.redundancy = selection.selected.size();
+    if (config_.dispatch.is_default()) {
+      plan.primary = selection.selected;
+    } else {
+      plan = core::plan_dispatch(config_.dispatch, selection, observations, qos_snapshot,
+                                 selector_.model());
+    }
+    outcome.redundancy = plan.primary.size() + plan.hedge.size();
     outcome.cold_start = selection.cold_start;
+    outcome.hedged = plan.hedged;
     if (transport_ != nullptr) {
-      for (ReplicaId id : selection.selected) {
+      for (ReplicaId id : plan.primary) {
         auto it = peer_replicas_.find(id);
-        if (it != peer_replicas_.end()) target_endpoints.push_back(it->second);
+        if (it != peer_replicas_.end()) {
+          primary_peers.emplace_back(id, it->second);
+          target_endpoints.push_back(it->second);
+        }
+      }
+      for (ReplicaId id : plan.hedge) {
+        auto it = peer_replicas_.find(id);
+        if (it != peer_replicas_.end()) hedge_peers.emplace_back(id, it->second);
       }
       outstanding_.emplace(request.id, state);
     } else {
-      for (ReplicaId id : selection.selected) {
-        auto it = std::find_if(replicas_.begin(), replicas_.end(),
-                               [id](const ThreadedReplica* r) { return r->id() == id; });
-        if (it != replicas_.end()) targets.push_back(*it);
-      }
+      auto resolve = [this](std::span<const ReplicaId> ids, std::vector<ThreadedReplica*>& out) {
+        for (ReplicaId id : ids) {
+          auto it = std::find_if(replicas_.begin(), replicas_.end(),
+                                 [id](const ThreadedReplica* r) { return r->id() == id; });
+          if (it != replicas_.end()) out.push_back(*it);
+        }
+      };
+      resolve(plan.primary, targets);
+      resolve(plan.hedge, hedge_targets);
     }
   }
 
@@ -223,14 +248,9 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
                    .replica = {}};
   }
 
-  if (transport_ != nullptr) {
-    // Real network: the wire replaces the injected delay hops; the reply
-    // path runs through on_receive.
-    net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
-    if (request_ctx.valid()) payload.set_span(request_ctx);
-    transport_->multicast(endpoint_, target_endpoints, std::move(payload));
-  }
-  for (ThreadedReplica* replica : targets) {
+  // In-process send: one delay-injected hop out, one back, the reply
+  // harvested into the repository before first-delivery resolution.
+  auto post_to = [this, &request, &state, &request_ctx](ThreadedReplica* replica) {
     Duration out_delay;
     {
       std::lock_guard lock(mutex_);
@@ -263,10 +283,44 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
         });
       }, request_ctx);
     });
+  };
+
+  if (transport_ != nullptr) {
+    // Real network: the wire replaces the injected delay hops; the reply
+    // path runs through on_receive.
+    net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
+    if (request_ctx.valid()) payload.set_span(request_ctx);
+    transport_->multicast(endpoint_, target_endpoints, std::move(payload));
+  }
+  for (ThreadedReplica* replica : targets) post_to(replica);
+
+  const auto give_up = t0 + qos_snapshot.deadline * config_.give_up_deadline_factor;
+
+  // Hedged mode: hold the backups until the hedge timer expires, unless
+  // the primary answers first (the common case — the timer sits at the
+  // tail of the primary's predicted response pmf).
+  bool hedge_fired = false;
+  if (!hedge_peers.empty() || !hedge_targets.empty()) {
+    const auto hedge_at = std::min(give_up, t0 + plan.hedge_delay);
+    std::unique_lock slock(state->mutex);
+    state->cv.wait_until(slock, hedge_at, [&state] { return state->delivered; });
+    hedge_fired = !state->delivered;
+  }
+  if (hedge_fired) {
+    outcome.hedge_fired = true;
+    hedges_fired_.fetch_add(1, std::memory_order_relaxed);
+    if (!hedge_peers.empty()) {
+      std::vector<EndpointId> hedge_endpoints;
+      hedge_endpoints.reserve(hedge_peers.size());
+      for (const auto& [id, endpoint] : hedge_peers) hedge_endpoints.push_back(endpoint);
+      net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
+      if (request_ctx.valid()) payload.set_span(request_ctx);
+      transport_->multicast(endpoint_, hedge_endpoints, std::move(payload));
+    }
+    for (ThreadedReplica* replica : hedge_targets) post_to(replica);
   }
 
   // Wait for the first reply or give up.
-  const auto give_up = t0 + qos_snapshot.deadline * config_.give_up_deadline_factor;
   proto::Reply first_reply;
   {
     std::unique_lock slock(state->mutex);
@@ -278,6 +332,47 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
       outcome.result = first_reply.result;
     }
   }
+
+  // Cancel-on-first-reply: purge queued copies at every member that was
+  // sent the request and is not the replier. A copy already in service
+  // is never interrupted (the replica ignores the cancel), and a backup
+  // whose hedge never fired was never sent anything to purge.
+  if (config_.dispatch.cancel_on_first_reply && outcome.answered) {
+    const proto::Cancel cancel{request.id, request.client, request.method};
+    std::size_t sent = 0;
+    if (transport_ != nullptr) {
+      auto cancel_peers = [&](const std::vector<std::pair<ReplicaId, EndpointId>>& peers) {
+        for (const auto& [id, endpoint] : peers) {
+          if (id == outcome.first_replica) continue;
+          transport_->unicast(endpoint_, endpoint,
+                              net::Payload::make(cancel, proto::kCancelBytes));
+          ++sent;
+        }
+      };
+      cancel_peers(primary_peers);
+      if (hedge_fired) cancel_peers(hedge_peers);
+    } else {
+      auto cancel_targets = [&](const std::vector<ThreadedReplica*>& list) {
+        for (ThreadedReplica* replica : list) {
+          if (replica->id() == outcome.first_replica) continue;
+          Duration out_delay;
+          {
+            std::lock_guard lock(mutex_);
+            out_delay = config_.net.sample(rng_);
+          }
+          executor_.post_after(out_delay, [replica, id = request.id, client = request.client] {
+            replica->cancel(id, client);
+          });
+          ++sent;
+        }
+      };
+      cancel_targets(targets);
+      if (hedge_fired) cancel_targets(hedge_targets);
+    }
+    outcome.cancels_sent = sent;
+    cancels_sent_.fetch_add(sent, std::memory_order_relaxed);
+  }
+
   if (transport_ != nullptr) {
     std::lock_guard lock(mutex_);
     outstanding_.erase(request.id);

@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "core/failure_tracker.h"
 #include "core/info_repository.h"
+#include "core/policies.h"
 #include "core/qos.h"
 #include "core/selection.h"
 #include "net/transport.h"
@@ -58,6 +59,12 @@ struct ThreadedClientConfig {
   /// invoke() returns unanswered after deadline * this factor.
   int give_up_deadline_factor = 4;
 
+  /// Speculative-redundancy dispatch (hedged requests, cancel-on-first-
+  /// reply, adaptive trimming). The default is the paper's full-K
+  /// multicast: invoke() then takes the identity path with no extra
+  /// model evaluation or rng draws.
+  core::DispatchConfig dispatch;
+
   /// Identity used for trace ids (obs/span.h packs client + request into
   /// one id, so two clients sharing a hub must have distinct ids).
   /// ThreadedSystem::add_client assigns these automatically.
@@ -93,6 +100,12 @@ class ThreadedClient {
     std::int64_t result = 0;
     /// Wall-clock cost of model + selection for this invocation.
     Duration selection_overhead{};
+    /// True when the dispatch plan split K (hedged mode, warm history).
+    bool hedged = false;
+    /// True when the hedge timer expired and the backup copies were sent.
+    bool hedge_fired = false;
+    /// Cancels sent to still-pending replicas after the first reply.
+    std::size_t cancels_sent = 0;
   };
 
   /// The replica pointers must outlive the client. The list may be empty
@@ -137,6 +150,14 @@ class ThreadedClient {
   [[nodiscard]] bool qos_violated() const;
   [[nodiscard]] std::size_t known_replicas() const;
 
+  /// Lifetime dispatch counters (thread-safe).
+  [[nodiscard]] std::uint64_t hedges_fired() const {
+    return hedges_fired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cancels_sent() const {
+    return cancels_sent_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct RequestState;
   /// Host-eviction relay shared with the transport's subscriber list:
@@ -178,6 +199,9 @@ class ThreadedClient {
   /// Alert edge state (guarded by mutex_): the last reported
   /// QoS-violation level, for violation/recovery edge detection.
   bool violation_reported_ = false;
+
+  std::atomic<std::uint64_t> hedges_fired_{0};
+  std::atomic<std::uint64_t> cancels_sent_{0};
 
   /// Null unless telemetry is attached; safe to update without mutex_
   /// (counters and histograms are internally atomic).

@@ -39,6 +39,19 @@ bool ThreadedReplica::submit(const proto::Request& request, ReplyFn on_reply,
 
 std::size_t ThreadedReplica::queue_length() const { return queue_.size(); }
 
+bool ThreadedReplica::cancel(RequestId request, ClientId client) {
+  // remove_if only reaches items still inside the queue; a job the worker
+  // already popped is in service and keeps its reply. That makes the
+  // cancel/service-start race safe by construction: whichever side wins
+  // the queue lock decides, and both outcomes are legal protocol states.
+  const std::size_t removed = queue_.remove_if([&](const Job& job) {
+    return job.request.id == request && job.request.client == client;
+  });
+  if (removed == 0) return false;
+  purged_.fetch_add(removed);
+  return true;
+}
+
 void ThreadedReplica::crash() {
   alive_.store(false);
   queue_.close_and_drain();

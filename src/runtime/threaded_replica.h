@@ -55,6 +55,15 @@ class ThreadedReplica {
   /// Requests waiting in the queue right now.
   [[nodiscard]] std::size_t queue_length() const;
 
+  /// Withdraw a queued request (cancel-on-first-reply). Returns true if
+  /// the request was still waiting and got purged; false when it already
+  /// started service (it will reply normally), already finished, or was
+  /// never submitted here.
+  bool cancel(RequestId request, ClientId client);
+
+  /// Requests removed from the queue by cancel() before servicing.
+  [[nodiscard]] std::uint64_t purged() const { return purged_.load(); }
+
   /// Crash: drop the queue, stop servicing, never reply again.
   void crash();
   [[nodiscard]] bool alive() const { return alive_.load(); }
@@ -77,6 +86,7 @@ class ThreadedReplica {
   BlockingQueue<Job> queue_;
   std::atomic<bool> alive_{true};
   std::atomic<std::uint64_t> serviced_{0};
+  std::atomic<std::uint64_t> purged_{0};
 
   /// Null unless telemetry is attached (one-branch discipline).
   obs::Counter* requests_counter_ = nullptr;

@@ -162,5 +162,128 @@ TEST(PoliciesTest, FactoryValidation) {
   EXPECT_THROW(make_static_k_policy(0), std::invalid_argument);
 }
 
+// ---- plan_dispatch: the speculative-redundancy transmission schedule ----
+
+SelectionResult selection_of(std::vector<ReplicaId> ids) {
+  SelectionResult selection;
+  selection.selected = std::move(ids);
+  return selection;
+}
+
+TEST(PlanDispatchTest, DefaultConfigIsTheIdentityPlan) {
+  const auto obs = five_replicas();
+  const auto selection = selection_of({ReplicaId{1}, ReplicaId{2}, ReplicaId{3}});
+  const DispatchPlan plan =
+      plan_dispatch(DispatchConfig{}, selection, obs, kQos, ResponseTimeModel{});
+  EXPECT_EQ(plan.primary, selection.selected);
+  EXPECT_TRUE(plan.hedge.empty());
+  EXPECT_FALSE(plan.hedged);
+  EXPECT_EQ(plan.trimmed, 0u);
+}
+
+TEST(PlanDispatchTest, HedgedModeSplitsBestFromBackups) {
+  DispatchConfig config;
+  config.mode = DispatchMode::kHedged;
+  const auto obs = five_replicas();
+  const auto selection = selection_of({ReplicaId{1}, ReplicaId{2}, ReplicaId{3}});
+  const DispatchPlan plan = plan_dispatch(config, selection, obs, kQos, ResponseTimeModel{});
+  ASSERT_TRUE(plan.hedged);
+  ASSERT_EQ(plan.primary.size(), 1u);
+  EXPECT_EQ(plan.primary[0], ReplicaId{1});
+  EXPECT_EQ(plan.hedge, (std::vector<ReplicaId>{ReplicaId{2}, ReplicaId{3}}));
+  // The hedge delay is clamped into [min, max] fractions of the deadline.
+  EXPECT_GE(plan.hedge_delay, msec(5));    // 0.05 * 100ms
+  EXPECT_LE(plan.hedge_delay, msec(50));   // 0.5 * 100ms
+}
+
+TEST(PlanDispatchTest, SingleMemberSelectionIsNeverSplit) {
+  DispatchConfig config;
+  config.mode = DispatchMode::kHedged;
+  const auto obs = five_replicas();
+  const auto selection = selection_of({ReplicaId{1}});
+  const DispatchPlan plan = plan_dispatch(config, selection, obs, kQos, ResponseTimeModel{});
+  EXPECT_FALSE(plan.hedged);
+  EXPECT_EQ(plan.primary.size(), 1u);
+  EXPECT_TRUE(plan.hedge.empty());
+}
+
+TEST(PlanDispatchTest, ColdStartIsNeverHedgedOrTrimmed) {
+  DispatchConfig config;
+  config.mode = DispatchMode::kHedged;
+  config.adaptive_redundancy = true;
+  config.overload_queue_threshold = 0;
+  auto obs = five_replicas();
+  for (auto& o : obs) o.queue_length = 10;
+  auto selection = selection_of({ReplicaId{1}, ReplicaId{2}, ReplicaId{3}});
+  selection.cold_start = true;  // bootstrap traffic must reach everyone
+  const DispatchPlan plan = plan_dispatch(config, selection, obs, kQos, ResponseTimeModel{});
+  EXPECT_EQ(plan.primary, selection.selected);
+  EXPECT_FALSE(plan.hedged);
+  EXPECT_EQ(plan.trimmed, 0u);
+}
+
+TEST(PlanDispatchTest, AdaptiveRedundancyTrimsWhenMeanQueueReachesThreshold) {
+  DispatchConfig config;
+  config.adaptive_redundancy = true;
+  config.overload_queue_threshold = 2;
+  config.overload_redundancy_cap = 2;
+  auto obs = five_replicas();
+  for (auto& o : obs) o.queue_length = 3;
+  const auto selection =
+      selection_of({ReplicaId{1}, ReplicaId{2}, ReplicaId{3}, ReplicaId{4}});
+  const DispatchPlan plan = plan_dispatch(config, selection, obs, kQos, ResponseTimeModel{});
+  EXPECT_EQ(plan.primary, (std::vector<ReplicaId>{ReplicaId{1}, ReplicaId{2}}));
+  EXPECT_EQ(plan.trimmed, 2u);
+  EXPECT_FALSE(plan.hedged);
+}
+
+TEST(PlanDispatchTest, AdaptiveRedundancyLeavesShallowQueuesAlone) {
+  DispatchConfig config;
+  config.adaptive_redundancy = true;
+  config.overload_queue_threshold = 2;
+  config.overload_redundancy_cap = 1;
+  const auto obs = five_replicas();  // queue_length 0 everywhere
+  const auto selection = selection_of({ReplicaId{1}, ReplicaId{2}, ReplicaId{3}});
+  const DispatchPlan plan = plan_dispatch(config, selection, obs, kQos, ResponseTimeModel{});
+  EXPECT_EQ(plan.primary, selection.selected);
+  EXPECT_EQ(plan.trimmed, 0u);
+}
+
+TEST(PlanDispatchTest, AdaptiveTrimComposesWithHedging) {
+  DispatchConfig config;
+  config.mode = DispatchMode::kHedged;
+  config.adaptive_redundancy = true;
+  config.overload_queue_threshold = 1;
+  config.overload_redundancy_cap = 2;
+  auto obs = five_replicas();
+  for (auto& o : obs) o.queue_length = 4;
+  const auto selection =
+      selection_of({ReplicaId{1}, ReplicaId{2}, ReplicaId{3}, ReplicaId{4}});
+  const DispatchPlan plan = plan_dispatch(config, selection, obs, kQos, ResponseTimeModel{});
+  // Trimmed to the cap first, then the survivors split primary/hedge.
+  EXPECT_EQ(plan.trimmed, 2u);
+  ASSERT_TRUE(plan.hedged);
+  EXPECT_EQ(plan.primary, (std::vector<ReplicaId>{ReplicaId{1}}));
+  EXPECT_EQ(plan.hedge, (std::vector<ReplicaId>{ReplicaId{2}}));
+}
+
+TEST(PlanDispatchTest, IsDefaultDetectsEverySpeculativeKnob) {
+  EXPECT_TRUE(DispatchConfig{}.is_default());
+  DispatchConfig hedged;
+  hedged.mode = DispatchMode::kHedged;
+  EXPECT_FALSE(hedged.is_default());
+  DispatchConfig cancel;
+  cancel.cancel_on_first_reply = true;
+  EXPECT_FALSE(cancel.is_default());
+  DispatchConfig adaptive;
+  adaptive.adaptive_redundancy = true;
+  EXPECT_FALSE(adaptive.is_default());
+  // Tuning the hedge shape alone changes nothing until the mode is on.
+  DispatchConfig tuned;
+  tuned.hedge_quantile = 0.5;
+  tuned.min_hedge_fraction = 0.2;
+  EXPECT_TRUE(tuned.is_default());
+}
+
 }  // namespace
 }  // namespace aqua::core

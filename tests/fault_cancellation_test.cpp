@@ -1,0 +1,147 @@
+// Chaos-tier races for the speculative dispatch modes: cancels crossing
+// mid-flight crashes, hedge timers racing first replies, and the
+// threaded/UDP runtimes driving the same machinery from real threads
+// (this file runs again under ThreadSanitizer via tools/run_checks.sh).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gateway/system.h"
+#include "net/udp_transport.h"
+#include "replica/service_model.h"
+#include "runtime/threaded_system.h"
+#include "stats/variates.h"
+
+namespace aqua::fault {
+namespace {
+
+TEST(CancellationRaceSimTest, CancelTrafficSurvivesCrashesAroundFirstReply) {
+  // One slow replica guarantees cancels are in flight to it when the
+  // fast replicas answer; crashing it at offsets straddling the first
+  // reply exercises cancel-to-dying-host, cancel-to-dead-host, and
+  // crash-after-purge orderings. Every schedule must still complete.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (std::int64_t crash_ms : {40, 55, 70, 120}) {
+      gateway::SystemConfig sys_cfg;
+      sys_cfg.seed = seed;
+      gateway::AquaSystem system{sys_cfg};
+      system.add_replica(replica::make_sampled_service(stats::make_constant(msec(40))));
+      system.add_replica(replica::make_sampled_service(stats::make_constant(msec(45))));
+      system.add_replica(replica::make_sampled_service(stats::make_constant(msec(250))));
+
+      gateway::HandlerConfig handler_cfg;
+      handler_cfg.dispatch.cancel_on_first_reply = true;
+
+      gateway::ClientWorkload workload;
+      workload.total_requests = 8;
+      workload.think_time = stats::make_constant(msec(60));
+      gateway::ClientApp& app =
+          system.add_client(core::QosSpec{msec(500), 0.9}, workload, handler_cfg);
+
+      system.simulator().schedule_after(msec(crash_ms),
+                                        [&] { system.replicas()[2]->crash_host(); });
+      ASSERT_TRUE(system.run_until_clients_done(sec(120)))
+          << "seed " << seed << " crash at " << crash_ms << "ms";
+      const trace::ClientRunReport report = app.report();
+      EXPECT_EQ(report.requests, 8u) << "seed " << seed << " crash " << crash_ms;
+      EXPECT_EQ(report.answered, 8u) << "seed " << seed << " crash " << crash_ms;
+    }
+  }
+}
+
+TEST(CancellationRaceSimTest, HedgeTimerRacesFirstReplyAcrossSeeds) {
+  // Noisy service times put real probability mass on both sides of the
+  // hedge timer: some requests answer before it (hedge held), some
+  // stall past it (hedge fires). Both orderings must resolve cleanly.
+  std::uint64_t total_fired = 0;
+  std::uint64_t total_held = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    gateway::SystemConfig sys_cfg;
+    sys_cfg.seed = 100 + seed;
+    gateway::AquaSystem system{sys_cfg};
+    for (int i = 0; i < 3; ++i) {
+      system.add_replica(replica::make_sampled_service(
+          stats::make_truncated_normal(msec(60), msec(40))));
+    }
+
+    gateway::HandlerConfig handler_cfg;
+    handler_cfg.dispatch.mode = core::DispatchMode::kHedged;
+    handler_cfg.dispatch.cancel_on_first_reply = true;
+    handler_cfg.dispatch.hedge_quantile = 0.6;  // timer inside the noise band
+
+    gateway::ClientWorkload workload;
+    workload.total_requests = 15;
+    workload.think_time = stats::make_constant(msec(50));
+    gateway::ClientApp& app =
+        system.add_client(core::QosSpec{msec(400), 0.9}, workload, handler_cfg);
+
+    ASSERT_TRUE(system.run_until_clients_done(sec(120))) << "seed " << seed;
+    const trace::ClientRunReport report = app.report();
+    EXPECT_EQ(report.answered, 15u) << "seed " << seed;
+    for (const gateway::RequestRecord& record : app.handler().history()) {
+      if (!record.hedged) continue;
+      (record.hedge_fired ? total_fired : total_held) += 1;
+    }
+  }
+  // The race genuinely went both ways somewhere in the sweep.
+  EXPECT_GT(total_fired, 0u);
+  EXPECT_GT(total_held, 0u);
+}
+
+TEST(CancellationRaceThreadedTest, InProcessHedgedCancelWorkloadCompletes) {
+  runtime::ThreadedSystemConfig cfg;
+  cfg.client.dispatch.mode = core::DispatchMode::kHedged;
+  cfg.client.dispatch.cancel_on_first_reply = true;
+  runtime::ThreadedSystem system{cfg};
+  system.add_replica(stats::make_constant(msec(2)));
+  system.add_replica(stats::make_constant(msec(2)));
+  system.add_replica(stats::make_constant(msec(25)));  // queues build here
+  system.add_client(core::QosSpec{msec(150), 0.5});
+  system.add_client(core::QosSpec{msec(150), 0.5});
+
+  const auto stats = system.run_workload(20, msec(1));
+  ASSERT_EQ(stats.size(), 2u);
+  std::uint64_t cancels = 0;
+  for (auto* client : system.clients()) cancels += client->cancels_sent();
+  std::uint64_t purged = 0;
+  for (auto* replica : system.replicas()) purged += replica->purged();
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.requests, 20u);
+    EXPECT_EQ(s.answered, 20u);
+  }
+  // A purge can only follow a cancel; in-service copies are never purged.
+  EXPECT_LE(purged, cancels);
+}
+
+TEST(CancellationRaceThreadedTest, UdpHedgedCancelWorkloadCompletes) {
+  net::UdpTransportConfig udp_cfg;
+  udp_cfg.retransmit_initial = msec(5);
+  udp_cfg.retransmit_backoff = 1.5;
+  udp_cfg.max_attempts = 3;
+  udp_cfg.retransmit_tick = msec(2);
+  net::UdpTransport udp{udp_cfg};
+
+  runtime::ThreadedSystemConfig cfg;
+  cfg.transport = &udp;
+  cfg.client.dispatch.mode = core::DispatchMode::kHedged;
+  cfg.client.dispatch.cancel_on_first_reply = true;
+  runtime::ThreadedSystem system{cfg};
+  system.add_replica(stats::make_constant(msec(2)));
+  system.add_replica(stats::make_constant(msec(2)));
+  system.add_replica(stats::make_constant(msec(20)));
+  system.add_client(core::QosSpec{msec(150), 0.5});
+
+  const auto stats = system.run_workload(15, msec(1));
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].requests, 15u);
+  EXPECT_EQ(stats[0].answered, 15u);
+  // Cancels crossed the kernel as AQDF datagrams like any other message.
+  std::uint64_t purged = 0;
+  for (auto* replica : system.replicas()) purged += replica->purged();
+  std::uint64_t cancels = 0;
+  for (auto* client : system.clients()) cancels += client->cancels_sent();
+  EXPECT_LE(purged, cancels);
+}
+
+}  // namespace
+}  // namespace aqua::fault

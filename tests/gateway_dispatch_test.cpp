@@ -1,0 +1,255 @@
+// Speculative-redundancy dispatch modes in the timing fault handler:
+// hedged requests (primary first, rest of K behind a hedge timer),
+// cancel-on-first-reply (proto::Cancel purges queued copies, never one
+// already in service), and utilization-adaptive redundancy trimming.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gateway/timing_fault_handler.h"
+#include "net/group.h"
+#include "net/lan.h"
+#include "replica/replica_server.h"
+#include "sim/simulator.h"
+#include "stats/variates.h"
+
+namespace aqua::gateway {
+namespace {
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  DispatchTest() : lan_(sim_, Rng{1}, quiet_config()), group_(sim_, lan_, GroupId{1}) {}
+
+  static net::LanConfig quiet_config() {
+    net::LanConfig cfg;
+    cfg.jitter_sigma = 0.0;
+    return cfg;
+  }
+
+  replica::ReplicaServer& add_replica(std::uint64_t id, stats::SamplerPtr service) {
+    replicas_.push_back(std::make_unique<replica::ReplicaServer>(
+        sim_, lan_, group_, ReplicaId{id}, HostId{id + 100},
+        replica::make_sampled_service(std::move(service)), Rng{id}));
+    return *replicas_.back();
+  }
+
+  replica::ReplicaServer& add_replica(std::uint64_t id, Duration service_time) {
+    return add_replica(id, stats::make_constant(service_time));
+  }
+
+  /// Fill every window so later selections are warm (hedging and
+  /// trimming never apply to cold starts).
+  void warm_up(TimingFaultHandler& handler, int rounds = 3) {
+    sim_.run_for(msec(50));  // Announce discovery
+    for (int i = 0; i < rounds; ++i) {
+      handler.invoke(i, [](const ReplyInfo&) {});
+      sim_.run_for(sec(1));
+    }
+  }
+
+  sim::Simulator sim_;
+  net::Lan lan_;
+  net::MulticastGroup group_;
+  std::vector<std::unique_ptr<replica::ReplicaServer>> replicas_;
+};
+
+TEST_F(DispatchTest, WarmHedgedDispatchHoldsBackupsWhenPrimaryAnswersInTime) {
+  add_replica(1, msec(10));
+  add_replica(2, msec(30));
+  add_replica(3, msec(30));
+  HandlerConfig cfg;
+  cfg.dispatch.mode = core::DispatchMode::kHedged;
+  // Keep the hedge timer comfortably past the 10ms primary's response so
+  // the holdback is deterministic under the quiet LAN.
+  cfg.dispatch.min_hedge_fraction = 0.25;
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{msec(200), 0.9}, Rng{9}, cfg};
+  warm_up(handler);
+
+  bool answered = false;
+  handler.invoke(42, [&](const ReplyInfo&) { answered = true; });
+  sim_.run_for(sec(1));
+
+  ASSERT_TRUE(answered);
+  const RequestRecord& record = handler.history().back();
+  EXPECT_TRUE(record.hedged);
+  // The fast primary answered inside its own predicted tail: the backups
+  // were never transmitted.
+  EXPECT_FALSE(record.hedge_fired);
+  EXPECT_EQ(handler.hedges_fired(), 0u);
+  // Redundancy still reports the full plan (primary + held-back hedges).
+  EXPECT_GE(record.redundancy, 2u);
+}
+
+TEST_F(DispatchTest, HedgeTimerFiresWhenPrimaryStalls) {
+  // The primary's service time is modulated: fast during warm-up (so it
+  // ranks best and its predicted tail is short), then stalled far past
+  // its own 95th percentile.
+  auto stall = std::make_shared<stats::LoadModulation>();
+  add_replica(1, stats::make_modulated_sampler(stats::make_constant(msec(10)), stall));
+  add_replica(2, msec(30));
+  add_replica(3, msec(30));
+  HandlerConfig cfg;
+  cfg.dispatch.mode = core::DispatchMode::kHedged;
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{msec(400), 0.9}, Rng{9}, cfg};
+  warm_up(handler, 5);
+
+  stall->set_extra(msec(300));
+  bool answered = false;
+  ReplicaId first{};
+  handler.invoke(42, [&](const ReplyInfo& info) {
+    answered = true;
+    first = info.replica;
+  });
+  sim_.run_for(sec(2));
+
+  ASSERT_TRUE(answered);
+  EXPECT_GE(handler.hedges_fired(), 1u);
+  const RequestRecord& record = handler.history().back();
+  EXPECT_TRUE(record.hedged);
+  EXPECT_TRUE(record.hedge_fired);
+  // A backup beat the stalled primary.
+  EXPECT_NE(first, ReplicaId{1});
+}
+
+TEST_F(DispatchTest, CrashedPrimaryFiresHedgeImmediately) {
+  auto stall = std::make_shared<stats::LoadModulation>();
+  add_replica(1, stats::make_modulated_sampler(stats::make_constant(msec(10)), stall));
+  add_replica(2, msec(30));
+  add_replica(3, msec(30));
+  HandlerConfig cfg;
+  cfg.dispatch.mode = core::DispatchMode::kHedged;
+  // Long max fraction so the view change, not the timer, must rescue it.
+  cfg.dispatch.min_hedge_fraction = 0.5;
+  cfg.dispatch.max_hedge_fraction = 0.9;
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{sec(2), 0.9}, Rng{9}, cfg};
+  warm_up(handler, 5);
+
+  stall->set_extra(sec(10));  // the primary will never answer in time
+  bool answered = false;
+  handler.invoke(42, [&](const ReplyInfo&) { answered = true; });
+  sim_.run_for(msec(50));
+  ASSERT_FALSE(answered);
+  replicas_[0]->crash_host();
+  // Failure detection takes 500ms; the released backups answer ~30ms
+  // later. 800ms is still well short of the 1s hedge timer (0.5 x 2s
+  // deadline), so only the view change can have rescued the request.
+  sim_.run_for(msec(800));
+
+  // The membership change routed the held-back copies out at once; a
+  // backup answered well before the hedge timer would have fired.
+  EXPECT_TRUE(answered);
+  EXPECT_GE(handler.hedges_fired(), 1u);
+}
+
+TEST_F(DispatchTest, CancelOnFirstReplyPurgesQueuedCopyOnly) {
+  replica::ReplicaServer& fast = add_replica(1, msec(50));
+  replica::ReplicaServer& slow = add_replica(2, msec(150));
+  HandlerConfig cfg;
+  cfg.dispatch.cancel_on_first_reply = true;
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{msec(500), 0.9}, Rng{9}, cfg};
+  sim_.run_for(msec(50));  // discovery
+
+  // Two back-to-back requests, both multicast to both replicas. Request A
+  // goes into service at both immediately; request B queues behind it.
+  int answered = 0;
+  handler.invoke(1, [&](const ReplyInfo&) { ++answered; });
+  sim_.run_for(msec(2));
+  handler.invoke(2, [&](const ReplyInfo&) { ++answered; });
+  sim_.run_for(sec(2));
+
+  EXPECT_EQ(answered, 2);
+  EXPECT_GE(handler.cancels_sent(), 2u);
+  // A's cancel reached the slow replica mid-service: ignored, the copy
+  // ran to completion. B's cancel found the copy still queued: purged.
+  EXPECT_GE(slow.cancels_ignored(), 1u);
+  EXPECT_EQ(slow.purged_requests(), 1u);
+  EXPECT_EQ(fast.purged_requests(), 0u);
+  // The purged copy never consumed service time: the slow replica
+  // serviced only request A.
+  EXPECT_EQ(slow.serviced_requests(), 1u);
+  EXPECT_EQ(fast.serviced_requests(), 2u);
+}
+
+TEST_F(DispatchTest, CancelNeverInterruptsARequestInService) {
+  replica::ReplicaServer& fast = add_replica(1, msec(20));
+  replica::ReplicaServer& slow = add_replica(2, msec(200));
+  HandlerConfig cfg;
+  cfg.dispatch.cancel_on_first_reply = true;
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{msec(500), 0.9}, Rng{9}, cfg};
+  sim_.run_for(msec(50));
+
+  bool answered = false;
+  handler.invoke(7, [&](const ReplyInfo&) { answered = true; });
+  sim_.run_for(sec(1));
+
+  ASSERT_TRUE(answered);
+  EXPECT_GE(handler.cancels_sent(), 1u);
+  // Both copies went straight into service; the cancel that raced the
+  // slow replica's execution was ignored and its service completed.
+  EXPECT_EQ(slow.purged_requests(), 0u);
+  EXPECT_GE(slow.cancels_ignored(), 1u);
+  EXPECT_EQ(slow.serviced_requests(), 1u);
+  EXPECT_EQ(fast.serviced_requests(), 1u);
+}
+
+TEST_F(DispatchTest, AdaptiveRedundancyTrimsWhenQueuesAreDeep) {
+  for (std::uint64_t id = 1; id <= 4; ++id) add_replica(id, msec(100));
+  HandlerConfig cfg;
+  cfg.dispatch.adaptive_redundancy = true;
+  cfg.dispatch.overload_queue_threshold = 1;
+  cfg.dispatch.overload_redundancy_cap = 2;
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{sec(2), 0.9}, Rng{9}, cfg};
+  sim_.run_for(msec(50));
+
+  // A burst with no think time piles copies into every queue; the
+  // piggybacked queue lengths flow back with each reply.
+  int answered = 0;
+  for (int i = 0; i < 6; ++i) {
+    handler.invoke(i, [&](const ReplyInfo&) { ++answered; });
+    sim_.run_for(msec(5));
+  }
+  sim_.run_for(sec(5));
+  ASSERT_GT(answered, 0);
+
+  // With the windows now reporting deep queues, the next dispatch is
+  // trimmed to the cap.
+  handler.invoke(99, [&](const ReplyInfo&) { ++answered; });
+  sim_.run_for(sec(5));
+  const RequestRecord& record = handler.history().back();
+  EXPECT_LE(record.redundancy, 2u);
+  EXPECT_EQ(answered, 7);
+}
+
+TEST_F(DispatchTest, DefaultConfigReportsNoSpeculativeActivity) {
+  add_replica(1, msec(10));
+  add_replica(2, msec(10));
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{msec(200), 0.9}, Rng{9}};
+  warm_up(handler);
+  int answered = 0;
+  for (int i = 0; i < 5; ++i) {
+    handler.invoke(i, [&](const ReplyInfo&) { ++answered; });
+    sim_.run_for(msec(500));
+  }
+  EXPECT_EQ(answered, 5);
+  EXPECT_EQ(handler.hedges_fired(), 0u);
+  EXPECT_EQ(handler.cancels_sent(), 0u);
+  for (const RequestRecord& record : handler.history()) {
+    EXPECT_FALSE(record.hedged);
+    EXPECT_FALSE(record.hedge_fired);
+    EXPECT_EQ(record.cancels_sent, 0u);
+  }
+  for (const auto& replica : replicas_) {
+    EXPECT_EQ(replica->purged_requests(), 0u);
+    EXPECT_EQ(replica->cancels_ignored(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace aqua::gateway

@@ -140,6 +140,49 @@ TEST_F(ProbeTest, OutstandingCountsTrackInFlightRequests) {
   EXPECT_EQ(handler.outstanding_requests(ReplicaId{2}), 0u);
 }
 
+TEST_F(ProbeTest, ProbesRegisterInOutstandingUntilTheReply) {
+  // Regression: probes used to bypass the outstanding accounting, so the
+  // per-replica in-flight counts (which the probe scheduler itself
+  // consults) ignored probe traffic entirely.
+  add_replica(1, msec(500));
+  HandlerConfig cfg;
+  // Wide staleness window: the first probe's reply keeps the entry fresh
+  // for the rest of the test, so exactly one probe is ever in flight.
+  cfg.probe_staleness = sec(5);
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{msec(200), 0.0}, Rng{9}, cfg};
+  while (handler.probes_sent() == 0) sim_.run_for(msec(50));
+  // The probe is mid-flight (500ms service): it must be accounted.
+  EXPECT_EQ(handler.outstanding_requests(ReplicaId{1}), 1u);
+  sim_.run_for(sec(2));
+  EXPECT_EQ(handler.outstanding_requests(ReplicaId{1}), 0u);
+  EXPECT_TRUE(handler.repository().observe(ReplicaId{1}).has_data());
+  EXPECT_EQ(handler.failure_tracker().total(), 0u);
+}
+
+TEST_F(ProbeTest, ProbeToCrashedReplicaIsDroppedNotRedispatched) {
+  // Regression: when a probe's target crashed before replying, the view
+  // change redispatched the probe like a client request — with an empty
+  // method, no callback, and a fresh selection — turning one probe into
+  // a phantom request train. Dead probes must simply be dropped.
+  add_replica(1, msec(5));
+  add_replica(2, sec(10));  // slow enough that its probe is always in flight
+  HandlerConfig cfg;
+  cfg.probe_staleness = sec(1);
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{msec(200), 0.0}, Rng{9}, cfg};
+  while (handler.outstanding_requests(ReplicaId{2}) == 0) sim_.run_for(msec(50));
+  replicas_[1]->crash_host();
+  sim_.run_for(sec(5));
+
+  EXPECT_EQ(handler.outstanding_requests(ReplicaId{2}), 0u);
+  EXPECT_EQ(handler.failure_tracker().total(), 0u);
+  for (const RequestRecord& record : handler.history()) {
+    EXPECT_TRUE(record.probe);
+    EXPECT_FALSE(record.redispatched);
+  }
+}
+
 TEST_F(ProbeTest, ProbeHistoryRowsHaveTransmissionTimes) {
   add_replica(1, msec(10));
   HandlerConfig cfg;

@@ -96,6 +96,23 @@ TEST(WireFormat, ControlMessagesRoundTrip) {
   EXPECT_EQ(ann_back->get_if<proto::Announce>()->replica, announce.replica);
 }
 
+TEST(WireFormat, CancelRoundTripsAllFields) {
+  proto::Cancel cancel;
+  cancel.request = RequestId{314};
+  cancel.client = ClientId{15};
+  cancel.method = "search";
+  const auto bytes = encode_or_die(Payload::make(cancel, proto::kCancelBytes));
+
+  const std::optional<Payload> decoded = decode_payload(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = decoded->get_if<proto::Cancel>();
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->request, cancel.request);
+  EXPECT_EQ(back->client, cancel.client);
+  EXPECT_EQ(back->method, cancel.method);
+  EXPECT_EQ(decoded->wire_bytes(), proto::kCancelBytes);
+}
+
 TEST(WireFormat, StringInt64AndEmptyBodiesRoundTrip) {
   const auto text = decode_payload(encode_or_die(Payload::make(std::string{"hello"}, 100)));
   ASSERT_TRUE(text.has_value());

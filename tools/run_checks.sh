@@ -53,6 +53,14 @@ build/bench/transport_roundtrip >/dev/null
 test -s build/bench/BENCH_transport.json
 grep -q '"metric":"udp_rtt_us"' build/bench/BENCH_transport.json
 
+step "Bench JSON: hedging crossover emits BENCH_hedging.json"
+AQUA_BENCH_SEEDS=1 build/bench/hedging_crossover >/dev/null
+test -s build/bench/BENCH_hedging.json
+grep -q '"metric":"low_load.hedged.replica_savings_vs_multicast"' \
+  build/bench/BENCH_hedging.json
+grep -q '"metric":"high_load.cancel.replica_savings_vs_multicast"' \
+  build/bench/BENCH_hedging.json
+
 step "UDP smoke: two-process gateway/replica run over loopback"
 ctest --test-dir build --output-on-failure -R udp_two_process_smoke
 
@@ -95,6 +103,6 @@ ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L obs
 
 step "Transport conformance + UDP runtime (TSan)"
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-  -R 'SimConformance|UdpConformance|RuntimeTransportTest'
+  -R 'SimConformance|UdpConformance|RuntimeTransportTest|UdpRegressionTest'
 
 step "All checks passed"
