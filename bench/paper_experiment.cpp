@@ -43,6 +43,7 @@ SweepPoint run_point(const PaperSetup& setup, Duration deadline, double requeste
 
     gateway::HandlerConfig handler_cfg;
     handler_cfg.repository.window_size = setup.window_size;
+    handler_cfg.dispatch = setup.dispatch;
 
     gateway::ClientWorkload workload;
     workload.total_requests = setup.requests_per_client;

@@ -43,6 +43,11 @@ struct PaperSetup {
   std::uint64_t base_seed = 1000;
   /// First client's fixed QoS (deadline 200ms, probability 0).
   Duration background_deadline = msec(200);
+  /// Dispatch configuration for both clients. The default reproduces the
+  /// paper's full-K multicast + first-reply delivery; benches use it to
+  /// verify an explicit CompletionSpec::first_of_n() stays bit-identical
+  /// and to sweep the coded modes over the same figure harness.
+  core::DispatchConfig dispatch{};
 };
 
 struct SweepPoint {

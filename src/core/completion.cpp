@@ -1,0 +1,61 @@
+#include "core/completion.h"
+
+#include <algorithm>
+
+namespace aqua::core {
+
+void ReplyCollector::arm(CompletionSpec spec, std::uint64_t code_id) {
+  if (armed_) return;
+  spec_ = spec;
+  code_id_ = code_id;
+  armed_ = true;
+}
+
+std::size_t ReplyCollector::distinct() const {
+  switch (spec_.kind) {
+    case CompletionKind::kKOfN:
+      return chunks_.size();
+    case CompletionKind::kQuorum:
+      return replicas_.size();
+    case CompletionKind::kFirstOfN:
+      break;
+  }
+  return complete_ ? 1 : 0;
+}
+
+bool ReplyCollector::record(ReplicaId replica, std::uint32_t chunk,
+                            std::uint64_t code_id) {
+  if (code_id != code_id_) {
+    ++stale_;
+    return false;
+  }
+  if (complete_) {
+    ++duplicates_;
+    return false;
+  }
+  switch (spec_.kind) {
+    case CompletionKind::kFirstOfN:
+      complete_ = true;
+      return true;
+    case CompletionKind::kKOfN:
+      if (std::find(chunks_.begin(), chunks_.end(), chunk) != chunks_.end()) {
+        ++duplicates_;
+        return false;
+      }
+      chunks_.push_back(chunk);
+      complete_ = chunks_.size() >= spec_.required();
+      return complete_;
+    case CompletionKind::kQuorum:
+      if (std::find(replicas_.begin(), replicas_.end(), replica) !=
+          replicas_.end()) {
+        ++duplicates_;
+        return false;
+      }
+      replicas_.push_back(replica);
+      complete_ = replicas_.size() >= spec_.required();
+      return complete_;
+  }
+  return false;
+}
+
+}  // namespace aqua::core

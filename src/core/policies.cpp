@@ -312,9 +312,28 @@ DispatchPlan plan_dispatch(const DispatchConfig& config, const SelectionResult& 
     }
   }
 
-  if (config.mode == DispatchMode::kHedged && plan.primary.size() > 1) {
-    plan.hedge.assign(plan.primary.begin() + 1, plan.primary.end());
-    plan.primary.resize(1);
+  if (!config.completion.is_default()) {
+    // Clamp the predicate to what is actually going out: an
+    // over-ambitious k must not leave a request waiting on replies that
+    // can never exist. Coding only engages for k-of-n — a quorum reads
+    // whole requests, so its copies stay uncoded.
+    CompletionSpec spec = config.completion;
+    spec.k = std::clamp<std::size_t>(spec.k, 1, plan.primary.size());
+    plan.completion = spec;
+    if (spec.kind == CompletionKind::kKOfN) {
+      plan.coded = true;
+      plan.code_k = static_cast<std::uint32_t>(spec.k);
+    }
+  }
+
+  // A coded plan must keep at least k members in the primary wave —
+  // hedging below k would guarantee the hedge timer fires every time.
+  const std::size_t keep =
+      plan.coded ? std::min<std::size_t>(plan.code_k, plan.primary.size()) : 1;
+  if (config.mode == DispatchMode::kHedged && plan.primary.size() > keep) {
+    plan.hedge.assign(plan.primary.begin() + static_cast<std::ptrdiff_t>(keep),
+                      plan.primary.end());
+    plan.primary.resize(keep);
     plan.hedged = true;
     // Hedge delay: the point on the primary's predicted response pmf
     // past which it probably missed — only then is the backup traffic

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "core/completion.h"
 #include "core/selection.h"
 
 namespace aqua::obs {
@@ -105,8 +106,16 @@ struct DispatchConfig {
   std::int64_t overload_queue_threshold = 4;
   std::size_t overload_redundancy_cap = 2;
 
+  /// When is the request complete? The default (first-of-n) is the
+  /// paper's first-reply-wins semantics. k_of_n(k) turns the request
+  /// into a divisible job: K chunk-requests are MDS-coded so any k
+  /// distinct chunk-replies reconstruct the result; quorum(k) demands
+  /// k distinct repliers of the whole request.
+  CompletionSpec completion{};
+
   [[nodiscard]] bool is_default() const {
-    return mode == DispatchMode::kMulticast && !cancel_on_first_reply && !adaptive_redundancy;
+    return mode == DispatchMode::kMulticast && !cancel_on_first_reply &&
+           !adaptive_redundancy && completion.is_default();
   }
 };
 
@@ -121,6 +130,16 @@ struct DispatchPlan {
   bool hedged = false;
   /// Members of K dropped by the adaptive-redundancy rule.
   std::size_t trimmed = 0;
+  /// True when the request goes out as MDS-coded chunk-requests; each
+  /// dispatched copy then carries a distinct chunk index and a
+  /// chunk-sized (1/code_k) service demand.
+  bool coded = false;
+  /// Chunks required to reconstruct (k of the k-of-n predicate),
+  /// clamped to the post-trim set size. Zero when not coded.
+  std::uint32_t code_k = 0;
+  /// The predicate the reply collector should be armed with — the
+  /// config's spec with k clamped to what was actually dispatched.
+  CompletionSpec completion{};
 };
 
 /// Split the selected set into the transmission schedule. With the

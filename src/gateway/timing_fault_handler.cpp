@@ -270,13 +270,8 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
         std::min<std::uint64_t>(cache_after.hits - cache_before.hits, with_data));
     convolved = with_data - cached;
   }
-  const Duration selection_cost =
+  Duration selection_cost =
       config_.overhead.selection_cost(convolved, cached, repository_.window_size());
-  overhead_.record(config_.overhead.interception + selection_cost);
-  if (selection_delta_histogram_ != nullptr) {
-    selection_delta_histogram_->record(config_.overhead.interception + selection_cost);
-    if (redispatch) redispatches_counter_->add();
-  }
 
   // Repository bootstrap: replicas with no recorded history yet ride
   // along on every request (whatever the policy chose) so their windows
@@ -305,11 +300,35 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
                                dispatch_model_);
   }
 
+  // Arm the completion predicate at the first non-default plan. The arm
+  // is once-only: a redispatch keeps the original spec and its collected
+  // chunks (rateless MDS — the fresh copies below carry new indices, so
+  // everything already received still counts toward k). Coded dispatches
+  // tag their generation with the request id; uncoded ones (including
+  // quorum) leave it at the wire default of zero.
+  if (!plan.completion.is_default() && !pending.collector.armed()) {
+    pending.collector.arm(plan.completion, plan.coded ? id.value() : 0);
+    pending.code_k = plan.code_k;
+  }
+  // MDS encoding + per-copy marshalling replaces the shared multicast
+  // marshalling; charge it into the same delta the compensation path
+  // feeds back (§5.3.3). Zero for every uncoded dispatch.
+  if (pending.code_k > 0) {
+    selection_cost += config_.overhead.per_chunk *
+                      static_cast<std::int64_t>(plan.primary.size() + plan.hedge.size());
+  }
+  overhead_.record(config_.overhead.interception + selection_cost);
+  if (selection_delta_histogram_ != nullptr) {
+    selection_delta_histogram_->record(config_.overhead.interception + selection_cost);
+    if (redispatch) redispatches_counter_->add();
+  }
+
   pending.hedge_timer.cancel();  // a redispatch supersedes any armed hedge
   pending.hedge_set = plan.hedge;
   set_awaiting(pending, plan.primary);
   record.redundancy = plan.primary.size() + plan.hedge.size();
   record.hedged = plan.hedged;
+  record.code_k = pending.code_k;
   record.cold_start = selection.cold_start;
   record.feasible = selection.feasible;
   record.predicted_probability = selection.predicted_probability;
@@ -376,6 +395,14 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
     obs_->record_selection(std::move(trace));
   }
 
+  // Coded dispatch: assign one fresh chunk index per primary copy now,
+  // in selection order, so the transmission below is a pure send.
+  std::vector<std::uint32_t> chunks;
+  if (pending.code_k > 0) {
+    chunks.reserve(plan.primary.size());
+    for (std::size_t i = 0; i < plan.primary.size(); ++i) chunks.push_back(pending.next_chunk++);
+  }
+
   // The selection computation itself elapses before transmission (t1).
   // The dispatch span covers interception + selection for a first
   // dispatch (t0 -> t1) and the re-selection alone for a redispatch.
@@ -383,21 +410,25 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
   const bool hedged = plan.hedged;
   const Duration hedge_delay = plan.hedge_delay;
   simulator_.schedule_after(selection_cost, [this, id, dispatch_start, hedged, hedge_delay,
-                                             selected = std::move(plan.primary)] {
+                                             selected = std::move(plan.primary),
+                                             chunks = std::move(chunks)] {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     PendingRequest& p = it->second;
     std::vector<EndpointId> targets;
     targets.reserve(selected.size());
-    for (ReplicaId replica : selected) {
-      if (auto eit = replica_endpoints_.find(replica); eit != replica_endpoints_.end()) {
+    std::vector<std::uint32_t> target_chunks;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      if (auto eit = replica_endpoints_.find(selected[i]); eit != replica_endpoints_.end()) {
         targets.push_back(eit->second);
+        if (!chunks.empty()) target_chunks.push_back(chunks[i]);
       }
     }
     p.t1 = simulator_.now();
     history_[p.record_index].transmitted_at = p.t1;
     proto::Request request{id, client_, p.method, p.argument};
     net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
+    obs::SpanContext leg_span{};
     if (span_sink_ != nullptr) {
       if (p.root_span == 0) p.root_span = span_sink_->next_span_id();
       const std::uint64_t dispatch_span = span_sink_->next_span_id();
@@ -410,12 +441,30 @@ void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool re
                                .replica = {},
                                .start = dispatch_start,
                                .end = p.t1});
-      payload.set_span({.trace_id = p.trace_id,
-                        .parent_span_id = dispatch_span,
-                        .leg = obs::SpanKind::kRequestLeg,
-                        .replica = {}});
+      leg_span = {.trace_id = p.trace_id,
+                  .parent_span_id = dispatch_span,
+                  .leg = obs::SpanKind::kRequestLeg,
+                  .replica = {}};
+      payload.set_span(leg_span);
     }
-    group_.send(endpoint_, targets, std::move(payload));
+    if (target_chunks.empty()) {
+      // Uncoded: one multicast payload shared by the whole set — the
+      // paper's transmission exactly.
+      group_.send(endpoint_, targets, std::move(payload));
+    } else {
+      // Coded: each member receives its own chunk-request. Same t1, same
+      // dispatch span; only the body's chunk index differs per copy.
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        proto::Request chunk_request = request;
+        chunk_request.chunk = target_chunks[i];
+        chunk_request.code_k = p.code_k;
+        chunk_request.code_id = p.collector.code_id();
+        net::Payload chunk_payload = net::Payload::make(chunk_request, proto::kRequestBytes);
+        if (span_sink_ != nullptr) chunk_payload.set_span(leg_span);
+        group_.send(endpoint_, std::span<const EndpointId>(&targets[i], 1),
+                    std::move(chunk_payload));
+      }
+    }
     if (hedged && !p.delivered && !p.hedge_set.empty()) {
       // The hedge delay runs from t1: the pmf quantile it was derived
       // from predicts the primary's response measured from transmission.
@@ -450,14 +499,31 @@ void TimingFaultHandler::fire_hedge(RequestId id) {
 
   proto::Request request{id, client_, pending.method, pending.argument};
   net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
+  obs::SpanContext leg_span{};
   if (span_sink_ != nullptr) {
     if (pending.root_span == 0) pending.root_span = span_sink_->next_span_id();
-    payload.set_span({.trace_id = pending.trace_id,
-                      .parent_span_id = pending.root_span,
-                      .leg = obs::SpanKind::kRequestLeg,
-                      .replica = {}});
+    leg_span = {.trace_id = pending.trace_id,
+                .parent_span_id = pending.root_span,
+                .leg = obs::SpanKind::kRequestLeg,
+                .replica = {}};
+    payload.set_span(leg_span);
   }
-  group_.send(endpoint_, targets, std::move(payload));
+  if (pending.code_k == 0) {
+    group_.send(endpoint_, targets, std::move(payload));
+    return;
+  }
+  // Coded hedge: the held-back copies get fresh chunk indices at fire
+  // time — rateless, so they add information no matter which primary
+  // chunks already arrived.
+  for (const EndpointId target : targets) {
+    proto::Request chunk_request = request;
+    chunk_request.chunk = pending.next_chunk++;
+    chunk_request.code_k = pending.code_k;
+    chunk_request.code_id = pending.collector.code_id();
+    net::Payload chunk_payload = net::Payload::make(chunk_request, proto::kRequestBytes);
+    if (span_sink_ != nullptr) chunk_payload.set_span(leg_span);
+    group_.send(endpoint_, std::span<const EndpointId>(&target, 1), std::move(chunk_payload));
+  }
 }
 
 void TimingFaultHandler::send_cancels(RequestId id, PendingRequest& pending) {
@@ -521,23 +587,36 @@ void TimingFaultHandler::handle_reply(const proto::Reply& reply) {
 
   remove_awaiting(pending, reply.replica);
 
-  if (!pending.delivered) {
+  // The completion predicate decides delivery. Unarmed (the default
+  // path, and probes) the collector is first-of-n with the wire-default
+  // generation tag, so `completed` is exactly the old `!delivered` gate:
+  // true for reply #1, false for every redundant one. Armed k-of-n
+  // completes at the k-th distinct chunk; quorum at the k-th distinct
+  // replica. Stale generations and duplicate chunks never complete.
+  const bool completed = pending.collector.record(reply.replica, reply.chunk, reply.code_id);
+  if (pending.collector.armed()) {
+    history_[pending.record_index].chunks_received = pending.collector.distinct();
+  }
+
+  if (completed) {
     pending.delivered = true;
     const Duration tr = t4 - pending.t0;  // t_r = t4 - t0
     const bool timely = tr <= pending.qos.deadline;
     RequestRecord& record = history_[pending.record_index];
     record.response_time = tr;
-    // Stash the first reply's perf triple for the telemetry trace before
-    // the outcome is recorded (emit_request_trace reads it).
+    // Stash the completing reply's perf triple for the telemetry trace
+    // before the outcome is recorded (emit_request_trace reads it).
     pending.t4 = t4;
     pending.first_service = reply.perf.service_time;
     pending.first_queuing = reply.perf.queuing_delay;
     pending.first_gateway = td;
     pending.first_replica = reply.replica;
-    // First reply beat the hedge timer: the backups are never sent.
+    // Completion beat the hedge timer: the backups are never sent.
     pending.hedge_timer.cancel();
     pending.hedge_set.clear();
     if (config_.dispatch.cancel_on_first_reply && !pending.is_probe) {
+      // For coded dispatch this fires at the k-th distinct chunk — the
+      // earliest moment the remaining copies become provably redundant.
       send_cancels(reply.request, pending);
     }
     if (response_time_histogram_ != nullptr && !pending.is_probe) {
@@ -672,7 +751,17 @@ void TimingFaultHandler::on_view_change(const net::View&, std::span<const Endpoi
       remove_awaiting(pending, replica);
       std::erase(pending.hedge_set, replica);
     }
-    if (!pending.awaiting.empty() || pending.delivered) continue;
+    if (pending.delivered) continue;
+    // Completion-aware satisfiability: chunks already collected plus
+    // copies still in flight plus the held hedge set must be able to
+    // reach the predicate's k. For the default first-of-n this reduces
+    // to the old "someone is still awaited" test exactly. The k−1-then-
+    // crash stall falls through here: awaiting drained below k distinct
+    // chunks means the request can never complete on its own — release
+    // the hedge set if that closes the gap, otherwise reselect.
+    const std::size_t reachable =
+        pending.collector.distinct() + pending.awaiting.size() + pending.hedge_set.size();
+    if (!pending.awaiting.empty() && reachable >= pending.collector.required()) continue;
     if (pending.is_probe) {
       // A probe's only target crashed. Re-running selection for it would
       // turn a repository refresh into a phantom client request (wrong
@@ -680,7 +769,7 @@ void TimingFaultHandler::on_view_change(const net::View&, std::span<const Endpoi
       // probe registered in outstanding_ long past any use. Drop it; the
       // staleness scan re-probes whoever needs it.
       dead_probes.push_back(id);
-    } else if (!pending.hedge_set.empty()) {
+    } else if (!pending.hedge_set.empty() && reachable >= pending.collector.required()) {
       // The primary crashed while backups were still held behind the
       // hedge timer: release them now instead of re-running selection.
       to_hedge.push_back(id);

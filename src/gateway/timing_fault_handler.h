@@ -66,6 +66,9 @@ struct OverheadModel {
   /// Added per replica served from the model cache: a map lookup plus
   /// one cdf evaluation instead of the full convolution.
   Duration per_cached_replica = usec(2);
+  /// Added per chunk-request of a coded dispatch: MDS encoding and the
+  /// per-copy marshalling that multicast would otherwise share.
+  Duration per_chunk = usec(6);
 
   /// Uncached estimate: every replica pays the convolution term.
   [[nodiscard]] Duration selection_cost(std::size_t replicas, std::size_t window) const;
@@ -150,9 +153,13 @@ struct RequestRecord {
   /// The hedge timer expired (or the primary crashed) and the held-back
   /// members were actually sent.
   bool hedge_fired = false;
-  /// Cancels sent to still-awaiting replicas after the first reply.
+  /// Cancels sent to still-awaiting replicas after the completing reply.
   std::size_t cancels_sent = 0;
-  std::optional<Duration> response_time;  // empty until the first reply
+  /// Coded dispatch: distinct chunks required (0 = uncoded) and distinct
+  /// chunk-replies collected so far.
+  std::uint32_t code_k = 0;
+  std::size_t chunks_received = 0;
+  std::optional<Duration> response_time;  // empty until delivery
   bool timely = false;
 };
 
@@ -237,6 +244,19 @@ class TimingFaultHandler {
     /// hedge timer (they are NOT in awaiting until the hedge fires).
     std::vector<ReplicaId> hedge_set;
     sim::EventHandle hedge_timer;
+
+    /// Completion predicate state. Default-constructed it is the paper's
+    /// first-of-n (so the default path never arms it); a non-default
+    /// dispatch plan arms it once, at the first dispatch, and every reply
+    /// is recorded through it. Delivery happens on the reply whose
+    /// record() returns true — the k-th distinct chunk for k-of-n.
+    core::ReplyCollector collector;
+    /// Chunks per copy of a coded dispatch (0 = uncoded); fixed at the
+    /// first dispatch so redispatches keep the same decoding contract.
+    std::uint32_t code_k = 0;
+    /// Next fresh chunk index — rateless MDS: every newly assigned index
+    /// is distinct, so redispatch/hedge copies always add information.
+    std::uint32_t next_chunk = 0;
 
     /// First reply's perf triple, stashed for the telemetry trace.
     TimePoint t4{};

@@ -152,6 +152,9 @@ bool encode_payload(const Payload& payload, std::vector<std::uint8_t>& out) {
       w.u64(m.client.value());
       w.str(m.method);
       w.i64(m.argument);
+      w.u32(m.chunk);
+      w.u32(m.code_k);
+      w.u64(m.code_id);
       break;
     }
     case BodyTag::kReply: {
@@ -161,6 +164,8 @@ bool encode_payload(const Payload& payload, std::vector<std::uint8_t>& out) {
       w.str(m.method);
       w.i64(m.result);
       write_perf(w, m.perf);
+      w.u32(m.chunk);
+      w.u64(m.code_id);
       break;
     }
     case BodyTag::kPerfUpdate: {
@@ -226,6 +231,9 @@ std::optional<Payload> decode_payload(std::span<const std::uint8_t> bytes) {
       m.client = ClientId{r.u64()};
       m.method = r.str();
       m.argument = r.i64();
+      m.chunk = r.u32();
+      m.code_k = r.u32();
+      m.code_id = r.u64();
       payload = Payload::make(m, wire_bytes);
       break;
     }
@@ -236,6 +244,8 @@ std::optional<Payload> decode_payload(std::span<const std::uint8_t> bytes) {
       m.method = r.str();
       m.result = r.i64();
       m.perf = read_perf(r);
+      m.chunk = r.u32();
+      m.code_id = r.u64();
       payload = Payload::make(m, wire_bytes);
       break;
     }

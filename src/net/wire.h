@@ -25,7 +25,11 @@
 namespace aqua::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x50575141;  // "AQWP" little-endian
-inline constexpr std::uint8_t kWireVersion = 1;
+// v2: Request grew chunk/code_k/code_id and Reply grew chunk/code_id for
+// MDS-coded divisible jobs. The fields are appended, but the trailing
+// r.done() check means a v1 peer would misparse them — so the version
+// bumps and v1 buffers are rejected like any foreign format.
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Serialize `payload` (body + span stamp + declared size) into `out`
 /// (cleared first). Returns false when the body holds a type the wire

@@ -36,6 +36,16 @@ struct Request {
   /// Application argument (e.g. a search key); servers echo a function of
   /// it so tests can check end-to-end integrity.
   std::int64_t argument = 0;
+  /// MDS-coded divisible jobs: which chunk of the coded request this copy
+  /// carries. Meaningful only when code_k > 0; plain requests leave all
+  /// three fields zero.
+  std::uint32_t chunk = 0;
+  /// Number of distinct chunks that reconstruct the result (the k of
+  /// k-of-n). Zero means the request is not coded: the whole job.
+  std::uint32_t code_k = 0;
+  /// Dispatch-generation tag echoed by replies, so a collector can tell
+  /// chunks of the current coded dispatch from stale ones.
+  std::uint64_t code_id = 0;
 };
 
 /// A replica's response, carrying its performance measurements.
@@ -45,6 +55,9 @@ struct Reply {
   std::string method = "invoke";
   std::int64_t result = 0;
   PerfData perf;
+  /// Echoed from the request so the collector can count distinct chunks.
+  std::uint32_t chunk = 0;
+  std::uint64_t code_id = 0;
 };
 
 /// Pushed by a replica to all subscribers each time it services a request

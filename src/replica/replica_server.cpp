@@ -119,7 +119,10 @@ void ReplicaServer::start_next() {
         it != config_.method_models.end()) {
       model = it->second.get();
     }
-    const Duration service = model->sample(rng_, queue_.size());
+    // A coded chunk-request carries 1/code_k of the whole job's demand;
+    // plain requests (code_k == 0) take the unscaled draw. Either way the
+    // model consumes the same randomness.
+    const Duration service = model->sample_chunk(rng_, queue_.size(), current_.request.code_k);
     completion_ = simulator_.schedule_after(service, [this] { finish_current(); });
   });
 }
@@ -149,6 +152,10 @@ void ReplicaServer::finish_current() {
     reply.result = config_.corrupt(reply.result);
   }
   reply.perf = perf;
+  // Echo the coding fields so the client-side collector can count this
+  // reply toward its k distinct chunks (both stay zero when uncoded).
+  reply.chunk = current_.request.chunk;
+  reply.code_id = current_.request.code_id;
   net::Payload reply_payload = net::Payload::make(reply, proto::kReplyBytes);
   if (span_sink_ != nullptr && current_.span.valid()) {
     // Close the queue-wait and service spans (they are only known in

@@ -7,7 +7,9 @@
 // models let the benches study load sensitivity and host heterogeneity.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -24,6 +26,20 @@ class ServiceModel {
   /// Service duration for one request given the number of requests still
   /// waiting behind it (a proxy for instantaneous host load).
   [[nodiscard]] virtual Duration sample(Rng& rng, std::size_t queue_length) const = 0;
+
+  /// Service duration for one chunk-request of an MDS-coded divisible
+  /// job: the whole-job demand divided by the code's k (a chunk is 1/k of
+  /// the work; the MDS expansion overhead is charged at the gateway as
+  /// per-chunk delta, not here). The default implementation draws the
+  /// full sample and scales it afterwards, so RNG consumption — and with
+  /// it every other stream of a seeded run — is identical whether or not
+  /// a request happens to be coded. code_k <= 1 means uncoded.
+  [[nodiscard]] virtual Duration sample_chunk(Rng& rng, std::size_t queue_length,
+                                              std::uint32_t code_k) const {
+    const Duration full = sample(rng, queue_length);
+    if (code_k <= 1) return full;
+    return std::max(Duration{1}, full / static_cast<std::int64_t>(code_k));
+  }
 
   [[nodiscard]] virtual std::string describe() const = 0;
 };

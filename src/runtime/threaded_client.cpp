@@ -19,6 +19,14 @@ struct ThreadedClient::RequestState {
   std::condition_variable cv;
   bool delivered = false;
   proto::Reply first_reply;
+  /// Completion predicate (guarded by mutex, like delivered). Left
+  /// unarmed — first-of-n — for the default config, so delivery stays
+  /// "first reply wins" exactly; armed k-of-n delivers at the k-th
+  /// distinct chunk.
+  core::ReplyCollector collector;
+  /// Every replica that has replied so far, for coded cancels: a replier
+  /// finished its chunk, so there is nothing left to withdraw from it.
+  std::vector<ReplicaId> repliers;
 };
 
 ThreadedClient::ThreadedClient(std::vector<ThreadedReplica*> replicas, core::QosSpec qos, Rng rng,
@@ -116,7 +124,9 @@ void ThreadedClient::on_receive(EndpointId from, const net::Payload& message) {
     }
     if (state != nullptr) {
       std::lock_guard slock(state->mutex);
-      if (!state->delivered) {
+      state->repliers.push_back(reply->replica);
+      if (!state->delivered &&
+          state->collector.record(reply->replica, reply->chunk, reply->code_id)) {
         state->delivered = true;
         state->first_reply = *reply;
         state->cv.notify_all();
@@ -203,6 +213,17 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
     outcome.redundancy = plan.primary.size() + plan.hedge.size();
     outcome.cold_start = selection.cold_start;
     outcome.hedged = plan.hedged;
+    outcome.code_k = plan.code_k;
+    // Arm the completion predicate before any copy goes out. Coded
+    // dispatches tag their generation with the request id; uncoded ones
+    // (quorum, and everything default) match the wire default of zero.
+    if (!plan.completion.is_default()) {
+      state->collector.arm(plan.completion, plan.coded ? request.id.value() : 0);
+    }
+    if (plan.coded) {
+      request.code_k = plan.code_k;
+      request.code_id = request.id.value();
+    }
     if (transport_ != nullptr) {
       for (ReplicaId id : plan.primary) {
         auto it = peer_replicas_.find(id);
@@ -248,16 +269,23 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
                    .replica = {}};
   }
 
+  // Fresh chunk indices for coded copies — rateless MDS, so primaries
+  // and later hedge copies all draw from one never-repeating sequence.
+  const bool coded = plan.coded;
+  std::uint32_t next_chunk = 0;
+
   // In-process send: one delay-injected hop out, one back, the reply
-  // harvested into the repository before first-delivery resolution.
-  auto post_to = [this, &request, &state, &request_ctx](ThreadedReplica* replica) {
+  // harvested into the repository before delivery resolution. The copy
+  // is taken by value so coded dispatch can stamp a distinct chunk per
+  // target.
+  auto post_to = [this, &state, &request_ctx](ThreadedReplica* replica, proto::Request copy) {
     Duration out_delay;
     {
       std::lock_guard lock(mutex_);
       out_delay = config_.net.sample(rng_);
     }
-    executor_.post_after(out_delay, [this, replica, request, state, request_ctx] {
-      replica->submit(request, [this, state](const proto::Reply& reply) {
+    executor_.post_after(out_delay, [this, replica, copy = std::move(copy), state, request_ctx] {
+      replica->submit(copy, [this, state](const proto::Reply& reply) {
         Duration back_delay;
         {
           std::lock_guard lock(mutex_);
@@ -275,7 +303,9 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
             }
           }
           std::lock_guard slock(state->mutex);
-          if (!state->delivered) {
+          state->repliers.push_back(reply.replica);
+          if (!state->delivered &&
+              state->collector.record(reply.replica, reply.chunk, reply.code_id)) {
             state->delivered = true;
             state->first_reply = reply;
             state->cv.notify_all();
@@ -284,15 +314,28 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
       }, request_ctx);
     });
   };
+  auto stamp = [&](proto::Request copy) {
+    if (coded) copy.chunk = next_chunk++;
+    return copy;
+  };
 
   if (transport_ != nullptr) {
-    // Real network: the wire replaces the injected delay hops; the reply
-    // path runs through on_receive.
-    net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
-    if (request_ctx.valid()) payload.set_span(request_ctx);
-    transport_->multicast(endpoint_, target_endpoints, std::move(payload));
+    if (coded) {
+      // Real network, coded: each member gets its own chunk-request.
+      for (const auto& [replica_id, peer] : primary_peers) {
+        net::Payload payload = net::Payload::make(stamp(request), proto::kRequestBytes);
+        if (request_ctx.valid()) payload.set_span(request_ctx);
+        transport_->unicast(endpoint_, peer, std::move(payload));
+      }
+    } else {
+      // Real network: the wire replaces the injected delay hops; the
+      // reply path runs through on_receive.
+      net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
+      if (request_ctx.valid()) payload.set_span(request_ctx);
+      transport_->multicast(endpoint_, target_endpoints, std::move(payload));
+    }
   }
-  for (ThreadedReplica* replica : targets) post_to(replica);
+  for (ThreadedReplica* replica : targets) post_to(replica, stamp(request));
 
   const auto give_up = t0 + qos_snapshot.deadline * config_.give_up_deadline_factor;
 
@@ -310,40 +353,60 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
     outcome.hedge_fired = true;
     hedges_fired_.fetch_add(1, std::memory_order_relaxed);
     if (!hedge_peers.empty()) {
-      std::vector<EndpointId> hedge_endpoints;
-      hedge_endpoints.reserve(hedge_peers.size());
-      for (const auto& [id, endpoint] : hedge_peers) hedge_endpoints.push_back(endpoint);
-      net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
-      if (request_ctx.valid()) payload.set_span(request_ctx);
-      transport_->multicast(endpoint_, hedge_endpoints, std::move(payload));
+      if (coded) {
+        for (const auto& [replica_id, peer] : hedge_peers) {
+          net::Payload payload = net::Payload::make(stamp(request), proto::kRequestBytes);
+          if (request_ctx.valid()) payload.set_span(request_ctx);
+          transport_->unicast(endpoint_, peer, std::move(payload));
+        }
+      } else {
+        std::vector<EndpointId> hedge_endpoints;
+        hedge_endpoints.reserve(hedge_peers.size());
+        for (const auto& [id, endpoint] : hedge_peers) hedge_endpoints.push_back(endpoint);
+        net::Payload payload = net::Payload::make(request, proto::kRequestBytes);
+        if (request_ctx.valid()) payload.set_span(request_ctx);
+        transport_->multicast(endpoint_, hedge_endpoints, std::move(payload));
+      }
     }
-    for (ThreadedReplica* replica : hedge_targets) post_to(replica);
+    for (ThreadedReplica* replica : hedge_targets) post_to(replica, stamp(request));
   }
 
-  // Wait for the first reply or give up.
+  // Wait for the completing reply (the first one, unless a non-default
+  // predicate was armed) or give up. The give-up bound also covers the
+  // coded stall path — k−1 chunks then silence returns unanswered
+  // instead of hanging.
   proto::Reply first_reply;
+  std::vector<ReplicaId> already_replied;
   {
     std::unique_lock slock(state->mutex);
     state->cv.wait_until(slock, give_up, [&state] { return state->delivered; });
     outcome.answered = state->delivered;
+    outcome.chunks_received = state->collector.distinct();
     if (outcome.answered) {
       first_reply = state->first_reply;
       outcome.first_replica = first_reply.replica;
       outcome.result = first_reply.result;
     }
+    if (coded) already_replied = state->repliers;
   }
 
   // Cancel-on-first-reply: purge queued copies at every member that was
-  // sent the request and is not the replier. A copy already in service
-  // is never interrupted (the replica ignores the cancel), and a backup
-  // whose hedge never fired was never sent anything to purge.
+  // sent the request and has not replied — for coded dispatch that is
+  // every replica still owing a chunk beyond the k-th. A copy already in
+  // service is never interrupted (the replica ignores the cancel), and a
+  // backup whose hedge never fired was never sent anything to purge.
   if (config_.dispatch.cancel_on_first_reply && outcome.answered) {
     const proto::Cancel cancel{request.id, request.client, request.method};
+    auto replied = [&](ReplicaId id) {
+      if (!coded) return id == outcome.first_replica;
+      return std::find(already_replied.begin(), already_replied.end(), id) !=
+             already_replied.end();
+    };
     std::size_t sent = 0;
     if (transport_ != nullptr) {
       auto cancel_peers = [&](const std::vector<std::pair<ReplicaId, EndpointId>>& peers) {
         for (const auto& [id, endpoint] : peers) {
-          if (id == outcome.first_replica) continue;
+          if (replied(id)) continue;
           transport_->unicast(endpoint_, endpoint,
                               net::Payload::make(cancel, proto::kCancelBytes));
           ++sent;
@@ -354,7 +417,7 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
     } else {
       auto cancel_targets = [&](const std::vector<ThreadedReplica*>& list) {
         for (ThreadedReplica* replica : list) {
-          if (replica->id() == outcome.first_replica) continue;
+          if (replied(replica->id())) continue;
           Duration out_delay;
           {
             std::lock_guard lock(mutex_);

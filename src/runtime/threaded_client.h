@@ -104,8 +104,12 @@ class ThreadedClient {
     bool hedged = false;
     /// True when the hedge timer expired and the backup copies were sent.
     bool hedge_fired = false;
-    /// Cancels sent to still-pending replicas after the first reply.
+    /// Cancels sent to still-pending replicas after the completing reply.
     std::size_t cancels_sent = 0;
+    /// Coded dispatch: distinct chunks required (0 = uncoded) and
+    /// distinct chunk-replies collected by the time invoke() returned.
+    std::uint32_t code_k = 0;
+    std::size_t chunks_received = 0;
   };
 
   /// The replica pointers must outlive the client. The list may be empty

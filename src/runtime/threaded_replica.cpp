@@ -1,5 +1,7 @@
 #include "runtime/threaded_replica.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 #include "obs/telemetry.h"
 
@@ -60,7 +62,13 @@ void ThreadedReplica::crash() {
 void ThreadedReplica::worker() {
   while (auto job = queue_.pop()) {
     const auto dequeued_at = std::chrono::steady_clock::now();
-    const Duration service = service_time_->sample(rng_);
+    Duration service = service_time_->sample(rng_);
+    // Chunk-requests of an MDS-coded job carry 1/code_k of the whole
+    // demand. Scale after the draw so RNG consumption matches uncoded
+    // runs (the same discipline as ServiceModel::sample_chunk).
+    if (job->request.code_k > 1) {
+      service = std::max(Duration{1}, service / static_cast<std::int64_t>(job->request.code_k));
+    }
     std::this_thread::sleep_for(service);
     if (!alive_.load()) return;  // crashed mid-service: never reply
 
@@ -69,6 +77,8 @@ void ThreadedReplica::worker() {
     reply.replica = id_;
     reply.method = job->request.method;
     reply.result = job->request.argument;
+    reply.chunk = job->request.chunk;
+    reply.code_id = job->request.code_id;
     reply.perf.service_time = std::chrono::duration_cast<Duration>(
         std::chrono::steady_clock::now() - dequeued_at);
     reply.perf.queuing_delay =

@@ -1,11 +1,14 @@
 // Speculative-redundancy dispatch modes in the timing fault handler:
 // hedged requests (primary first, rest of K behind a hedge timer),
 // cancel-on-first-reply (proto::Cancel purges queued copies, never one
-// already in service), and utilization-adaptive redundancy trimming.
+// already in service), utilization-adaptive redundancy trimming, and the
+// completion-predicate family (first-of-n identity, k-of-n coded chunks,
+// quorum).
 #include <gtest/gtest.h>
 
 #include <memory>
 
+#include "gateway/system.h"
 #include "gateway/timing_fault_handler.h"
 #include "net/group.h"
 #include "net/lan.h"
@@ -249,6 +252,182 @@ TEST_F(DispatchTest, DefaultConfigReportsNoSpeculativeActivity) {
     EXPECT_EQ(replica->purged_requests(), 0u);
     EXPECT_EQ(replica->cancels_ignored(), 0u);
   }
+}
+
+// --- Completion predicates --------------------------------------------
+
+/// Run a small noisy two-client workload and return the measured client's
+/// full request log, for record-by-record identity comparison.
+std::vector<RequestRecord> run_history(const HandlerConfig& handler_cfg, std::uint64_t seed) {
+  SystemConfig sys_cfg;
+  sys_cfg.seed = seed;
+  AquaSystem system{sys_cfg};
+  for (int r = 0; r < 4; ++r) {
+    system.add_replica(
+        replica::make_sampled_service(stats::make_truncated_normal(msec(80), msec(40))));
+  }
+  ClientWorkload workload;
+  workload.total_requests = 20;
+  workload.think_time = stats::make_constant(msec(120));
+  system.add_client(core::QosSpec{msec(200), 0.0}, workload, handler_cfg);
+  ClientApp& app = system.add_client(core::QosSpec{msec(150), 0.9}, workload, handler_cfg);
+  EXPECT_TRUE(system.run_until_clients_done(sec(120)));
+  return app.handler().history();
+}
+
+TEST(CompletionIdentityTest, ExplicitFirstOfNIsBitIdenticalToDefaultDispatch) {
+  // The tentpole's identity guarantee at the request-log level: routing
+  // every reply through the ReplyCollector with an EXPLICIT first_of_n
+  // spec must reproduce the default config's history bit for bit — same
+  // timestamps, same K, same response times, no extra events or draws.
+  HandlerConfig default_cfg;
+  HandlerConfig explicit_cfg;
+  explicit_cfg.dispatch.completion = core::CompletionSpec::first_of_n();
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const std::vector<RequestRecord> lhs = run_history(default_cfg, seed);
+    const std::vector<RequestRecord> rhs = run_history(explicit_cfg, seed);
+    ASSERT_EQ(lhs.size(), rhs.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(lhs[i].request, rhs[i].request) << "seed " << seed << " record " << i;
+      EXPECT_EQ(lhs[i].intercepted_at, rhs[i].intercepted_at) << "record " << i;
+      EXPECT_EQ(lhs[i].transmitted_at, rhs[i].transmitted_at) << "record " << i;
+      EXPECT_EQ(lhs[i].redundancy, rhs[i].redundancy) << "record " << i;
+      EXPECT_EQ(lhs[i].cold_start, rhs[i].cold_start) << "record " << i;
+      EXPECT_EQ(lhs[i].feasible, rhs[i].feasible) << "record " << i;
+      EXPECT_EQ(lhs[i].predicted_probability, rhs[i].predicted_probability)
+          << "record " << i;
+      EXPECT_EQ(lhs[i].redispatched, rhs[i].redispatched) << "record " << i;
+      EXPECT_EQ(lhs[i].response_time, rhs[i].response_time) << "record " << i;
+      EXPECT_EQ(lhs[i].timely, rhs[i].timely) << "record " << i;
+      // first_of_n is uncoded: no chunk machinery may leak into either.
+      EXPECT_EQ(lhs[i].code_k, 0u) << "record " << i;
+      EXPECT_EQ(rhs[i].code_k, 0u) << "record " << i;
+    }
+  }
+}
+
+TEST_F(DispatchTest, CodedDispatchCompletesAtKthDistinctChunk) {
+  add_replica(1, msec(10));
+  add_replica(2, msec(30));
+  add_replica(3, msec(200));
+  HandlerConfig cfg;
+  cfg.dispatch.completion = core::CompletionSpec::k_of_n(2);
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{msec(400), 0.9}, Rng{9}, cfg,
+                             core::make_all_replicas_policy()};
+  warm_up(handler);
+
+  bool answered = false;
+  handler.invoke(42, [&](const ReplyInfo&) { answered = true; });
+  // After 60ms (plus LAN hops) the 10ms and 30ms replicas have answered
+  // their chunks; the 200ms replica has not. Two distinct chunks = done.
+  sim_.run_for(msec(60));
+  EXPECT_TRUE(answered);
+  sim_.run_for(sec(1));
+
+  const RequestRecord& record = handler.history().back();
+  EXPECT_EQ(record.code_k, 2u);
+  EXPECT_EQ(record.redundancy, 3u);
+  // The straggler's chunk still arrives and is counted (as a duplicate of
+  // a complete request), but delivery happened at chunk #2.
+  EXPECT_GE(record.chunks_received, 2u);
+  ASSERT_TRUE(record.response_time.has_value());
+  // Chunk service is 1/k of the full demand: the 30ms replica's chunk
+  // takes ~15ms, so completion is far below the full-copy 30ms floor plus
+  // both LAN hops.
+  EXPECT_LT(*record.response_time, msec(30));
+}
+
+TEST_F(DispatchTest, CodedCancelFiresAtKthChunkAndPurgesTheStraggler) {
+  add_replica(1, msec(10));
+  add_replica(2, msec(30));
+  replica::ReplicaServer& straggler = add_replica(3, msec(400));
+  HandlerConfig cfg;
+  cfg.dispatch.completion = core::CompletionSpec::k_of_n(2);
+  cfg.dispatch.cancel_on_first_reply = true;
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{msec(400), 0.9}, Rng{9}, cfg,
+                             core::make_all_replicas_policy()};
+  warm_up(handler);  // cold starts stay uncoded; arm on warm selections
+  const std::size_t warmup_records = handler.history().size();
+
+  // Two back-to-back requests: request A's chunk occupies the straggler's
+  // server, request B's chunk queues behind it. A's completion (at its
+  // 2nd chunk) cancels A's straggler copy mid-service (ignored); B's
+  // completion cancels B's queued copy (purged).
+  int answered = 0;
+  handler.invoke(1, [&](const ReplyInfo&) { ++answered; });
+  sim_.run_for(msec(2));
+  handler.invoke(2, [&](const ReplyInfo&) { ++answered; });
+  sim_.run_for(sec(2));
+
+  EXPECT_EQ(answered, 2);
+  EXPECT_GE(handler.cancels_sent(), 2u);
+  EXPECT_GE(straggler.cancels_ignored(), 1u);
+  EXPECT_EQ(straggler.purged_requests(), 1u);
+  ASSERT_EQ(handler.history().size(), warmup_records + 2);
+  for (std::size_t i = warmup_records; i < handler.history().size(); ++i) {
+    const RequestRecord& record = handler.history()[i];
+    EXPECT_EQ(record.code_k, 2u);
+    EXPECT_GE(record.cancels_sent, 1u);
+  }
+}
+
+TEST_F(DispatchTest, QuorumRequiresDistinctReplicas) {
+  add_replica(1, msec(10));
+  add_replica(2, msec(50));
+  add_replica(3, msec(90));
+  HandlerConfig cfg;
+  cfg.dispatch.completion = core::CompletionSpec::quorum(2);
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{msec(400), 0.9}, Rng{9}, cfg,
+                             core::make_all_replicas_policy()};
+  warm_up(handler);
+
+  bool answered = false;
+  handler.invoke(42, [&](const ReplyInfo&) { answered = true; });
+  // One reply (the 10ms replica) is not enough for a 2-quorum.
+  sim_.run_for(msec(30));
+  EXPECT_FALSE(answered);
+  sim_.run_for(sec(1));
+  EXPECT_TRUE(answered);
+
+  const RequestRecord& record = handler.history().back();
+  // Quorum is whole-request replication: no chunking on the wire.
+  EXPECT_EQ(record.code_k, 0u);
+  EXPECT_EQ(record.chunks_received, 2u);  // distinct voters at delivery
+  ASSERT_TRUE(record.response_time.has_value());
+  // Delivery waited for the SECOND replica (~50ms service).
+  EXPECT_GT(*record.response_time, msec(50));
+}
+
+TEST_F(DispatchTest, HedgedCodedDispatchKeepsKPrimaries) {
+  add_replica(1, msec(10));
+  add_replica(2, msec(12));
+  add_replica(3, msec(30));
+  add_replica(4, msec(30));
+  HandlerConfig cfg;
+  cfg.dispatch.mode = core::DispatchMode::kHedged;
+  cfg.dispatch.completion = core::CompletionSpec::k_of_n(2);
+  cfg.dispatch.min_hedge_fraction = 0.25;
+  TimingFaultHandler handler{sim_, lan_, group_, ClientId{1}, HostId{1},
+                             core::QosSpec{msec(400), 0.9}, Rng{9}, cfg,
+                             core::make_all_replicas_policy()};
+  warm_up(handler);
+
+  bool answered = false;
+  handler.invoke(42, [&](const ReplyInfo&) { answered = true; });
+  sim_.run_for(sec(1));
+
+  ASSERT_TRUE(answered);
+  const RequestRecord& record = handler.history().back();
+  EXPECT_TRUE(record.hedged);
+  EXPECT_EQ(record.code_k, 2u);
+  // A coded hedge holds back n-k copies, not n-1: both primaries carry a
+  // chunk, they answer inside the hedge window, the backups never fly.
+  EXPECT_FALSE(record.hedge_fired);
+  EXPECT_EQ(handler.hedges_fired(), 0u);
+  EXPECT_EQ(record.redundancy, 4u);
 }
 
 }  // namespace

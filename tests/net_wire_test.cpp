@@ -67,6 +67,54 @@ TEST(WireFormat, ReplyRoundTripsPerfTriple) {
   EXPECT_EQ(back->perf.queue_length, reply.perf.queue_length);
 }
 
+TEST(WireFormat, CodedChunkFieldsRoundTrip) {
+  // v2 fields: a chunk-request carries its chunk index, the code's k, and
+  // the dispatch-generation tag; the chunk-reply echoes index + tag.
+  proto::Request request;
+  request.id = RequestId{1001};
+  request.client = ClientId{3};
+  request.method = "invoke";
+  request.argument = 55;
+  request.chunk = 0xDEAD0001u;
+  request.code_k = 2;
+  request.code_id = 0xFEEDFACE12345678ULL;
+  const auto bytes = encode_or_die(Payload::make(request, proto::kRequestBytes));
+  const std::optional<Payload> decoded = decode_payload(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = decoded->get_if<proto::Request>();
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->chunk, request.chunk);
+  EXPECT_EQ(back->code_k, request.code_k);
+  EXPECT_EQ(back->code_id, request.code_id);
+
+  proto::Reply reply;
+  reply.request = RequestId{1001};
+  reply.replica = ReplicaId{4};
+  reply.method = "invoke";
+  reply.chunk = 0xDEAD0001u;
+  reply.code_id = 0xFEEDFACE12345678ULL;
+  const auto reply_back = decode_payload(encode_or_die(Payload::make(reply, proto::kReplyBytes)));
+  ASSERT_TRUE(reply_back.has_value());
+  const auto* reply_ptr = reply_back->get_if<proto::Reply>();
+  ASSERT_NE(reply_ptr, nullptr);
+  EXPECT_EQ(reply_ptr->chunk, reply.chunk);
+  EXPECT_EQ(reply_ptr->code_id, reply.code_id);
+}
+
+TEST(WireFormat, UncodedMessagesDefaultChunkFieldsToZero) {
+  proto::Request request;
+  request.id = RequestId{2};
+  request.client = ClientId{2};
+  request.method = "invoke";
+  const auto decoded = decode_payload(encode_or_die(Payload::make(request, proto::kRequestBytes)));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* back = decoded->get_if<proto::Request>();
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->chunk, 0u);
+  EXPECT_EQ(back->code_k, 0u);
+  EXPECT_EQ(back->code_id, 0u);
+}
+
 TEST(WireFormat, ControlMessagesRoundTrip) {
   proto::PerfUpdate update;
   update.replica = ReplicaId{5};
@@ -164,6 +212,21 @@ TEST(WireFormat, RejectsForeignMagicAndVersion) {
   auto bad_version = bytes;
   bad_version[4] = kWireVersion + 1;  // a future peer's frame
   EXPECT_FALSE(decode_payload(bad_version).has_value());
+}
+
+TEST(WireFormat, RejectsV1FramesOutright) {
+  // v2 appended the chunk/code fields to Request and Reply. A v1 frame
+  // lacks them, and the strict trailing-bytes check would misparse any
+  // attempt to read them — so pre-upgrade frames are rejected, not
+  // half-decoded (AQDF has no mixed-version deployments to honour).
+  proto::Request request;
+  request.id = RequestId{3};
+  request.client = ClientId{1};
+  request.method = "invoke";
+  auto bytes = encode_or_die(Payload::make(request, proto::kRequestBytes));
+  ASSERT_EQ(bytes[4], kWireVersion);
+  bytes[4] = 1;
+  EXPECT_FALSE(decode_payload(bytes).has_value());
 }
 
 TEST(WireFormat, RejectsUnknownBodyTag) {

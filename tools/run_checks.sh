@@ -61,6 +61,15 @@ grep -q '"metric":"low_load.hedged.replica_savings_vs_multicast"' \
 grep -q '"metric":"high_load.cancel.replica_savings_vs_multicast"' \
   build/bench/BENCH_hedging.json
 
+step "Bench JSON: coded vs replicated emits BENCH_coded.json (identity gate)"
+AQUA_BENCH_SEEDS=1 build/bench/coded_vs_replicated >/dev/null
+test -s build/bench/BENCH_coded.json
+grep -q '"metric":"mid_load.coded.replica_ms_per_request"' build/bench/BENCH_coded.json
+grep -q '"metric":"high_load.coded_informed.replica_savings_vs_replicated"' \
+  build/bench/BENCH_coded.json
+# first_of_n must stay bit-identical to the paper policy on fig4/fig5.
+grep -q '"metric":"fig.first_of_n_identity","value":1\b' build/bench/BENCH_coded.json
+
 step "UDP smoke: two-process gateway/replica run over loopback"
 ctest --test-dir build --output-on-failure -R udp_two_process_smoke
 
