@@ -1,0 +1,177 @@
+// Calibration report: how well the gateway's predicted P(t) tracks
+// reality, and how fast the drift detector notices when it stops doing
+// so.
+//
+// Two scenario families over a seed sweep:
+//   - stationary: the service behaves exactly as modelled for the whole
+//     run. Brier/ECE stay small and the Page-Hinkley detector must stay
+//     quiet (alarms here are false positives).
+//   - shifted: every replica's service time ramps toward x10 at t=8s and
+//     never releases (the fault_drift_test scenario). The detector must
+//     alarm, and the first-alarm sample is the early-warning latency.
+//
+// A third section micro-benches CalibrationTracker::record — the cost
+// added to every outcome classification when calibration is enabled.
+// Results land in BENCH_calibration.json for CI diffing.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/rng.h"
+#include "fault/scenario.h"
+#include "fault/scenario_runner.h"
+#include "gateway/system.h"
+#include "obs/calibration.h"
+#include "obs/telemetry.h"
+#include "replica/service_model.h"
+#include "stats/variates.h"
+
+namespace {
+
+using namespace aqua;
+using namespace aqua::fault;
+
+struct RunStats {
+  double brier = 0.0;
+  double ece = 0.0;
+  double alarms = 0.0;
+  double first_alarm_sample = 0.0;  ///< 0 = never alarmed
+  double samples = 0.0;
+};
+
+/// One scenario run mirroring tests/fault_drift_test.cpp: 4 replicas,
+/// 60 requests against a 150ms/0.8 QoS spec; when `shifted`, all four
+/// replicas ramp toward x10 service time at t=8s without releasing.
+RunStats run_once(std::uint64_t seed, bool shifted) {
+  constexpr std::size_t kReplicas = 4;
+
+  obs::Telemetry telemetry;
+  gateway::SystemConfig system_config;
+  system_config.seed = seed;
+  system_config.telemetry = &telemetry;
+  gateway::AquaSystem system{system_config};
+
+  ScenarioHooks hooks;
+  for (std::size_t i = 0; i < kReplicas; ++i) {
+    auto modulation = std::make_shared<stats::LoadModulation>();
+    hooks.replica_load.push_back(modulation);
+    system.add_replica(replica::make_modulated_service(
+        replica::make_sampled_service(stats::make_truncated_normal(msec(60), msec(15))),
+        modulation));
+  }
+
+  gateway::ClientWorkload workload;
+  workload.total_requests = 60;
+  workload.think_time = stats::make_constant(msec(200));
+  system.add_client(core::QosSpec{msec(150), 0.8}, workload);
+
+  ScenarioScript script;
+  script.name = shifted ? "service-shift" : "stationary";
+  if (shifted) {
+    for (std::size_t r = 0; r < kReplicas; ++r) script.load_ramp(sec(8), sec(30), r, 10.0);
+  }
+
+  ScenarioRunner runner{system, script, std::move(hooks), seed};
+  runner.run(sec(240));
+
+  const obs::CalibrationSnapshot snap = telemetry.calibration()->snapshot();
+  RunStats out;
+  out.brier = snap.global.brier_mean();
+  out.ece = snap.global.ece();
+  out.alarms = static_cast<double>(snap.drift.alarms);
+  // last_alarm_sample moves on repeat alarms, but with cooldown 50 and a
+  // ~60-sample run there is at most one, so it IS the first alarm.
+  out.first_alarm_sample = static_cast<double>(snap.drift.last_alarm_sample);
+  out.samples = static_cast<double>(snap.global.samples);
+  return out;
+}
+
+RunStats sweep(bool shifted, std::uint64_t seeds) {
+  RunStats mean;
+  double alarmed_runs = 0.0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const RunStats one = run_once(seed, shifted);
+    mean.brier += one.brier;
+    mean.ece += one.ece;
+    mean.alarms += one.alarms;
+    mean.samples += one.samples;
+    if (one.first_alarm_sample > 0.0 || one.alarms > 0.0) {
+      mean.first_alarm_sample += one.first_alarm_sample;
+      alarmed_runs += 1.0;
+    }
+  }
+  const double n = static_cast<double>(seeds);
+  mean.brier /= n;
+  mean.ece /= n;
+  mean.alarms /= n;
+  mean.samples /= n;
+  mean.first_alarm_sample = alarmed_runs > 0.0 ? mean.first_alarm_sample / alarmed_runs : 0.0;
+  return mean;
+}
+
+/// Cost of one CalibrationTracker::record on a warm tracker — the per-
+/// outcome price of enabling calibration (no registry attached, matching
+/// the tracker's standalone arithmetic cost).
+double record_ns() {
+  constexpr int kSamples = 200'000;
+  obs::CalibrationTracker tracker{obs::CalibrationConfig{}, nullptr};
+  Rng rng{17};
+  // Pre-generate inputs so the loop times record() and not the Rng.
+  std::vector<double> predicted(kSamples);
+  std::vector<bool> timely(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    predicted[static_cast<std::size_t>(i)] = rng.uniform01();
+    timely[static_cast<std::size_t>(i)] =
+        rng.bernoulli(predicted[static_cast<std::size_t>(i)]);
+  }
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kSamples; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    (void)tracker.record(ReplicaId{idx % 4 + 1}, predicted[idx], timely[idx]);
+  }
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / kSamples;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeeds = 5;
+
+  std::printf("=== Calibration report: P(t) vs reality ===\n\n");
+  const RunStats stationary = sweep(/*shifted=*/false, kSeeds);
+  const RunStats shifted = sweep(/*shifted=*/true, kSeeds);
+
+  std::printf("%-12s %10s %10s %10s %14s\n", "scenario", "brier", "ece", "alarms",
+              "first-alarm@");
+  std::printf("%-12s %10.4f %10.4f %10.2f %14s\n", "stationary", stationary.brier,
+              stationary.ece, stationary.alarms, "-");
+  std::printf("%-12s %10.4f %10.4f %10.2f %12.1f\n", "shifted", shifted.brier, shifted.ece,
+              shifted.alarms, shifted.first_alarm_sample);
+
+  const double ns = record_ns();
+  std::printf("\nrecord() cost (warm tracker, no registry): %.1f ns/outcome\n", ns);
+
+  const bool quiet_when_stationary = stationary.alarms == 0.0;
+  const bool loud_when_shifted = shifted.alarms >= 1.0;
+  std::printf("%s\n", quiet_when_stationary ? "PASS: stationary runs raise no drift alarms"
+                                            : "WARN: false drift alarms on stationary runs");
+  std::printf("%s\n", loud_when_shifted ? "PASS: every shifted run raises a drift alarm"
+                                        : "WARN: shifted runs missed the drift alarm");
+
+  aqua::bench::write_bench_json(
+      "BENCH_calibration.json", "calibration_report",
+      {{"stationary_brier", stationary.brier, "score"},
+       {"stationary_ece", stationary.ece, "score"},
+       {"stationary_drift_alarms", stationary.alarms, "count"},
+       {"shifted_brier", shifted.brier, "score"},
+       {"shifted_ece", shifted.ece, "score"},
+       {"shifted_drift_alarms", shifted.alarms, "count"},
+       {"shifted_first_alarm_sample", shifted.first_alarm_sample, "sample"},
+       {"record_cost", ns, "ns"}});
+  return (quiet_when_stationary && loud_when_shifted) ? 0 : 1;
+}

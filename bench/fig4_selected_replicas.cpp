@@ -7,9 +7,8 @@
 // algorithm's floor of 2; Pc=0.9 reaches up to ~6 at tight deadlines.
 //
 // Data path: each run records into an obs::Telemetry hub; the figure is
-// aggregated from the exported request-trace CSV (write_requests_csv ->
-// read_requests_csv -> to_run_report in paper_experiment.cpp), not from
-// in-process counters.
+// aggregated from its request-trace ring (telemetry.request_traces() ->
+// to_run_report in paper_experiment.cpp), not from in-process counters.
 #include <cstdio>
 #include <cstdlib>
 

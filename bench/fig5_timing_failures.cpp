@@ -6,8 +6,8 @@
 // budget 1 - Pc in every case; maxima reported were 0.08 (Pc=0.9), 0.32
 // (Pc=0.5) and 0.36 (Pc=0).
 //
-// Like Figure 4, the sweep is aggregated from the telemetry exporter's
-// request-trace CSV round trip rather than from in-process state.
+// Like Figure 4, the sweep is aggregated from the telemetry hub's
+// request-trace ring rather than from in-process state.
 #include <cstdio>
 #include <cstdlib>
 

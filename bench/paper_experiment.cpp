@@ -4,7 +4,6 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 
 #include "gateway/system.h"
 #include "obs/export.h"
@@ -61,16 +60,15 @@ SweepPoint run_point(const PaperSetup& setup, Duration deadline, double requeste
     // 50 requests with 1s think time: bound the run generously.
     system.run_until_clients_done(sec(300));
 
-    // Figure data path: export the request traces as CSV, parse them
-    // back, and aggregate — write_requests_csv / read_requests_csv /
-    // to_run_report reproduce ClientApp::report() exactly (asserted by
-    // tests/obs_handler_test).
-    std::stringstream csv_buffer;
-    obs::write_requests_csv(csv_buffer, telemetry.request_traces());
-    const std::vector<obs::RequestTrace> parsed = obs::read_requests_csv(csv_buffer);
+    // Figure data path: aggregate straight from the telemetry trace ring.
+    // The CSV round trip the bench used to take here (write_requests_csv
+    // -> read_requests_csv) is pinned separately by tests/obs_export_test
+    // and tests/obs_calibration_test; re-serializing every seed bought no
+    // extra coverage, only probability-cell quantization risk.
     const ClientId measured_client = app.handler().client();
     const trace::ClientRunReport report = obs::to_run_report(
-        parsed, measured_client, "client-" + std::to_string(measured_client.value()));
+        telemetry.request_traces(), measured_client,
+        "client-" + std::to_string(measured_client.value()));
     requests += report.requests;
     failures += report.timing_failures;
     answered += report.answered;

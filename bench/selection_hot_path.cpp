@@ -17,6 +17,10 @@
 // `--check-telemetry-overhead` runs a pass/fail gate on the disabled
 // path (interleaved rounds, median-of-rounds, <= 2% + 0.2us slack) used
 // by tools/run_checks.sh to catch regressions of the one-branch rule.
+// `--check-calibration-overhead` applies the same gate to the outcome
+// path: a Telemetry with calibration disabled must add <= 2% + 0.2us
+// per select+record_calibration over the bare select (the tracker-null
+// branch is the only cost calibration may impose when off).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -309,12 +313,99 @@ int check_telemetry_overhead() {
   return pass ? 0 : 1;
 }
 
+/// Pass/fail regression gate for the disabled-calibration rule.
+///
+/// The outcome hot path calls Telemetry::record_calibration once per
+/// decided request; with calibration disabled the tracker pointer is
+/// null and the call must be a single branch. Interleaved rounds compare
+/// bare selection against selection + a disabled record_calibration:
+/// median-of-rounds, <= 2% relative + 0.2us absolute slack.
+int check_calibration_overhead() {
+  constexpr std::size_t kReplicas = 8;
+  constexpr std::size_t kWindow = 64;
+  constexpr int kRounds = 21;
+  constexpr int kSelectsPerRound = 300;
+  constexpr double kRelativeSlack = 1.02;
+  constexpr double kAbsoluteSlackUs = 0.2;
+
+  const auto repo = build_repository(kReplicas, kWindow);
+  auto bare_cache = std::make_shared<core::ModelCache>();
+  auto disabled_cache = std::make_shared<core::ModelCache>();
+  const auto bare = core::make_dynamic_policy({}, {}, bare_cache);
+  const auto with_call = core::make_dynamic_policy({}, {}, disabled_cache);
+  obs::TelemetryConfig config;
+  config.calibration.enabled = false;
+  obs::Telemetry telemetry{config};
+  Rng rng{13};
+
+  using Clock = std::chrono::steady_clock;
+  double sink = 0.0;
+  const auto time_bare = [&] {
+    const auto start = Clock::now();
+    for (int i = 0; i < kSelectsPerRound; ++i) {
+      sink += bare->select(repo.observe_all(), kQos, Duration::zero(), rng)
+                  .predicted_probability;
+    }
+    return std::chrono::duration<double, std::micro>(Clock::now() - start).count() /
+           kSelectsPerRound;
+  };
+  const auto time_disabled = [&] {
+    const auto start = Clock::now();
+    for (int i = 0; i < kSelectsPerRound; ++i) {
+      const auto selection =
+          with_call->select(repo.observe_all(), kQos, Duration::zero(), rng);
+      telemetry.record_calibration(TimePoint{}, ClientId{1}, ReplicaId{1},
+                                   selection.predicted_probability, true);
+      sink += selection.predicted_probability;
+    }
+    return std::chrono::duration<double, std::micro>(Clock::now() - start).count() /
+           kSelectsPerRound;
+  };
+
+  // Warm both caches (first round would otherwise pay the convolutions).
+  time_bare();
+  time_disabled();
+
+  std::vector<double> bare_rounds;
+  std::vector<double> disabled_rounds;
+  for (int r = 0; r < kRounds; ++r) {
+    bare_rounds.push_back(time_bare());
+    disabled_rounds.push_back(time_disabled());
+  }
+  const auto median = [](std::vector<double> v) {
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2), v.end());
+    return v[v.size() / 2];
+  };
+  const double bare_us = median(bare_rounds);
+  const double disabled_us = median(disabled_rounds);
+  const double limit_us = bare_us * kRelativeSlack + kAbsoluteSlackUs;
+  const bool pass = disabled_us <= limit_us;
+
+  std::printf("=== Disabled-calibration overhead gate ===\n");
+  std::printf("%zu replicas, window %zu, %d rounds x %d selects, median-of-rounds\n", kReplicas,
+              kWindow, kRounds, kSelectsPerRound);
+  std::printf("  bare select:                  %8.3f us\n", bare_us);
+  std::printf("  select + disabled record:     %8.3f us (limit %.3f)\n", disabled_us, limit_us);
+  std::printf("  %s\n", pass ? "PASS: disabled calibration within budget"
+                             : "FAIL: disabled calibration exceeds 2% + 0.2us budget");
+  aqua::bench::write_bench_json(
+      "BENCH_selection.json", "selection_hot_path",
+      {{"bare_select", bare_us, "us"},
+       {"calibration_disabled_select", disabled_us, "us"},
+       {"calibration_disabled_overhead", bare_us > 0.0 ? disabled_us / bare_us : 0.0, "x"}});
+  if (sink < 0.0) std::abort();  // keep the measured loops alive
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check-telemetry-overhead") == 0) {
       return check_telemetry_overhead();
+    }
+    if (std::strcmp(argv[i], "--check-calibration-overhead") == 0) {
+      return check_calibration_overhead();
     }
   }
   std::printf("=== Selection hot path: model cache on/off ===\n\n");

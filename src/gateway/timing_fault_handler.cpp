@@ -800,7 +800,14 @@ void TimingFaultHandler::record_outcome(PendingRequest& pending, bool timely) {
   if (timely_counter_ != nullptr) {
     (timely ? timely_counter_ : timing_failures_counter_)->add();
   }
-  if (obs_ != nullptr) emit_request_trace(pending, timely);
+  if (obs_ != nullptr) {
+    emit_request_trace(pending, timely);
+    // Calibration before the violation check below: on the sample that
+    // trips both detectors, the drift alert lands first in the ring.
+    obs_->record_calibration(simulator_.now(), client_,
+                             pending.delivered ? pending.first_replica : ReplicaId{},
+                             history_[pending.record_index].predicted_probability, timely);
+  }
   if (span_sink_ != nullptr) {
     // Close the root span at decision time — min(first reply, deadline).
     // Requests whose replicas all crashed close here too (via the
@@ -863,6 +870,7 @@ void TimingFaultHandler::emit_request_trace(PendingRequest& pending, bool timely
   trace.t1 = record.transmitted_at;
   trace.deadline = pending.qos.deadline;
   trace.min_probability = pending.qos.min_probability;
+  trace.predicted_probability = record.predicted_probability;
   trace.redundancy = record.redundancy;
   trace.cold_start = record.cold_start;
   trace.feasible = record.feasible;

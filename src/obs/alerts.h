@@ -34,6 +34,9 @@ enum class AlertKind : std::uint8_t {
   kReplicationLow,
   /// Dependability manager: a replacement replica was started.
   kReplacementStarted,
+  /// Calibration drift: the model's predicted P_K(t) decoupled from
+  /// observed outcomes (Page-Hinkley residual test, obs/calibration.h).
+  kCalibrationDrift,
 };
 
 [[nodiscard]] inline const char* to_string(AlertKind kind) {
@@ -46,6 +49,7 @@ enum class AlertKind : std::uint8_t {
     case AlertKind::kQosRenegotiated: return "qos_renegotiated";
     case AlertKind::kReplicationLow: return "replication_low";
     case AlertKind::kReplacementStarted: return "replacement_started";
+    case AlertKind::kCalibrationDrift: return "calibration_drift";
   }
   return "unknown";
 }

@@ -1,0 +1,155 @@
+#include "obs/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace aqua::obs {
+
+double ReliabilityStats::ece() const {
+  if (samples == 0) return 0.0;
+  double weighted_gap = 0.0;
+  for (const CalibrationBin& bin : bins) {
+    if (bin.count == 0) continue;
+    weighted_gap += static_cast<double>(bin.count) *
+                    std::abs(bin.mean_predicted() - bin.timely_fraction());
+  }
+  return weighted_gap / static_cast<double>(samples);
+}
+
+CalibrationTracker::CalibrationTracker(CalibrationConfig config, MetricsRegistry* metrics)
+    : config_(config), metrics_(metrics) {
+  const std::size_t bins = std::max<std::size_t>(1, config_.bins);
+  global_.bins.resize(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    global_.bins[b].lower = static_cast<double>(b) / static_cast<double>(bins);
+    global_.bins[b].upper = static_cast<double>(b + 1) / static_cast<double>(bins);
+  }
+  if (metrics_ != nullptr) {
+    ece_gauge_ = &metrics_->gauge("calibration.ece");
+    brier_window_gauge_ = &metrics_->gauge("calibration.brier_window");
+    brier_lifetime_gauge_ = &metrics_->gauge("calibration.brier_lifetime");
+    drift_statistic_gauge_ = &metrics_->gauge("calibration.drift_statistic");
+    samples_counter_ = &metrics_->counter("calibration.samples");
+    drift_alerts_counter_ = &metrics_->counter("calibration.drift_alerts");
+  }
+}
+
+void CalibrationTracker::add_sample(ReliabilityStats& stats, double predicted,
+                                    bool timely) const {
+  const std::size_t bins = stats.bins.size();
+  std::size_t index = static_cast<std::size_t>(predicted * static_cast<double>(bins));
+  index = std::min(index, bins - 1);  // p == 1.0 joins the top bin
+  CalibrationBin& bin = stats.bins[index];
+  ++bin.count;
+  bin.predicted_sum += predicted;
+  if (timely) ++bin.timely;
+  ++stats.samples;
+  const double residual = predicted - (timely ? 1.0 : 0.0);
+  stats.brier_sum += residual * residual;
+}
+
+std::optional<CalibrationTracker::DriftSignal> CalibrationTracker::record(
+    ReplicaId first_replica, double predicted, bool timely) {
+  predicted = std::clamp(predicted, 0.0, 1.0);
+  std::lock_guard lock(mutex_);
+  ++samples_;
+  add_sample(global_, predicted, timely);
+
+  const double residual = predicted - (timely ? 1.0 : 0.0);
+  const double brier = residual * residual;
+  brier_ring_.push_back(brier);
+  brier_ring_sum_ += brier;
+  if (brier_ring_.size() > std::max<std::size_t>(1, config_.brier_window)) {
+    brier_ring_sum_ -= brier_ring_.front();
+    brier_ring_.pop_front();
+  }
+  const double brier_window_mean = brier_ring_sum_ / static_cast<double>(brier_ring_.size());
+
+  if (first_replica.value() != 0) {
+    auto [it, inserted] = replicas_.try_emplace(first_replica);
+    ReplicaState& state = it->second;
+    if (inserted) {
+      state.stats.bins = global_.bins;  // copies the edges
+      for (CalibrationBin& bin : state.stats.bins) {
+        bin.count = 0;
+        bin.predicted_sum = 0.0;
+        bin.timely = 0;
+      }
+      state.stats.samples = 0;
+      state.stats.brier_sum = 0.0;
+      if (metrics_ != nullptr) {
+        const std::string prefix =
+            "calibration.replica." + std::to_string(first_replica.value());
+        state.ece_gauge = &metrics_->gauge(prefix + ".ece");
+        state.staleness_gauge = &metrics_->gauge(prefix + ".staleness");
+      }
+    }
+    add_sample(state.stats, predicted, timely);
+    state.last_seen_sample = samples_;
+    if (state.ece_gauge != nullptr) state.ece_gauge->set(state.stats.ece());
+  }
+  // Every known replica's staleness advances with every decided request;
+  // the answering replica's just reset to zero above.
+  if (metrics_ != nullptr) {
+    for (auto& [id, state] : replicas_) {
+      state.staleness_gauge->set(
+          static_cast<double>(samples_ - state.last_seen_sample));
+    }
+  }
+
+  if (ece_gauge_ != nullptr) {
+    ece_gauge_->set(global_.ece());
+    brier_window_gauge_->set(brier_window_mean);
+    brier_lifetime_gauge_->set(global_.brier_mean());
+    samples_counter_->add();
+  }
+
+  // One-sided Page-Hinkley on the prediction residual. The statistic is
+  // frozen during warm-up and cooldown (the outcomes still feed the bins
+  // and the Brier window above).
+  std::optional<DriftSignal> signal;
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+  } else if (samples_ > config_.warmup_samples) {
+    ph_statistic_ = std::max(0.0, ph_statistic_ + residual - config_.drift_allowance);
+    if (ph_statistic_ > config_.drift_threshold) {
+      ++alarms_;
+      last_alarm_sample_ = samples_;
+      last_alarm_statistic_ = ph_statistic_;
+      signal = DriftSignal{.statistic = ph_statistic_,
+                           .threshold = config_.drift_threshold,
+                           .brier_window = brier_window_mean,
+                           .sample = samples_};
+      ph_statistic_ = 0.0;
+      cooldown_remaining_ = config_.drift_cooldown;
+      if (drift_alerts_counter_ != nullptr) drift_alerts_counter_->add();
+    }
+  }
+  if (drift_statistic_gauge_ != nullptr) drift_statistic_gauge_->set(ph_statistic_);
+  return signal;
+}
+
+CalibrationSnapshot CalibrationTracker::snapshot() const {
+  std::lock_guard lock(mutex_);
+  CalibrationSnapshot snap;
+  snap.global = global_;
+  snap.window_fill = brier_ring_.size();
+  snap.brier_window_mean =
+      brier_ring_.empty() ? 0.0 : brier_ring_sum_ / static_cast<double>(brier_ring_.size());
+  snap.replicas.reserve(replicas_.size());
+  for (const auto& [id, state] : replicas_) {
+    snap.replicas.push_back(
+        {.replica = id, .stats = state.stats, .staleness = samples_ - state.last_seen_sample});
+  }
+  snap.drift = {.armed = samples_ > config_.warmup_samples && cooldown_remaining_ == 0,
+                .statistic = ph_statistic_,
+                .threshold = config_.drift_threshold,
+                .alarms = alarms_,
+                .cooldown_remaining = cooldown_remaining_,
+                .last_alarm_sample = last_alarm_sample_,
+                .last_alarm_statistic = last_alarm_statistic_};
+  return snap;
+}
+
+}  // namespace aqua::obs

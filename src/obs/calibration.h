@@ -1,0 +1,205 @@
+// Prediction-calibration tracker: scores P_K(t) against reality.
+//
+// Every decided request carries the probability Algorithm 1 predicted
+// for it (SelectionResult::predicted_probability) and, once the deadline
+// passes or the first reply lands, a binary outcome (timely or not).
+// This tracker joins the two streams online:
+//
+//  - Reliability bins: predicted-probability deciles vs the empirical
+//    timely frequency inside each decile, kept globally and per first-
+//    answering replica. A calibrated model puts mean-predicted ==
+//    timely-fraction in every bin; the gap, sample-weighted, is the
+//    expected calibration error (ECE).
+//
+//  - Rolling Brier score: mean (p - y)^2 over a bounded window, plus the
+//    lifetime mean. Brier is the proper score the reliability bins
+//    coarsen — exported so operators can chart the trajectory.
+//
+//  - Drift detector: a one-sided Page-Hinkley test on the prediction
+//    residual (p - y), the directional component of the Brier score.
+//    Under a calibrated model E[p - y] = 0 regardless of the predicted
+//    level, so the statistic m_t = max(0, m_{t-1} + p_t - y_t - delta)
+//    drifts down at -delta; when the service shifts under the model,
+//    every overconfident miss adds ~p to m_t and the alarm fires after
+//    roughly `drift_threshold` unexpected failures — typically well
+//    before a cumulative QoS tracker dilutes below P_c. Alarms are
+//    returned to the caller (Telemetry turns them into AlertEvents) so
+//    the tracker itself never needs a clock.
+//
+// Layering: obs depends only on common-layer types — ids, doubles,
+// counters. Recording never schedules simulator events and never draws
+// randomness, so enabling calibration cannot perturb a seeded run
+// (fig4/fig5 stay bit-identical, same discipline as the trace rings).
+//
+// Thread safety: one mutex guards all state; recording happens once per
+// decided request, far off the per-message hot path. Gauges mirrored
+// into the MetricsRegistry are resolved once (globals at construction,
+// per-replica on first sample from that replica) per the one-branch
+// metric discipline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "obs/metrics.h"
+
+namespace aqua::obs {
+
+struct CalibrationConfig {
+  /// Master toggle: Telemetry only constructs a tracker when true, so a
+  /// disabled configuration costs one null-pointer branch per outcome.
+  bool enabled = true;
+
+  /// Reliability bin count over [0, 1] (10 = deciles).
+  std::size_t bins = 10;
+
+  /// Rolling Brier window length (samples).
+  std::size_t brier_window = 128;
+
+  /// Outcomes required before the drift detector arms. Mirrors the QoS
+  /// tracker's min_samples: one early miss must not alarm.
+  std::size_t warmup_samples = 20;
+
+  /// Page-Hinkley allowance delta: tolerated per-sample excess of
+  /// predicted probability over observed outcome. The statistic drains
+  /// at this rate when the model is calibrated.
+  double drift_allowance = 0.01;
+
+  /// Page-Hinkley alarm threshold lambda, in units of unexpected
+  /// failure mass (~ the number of overconfident misses, net of drain,
+  /// needed to alarm).
+  double drift_threshold = 3.0;
+
+  /// Outcomes after an alarm before the detector re-arms (the statistic
+  /// resets at the alarm; cooldown stops a sustained shift from firing
+  /// an alert on every subsequent miss).
+  std::size_t drift_cooldown = 50;
+};
+
+/// One reliability bin: predictions with lower <= p < upper (the last
+/// bin includes 1.0).
+struct CalibrationBin {
+  double lower = 0.0;
+  double upper = 0.0;
+  std::uint64_t count = 0;
+  double predicted_sum = 0.0;
+  std::uint64_t timely = 0;
+
+  [[nodiscard]] double mean_predicted() const {
+    return count == 0 ? 0.0 : predicted_sum / static_cast<double>(count);
+  }
+  [[nodiscard]] double timely_fraction() const {
+    return count == 0 ? 0.0 : static_cast<double>(timely) / static_cast<double>(count);
+  }
+};
+
+/// Reliability bins + lifetime Brier for one scope (global or replica).
+struct ReliabilityStats {
+  std::uint64_t samples = 0;
+  double brier_sum = 0.0;  ///< lifetime sum of (p - y)^2
+  std::vector<CalibrationBin> bins;
+
+  /// Sample-weighted |mean_predicted - timely_fraction| over the bins.
+  [[nodiscard]] double ece() const;
+  [[nodiscard]] double brier_mean() const {
+    return samples == 0 ? 0.0 : brier_sum / static_cast<double>(samples);
+  }
+};
+
+struct ReplicaCalibration {
+  ReplicaId replica{};
+  ReliabilityStats stats;
+  /// Decided requests (any replica) since this replica last answered
+  /// first — a count-based staleness that stays deterministic in sim.
+  std::uint64_t staleness = 0;
+};
+
+struct DriftState {
+  bool armed = false;             ///< warm-up done, not cooling down
+  double statistic = 0.0;         ///< current Page-Hinkley m_t
+  double threshold = 0.0;         ///< alarm level lambda
+  std::uint64_t alarms = 0;       ///< lifetime alarm count
+  std::uint64_t cooldown_remaining = 0;
+  std::uint64_t last_alarm_sample = 0;  ///< 1-based; 0 = never alarmed
+  double last_alarm_statistic = 0.0;
+};
+
+struct CalibrationSnapshot {
+  ReliabilityStats global;
+  double brier_window_mean = 0.0;  ///< rolling mean over the window
+  std::uint64_t window_fill = 0;   ///< samples currently in the window
+  std::vector<ReplicaCalibration> replicas;
+  DriftState drift;
+};
+
+class CalibrationTracker {
+ public:
+  /// Raised by record() when the Page-Hinkley statistic crosses the
+  /// threshold. The caller owns turning it into an AlertEvent (it has
+  /// the clock and the client id; the tracker has neither).
+  struct DriftSignal {
+    double statistic = 0.0;    ///< m_t at the alarm
+    double threshold = 0.0;    ///< lambda it crossed
+    double brier_window = 0.0; ///< rolling Brier at the alarm
+    std::uint64_t sample = 0;  ///< 1-based index of the alarming outcome
+  };
+
+  /// `metrics` may be null (no gauges mirrored); it must outlive the
+  /// tracker. Global gauge pointers are resolved here, once.
+  explicit CalibrationTracker(CalibrationConfig config = {},
+                              MetricsRegistry* metrics = nullptr);
+
+  /// Join one decided request's prediction with its outcome.
+  /// `first_replica` is the replica whose reply decided the request, or
+  /// a zero id when no reply arrived before the deadline (the sample
+  /// then updates only the global scope — no replica is known to blame,
+  /// though every replica's staleness still advances). Predictions are
+  /// clamped into [0, 1].
+  std::optional<DriftSignal> record(ReplicaId first_replica, double predicted, bool timely);
+
+  [[nodiscard]] CalibrationSnapshot snapshot() const;
+  [[nodiscard]] const CalibrationConfig& config() const { return config_; }
+
+ private:
+  struct ReplicaState {
+    ReliabilityStats stats;
+    std::uint64_t last_seen_sample = 0;  ///< global sample index, 1-based
+    Gauge* ece_gauge = nullptr;
+    Gauge* staleness_gauge = nullptr;
+  };
+
+  void add_sample(ReliabilityStats& stats, double predicted, bool timely) const;
+
+  const CalibrationConfig config_;
+  MetricsRegistry* metrics_;
+
+  mutable std::mutex mutex_;
+  ReliabilityStats global_;
+  std::map<ReplicaId, ReplicaState> replicas_;
+
+  std::deque<double> brier_ring_;  ///< per-sample (p - y)^2, newest last
+  double brier_ring_sum_ = 0.0;
+
+  std::uint64_t samples_ = 0;  ///< 1-based sample counter
+  double ph_statistic_ = 0.0;
+  std::uint64_t cooldown_remaining_ = 0;
+  std::uint64_t alarms_ = 0;
+  std::uint64_t last_alarm_sample_ = 0;
+  double last_alarm_statistic_ = 0.0;
+
+  /// Null unless a registry was attached (one-branch discipline).
+  Gauge* ece_gauge_ = nullptr;
+  Gauge* brier_window_gauge_ = nullptr;
+  Gauge* brier_lifetime_gauge_ = nullptr;
+  Gauge* drift_statistic_gauge_ = nullptr;
+  Counter* samples_counter_ = nullptr;
+  Counter* drift_alerts_counter_ = nullptr;
+};
+
+}  // namespace aqua::obs

@@ -82,6 +82,7 @@ void write_request_json(std::ostream& out, const RequestTrace& t) {
       << ",\"probe\":" << (t.probe ? "true" : "false") << ",\"t0_us\":" << count_us(t.t0)
       << ",\"t1_us\":" << count_us(t.t1) << ",\"deadline_us\":" << count_us(t.deadline)
       << ",\"min_probability\":" << json_number(t.min_probability)
+      << ",\"predicted_probability\":" << json_number(t.predicted_probability)
       << ",\"redundancy\":" << t.redundancy
       << ",\"cold_start\":" << (t.cold_start ? "true" : "false")
       << ",\"feasible\":" << (t.feasible ? "true" : "false")
@@ -134,7 +135,8 @@ constexpr int kProbabilityPrecision = 9;
 const std::vector<std::string>& request_columns() {
   static const std::vector<std::string> columns = {
       "client",     "request",     "probe",        "t0_us",         "t1_us",
-      "deadline_us", "min_probability", "redundancy", "cold_start",  "feasible",
+      "deadline_us", "min_probability", "predicted_probability", "redundancy",
+      "cold_start", "feasible",
       "redispatched", "answered",  "timely",       "t4_us",         "response_us",
       "service_us", "queuing_us",  "gateway_us",   "first_replica"};
   return columns;
@@ -189,6 +191,8 @@ void write_snapshot_json(std::ostream& out, const Telemetry& telemetry) {
   }
   out << "],\"alerts\":";
   write_alerts_json(out, telemetry);
+  out << ",\"calibration\":";
+  write_calibration_json(out, telemetry);
   out << ",\"timeline\":[";
   first = true;
   const trace::Timeline timeline = telemetry.timeline();
@@ -261,6 +265,81 @@ void write_alerts_json(std::ostream& out, const Telemetry& telemetry) {
   out << ']';
 }
 
+namespace {
+
+void write_reliability_json(std::ostream& out, const ReliabilityStats& stats) {
+  out << "{\"samples\":" << stats.samples << ",\"ece\":" << json_number(stats.ece())
+      << ",\"brier_mean\":" << json_number(stats.brier_mean()) << ",\"bins\":[";
+  bool first = true;
+  for (const CalibrationBin& bin : stats.bins) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"lower\":" << json_number(bin.lower) << ",\"upper\":" << json_number(bin.upper)
+        << ",\"count\":" << bin.count
+        << ",\"mean_predicted\":" << json_number(bin.mean_predicted())
+        << ",\"timely_fraction\":" << json_number(bin.timely_fraction()) << '}';
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+void write_calibration_json(std::ostream& out, const Telemetry& telemetry) {
+  const CalibrationTracker* tracker = telemetry.calibration();
+  if (tracker == nullptr) {
+    out << "{\"enabled\":false}";
+    return;
+  }
+  const CalibrationSnapshot snap = tracker->snapshot();
+  out << "{\"enabled\":true,\"global\":";
+  write_reliability_json(out, snap.global);
+  out << ",\"brier_window_mean\":" << json_number(snap.brier_window_mean)
+      << ",\"window_fill\":" << snap.window_fill << ",\"replicas\":[";
+  bool first = true;
+  for (const ReplicaCalibration& r : snap.replicas) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"replica\":" << r.replica.value() << ",\"staleness\":" << r.staleness
+        << ",\"stats\":";
+    write_reliability_json(out, r.stats);
+    out << '}';
+  }
+  out << "],\"drift\":{\"armed\":" << (snap.drift.armed ? "true" : "false")
+      << ",\"statistic\":" << json_number(snap.drift.statistic)
+      << ",\"threshold\":" << json_number(snap.drift.threshold)
+      << ",\"alarms\":" << snap.drift.alarms
+      << ",\"cooldown_remaining\":" << snap.drift.cooldown_remaining
+      << ",\"last_alarm_sample\":" << snap.drift.last_alarm_sample
+      << ",\"last_alarm_statistic\":" << json_number(snap.drift.last_alarm_statistic)
+      << "}}";
+}
+
+void write_calibration_csv(std::ostream& out, const Telemetry& telemetry) {
+  trace::CsvWriter csv(out);
+  csv.header({"scope", "bin_lower", "bin_upper", "count", "mean_predicted",
+              "timely_fraction", "ece", "brier_mean", "staleness"});
+  const CalibrationTracker* tracker = telemetry.calibration();
+  if (tracker == nullptr) return;
+  const CalibrationSnapshot snap = tracker->snapshot();
+  const auto rows = [&csv](const std::string& scope, const ReliabilityStats& stats,
+                           std::uint64_t staleness) {
+    for (const CalibrationBin& bin : stats.bins) {
+      csv.row({scope, trace::CsvWriter::cell(bin.lower, kProbabilityPrecision),
+               trace::CsvWriter::cell(bin.upper, kProbabilityPrecision),
+               trace::CsvWriter::cell(bin.count),
+               trace::CsvWriter::cell(bin.mean_predicted(), kProbabilityPrecision),
+               trace::CsvWriter::cell(bin.timely_fraction(), kProbabilityPrecision),
+               trace::CsvWriter::cell(stats.ece(), kProbabilityPrecision),
+               trace::CsvWriter::cell(stats.brier_mean(), kProbabilityPrecision),
+               trace::CsvWriter::cell(staleness)});
+    }
+  };
+  rows("global", snap.global, 0);
+  for (const ReplicaCalibration& r : snap.replicas) {
+    rows(std::to_string(r.replica.value()), r.stats, r.staleness);
+  }
+}
+
 void write_spans_json(std::ostream& out, std::span<const SpanRecord> spans) {
   out << '[';
   bool first = true;
@@ -310,6 +389,7 @@ void write_requests_csv(std::ostream& out, std::span<const RequestTrace> traces)
              t.probe ? "1" : "0", CsvWriter::cell(count_us(t.t0)),
              CsvWriter::cell(count_us(t.t1)), CsvWriter::cell(count_us(t.deadline)),
              CsvWriter::cell(t.min_probability, kProbabilityPrecision),
+             CsvWriter::cell(t.predicted_probability, kProbabilityPrecision),
              CsvWriter::cell(static_cast<std::uint64_t>(t.redundancy)),
              t.cold_start ? "1" : "0", t.feasible ? "1" : "0", t.redispatched ? "1" : "0",
              t.answered ? "1" : "0", t.timely ? "1" : "0",
@@ -397,18 +477,19 @@ std::vector<RequestTrace> read_requests_csv(std::istream& in) {
     t.t1 = TimePoint{Duration{parse_i64(cells[4])}};
     t.deadline = Duration{parse_i64(cells[5])};
     t.min_probability = std::stod(cells[6]);
-    t.redundancy = static_cast<std::size_t>(parse_u64(cells[7]));
-    t.cold_start = parse_bool(cells[8]);
-    t.feasible = parse_bool(cells[9]);
-    t.redispatched = parse_bool(cells[10]);
-    t.answered = parse_bool(cells[11]);
-    t.timely = parse_bool(cells[12]);
-    if (!cells[13].empty()) t.t4 = TimePoint{Duration{parse_i64(cells[13])}};
-    if (!cells[14].empty()) t.response_time = Duration{parse_i64(cells[14])};
-    t.service_time = Duration{parse_i64(cells[15])};
-    t.queuing_delay = Duration{parse_i64(cells[16])};
-    t.gateway_delay = Duration{parse_i64(cells[17])};
-    t.first_replica = ReplicaId{parse_u64(cells[18])};
+    t.predicted_probability = std::stod(cells[7]);
+    t.redundancy = static_cast<std::size_t>(parse_u64(cells[8]));
+    t.cold_start = parse_bool(cells[9]);
+    t.feasible = parse_bool(cells[10]);
+    t.redispatched = parse_bool(cells[11]);
+    t.answered = parse_bool(cells[12]);
+    t.timely = parse_bool(cells[13]);
+    if (!cells[14].empty()) t.t4 = TimePoint{Duration{parse_i64(cells[14])}};
+    if (!cells[15].empty()) t.response_time = Duration{parse_i64(cells[15])};
+    t.service_time = Duration{parse_i64(cells[16])};
+    t.queuing_delay = Duration{parse_i64(cells[17])};
+    t.gateway_delay = Duration{parse_i64(cells[18])};
+    t.first_replica = ReplicaId{parse_u64(cells[19])};
     traces.push_back(t);
   }
   return traces;

@@ -2,11 +2,12 @@
 // instance, plus the parse-back half used by the figure benches.
 //
 // The CSV request dump is a *production data path*, not just debugging
-// output: bench/fig4_selected_replicas and bench/fig5_timing_failures
-// export each run's request traces, parse them back with
-// read_requests_csv, and aggregate through to_run_report — so the
-// paper's figures are one consumer of the same pipeline an operator
-// would scrape. The round trip is covered by tests/obs_export_test.
+// output — operators and the figure tooling consume the same rows. The
+// figure benches (bench/fig4_selected_replicas, fig5_timing_failures)
+// aggregate straight from the telemetry trace ring through
+// to_run_report; the write_requests_csv -> read_requests_csv round trip
+// is pinned lossless by tests/obs_export_test, and ring-vs-CSV report
+// agreement by tests/obs_calibration_test.
 #pragma once
 
 #include <cstddef>
@@ -38,6 +39,19 @@ void write_prometheus_text(std::ostream& out, const Telemetry& telemetry);
 
 /// QoS alert ring as a JSON array of structured AlertEvents.
 void write_alerts_json(std::ostream& out, const Telemetry& telemetry);
+
+/// Calibration snapshot as one JSON object: global reliability bins,
+/// ECE, lifetime + windowed Brier, per-replica bins/ECE/staleness, and
+/// the drift-detector state. Served live at /calibration (obs/scrape.h)
+/// and embedded in write_snapshot_json. Emits {"enabled":false} when
+/// the telemetry's calibration tracker is disabled.
+void write_calibration_json(std::ostream& out, const Telemetry& telemetry);
+
+/// Reliability bins as CSV, one row per (scope, bin): scope is "global"
+/// or the replica id. Header: scope,bin_lower,bin_upper,count,
+/// mean_predicted,timely_fraction,ece,brier_mean,staleness. Writes only
+/// the header when calibration is disabled.
+void write_calibration_csv(std::ostream& out, const Telemetry& telemetry);
 
 /// Span records as a JSON array (one flat object per closed span).
 void write_spans_json(std::ostream& out, std::span<const SpanRecord> spans);

@@ -45,6 +45,9 @@ struct RequestTrace {
   TimePoint t1{};  ///< request transmitted to the selected replicas
   Duration deadline{};
   double min_probability = 0.0;  ///< requested P_c(t)
+  /// Algorithm 1's predicted P_K(t) for the dispatched set — the number
+  /// the calibration layer (obs/calibration.h) scores against `timely`.
+  double predicted_probability = 0.0;
 
   std::size_t redundancy = 0;  ///< |K| actually dispatched
   bool cold_start = false;

@@ -145,6 +145,10 @@ std::string ScrapeServer::respond(const std::string& path) const {
     write_alerts_json(body, telemetry_);
     return http_response(200, "OK", "application/json", body.str());
   }
+  if (path == "/calibration") {
+    write_calibration_json(body, telemetry_);
+    return http_response(200, "OK", "application/json", body.str());
+  }
   if (path == "/trace") {
     write_perfetto_json(body, telemetry_);
     return http_response(200, "OK", "application/json", body.str());

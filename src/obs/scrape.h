@@ -9,6 +9,7 @@
 //   /metrics        Prometheus text exposition (write_prometheus_text)
 //   /snapshot       full JSON snapshot (write_snapshot_json)
 //   /alerts         QoS alert ring as JSON
+//   /calibration    prediction-calibration snapshot as JSON
 //   /trace          whole span ring as Chrome trace-event JSON
 //   /traces/<id>    one trace's spans as a JSON array (404 when unknown)
 //

@@ -1,10 +1,15 @@
 #include "obs/telemetry.h"
 
+#include <cstdio>
 #include <utility>
 
 namespace aqua::obs {
 
-Telemetry::Telemetry(TelemetryConfig config) : config_(config) {}
+Telemetry::Telemetry(TelemetryConfig config) : config_(config) {
+  if (config_.calibration.enabled) {
+    calibration_ = std::make_unique<CalibrationTracker>(config_.calibration, &metrics_);
+  }
+}
 
 std::uint64_t Telemetry::record_request(RequestTrace trace) {
   const std::scoped_lock lock(requests_mutex_);
@@ -74,6 +79,25 @@ void Telemetry::record_alert(AlertEvent alert) {
     alerts_.pop_front();
     ++alerts_dropped_;
   }
+}
+
+void Telemetry::record_calibration(TimePoint at, ClientId client, ReplicaId first_replica,
+                                   double predicted, bool timely) {
+  if (calibration_ == nullptr) return;
+  const auto signal = calibration_->record(first_replica, predicted, timely);
+  if (!signal.has_value()) return;
+  char detail[128];
+  std::snprintf(detail, sizeof detail,
+                "prediction residual %.3f crossed %.3f at sample %llu (window brier %.3f)",
+                signal->statistic, signal->threshold,
+                static_cast<unsigned long long>(signal->sample), signal->brier_window);
+  record_alert({.kind = AlertKind::kCalibrationDrift,
+                .at = at,
+                .client = client,
+                .replica = first_replica,
+                .observed = signal->statistic,
+                .threshold = signal->threshold,
+                .detail = detail});
 }
 
 std::vector<RequestTrace> Telemetry::request_traces() const {

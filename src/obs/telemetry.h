@@ -27,11 +27,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/alerts.h"
+#include "obs/calibration.h"
 #include "obs/metrics.h"
 #include "obs/records.h"
 #include "obs/span.h"
@@ -55,6 +57,10 @@ struct TelemetryConfig {
   /// Span recording toggle, same spirit as selection_traces: off keeps
   /// trace-id stamping (cheap, deterministic) but records no spans.
   bool spans = true;
+  /// Prediction-calibration tracker (obs/calibration.h). When
+  /// calibration.enabled is false no tracker is constructed and every
+  /// record_calibration call is one null-pointer branch.
+  CalibrationConfig calibration;
 };
 
 class Telemetry {
@@ -110,6 +116,21 @@ class Telemetry {
   /// Record a structured QoS alert event.
   void record_alert(AlertEvent alert);
 
+  /// Join one decided request's predicted P_K(t) with its outcome
+  /// (obs/calibration.h). `first_replica` is the replica whose reply
+  /// decided the request (zero id = unanswered). When the drift
+  /// detector alarms, a kCalibrationDrift AlertEvent stamped `at` /
+  /// `client` lands in the alert ring. No-op when calibration is
+  /// disabled. Callers classify outcomes once per request, so this sits
+  /// next to the QoS tracker update — record it BEFORE the QoS
+  /// violation check so a drift alert always precedes the violation it
+  /// predicts in the ring.
+  void record_calibration(TimePoint at, ClientId client, ReplicaId first_replica,
+                          double predicted, bool timely);
+
+  /// The calibration tracker, or null when disabled.
+  [[nodiscard]] const CalibrationTracker* calibration() const { return calibration_.get(); }
+
   /// Snapshot copies (thread-safe, records in recording order).
   [[nodiscard]] std::vector<RequestTrace> request_traces() const;
   [[nodiscard]] std::vector<SelectionTrace> selection_traces() const;
@@ -133,6 +154,7 @@ class Telemetry {
  private:
   TelemetryConfig config_;
   MetricsRegistry metrics_;
+  std::unique_ptr<CalibrationTracker> calibration_;
 
   mutable std::mutex requests_mutex_;
   std::deque<RequestTrace> requests_;

@@ -1,20 +1,35 @@
 #include "runtime/replica_endpoint.h"
 
+#include "obs/telemetry.h"
 #include "proto/messages.h"
 
 namespace aqua::runtime {
 
 ReplicaEndpoint::ReplicaEndpoint(net::Transport& transport, ThreadedReplica& replica,
-                                 const EndpointFactory& factory)
+                                 const EndpointFactory& factory, obs::Telemetry* telemetry)
     : transport_(transport), replica_(replica) {
+  if (telemetry != nullptr) {
+    obs::MetricsRegistry& metrics = telemetry->metrics();
+    requests_counter_ = &metrics.counter("replica_endpoint.requests");
+    coded_chunks_counter_ = &metrics.counter("replica_endpoint.coded_chunks");
+    rejected_counter_ = &metrics.counter("replica_endpoint.rejected");
+    cancels_purged_counter_ = &metrics.counter("replica_endpoint.cancels_purged");
+    cancels_ignored_counter_ = &metrics.counter("replica_endpoint.cancels_ignored");
+    subscribes_counter_ = &metrics.counter("replica_endpoint.subscribes");
+    queue_length_gauge_ = &metrics.gauge("replica_endpoint.queue_length");
+  }
   endpoint_ = factory(
       [this](EndpointId from, const net::Payload& message) { on_receive(from, message); });
 }
 
-ReplicaEndpoint::ReplicaEndpoint(net::Transport& transport, ThreadedReplica& replica, HostId host)
-    : ReplicaEndpoint(transport, replica, [&transport, host](net::ReceiveFn fn) {
-        return transport.create_endpoint(host, std::move(fn));
-      }) {}
+ReplicaEndpoint::ReplicaEndpoint(net::Transport& transport, ThreadedReplica& replica,
+                                 HostId host, obs::Telemetry* telemetry)
+    : ReplicaEndpoint(
+          transport, replica,
+          [&transport, host](net::ReceiveFn fn) {
+            return transport.create_endpoint(host, std::move(fn));
+          },
+          telemetry) {}
 
 ReplicaEndpoint::~ReplicaEndpoint() { shutdown(); }
 
@@ -24,10 +39,15 @@ void ReplicaEndpoint::shutdown() {
 
 void ReplicaEndpoint::on_receive(EndpointId from, const net::Payload& message) {
   if (const auto* request = message.get_if<proto::Request>()) {
+    if (requests_counter_ != nullptr) {
+      requests_counter_->add();
+      // Chunk demand: coded k-of-n dispatches, vs whole-job requests.
+      if (request->code_k > 0) coded_chunks_counter_->add();
+    }
     const obs::SpanContext request_ctx = message.span();
     // The reply callback runs on the replica's worker thread; both
     // transports accept sends from any thread.
-    replica_.submit(
+    const bool accepted = replica_.submit(
         *request,
         [this, from, request_ctx](const proto::Reply& reply) {
           net::Payload payload = net::Payload::make(reply, proto::kReplyBytes);
@@ -40,15 +60,24 @@ void ReplicaEndpoint::on_receive(EndpointId from, const net::Payload& message) {
           transport_.unicast(endpoint_, from, std::move(payload));
         },
         request_ctx);
+    if (requests_counter_ != nullptr) {
+      if (!accepted) rejected_counter_->add();
+      queue_length_gauge_->set(static_cast<double>(replica_.queue_length()));
+    }
     return;
   }
   if (const auto* cancel = message.get_if<proto::Cancel>()) {
     // Best-effort: purges the queued copy if service has not started;
     // otherwise the reply is already on its way and the client drops it.
-    replica_.cancel(cancel->request, cancel->client);
+    const bool purged = replica_.cancel(cancel->request, cancel->client);
+    if (requests_counter_ != nullptr) {
+      (purged ? cancels_purged_counter_ : cancels_ignored_counter_)->add();
+      queue_length_gauge_->set(static_cast<double>(replica_.queue_length()));
+    }
     return;
   }
   if (message.get_if<proto::Subscribe>() != nullptr) {
+    if (subscribes_counter_ != nullptr) subscribes_counter_->add();
     transport_.unicast(endpoint_, from,
                        net::Payload::make(proto::Announce{replica_.id(), endpoint_},
                                           proto::kAnnounceBytes));

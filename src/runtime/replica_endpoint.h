@@ -16,6 +16,10 @@
 #include "net/transport.h"
 #include "runtime/threaded_replica.h"
 
+namespace aqua::obs {
+class Gauge;
+}  // namespace aqua::obs
+
 namespace aqua::runtime {
 
 class ReplicaEndpoint {
@@ -26,12 +30,18 @@ class ReplicaEndpoint {
   /// callback and must return the endpoint it created on `transport`.
   using EndpointFactory = std::function<EndpointId(net::ReceiveFn)>;
 
-  /// `transport` and `replica` must outlive the endpoint.
+  /// `transport` and `replica` must outlive the endpoint. `telemetry`
+  /// (non-owning, may be null, must outlive the endpoint) mirrors the
+  /// server-side message flow into replica_endpoint.* metrics: request /
+  /// coded-chunk / subscribe intake, cancel fate (purged vs ignored —
+  /// the §cancel-on-first-reply waste signal), submissions rejected by a
+  /// crashed replica, and a queue-length gauge sampled on every message.
   ReplicaEndpoint(net::Transport& transport, ThreadedReplica& replica,
-                  const EndpointFactory& factory);
+                  const EndpointFactory& factory, obs::Telemetry* telemetry = nullptr);
 
   /// Convenience: bind via transport.create_endpoint on `host`.
-  ReplicaEndpoint(net::Transport& transport, ThreadedReplica& replica, HostId host);
+  ReplicaEndpoint(net::Transport& transport, ThreadedReplica& replica, HostId host,
+                  obs::Telemetry* telemetry = nullptr);
 
   ~ReplicaEndpoint();
 
@@ -54,6 +64,15 @@ class ReplicaEndpoint {
   ThreadedReplica& replica_;
   EndpointId endpoint_{};
   std::atomic<bool> shut_down_{false};
+
+  /// Null unless telemetry is attached (one-branch discipline).
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* coded_chunks_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* cancels_purged_counter_ = nullptr;
+  obs::Counter* cancels_ignored_counter_ = nullptr;
+  obs::Counter* subscribes_counter_ = nullptr;
+  obs::Gauge* queue_length_gauge_ = nullptr;
 };
 
 }  // namespace aqua::runtime

@@ -489,6 +489,7 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
     tr.t1 = wall_t0 + outcome.selection_overhead;
     tr.deadline = qos_snapshot.deadline;
     tr.min_probability = qos_snapshot.min_probability;
+    tr.predicted_probability = selection.predicted_probability;
     tr.redundancy = outcome.redundancy;
     tr.cold_start = outcome.cold_start;
     tr.feasible = selection.feasible;
@@ -505,6 +506,11 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
       tr.first_replica = first_reply.replica;
     }
     obs_->record_request(tr);
+    // Calibration before the violation check below: on the sample that
+    // trips both detectors, the drift alert lands first in the ring.
+    obs_->record_calibration(obs_->wall_now(), config_.id,
+                             outcome.answered ? first_reply.replica : ReplicaId{},
+                             selection.predicted_probability, outcome.timely);
   }
   {
     std::lock_guard lock(mutex_);

@@ -1,0 +1,139 @@
+// Calibration drift under a scripted service-time shift.
+//
+// The tentpole claim of the calibration layer: when the service shifts
+// under the model (every replica's service time ramps far past the
+// deadline), the Page-Hinkley drift detector fires a kCalibrationDrift
+// alert BEFORE the cumulative QoS failure tracker dilutes below P_c and
+// raises kQosViolation — the early-warning margin an operator acts on.
+// The scenario engine drives the shift, so the whole chain is
+// deterministic per seed: identical alert streams on every run, and
+// enabling calibration must not perturb the simulation at all.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/scenario.h"
+#include "fault/scenario_runner.h"
+#include "gateway/system.h"
+#include "obs/alerts.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
+#include "replica/service_model.h"
+#include "stats/variates.h"
+
+namespace aqua::fault {
+namespace {
+
+struct DriftOutcome {
+  std::string timeline_csv;
+  std::vector<obs::AlertEvent> alerts;
+  std::vector<obs::RequestTrace> traces;
+  std::string report_summary;
+};
+
+/// Warm phase (~8s of comfortably-timely requests), then every replica's
+/// service time ramps toward x10 over a 30-second window — longer than
+/// the remainder of the run, so the shift never releases: confident
+/// predictions meet near-certain misses.
+DriftOutcome run_drift(std::uint64_t seed, bool calibration_enabled) {
+  constexpr std::size_t kReplicas = 4;
+
+  obs::TelemetryConfig telemetry_config;
+  telemetry_config.calibration.enabled = calibration_enabled;
+  obs::Telemetry telemetry{telemetry_config};
+
+  gateway::SystemConfig system_config;
+  system_config.seed = seed;
+  system_config.telemetry = &telemetry;
+  gateway::AquaSystem system{system_config};
+
+  ScenarioHooks hooks;
+  for (std::size_t i = 0; i < kReplicas; ++i) {
+    auto modulation = std::make_shared<stats::LoadModulation>();
+    hooks.replica_load.push_back(modulation);
+    system.add_replica(replica::make_modulated_service(
+        replica::make_sampled_service(stats::make_truncated_normal(msec(60), msec(15))),
+        modulation));
+  }
+
+  gateway::HandlerConfig handler_config;
+  gateway::ClientWorkload workload;
+  workload.total_requests = 60;
+  workload.think_time = stats::make_constant(msec(200));
+  gateway::ClientApp& app =
+      system.add_client(core::QosSpec{msec(150), 0.8}, workload, handler_config);
+
+  ScenarioScript script;
+  script.name = "service-shift";
+  for (std::size_t r = 0; r < kReplicas; ++r) script.load_ramp(sec(8), sec(30), r, 10.0);
+
+  ScenarioRunner runner{system, script, std::move(hooks), seed};
+  runner.run(sec(240));
+
+  DriftOutcome out;
+  out.timeline_csv = runner.timeline_csv();
+  out.alerts = telemetry.alerts();
+  out.traces = telemetry.request_traces();
+  const ClientId client = app.handler().client();
+  out.report_summary =
+      obs::to_run_report(out.traces, client, "client-" + std::to_string(client.value()))
+          .summary_line();
+  return out;
+}
+
+std::ptrdiff_t first_alert_index(const std::vector<obs::AlertEvent>& alerts,
+                                 obs::AlertKind kind) {
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    if (alerts[i].kind == kind) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+TEST(CalibrationDrift, AlertPrecedesQosViolationAcrossSeeds) {
+  int drift_first = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const DriftOutcome out = run_drift(seed, /*calibration_enabled=*/true);
+    const std::ptrdiff_t drift =
+        first_alert_index(out.alerts, obs::AlertKind::kCalibrationDrift);
+    const std::ptrdiff_t violation =
+        first_alert_index(out.alerts, obs::AlertKind::kQosViolation);
+    // The shift is severe enough that the cumulative tracker does
+    // eventually report a violation — the scenario is not a non-event.
+    EXPECT_GE(violation, 0) << "seed " << seed << " never violated QoS";
+    if (drift >= 0 && (violation < 0 || drift < violation)) ++drift_first;
+  }
+  // The early-warning contract: in at least 9 of 10 seeds the drift
+  // alert exists and lands in the ring before the first QoS violation.
+  EXPECT_GE(drift_first, 9);
+}
+
+TEST(CalibrationDrift, AlertStreamIsBitIdenticalPerSeed) {
+  for (std::uint64_t seed : {1ULL, 5ULL, 9ULL}) {
+    const DriftOutcome first = run_drift(seed, true);
+    const DriftOutcome second = run_drift(seed, true);
+    EXPECT_EQ(first.timeline_csv, second.timeline_csv) << "seed " << seed;
+    EXPECT_EQ(first.alerts, second.alerts) << "seed " << seed;
+    EXPECT_EQ(first.traces, second.traces) << "seed " << seed;
+  }
+}
+
+TEST(CalibrationDrift, EnablingCalibrationDoesNotPerturbTheRun) {
+  // Calibration recording is pure arithmetic — no events, no Rng draws —
+  // so the simulated world (timeline, traces, report) must be identical
+  // with the tracker on and off; only the alert ring gains drift events.
+  const DriftOutcome enabled = run_drift(3, true);
+  const DriftOutcome disabled = run_drift(3, false);
+  EXPECT_EQ(enabled.timeline_csv, disabled.timeline_csv);
+  EXPECT_EQ(enabled.traces, disabled.traces);
+  EXPECT_EQ(enabled.report_summary, disabled.report_summary);
+  EXPECT_GT(first_alert_index(enabled.alerts, obs::AlertKind::kCalibrationDrift), -1);
+  EXPECT_EQ(first_alert_index(disabled.alerts, obs::AlertKind::kCalibrationDrift), -1);
+}
+
+}  // namespace
+}  // namespace aqua::fault

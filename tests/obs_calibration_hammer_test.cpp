@@ -1,0 +1,136 @@
+// Concurrency hammer for the calibration tracker — designed to run under
+// ThreadSanitizer (run_checks.sh executes the obs label in both the plain
+// and the TSan configs).
+//
+// Three roles race: recorder threads feeding record_calibration, reader
+// threads snapshotting / serializing the tracker, and a scraper hitting
+// the live /calibration HTTP endpoint. Afterward the merged totals must
+// balance exactly — a torn update would show up as a count mismatch even
+// where TSan's interleavings happened to miss it.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/calibration.h"
+#include "obs/export.h"
+#include "obs/scrape.h"
+#include "obs/telemetry.h"
+
+namespace aqua::obs {
+namespace {
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+TEST(CalibrationHammer, RecordSnapshotAndScrapeRace) {
+  constexpr int kRecorders = 4;
+  constexpr int kSamplesPerRecorder = 2000;
+
+  Telemetry telemetry;
+  ScrapeServer server{telemetry, 0};
+  ASSERT_GT(server.port(), 0);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> timely_fed{0};
+
+  std::vector<std::thread> recorders;
+  recorders.reserve(kRecorders);
+  for (int r = 0; r < kRecorders; ++r) {
+    recorders.emplace_back([&telemetry, &timely_fed, r] {
+      Rng rng = Rng{99}.fork("hammer").fork(static_cast<std::uint64_t>(r));
+      std::uint64_t timely_count = 0;
+      for (int i = 0; i < kSamplesPerRecorder; ++i) {
+        const double p = rng.uniform01();
+        const bool timely = rng.bernoulli(p);
+        if (timely) ++timely_count;
+        telemetry.record_calibration(
+            TimePoint{usec(i)}, ClientId{static_cast<std::uint64_t>(r + 1)},
+            ReplicaId{static_cast<std::uint64_t>(rng.uniform_int(0, 3))}, p, timely);
+      }
+      timely_fed.fetch_add(timely_count);
+    });
+  }
+
+  // Reader: snapshot + JSON/CSV serialization while records pour in.
+  std::thread reader([&telemetry, &done] {
+    ASSERT_NE(telemetry.calibration(), nullptr);
+    while (!done.load()) {
+      const CalibrationSnapshot snap = telemetry.calibration()->snapshot();
+      // Internal consistency of whatever instant we caught: bin counts
+      // sum to the sample total, ECE is a probability-scale number.
+      std::uint64_t binned = 0;
+      for (const CalibrationBin& bin : snap.global.bins) binned += bin.count;
+      EXPECT_EQ(binned, snap.global.samples);
+      EXPECT_GE(snap.global.ece(), 0.0);
+      EXPECT_LE(snap.global.ece(), 1.0);
+      std::ostringstream sink;
+      write_calibration_json(sink, telemetry);
+      write_calibration_csv(sink, telemetry);
+    }
+  });
+
+  // Scraper: live /calibration fetches against the same tracker.
+  std::thread scraper([&server, &done] {
+    while (!done.load()) {
+      const std::string response = http_get(server.port(), "/calibration");
+      if (!response.empty()) {
+        EXPECT_NE(response.find("\"enabled\":true"), std::string::npos);
+      }
+    }
+  });
+
+  for (std::thread& t : recorders) t.join();
+  done.store(true);
+  reader.join();
+  scraper.join();
+
+  // Quiescent totals balance exactly: every fed sample landed in exactly
+  // one global bin, timely counts match what the feeders produced, and
+  // per-replica samples partition the answered subset.
+  const CalibrationSnapshot snap = telemetry.calibration()->snapshot();
+  const std::uint64_t total = kRecorders * kSamplesPerRecorder;
+  EXPECT_EQ(snap.global.samples, total);
+  std::uint64_t binned = 0;
+  std::uint64_t timely_binned = 0;
+  for (const CalibrationBin& bin : snap.global.bins) {
+    binned += bin.count;
+    timely_binned += bin.timely;
+  }
+  EXPECT_EQ(binned, total);
+  EXPECT_EQ(timely_binned, timely_fed.load());
+  std::uint64_t per_replica = 0;
+  for (const ReplicaCalibration& r : snap.replicas) per_replica += r.stats.samples;
+  EXPECT_LE(per_replica, total);  // zero-id (unanswered) samples are global-only
+}
+
+}  // namespace
+}  // namespace aqua::obs

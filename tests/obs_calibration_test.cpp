@@ -1,0 +1,402 @@
+// Calibration tracker: reliability bins, Brier scores, drift detection.
+//
+// The streaming tracker must agree EXACTLY with a brute-force
+// recomputation over the raw request traces (the property tests below
+// replay random prediction/outcome streams both ways), the Page-Hinkley
+// detector must fire on a prediction/outcome decoupling and stay quiet
+// on a calibrated stream, and the JSON/CSV exporters must serialize the
+// snapshot they are handed.
+#include "obs/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/export.h"
+#include "obs/records.h"
+#include "obs/telemetry.h"
+
+namespace aqua::obs {
+namespace {
+
+CalibrationConfig quiet_config() {
+  CalibrationConfig config;
+  config.warmup_samples = 0;
+  config.drift_threshold = 1e9;  // drift effectively off
+  return config;
+}
+
+TEST(CalibrationBins, SamplesLandInTheirDecile) {
+  CalibrationTracker tracker{quiet_config()};
+  tracker.record(ReplicaId{1}, 0.05, true);   // bin 0
+  tracker.record(ReplicaId{1}, 0.95, true);   // bin 9
+  tracker.record(ReplicaId{1}, 0.95, false);  // bin 9
+  tracker.record(ReplicaId{1}, 1.0, true);    // p == 1.0 joins the top bin
+  tracker.record(ReplicaId{1}, -0.5, false);  // clamped to 0 -> bin 0
+  tracker.record(ReplicaId{1}, 1.5, true);    // clamped to 1 -> bin 9
+
+  const CalibrationSnapshot snap = tracker.snapshot();
+  ASSERT_EQ(snap.global.bins.size(), 10u);
+  EXPECT_EQ(snap.global.samples, 6u);
+  EXPECT_EQ(snap.global.bins[0].count, 2u);
+  EXPECT_EQ(snap.global.bins[9].count, 4u);
+  EXPECT_EQ(snap.global.bins[9].timely, 3u);
+  EXPECT_DOUBLE_EQ(snap.global.bins[9].timely_fraction(), 0.75);
+  for (std::size_t b = 1; b < 9; ++b) EXPECT_EQ(snap.global.bins[b].count, 0u);
+}
+
+TEST(CalibrationBins, EceIsTheSampleWeightedGap) {
+  CalibrationTracker tracker{quiet_config()};
+  // Bin 9: two samples at p=0.9, one timely -> gap |0.9 - 0.5| = 0.4.
+  tracker.record(ReplicaId{1}, 0.9, true);
+  tracker.record(ReplicaId{1}, 0.9, false);
+  // Bin 2: one sample at p=0.25, timely -> gap |0.25 - 1.0| = 0.75.
+  tracker.record(ReplicaId{1}, 0.25, true);
+
+  const CalibrationSnapshot snap = tracker.snapshot();
+  EXPECT_NEAR(snap.global.ece(), (2.0 * 0.4 + 1.0 * 0.75) / 3.0, 1e-12);
+  // Lifetime Brier: (0.01 + 0.81 + 0.5625) / 3.
+  EXPECT_NEAR(snap.global.brier_mean(), (0.01 + 0.81 + 0.5625) / 3.0, 1e-12);
+}
+
+TEST(CalibrationBrier, WindowEvictsOldestSample)
+{
+  CalibrationConfig config = quiet_config();
+  config.brier_window = 2;
+  CalibrationTracker tracker{config};
+  tracker.record(ReplicaId{1}, 1.0, false);  // brier 1.0 — evicted below
+  tracker.record(ReplicaId{1}, 0.5, true);   // brier 0.25
+  tracker.record(ReplicaId{1}, 1.0, true);   // brier 0.0
+
+  const CalibrationSnapshot snap = tracker.snapshot();
+  EXPECT_EQ(snap.window_fill, 2u);
+  EXPECT_NEAR(snap.brier_window_mean, (0.25 + 0.0) / 2.0, 1e-12);
+  // The lifetime mean still sees all three.
+  EXPECT_NEAR(snap.global.brier_mean(), (1.0 + 0.25 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(CalibrationReplicas, AttributionAndStaleness) {
+  CalibrationTracker tracker{quiet_config()};
+  tracker.record(ReplicaId{1}, 0.9, true);
+  tracker.record(ReplicaId{2}, 0.8, false);
+  tracker.record(ReplicaId{}, 0.7, false);  // unanswered: global only
+  tracker.record(ReplicaId{1}, 0.9, true);
+
+  const CalibrationSnapshot snap = tracker.snapshot();
+  EXPECT_EQ(snap.global.samples, 4u);
+  ASSERT_EQ(snap.replicas.size(), 2u);
+  EXPECT_EQ(snap.replicas[0].replica, ReplicaId{1});
+  EXPECT_EQ(snap.replicas[0].stats.samples, 2u);
+  EXPECT_EQ(snap.replicas[0].staleness, 0u);  // answered the 4th sample
+  EXPECT_EQ(snap.replicas[1].replica, ReplicaId{2});
+  EXPECT_EQ(snap.replicas[1].stats.samples, 1u);
+  EXPECT_EQ(snap.replicas[1].staleness, 2u);  // samples 3 and 4 went elsewhere
+}
+
+TEST(CalibrationDrift, QuietOnACalibratedStream) {
+  CalibrationConfig config;
+  config.warmup_samples = 0;
+  CalibrationTracker tracker{config};
+  // p = 0.9 and outcomes timely exactly 9 times out of 10: residuals sum
+  // to ~0 per cycle, so the one-sided statistic keeps draining.
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int i = 0; i < 9; ++i) EXPECT_FALSE(tracker.record(ReplicaId{1}, 0.9, true).has_value());
+    EXPECT_FALSE(tracker.record(ReplicaId{1}, 0.9, false).has_value());
+  }
+  EXPECT_EQ(tracker.snapshot().drift.alarms, 0u);
+}
+
+TEST(CalibrationDrift, FiresWhenPredictionsDecouple) {
+  CalibrationConfig config;
+  config.warmup_samples = 10;
+  config.drift_threshold = 3.0;
+  CalibrationTracker tracker{config};
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(tracker.record(ReplicaId{1}, 0.9, true).has_value());
+
+  // Service shifted under the model: confident predictions, all misses.
+  // Each miss adds ~0.89 to the statistic -> alarm on the 4th.
+  std::optional<CalibrationTracker::DriftSignal> signal;
+  int misses = 0;
+  while (!signal.has_value() && misses < 20) {
+    ++misses;
+    signal = tracker.record(ReplicaId{1}, 0.9, false);
+  }
+  ASSERT_TRUE(signal.has_value());
+  EXPECT_EQ(misses, 4);
+  EXPECT_GT(signal->statistic, config.drift_threshold);
+  EXPECT_EQ(signal->sample, 24u);
+  const CalibrationSnapshot snap = tracker.snapshot();
+  EXPECT_EQ(snap.drift.alarms, 1u);
+  EXPECT_EQ(snap.drift.last_alarm_sample, 24u);
+}
+
+TEST(CalibrationDrift, WarmupAndCooldownSuppressAlarms) {
+  CalibrationConfig config;
+  config.warmup_samples = 50;
+  config.drift_threshold = 3.0;
+  config.drift_cooldown = 30;
+  CalibrationTracker tracker{config};
+  // All-miss from the start: nothing may fire during warm-up.
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(tracker.record(ReplicaId{1}, 0.9, false).has_value());
+
+  // Sustained decoupling after warm-up: consecutive alarms must be
+  // separated by at least the cooldown.
+  std::vector<std::uint64_t> alarm_samples;
+  for (int i = 0; i < 200; ++i) {
+    if (const auto signal = tracker.record(ReplicaId{1}, 0.9, false)) {
+      alarm_samples.push_back(signal->sample);
+    }
+  }
+  ASSERT_GE(alarm_samples.size(), 2u);
+  for (std::size_t i = 1; i < alarm_samples.size(); ++i) {
+    EXPECT_GT(alarm_samples[i] - alarm_samples[i - 1], config.drift_cooldown);
+  }
+}
+
+// ---------------------------------------------------------- property
+
+/// Brute-force recomputation of the tracker's statistics from the raw
+/// (predicted, timely, first_replica) stream — the oracle the streaming
+/// implementation must match bit-for-bit.
+struct BruteForce {
+  std::size_t bins;
+  std::size_t window;
+  std::vector<RequestTrace> stream;
+
+  [[nodiscard]] ReliabilityStats stats_for(ReplicaId replica) const {
+    ReliabilityStats stats;
+    stats.bins.resize(bins);
+    for (std::size_t b = 0; b < bins; ++b) {
+      stats.bins[b].lower = static_cast<double>(b) / static_cast<double>(bins);
+      stats.bins[b].upper = static_cast<double>(b + 1) / static_cast<double>(bins);
+    }
+    for (const RequestTrace& t : stream) {
+      if (replica.value() != 0 && t.first_replica != replica) continue;
+      std::size_t index =
+          static_cast<std::size_t>(t.predicted_probability * static_cast<double>(bins));
+      index = std::min(index, bins - 1);
+      ++stats.bins[index].count;
+      stats.bins[index].predicted_sum += t.predicted_probability;
+      if (t.timely) ++stats.bins[index].timely;
+      ++stats.samples;
+      const double residual = t.predicted_probability - (t.timely ? 1.0 : 0.0);
+      stats.brier_sum += residual * residual;
+    }
+    return stats;
+  }
+
+  [[nodiscard]] double window_brier() const {
+    const std::size_t start = stream.size() > window ? stream.size() - window : 0;
+    double sum = 0.0;
+    for (std::size_t i = start; i < stream.size(); ++i) {
+      const double residual =
+          stream[i].predicted_probability - (stream[i].timely ? 1.0 : 0.0);
+      sum += residual * residual;
+    }
+    return sum / static_cast<double>(stream.size() - start);
+  }
+};
+
+void expect_stats_equal(const ReliabilityStats& streaming, const ReliabilityStats& brute) {
+  ASSERT_EQ(streaming.bins.size(), brute.bins.size());
+  EXPECT_EQ(streaming.samples, brute.samples);
+  EXPECT_DOUBLE_EQ(streaming.brier_sum, brute.brier_sum);
+  for (std::size_t b = 0; b < brute.bins.size(); ++b) {
+    EXPECT_EQ(streaming.bins[b].count, brute.bins[b].count) << "bin " << b;
+    EXPECT_EQ(streaming.bins[b].timely, brute.bins[b].timely) << "bin " << b;
+    EXPECT_DOUBLE_EQ(streaming.bins[b].predicted_sum, brute.bins[b].predicted_sum)
+        << "bin " << b;
+  }
+  EXPECT_DOUBLE_EQ(streaming.ece(), brute.ece());
+}
+
+TEST(CalibrationProperty, StreamingMatchesBruteForceOverRandomStreams) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng = Rng{seed}.fork("calibration-property");
+    CalibrationConfig config = quiet_config();
+    config.brier_window = static_cast<std::size_t>(rng.uniform_int(1, 64));
+    CalibrationTracker tracker{config};
+    BruteForce oracle{config.bins, config.brier_window, {}};
+
+    const std::size_t samples = static_cast<std::size_t>(rng.uniform_int(1, 400));
+    for (std::size_t i = 0; i < samples; ++i) {
+      RequestTrace t;
+      t.predicted_probability = rng.uniform01();
+      t.timely = rng.bernoulli(t.predicted_probability * 0.8 + 0.1);
+      // ~1 in 5 unanswered (zero replica id -> global scope only).
+      t.first_replica = ReplicaId{static_cast<std::uint64_t>(rng.uniform_int(0, 4))};
+      tracker.record(t.first_replica, t.predicted_probability, t.timely);
+      oracle.stream.push_back(t);
+    }
+
+    const CalibrationSnapshot snap = tracker.snapshot();
+    expect_stats_equal(snap.global, oracle.stats_for(ReplicaId{}));
+    // The tracker maintains the window sum incrementally (add on entry,
+    // subtract on eviction) while the oracle sums afresh — identical in
+    // exact arithmetic, a few ulps apart in floating point.
+    EXPECT_NEAR(snap.brier_window_mean, oracle.window_brier(), 1e-12) << "seed " << seed;
+    for (const ReplicaCalibration& r : snap.replicas) {
+      expect_stats_equal(r.stats, oracle.stats_for(r.replica));
+    }
+  }
+}
+
+TEST(CalibrationProperty, GaugesMirrorTheSnapshot) {
+  Telemetry telemetry;
+  Rng rng = Rng{7}.fork("calibration-gauges");
+  for (int i = 0; i < 200; ++i) {
+    const double p = rng.uniform01();
+    telemetry.record_calibration(TimePoint{usec(i)}, ClientId{1},
+                                 ReplicaId{static_cast<std::uint64_t>(rng.uniform_int(1, 3))},
+                                 p, rng.bernoulli(p));
+  }
+  ASSERT_NE(telemetry.calibration(), nullptr);
+  const CalibrationSnapshot snap = telemetry.calibration()->snapshot();
+  const auto gauges = telemetry.metrics().gauges();
+  const auto gauge = [&gauges](const std::string& name) {
+    for (const auto& [n, v] : gauges) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing gauge " << name;
+    return 0.0;
+  };
+  EXPECT_DOUBLE_EQ(gauge("calibration.ece"), snap.global.ece());
+  EXPECT_DOUBLE_EQ(gauge("calibration.brier_window"), snap.brier_window_mean);
+  EXPECT_DOUBLE_EQ(gauge("calibration.brier_lifetime"), snap.global.brier_mean());
+  for (const ReplicaCalibration& r : snap.replicas) {
+    const std::string prefix = "calibration.replica." + std::to_string(r.replica.value());
+    EXPECT_DOUBLE_EQ(gauge(prefix + ".ece"), r.stats.ece());
+    EXPECT_DOUBLE_EQ(gauge(prefix + ".staleness"), static_cast<double>(r.staleness));
+  }
+}
+
+// ------------------------------------------------------------ exports
+
+TEST(CalibrationExport, RingAndCsvRoundTripAgree) {
+  // Regression for the figure pipeline's move off the CSV re-parse: a
+  // report aggregated from the trace ring must equal one aggregated from
+  // the write -> read CSV round trip, and the parsed traces must equal
+  // the originals (predicted_probability included).
+  Telemetry telemetry;
+  Rng rng = Rng{11}.fork("ring-vs-csv");
+  for (std::uint64_t i = 1; i <= 120; ++i) {
+    RequestTrace t;
+    t.client = ClientId{1};
+    t.request = RequestId{i};
+    t.t0 = TimePoint{msec(static_cast<std::int64_t>(i))};
+    t.t1 = t.t0 + usec(50);
+    t.deadline = msec(20);
+    t.min_probability = 0.9;
+    // The CSV contract carries kProbabilityPrecision decimal places, so a
+    // value that honours it must round-trip to the identical double.
+    t.predicted_probability = std::round(rng.uniform01() * 1e9) / 1e9;
+    t.redundancy = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    t.feasible = true;
+    t.answered = rng.bernoulli(0.9);
+    t.timely = t.answered && rng.bernoulli(0.85);
+    if (t.answered) {
+      t.response_time = msec(rng.uniform_int(5, 40));
+      t.t4 = t.t0 + *t.response_time;
+      t.service_time = msec(4);
+      t.queuing_delay = msec(1);
+      t.gateway_delay = usec(300);
+      t.first_replica = ReplicaId{static_cast<std::uint64_t>(rng.uniform_int(1, 4))};
+    }
+    telemetry.record_request(t);
+  }
+
+  const std::vector<RequestTrace> ring = telemetry.request_traces();
+  std::stringstream csv;
+  write_requests_csv(csv, ring);
+  const std::vector<RequestTrace> parsed = read_requests_csv(csv);
+  ASSERT_EQ(parsed.size(), ring.size());
+  for (std::size_t i = 0; i < ring.size(); ++i) EXPECT_EQ(parsed[i], ring[i]) << "row " << i;
+
+  const trace::ClientRunReport from_ring = to_run_report(ring, ClientId{1}, "client-1");
+  const trace::ClientRunReport from_csv = to_run_report(parsed, ClientId{1}, "client-1");
+  EXPECT_EQ(from_ring.requests, from_csv.requests);
+  EXPECT_EQ(from_ring.answered, from_csv.answered);
+  EXPECT_EQ(from_ring.timing_failures, from_csv.timing_failures);
+  EXPECT_EQ(from_ring.summary_line(), from_csv.summary_line());
+}
+
+TEST(CalibrationExport, JsonCarriesTheSnapshot) {
+  Telemetry telemetry;
+  telemetry.record_calibration(TimePoint{msec(1)}, ClientId{1}, ReplicaId{2}, 0.9, true);
+  telemetry.record_calibration(TimePoint{msec(2)}, ClientId{1}, ReplicaId{2}, 0.9, false);
+
+  std::stringstream json;
+  write_calibration_json(json, telemetry);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"global\""), std::string::npos);
+  EXPECT_NE(text.find("\"brier_window_mean\""), std::string::npos);
+  EXPECT_NE(text.find("\"replica\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"drift\""), std::string::npos);
+  EXPECT_NE(text.find("\"threshold\""), std::string::npos);
+
+  // The full snapshot embeds the same section.
+  std::stringstream snapshot;
+  write_snapshot_json(snapshot, telemetry);
+  EXPECT_NE(snapshot.str().find("\"calibration\":{\"enabled\":true"), std::string::npos);
+}
+
+TEST(CalibrationExport, DisabledTrackerSerializesAsDisabled) {
+  TelemetryConfig config;
+  config.calibration.enabled = false;
+  Telemetry telemetry{config};
+  telemetry.record_calibration(TimePoint{msec(1)}, ClientId{1}, ReplicaId{2}, 0.9, true);
+  EXPECT_EQ(telemetry.calibration(), nullptr);
+
+  std::stringstream json;
+  write_calibration_json(json, telemetry);
+  EXPECT_EQ(json.str(), "{\"enabled\":false}");
+
+  std::stringstream csv;
+  write_calibration_csv(csv, telemetry);
+  EXPECT_EQ(csv.str(), "scope,bin_lower,bin_upper,count,mean_predicted,"
+                       "timely_fraction,ece,brier_mean,staleness\n");
+}
+
+TEST(CalibrationExport, CsvHasOneRowPerScopeBin) {
+  Telemetry telemetry;
+  telemetry.record_calibration(TimePoint{msec(1)}, ClientId{1}, ReplicaId{2}, 0.95, true);
+
+  std::stringstream csv;
+  write_calibration_csv(csv, telemetry);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(csv, line)) ++lines;
+  // Header + 10 global bins + 10 bins for replica 2.
+  EXPECT_EQ(lines, 21u);
+  EXPECT_NE(csv.str().find("global,"), std::string::npos);
+  EXPECT_NE(csv.str().find("2,0.900000000,1.000000000,1,0.950000000,1.000000000,"),
+            std::string::npos);
+}
+
+TEST(CalibrationAlerts, DriftBecomesAStructuredAlertEvent) {
+  Telemetry telemetry;
+  // Warm-up (default 20) then decouple; the alert must carry the
+  // Page-Hinkley statistic and land in the alert ring.
+  for (int i = 0; i < 25; ++i) {
+    telemetry.record_calibration(TimePoint{msec(i)}, ClientId{3}, ReplicaId{1}, 0.9, true);
+  }
+  for (int i = 0; i < 10; ++i) {
+    telemetry.record_calibration(TimePoint{msec(100 + i)}, ClientId{3}, ReplicaId{1}, 0.9,
+                                 false);
+  }
+  const std::vector<AlertEvent> alerts = telemetry.alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, AlertKind::kCalibrationDrift);
+  EXPECT_EQ(alerts[0].client, ClientId{3});
+  EXPECT_EQ(alerts[0].replica, ReplicaId{1});
+  EXPECT_GT(alerts[0].observed, alerts[0].threshold);
+  EXPECT_NE(alerts[0].detail.find("prediction residual"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua::obs

@@ -24,6 +24,7 @@ RequestTrace answered_trace(std::uint64_t request, Duration response, bool timel
   t.t1 = t.t0 + usec(40);
   t.deadline = msec(25);
   t.min_probability = 0.95;
+  t.predicted_probability = 0.975308642;  // needs all kProbabilityPrecision digits
   t.redundancy = 2;
   t.feasible = true;
   t.answered = true;

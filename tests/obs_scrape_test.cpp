@@ -61,6 +61,7 @@ void populate(Telemetry& telemetry) {
                           .observed = 0.5,
                           .threshold = 0.9,
                           .detail = "test alert"});
+  telemetry.record_calibration(TimePoint{msec(3)}, ClientId{1}, ReplicaId{2}, 0.9, true);
 }
 
 TEST(ScrapeServer, ServesPrometheusTextOnMetrics) {
@@ -95,6 +96,11 @@ TEST(ScrapeServer, ServesSnapshotAlertsAndTraces) {
   const std::string alerts = http_get(server.port(), "/alerts");
   EXPECT_NE(alerts.find("\"kind\":\"qos_violation\""), std::string::npos);
   EXPECT_NE(alerts.find("test alert"), std::string::npos);
+
+  const std::string calibration = http_get(server.port(), "/calibration");
+  EXPECT_NE(calibration.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(calibration.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(calibration.find("\"replica\":2"), std::string::npos);
 
   const std::string perfetto = http_get(server.port(), "/trace");
   EXPECT_NE(perfetto.find("\"displayTimeUnit\":\"ms\""), std::string::npos);

@@ -123,8 +123,10 @@ void print_usage() {
       "  --obs-flush-ms MS      print a metrics JSON line every MS simulated ms\n"
       "  --perfetto FILE        write the span ring as Chrome trace-event JSON\n"
       "                         (open in ui.perfetto.dev)\n"
-      "  --scrape-port P        serve /metrics, /snapshot, /alerts, /trace,\n"
-      "                         /traces/<id> on 127.0.0.1:P (0 = ephemeral)\n"
+      "  --scrape-port P        serve /metrics, /snapshot, /alerts, /calibration,\n"
+      "                         /trace, /traces/<id> on 127.0.0.1:P (0 = ephemeral);\n"
+      "                         in a --listen replica process, serves that replica's\n"
+      "                         server-side metrics (queue length, cancel fates)\n"
       "  --serve-seconds S      keep the scrape endpoint up S seconds after the run\n"
       "runtime:\n"
       "  --threaded             wall-clock threaded runtime instead of the simulator\n"
@@ -325,20 +327,39 @@ void fill_client_config(const Options& opt, runtime::ThreadedClientConfig& clien
 }
 
 /// UDP replica process: one ThreadedReplica behind a fixed-port endpoint,
-/// serving until --run-seconds elapse (0 = until killed).
+/// serving until --run-seconds elapse (0 = until killed). With
+/// --scrape-port the server side gets its own Telemetry hub — queue
+/// length, cancel fates, chunk demand — scrapable while it serves.
 int run_udp_replica(const Options& opt) {
   const auto [address, port] = parse_host_port(opt.listen);
   net::UdpTransportConfig transport_config;
   transport_config.bind_address = address;
   net::UdpTransport transport{transport_config};
 
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (opt.scrape_port >= 0) {
+    telemetry = std::make_unique<obs::Telemetry>();
+    transport.set_telemetry(telemetry.get());
+  }
+
   const stats::SamplerPtr service = make_service_sampler(opt);
   runtime::ThreadedReplica replica{ReplicaId{opt.replica_id}, service,
-                                   Rng{opt.seed}.fork("replica").fork(opt.replica_id)};
+                                   Rng{opt.seed}.fork("replica").fork(opt.replica_id),
+                                   telemetry.get()};
   runtime::ReplicaEndpoint endpoint{
-      transport, replica, [&transport, &opt, port = port](net::ReceiveFn fn) {
+      transport, replica,
+      [&transport, &opt, port = port](net::ReceiveFn fn) {
         return transport.create_endpoint_on(HostId{opt.replica_id}, port, std::move(fn));
-      }};
+      },
+      telemetry.get()};
+  std::unique_ptr<obs::ScrapeServer> scrape;
+  if (telemetry != nullptr) {
+    scrape = std::make_unique<obs::ScrapeServer>(*telemetry,
+                                                 static_cast<std::uint16_t>(opt.scrape_port));
+    std::printf("replica-%llu scrape endpoint live on http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned long long>(opt.replica_id),
+                static_cast<unsigned>(scrape->port()));
+  }
   std::printf("replica-%llu listening on %s:%u (service=%s)\n",
               static_cast<unsigned long long>(opt.replica_id), address.c_str(),
               static_cast<unsigned>(transport.endpoint_port(endpoint.endpoint())),

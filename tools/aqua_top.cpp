@@ -10,7 +10,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -114,9 +116,97 @@ std::vector<std::string> parse_alert_lines(const std::string& body) {
   return lines;
 }
 
+/// First numeric value after `"key":` at/after `from`; NaN when absent.
+/// Good enough for our own exporter's stable field order — aqua_top
+/// deliberately carries no JSON parser.
+double find_number(const std::string& body, const std::string& key, std::size_t from,
+                   std::size_t* next = nullptr) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = body.find(needle, from);
+  if (at == std::string::npos) return std::nan("");
+  if (next != nullptr) *next = at + needle.size();
+  return std::atof(body.c_str() + at + needle.size());
+}
+
+/// Calibration panel: reliability sparkline over the global decile bins
+/// (observed timely fraction per bin, '.' where a bin is empty), the
+/// worst-calibrated replica by ECE, and the freshest drift alert.
+void append_calibration_panel(std::ostringstream& frame, const std::string& body,
+                              const std::vector<std::string>& alerts) {
+  frame << "\n  calibration: ";
+  if (body.empty() || body.find("\"enabled\":true") == std::string::npos) {
+    frame << "disabled\n";
+    return;
+  }
+  const double samples = find_number(body, "samples", 0);
+  const double ece = find_number(body, "ece", 0);
+  const double brier = find_number(body, "brier_window_mean", 0);
+  char head[96];
+  std::snprintf(head, sizeof head, "%.0f samples, ece %.3f, window brier %.3f\n", samples, ece,
+                brier);
+  frame << head;
+
+  // Sparkline: one glyph per global bin, height = timely fraction.
+  static const char* const kLevels[] = {"▁", "▂", "▃", "▄",
+                                        "▅", "▆", "▇", "█"};
+  frame << "    reliability 0->1: ";
+  const auto global_at = body.find("\"bins\":[");
+  const auto global_end = body.find(']', global_at);
+  std::size_t pos = global_at;
+  while (pos != std::string::npos && pos < global_end) {
+    pos = body.find('{', pos);
+    if (pos == std::string::npos || pos > global_end) break;
+    const double count = find_number(body, "count", pos);
+    const double timely = find_number(body, "timely_fraction", pos);
+    if (count <= 0.0) {
+      frame << '.';
+    } else {
+      const int level = std::min(7, static_cast<int>(timely * 8.0));
+      frame << kLevels[level < 0 ? 0 : level];
+    }
+    pos = body.find('}', pos);
+  }
+  frame << '\n';
+
+  // Worst-calibrated replica: max stats.ece over the replicas array.
+  const auto replicas_at = body.find("\"replicas\":[");
+  const auto drift_at = body.find("\"drift\":");
+  double worst_ece = -1.0;
+  double worst_id = 0.0;
+  pos = replicas_at;
+  while (pos != std::string::npos && pos < drift_at) {
+    std::size_t after = 0;
+    const double id = find_number(body, "replica", pos, &after);
+    if (std::isnan(id) || after >= drift_at) break;
+    const double replica_ece = find_number(body, "ece", after);
+    if (replica_ece > worst_ece) {
+      worst_ece = replica_ece;
+      worst_id = id;
+    }
+    pos = after;
+  }
+  if (worst_ece >= 0.0) {
+    char line[96];
+    std::snprintf(line, sizeof line, "    worst replica:     #%.0f (ece %.3f)\n", worst_id,
+                  worst_ece);
+    frame << line;
+  }
+
+  const double alarms = find_number(body, "alarms", drift_at);
+  std::string last_drift = "none";
+  for (const std::string& alert : alerts) {
+    if (alert.rfind("calibration_drift", 0) == 0) last_drift = alert;
+  }
+  char drift_line[160];
+  std::snprintf(drift_line, sizeof drift_line, "    drift alarms %.0f, last: %s\n", alarms,
+                last_drift.c_str());
+  frame << drift_line;
+}
+
 void draw(const Options& opt, bool clear) {
   const std::string metrics_body = http_get(opt.host, opt.port, "/metrics");
   const std::string alerts_body = http_get(opt.host, opt.port, "/alerts");
+  const std::string calibration_body = http_get(opt.host, opt.port, "/calibration");
   std::ostringstream frame;
   frame << "aqua_top — " << opt.host << ':' << opt.port << "\n\n";
   if (metrics_body.empty()) {
@@ -135,6 +225,7 @@ void draw(const Options& opt, bool clear) {
     frame << "\n  alerts (" << alerts.size() << "):\n";
     const std::size_t shown = alerts.size() > 10 ? alerts.size() - 10 : 0;
     for (std::size_t i = shown; i < alerts.size(); ++i) frame << "    " << alerts[i] << '\n';
+    append_calibration_panel(frame, calibration_body, alerts);
   }
   if (clear) std::fputs("\033[2J\033[H", stdout);
   std::fputs(frame.str().c_str(), stdout);

@@ -9,7 +9,13 @@
 # the selection hot path measurably slower than no hub at all. After the
 # gates, observability acceptance checks run (ISSUE 4): machine-readable
 # bench JSON artifacts, byte-identical Perfetto export across same-seed
-# runs, and a live /metrics scrape against a threaded run.
+# runs, and a live /metrics scrape against a threaded run. The
+# calibration gates cover the prediction-calibration layer: a disabled
+# tracker must stay within 2% of the bare outcome path, the scripted
+# service-shift scenario must raise the drift alert deterministically
+# before the QoS violation, calibration_report must emit
+# BENCH_calibration.json (quiet on stationary runs), and /calibration
+# must serve the live tracker.
 #
 # Usage: tools/run_checks.sh [jobs]
 set -euo pipefail
@@ -42,6 +48,19 @@ step "Telemetry-overhead gate: disabled hub within 2% of bare hot path"
 build/bench/selection_hot_path --check-telemetry-overhead
 test -s build/bench/BENCH_selection.json
 grep -q '"commit":' build/bench/BENCH_selection.json
+
+step "Calibration-overhead gate: disabled tracker within 2% of bare outcome path"
+build/bench/selection_hot_path --check-calibration-overhead
+grep -q '"metric":"calibration_disabled_overhead"' build/bench/BENCH_selection.json
+
+step "Drift determinism: scripted service shift trips calibration before QoS"
+ctest --test-dir build --output-on-failure -R 'CalibrationDrift'
+
+step "Bench JSON: calibration report emits BENCH_calibration.json"
+build/bench/calibration_report >/dev/null
+test -s build/bench/BENCH_calibration.json
+grep -q '"metric":"shifted_drift_alarms"' build/bench/BENCH_calibration.json
+grep -q '"metric":"stationary_drift_alarms","value":0\b' build/bench/BENCH_calibration.json
 
 step "Bench JSON: fig5 sweep emits BENCH_fig5.json"
 AQUA_BENCH_SEEDS=1 build/bench/fig5_timing_failures >/dev/null
@@ -99,6 +118,24 @@ done
 wait "${EXPERIMENT_PID}"
 printf '%s\n' "${SCRAPE_BODY}" | grep -q '200 OK'
 printf '%s\n' "${SCRAPE_BODY}" | grep -q '^# TYPE aqua_'
+
+step "Calibration scrape: /calibration serves the tracker after a sim run"
+build/tools/aqua_experiment --seed 7 --requests 30 --replicas 4 \
+  --scrape-port "${SCRAPE_PORT}" --serve-seconds 2 \
+  >"${GOLD_DIR}/calibration.log" &
+EXPERIMENT_PID=$!
+CAL_BODY=""
+for _ in $(seq 1 40); do
+  if CAL_BODY="$(exec 3<>"/dev/tcp/127.0.0.1/${SCRAPE_PORT}" &&
+      printf 'GET /calibration HTTP/1.0\r\n\r\n' >&3 && cat <&3 && exec 3<&-)"; then
+    [ -n "${CAL_BODY}" ] && break
+  fi
+  sleep 0.25
+done
+wait "${EXPERIMENT_PID}"
+printf '%s\n' "${CAL_BODY}" | grep -q '200 OK'
+printf '%s\n' "${CAL_BODY}" | grep -q '"enabled":true'
+printf '%s\n' "${CAL_BODY}" | grep -q '"drift":'
 
 step "Configure + build: ThreadSanitizer (build-tsan/)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DENABLE_TSAN=ON >/dev/null
