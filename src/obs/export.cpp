@@ -72,7 +72,17 @@ void write_metrics_object(std::ostream& out, const Telemetry& telemetry) {
         << ",\"sum_us\":" << h.sum_us << ",\"mean_us\":" << json_number(h.mean_us)
         << ",\"p50_us\":" << h.p50_us << ",\"p90_us\":" << h.p90_us
         << ",\"p99_us\":" << h.p99_us << ",\"p999_us\":" << h.p999_us
-        << ",\"max_us\":" << h.max_us << '}';
+        << ",\"max_us\":" << h.max_us << ",\"bins\":[";
+    // Sparse [bin, count] pairs: the raw log-binned state a fleet
+    // collector merges bin-wise (averaging quantiles is meaningless).
+    bool first_bin = true;
+    for (std::size_t bin = 0; bin < Histogram::kBinCount; ++bin) {
+      if (h.bins.bins[bin] == 0) continue;
+      if (!first_bin) out << ',';
+      first_bin = false;
+      out << '[' << bin << ',' << h.bins.bins[bin] << ']';
+    }
+    out << "]}";
   }
   out << "}}";
 }
@@ -164,7 +174,11 @@ bool parse_bool(const std::string& cell) {
 }  // namespace
 
 void write_snapshot_json(std::ostream& out, const Telemetry& telemetry) {
-  out << "{\"metrics\":";
+  // now_us: this hub's wall clock at serialization time, on the same
+  // axis its (threaded-runtime) spans are stamped with. A scraper that
+  // brackets the GET with its own clock can estimate the per-node clock
+  // offset from it — see obs/fleet.h.
+  out << "{\"now_us\":" << count_us(telemetry.wall_now()) << ",\"metrics\":";
   write_metrics_object(out, telemetry);
   out << ",\"requests_recorded\":" << telemetry.requests_recorded()
       << ",\"requests_dropped\":" << telemetry.requests_dropped()

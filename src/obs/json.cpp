@@ -1,0 +1,215 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace aqua::obs::json {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value document() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing bytes after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("json: " + std::string{what} + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      default: return number();
+    }
+  }
+
+  static Value make_bool(bool b) {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string_body();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value string_value() {
+    Value v;
+    v.kind = Value::Kind::kString;
+    v.string = string_body();
+    return v;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          // Our exporters only \u-escape control bytes (< 0x20), so the
+          // BMP-only decode below covers everything we emit; other
+          // code points decode as UTF-8 without surrogate pairing.
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned int code = 0;
+          const auto [end, ec] =
+              std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc{} || end != text_.data() + pos_ + 4) fail("bad \\u escape");
+          pos_ += 4;
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool fractional = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        fractional = fractional || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string literal{text_.substr(start, pos_ - start)};
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = std::strtod(literal.c_str(), nullptr);
+    if (!fractional) {
+      const auto [end, ec] = std::from_chars(literal.data(), literal.data() + literal.size(),
+                                             v.integer);
+      if (ec == std::errc{} && end == literal.data() + literal.size()) v.is_integer = true;
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser{text}.document(); }
+
+}  // namespace aqua::obs::json

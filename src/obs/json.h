@@ -1,0 +1,85 @@
+// Minimal recursive-descent JSON parser for scrape parse-back.
+//
+// The fleet collector (obs/fleet.h) reads its own exporters' output —
+// /snapshot and /spans bodies produced by export.cpp — so this parser
+// only needs honest RFC 8259 structure, not streaming, SAX, or comments.
+// Values are parsed into one owning tree; numbers keep both an integer
+// and a double view because metric counts are exact uint64s while gauges
+// are doubles.
+//
+// Errors throw std::runtime_error with a byte offset: a malformed body
+// from a half-dead endpoint is a per-node scrape failure, not a crash.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aqua::obs::json {
+
+class Value;
+
+/// Parse one JSON document. Trailing non-whitespace bytes are an error.
+[[nodiscard]] Value parse(std::string_view text);
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  /// Numbers: `integer` is valid when `is_integer` (no '.', 'e', or
+  /// overflow in the literal); `number` is always the double view.
+  bool is_integer = false;
+  std::int64_t integer = 0;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /// Insertion-ordered; exporters never emit duplicate keys.
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+
+  /// Member lookup; null when absent or when this is not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [name, value] : object) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+
+  /// Typed accessors with defaults — the scrape path treats a missing
+  /// or mistyped field as "endpoint predates this field", not an error.
+  [[nodiscard]] std::int64_t as_i64(std::int64_t fallback = 0) const {
+    if (kind != Kind::kNumber) return fallback;
+    return is_integer ? integer : static_cast<std::int64_t>(number);
+  }
+  [[nodiscard]] std::uint64_t as_u64(std::uint64_t fallback = 0) const {
+    const std::int64_t v = as_i64(static_cast<std::int64_t>(fallback));
+    return v < 0 ? fallback : static_cast<std::uint64_t>(v);
+  }
+  [[nodiscard]] double as_double(double fallback = 0.0) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return kind == Kind::kBool ? boolean : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const { return string; }
+
+  /// Convenience: find(key) with typed fallback, for flat snapshots.
+  [[nodiscard]] std::uint64_t u64(std::string_view key, std::uint64_t fallback = 0) const {
+    const Value* v = find(key);
+    return v == nullptr ? fallback : v->as_u64(fallback);
+  }
+  [[nodiscard]] double dbl(std::string_view key, double fallback = 0.0) const {
+    const Value* v = find(key);
+    return v == nullptr ? fallback : v->as_double(fallback);
+  }
+};
+
+}  // namespace aqua::obs::json

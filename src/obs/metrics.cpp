@@ -5,8 +5,15 @@
 
 namespace aqua::obs {
 
-std::int64_t Histogram::quantile(double q) const {
-  const std::uint64_t n = count();
+void HistogramBins::merge(const HistogramBins& other) {
+  for (std::size_t bin = 0; bin < Histogram::kBinCount; ++bin) bins[bin] += other.bins[bin];
+  count += other.count;
+  sum_us += other.sum_us;
+  max_us = std::max(max_us, other.max_us);
+}
+
+std::int64_t HistogramBins::quantile(double q) const {
+  const std::uint64_t n = count;
   if (n == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   // Nearest-rank: the smallest value with cumulative count >= ceil(q * n).
@@ -14,24 +21,26 @@ std::int64_t Histogram::quantile(double q) const {
       1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
   // A rank at (or past — p999 with n < 1000 rounds up to rank n) the last
   // sample is the recorded maximum, exactly, whatever bin it lives in.
-  if (rank >= n) return max_value();
+  if (rank >= n) return max_us;
   std::uint64_t cumulative = 0;
-  for (std::size_t bin = 0; bin < kBinCount; ++bin) {
-    cumulative += bin_count(bin);
+  for (std::size_t bin = 0; bin < Histogram::kBinCount; ++bin) {
+    cumulative += bins[bin];
     if (cumulative < rank) continue;
-    if (bin == kOverflowBin) return max_value();
+    if (bin == Histogram::kOverflowBin) return max_us;
     if (cumulative == rank) {
       // The ranked sample is the LAST one in this bin: every sample at
       // or below the rank fits under the bin's lower edge's successor,
       // so report the lower edge rather than overstating by a full bin.
-      return bin == 0 ? 0 : bin_upper_bound(bin - 1);
+      return bin == 0 ? 0 : Histogram::bin_upper_bound(bin - 1);
     }
-    return bin_upper_bound(bin);
+    return Histogram::bin_upper_bound(bin);
   }
-  // Concurrent writers can leave count() ahead of the bin sums for a
+  // Concurrent writers can leave count ahead of the bin sums for a
   // moment; fall back to the largest value seen.
-  return max_value();
+  return max_us;
 }
+
+std::int64_t Histogram::quantile(double q) const { return bins_of(*this).quantile(q); }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   const std::scoped_lock lock(mutex_);
@@ -78,17 +87,33 @@ std::vector<HistogramSnapshot> MetricsRegistry::histograms() const {
   return out;
 }
 
+HistogramBins bins_of(const Histogram& h) {
+  HistogramBins out;
+  for (std::size_t bin = 0; bin < Histogram::kBinCount; ++bin) out.bins[bin] = h.bin_count(bin);
+  out.count = h.count();
+  out.sum_us = h.sum();
+  out.max_us = h.max_value();
+  return out;
+}
+
 HistogramSnapshot snapshot(const std::string& name, const Histogram& h) {
+  // One bin copy feeds every derived field, so the snapshot is internally
+  // consistent even while writers keep recording.
+  return snapshot(name, bins_of(h));
+}
+
+HistogramSnapshot snapshot(const std::string& name, const HistogramBins& bins) {
   HistogramSnapshot snap;
   snap.name = name;
-  snap.count = h.count();
-  snap.sum_us = h.sum();
-  snap.mean_us = h.mean();
-  snap.p50_us = h.quantile(0.50);
-  snap.p90_us = h.quantile(0.90);
-  snap.p99_us = h.quantile(0.99);
-  snap.p999_us = h.quantile(0.999);
-  snap.max_us = h.max_value();
+  snap.count = bins.count;
+  snap.sum_us = bins.sum_us;
+  snap.mean_us = bins.mean();
+  snap.p50_us = bins.quantile(0.50);
+  snap.p90_us = bins.quantile(0.90);
+  snap.p99_us = bins.quantile(0.99);
+  snap.p999_us = bins.quantile(0.999);
+  snap.max_us = bins.max_us;
+  snap.bins = bins;
   return snap;
 }
 

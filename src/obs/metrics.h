@@ -158,7 +158,34 @@ class Histogram {
   std::atomic<std::int64_t> max_{-1};
 };
 
-/// Point-in-time copy of one histogram, for exporters.
+/// Plain bin-wise histogram state: the mergeable, serializable form of a
+/// Histogram, and what fleet scrapes travel in (obs/fleet.h). Two nodes'
+/// bins summed bin-wise hold exactly the counts one histogram would hold
+/// had it been fed the union stream (binning is deterministic), so every
+/// quantile of a merge agrees with the union histogram bin-for-bin; the
+/// only non-bin state, max_us, merges exactly as max-of-maxes.
+struct HistogramBins {
+  std::array<std::uint64_t, Histogram::kBinCount> bins{};
+  std::uint64_t count = 0;
+  std::int64_t sum_us = 0;
+  std::int64_t max_us = 0;
+
+  /// Fold `other` into this (bin-wise sums, max-of-maxes).
+  void merge(const HistogramBins& other);
+
+  /// Same nearest-rank algorithm as Histogram::quantile — one
+  /// implementation, so merged snapshots and live histograms can never
+  /// disagree on what a quantile means.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum_us) / static_cast<double>(count);
+  }
+};
+
+/// Point-in-time copy of one histogram, for exporters. Carries the raw
+/// bins alongside the derived quantiles so a scraper can merge snapshots
+/// bin-wise instead of averaging quantiles (which is meaningless).
 struct HistogramSnapshot {
   std::string name;
   std::uint64_t count = 0;
@@ -169,6 +196,7 @@ struct HistogramSnapshot {
   std::int64_t p99_us = 0;
   std::int64_t p999_us = 0;
   std::int64_t max_us = 0;
+  HistogramBins bins;
 };
 
 /// Name-keyed home for metric instances. Lookup interns the metric on
@@ -195,5 +223,13 @@ class MetricsRegistry {
 
 /// Snapshot helper shared by registry and exporters.
 [[nodiscard]] HistogramSnapshot snapshot(const std::string& name, const Histogram& h);
+
+/// Point-in-time bin copy of a live histogram (relaxed loads; readers may
+/// observe count ahead of the bin sums mid-record, which the quantile
+/// walk tolerates).
+[[nodiscard]] HistogramBins bins_of(const Histogram& h);
+
+/// Snapshot from already-collected (typically merged) bins.
+[[nodiscard]] HistogramSnapshot snapshot(const std::string& name, const HistogramBins& bins);
 
 }  // namespace aqua::obs

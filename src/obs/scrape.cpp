@@ -153,6 +153,14 @@ std::string ScrapeServer::respond(const std::string& path) const {
     write_perfetto_json(body, telemetry_);
     return http_response(200, "OK", "application/json", body.str());
   }
+  if (path == "/spans") {
+    // Whole span ring as flat records — the machine-readable sibling of
+    // /trace, which a fleet collector can parse back into SpanRecords
+    // and stitch across processes (obs/fleet.h).
+    const std::vector<SpanRecord> spans = telemetry_.spans();
+    write_spans_json(body, std::span<const SpanRecord>{spans});
+    return http_response(200, "OK", "application/json", body.str());
+  }
   if (constexpr const char* kPrefix = "/traces/"; path.rfind(kPrefix, 0) == 0) {
     const std::string id_text = path.substr(std::strlen(kPrefix));
     std::uint64_t trace_id = 0;

@@ -11,6 +11,7 @@
 //   /alerts         QoS alert ring as JSON
 //   /calibration    prediction-calibration snapshot as JSON
 //   /trace          whole span ring as Chrome trace-event JSON
+//   /spans          whole span ring as flat JSON records (fleet stitching)
 //   /traces/<id>    one trace's spans as a JSON array (404 when unknown)
 //
 // The server binds 127.0.0.1 only: telemetry can carry method names and

@@ -1,0 +1,144 @@
+#include "obs/scrape_client.h"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace aqua::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+ScrapeResult failure(std::string error) {
+  ScrapeResult r;
+  r.error = std::move(error);
+  return r;
+}
+
+/// Milliseconds of budget left, clamped to [0, budget]; poll() wants int.
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(left.count());
+}
+
+}  // namespace
+
+ScrapeResult scrape_http_get(const std::string& host, std::uint16_t port,
+                             const std::string& path, const ScrapeOptions& options) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* info = nullptr;
+  const std::string port_text = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &info) != 0 ||
+      info == nullptr) {
+    return failure("cannot resolve " + host);
+  }
+
+  const int fd = ::socket(info->ai_family, info->ai_socktype | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    ::freeaddrinfo(info);
+    return failure("socket() failed");
+  }
+
+  // Non-blocking connect: in-progress is the normal case; poll for
+  // writability within the connect budget, then read SO_ERROR — a
+  // writable socket can still carry ECONNREFUSED.
+  const int rc = ::connect(fd, info->ai_addr, info->ai_addrlen);
+  ::freeaddrinfo(info);
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return failure(std::string{"connect: "} + std::strerror(errno));
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(to_ms(options.connect_timeout)));
+    if (ready <= 0) {
+      ::close(fd);
+      return failure("connect timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return failure(std::string{"connect: "} + std::strerror(err));
+    }
+  }
+
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::microseconds(count_us(options.read_timeout));
+
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (ready <= 0) {
+      ::close(fd);
+      return failure("request send timed out");
+    }
+    const ssize_t w =
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (w <= 0) {
+      ::close(fd);
+      return failure(std::string{"send: "} + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+
+  // Read to EOF (HTTP/1.0 + Connection: close frames the body by close),
+  // each read gated on the REMAINING budget so a byte-trickling server
+  // cannot hold us past read_timeout.
+  std::string response;
+  char buf[16384];
+  while (true) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (ready <= 0) {
+      ::close(fd);
+      return failure("response read timed out");
+    }
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (n < 0) {
+      ::close(fd);
+      return failure(std::string{"read: "} + std::strerror(errno));
+    }
+    if (n == 0) break;  // EOF: response complete
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.x NNN reason\r\n headers \r\n\r\n body"
+  if (response.rfind("HTTP/1.", 0) != 0) return failure("malformed response");
+  const std::size_t status_at = response.find(' ');
+  ScrapeResult result;
+  if (status_at == std::string::npos ||
+      std::sscanf(response.c_str() + status_at, "%d", &result.status) != 1) {
+    return failure("malformed status line");
+  }
+  const std::size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) return failure("truncated response headers");
+  result.body = response.substr(body_at + 4);
+  if (result.status != 200) {
+    result.error = "HTTP " + std::to_string(result.status);
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace aqua::obs

@@ -1,0 +1,48 @@
+// Timeout-aware HTTP/1.0 GET for scraping telemetry endpoints.
+//
+// Factored out of aqua_top's original ad-hoc client, which used a
+// blocking connect() and blocking read()s: one half-dead endpoint (SYN
+// accepted, nothing served — a firewalled port, a wedged process) froze
+// the whole dashboard forever. This client never blocks past its
+// budget:
+//
+//   - connect: non-blocking connect + poll(connect_timeout), then
+//     SO_ERROR to distinguish refused from timed out;
+//   - read: every read is poll-gated against the REMAINING overall
+//     read_timeout budget, so a trickling server cannot stretch one
+//     scrape past the budget by feeding a byte per poll interval.
+//
+// Used by aqua_top (single-endpoint and --fleet modes) and by
+// FleetCollector (obs/fleet.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+
+namespace aqua::obs {
+
+struct ScrapeOptions {
+  /// Budget for the TCP connect alone.
+  Duration connect_timeout = msec(500);
+  /// Overall budget for sending the request and reading the full
+  /// response, counted from the moment the connection is up.
+  Duration read_timeout = msec(2000);
+};
+
+struct ScrapeResult {
+  bool ok = false;
+  int status = 0;        ///< HTTP status when a status line was parsed
+  std::string body;      ///< response body (headers stripped)
+  std::string error;     ///< human-readable failure reason when !ok
+};
+
+/// One GET http://host:port/path with the given budgets. Never throws;
+/// failures (refused, timed out, malformed response) come back in
+/// `error`. `ok` requires status 200 and a complete body.
+[[nodiscard]] ScrapeResult scrape_http_get(const std::string& host, std::uint16_t port,
+                                           const std::string& path,
+                                           const ScrapeOptions& options = {});
+
+}  // namespace aqua::obs

@@ -9,6 +9,7 @@ Telemetry::Telemetry(TelemetryConfig config) : config_(config) {
   if (config_.calibration.enabled) {
     calibration_ = std::make_unique<CalibrationTracker>(config_.calibration, &metrics_);
   }
+  if (config_.spans) spans_dropped_counter_ = &metrics_.counter("telemetry.spans_dropped");
 }
 
 std::uint64_t Telemetry::record_request(RequestTrace trace) {
@@ -68,6 +69,7 @@ void Telemetry::record_span(SpanRecord span) {
   if (spans_.size() > config_.span_capacity) {
     spans_.pop_front();
     ++spans_dropped_;
+    spans_dropped_counter_->add();
   }
 }
 

@@ -176,6 +176,10 @@ class Telemetry {
   std::deque<SpanRecord> spans_;
   std::uint64_t spans_recorded_ = 0;
   std::uint64_t spans_dropped_ = 0;
+  /// Ring-overflow evictions mirrored into the metrics registry
+  /// ("telemetry.spans_dropped") so a fleet collector can tell wire loss
+  /// from ring overflow without fetching the full snapshot.
+  Counter* spans_dropped_counter_ = nullptr;
 
   mutable std::mutex alerts_mutex_;
   std::deque<AlertEvent> alerts_;

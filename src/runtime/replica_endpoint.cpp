@@ -16,7 +16,9 @@ ReplicaEndpoint::ReplicaEndpoint(net::Transport& transport, ThreadedReplica& rep
     cancels_purged_counter_ = &metrics.counter("replica_endpoint.cancels_purged");
     cancels_ignored_counter_ = &metrics.counter("replica_endpoint.cancels_ignored");
     subscribes_counter_ = &metrics.counter("replica_endpoint.subscribes");
+    replies_counter_ = &metrics.counter("replica_endpoint.replies");
     queue_length_gauge_ = &metrics.gauge("replica_endpoint.queue_length");
+    if (telemetry->spans_enabled()) span_sink_ = telemetry;
   }
   endpoint_ = factory(
       [this](EndpointId from, const net::Payload& message) { on_receive(from, message); });
@@ -56,7 +58,21 @@ void ReplicaEndpoint::on_receive(EndpointId from, const net::Payload& message) {
                               .parent_span_id = request_ctx.parent_span_id,
                               .leg = obs::SpanKind::kReplyLeg,
                               .replica = reply.replica});
+            if (span_sink_ != nullptr) {
+              // Zero-duration hand-off marker (see span_sink_ comment).
+              const TimePoint at = span_sink_->wall_now();
+              span_sink_->record_span({.trace_id = request_ctx.trace_id,
+                                       .span_id = span_sink_->next_span_id(),
+                                       .parent_span_id = request_ctx.parent_span_id,
+                                       .kind = obs::SpanKind::kReplyLeg,
+                                       .client = obs::trace_client(request_ctx.trace_id),
+                                       .request = reply.request,
+                                       .replica = reply.replica,
+                                       .start = at,
+                                       .end = at});
+            }
           }
+          if (replies_counter_ != nullptr) replies_counter_->add();
           transport_.unicast(endpoint_, from, std::move(payload));
         },
         request_ctx);

@@ -72,7 +72,15 @@ class ReplicaEndpoint {
   obs::Counter* cancels_purged_counter_ = nullptr;
   obs::Counter* cancels_ignored_counter_ = nullptr;
   obs::Counter* subscribes_counter_ = nullptr;
+  obs::Counter* replies_counter_ = nullptr;
   obs::Gauge* queue_length_gauge_ = nullptr;
+  /// Non-null when telemetry is attached AND spans are enabled: the
+  /// endpoint then records a zero-duration kReplyLeg marker at
+  /// reply-send time. The replica process can only attest the hand-off
+  /// to the transport, not wire arrival; the marker still (a) separates
+  /// "serviced but reply never sent" from wire loss and (b) anchors the
+  /// return leg for fleet stitching (obs/fleet.h).
+  obs::Telemetry* span_sink_ = nullptr;
 };
 
 }  // namespace aqua::runtime

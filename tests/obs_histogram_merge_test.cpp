@@ -1,0 +1,136 @@
+// Bin-wise histogram merge fidelity (the operation fleet aggregation
+// rests on), plus a ThreadSanitizer hammer over live scrapes.
+//
+// The property under test: merging two nodes' HistogramBins bin-wise
+// must agree with ONE histogram fed the union stream — counts exactly
+// (binning is deterministic, addition commutes), and therefore every
+// nearest-rank quantile exactly too, since merged and union quantiles
+// walk identical bins with the identical algorithm.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/fleet.h"
+#include "obs/metrics.h"
+#include "obs/scrape.h"
+#include "obs/telemetry.h"
+
+namespace aqua::obs {
+namespace {
+
+TEST(HistogramMergeTest, MergeAgreesWithUnionStreamAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937_64 rng{seed};
+    // Log-uniform values spanning every decade the binning covers,
+    // including the overflow bin past 90 s.
+    std::uniform_real_distribution<double> exponent{0.0, 8.5};
+    Histogram left;
+    Histogram right;
+    Histogram union_stream;
+    const std::size_t n = 2000 + static_cast<std::size_t>(seed) * 500;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto us = static_cast<std::int64_t>(std::pow(10.0, exponent(rng)));
+      (i % 3 == 0 ? left : right).record_value(us);
+      union_stream.record_value(us);
+    }
+
+    HistogramBins merged = bins_of(left);
+    merged.merge(bins_of(right));
+    const HistogramBins expected = bins_of(union_stream);
+
+    EXPECT_EQ(merged.count, expected.count) << "seed " << seed;
+    EXPECT_EQ(merged.sum_us, expected.sum_us) << "seed " << seed;
+    EXPECT_EQ(merged.max_us, expected.max_us) << "seed " << seed;
+    for (std::size_t bin = 0; bin < Histogram::kBinCount; ++bin) {
+      ASSERT_EQ(merged.bins[bin], expected.bins[bin]) << "seed " << seed << " bin " << bin;
+    }
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      EXPECT_EQ(merged.quantile(q), expected.quantile(q)) << "seed " << seed << " q " << q;
+      // And the merged quantile is the live histogram's quantile: one
+      // shared algorithm, so the two can never drift apart.
+      EXPECT_EQ(expected.quantile(q), union_stream.quantile(q)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(HistogramMergeTest, EmptyAndSingletonEdges) {
+  HistogramBins empty;
+  HistogramBins other;
+  other.bins[Histogram::bin_index(42)] = 1;
+  other.count = 1;
+  other.sum_us = 42;
+  other.max_us = 42;
+  empty.merge(other);
+  EXPECT_EQ(empty.count, 1u);
+  EXPECT_EQ(empty.quantile(0.5), 42);
+  EXPECT_EQ(empty.quantile(1.0), 42);
+  HistogramBins still_empty;
+  still_empty.merge(HistogramBins{});
+  EXPECT_EQ(still_empty.count, 0u);
+  EXPECT_EQ(still_empty.quantile(0.99), 0);
+}
+
+// TSan hammer: two live hubs with recorder threads mutating counters
+// and histograms while their ScrapeServers serve and a FleetCollector
+// scrapes both in a loop. Exercises the lock-free metric reads, the
+// span-ring lock, and the scrape/merge path under real concurrency.
+TEST(HistogramMergeTest, CollectorScrapesLiveRecordersWithoutTearing) {
+  // Small span rings keep the /spans bodies scrape-sized while the
+  // recorders overflow them constantly (eviction path under TSan too).
+  TelemetryConfig config;
+  config.span_capacity = 512;
+  Telemetry hub_a{config};
+  Telemetry hub_b{config};
+  ScrapeServer server_a{hub_a, 0};
+  ScrapeServer server_b{hub_b, 0};
+
+  std::atomic<bool> stop{false};
+  const auto recorder = [&stop](Telemetry& hub, std::uint64_t seed) {
+    Counter& events = hub.metrics().counter("hammer.events");
+    Histogram& latency = hub.metrics().histogram("hammer.latency");
+    std::mt19937_64 rng{seed};
+    std::uniform_int_distribution<std::int64_t> us{1, 1'000'000};
+    while (!stop.load(std::memory_order_relaxed)) {
+      events.add();
+      latency.record_value(us(rng));
+      hub.record_span({.trace_id = seed, .span_id = hub.next_span_id()});
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.emplace_back(recorder, std::ref(hub_a), 1);
+  threads.emplace_back(recorder, std::ref(hub_a), 2);
+  threads.emplace_back(recorder, std::ref(hub_b), 3);
+
+  FleetCollector collector{{{.host = "127.0.0.1", .port = server_a.port(), .label = "a"},
+                           {.host = "127.0.0.1", .port = server_b.port(), .label = "b"}}};
+  std::uint64_t last_total = 0;
+  for (int i = 0; i < 5; ++i) {
+    const FleetSnapshot snapshot = collector.collect();
+    ASSERT_EQ(snapshot.nodes.size(), 2u);
+    EXPECT_TRUE(snapshot.nodes[0].reachable) << snapshot.nodes[0].error;
+    EXPECT_TRUE(snapshot.nodes[1].reachable) << snapshot.nodes[1].error;
+    // Mid-run views may be torn ACROSS metrics but each scrape is a
+    // monotone total: the merged counter can never go backwards.
+    const auto it = snapshot.counters.find("hammer.events");
+    ASSERT_NE(it, snapshot.counters.end());
+    EXPECT_GE(it->second, last_total);
+    last_total = it->second;
+  }
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+
+  // Quiescent fleet totals equal the live registries exactly.
+  const FleetSnapshot final_snapshot = collector.collect();
+  const std::uint64_t expected = hub_a.metrics().counter("hammer.events").value() +
+                                 hub_b.metrics().counter("hammer.events").value();
+  EXPECT_EQ(final_snapshot.counters.at("hammer.events"), expected);
+  const HistogramBins& merged = final_snapshot.histograms.at("hammer.latency");
+  EXPECT_EQ(merged.count, expected);  // one histogram record per counter add
+}
+
+}  // namespace
+}  // namespace aqua::obs

@@ -124,9 +124,11 @@ void print_usage() {
       "  --perfetto FILE        write the span ring as Chrome trace-event JSON\n"
       "                         (open in ui.perfetto.dev)\n"
       "  --scrape-port P        serve /metrics, /snapshot, /alerts, /calibration,\n"
-      "                         /trace, /traces/<id> on 127.0.0.1:P (0 = ephemeral);\n"
-      "                         in a --listen replica process, serves that replica's\n"
-      "                         server-side metrics (queue length, cancel fates)\n"
+      "                         /trace, /spans, /traces/<id> on 127.0.0.1:P (0 =\n"
+      "                         ephemeral); in a --listen replica process, serves that\n"
+      "                         replica's server-side metrics (queue length, cancel\n"
+      "                         fates); in a --peer gateway process, serves the\n"
+      "                         gateway hub during the run (fleet stitching input)\n"
       "  --serve-seconds S      keep the scrape endpoint up S seconds after the run\n"
       "runtime:\n"
       "  --threaded             wall-clock threaded runtime instead of the simulator\n"
@@ -386,6 +388,18 @@ int run_udp_gateway(const Options& opt) {
   net::UdpTransport transport;
   transport.set_telemetry(&telemetry);
 
+  // With --scrape-port the gateway serves /snapshot, /spans, /metrics
+  // while the workload runs (and for --serve-seconds after), so a fleet
+  // collector can stitch its spans with the replica processes'.
+  std::unique_ptr<obs::ScrapeServer> scrape;
+  if (opt.scrape_port >= 0) {
+    scrape = std::make_unique<obs::ScrapeServer>(telemetry,
+                                                 static_cast<std::uint16_t>(opt.scrape_port));
+    std::printf("gateway scrape endpoint live on http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(scrape->port()));
+    std::fflush(stdout);
+  }
+
   runtime::ThreadedClientConfig client_config;
   fill_client_config(opt, client_config);
   client_config.telemetry = &telemetry;
@@ -432,6 +446,8 @@ int run_udp_gateway(const Options& opt) {
               static_cast<unsigned long long>(transport.messages_delivered()),
               static_cast<unsigned long long>(transport.messages_dropped()),
               static_cast<unsigned long long>(transport.messages_retransmitted()));
+
+  if (scrape != nullptr) serve_remaining(opt, *scrape);
 
   if (!opt.obs_json_path.empty()) {
     std::ofstream out(opt.obs_json_path);

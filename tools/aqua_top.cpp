@@ -1,15 +1,17 @@
-// aqua_top — live terminal dashboard over a running gateway's scrape
-// endpoint (see obs/scrape.h). Curses-free: it redraws with ANSI
-// clear-screen, so it works in any terminal and degrades to plain
-// append-only output with --once.
+// aqua_top — live terminal dashboard over AQuA scrape endpoints
+// (see obs/scrape.h). Curses-free: it redraws with ANSI clear-screen,
+// so it works in any terminal and degrades to plain append-only output
+// with --once.
 //
-//   aqua_top --port 9900               # poll 127.0.0.1:9900 every second
-//   aqua_top --port 9900 --once        # one snapshot, then exit
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
+//   aqua_top --port 9900                  # poll 127.0.0.1:9900 every second
+//   aqua_top --port 9900 --once           # one snapshot, then exit
+//   aqua_top --fleet 9900,9901,9902       # fleet mode: aggregate + stitch
+//   aqua_top --fleet 9900,9901 --once --json fleet.json --perfetto fleet.trace
+//
+// Every HTTP GET goes through obs::scrape_client with connect/read
+// timeouts — a half-dead endpoint (port open, nothing served) shows up
+// as "stale since Ns" instead of freezing the dashboard, which is what
+// the original blocking client here used to do.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -17,64 +19,66 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/fleet.h"
+#include "obs/scrape_client.h"
+
 namespace {
+
+using aqua::obs::FleetCollector;
+using aqua::obs::FleetEndpoint;
+using aqua::obs::FleetNodeStatus;
+using aqua::obs::FleetSnapshot;
+using aqua::obs::HistogramBins;
+using aqua::obs::ScrapeOptions;
+using aqua::obs::ScrapeResult;
 
 struct Options {
   std::string host = "127.0.0.1";
   int port = 9900;
   int interval_ms = 1000;
   bool once = false;
+  std::vector<FleetEndpoint> fleet;  ///< non-empty selects fleet mode
+  std::string json_path;             ///< fleet JSON report per refresh
+  std::string perfetto_path;         ///< merged fleet Perfetto per refresh
 };
 
 void print_usage() {
   std::puts(
-      "aqua_top — terminal dashboard for a live AQuA scrape endpoint\n"
+      "aqua_top — terminal dashboard for live AQuA scrape endpoints\n"
       "\n"
       "  --host H          scrape host (default 127.0.0.1)\n"
       "  --port P          scrape port (default 9900)\n"
+      "  --fleet LIST      fleet mode: comma-separated [host:]port endpoints;\n"
+      "                    aggregates metrics and stitches cross-process traces\n"
+      "  --json FILE       (fleet) write the merged report as JSON each refresh\n"
+      "  --perfetto FILE   (fleet) write the merged span set as a Chrome\n"
+      "                    trace-event document each refresh\n"
       "  --interval-ms MS  refresh period (default 1000)\n"
       "  --once            print one snapshot and exit\n"
       "  --help            this text");
 }
 
-/// One blocking HTTP/1.0 GET. Returns the response body, or an empty
-/// string on any connection/protocol error (the dashboard just shows
-/// "unreachable" and keeps polling).
+/// Scrape timeouts tuned for an interactive dashboard: a dead endpoint
+/// costs at most ~1 s per refresh, not forever.
+ScrapeOptions dashboard_scrape_options() {
+  ScrapeOptions options;
+  options.connect_timeout = aqua::msec(300);
+  options.read_timeout = aqua::msec(1000);
+  return options;
+}
+
+/// Timeout-aware GET; empty body on any failure (callers show staleness).
 std::string http_get(const std::string& host, int port, const std::string& path) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return {};
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(fd);
-    return {};
-  }
-  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
-  std::size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t w = ::write(fd, request.data() + sent, request.size() - sent);
-    if (w <= 0) {
-      ::close(fd);
-      return {};
-    }
-    sent += static_cast<std::size_t>(w);
-  }
-  std::string response;
-  char buf[4096];
-  ssize_t n = 0;
-  while ((n = ::read(fd, buf, sizeof buf)) > 0) response.append(buf, static_cast<std::size_t>(n));
-  ::close(fd);
-  const auto body = response.find("\r\n\r\n");
-  if (body == std::string::npos || response.rfind("HTTP/1.0 200", 0) != 0) return {};
-  return response.substr(body + 4);
+  const ScrapeResult result = aqua::obs::scrape_http_get(
+      host, static_cast<std::uint16_t>(port), path, dashboard_scrape_options());
+  return result.ok ? result.body : std::string{};
 }
 
 /// Parse Prometheus text exposition into name -> value (labels kept as
@@ -117,7 +121,7 @@ std::vector<std::string> parse_alert_lines(const std::string& body) {
 }
 
 /// First numeric value after `"key":` at/after `from`; NaN when absent.
-/// Good enough for our own exporter's stable field order — aqua_top
+/// Good enough for our own exporter's stable field order — this panel
 /// deliberately carries no JSON parser.
 double find_number(const std::string& body, const std::string& key, std::size_t from,
                    std::size_t* next = nullptr) {
@@ -203,14 +207,44 @@ void append_calibration_panel(std::ostringstream& frame, const std::string& body
   frame << drift_line;
 }
 
-void draw(const Options& opt, bool clear) {
+// ------------------------------------------------------- single endpoint
+
+/// Wall-clock seconds since the last successful scrape, shared across
+/// redraws so the header can show "stale since Ns" instead of freezing.
+struct Staleness {
+  bool ever_ok = false;
+  std::chrono::steady_clock::time_point last_ok{};
+
+  void mark(bool ok) {
+    if (ok) {
+      ever_ok = true;
+      last_ok = std::chrono::steady_clock::now();
+    }
+  }
+  [[nodiscard]] double seconds() const {
+    if (!ever_ok) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - last_ok).count();
+  }
+};
+
+void draw_single(const Options& opt, Staleness& staleness, bool clear) {
   const std::string metrics_body = http_get(opt.host, opt.port, "/metrics");
-  const std::string alerts_body = http_get(opt.host, opt.port, "/alerts");
-  const std::string calibration_body = http_get(opt.host, opt.port, "/calibration");
+  staleness.mark(!metrics_body.empty());
+  const std::string alerts_body =
+      metrics_body.empty() ? std::string{} : http_get(opt.host, opt.port, "/alerts");
+  const std::string calibration_body =
+      metrics_body.empty() ? std::string{} : http_get(opt.host, opt.port, "/calibration");
   std::ostringstream frame;
   frame << "aqua_top — " << opt.host << ':' << opt.port << "\n\n";
   if (metrics_body.empty()) {
-    frame << "  scrape endpoint unreachable\n";
+    if (staleness.ever_ok) {
+      char line[96];
+      std::snprintf(line, sizeof line, "  scrape endpoint unreachable — stale since %.0fs\n",
+                    staleness.seconds());
+      frame << line;
+    } else {
+      frame << "  scrape endpoint unreachable\n";
+    }
   } else {
     const auto metrics = parse_metrics(metrics_body);
     frame << "  metrics (" << metrics.size() << "):\n";
@@ -227,6 +261,122 @@ void draw(const Options& opt, bool clear) {
     for (std::size_t i = shown; i < alerts.size(); ++i) frame << "    " << alerts[i] << '\n';
     append_calibration_panel(frame, calibration_body, alerts);
   }
+  if (clear) std::fputs("\033[2J\033[H", stdout);
+  std::fputs(frame.str().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+// --------------------------------------------------------------- fleet
+
+void append_attribution_panel(std::ostringstream& frame, const FleetSnapshot& snapshot) {
+  const aqua::obs::FleetAttribution& a = snapshot.attribution;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "  traces: %llu total, %llu answered, %llu stitched (%.1f%% complete)\n",
+                static_cast<unsigned long long>(snapshot.traces_total),
+                static_cast<unsigned long long>(snapshot.traces_answered),
+                static_cast<unsigned long long>(snapshot.traces_stitched),
+                100.0 * snapshot.stitch_completeness());
+  frame << line;
+  if (a.traces == 0) return;
+  frame << "  latency attribution (end-to-end = wire + queue + service):\n";
+  std::snprintf(line, sizeof line, "    %-10s %10s %10s %10s\n", "", "p50", "p99", "p999");
+  frame << line;
+  const auto row = [&frame, &a, &line](const char* name, const HistogramBins& leg) {
+    std::snprintf(line, sizeof line,
+                  "    %-10s %8lldus %8lldus %8lldus  (%2.0f%% / %2.0f%% / %2.0f%%)\n", name,
+                  static_cast<long long>(leg.quantile(0.50)),
+                  static_cast<long long>(leg.quantile(0.99)),
+                  static_cast<long long>(leg.quantile(0.999)), 100.0 * a.share(leg, 0.50),
+                  100.0 * a.share(leg, 0.99), 100.0 * a.share(leg, 0.999));
+    frame << line;
+  };
+  std::snprintf(line, sizeof line, "    %-10s %8lldus %8lldus %8lldus\n", "end-to-end",
+                static_cast<long long>(a.end_to_end.quantile(0.50)),
+                static_cast<long long>(a.end_to_end.quantile(0.99)),
+                static_cast<long long>(a.end_to_end.quantile(0.999)));
+  frame << line;
+  row("wire", a.wire);
+  row("queue", a.queue);
+  row("service", a.service);
+}
+
+void draw_fleet(const Options& opt, FleetCollector& collector, bool clear) {
+  const FleetSnapshot snapshot = collector.collect();
+  std::ostringstream frame;
+  frame << "aqua_top — fleet of " << snapshot.nodes.size() << " endpoints (scrape "
+        << snapshot.scrape_us / 1000 << "ms, merge " << snapshot.merge_us / 1000
+        << "ms, max clock skew " << snapshot.max_abs_clock_skew_us << "us)\n\n";
+
+  for (const FleetNodeStatus& node : snapshot.nodes) {
+    char line[192];
+    if (node.reachable) {
+      std::snprintf(line, sizeof line,
+                    "  [up]    %-22s rtt %6lldus  offset %8lldus  spans %llu (%llu dropped)\n",
+                    node.endpoint.name().c_str(),
+                    static_cast<long long>(node.scrape_rtt_us),
+                    static_cast<long long>(node.clock_offset_us),
+                    static_cast<unsigned long long>(node.data.spans_recorded),
+                    static_cast<unsigned long long>(node.data.spans_dropped));
+    } else if (node.has_data) {
+      std::snprintf(line, sizeof line, "  [STALE] %-22s stale since %.0fs — %s\n",
+                    node.endpoint.name().c_str(), node.stale_s, node.error.c_str());
+    } else {
+      std::snprintf(line, sizeof line, "  [down]  %-22s %s\n", node.endpoint.name().c_str(),
+                    node.error.c_str());
+    }
+    frame << line;
+    // Per-replica panel: the handful of counters that tell the server
+    // side's story at a glance (absent on gateway-only hubs).
+    const auto counter = [&node](const char* name) -> long long {
+      const auto it = node.data.counters.find(name);
+      return it == node.data.counters.end() ? -1 : static_cast<long long>(it->second);
+    };
+    if (const long long requests = counter("replica_endpoint.requests"); requests >= 0) {
+      std::snprintf(line, sizeof line,
+                    "          requests %lld, replies %lld, rejected %lld, queue %.0f\n",
+                    requests, counter("replica_endpoint.replies"),
+                    counter("replica_endpoint.rejected"),
+                    [&node] {
+                      const auto it = node.data.gauges.find("replica_endpoint.queue_length");
+                      return it == node.data.gauges.end() ? 0.0 : it->second;
+                    }());
+      frame << line;
+    }
+  }
+  frame << '\n';
+
+  // Merged fleet metrics: a few headline totals, not the full registry.
+  const auto total = [&snapshot](const char* name) -> long long {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : static_cast<long long>(it->second);
+  };
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "  fleet totals: %lld requests, %lld timely, %lld timing failures, "
+                "%lld spans dropped\n",
+                total("threaded.requests"), total("threaded.timely"),
+                total("threaded.timing_failures"), total("telemetry.spans_dropped"));
+  frame << line;
+  append_attribution_panel(frame, snapshot);
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (out) {
+      aqua::obs::write_fleet_json(out, snapshot);
+    } else {
+      frame << "  (cannot write " << opt.json_path << ")\n";
+    }
+  }
+  if (!opt.perfetto_path.empty()) {
+    std::ofstream out(opt.perfetto_path);
+    if (out) {
+      aqua::obs::write_fleet_perfetto_json(out, snapshot);
+    } else {
+      frame << "  (cannot write " << opt.perfetto_path << ")\n";
+    }
+  }
+
   if (clear) std::fputs("\033[2J\033[H", stdout);
   std::fputs(frame.str().c_str(), stdout);
   std::fflush(stdout);
@@ -252,6 +402,28 @@ int main(int argc, char** argv) {
       opt.host = need_value();
     } else if (flag == "--port") {
       opt.port = std::atoi(need_value());
+    } else if (flag == "--fleet") {
+      std::string list = need_value();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string spec =
+            list.substr(start, comma == std::string::npos ? comma : comma - start);
+        if (!spec.empty()) {
+          try {
+            opt.fleet.push_back(aqua::obs::parse_fleet_endpoint(spec));
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+          }
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (flag == "--json") {
+      opt.json_path = need_value();
+    } else if (flag == "--perfetto") {
+      opt.perfetto_path = need_value();
     } else if (flag == "--interval-ms") {
       opt.interval_ms = std::atoi(need_value());
     } else if (flag == "--once") {
@@ -261,12 +433,28 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if ((!opt.json_path.empty() || !opt.perfetto_path.empty()) && opt.fleet.empty()) {
+    std::fprintf(stderr, "--json/--perfetto require --fleet\n");
+    return 2;
+  }
+  if (!opt.fleet.empty()) {
+    FleetCollector collector{opt.fleet, dashboard_scrape_options()};
+    if (opt.once) {
+      draw_fleet(opt, collector, /*clear=*/false);
+      return 0;
+    }
+    for (;;) {
+      draw_fleet(opt, collector, /*clear=*/true);
+      std::this_thread::sleep_for(std::chrono::milliseconds{opt.interval_ms});
+    }
+  }
+  Staleness staleness;
   if (opt.once) {
-    draw(opt, /*clear=*/false);
+    draw_single(opt, staleness, /*clear=*/false);
     return 0;
   }
   for (;;) {
-    draw(opt, /*clear=*/true);
+    draw_single(opt, staleness, /*clear=*/true);
     std::this_thread::sleep_for(std::chrono::milliseconds{opt.interval_ms});
   }
 }

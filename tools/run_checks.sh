@@ -15,7 +15,11 @@
 # service-shift scenario must raise the drift alert deterministically
 # before the QoS violation, calibration_report must emit
 # BENCH_calibration.json (quiet on stationary runs), and /calibration
-# must serve the live tracker.
+# must serve the live tracker. The fleet gates cover cross-process
+# observability: bench/fleet_report must stitch >=95% of answered traces
+# with conserved merged counters, and a real gateway + 2-replica process
+# fleet over loopback UDP must yield at least one fully-stitched trace
+# whose merged counters equal the sum of the per-node /metrics totals.
 #
 # Usage: tools/run_checks.sh [jobs]
 set -euo pipefail
@@ -136,6 +140,72 @@ wait "${EXPERIMENT_PID}"
 printf '%s\n' "${CAL_BODY}" | grep -q '200 OK'
 printf '%s\n' "${CAL_BODY}" | grep -q '"enabled":true'
 printf '%s\n' "${CAL_BODY}" | grep -q '"drift":'
+
+step "Bench JSON: fleet report emits BENCH_fleet.json (stitch + conservation gate)"
+build/bench/fleet_report >/dev/null
+test -s build/bench/BENCH_fleet.json
+grep -q '"metric":"stitch_completeness_pct"' build/bench/BENCH_fleet.json
+grep -q '"metric":"merge_conservation","value":1\b' build/bench/BENCH_fleet.json
+grep -q '"metric":"unreachable_nodes","value":0\b' build/bench/BENCH_fleet.json
+
+step "Fleet smoke: gateway + 2 replica processes over UDP, collector stitches across them"
+# Ports offset by PID like tests/udp_smoke_test.sh, so parallel runs do
+# not collide.
+FLEET_UDP_A=$((42000 + ($$ % 5000)))
+FLEET_UDP_B=$((FLEET_UDP_A + 1))
+FLEET_SCRAPE_A=$((FLEET_UDP_A + 2))
+FLEET_SCRAPE_B=$((FLEET_UDP_A + 3))
+FLEET_SCRAPE_G=$((FLEET_UDP_A + 4))
+build/tools/aqua_experiment --transport udp --listen "127.0.0.1:${FLEET_UDP_A}" \
+  --replica-id 1 --service-mean 2 --run-seconds 30 --scrape-port "${FLEET_SCRAPE_A}" \
+  >"${GOLD_DIR}/fleet_replica_a.log" &
+FLEET_REPLICA_A=$!
+build/tools/aqua_experiment --transport udp --listen "127.0.0.1:${FLEET_UDP_B}" \
+  --replica-id 2 --service-mean 2 --run-seconds 30 --scrape-port "${FLEET_SCRAPE_B}" \
+  >"${GOLD_DIR}/fleet_replica_b.log" &
+FLEET_REPLICA_B=$!
+trap 'rm -rf "${GOLD_DIR}"; kill "${FLEET_REPLICA_A}" "${FLEET_REPLICA_B}" 2>/dev/null || true; wait 2>/dev/null || true' EXIT
+sleep 1
+build/tools/aqua_experiment --transport udp \
+  --peer "127.0.0.1:${FLEET_UDP_A}" --peer "127.0.0.1:${FLEET_UDP_B}" \
+  --requests 40 --deadline 100 --think 1 \
+  --scrape-port "${FLEET_SCRAPE_G}" --serve-seconds 10 \
+  >"${GOLD_DIR}/fleet_gateway.log" &
+FLEET_GATEWAY=$!
+FLEET_JSON="${GOLD_DIR}/fleet.json"
+STITCHED=0
+for _ in $(seq 1 40); do
+  build/tools/aqua_top --fleet "${FLEET_SCRAPE_G},${FLEET_SCRAPE_A},${FLEET_SCRAPE_B}" \
+    --once --json "${FLEET_JSON}" >/dev/null 2>&1 || true
+  STITCHED="$(grep -o '"traces_stitched":[0-9]*' "${FLEET_JSON}" 2>/dev/null |
+    head -1 | cut -d: -f2 || true)"
+  [ "${STITCHED:-0}" -ge 1 ] && break
+  sleep 0.25
+done
+[ "${STITCHED:-0}" -ge 1 ] || { echo "FAIL: no fully-stitched cross-process trace"; exit 1; }
+# Let the workload drain, then take the quiescent snapshot the numeric
+# checks below run against.
+sleep 2
+build/tools/aqua_top --fleet "${FLEET_SCRAPE_G},${FLEET_SCRAPE_A},${FLEET_SCRAPE_B}" \
+  --once --json "${FLEET_JSON}" >/dev/null
+grep -o '"completeness":[0-9.]*' "${FLEET_JSON}" | head -1 |
+  awk -F: '{exit !($2 >= 0.95)}' ||
+  { echo "FAIL: stitch completeness below 0.95"; exit 1; }
+# Merged fleet counter == sum of the replicas' own raw /metrics totals.
+MERGED_REQUESTS="$(grep -o '"replica_endpoint.requests":[0-9]*' "${FLEET_JSON}" |
+  head -1 | cut -d: -f2)"
+NODE_SUM=0
+for FLEET_PORT in "${FLEET_SCRAPE_A}" "${FLEET_SCRAPE_B}"; do
+  NODE_BODY="$(exec 3<>"/dev/tcp/127.0.0.1/${FLEET_PORT}" &&
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && cat <&3 && exec 3<&-)"
+  NODE_VALUE="$(printf '%s\n' "${NODE_BODY}" |
+    awk '/^aqua_replica_endpoint_requests /{print int($2)}')"
+  NODE_SUM=$((NODE_SUM + NODE_VALUE))
+done
+[ "${MERGED_REQUESTS}" -eq "${NODE_SUM}" ] ||
+  { echo "FAIL: merged replica_endpoint.requests=${MERGED_REQUESTS}, node sum=${NODE_SUM}"; exit 1; }
+wait "${FLEET_GATEWAY}"
+kill "${FLEET_REPLICA_A}" "${FLEET_REPLICA_B}" 2>/dev/null || true
 
 step "Configure + build: ThreadSanitizer (build-tsan/)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DENABLE_TSAN=ON >/dev/null
