@@ -10,8 +10,14 @@
 //                    copies, first reply wins.
 //   coded          — blind coded dispatch: n random replicas, k-of-n
 //                    chunk completion, no queue-state input.
-//   coded_informed — the hybrid: the model ranks replicas by F_Ri(t) and
-//                    the best n receive the chunks.
+//   coded_informed — the hybrid: replicas ranked by the load-compensated
+//                    score (P(t) charged with queue EWMA + own in-flight,
+//                    two-choice spread among near-equals) and the best n
+//                    receive the chunks. The original pure-P(t) ranking
+//                    LOST to blind placement at high load — every client
+//                    herded onto the same top-ranked replicas — which is
+//                    exactly the inversion the score exists to fix; the
+//                    high_load.informed_beats_blind row gates on it.
 //
 // Each mode runs the same seeds at three load levels (LoadModulation
 // scales service draws without changing rng consumption, so workloads are
@@ -86,7 +92,26 @@ constexpr std::size_t kCodeN = 4;
 constexpr std::size_t kCodeK = 2;
 
 core::PolicyPtr make_blind_policy() { return core::make_random_policy(kCodeN); }
-core::PolicyPtr make_informed_policy() { return core::make_static_k_policy(kCodeN); }
+
+core::PolicyPtr make_informed_policy() {
+  core::LoadScoreConfig load;
+  load.enabled = true;
+  return core::make_static_k_policy(kCodeN, {}, load);
+}
+
+/// Algorithm 1 with the LoadScoreConfig present but DISABLED and every
+/// inert knob set to garbage — must be bit-identical to the default
+/// policy, proving the score machinery cannot leak into the paper path.
+core::PolicyPtr make_score_off_policy() {
+  core::SelectionConfig config;
+  config.load.enabled = false;
+  config.load.queue_weight = 99.0;
+  config.load.outstanding_weight = 99.0;
+  config.load.trend_weight = 99.0;
+  config.load.p2c_epsilon = 1.0;
+  config.load.liveness_factor = 0.001;
+  return core::make_dynamic_policy(config);
+}
 
 ModeResult run_mode(const LoadSpec& load, const ModeSpec& mode, std::size_t seeds,
                     std::uint64_t base_seed) {
@@ -193,6 +218,8 @@ int main() {
               kReplicas, loads[0].clients, kRequestsPerClient, kCodeK, kCodeN, seeds);
 
   std::vector<BenchMetric> rows;
+  double high_load_blind_timely = -1.0;
+  double high_load_informed_timely = -1.0;
   for (std::size_t li = 0; li < 3; ++li) {
     const LoadSpec& load = loads[li];
     std::printf("--- %s (service x%.1f, think %.0fms) ---\n", load.name, load.service_factor,
@@ -202,6 +229,10 @@ int main() {
     double baseline_replica_ms = 0.0;
     for (const ModeSpec& mode : modes) {
       const ModeResult r = run_mode(load, mode, seeds, 8200 + 100 * li);
+      if (li == 2 && std::string(mode.name) == "coded") high_load_blind_timely = r.timely_fraction();
+      if (li == 2 && std::string(mode.name) == "coded_informed") {
+        high_load_informed_timely = r.timely_fraction();
+      }
       std::printf("%-18s %14.1f %8.3f %8.2f %8.2f\n", mode.name, r.replica_ms_per_request(),
                   r.timely_fraction(), r.mean_redundancy(), r.mean_chunks());
       if (mode.dispatch.is_default()) baseline_replica_ms = r.replica_ms_per_request();
@@ -219,32 +250,48 @@ int main() {
     std::printf("\n");
   }
 
+  // The herd gate: with the load-compensated score, informed chunk
+  // placement must be at least as timely as blind spreading at high load
+  // (the PR-7 inversion, now fixed).
+  const bool informed_ok = high_load_informed_timely + 1e-12 >= high_load_blind_timely;
+  rows.push_back({"high_load.informed_beats_blind", informed_ok ? 1.0 : 0.0, "bool"});
+  std::printf("high-load informed (%.3f) vs blind (%.3f): %s\n\n", high_load_informed_timely,
+              high_load_blind_timely, informed_ok ? "PASS" : "FAIL (herding inversion)");
+
   // Identity gate: the default config and an explicit first_of_n spec
-  // must produce the same fig4/fig5 sweep points to the last bit.
-  std::printf("--- first_of_n identity on the fig4/fig5 harness ---\n");
+  // must produce the same fig4/fig5 sweep points to the last bit. Same
+  // for a dynamic policy whose LoadScoreConfig is present-but-disabled:
+  // the score machinery may not perturb the paper path.
+  std::printf("--- first_of_n + load-score-off identity on the fig4/fig5 harness ---\n");
   PaperSetup default_setup;
   default_setup.seeds = std::min<std::size_t>(seeds, 3);
   PaperSetup explicit_setup = default_setup;
   explicit_setup.dispatch.completion = core::CompletionSpec::first_of_n();
   const std::vector<double> probabilities = {0.9, 0.0};
   bool identical = true;
+  bool score_off_identical = true;
   for (double pc : probabilities) {
     for (std::int64_t t = 100; t <= 200; t += 50) {
       const SweepPoint lhs = run_point(default_setup, msec(t), pc);
       const SweepPoint rhs = run_point(explicit_setup, msec(t), pc);
+      const SweepPoint off = run_point(default_setup, msec(t), pc, make_score_off_policy);
       if (!sweeps_identical({lhs}, {rhs})) identical = false;
-      std::printf("Pc=%.1f deadline=%3lldms  K=%.4f fail=%.4f  %s\n", pc,
+      if (!sweeps_identical({lhs}, {off})) score_off_identical = false;
+      std::printf("Pc=%.1f deadline=%3lldms  K=%.4f fail=%.4f  %s %s\n", pc,
                   static_cast<long long>(t), lhs.mean_selected, lhs.failure_probability,
-                  sweeps_identical({lhs}, {rhs}) ? "identical" : "DIVERGED");
+                  sweeps_identical({lhs}, {rhs}) ? "identical" : "DIVERGED",
+                  sweeps_identical({lhs}, {off}) ? "score-off-identical" : "SCORE-OFF-DIVERGED");
     }
   }
   rows.push_back({"fig.first_of_n_identity", identical ? 1.0 : 0.0, "bool"});
-  std::printf("first_of_n identity: %s\n\n", identical ? "PASS" : "FAIL");
+  rows.push_back({"fig.load_score_off_identity", score_off_identical ? 1.0 : 0.0, "bool"});
+  std::printf("first_of_n identity: %s\n", identical ? "PASS" : "FAIL");
+  std::printf("load-score-off identity: %s\n\n", score_off_identical ? "PASS" : "FAIL");
 
   std::printf("expectation: coded modes spend ~n/k of a full copy per request and lower\n"
-              "replica_ms/req under load. informed placement wins while queues differ, but\n"
-              "under saturation every client ranks the same replicas 'best' and herds onto\n"
-              "them - blind placement spreads chunks and can come out ahead.\n");
+              "replica_ms/req under load. pure-P(t) informed placement herds under\n"
+              "saturation and loses to blind spreading; the load-compensated score\n"
+              "spreads near-equal candidates and keeps informed placement ahead.\n");
   write_bench_json("BENCH_coded.json", "coded_vs_replicated", rows);
-  return identical ? 0 : 1;
+  return (identical && score_off_identical && informed_ok) ? 0 : 1;
 }

@@ -1,0 +1,198 @@
+// Multi-gateway herding / oscillation bench (herd-safe selection).
+//
+// Many gateways share one replica pool. With the paper's pure-P(t)
+// ranking every gateway computes the same "best" replicas from the same
+// piggybacked windows, dumps its requests there, watches those queues
+// blow up in the next perf sample, and stampedes to the runner-up — a
+// sawtooth of queue-length oscillation that the per-gateway model never
+// predicted. The load-compensated score (LoadScoreConfig) charges each
+// replica's smoothed queue, own in-flight count, and queue growth trend
+// against the deadline before ranking, and power-of-two-choices spreads
+// near-equal candidates, so the same information produces anti-herding
+// placement.
+//
+// This bench runs the identical multi-gateway scenario (scenario-engine
+// load ramps + a LAN spike on a 5-replica pool) with the score OFF and
+// ON and reports, per arm:
+//   - amplitude: mean over replicas of the temporal stddev of that
+//     replica's DETRENDED queue length q_i(t) - mean_j q_j(t), sampled
+//     every 20ms. Subtracting the per-instant fleet mean removes the
+//     variance every arm shares (the scripted ramps swing total load),
+//     leaving exactly the herding signature: how unevenly the same
+//     total backlog sloshes between replicas over time;
+//   - timely_fraction: 1 - observed timing-failure probability across
+//     all gateways.
+// Gates (exit nonzero on failure, also emitted as bool rows):
+//   oscillation.amplitude_reduced   amplitude(on) < amplitude(off)
+//   oscillation.timely_no_worse     timely(on) >= timely(off) - 0.01
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_json.h"
+#include "fault/scenario_runner.h"
+#include "gateway/system.h"
+#include "replica/service_model.h"
+#include "sim/periodic.h"
+#include "stats/variates.h"
+
+namespace {
+
+using namespace aqua;
+
+constexpr std::size_t kReplicas = 5;
+constexpr std::size_t kGateways = 10;
+constexpr std::size_t kRequestsPerClient = 60;
+constexpr auto kSamplePeriod = msec(20);
+
+/// Load ramps on two replicas plus a LAN spike: the regimes where pure
+/// P(t) ranking re-herds hardest (every gateway flees the ramped host at
+/// the same instant, then floods whoever ranked next).
+fault::ScenarioScript oscillation_script() {
+  fault::ScenarioScript script;
+  script.name = "multi_gateway_ramp";
+  script.load_ramp(sec(2), sec(5), 0, 2.5, 5);
+  script.load_ramp(sec(4), sec(5), 1, 2.0, 5);
+  script.lan_spike(sec(7), sec(2), 2.0);
+  return script;
+}
+
+struct ArmResult {
+  double amplitude = 0.0;        // mean over replicas of queue-length stddev
+  double timely_fraction = 0.0;  // across every gateway's requests
+  double mean_redundancy = 0.0;
+};
+
+double temporal_stddev(const std::vector<double>& series) {
+  if (series.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double v : series) mean += v;
+  mean /= static_cast<double>(series.size());
+  double var = 0.0;
+  for (double v : series) var += (v - mean) * (v - mean);
+  return std::sqrt(var / static_cast<double>(series.size()));
+}
+
+/// Replace each sample with its offset from that instant's fleet mean.
+void detrend(std::vector<std::vector<double>>& series) {
+  if (series.empty() || series[0].empty()) return;
+  for (std::size_t t = 0; t < series[0].size(); ++t) {
+    double fleet = 0.0;
+    for (const auto& s : series) fleet += s[t];
+    fleet /= static_cast<double>(series.size());
+    for (auto& s : series) s[t] -= fleet;
+  }
+}
+
+ArmResult run_arm(bool score_on, std::uint64_t seed) {
+  gateway::SystemConfig cfg;
+  cfg.seed = seed;
+  gateway::AquaSystem system{cfg};
+
+  fault::ScenarioHooks hooks;
+  for (std::size_t i = 0; i < kReplicas; ++i) {
+    auto modulation = std::make_shared<stats::LoadModulation>();
+    hooks.replica_load.push_back(modulation);
+    system.add_replica(replica::make_modulated_service(
+        replica::make_sampled_service(stats::make_truncated_normal(msec(40), msec(12))),
+        modulation));
+  }
+
+  gateway::HandlerConfig handler;
+  handler.selection.load.enabled = score_on;
+
+  gateway::ClientWorkload workload;
+  workload.total_requests = kRequestsPerClient;
+  workload.think_time = stats::make_constant(msec(250));
+  for (std::size_t c = 0; c < kGateways; ++c) {
+    workload.start_delay = msec(static_cast<std::int64_t>(23 * c));
+    system.add_client(core::QosSpec{msec(150), 0.9}, workload, handler);
+  }
+
+  // Sample every replica's FIFO backlog on a fixed grid; the per-replica
+  // temporal stddev of this series is the oscillation amplitude.
+  std::vector<std::vector<double>> series(kReplicas);
+  const std::vector<replica::ReplicaServer*> replicas = system.replicas();
+  sim::PeriodicTask sampler(system.simulator(), kSamplePeriod, [&] {
+    for (std::size_t i = 0; i < kReplicas; ++i) {
+      series[i].push_back(static_cast<double>(replicas[i]->queue_length()));
+    }
+  });
+
+  fault::ScenarioRunner runner{system, oscillation_script(), std::move(hooks), seed};
+  runner.run(sec(120), msec(100));
+  sampler.stop();
+
+  ArmResult result;
+  detrend(series);
+  for (const std::vector<double>& s : series) {
+    result.amplitude += temporal_stddev(s) / static_cast<double>(kReplicas);
+  }
+  std::size_t requests = 0;
+  std::size_t failures = 0;
+  double redundancy = 0.0;
+  const auto reports = system.reports();
+  for (const trace::ClientRunReport& report : reports) {
+    requests += report.requests;
+    failures += report.timing_failures;
+    redundancy += report.mean_redundancy() / static_cast<double>(reports.size());
+  }
+  result.timely_fraction =
+      requests == 0 ? 0.0
+                    : 1.0 - static_cast<double>(failures) / static_cast<double>(requests);
+  result.mean_redundancy = redundancy;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::size_t seeds = 5;
+  if (const char* s = std::getenv("AQUA_BENCH_SEEDS")) seeds = std::strtoul(s, nullptr, 10);
+  if (seeds == 0) seeds = 1;
+
+  std::printf("=== selection oscillation: %zu gateways, %zu replicas, score off vs on ===\n",
+              kGateways, kReplicas);
+  std::printf("%zu clients x %zu requests, deadline 150ms Pc 0.9, %zu seeds\n\n", kGateways,
+              kRequestsPerClient, seeds);
+  std::printf("%-6s %18s %18s %14s %14s\n", "seed", "amp_off", "amp_on", "timely_off",
+              "timely_on");
+
+  ArmResult off_total;
+  ArmResult on_total;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const ArmResult off = run_arm(false, seed);
+    const ArmResult on = run_arm(true, seed);
+    off_total.amplitude += off.amplitude / static_cast<double>(seeds);
+    off_total.timely_fraction += off.timely_fraction / static_cast<double>(seeds);
+    off_total.mean_redundancy += off.mean_redundancy / static_cast<double>(seeds);
+    on_total.amplitude += on.amplitude / static_cast<double>(seeds);
+    on_total.timely_fraction += on.timely_fraction / static_cast<double>(seeds);
+    on_total.mean_redundancy += on.mean_redundancy / static_cast<double>(seeds);
+    std::printf("%-6llu %18.3f %18.3f %14.3f %14.3f\n",
+                static_cast<unsigned long long>(seed), off.amplitude, on.amplitude,
+                off.timely_fraction, on.timely_fraction);
+  }
+
+  const bool amplitude_reduced = on_total.amplitude < off_total.amplitude;
+  const bool timely_no_worse = on_total.timely_fraction >= off_total.timely_fraction - 0.01;
+  std::printf("\nmean amplitude off=%.3f on=%.3f: %s\n", off_total.amplitude,
+              on_total.amplitude, amplitude_reduced ? "REDUCED" : "NOT REDUCED");
+  std::printf("mean timely off=%.3f on=%.3f: %s\n", off_total.timely_fraction,
+              on_total.timely_fraction, timely_no_worse ? "no worse" : "WORSE");
+
+  const bool wrote = bench::write_bench_json(
+      "BENCH_oscillation.json", "selection_oscillation",
+      {
+          {"score_off.amplitude", off_total.amplitude, "requests"},
+          {"score_on.amplitude", on_total.amplitude, "requests"},
+          {"score_off.timely_fraction", off_total.timely_fraction, "fraction"},
+          {"score_on.timely_fraction", on_total.timely_fraction, "fraction"},
+          {"score_off.mean_redundancy", off_total.mean_redundancy, "copies"},
+          {"score_on.mean_redundancy", on_total.mean_redundancy, "copies"},
+          {"oscillation.amplitude_reduced", amplitude_reduced ? 1.0 : 0.0, "bool"},
+          {"oscillation.timely_no_worse", timely_no_worse ? 1.0 : 0.0, "bool"},
+      });
+  return (wrote && amplitude_reduced && timely_no_worse) ? 0 : 1;
+}

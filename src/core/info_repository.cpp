@@ -1,6 +1,7 @@
 #include "core/info_repository.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/assert.h"
 #include "obs/telemetry.h"
@@ -9,6 +10,8 @@ namespace aqua::core {
 
 InfoRepository::InfoRepository(RepositoryConfig config) : config_(config) {
   AQUA_REQUIRE(config_.window_size >= 1, "repository window size must be >= 1");
+  AQUA_REQUIRE(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+               "repository ewma_alpha must be in (0, 1]");
   if (config_.gateway_window_size == 0) config_.gateway_window_size = config_.window_size;
 }
 
@@ -46,6 +49,14 @@ void InfoRepository::record_perf(ReplicaId replica, const PerfSample& sample, Ti
   AQUA_REQUIRE(sample.queuing_delay >= Duration::zero(), "queuing delay must be non-negative");
   AQUA_REQUIRE(sample.queue_length >= 0, "queue length must be non-negative");
   Record& record = record_for(replica);
+  if (sample.sample_seq != 0 && record.last_perf_seq != 0 &&
+      sample.sample_seq <= record.last_perf_seq) {
+    // A retransmitted or reordered copy of a sample already applied; its
+    // queue_length is older than what the record holds.
+    if (stale_samples_counter_ != nullptr) stale_samples_counter_->add();
+    if (config_.reject_stale_samples) return;
+  }
+  record.last_perf_seq = std::max(record.last_perf_seq, sample.sample_seq);
   auto [it, inserted] = record.methods.try_emplace(method, config_.window_size);
   it->second.service.push(sample.service_time);
   it->second.queuing.push(sample.queuing_delay);
@@ -56,14 +67,48 @@ void InfoRepository::record_perf(ReplicaId replica, const PerfSample& sample, Ti
     // not (same model inputs, keep the cached pmfs alive).
     record.shared_generation = ++generation_counter_;
   }
+  // Load EWMAs. These never touch a generation stamp: the response-time
+  // model does not read them, so cached pmfs stay valid while they move.
+  const double alpha = config_.ewma_alpha;
+  const double qlen = static_cast<double>(sample.queue_length);
+  const double service_us =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(sample.service_time).count());
+  if (!record.ewma_seeded) {
+    record.queue_ewma = qlen;
+    record.service_ewma_us = service_us;
+    record.queue_trend = 0.0;
+    record.ewma_seeded = true;
+  } else {
+    const double delta = qlen - static_cast<double>(record.queue_length);
+    record.queue_trend = alpha * delta + (1.0 - alpha) * record.queue_trend;
+    record.queue_ewma = alpha * qlen + (1.0 - alpha) * record.queue_ewma;
+    record.service_ewma_us = alpha * service_us + (1.0 - alpha) * record.service_ewma_us;
+  }
+  // A fresh sample reflects the replica's queue as of this reply; our
+  // older in-flight charges are either inside that queue count now or
+  // already serviced, so the compensation resets.
+  record.own_inflight = 0;
   record.queue_length = sample.queue_length;
   record.last_update = now;
   if (perf_samples_counter_ != nullptr) perf_samples_counter_->add();
+  if (telemetry_ != nullptr) {
+    resolve_load_gauges(replica, record);
+    record.queue_ewma_gauge->set(record.queue_ewma);
+    record.queue_trend_gauge->set(record.queue_trend);
+    record.own_inflight_gauge->set(0.0);
+  }
 }
 
-void InfoRepository::record_gateway_delay(ReplicaId replica, Duration delay, TimePoint now) {
+void InfoRepository::record_gateway_delay(ReplicaId replica, Duration delay, TimePoint now,
+                                          std::uint64_t sample_seq) {
   AQUA_REQUIRE(delay >= Duration::zero(), "gateway delay must be non-negative");
   Record& record = record_for(replica);
+  if (sample_seq != 0 && record.last_gateway_seq != 0 && sample_seq <= record.last_gateway_seq) {
+    if (stale_samples_counter_ != nullptr) stale_samples_counter_->add();
+    if (config_.reject_stale_samples) return;
+  }
+  record.last_gateway_seq = std::max(record.last_gateway_seq, sample_seq);
   record.gateway_delay = delay;
   record.gateway_delay_known = true;
   record.gateway_window.push(delay);
@@ -72,7 +117,19 @@ void InfoRepository::record_gateway_delay(ReplicaId replica, Duration delay, Tim
   if (gateway_delays_counter_ != nullptr) gateway_delays_counter_->add();
 }
 
-ReplicaObservation InfoRepository::observe(ReplicaId replica, const std::string& method) const {
+void InfoRepository::note_dispatch(ReplicaId replica) {
+  auto it = records_.find(replica);
+  if (it == records_.end()) return;
+  Record& record = it->second;
+  ++record.own_inflight;
+  if (telemetry_ != nullptr) {
+    resolve_load_gauges(replica, record);
+    record.own_inflight_gauge->set(static_cast<double>(record.own_inflight));
+  }
+}
+
+ReplicaObservation InfoRepository::observe(ReplicaId replica, const std::string& method,
+                                           TimePoint now) const {
   auto it = records_.find(replica);
   AQUA_REQUIRE(it != records_.end(), "observe() of an untracked replica");
   const Record& record = it->second;
@@ -89,6 +146,11 @@ ReplicaObservation InfoRepository::observe(ReplicaId replica, const std::string&
   obs.gateway_samples = record.gateway_window.samples();
   obs.queue_length = record.queue_length;
   obs.last_update = record.last_update;
+  obs.queue_ewma = record.queue_ewma;
+  obs.queue_trend = record.queue_trend;
+  obs.service_ewma_us = record.service_ewma_us;
+  obs.own_inflight = record.own_inflight;
+  if (now != TimePoint{} && now > record.last_update) obs.silence = now - record.last_update;
   return obs;
 }
 
@@ -102,10 +164,11 @@ std::uint64_t InfoRepository::generation(ReplicaId replica, const std::string& m
   return generation;
 }
 
-std::vector<ReplicaObservation> InfoRepository::observe_all(const std::string& method) const {
+std::vector<ReplicaObservation> InfoRepository::observe_all(const std::string& method,
+                                                            TimePoint now) const {
   std::vector<ReplicaObservation> out;
   out.reserve(records_.size());
-  for (const auto& [id, record] : records_) out.push_back(observe(id, method));
+  for (const auto& [id, record] : records_) out.push_back(observe(id, method, now));
   return out;
 }
 
@@ -117,10 +180,26 @@ bool InfoRepository::cold(const std::string& method) const {
   return true;
 }
 
+void InfoRepository::resolve_load_gauges(ReplicaId replica, Record& record) {
+  if (record.queue_ewma_gauge != nullptr) return;
+  auto& metrics = telemetry_->metrics();
+  const std::string prefix = "repository." + std::to_string(replica.value());
+  record.queue_ewma_gauge = &metrics.gauge(prefix + ".queue_ewma");
+  record.queue_trend_gauge = &metrics.gauge(prefix + ".queue_trend");
+  record.own_inflight_gauge = &metrics.gauge(prefix + ".own_inflight");
+}
+
 void InfoRepository::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  for (auto& [id, record] : records_) {
+    record.queue_ewma_gauge = nullptr;
+    record.queue_trend_gauge = nullptr;
+    record.own_inflight_gauge = nullptr;
+  }
   if (telemetry == nullptr) {
     perf_samples_counter_ = nullptr;
     gateway_delays_counter_ = nullptr;
+    stale_samples_counter_ = nullptr;
     replicas_added_counter_ = nullptr;
     replicas_removed_counter_ = nullptr;
     return;
@@ -128,6 +207,7 @@ void InfoRepository::set_telemetry(obs::Telemetry* telemetry) {
   auto& metrics = telemetry->metrics();
   perf_samples_counter_ = &metrics.counter("repository.perf_samples");
   gateway_delays_counter_ = &metrics.counter("repository.gateway_delays");
+  stale_samples_counter_ = &metrics.counter("repository.stale_samples");
   replicas_added_counter_ = &metrics.counter("repository.replicas_added");
   replicas_removed_counter_ = &metrics.counter("repository.replicas_removed");
 }

@@ -25,6 +25,7 @@
 
 namespace aqua::obs {
 class Counter;
+class Gauge;
 class Telemetry;
 }  // namespace aqua::obs
 
@@ -40,6 +41,19 @@ struct RepositoryConfig {
   /// extension for LANs whose traffic does fluctuate); 0 defaults to
   /// window_size. The most recent value is always tracked regardless.
   std::size_t gateway_window_size = 0;
+
+  /// Smoothing factor for the queue-length / trend / service-rate EWMAs
+  /// backing the load-compensated score. Must be in (0, 1].
+  double ewma_alpha = 0.3;
+
+  /// When set, a sample whose sample_seq is not newer than the last one
+  /// applied for the replica is DROPPED instead of applied — protects the
+  /// repository from retransmitted/reordered UDP replies overwriting a
+  /// fresher queue_length. Off by default: the deterministic sim relies
+  /// on applying messages in arrival order for bit-identical figures, so
+  /// only the threaded/UDP runtime turns this on. Stale arrivals are
+  /// counted in repository.stale_samples either way.
+  bool reject_stale_samples = false;
 };
 
 /// One performance measurement, as extracted from a reply or a pushed
@@ -48,6 +62,10 @@ struct PerfSample {
   Duration service_time{};
   Duration queuing_delay{};
   std::int64_t queue_length = 0;
+  /// Producer-side publication counter (proto::PerfData::sample_seq);
+  /// zero means the producer does not sequence and the sample is always
+  /// treated as fresh.
+  std::uint64_t sample_seq = 0;
 };
 
 class InfoRepository {
@@ -72,16 +90,28 @@ class InfoRepository {
                    const std::string& method = kDefaultMethod);
 
   /// Record a freshly measured two-way gateway-to-gateway delay
-  /// (t_d = t4 - t1 - t_q - t_s).
-  void record_gateway_delay(ReplicaId replica, Duration delay, TimePoint now);
+  /// (t_d = t4 - t1 - t_q - t_s). `sample_seq` is the sequence of the
+  /// reply the delay was derived from (0 = unsequenced); it is guarded
+  /// independently of record_perf's, since one reply feeds both.
+  void record_gateway_delay(ReplicaId replica, Duration delay, TimePoint now,
+                            std::uint64_t sample_seq = 0);
 
-  /// Snapshot one replica for the model. Throws if untracked.
+  /// Charge one in-flight request of our own against the replica: called
+  /// at dispatch time, cleared by the next accepted perf sample. Unknown
+  /// replicas are ignored (no implicit add — a dispatch is not evidence
+  /// of membership). Never advances any generation stamp.
+  void note_dispatch(ReplicaId replica);
+
+  /// Snapshot one replica for the model. Throws if untracked. Pass `now`
+  /// to have ReplicaObservation::silence computed; the TimePoint{}
+  /// default leaves it zero (callers without a clock).
   [[nodiscard]] ReplicaObservation observe(ReplicaId replica,
-                                           const std::string& method = kDefaultMethod) const;
+                                           const std::string& method = kDefaultMethod,
+                                           TimePoint now = TimePoint{}) const;
 
   /// Snapshot every tracked replica, in replica-id order.
   [[nodiscard]] std::vector<ReplicaObservation> observe_all(
-      const std::string& method = kDefaultMethod) const;
+      const std::string& method = kDefaultMethod, TimePoint now = TimePoint{}) const;
 
   /// True until the first perf sample for any replica arrives; the
   /// handler selects ALL replicas on a cold repository (§5.4.1).
@@ -98,9 +128,13 @@ class InfoRepository {
   [[nodiscard]] std::size_t window_size() const { return config_.window_size; }
 
   /// Count harvest traffic into `telemetry` (repository.perf_samples,
-  /// repository.gateway_delays, repository.replicas_added / _removed)
-  /// from now on. Null detaches. Counters are shared across handlers
-  /// attached to one Telemetry, so they aggregate gateway-wide.
+  /// repository.gateway_delays, repository.stale_samples,
+  /// repository.replicas_added / _removed) from now on, and export the
+  /// per-replica load-pressure gauges (repository.<id>.queue_ewma /
+  /// .queue_trend / .own_inflight). Null detaches. Counters are shared
+  /// across handlers attached to one Telemetry, so they aggregate
+  /// gateway-wide; the gauges too, so with several handlers on one
+  /// Telemetry a gauge shows the most recent writer's view.
   void set_telemetry(obs::Telemetry* telemetry);
 
  private:
@@ -122,18 +156,38 @@ class InfoRepository {
     /// Bumped on changes that affect every method's model: gateway-delay
     /// measurements and queue-length changes.
     std::uint64_t shared_generation = 0;
+    /// Load EWMAs (see ReplicaObservation). Seeded by the first sample.
+    double queue_ewma = 0.0;
+    double queue_trend = 0.0;
+    double service_ewma_us = 0.0;
+    bool ewma_seeded = false;
+    /// Own dispatches since the last accepted perf sample.
+    std::uint64_t own_inflight = 0;
+    /// Highest sample_seq applied per channel. record_perf and
+    /// record_gateway_delay are guarded separately because one reply
+    /// legitimately feeds both with the same sequence number.
+    std::uint64_t last_perf_seq = 0;
+    std::uint64_t last_gateway_seq = 0;
+    /// Per-replica load-pressure gauges, resolved lazily on first record
+    /// after telemetry attaches (null otherwise, one-branch discipline).
+    obs::Gauge* queue_ewma_gauge = nullptr;
+    obs::Gauge* queue_trend_gauge = nullptr;
+    obs::Gauge* own_inflight_gauge = nullptr;
     explicit Record(std::size_t gateway_l) : gateway_window(gateway_l) {}
   };
 
   Record& record_for(ReplicaId replica);
+  void resolve_load_gauges(ReplicaId replica, Record& record);
 
   RepositoryConfig config_;
   std::map<ReplicaId, Record> records_;
   std::uint64_t generation_counter_ = 0;
 
   /// Null unless telemetry is attached (one-branch discipline).
+  obs::Telemetry* telemetry_ = nullptr;
   obs::Counter* perf_samples_counter_ = nullptr;
   obs::Counter* gateway_delays_counter_ = nullptr;
+  obs::Counter* stale_samples_counter_ = nullptr;
   obs::Counter* replicas_added_counter_ = nullptr;
   obs::Counter* replicas_removed_counter_ = nullptr;
 };

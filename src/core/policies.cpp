@@ -34,8 +34,10 @@ class DynamicPolicy final : public SelectionPolicy {
       : selector_(config, ResponseTimeModel{model, std::move(cache)}) {}
 
   SelectionResult select(std::span<const ReplicaObservation> observations, const QosSpec& qos,
-                         Duration overhead_delta, Rng&) override {
-    return selector_.select(observations, qos, overhead_delta);
+                         Duration overhead_delta, Rng& rng) override {
+    // The selector only draws from the rng for the power-of-two-choices
+    // spread, i.e. never under the default (load-score-off) config.
+    return selector_.select(observations, qos, overhead_delta, &rng);
   }
 
   std::string name() const override { return "dynamic"; }
@@ -185,6 +187,7 @@ class ObservedPolicy final : public SelectionPolicy {
       calls_ = &metrics.counter("select.calls");
       cold_starts_ = &metrics.counter("select.cold_starts");
       infeasible_ = &metrics.counter("select.infeasible");
+      suspect_skips_ = &metrics.counter("select.suspect_skips");
       redundancy_ = &metrics.histogram("select.redundancy");
     }
   }
@@ -196,6 +199,7 @@ class ObservedPolicy final : public SelectionPolicy {
       calls_->add();
       if (result.cold_start) cold_starts_->add();
       if (!result.feasible && !result.cold_start) infeasible_->add();
+      if (result.suspects > 0) suspect_skips_->add(result.suspects);
       redundancy_->record_value(static_cast<std::int64_t>(result.redundancy()));
     }
     return result;
@@ -208,29 +212,63 @@ class ObservedPolicy final : public SelectionPolicy {
   obs::Counter* calls_ = nullptr;
   obs::Counter* cold_starts_ = nullptr;
   obs::Counter* infeasible_ = nullptr;
+  obs::Counter* suspect_skips_ = nullptr;
   obs::Histogram* redundancy_ = nullptr;
 };
 
 class StaticKPolicy final : public SelectionPolicy {
  public:
-  StaticKPolicy(std::size_t k, ModelConfig model) : k_(k), model_(model) {}
+  StaticKPolicy(std::size_t k, ModelConfig model, LoadScoreConfig load)
+      : k_(k), model_(model), load_(load) {}
 
   SelectionResult select(std::span<const ReplicaObservation> observations, const QosSpec& qos,
-                         Duration overhead_delta, Rng&) override {
+                         Duration overhead_delta, Rng& rng) override {
     AQUA_REQUIRE(!observations.empty(), "selection requires at least one replica");
     qos.validate();
     SelectionResult result;
     if (cold_start_all(observations, result)) return result;
     const Duration deadline = qos.deadline - overhead_delta;
+    std::vector<const ReplicaObservation*> suspect_obs;
+    const auto rank_one = [&](const ReplicaObservation& obs) {
+      RankedReplica ranked{obs.id, obs.has_data() ? model_.probability_by(obs, deadline) : 0.0,
+                           obs.has_data()};
+      if (load_.enabled && obs.has_data()) {
+        ranked.score = load_score(model_, obs, deadline, load_);
+      }
+      result.ranked.push_back(ranked);
+    };
     for (const ReplicaObservation& obs : observations) {
-      result.ranked.push_back(
-          {obs.id, obs.has_data() ? model_.probability_by(obs, deadline) : 0.0, obs.has_data()});
+      if (load_.enabled && obs.has_data() && load_suspect(obs, qos, load_)) {
+        suspect_obs.push_back(&obs);
+      } else {
+        rank_one(obs);
+      }
     }
-    std::sort(result.ranked.begin(), result.ranked.end(),
-              [](const RankedReplica& a, const RankedReplica& b) {
-                if (a.probability != b.probability) return a.probability > b.probability;
-                return a.id < b.id;
-              });
+    const bool any_ranked_data =
+        std::any_of(result.ranked.begin(), result.ranked.end(),
+                    [](const RankedReplica& r) { return r.has_data; });
+    if (!any_ranked_data && !suspect_obs.empty()) {
+      // Every data-bearing replica looked dead: rank them anyway rather
+      // than dispatch only to dataless strangers.
+      for (const ReplicaObservation* obs : suspect_obs) rank_one(*obs);
+      suspect_obs.clear();
+    }
+    result.suspects = suspect_obs.size();
+    if (load_.enabled) {
+      std::sort(result.ranked.begin(), result.ranked.end(),
+                [](const RankedReplica& a, const RankedReplica& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  if (a.probability != b.probability) return a.probability > b.probability;
+                  return a.id < b.id;
+                });
+      two_choice_spread(result.ranked, observations, load_, rng);
+    } else {
+      std::sort(result.ranked.begin(), result.ranked.end(),
+                [](const RankedReplica& a, const RankedReplica& b) {
+                  if (a.probability != b.probability) return a.probability > b.probability;
+                  return a.id < b.id;
+                });
+    }
     const std::size_t take = std::min(k_, result.ranked.size());
     double prod = 1.0;
     for (std::size_t i = 0; i < take; ++i) {
@@ -242,11 +280,14 @@ class StaticKPolicy final : public SelectionPolicy {
     return result;
   }
 
-  std::string name() const override { return "static-" + std::to_string(k_); }
+  std::string name() const override {
+    return (load_.enabled ? "static-load-" : "static-") + std::to_string(k_);
+  }
 
  private:
   std::size_t k_;
   ResponseTimeModel model_;
+  LoadScoreConfig load_;
 };
 
 }  // namespace
@@ -274,9 +315,9 @@ PolicyPtr make_round_robin_policy(std::size_t k) {
 
 PolicyPtr make_all_replicas_policy() { return std::make_unique<AllReplicasPolicy>(); }
 
-PolicyPtr make_static_k_policy(std::size_t k, ModelConfig model) {
+PolicyPtr make_static_k_policy(std::size_t k, ModelConfig model, LoadScoreConfig load) {
   AQUA_REQUIRE(k >= 1, "static policy needs k >= 1");
-  return std::make_unique<StaticKPolicy>(k, model);
+  return std::make_unique<StaticKPolicy>(k, model, load);
 }
 
 PolicyPtr make_observed_policy(PolicyPtr inner, obs::Telemetry* telemetry) {
@@ -291,15 +332,21 @@ DispatchPlan plan_dispatch(const DispatchConfig& config, const SelectionResult& 
   if (plan.primary.size() <= 1 || selection.cold_start) return plan;
 
   if (config.adaptive_redundancy) {
-    // Overload signal: mean piggybacked queue length across every
+    // Overload signal: mean piggybacked queue length across every LIVE
     // replica with history. When all queues are deep, each extra copy
     // of the request mostly adds queueing, not tail protection — trim
     // K to the cap, keeping the best-ranked members (selected order is
-    // protected-first, then candidates by rank).
+    // protected-first, then candidates by rank). Replicas silent past
+    // the staleness bound are excluded: a crashed member's frozen (and
+    // typically low) queue_length would otherwise bias the mean down
+    // exactly when the survivors are drowning.
+    Duration staleness_bound = config.overload_staleness_bound;
+    if (staleness_bound == Duration::zero()) staleness_bound = qos.deadline * 4;
     double total = 0.0;
     std::size_t with_data = 0;
     for (const ReplicaObservation& obs : observations) {
       if (!obs.has_data()) continue;
+      if (staleness_bound > Duration::zero() && obs.silence > staleness_bound) continue;
       total += static_cast<double>(obs.queue_length);
       ++with_data;
     }

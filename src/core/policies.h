@@ -62,8 +62,11 @@ PolicyPtr make_round_robin_policy(std::size_t k);
 PolicyPtr make_all_replicas_policy();
 
 /// The k replicas with the highest F_Ri(t) regardless of the client's
-/// probability request (static redundancy baseline).
-PolicyPtr make_static_k_policy(std::size_t k, ModelConfig model = {});
+/// probability request (static redundancy baseline). With `load.enabled`
+/// the k are picked by the load-compensated score instead (suspect
+/// skipping and two-choice spreading included) — the herd-safe informed
+/// placement the coded bench pits against blind random spreading.
+PolicyPtr make_static_k_policy(std::size_t k, ModelConfig model = {}, LoadScoreConfig load = {});
 
 /// How the gateway transmits a request to the selected set K.
 ///
@@ -105,6 +108,17 @@ struct DispatchConfig {
   bool adaptive_redundancy = false;
   std::int64_t overload_queue_threshold = 4;
   std::size_t overload_redundancy_cap = 2;
+
+  /// Live-replica filter for the overload mean: observations silent for
+  /// longer than this (a crashed member still inside the §5.4 failure
+  /// detection window, its stale low queue_length frozen in the
+  /// repository) are excluded, so one dead replica cannot drag the
+  /// signal below the threshold. Zero = auto (4 x the request deadline,
+  /// mirroring the runtime's give-up factor); negative = include all
+  /// (the pre-fix behaviour, kept for ablation). Only consulted when
+  /// adaptive_redundancy is on, and only effective when the caller
+  /// observed with a clock (otherwise silence is zero = always live).
+  Duration overload_staleness_bound{};
 
   /// When is the request complete? The default (first-of-n) is the
   /// paper's first-reply-wins semantics. k_of_n(k) turns the request

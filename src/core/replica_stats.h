@@ -50,6 +50,34 @@ struct ReplicaObservation {
   /// When the repository last recorded anything for this replica.
   TimePoint last_update{};
 
+  // Load-awareness extensions (herd-safe selection). None of these feed
+  // the response-time model, so they do NOT advance `generation`: cached
+  // pmfs stay valid while they move.
+
+  /// EWMA over the piggybacked queue_length samples — smoother than the
+  /// raw latest length, which is one queue snapshot behind reality.
+  double queue_ewma = 0.0;
+
+  /// EWMA of sample-to-sample queue-length deltas: positive while the
+  /// queue is building, negative while it drains.
+  double queue_trend = 0.0;
+
+  /// EWMA of the service time in microseconds — the per-replica service
+  /// RATE estimate (rate ~ 1 / service_ewma_us), used to convert backlog
+  /// counts into a time penalty.
+  double service_ewma_us = 0.0;
+
+  /// This gateway's own requests dispatched to the replica since its last
+  /// accepted perf sample. The repository cannot see them in any window
+  /// yet, so selection charges them explicitly (client-side concurrency
+  /// compensation).
+  std::uint64_t own_inflight = 0;
+
+  /// now - last_update as of observe(..., now); zero when observed
+  /// without a clock. The "time without response" half of the cheap
+  /// liveness guess.
+  Duration silence{};
+
   /// A replica is usable by the model once both windows have content and
   /// a gateway delay has been measured.
   [[nodiscard]] bool has_data() const {

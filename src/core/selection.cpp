@@ -1,17 +1,88 @@
 #include "core/selection.h"
 
 #include <algorithm>
+#include <chrono>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/assert.h"
+#include "common/rng.h"
 
 namespace aqua::core {
+
+Duration load_penalty(const ReplicaObservation& obs, const LoadScoreConfig& load) {
+  const double backlog = load.queue_weight * std::max(0.0, obs.queue_ewma) +
+                         load.outstanding_weight * static_cast<double>(obs.own_inflight) +
+                         load.trend_weight * std::max(0.0, obs.queue_trend);
+  if (backlog <= 0.0 || obs.service_ewma_us <= 0.0) return Duration::zero();
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double, std::micro>(backlog * obs.service_ewma_us));
+}
+
+bool load_suspect(const ReplicaObservation& obs, const QosSpec& qos,
+                  const LoadScoreConfig& load) {
+  if (!load.liveness_guess) return false;
+  // Only our own unanswered traffic makes silence suspicious: a replica
+  // we have not talked to recently is merely idle from our vantage.
+  if (obs.own_inflight == 0) return false;
+  if (obs.silence <= Duration::zero()) return false;
+  return static_cast<double>(obs.silence.count()) >
+         load.liveness_factor * static_cast<double>(qos.deadline.count());
+}
+
+double load_score(const ResponseTimeModel& model, const ReplicaObservation& obs,
+                  Duration effective_deadline, const LoadScoreConfig& load) {
+  return model.probability_by(obs, effective_deadline - load_penalty(obs, load));
+}
+
+void two_choice_spread(std::vector<RankedReplica>& ranked,
+                       std::span<const ReplicaObservation> observations,
+                       const LoadScoreConfig& load, Rng& rng) {
+  if (ranked.size() < 2) return;
+  std::unordered_map<ReplicaId, Duration> penalties;
+  penalties.reserve(observations.size());
+  for (const ReplicaObservation& obs : observations) {
+    penalties.emplace(obs.id, load_penalty(obs, load));
+  }
+  const auto penalty_of = [&](const RankedReplica& r) {
+    auto it = penalties.find(r.id);
+    return it == penalties.end() ? Duration::zero() : it->second;
+  };
+  std::size_t band_begin = 0;
+  while (band_begin < ranked.size()) {
+    std::size_t band_end = band_begin + 1;
+    while (band_end < ranked.size() &&
+           ranked[band_begin].score - ranked[band_end].score <= load.p2c_epsilon) {
+      ++band_end;
+    }
+    // Re-emit the band two-choices at a time: draw two distinct members,
+    // keep the less loaded one next (ties keep the current, score-better
+    // order). O(band^2) but bands are tiny in practice.
+    std::vector<RankedReplica> pool(ranked.begin() + static_cast<std::ptrdiff_t>(band_begin),
+                                    ranked.begin() + static_cast<std::ptrdiff_t>(band_end));
+    std::size_t out = band_begin;
+    while (pool.size() > 1) {
+      const auto a = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1));
+      auto b = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 2));
+      if (b >= a) ++b;  // distinct second choice
+      std::size_t pick = penalty_of(pool[b]) < penalty_of(pool[a]) ? b : a;
+      if (penalty_of(pool[a]) == penalty_of(pool[b])) pick = std::min(a, b);
+      ranked[out++] = pool[pick];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ranked[out] = pool.front();
+    band_begin = band_end;
+  }
+}
 
 ReplicaSelector::ReplicaSelector(SelectionConfig config, ResponseTimeModel model)
     : config_(config), model_(std::move(model)) {}
 
 SelectionResult ReplicaSelector::select(std::span<const ReplicaObservation> observations,
-                                        const QosSpec& qos, Duration overhead_delta) const {
+                                        const QosSpec& qos, Duration overhead_delta,
+                                        Rng* rng) const {
   AQUA_REQUIRE(!observations.empty(), "selection requires at least one replica");
   qos.validate();
   {
@@ -30,17 +101,34 @@ SelectionResult ReplicaSelector::select(std::span<const ReplicaObservation> obse
     effective_deadline -= overhead_delta;
   }
 
-  // Compute F_Ri(t - delta) for every replica with history.
+  // Compute F_Ri(t - delta) for every replica with history. With the
+  // load score on, the liveness guess skips suspect replicas before any
+  // convolution runs, and each survivor also gets its compensated score.
+  const LoadScoreConfig& load = config_.load;
   result.ranked.reserve(observations.size());
   std::vector<ReplicaId> dataless;
+  std::vector<const ReplicaObservation*> suspect_obs;
+  const auto rank_one = [&](const ReplicaObservation& obs) {
+    RankedReplica ranked{obs.id, model_.probability_by(obs, effective_deadline), true};
+    if (load.enabled) ranked.score = load_score(model_, obs, effective_deadline, load);
+    result.ranked.push_back(ranked);
+  };
   for (const ReplicaObservation& obs : observations) {
-    if (obs.has_data()) {
-      result.ranked.push_back(
-          RankedReplica{obs.id, model_.probability_by(obs, effective_deadline), true});
-    } else {
+    if (!obs.has_data()) {
       dataless.push_back(obs.id);
+    } else if (load.enabled && load_suspect(obs, qos, load)) {
+      suspect_obs.push_back(&obs);
+    } else {
+      rank_one(obs);
     }
   }
+  if (result.ranked.empty() && !suspect_obs.empty()) {
+    // Every data-bearing replica looked dead: the guess must never starve
+    // selection, so rank them all after all (and report no skips).
+    for (const ReplicaObservation* obs : suspect_obs) rank_one(*obs);
+    suspect_obs.clear();
+  }
+  result.suspects = suspect_obs.size();
 
   // Cold start (§5.4.1): with no history at all, select every replica so
   // the performance updates can initialise the repository.
@@ -51,12 +139,24 @@ SelectionResult ReplicaSelector::select(std::span<const ReplicaObservation> obse
   }
 
   // Line 3: sort in decreasing order of F_Ri; ties broken by id so that
-  // selection is deterministic.
-  std::sort(result.ranked.begin(), result.ranked.end(),
-            [](const RankedReplica& a, const RankedReplica& b) {
-              if (a.probability != b.probability) return a.probability > b.probability;
-              return a.id < b.id;
-            });
+  // selection is deterministic. The load score, when enabled, takes
+  // precedence: a timely-but-loaded replica ranks below an equally
+  // timely idle one.
+  if (load.enabled) {
+    std::sort(result.ranked.begin(), result.ranked.end(),
+              [](const RankedReplica& a, const RankedReplica& b) {
+                if (a.score != b.score) return a.score > b.score;
+                if (a.probability != b.probability) return a.probability > b.probability;
+                return a.id < b.id;
+              });
+    if (rng != nullptr) two_choice_spread(result.ranked, observations, load, *rng);
+  } else {
+    std::sort(result.ranked.begin(), result.ranked.end(),
+              [](const RankedReplica& a, const RankedReplica& b) {
+                if (a.probability != b.probability) return a.probability > b.probability;
+                return a.id < b.id;
+              });
+  }
 
   // Line 4 (generalised): protect the top-k replicas, clamped to n-1 so
   // the feasibility test below never runs over an empty candidate range.

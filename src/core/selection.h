@@ -24,6 +24,10 @@
 #include "core/replica_stats.h"
 #include "core/response_time_model.h"
 
+namespace aqua {
+class Rng;
+}  // namespace aqua
+
 namespace aqua::core {
 
 /// What to select when no candidate set satisfies P_X(t) >= P_c(t).
@@ -37,6 +41,44 @@ enum class InfeasibleFallback {
   /// candidate (the sets Algorithm 1 would pick for P_c = 0), keeping
   /// the load bounded when the spec is unreachable anyway.
   kMinimalSet,
+};
+
+/// Herd-safe load compensation (Tars-style). The paper's pure P(t)
+/// ranking makes every gateway pick the same "best" replicas, building
+/// the very queues the model has not seen yet; this score charges each
+/// replica's predicted backlog against its deadline before ranking.
+/// Disabled by default: the default config stays bit-identical to the
+/// paper policy (score fields are left at 0 and no rng is drawn).
+struct LoadScoreConfig {
+  bool enabled = false;
+
+  /// Backlog charge per unit of smoothed queue length (queue_ewma). The
+  /// queue is the herd's footprint — every gateway's dispatches land in
+  /// it — so it is weighted above the purely-local terms; 2.0 is what
+  /// flips the informed-coded inversion in bench/coded_vs_replicated.
+  double queue_weight = 2.0;
+
+  /// Backlog charge per own in-flight request (client-side concurrency
+  /// compensation: our dispatches since the replica's last perf sample
+  /// are invisible to every window, so they are charged explicitly).
+  double outstanding_weight = 1.0;
+
+  /// Backlog charge per unit of positive queue growth trend (a building
+  /// queue is worse than its current length says).
+  double trend_weight = 1.0;
+
+  /// Two replicas whose scores differ by at most this much are "near
+  /// equal": power-of-two-choices spreads them instead of letting the id
+  /// tiebreak herd every gateway onto the lowest id.
+  double p2c_epsilon = 0.02;
+
+  /// Scylla-style cheap liveness guess: skip a replica before running
+  /// the convolution when we have in-flight requests to it and it has
+  /// been silent longer than liveness_factor x deadline (time left vs
+  /// time without response). If every data-bearing replica is suspect,
+  /// all are ranked anyway — the guess must never starve selection.
+  bool liveness_guess = true;
+  double liveness_factor = 2.0;
 };
 
 struct SelectionConfig {
@@ -60,7 +102,26 @@ struct SelectionConfig {
   /// members) to the selected set so their windows can bootstrap. They do
   /// not participate in the probability test.
   bool include_dataless = true;
+
+  /// Load-compensated ranking (off reproduces the paper exactly).
+  LoadScoreConfig load;
 };
+
+/// Backlog converted into a time penalty: (weighted queue EWMA + own
+/// in-flight + positive trend) x estimated per-request service time.
+/// Zero until the service-rate EWMA has a sample.
+[[nodiscard]] Duration load_penalty(const ReplicaObservation& obs, const LoadScoreConfig& load);
+
+/// The liveness guess: true when the replica should be skipped outright.
+[[nodiscard]] bool load_suspect(const ReplicaObservation& obs, const QosSpec& qos,
+                                const LoadScoreConfig& load);
+
+/// The compensated score: F_Ri evaluated at (effective deadline - load
+/// penalty). Monotone non-increasing in queue length and own in-flight
+/// count for a fixed history (the penalty only shrinks the deadline and
+/// the cdf is monotone in it).
+[[nodiscard]] double load_score(const ResponseTimeModel& model, const ReplicaObservation& obs,
+                                Duration effective_deadline, const LoadScoreConfig& load);
 
 /// Per-replica diagnostic emitted with each selection.
 struct RankedReplica {
@@ -68,9 +129,23 @@ struct RankedReplica {
   /// F_Ri(t - delta); 0 for dataless replicas.
   double probability = 0.0;
   bool has_data = false;
+  /// The load-compensated score this replica was ranked by; 0 whenever
+  /// LoadScoreConfig::enabled is false (so default-config results stay
+  /// byte-identical to the pre-score selector).
+  double score = 0.0;
 
   friend bool operator==(const RankedReplica&, const RankedReplica&) = default;
 };
+
+/// Power-of-two-choices spread over a score-sorted ranking: within each
+/// maximal run of entries scoring within p2c_epsilon of the run head,
+/// repeatedly draw two distinct members and emit the one with the lower
+/// load penalty first. Different gateways (different rng streams) thus
+/// pick different members of a near-equal band instead of all herding
+/// onto the id tiebreak. `observations` supplies the penalties.
+void two_choice_spread(std::vector<RankedReplica>& ranked,
+                       std::span<const ReplicaObservation> observations,
+                       const LoadScoreConfig& load, Rng& rng);
 
 struct SelectionResult {
   /// K: replicas the request is multicast to. Protected members first,
@@ -97,6 +172,11 @@ struct SelectionResult {
   /// the crash-tolerance rule (the generalised m0; 0 on cold start).
   std::size_t protected_count = 0;
 
+  /// Replicas the liveness guess excluded from the ranking entirely
+  /// (always 0 when the load score is disabled, or when the all-suspect
+  /// fallback ranked them after all).
+  std::size_t suspects = 0;
+
   /// Replicas sorted by decreasing F_Ri(t - delta) (diagnostics).
   std::vector<RankedReplica> ranked;
 
@@ -115,9 +195,13 @@ class ReplicaSelector {
   /// Run Algorithm 1. `overhead_delta` is the most recent measurement of
   /// the algorithm's own cost (ignored unless overhead_compensation).
   /// Observations must be non-empty and have distinct replica ids.
+  /// `rng` powers the power-of-two-choices spread among near-equal
+  /// candidates; it is only drawn when the load score is enabled AND a
+  /// non-null rng is passed, so existing callers stay bit-identical.
   [[nodiscard]] SelectionResult select(std::span<const ReplicaObservation> observations,
                                        const QosSpec& qos,
-                                       Duration overhead_delta = Duration::zero()) const;
+                                       Duration overhead_delta = Duration::zero(),
+                                       Rng* rng = nullptr) const;
 
   [[nodiscard]] const SelectionConfig& config() const { return config_; }
   [[nodiscard]] const ResponseTimeModel& model() const { return model_; }

@@ -53,6 +53,7 @@ TimingFaultHandler::TimingFaultHandler(sim::Simulator& simulator, net::Lan& lan,
     cancels_counter_ = &metrics.counter("gateway.cancels");
     qos_violations_counter_ = &metrics.counter("gateway.qos_violations");
     replicas_evicted_counter_ = &metrics.counter("gateway.replicas_evicted");
+    td_clamped_counter_ = &metrics.counter("gateway.td_clamped");
     response_time_histogram_ = &metrics.histogram("gateway.response_time_us");
     selection_delta_histogram_ = &metrics.histogram("gateway.selection_delta_us");
     // The select.* counters ride on the policy decorator; the cache and
@@ -94,7 +95,14 @@ void TimingFaultHandler::probe_stale_replicas() {
 
 void TimingFaultHandler::set_awaiting(PendingRequest& pending, std::vector<ReplicaId> replicas) {
   for (ReplicaId replica : pending.awaiting) drop_outstanding(replica, 1);
-  for (ReplicaId replica : replicas) ++outstanding_[replica];
+  for (ReplicaId replica : replicas) {
+    ++outstanding_[replica];
+    // Client-side concurrency compensation: charge the copy against the
+    // replica's repository record until its next perf sample. A pure
+    // counter bump — no rng, no events, no generation change — so the
+    // default (load-score-off) config stays bit-identical.
+    repository_.note_dispatch(replica);
+  }
   pending.awaiting = std::move(replicas);
 }
 
@@ -106,6 +114,7 @@ void TimingFaultHandler::add_awaiting(PendingRequest& pending,
       continue;
     }
     ++outstanding_[replica];
+    repository_.note_dispatch(replica);
     pending.awaiting.push_back(replica);
   }
 }
@@ -234,7 +243,9 @@ RequestId TimingFaultHandler::invoke(std::int64_t argument, ReplyCallback on_rep
 }
 
 void TimingFaultHandler::dispatch(RequestId id, PendingRequest& pending, bool redispatch) {
-  const auto observations = repository_.observe_all(pending.method);
+  // Observe with the clock so silence (and thus the liveness guess and
+  // the adaptive-trim live filter) is populated.
+  const auto observations = repository_.observe_all(pending.method, simulator_.now());
   RequestRecord& record = history_[pending.record_index];
   if (observations.empty()) {
     // No replicas discovered yet (the Announce handshake is still in
@@ -568,7 +579,7 @@ void TimingFaultHandler::handle_reply(const proto::Reply& reply) {
   const TimePoint t4 = simulator_.now();
   if (replies_counter_ != nullptr) replies_counter_->add();
   const core::PerfSample sample{reply.perf.service_time, reply.perf.queuing_delay,
-                                reply.perf.queue_length};
+                                reply.perf.queue_length, reply.perf.sample_seq};
   // Every reply, first or redundant, refreshes the repository (§5.4.1).
   if (replica_endpoints_.contains(reply.replica)) {
     repository_.record_perf(reply.replica, sample, t4, reply.method);
@@ -579,10 +590,18 @@ void TimingFaultHandler::handle_reply(const proto::Reply& reply) {
   PendingRequest& pending = it->second;
 
   // t_d = t4 - t1 - t_q - t_s: the two-way gateway-to-gateway delay.
-  const Duration td = std::max(
-      Duration::zero(), t4 - pending.t1 - reply.perf.queuing_delay - reply.perf.service_time);
+  // Negative raw values mean the clock bases disagree (or t1 was reset by
+  // a redispatch after this copy left); the clamp keeps the model sane
+  // but the count must be visible, not silent — a runtime with a real
+  // basis mismatch would otherwise just look optimistically close.
+  const Duration td_raw = t4 - pending.t1 - reply.perf.queuing_delay - reply.perf.service_time;
+  if (td_raw < Duration::zero()) {
+    ++td_clamped_;
+    if (td_clamped_counter_ != nullptr) td_clamped_counter_->add();
+  }
+  const Duration td = std::max(Duration::zero(), td_raw);
   if (replica_endpoints_.contains(reply.replica)) {
-    repository_.record_gateway_delay(reply.replica, td, t4);
+    repository_.record_gateway_delay(reply.replica, td, t4, reply.perf.sample_seq);
   }
 
   remove_awaiting(pending, reply.replica);
@@ -677,7 +696,7 @@ void TimingFaultHandler::handle_reply(const proto::Reply& reply) {
 void TimingFaultHandler::handle_perf_update(const proto::PerfUpdate& update) {
   if (!replica_endpoints_.contains(update.replica)) return;  // not in the current view
   const core::PerfSample sample{update.perf.service_time, update.perf.queuing_delay,
-                                update.perf.queue_length};
+                                update.perf.queue_length, update.perf.sample_seq};
   repository_.record_perf(update.replica, sample, simulator_.now(), update.method);
 }
 

@@ -213,6 +213,12 @@ class TimingFaultHandler {
   /// proto::Cancel messages sent after first replies.
   [[nodiscard]] std::uint64_t cancels_sent() const { return cancels_sent_; }
 
+  /// Times the derived gateway delay t_d = t4 - t1 - t_q - t_s came out
+  /// negative and was clamped to zero. Nonzero means clock bases
+  /// disagree (or stale replies outlived a redispatched t1); sim runs
+  /// without redispatch must stay at exactly 0.
+  [[nodiscard]] std::uint64_t td_clamped() const { return td_clamped_; }
+
   /// Response-pmf memoization shared with the default dynamic policy
   /// (hit/miss/invalidation/eviction counters for diagnostics).
   [[nodiscard]] const core::ModelCache& model_cache() const { return *model_cache_; }
@@ -335,6 +341,7 @@ class TimingFaultHandler {
   std::uint64_t probes_sent_ = 0;
   std::uint64_t hedges_fired_ = 0;
   std::uint64_t cancels_sent_ = 0;
+  std::uint64_t td_clamped_ = 0;
 
   /// Telemetry wiring: obs_ mirrors config_.telemetry; the metric
   /// pointers are resolved once in the constructor and stay null when
@@ -350,6 +357,7 @@ class TimingFaultHandler {
   obs::Counter* cancels_counter_ = nullptr;
   obs::Counter* qos_violations_counter_ = nullptr;
   obs::Counter* replicas_evicted_counter_ = nullptr;
+  obs::Counter* td_clamped_counter_ = nullptr;
   obs::Histogram* response_time_histogram_ = nullptr;
   obs::Histogram* selection_delta_histogram_ = nullptr;
   /// Non-null only when telemetry is attached and spans are enabled in

@@ -93,6 +93,7 @@ void write_perf(Writer& w, const proto::PerfData& perf) {
   w.duration(perf.service_time);
   w.duration(perf.queuing_delay);
   w.i64(perf.queue_length);
+  w.u64(perf.sample_seq);
 }
 
 proto::PerfData read_perf(Reader& r) {
@@ -100,6 +101,7 @@ proto::PerfData read_perf(Reader& r) {
   perf.service_time = r.duration();
   perf.queuing_delay = r.duration();
   perf.queue_length = r.i64();
+  perf.sample_seq = r.u64();
   return perf;
 }
 

@@ -29,7 +29,9 @@ inline constexpr std::uint32_t kWireMagic = 0x50575141;  // "AQWP" little-endian
 // MDS-coded divisible jobs. The fields are appended, but the trailing
 // r.done() check means a v1 peer would misparse them — so the version
 // bumps and v1 buffers are rejected like any foreign format.
-inline constexpr std::uint8_t kWireVersion = 2;
+// v3: PerfData grew sample_seq so repositories can reject retransmitted
+// UDP replies carrying stale queue-length samples.
+inline constexpr std::uint8_t kWireVersion = 3;
 
 /// Serialize `payload` (body + span stamp + declared size) into `out`
 /// (cleared first). Returns false when the body holds a type the wire

@@ -24,6 +24,12 @@ struct PerfData {
   /// Number of requests still waiting in the replica's queue when the
   /// measurement was published.
   std::int64_t queue_length = 0;
+  /// Monotone per-replica publication counter stamped when the sample is
+  /// taken. Lets repositories reject a retransmitted/reordered copy that
+  /// carries an older queue_length than one already applied. Zero means
+  /// the producer predates sequencing (unknown); such samples are never
+  /// treated as stale.
+  std::uint64_t sample_seq = 0;
 };
 
 /// A client request as forwarded by the timing fault handler.

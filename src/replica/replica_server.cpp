@@ -135,6 +135,7 @@ void ReplicaServer::finish_current() {
   perf.queuing_delay = dequeued_at_ - current_.enqueued_at;  // t_q = t3 - t2
   perf.queue_length = static_cast<std::int64_t>(queue_.size());
   ++serviced_;
+  perf.sample_seq = serviced_;
   busy_time_ += now - busy_since_;
   if (replies_counter_ != nullptr) {
     replies_counter_->add();

@@ -14,6 +14,27 @@ Duration NetDelayModel::sample(Rng& rng) const {
   return modulation ? modulation->apply(delay) : delay;
 }
 
+namespace {
+
+/// Steady-clock instants mapped onto the TimePoint axis so the
+/// repository's freshness fields (last_update, observation silence) are
+/// meaningful in the threaded runtime — they used to be recorded as
+/// TimePoint{}, which made every staleness question unanswerable.
+TimePoint mono_now() {
+  return TimePoint{} + std::chrono::duration_cast<Duration>(
+                           std::chrono::steady_clock::now().time_since_epoch());
+}
+
+/// The threaded runtime always guards against stale samples: UDP (and
+/// the executor's delay-injected in-process hops) can reorder replies,
+/// and unlike the sim there is no bit-identity contract to preserve.
+core::RepositoryConfig with_stale_guard(core::RepositoryConfig config) {
+  config.reject_stale_samples = true;
+  return config;
+}
+
+}  // namespace
+
 struct ThreadedClient::RequestState {
   std::mutex mutex;
   std::condition_variable cv;
@@ -37,7 +58,7 @@ ThreadedClient::ThreadedClient(std::vector<ThreadedReplica*> replicas, core::Qos
       config_(config),
       model_cache_(std::make_shared<core::ModelCache>()),
       selector_(config.selection, core::ResponseTimeModel{config.model, model_cache_}),
-      repository_(config.repository),
+      repository_(with_stale_guard(config.repository)),
       tracker_(config.failure_tracker),
       transport_(config.transport) {
   qos_.validate();
@@ -116,8 +137,9 @@ void ThreadedClient::on_receive(EndpointId from, const net::Payload& message) {
         repository_.record_perf(reply->replica,
                                 core::PerfSample{reply->perf.service_time,
                                                  reply->perf.queuing_delay,
-                                                 reply->perf.queue_length},
-                                TimePoint{}, reply->method);
+                                                 reply->perf.queue_length,
+                                                 reply->perf.sample_seq},
+                                mono_now(), reply->method);
       }
       auto it = outstanding_.find(reply->request);
       if (it != outstanding_.end()) state = it->second;
@@ -146,8 +168,9 @@ void ThreadedClient::on_receive(EndpointId from, const net::Payload& message) {
       repository_.record_perf(update->replica,
                               core::PerfSample{update->perf.service_time,
                                                update->perf.queuing_delay,
-                                               update->perf.queue_length},
-                              TimePoint{}, update->method);
+                                               update->perf.queue_length,
+                                               update->perf.sample_seq},
+                              mono_now(), update->method);
     }
   }
 }
@@ -196,9 +219,11 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
 
     // delta measured from the real wall clock (§5.3.3), previous value
     // used for this selection.
-    const auto observations = repository_.observe_all();
+    const auto observations = repository_.observe_all(core::kDefaultMethod, mono_now());
     const auto select_start = SteadyClock::now();
-    selection = selector_.select(observations, qos_snapshot, overhead_.current());
+    // rng_ powers the load score's two-choice spread; the default config
+    // never draws from it here.
+    selection = selector_.select(observations, qos_snapshot, overhead_.current(), &rng_);
     const auto select_end = SteadyClock::now();
     outcome.selection_overhead =
         std::chrono::duration_cast<Duration>(select_end - select_start);
@@ -210,6 +235,9 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
       plan = core::plan_dispatch(config_.dispatch, selection, observations, qos_snapshot,
                                  selector_.model());
     }
+    // Client-side concurrency compensation: charge the primary wave now;
+    // hedge copies are charged only if the timer actually fires.
+    for (ReplicaId id : plan.primary) repository_.note_dispatch(id);
     outcome.redundancy = plan.primary.size() + plan.hedge.size();
     outcome.cold_start = selection.cold_start;
     outcome.hedged = plan.hedged;
@@ -298,8 +326,8 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
               repository_.record_perf(
                   reply.replica,
                   core::PerfSample{reply.perf.service_time, reply.perf.queuing_delay,
-                                   reply.perf.queue_length},
-                  TimePoint{}, reply.method);
+                                   reply.perf.queue_length, reply.perf.sample_seq},
+                  mono_now(), reply.method);
             }
           }
           std::lock_guard slock(state->mutex);
@@ -352,6 +380,10 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
   if (hedge_fired) {
     outcome.hedge_fired = true;
     hedges_fired_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(mutex_);
+      for (ReplicaId id : plan.hedge) repository_.note_dispatch(id);
+    }
     if (!hedge_peers.empty()) {
       if (coded) {
         for (const auto& [replica_id, peer] : hedge_peers) {
@@ -543,7 +575,7 @@ ThreadedClient::Outcome ThreadedClient::invoke(std::int64_t argument) {
                           first_reply.perf.service_time;
       if (repository_.contains(first_reply.replica)) {
         repository_.record_gateway_delay(first_reply.replica, std::max(Duration::zero(), td),
-                                         TimePoint{});
+                                         mono_now(), first_reply.perf.sample_seq);
       }
     }
   }

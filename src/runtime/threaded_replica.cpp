@@ -84,7 +84,7 @@ void ThreadedReplica::worker() {
     reply.perf.queuing_delay =
         std::chrono::duration_cast<Duration>(dequeued_at - job->enqueued_at);
     reply.perf.queue_length = static_cast<std::int64_t>(queue_.size());
-    serviced_.fetch_add(1);
+    reply.perf.sample_seq = serviced_.fetch_add(1) + 1;
     if (replies_counter_ != nullptr) {
       replies_counter_->add();
       service_time_histogram_->record(reply.perf.service_time);

@@ -267,6 +267,45 @@ TEST(PlanDispatchTest, AdaptiveTrimComposesWithHedging) {
   EXPECT_EQ(plan.hedge, (std::vector<ReplicaId>{ReplicaId{2}}));
 }
 
+TEST(PlanDispatchTest, AdaptiveTrimIgnoresSilentReplicas) {
+  // A crashed member's frozen (low) queue_length must not drag the
+  // overload mean down exactly when the survivors are drowning. Four
+  // live replicas at queue 3 cross the threshold; the fifth is silent
+  // far past the auto staleness bound (4 x deadline) with queue 0 and
+  // must be excluded from the mean.
+  DispatchConfig config;
+  config.adaptive_redundancy = true;
+  config.overload_queue_threshold = 3;
+  config.overload_redundancy_cap = 2;
+  auto obs = five_replicas();
+  for (auto& o : obs) o.queue_length = 3;
+  obs[4].queue_length = 0;              // frozen pre-crash snapshot
+  obs[4].silence = kQos.deadline * 10;  // silent long past the bound
+  const auto selection =
+      selection_of({ReplicaId{1}, ReplicaId{2}, ReplicaId{3}, ReplicaId{4}});
+  const DispatchPlan plan = plan_dispatch(config, selection, obs, kQos, ResponseTimeModel{});
+  EXPECT_EQ(plan.trimmed, 2u);  // live mean 3 >= 3; include-all mean 2.4 would not trim
+}
+
+TEST(PlanDispatchTest, AdaptiveTrimLegacyIncludeAllMean) {
+  // Negative staleness bound restores the pre-fix include-everyone mean
+  // (the ablation arm): the crashed replica's zero dilutes the mean
+  // below the threshold and the trim never engages.
+  DispatchConfig config;
+  config.adaptive_redundancy = true;
+  config.overload_queue_threshold = 3;
+  config.overload_redundancy_cap = 2;
+  config.overload_staleness_bound = msec(-1);
+  auto obs = five_replicas();
+  for (auto& o : obs) o.queue_length = 3;
+  obs[4].queue_length = 0;
+  obs[4].silence = kQos.deadline * 10;
+  const auto selection =
+      selection_of({ReplicaId{1}, ReplicaId{2}, ReplicaId{3}, ReplicaId{4}});
+  const DispatchPlan plan = plan_dispatch(config, selection, obs, kQos, ResponseTimeModel{});
+  EXPECT_EQ(plan.trimmed, 0u);
+}
+
 TEST(PlanDispatchTest, IsDefaultDetectsEverySpeculativeKnob) {
   EXPECT_TRUE(DispatchConfig{}.is_default());
   DispatchConfig hedged;

@@ -156,5 +156,115 @@ TEST(InfoRepositoryTest, GatewayDelayIsSharedAcrossMethods) {
   EXPECT_EQ(repo.observe(ReplicaId{1}, "index").gateway_delay, msec(4));
 }
 
+PerfSample seq_sample(std::int64_t qlen, std::uint64_t seq) {
+  PerfSample s = sample(100, 10, qlen);
+  s.sample_seq = seq;
+  return s;
+}
+
+TEST(InfoRepositoryTest, StaleSeqAppliedInArrivalOrderByDefault) {
+  // The deterministic sim has no reordering; default config keeps the
+  // paper's arrival-order semantics (last writer wins) bit-identical.
+  InfoRepository repo;
+  repo.record_perf(ReplicaId{1}, seq_sample(5, 2), TimePoint{});
+  repo.record_perf(ReplicaId{1}, seq_sample(9, 1), TimePoint{});  // stale seq
+  EXPECT_EQ(repo.observe(ReplicaId{1}).queue_length, 9);
+}
+
+TEST(InfoRepositoryTest, StaleSeqRejectedWithGuardOn) {
+  // The UDP retransmit path: the runtime resends a request, both replies
+  // eventually land, and the duplicate (same seq) or a reordered older
+  // reply (lower seq) must not overwrite the fresher queue length.
+  RepositoryConfig config;
+  config.reject_stale_samples = true;
+  InfoRepository repo{config};
+  repo.record_perf(ReplicaId{1}, seq_sample(2, 7), TimePoint{} + msec(1));
+  repo.record_perf(ReplicaId{1}, seq_sample(8, 7), TimePoint{} + msec(2));  // duplicate
+  repo.record_perf(ReplicaId{1}, seq_sample(8, 6), TimePoint{} + msec(3));  // reordered
+  const auto obs = repo.observe(ReplicaId{1});
+  EXPECT_EQ(obs.queue_length, 2);
+  EXPECT_EQ(obs.service_samples.size(), 1u);  // windows untouched too
+  EXPECT_EQ(obs.last_update, TimePoint{} + msec(1));
+  repo.record_perf(ReplicaId{1}, seq_sample(4, 8), TimePoint{} + msec(4));  // fresh
+  EXPECT_EQ(repo.observe(ReplicaId{1}).queue_length, 4);
+}
+
+TEST(InfoRepositoryTest, UnsequencedSamplesAreAlwaysFresh) {
+  // seq 0 marks a producer that predates wire v3; the guard must not
+  // starve its samples.
+  RepositoryConfig config;
+  config.reject_stale_samples = true;
+  InfoRepository repo{config};
+  repo.record_perf(ReplicaId{1}, seq_sample(2, 5), TimePoint{});
+  repo.record_perf(ReplicaId{1}, seq_sample(6, 0), TimePoint{});
+  EXPECT_EQ(repo.observe(ReplicaId{1}).queue_length, 6);
+}
+
+TEST(InfoRepositoryTest, GatewayDelaySeqGuardIsIndependentOfPerf) {
+  // One reply legitimately feeds both record_perf and
+  // record_gateway_delay with the SAME sequence number.
+  RepositoryConfig config;
+  config.reject_stale_samples = true;
+  InfoRepository repo{config};
+  repo.record_perf(ReplicaId{1}, seq_sample(1, 3), TimePoint{});
+  repo.record_gateway_delay(ReplicaId{1}, msec(4), TimePoint{}, 3);  // same seq: applied
+  EXPECT_EQ(repo.observe(ReplicaId{1}).gateway_delay, msec(4));
+  repo.record_gateway_delay(ReplicaId{1}, msec(9), TimePoint{}, 2);  // stale: dropped
+  EXPECT_EQ(repo.observe(ReplicaId{1}).gateway_delay, msec(4));
+}
+
+TEST(InfoRepositoryTest, EwmaSeedsFromFirstSampleThenSmooths) {
+  RepositoryConfig config;
+  config.ewma_alpha = 0.5;
+  InfoRepository repo{config};
+  repo.record_perf(ReplicaId{1}, sample(100, 10, 4), TimePoint{});
+  auto obs = repo.observe(ReplicaId{1});
+  EXPECT_DOUBLE_EQ(obs.queue_ewma, 4.0);  // seeded, not pulled from 0
+  EXPECT_DOUBLE_EQ(obs.queue_trend, 0.0);
+  EXPECT_GT(obs.service_ewma_us, 0.0);
+  repo.record_perf(ReplicaId{1}, sample(100, 10, 8), TimePoint{});
+  obs = repo.observe(ReplicaId{1});
+  EXPECT_DOUBLE_EQ(obs.queue_ewma, 6.0);   // 0.5*8 + 0.5*4
+  EXPECT_DOUBLE_EQ(obs.queue_trend, 2.0);  // 0.5*(8-4) + 0.5*0
+}
+
+TEST(InfoRepositoryTest, EwmaAlphaValidation) {
+  RepositoryConfig bad;
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(InfoRepository{bad}, std::invalid_argument);
+  bad.ewma_alpha = 1.5;
+  EXPECT_THROW(InfoRepository{bad}, std::invalid_argument);
+}
+
+TEST(InfoRepositoryTest, NoteDispatchChargesUntilNextPerfSample) {
+  InfoRepository repo;
+  repo.add_replica(ReplicaId{1});
+  repo.note_dispatch(ReplicaId{1});
+  repo.note_dispatch(ReplicaId{1});
+  EXPECT_EQ(repo.observe(ReplicaId{1}).own_inflight, 2u);
+  repo.record_perf(ReplicaId{1}, sample(100, 10, 1), TimePoint{});
+  EXPECT_EQ(repo.observe(ReplicaId{1}).own_inflight, 0u);
+}
+
+TEST(InfoRepositoryTest, NoteDispatchNeverAddsOrAdvancesGeneration) {
+  InfoRepository repo;
+  repo.note_dispatch(ReplicaId{5});  // untracked: ignored, not added
+  EXPECT_FALSE(repo.contains(ReplicaId{5}));
+  repo.record_perf(ReplicaId{1}, sample(100, 10, 1), TimePoint{});
+  const auto before = repo.generation(ReplicaId{1});
+  repo.note_dispatch(ReplicaId{1});
+  // Load bookkeeping never feeds the response-time model, so cached
+  // per-generation pmfs stay valid across dispatches.
+  EXPECT_EQ(repo.generation(ReplicaId{1}), before);
+}
+
+TEST(InfoRepositoryTest, ObserveComputesSilenceFromClock) {
+  InfoRepository repo;
+  repo.record_perf(ReplicaId{1}, sample(100, 10, 1), TimePoint{} + msec(5));
+  EXPECT_EQ(repo.observe(ReplicaId{1}).silence, Duration::zero());  // no clock
+  EXPECT_EQ(repo.observe(ReplicaId{1}, kDefaultMethod, TimePoint{} + msec(30)).silence,
+            msec(25));
+}
+
 }  // namespace
 }  // namespace aqua::core

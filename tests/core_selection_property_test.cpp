@@ -192,6 +192,58 @@ TEST_P(SelectionPropertyTest, SelectedNeverExceedsAvailable) {
   EXPECT_LE(result.selected.size(), s.observations.size());
 }
 
+TEST_P(SelectionPropertyTest, LoadScoreMonotoneInQueueAndInflight) {
+  // The herd-safe guarantee: for a FIXED window history, piling more
+  // backlog (smoothed queue length, own in-flight requests, positive
+  // trend) onto a replica can only lower its compensated score — the
+  // penalty shrinks the effective deadline and the cdf is monotone in
+  // the deadline. Without this, the score could re-herd.
+  const Scenario s = random_scenario(GetParam());
+  Rng rng{GetParam() * 31 + 7};
+  const ResponseTimeModel model;
+  LoadScoreConfig load;
+  load.enabled = true;
+  load.queue_weight = rng.uniform(0.0, 4.0);
+  load.outstanding_weight = rng.uniform(0.0, 4.0);
+  load.trend_weight = rng.uniform(0.0, 4.0);
+  for (const ReplicaObservation& base : s.observations) {
+    ReplicaObservation obs = base;
+    obs.service_ewma_us = rng.uniform(1000.0, 200000.0);
+    obs.queue_ewma = rng.uniform(0.0, 6.0);
+    obs.queue_trend = rng.uniform(-2.0, 2.0);
+    obs.own_inflight = static_cast<std::uint64_t>(rng.uniform_int(0, 4));
+    const double score = load_score(model, obs, s.qos.deadline, load);
+    ReplicaObservation deeper = obs;
+    deeper.queue_ewma += rng.uniform(0.1, 5.0);
+    EXPECT_LE(load_score(model, deeper, s.qos.deadline, load), score) << "queue_ewma";
+    ReplicaObservation busier = obs;
+    busier.own_inflight += static_cast<std::uint64_t>(rng.uniform_int(1, 4));
+    EXPECT_LE(load_score(model, busier, s.qos.deadline, load), score) << "own_inflight";
+    ReplicaObservation building = obs;
+    building.queue_trend = std::max(0.0, building.queue_trend) + rng.uniform(0.1, 3.0);
+    EXPECT_LE(load_score(model, building, s.qos.deadline, load), score) << "queue_trend";
+  }
+}
+
+TEST_P(SelectionPropertyTest, DisabledLoadScoreLeavesSelectionBitIdentical) {
+  // The paper-policy identity at the unit level: the selector with the
+  // score DISABLED (but every inert knob set to garbage) and a live rng
+  // must agree field-for-field with the plain selector, doubles
+  // included — SelectionResult's operator== is exact.
+  const Scenario s = random_scenario(GetParam());
+  SelectionConfig with_knobs;
+  with_knobs.load.enabled = false;
+  with_knobs.load.queue_weight = 99.0;
+  with_knobs.load.outstanding_weight = 99.0;
+  with_knobs.load.p2c_epsilon = 1.0;
+  with_knobs.load.liveness_factor = 0.001;
+  Rng rng{GetParam()};
+  const auto plain = ReplicaSelector{}.select(s.observations, s.qos);
+  const auto knobs = ReplicaSelector{with_knobs}.select(s.observations, s.qos,
+                                                        Duration::zero(), &rng);
+  EXPECT_EQ(plain, knobs);
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomScenarios, SelectionPropertyTest,
                          ::testing::Range(std::uint64_t{1}, std::uint64_t{60}));
 

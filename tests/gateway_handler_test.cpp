@@ -311,5 +311,44 @@ TEST_F(HandlerTest, HistoryGrowsPerRequest) {
   EXPECT_EQ(handler->history().size(), 5u);
 }
 
+TEST_F(HandlerTest, TdIsNeverClampedInPlainSimRuns) {
+  // t_d = t4 - t1 - t_q - t_s can only go negative when the reply's
+  // perf data does not belong to this request's send (a redispatch race
+  // or clock mixing). In a plain simulated run every component is
+  // causally ordered, so a nonzero clamp count here means the handler
+  // mis-attributed a reply — the silent max(0, t_d) used to hide that.
+  add_replica(1, msec(10));
+  add_replica(2, msec(25));
+  auto handler = make_handler(core::QosSpec{msec(200), 0.5});
+  for (int i = 0; i < 20; ++i) {
+    handler->invoke(i, [](const ReplyInfo&) {});
+    sim_.run_for(msec(100));
+  }
+  EXPECT_EQ(handler->history().size(), 20u);
+  EXPECT_EQ(handler->td_clamped(), 0u);
+}
+
+TEST_F(HandlerTest, LoadScoreSelectionServesRequestsInSim) {
+  // The herd-safe score in the sim handler: selection still completes
+  // requests and the own-inflight charge drains back to zero once the
+  // replies arrive (note_dispatch must be paired with perf samples).
+  add_replica(1, msec(10));
+  add_replica(2, msec(12));
+  add_replica(3, msec(30));
+  HandlerConfig cfg;
+  cfg.selection.load.enabled = true;
+  auto handler = make_handler(core::QosSpec{msec(100), 0.9}, cfg);
+  int replies = 0;
+  for (int i = 0; i < 15; ++i) {
+    handler->invoke(i, [&](const ReplyInfo&) { ++replies; });
+    sim_.run_for(msec(200));
+  }
+  EXPECT_EQ(replies, 15);
+  EXPECT_EQ(handler->td_clamped(), 0u);
+  for (const auto& obs : handler->repository().observe_all()) {
+    EXPECT_EQ(obs.own_inflight, 0u) << "replica " << obs.id.value();
+  }
+}
+
 }  // namespace
 }  // namespace aqua::gateway

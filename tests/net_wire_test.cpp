@@ -53,6 +53,7 @@ TEST(WireFormat, ReplyRoundTripsPerfTriple) {
   reply.perf.service_time = usec(1500);
   reply.perf.queuing_delay = usec(250);
   reply.perf.queue_length = 4;
+  reply.perf.sample_seq = 17;  // wire v3: replica publication counter
   const auto bytes = encode_or_die(Payload::make(reply, proto::kReplyBytes));
 
   const std::optional<Payload> decoded = decode_payload(bytes);
@@ -65,6 +66,7 @@ TEST(WireFormat, ReplyRoundTripsPerfTriple) {
   EXPECT_EQ(back->perf.service_time, reply.perf.service_time);
   EXPECT_EQ(back->perf.queuing_delay, reply.perf.queuing_delay);
   EXPECT_EQ(back->perf.queue_length, reply.perf.queue_length);
+  EXPECT_EQ(back->perf.sample_seq, reply.perf.sample_seq);
 }
 
 TEST(WireFormat, CodedChunkFieldsRoundTrip) {

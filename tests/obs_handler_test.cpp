@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -173,6 +174,31 @@ TEST(HandlerTelemetry, DisabledTelemetryRunsAreBitIdentical) {
   without.run_for(sec(6));
 
   EXPECT_EQ(app_with.report().summary_line(), app_without.report().summary_line());
+}
+
+TEST(HandlerTelemetry, TdClampAndLoadGaugesAreSurfaced) {
+  // Satellite of the herd-safe PR: the t_d clamp is counted (and must
+  // stay zero in a plain run — see gateway_handler_test for the sim
+  // assertion) and the repository exports the per-replica load-pressure
+  // gauges the score ranks by, so /snapshot can show why a replica was
+  // avoided.
+  obs::Telemetry telemetry;
+  AquaSystem system{telemetry_system(&telemetry)};
+  populate(system, 30);
+  ASSERT_TRUE(system.run_until_clients_done(sec(120)));
+  system.run_for(sec(6));
+
+  EXPECT_EQ(telemetry.metrics().counter("gateway.td_clamped").value(), 0u);
+  // The per-replica load-pressure gauges must already exist in the
+  // exporter snapshot (registered by the repository as samples arrive,
+  // not lazily created by this lookup). Names follow the
+  // replica.<id>.queue_length idiom; ids are allocated from 1.
+  std::set<std::string> gauge_names;
+  for (const auto& [name, value] : telemetry.metrics().gauges()) gauge_names.insert(name);
+  for (const char* suffix : {".queue_ewma", ".queue_trend", ".own_inflight"}) {
+    EXPECT_TRUE(gauge_names.contains("repository.1" + std::string(suffix))) << suffix;
+  }
+  EXPECT_EQ(telemetry.metrics().counter("repository.stale_samples").value(), 0u);
 }
 
 }  // namespace

@@ -92,6 +92,21 @@ grep -q '"metric":"high_load.coded_informed.replica_savings_vs_replicated"' \
   build/bench/BENCH_coded.json
 # first_of_n must stay bit-identical to the paper policy on fig4/fig5.
 grep -q '"metric":"fig.first_of_n_identity","value":1\b' build/bench/BENCH_coded.json
+# The herd-safe gates: a DISABLED load score (garbage knobs) must also be
+# bit-identical to the paper policy, and the load-compensated informed
+# placement must no longer lose to blind spreading at high load.
+grep -q '"metric":"fig.load_score_off_identity","value":1\b' build/bench/BENCH_coded.json
+grep -q '"metric":"high_load.informed_beats_blind","value":1\b' build/bench/BENCH_coded.json
+
+step "Bench JSON: selection oscillation emits BENCH_oscillation.json (herding gate)"
+AQUA_BENCH_SEEDS=1 build/bench/selection_oscillation >/dev/null
+test -s build/bench/BENCH_oscillation.json
+# The load score must damp multi-gateway queue oscillation without
+# giving back timeliness.
+grep -q '"metric":"oscillation.amplitude_reduced","value":1\b' \
+  build/bench/BENCH_oscillation.json
+grep -q '"metric":"oscillation.timely_no_worse","value":1\b' \
+  build/bench/BENCH_oscillation.json
 
 step "UDP smoke: two-process gateway/replica run over loopback"
 ctest --test-dir build --output-on-failure -R udp_two_process_smoke
